@@ -1,0 +1,6 @@
+"""Benchmark suite: one bench per table/figure of the paper, §5
+ablations, and microbenchmarks of the hot paths.
+
+Run with ``pytest benchmarks/ --benchmark-only``; set
+``REPRO_BENCH_FULL=1`` for the paper-scale configuration.
+"""

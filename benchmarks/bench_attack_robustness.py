@@ -1,0 +1,46 @@
+"""Bench: defense effects across attacker families (k-FP / CUMUL / kNN).
+
+Backs §2.2's manipulation taxonomy: timing-only defenses cannot affect
+a timing-blind attacker (CUMUL), size-changing ones can.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.attack_robustness import (
+    format_attack_robustness,
+    run_attack_robustness,
+)
+
+pytestmark = pytest.mark.benchmark(group="robustness")
+
+
+def test_attack_robustness(benchmark, experiment_config, collected_dataset,
+                           bench_scale):
+    cells = benchmark.pedantic(
+        lambda: run_attack_robustness(
+            experiment_config, dataset=collected_dataset
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rendered = format_attack_robustness(cells)
+    print("\n" + rendered)
+    write_result(f"bench_attack_robustness_{bench_scale}", rendered)
+
+    grid = {(c.attack, c.defense): c.accuracy for c in cells}
+    # Every attacker beats 9-class chance (1/9 ~ 0.11) on originals.
+    # CUMUL's pure cumulative-size curves are weak on these traces
+    # (high per-visit volume variance), but still informative.
+    assert grid[("kfp", "original")] > 0.5
+    assert grid[("knn", "original")] > 0.4
+    assert grid[("cumul", "original")] > 0.2
+    # Delaying cannot move the timing-blind CUMUL (same size sequence,
+    # identical feature vectors -> identical predictions).
+    assert abs(
+        grid[("cumul", "delayed")] - grid[("cumul", "original")]
+    ) < 1e-9
+    # Splitting rewrites the size sequence, so it *does* move CUMUL.
+    assert grid[("cumul", "split")] != grid[("cumul", "original")]
+    # k-FP remains the strongest attacker on original traffic.
+    assert grid[("kfp", "original")] >= grid[("knn", "original")] - 0.05

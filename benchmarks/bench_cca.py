@@ -1,0 +1,67 @@
+"""Benches for the §5 discussion ablations.
+
+* ``test_cca_interplay`` (§5.1): bulk goodput under Stob actions for
+  Reno/CUBIC/BBR, plus the phase-gated variant.  Expectation: actions
+  cost some throughput, never collapse it; the gate helps BBR's
+  bandwidth estimate.
+* ``test_cca_identification`` (§5.2): a passive classifier identifies
+  the CCA from packet sequences well above chance; Stob shaping pushes
+  it toward chance.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.cca_identification import (
+    format_cca_id,
+    run_cca_identification,
+)
+from repro.experiments.cca_interplay import format_interplay, run_interplay
+
+pytestmark = pytest.mark.benchmark(group="cca")
+
+
+def test_cca_interplay(benchmark, bench_scale):
+    kwargs = (
+        {}
+        if bench_scale == "full"
+        else {"transfer_mib": 12, "duration": 2.5}
+    )
+    results = benchmark.pedantic(
+        lambda: run_interplay(**kwargs), rounds=1, iterations=1
+    )
+    rendered = format_interplay(results)
+    print("\n" + rendered)
+    write_result(f"bench_cca_interplay_{bench_scale}", rendered)
+
+    by_key = {(r.cca, r.action): r for r in results}
+    for cca in ("reno", "cubic", "bbr"):
+        base = by_key[(cca, "none")].goodput_mbps
+        assert base > 20, f"{cca} baseline should move data"
+        for action in ("delay", "split", "delay+gate"):
+            shaped = by_key[(cca, action)].goodput_mbps
+            # Obfuscation costs throughput but must not collapse it.
+            assert shaped > 0.25 * base, (cca, action, shaped, base)
+    # BBR keeps a sane bandwidth model in all conditions.
+    for action in ("none", "delay+gate"):
+        ratio = by_key[("bbr", action)].bw_estimate_ratio
+        assert ratio is not None and ratio > 0.3
+
+
+def test_cca_identification(benchmark, bench_scale):
+    kwargs = (
+        {"n_train_per_cca": 12, "n_test_per_cca": 6}
+        if bench_scale == "full"
+        else {"n_train_per_cca": 7, "n_test_per_cca": 4}
+    )
+    result = benchmark.pedantic(
+        lambda: run_cca_identification(**kwargs), rounds=1, iterations=1
+    )
+    rendered = format_cca_id(result)
+    print("\n" + rendered)
+    write_result(f"bench_cca_id_{bench_scale}", rendered)
+
+    # The identifier works on clean flows (well above 1/3 chance)...
+    assert result.baseline_accuracy > 0.55
+    # ...and Stob shaping damages it.
+    assert result.defended_accuracy < result.baseline_accuracy

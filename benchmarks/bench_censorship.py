@@ -1,0 +1,55 @@
+"""Bench: the §3 censorship curves (accuracy vs observed prefix).
+
+The paper's reading of Table 2: "the rate at which k-FP's accuracy
+increases over N is slower when either defense is applied compared to
+no defense, indicating that countermeasures delay confident detection
+in the censorship setting."  This bench produces the full curve and
+the detection-delay metric.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.censorship import (
+    detection_delay,
+    format_censorship,
+    run_censorship_curve,
+)
+
+pytestmark = pytest.mark.benchmark(group="censorship")
+
+
+def test_censorship_curves(benchmark, experiment_config, collected_dataset,
+                           bench_scale):
+    prefixes = (10, 15, 30, 45, 90) if bench_scale == "small" else (
+        5, 10, 15, 20, 30, 45, 60, 90
+    )
+    points = benchmark.pedantic(
+        lambda: run_censorship_curve(
+            experiment_config, dataset=collected_dataset, prefixes=prefixes
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rendered = format_censorship(points)
+    delays = detection_delay(points, threshold=0.85)
+    rendered += "\n\nFirst prefix reaching 85% accuracy:\n" + "\n".join(
+        f"  {name:<10} {n if n is not None else '> sweep'}"
+        for name, n in sorted(delays.items())
+    )
+    print("\n" + rendered)
+    write_result(f"bench_censorship_{bench_scale}", rendered)
+
+    by_defense = {}
+    for p in points:
+        by_defense.setdefault(p.defense, {})[p.n_packets] = p.mean
+    # Accuracy grows with the prefix for the undefended condition.
+    original = by_defense["original"]
+    ordered = [original[n] for n in sorted(original)]
+    assert ordered[-1] >= ordered[0] - 0.02
+    # Defended conditions never make the censor *faster* than original
+    # by a clear margin at the smallest prefix.
+    smallest = min(original)
+    for name in ("split", "delayed", "combined"):
+        assert by_defense[name][smallest] <= original[smallest] + 0.1

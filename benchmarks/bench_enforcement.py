@@ -1,0 +1,38 @@
+"""Bench: the emulation-vs-enforcement gap (the paper's core thesis).
+
+Not a table in the paper — this is the ablation its argument implies:
+the trace-level emulation of split+delay (what WF papers evaluate) and
+the stack-enforced version (what would actually deploy) produce
+different traffic, and a classifier trained on the emulation does not
+transfer perfectly to the deployment.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.enforcement import (
+    format_enforcement,
+    run_enforcement_gap,
+)
+
+pytestmark = pytest.mark.benchmark(group="enforcement")
+
+
+def test_enforcement_gap(benchmark, experiment_config, collected_dataset,
+                         bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_enforcement_gap(
+            experiment_config, raw_dataset=collected_dataset
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rendered = format_enforcement(result)
+    print("\n" + rendered)
+    write_result(f"bench_enforcement_{bench_scale}", rendered)
+
+    # Enforced traffic really is different from the stock traffic...
+    assert result.mean_packets_enforced > result.mean_packets_original
+    # ...and the attack still works on each distribution individually.
+    assert result.accuracy_emulated[0] > 0.5
+    assert result.accuracy_enforced[0] > 0.5

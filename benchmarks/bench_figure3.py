@@ -1,0 +1,57 @@
+"""Bench: regenerate Figure 3 (packet/TSO size adjustment vs throughput).
+
+Paper setup: iperf3, one connection, 100 Gb/s link, two Xeon servers;
+packet size reduced from 1500 by alpha down to 1500 - 10*alpha (reset,
+repeat), TSO size from 44 by alpha/4 down to 44 - 8*(alpha/4) or 1.
+Paper result: throughput decreases as alpha grows but "preserves
+19.7 Gb/s or higher".
+
+Shape expectations here: monotone-ish decline from tens of Gb/s at
+alpha=0 to a floor that is still a substantial fraction of line rate.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.figure3 import (
+    Figure3Config,
+    format_figure3,
+    run_figure3,
+)
+
+pytestmark = pytest.mark.benchmark(group="figure3")
+
+
+def _config(bench_scale):
+    if bench_scale == "full":
+        return Figure3Config(warmup=0.05, measure=0.10)
+    return Figure3Config(
+        alphas=(0, 20, 40, 60, 80, 100), warmup=0.03, measure=0.05
+    )
+
+
+def test_figure3(benchmark, bench_scale):
+    config = _config(bench_scale)
+    points = benchmark.pedantic(
+        lambda: run_figure3(config), rounds=1, iterations=1
+    )
+    rendered = format_figure3(points)
+    print("\n" + rendered)
+    write_result(f"bench_figure3_{bench_scale}", rendered)
+
+    by_alpha = {p.alpha: p for p in points}
+    base = by_alpha[0].goodput_gbps
+    floor = by_alpha[100].goodput_gbps
+    assert base > 30, "default sizing should reach tens of Gb/s"
+    assert floor < base, "aggressive reduction must cost throughput"
+    assert floor > 0.15 * base, (
+        "the paper's floor stays a sizeable fraction (19.7/100 Gb/s)"
+    )
+    # Monotone within noise: every point within 20% of the running min.
+    running = base
+    for alpha in sorted(by_alpha):
+        running = min(running, by_alpha[alpha].goodput_gbps)
+        assert by_alpha[alpha].goodput_gbps >= running - 0.2 * base
+    # The knob actually moved the wire shapes.
+    assert by_alpha[100].mean_packet_size < by_alpha[0].mean_packet_size
+    assert by_alpha[100].mean_tso_packets < by_alpha[0].mean_tso_packets

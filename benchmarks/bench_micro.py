@@ -1,0 +1,111 @@
+"""Microbenchmarks of the hot paths (proper pytest-benchmark stats).
+
+These are not paper reproductions; they track the performance of the
+substrates so regressions in the simulator or the ML stack are caught:
+
+* simulated-TCP event throughput,
+* page-load simulation rate,
+* k-FP feature extraction rate,
+* random-forest fit/predict,
+* SACK scoreboard arithmetic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.features.kfp import KfpFeatureExtractor
+from repro.ml.forest import RandomForest
+from repro.simnet.engine import Simulator
+from repro.simnet.path import NetworkPath
+from repro.stack.host import make_flow
+from repro.stack.intervals import RangeSet
+from repro.stack.tcp import TcpConfig
+from repro.units import mbps, msec, mib
+from repro.web.pageload import PageLoadConfig, load_page
+from repro.web.sites import SITE_CATALOG
+
+pytestmark = pytest.mark.benchmark(group="micro")
+
+
+def run_bulk_transfer():
+    sim = Simulator()
+    path = NetworkPath(rate=mbps(100), rtt=msec(20))
+    flow = make_flow(
+        sim, path, client_config=TcpConfig(), server_config=TcpConfig()
+    )
+    flow.server.on_established = lambda: flow.server.write(mib(4))
+    flow.connect()
+    sim.run(until=10.0)
+    assert flow.client.receive_buffer.delivered == mib(4)
+    return sim.processed_events
+
+
+def test_bulk_transfer_events(benchmark):
+    events = benchmark(run_bulk_transfer)
+    assert events > 1000
+
+
+def test_page_load_simulation(benchmark):
+    config = PageLoadConfig()
+    counter = {"seed": 0}
+
+    def run():
+        counter["seed"] += 1
+        rng = np.random.default_rng(counter["seed"])
+        return load_page(SITE_CATALOG["wikipedia.org"], config, rng)
+
+    trace = benchmark(run)
+    assert len(trace) > 50
+
+
+def test_feature_extraction(benchmark, random_trace=None):
+    rng = np.random.default_rng(1)
+    n = 2000
+    times = np.cumsum(rng.exponential(0.002, n))
+    dirs = rng.choice([1, -1], n).astype(np.int8)
+    sizes = rng.integers(60, 1501, n)
+    from repro.capture.trace import Trace
+
+    trace = Trace(times - times[0], dirs, sizes)
+    extractor = KfpFeatureExtractor()
+    vector = benchmark(extractor.extract, trace)
+    assert np.all(np.isfinite(vector))
+
+
+def test_forest_fit(benchmark):
+    rng = np.random.default_rng(2)
+    X = rng.normal(0, 1, (400, 135))
+    y = rng.integers(0, 9, 400)
+    X[np.arange(400), y] += 4.0  # make it learnable
+
+    def fit():
+        return RandomForest(n_estimators=20, random_state=0).fit(X, y)
+
+    forest = benchmark(fit)
+    assert forest.score(X, y) > 0.9
+
+
+def test_forest_predict(benchmark):
+    rng = np.random.default_rng(3)
+    X = rng.normal(0, 1, (400, 135))
+    y = rng.integers(0, 9, 400)
+    X[np.arange(400), y] += 4.0
+    forest = RandomForest(n_estimators=20, random_state=0).fit(X, y)
+    predictions = benchmark(forest.predict, X)
+    assert len(predictions) == 400
+
+
+def test_rangeset_churn(benchmark):
+    rng = np.random.default_rng(4)
+    ops = rng.integers(0, 1_000_000, size=(2000, 2))
+
+    def churn():
+        rs = RangeSet()
+        for start, width in ops:
+            rs.add(int(start), int(start + width % 3000 + 1))
+        for start, width in ops[:500]:
+            rs.remove(int(start), int(start + width % 1500 + 1))
+        return rs.total
+
+    total = benchmark(churn)
+    assert total > 0

@@ -1,0 +1,57 @@
+"""Bench: the §3 'ongoing work' parameter sweep.
+
+Sweeps split threshold x delay intensity and reports the
+protection-vs-cost surface.  Expectations: more aggressive parameters
+cost more (bandwidth from header duplication, latency from delay) —
+and, per the paper's own Table-2 finding, conservative split/delay
+parameters barely move closed-world k-FP accuracy.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.parameter_sweep import (
+    format_parameter_sweep,
+    run_parameter_sweep,
+)
+
+pytestmark = pytest.mark.benchmark(group="sweep")
+
+
+def test_parameter_sweep(benchmark, experiment_config, collected_dataset,
+                         bench_scale):
+    thresholds = (1200, 800) if bench_scale == "small" else (
+        1400, 1200, 1000, 800
+    )
+    delay_ranges = (
+        ((0.10, 0.30), (0.50, 1.50))
+        if bench_scale == "small"
+        else ((0.0, 0.0), (0.10, 0.30), (0.25, 0.75), (0.50, 1.50))
+    )
+    points = benchmark.pedantic(
+        lambda: run_parameter_sweep(
+            experiment_config,
+            dataset=collected_dataset,
+            thresholds=thresholds,
+            delay_ranges=delay_ranges,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rendered = format_parameter_sweep(points)
+    print("\n" + rendered)
+    write_result(f"bench_parameter_sweep_{bench_scale}", rendered)
+
+    by_key = {
+        (p.split_threshold, p.delay_low, p.delay_high): p for p in points
+    }
+    # Stronger delaying costs more latency.
+    mild = by_key[(1200, 0.10, 0.30)]
+    harsh = by_key[(1200, 0.50, 1.50)]
+    assert harsh.latency_overhead > mild.latency_overhead
+    # Lower split thresholds split more packets (no padding though, so
+    # bandwidth overhead stays zero at the paper's accounting).
+    assert by_key[(800, 0.10, 0.30)].accuracy_mean <= 1.0
+    # Attack still works everywhere (the paper's sobering finding).
+    for p in points:
+        assert p.accuracy_mean > 0.4

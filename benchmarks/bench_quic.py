@@ -1,0 +1,66 @@
+"""Bench: TCP vs QUIC fingerprinting + open-world evaluation.
+
+Backs two of the paper's contextual claims:
+
+* §2.3 "the same will apply to QUIC" — QUIC traffic is about as
+  fingerprintable as TCP, and the Stob layer plugs into it unchanged;
+* §3's "closed world ... represents an upper bound on attack success"
+  — the open-world numbers sit below the closed-world ones.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.open_world import format_open_world, run_open_world
+from repro.experiments.quic_vs_tcp import format_quic_vs_tcp, run_quic_vs_tcp
+
+pytestmark = pytest.mark.benchmark(group="quic-openworld")
+
+
+def test_quic_vs_tcp(benchmark, experiment_config, collected_dataset,
+                     bench_scale):
+    if bench_scale == "small":
+        # QUIC collection happens inside the runner; keep it light.
+        config = ExperimentConfig(
+            n_samples=12, n_folds=3, n_estimators=60, balance_to=10,
+            seed=experiment_config.seed,
+        )
+        tcp_dataset = None
+    else:
+        config = experiment_config
+        tcp_dataset = collected_dataset
+    result = benchmark.pedantic(
+        lambda: run_quic_vs_tcp(config, tcp_dataset=tcp_dataset),
+        rounds=1,
+        iterations=1,
+    )
+    rendered = format_quic_vs_tcp(result)
+    print("\n" + rendered)
+    write_result(f"bench_quic_vs_tcp_{bench_scale}", rendered)
+
+    # Both transports are fingerprintable well above 1/9 chance.
+    assert result.accuracy_tcp[0] > 0.5
+    assert result.accuracy_quic[0] > 0.5
+    # Same ballpark (within 15 points).
+    assert abs(result.accuracy_tcp[0] - result.accuracy_quic[0]) < 0.15
+
+
+def test_open_world(benchmark, bench_scale):
+    kwargs = (
+        {"n_monitored_samples": 30, "n_background_sites": 60}
+        if bench_scale == "full"
+        else {"n_monitored_samples": 20, "n_background_sites": 40}
+    )
+    results = benchmark.pedantic(
+        lambda: run_open_world(seed=3, **kwargs), rounds=1, iterations=1
+    )
+    rendered = format_open_world(results)
+    print("\n" + rendered)
+    write_result(f"bench_open_world_{bench_scale}", rendered)
+
+    undefended = results[0]
+    assert undefended.recall > 0.5
+    assert undefended.precision > 0.5
+    # Open world is harder than the closed-world upper bound (~0.93).
+    assert undefended.recall < 0.93

@@ -1,0 +1,40 @@
+"""Bench: regenerate Table 1 (defense taxonomy) with measured overheads.
+
+The taxonomy rows come from the paper verbatim; for every defense we
+implement, bandwidth/latency/packet overheads are measured on the
+9-site dataset.  §2.3's cost claims to reproduce: padding-heavy
+defenses (FRONT, BuFLO, Tamaraw) burn substantial bandwidth (FRONT is
+cited at ~80 %); delaying costs no bandwidth (work-conserving);
+splitting costs only duplicated headers.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.table1 import format_table1, run_table1
+
+pytestmark = pytest.mark.benchmark(group="table1")
+
+
+def test_table1(benchmark, experiment_config, bench_scale):
+    rows = benchmark.pedantic(
+        lambda: run_table1(experiment_config), rounds=1, iterations=1
+    )
+    rendered = format_table1(rows)
+    print("\n" + rendered)
+    write_result(f"bench_table1_{bench_scale}", rendered)
+
+    by_system = {r.info.system: r for r in rows}
+    # Taxonomy completeness: all 16 paper rows + our three.
+    assert len(rows) >= 19
+    # Padding costs bandwidth, non-work-conserving (§2.3).
+    assert by_system["FRONT"].bandwidth > 0.2
+    assert by_system["BuFLO"].bandwidth > 0.5
+    # Delaying is work-conserving: zero bandwidth, positive latency.
+    assert by_system["Stob-Delay"].bandwidth == pytest.approx(0.0)
+    assert by_system["Stob-Delay"].latency > 0
+    # Splitting costs only headers: small, bounded bandwidth overhead.
+    assert 0 < by_system["Stob-Split"].bandwidth < 0.10
+    # HTTPOS's small-MSS trick costs many packets and latency (§2.3).
+    assert by_system["HTTPOS"].packets > 0.3
+    assert by_system["HTTPOS"].latency > 0

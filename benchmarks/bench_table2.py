@@ -1,0 +1,41 @@
+"""Bench: regenerate Table 2 (k-FP accuracy under countermeasures).
+
+Paper reference values (closed world, 9 sites, 74 traces each):
+
+    N    Original        Split           Delayed         Combined
+    15   0.798+-0.017    0.825+-0.024    0.825+-0.030    0.795+-0.031
+    30   0.884+-0.007    0.860+-0.013    0.855+-0.030    0.850+-0.062
+    45   0.938+-0.016    0.897+-0.030    0.913+-0.021    0.904+-0.004
+    All  0.963+-0.002    0.980+-0.008    0.980+-0.014    0.992+-0.009
+
+Shape expectations: accuracy rises with N; defended accuracy grows more
+slowly; full-trace defended accuracy is not materially below original.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.table2 import format_table2, run_table2
+
+pytestmark = pytest.mark.benchmark(group="table2")
+
+
+def test_table2(benchmark, experiment_config, collected_dataset, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_table2(experiment_config, dataset=collected_dataset),
+        rounds=1,
+        iterations=1,
+    )
+    rendered = format_table2(result)
+    print("\n" + rendered)
+    write_result(f"bench_table2_{bench_scale}", rendered)
+
+    # Shape assertions (loose: statistical pipeline).
+    original_all = result[("original", "all")].mean
+    original_15 = result[("original", 15)].mean
+    assert original_all > original_15, "accuracy must grow with N"
+    assert original_all > 0.75, "full-trace closed-world k-FP should be strong"
+    combined_all = result[("combined", "all")].mean
+    assert combined_all > original_all - 0.08, (
+        "the paper found countermeasures do not reduce full-trace accuracy"
+    )

@@ -1,0 +1,40 @@
+"""Bench: §2.3's work-conservation claim, measured.
+
+"Padding is worse than timing control, because it wastes network
+bandwidth in a non-work-conserving manner.  Timing manipulation ...
+leaves the idle resource for other flows.  Using smaller packet sizes
+is not as harmful as padding."
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.work_conservation import (
+    format_work_conservation,
+    run_work_conservation,
+)
+
+pytestmark = pytest.mark.benchmark(group="work-conservation")
+
+
+def test_work_conservation(benchmark, bench_scale):
+    duration = 6.0 if bench_scale == "full" else 4.0
+    results = benchmark.pedantic(
+        lambda: run_work_conservation(duration=duration),
+        rounds=1,
+        iterations=1,
+    )
+    rendered = format_work_conservation(results)
+    print("\n" + rendered)
+    write_result(f"bench_work_conservation_{bench_scale}", rendered)
+
+    by_primitive = {r.primitive: r for r in results}
+    base = by_primitive["none"].victim_goodput_mbps
+    # Delaying and splitting leave the victim's share intact (within 10%).
+    assert by_primitive["delay"].victim_goodput_mbps > 0.9 * base
+    assert by_primitive["split"].victim_goodput_mbps > 0.9 * base
+    # Padding visibly taxes the victim...
+    assert by_primitive["padding"].victim_goodput_mbps < 0.7 * base
+    # ...by roughly the cover-traffic rate it injects.
+    taken = base - by_primitive["padding"].victim_goodput_mbps
+    assert taken > 0.5 * by_primitive["padding"].cover_mbps

@@ -1,0 +1,57 @@
+"""Benchmark configuration.
+
+Every bench regenerates one table/figure of the paper and prints it.
+By default the benches run at a reduced scale so the whole suite
+finishes in minutes; set ``REPRO_BENCH_FULL=1`` to run at the paper's
+scale (9 sites x 100 samples, 5-fold CV, the full alpha sweep) as used
+for EXPERIMENTS.md.
+
+Heavy experiment benches use ``benchmark.pedantic(rounds=1)`` — they
+are end-to-end reproductions, not microbenchmarks; the micro suite in
+``bench_micro.py`` exercises the hot paths with proper statistics.
+"""
+
+import os
+
+import pytest
+
+#: Scale switch: full = the paper's configuration.
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return "full" if FULL else "small"
+
+
+@pytest.fixture(scope="session")
+def experiment_config():
+    from repro.experiments.config import ExperimentConfig
+
+    if FULL:
+        return ExperimentConfig()
+    return ExperimentConfig(
+        n_samples=24, n_folds=3, n_estimators=80, balance_to=20, seed=2025
+    )
+
+
+@pytest.fixture(scope="session")
+def collected_dataset(experiment_config):
+    """The 9-site dataset, collected once per session over the stack
+    simulator (shared by table2 / censorship benches)."""
+    from repro.web.pageload import collect_dataset
+
+    return collect_dataset(
+        n_samples=experiment_config.n_samples,
+        config=experiment_config.pageload,
+        seed=experiment_config.seed,
+    )
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a bench's rendered table under results/."""
+    directory = os.path.join(os.path.dirname(__file__), "..", "results")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")

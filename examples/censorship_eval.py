@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Censorship-scenario evaluation (a small version of the paper's §3).
+
+Collects a closed-world dataset of simulated page loads for the nine
+sites, applies the paper's split/delay countermeasures, and evaluates
+the k-FP attack on trace prefixes — the packets a censor sees before
+it must decide whether to block.
+
+Run:  python examples/censorship_eval.py         (~2-3 minutes)
+"""
+
+from repro.capture.sanitize import sanitize_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.table2 import build_datasets, evaluate_dataset
+from repro.ml.metrics import mean_std
+from repro.web.pageload import collect_dataset
+
+
+def main():
+    config = ExperimentConfig(
+        n_samples=20, n_folds=3, n_estimators=60, balance_to=16, seed=11
+    )
+    print("collecting 9 sites x 20 page loads over the stack simulator ...")
+    raw = collect_dataset(
+        n_samples=config.n_samples, config=config.pageload, seed=config.seed
+    )
+    clean, report = sanitize_dataset(raw, balance_to=config.balance_to)
+    kept = report.get("_balanced_to")
+    print(f"sanitised to {kept} traces per site (paper: 100 -> 74)\n")
+
+    datasets = build_datasets(clean, config.seed)
+    print(f"{'N':>4} | {'original':>15} | {'split':>15} | "
+          f"{'delayed':>15} | {'combined':>15}")
+    for n in (15, 30, 45, "all"):
+        cells = []
+        for name in ("original", "split", "delayed", "combined"):
+            mean, std = mean_std(
+                evaluate_dataset(datasets[(name, n)], config)
+            )
+            cells.append(f"{mean:.3f} ± {std:.3f}")
+        label = "All" if n == "all" else n
+        print(f"{label:>4} | " + " | ".join(f"{c:>15}" for c in cells))
+    print(
+        "\nReading: accuracy should grow with N; the countermeasures "
+        "slow that growth (delaying confident censorship decisions) "
+        "without reducing full-trace accuracy — the paper's §3 result."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Throughput cost of packet-sequence obfuscation (a mini Figure 3).
+
+Sweeps the paper's "maximum reduction degree" alpha over a simulated
+100 Gb/s link with a single-core CPU cost model and prints the goodput
+curve.  The paper measured that even the most aggressive reduction
+preserves ~20 Gb/s — far above typical Internet access rates, which is
+the argument that stack-level obfuscation is cheap where it matters.
+
+Run:  python examples/throughput_tradeoff.py      (~1-2 minutes)
+"""
+
+from repro.experiments.figure3 import Figure3Config, run_point
+from repro.units import to_gbps
+
+
+def main():
+    config = Figure3Config(warmup=0.03, measure=0.05)
+    print("alpha  goodput(Gb/s)  avg packet(B)  avg TSO(packets)  CPU")
+    baseline = None
+    for alpha in (0, 25, 50, 75, 100):
+        point = run_point(alpha, config)
+        if baseline is None:
+            baseline = point.goodput_gbps
+        bar = "#" * int(40 * point.goodput_gbps / baseline)
+        print(
+            f"{alpha:5d}  {point.goodput_gbps:13.1f}  "
+            f"{point.mean_packet_size:13.0f}  {point.mean_tso_packets:16.1f}  "
+            f"{point.cpu_utilization:4.2f}  {bar}"
+        )
+    print(
+        "\nEven at alpha=100 the single connection moves tens of Gb/s —\n"
+        "packet sizing/timing control is affordable at Internet access\n"
+        "rates (the paper's Figure 3 argument)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+``pip install -e .`` needs the ``wheel`` package; on fully offline
+machines without it, run ``python setup.py develop`` instead — both
+produce the same editable install of ``repro`` from ``src/``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Stob — stack-level traffic obfuscation for website-fingerprinting defenses.
+
+This package is a full reproduction of the HotNets '25 paper *"Rethinking
+the Role of Network Stacks for Website Fingerprinting Defenses"*.  It
+contains:
+
+``repro.simnet``
+    A discrete-event network simulator (clock, links, queues, paths).
+``repro.stack``
+    A host network-stack model: TCP with pluggable congestion control
+    (Reno, CUBIC, BBR-lite), socket buffers, TSO with Linux-style
+    autosizing, fq pacing, qdiscs and a NIC/CPU cost model.
+``repro.stob``
+    The paper's contribution: an in-stack traffic-obfuscation framework
+    with policies, a shared policy registry and packet-sequence actions.
+``repro.defenses``
+    Trace-level WF defenses: the paper's split/delay/combined emulation
+    plus the Table-1 baselines (FRONT, BuFLO, WTF-PAD, RegulaTor,
+    Tamaraw, HTTPOS-lite).
+``repro.web``
+    A synthetic web workload: site profiles, page loads over the stack
+    simulator, and a fast statistical trace generator.
+``repro.capture``
+    Packet traces, datasets, sanitisation and serialisation.
+``repro.ml``
+    From-scratch decision trees, random forests and k-NN.
+``repro.attacks``
+    The k-FP website-fingerprinting attack (feature set + classifier)
+    and a passive congestion-control identifier.
+``repro.experiments``
+    One runner per table/figure of the paper's evaluation.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,25 @@
+"""Website-fingerprinting attacks and other passive traffic analysis.
+
+* :mod:`repro.attacks.features` — the k-FP feature set (timing,
+  direction, ordering, concentration, burst and size statistics).
+* :mod:`repro.attacks.kfp` — the k-FP attack (Hayes & Danezis) used in
+  the paper's Table 2, in classic random-forest mode and in
+  leaf-vector k-NN mode.
+* :mod:`repro.attacks.knn_attack` — a simple feature k-NN baseline.
+* :mod:`repro.attacks.cca_id` — passive congestion-control
+  identification (the paper's §5.2 CCAnalyzer discussion).
+"""
+
+from repro.attacks.features.kfp import KfpFeatureExtractor, extract_features
+from repro.attacks.kfp import KFingerprinting
+from repro.attacks.knn_attack import FeatureKnnAttack
+from repro.attacks.cumul import CumulAttack, cumulative_features
+
+__all__ = [
+    "KfpFeatureExtractor",
+    "extract_features",
+    "KFingerprinting",
+    "FeatureKnnAttack",
+    "CumulAttack",
+    "cumulative_features",
+]

@@ -1,0 +1,76 @@
+"""The CUMUL website-fingerprinting attack (Panchenko et al., NDSS 2016).
+
+CUMUL represents a trace by its *cumulative byte curve*: walk the
+packets in order, adding each incoming packet's size and subtracting
+each outgoing one; sample the resulting curve at ``n_interp`` evenly
+spaced points.  Four scalar features (totals per direction and packet
+counts) are prepended.  A linear SVM separates the classes.
+
+CUMUL sees none of k-FP's timing features — it is a pure
+size/direction attack — which makes it a useful second attacker:
+timing-only defenses (delaying) should barely move it, while
+size-changing defenses (splitting) should.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.capture.dataset import Dataset
+from repro.capture.trace import Trace
+from repro.ml.linear import LinearSVC
+from repro.ml.metrics import accuracy_score
+
+
+def cumulative_features(trace: Trace, n_interp: int = 100) -> np.ndarray:
+    """The CUMUL feature vector of one trace."""
+    n = len(trace)
+    header = np.zeros(4)
+    if n == 0:
+        return np.concatenate([header, np.zeros(n_interp)])
+    signed = trace.sizes.astype(np.float64) * -trace.directions
+    # Convention: incoming (-1) adds, outgoing (+1) subtracts.
+    curve = np.cumsum(signed)
+    header[0] = trace.incoming_bytes
+    header[1] = trace.outgoing_bytes
+    header[2] = (trace.directions == -1).sum()
+    header[3] = (trace.directions == 1).sum()
+    samples = np.interp(
+        np.linspace(0, n - 1, n_interp), np.arange(n), curve
+    )
+    return np.concatenate([header, samples])
+
+
+class CumulAttack:
+    """Linear-SVM CUMUL."""
+
+    def __init__(
+        self,
+        n_interp: int = 100,
+        epochs: int = 30,
+        random_state: Optional[int] = None,
+    ) -> None:
+        self.n_interp = n_interp
+        self.svm = LinearSVC(epochs=epochs, random_state=random_state)
+
+    def _features(self, traces: Sequence[Trace]) -> np.ndarray:
+        return np.vstack(
+            [cumulative_features(t, self.n_interp) for t in traces]
+        )
+
+    def fit_traces(self, traces: Sequence[Trace], y: np.ndarray) -> "CumulAttack":
+        self.svm.fit(self._features(traces), y)
+        return self
+
+    def fit_dataset(self, dataset: Dataset) -> "CumulAttack":
+        traces, y = dataset.to_arrays()
+        return self.fit_traces(traces, y)
+
+    def predict_traces(self, traces: Sequence[Trace]) -> np.ndarray:
+        return self.svm.predict(self._features(traces))
+
+    def score_dataset(self, dataset: Dataset) -> float:
+        traces, y = dataset.to_arrays()
+        return accuracy_score(y, self.predict_traces(traces))

@@ -1,0 +1,5 @@
+"""Feature extraction for WF attacks."""
+
+from repro.attacks.features.kfp import KfpFeatureExtractor, extract_features
+
+__all__ = ["KfpFeatureExtractor", "extract_features"]

@@ -1,0 +1,55 @@
+"""A simple feature-space k-NN website-fingerprinting baseline.
+
+This is the Wang-style attack skeleton: z-score-normalised k-FP
+features matched by euclidean k-NN.  It is weaker than k-FP's forest
+but cheap, and serves as a second attacker for robustness checks of
+the defense results.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.features.kfp import KfpFeatureExtractor
+from repro.capture.dataset import Dataset
+from repro.capture.trace import Trace
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.metrics import accuracy_score
+
+
+class FeatureKnnAttack:
+    """k-NN over normalised k-FP features."""
+
+    def __init__(self, n_neighbors: int = 5) -> None:
+        self.extractor = KfpFeatureExtractor()
+        self.knn = KNeighborsClassifier(n_neighbors=n_neighbors)
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    def _normalise(self, X: np.ndarray) -> np.ndarray:
+        return (X - self._mean) / self._std
+
+    def fit_traces(self, traces: Sequence[Trace], y: np.ndarray) -> "FeatureKnnAttack":
+        X = self.extractor.extract_many(traces)
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        # Constant features carry no information; avoid dividing by 0.
+        self._std = np.where(std > 0, std, 1.0)
+        self.knn.fit(self._normalise(X), y)
+        return self
+
+    def fit_dataset(self, dataset: Dataset) -> "FeatureKnnAttack":
+        traces, y = dataset.to_arrays()
+        return self.fit_traces(traces, y)
+
+    def predict_traces(self, traces: Sequence[Trace]) -> np.ndarray:
+        if self._mean is None:
+            raise RuntimeError("attack is not fitted")
+        X = self.extractor.extract_many(traces)
+        return self.knn.predict(self._normalise(X))
+
+    def score_dataset(self, dataset: Dataset) -> float:
+        traces, y = dataset.to_arrays()
+        return accuracy_score(y, self.predict_traces(traces))

@@ -1,0 +1,22 @@
+"""Packet traces, datasets, sanitisation and serialisation.
+
+A :class:`~repro.capture.trace.Trace` is what the paper's attacker
+observes: per-packet timestamps, directions and sizes.  A
+:class:`~repro.capture.dataset.Dataset` maps site labels to lists of
+traces and supports the splits the evaluation needs.
+"""
+
+from repro.capture.trace import Trace, TraceObserver
+from repro.capture.dataset import Dataset
+from repro.capture.sanitize import iqr_filter, sanitize_dataset
+from repro.capture.serialize import load_dataset, save_dataset
+
+__all__ = [
+    "Trace",
+    "TraceObserver",
+    "Dataset",
+    "iqr_filter",
+    "sanitize_dataset",
+    "load_dataset",
+    "save_dataset",
+]

@@ -1,0 +1,125 @@
+"""Labelled trace datasets and evaluation splits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.capture.trace import Trace
+
+
+@dataclass
+class Dataset:
+    """A closed-world dataset: site label -> list of traces."""
+
+    traces: Dict[str, List[Trace]] = field(default_factory=dict)
+
+    def add(self, label: str, trace: Trace) -> None:
+        self.traces.setdefault(label, []).append(trace)
+
+    @property
+    def labels(self) -> List[str]:
+        """Sorted site labels (sorted for determinism)."""
+        return sorted(self.traces)
+
+    @property
+    def num_traces(self) -> int:
+        return sum(len(t) for t in self.traces.values())
+
+    def __iter__(self) -> Iterator[Tuple[str, Trace]]:
+        for label in self.labels:
+            for trace in self.traces[label]:
+                yield label, trace
+
+    def map(self, transform: Callable[[Trace], Trace]) -> "Dataset":
+        """A new dataset with ``transform`` applied to every trace
+        (how defenses are applied for emulation)."""
+        out = Dataset()
+        for label in self.labels:
+            out.traces[label] = [transform(t) for t in self.traces[label]]
+        return out
+
+    def truncate(self, n_packets: int) -> "Dataset":
+        """Keep only the first ``n_packets`` of every trace (the
+        censorship early-decision setting)."""
+        return self.map(lambda t: t.head(n_packets))
+
+    def subset(self, labels: List[str]) -> "Dataset":
+        """Only the given site labels."""
+        out = Dataset()
+        for label in labels:
+            if label not in self.traces:
+                raise KeyError(f"label {label!r} not in dataset")
+            out.traces[label] = list(self.traces[label])
+        return out
+
+    def balanced(self, per_label: int) -> "Dataset":
+        """The first ``per_label`` traces of every label."""
+        out = Dataset()
+        for label in self.labels:
+            available = self.traces[label]
+            if len(available) < per_label:
+                raise ValueError(
+                    f"label {label!r} has {len(available)} traces, "
+                    f"need {per_label}"
+                )
+            out.traces[label] = available[:per_label]
+        return out
+
+    # -- splits -------------------------------------------------------------------
+
+    def to_arrays(self) -> Tuple[List[Trace], np.ndarray]:
+        """Flatten into (traces, integer labels), label-sorted order."""
+        all_traces: List[Trace] = []
+        y: List[int] = []
+        for index, label in enumerate(self.labels):
+            for trace in self.traces[label]:
+                all_traces.append(trace)
+                y.append(index)
+        return all_traces, np.asarray(y, dtype=np.int64)
+
+    def train_test_split(
+        self, test_fraction: float, rng: np.random.Generator
+    ) -> Tuple["Dataset", "Dataset"]:
+        """Stratified random split."""
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+        train, test = Dataset(), Dataset()
+        for label in self.labels:
+            traces = list(self.traces[label])
+            order = rng.permutation(len(traces))
+            n_test = max(1, int(round(len(traces) * test_fraction)))
+            test_idx = set(order[:n_test].tolist())
+            train.traces[label] = [
+                t for i, t in enumerate(traces) if i not in test_idx
+            ]
+            test.traces[label] = [t for i, t in enumerate(traces) if i in test_idx]
+        return train, test
+
+    def kfold(
+        self, n_folds: int, rng: np.random.Generator
+    ) -> Iterator[Tuple["Dataset", "Dataset"]]:
+        """Stratified k-fold cross-validation iterator."""
+        if n_folds < 2:
+            raise ValueError(f"need at least 2 folds, got {n_folds}")
+        assignments: Dict[str, np.ndarray] = {}
+        for label in self.labels:
+            n = len(self.traces[label])
+            if n < n_folds:
+                raise ValueError(
+                    f"label {label!r} has {n} traces; cannot make {n_folds} folds"
+                )
+            folds = np.arange(n) % n_folds
+            assignments[label] = rng.permutation(folds)
+        for fold in range(n_folds):
+            train, test = Dataset(), Dataset()
+            for label in self.labels:
+                traces = self.traces[label]
+                mask = assignments[label] == fold
+                train.traces[label] = [
+                    t for i, t in enumerate(traces) if not mask[i]
+                ]
+                test.traces[label] = [t for i, t in enumerate(traces) if mask[i]]
+            yield train, test

@@ -1,0 +1,77 @@
+"""Dataset sanitisation, mirroring the paper's §3 pipeline.
+
+The paper collected 100 samples per site, checked for connection
+errors and removed outliers outside the interquartile range of total
+download size, ending with 74 traces per site.  :func:`sanitize_dataset`
+implements the same steps: drop empty/error traces, apply the IQR
+filter on incoming (download) bytes, and optionally balance every
+label to a common count.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.capture.dataset import Dataset
+from repro.capture.trace import Trace
+
+
+def iqr_filter(values: np.ndarray, factor: float = 1.5) -> np.ndarray:
+    """Boolean mask of values inside ``[Q1 - f*IQR, Q3 + f*IQR]``.
+
+    ``factor=0`` keeps only values strictly inside the interquartile
+    range itself, the paper's stricter reading.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) == 0:
+        return np.zeros(0, dtype=bool)
+    q1, q3 = np.percentile(values, [25, 75])
+    iqr = q3 - q1
+    lo = q1 - factor * iqr
+    hi = q3 + factor * iqr
+    return (values >= lo) & (values <= hi)
+
+
+def is_error_trace(trace: Trace, min_packets: int = 10) -> bool:
+    """Heuristic connection-error check: too few packets or no
+    incoming data at all (the paper's "checking for connection
+    errors")."""
+    if len(trace) < min_packets:
+        return True
+    if trace.incoming_bytes == 0:
+        return True
+    return False
+
+
+def sanitize_dataset(
+    dataset: Dataset,
+    iqr_factor: float = 1.5,
+    min_packets: int = 10,
+    balance_to: Optional[int] = None,
+) -> Tuple[Dataset, dict]:
+    """Sanitise per the paper; returns (clean dataset, report).
+
+    The report maps each label to ``(kept, dropped_error, dropped_iqr)``
+    so EXPERIMENTS.md can record the pipeline's effect (the paper:
+    100 -> 74 per site).
+    """
+    clean = Dataset()
+    report = {}
+    for label in dataset.labels:
+        traces = dataset.traces[label]
+        ok: List[Trace] = [t for t in traces if not is_error_trace(t, min_packets)]
+        dropped_error = len(traces) - len(ok)
+        sizes = np.array([t.incoming_bytes for t in ok], dtype=np.float64)
+        mask = iqr_filter(sizes, factor=iqr_factor)
+        kept = [t for t, keep in zip(ok, mask) if keep]
+        dropped_iqr = len(ok) - len(kept)
+        clean.traces[label] = kept
+        report[label] = (len(kept), dropped_error, dropped_iqr)
+    if balance_to is not None:
+        minimum = min(len(v) for v in clean.traces.values())
+        target = min(balance_to, minimum)
+        clean = clean.balanced(target)
+        report["_balanced_to"] = target
+    return clean, report

@@ -1,0 +1,161 @@
+"""Packet traces: the attacker's view of a connection.
+
+A trace is three parallel numpy arrays — ``times`` (seconds, ascending),
+``directions`` (+1 outgoing / -1 incoming, from the *client's* point of
+view, the WF convention) and ``sizes`` (wire bytes).  This is exactly
+the metadata the paper's tcpdump pipeline extracted, and the only input
+both the k-FP attack and the trace-level defenses consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+OUT = 1
+IN = -1
+
+
+@dataclass
+class Trace:
+    """An observed packet sequence.
+
+    Arrays are validated on construction: equal lengths, non-decreasing
+    times, directions in {+1, -1} and positive sizes.
+    """
+
+    times: np.ndarray
+    directions: np.ndarray
+    sizes: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=np.float64)
+        self.directions = np.asarray(self.directions, dtype=np.int8)
+        self.sizes = np.asarray(self.sizes, dtype=np.int64)
+        n = len(self.times)
+        if len(self.directions) != n or len(self.sizes) != n:
+            raise ValueError(
+                f"array lengths differ: times={n} "
+                f"directions={len(self.directions)} sizes={len(self.sizes)}"
+            )
+        if n > 0:
+            if np.any(np.diff(self.times) < -1e-12):
+                raise ValueError("times must be non-decreasing")
+            if not np.all(np.isin(self.directions, (OUT, IN))):
+                raise ValueError("directions must be +1 or -1")
+            if np.any(self.sizes <= 0):
+                raise ValueError("sizes must be positive")
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "Trace":
+        return cls(np.empty(0), np.empty(0, dtype=np.int8), np.empty(0, dtype=np.int64))
+
+    @classmethod
+    def from_records(cls, records: List[Tuple[float, int, int]]) -> "Trace":
+        """Build from ``(time, direction, size)`` tuples (sorted by time)."""
+        if not records:
+            return cls.empty()
+        records = sorted(records, key=lambda r: r[0])
+        times = np.array([r[0] for r in records], dtype=np.float64)
+        dirs = np.array([r[1] for r in records], dtype=np.int8)
+        sizes = np.array([r[2] for r in records], dtype=np.int64)
+        return cls(times, dirs, sizes)
+
+    # -- views ------------------------------------------------------------------
+
+    def head(self, n: int) -> "Trace":
+        """The first ``n`` packets (the censorship-scenario prefix)."""
+        return Trace(self.times[:n], self.directions[:n], self.sizes[:n])
+
+    def tail_after(self, n: int) -> "Trace":
+        """Packets after the first ``n``."""
+        return Trace(self.times[n:], self.directions[n:], self.sizes[n:])
+
+    def filter_direction(self, direction: int) -> "Trace":
+        """Only packets travelling in ``direction``."""
+        mask = self.directions == direction
+        return Trace(self.times[mask], self.directions[mask], self.sizes[mask])
+
+    def concat(self, other: "Trace") -> "Trace":
+        """Merge two traces by time (stable for ties)."""
+        times = np.concatenate([self.times, other.times])
+        dirs = np.concatenate([self.directions, other.directions])
+        sizes = np.concatenate([self.sizes, other.sizes])
+        order = np.argsort(times, kind="stable")
+        return Trace(times[order], dirs[order], sizes[order])
+
+    def shifted_to_zero(self) -> "Trace":
+        """Same trace with times starting at zero."""
+        if len(self) == 0:
+            return self
+        return Trace(self.times - self.times[0], self.directions, self.sizes)
+
+    # -- summary statistics -------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Seconds between first and last packet."""
+        if len(self) < 2:
+            return 0.0
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def total_bytes(self) -> int:
+        """Total wire bytes in both directions."""
+        return int(self.sizes.sum())
+
+    @property
+    def incoming_bytes(self) -> int:
+        """Wire bytes from server to client (the download size the
+        paper's sanitisation step filters on)."""
+        return int(self.sizes[self.directions == IN].sum())
+
+    @property
+    def outgoing_bytes(self) -> int:
+        return int(self.sizes[self.directions == OUT].sum())
+
+    def interarrival_times(self) -> np.ndarray:
+        """Gaps between consecutive packets (length ``len - 1``)."""
+        if len(self) < 2:
+            return np.empty(0)
+        return np.diff(self.times)
+
+
+class TraceObserver:
+    """Collects a :class:`Trace` from a live simulation.
+
+    Attach :meth:`tap_outgoing` to the client NIC and feed arriving
+    packets to :meth:`observe_incoming` (or attach to the server NIC
+    and swap directions) — the observer sits where the paper's censor
+    does: on the client's access link.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[Tuple[float, int, int]] = []
+
+    def tap_outgoing(self, packet, when: float) -> None:
+        """NIC tap for packets the client transmits."""
+        self._records.append((when, OUT, packet.wire_size))
+
+    def tap_incoming(self, packet, when: float) -> None:
+        """NIC tap for packets the server transmits toward the client.
+
+        The timestamp is the server-side departure; the constant
+        propagation offset does not affect WF features, which use
+        relative timing.
+        """
+        self._records.append((when, IN, packet.wire_size))
+
+    def trace(self) -> Trace:
+        """The collected trace, time-sorted and zero-based."""
+        return Trace.from_records(self._records).shifted_to_zero()
+
+    def reset(self) -> None:
+        self._records.clear()

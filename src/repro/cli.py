@@ -1,0 +1,252 @@
+"""Command-line interface: ``repro <experiment> [options]``.
+
+Each subcommand regenerates one table/figure of the paper:
+
+* ``repro table1`` — defense taxonomy + measured overheads;
+* ``repro table2`` — k-FP accuracy grid (slow: collects the dataset);
+* ``repro figure3`` — throughput vs reduction-degree sweep;
+* ``repro censorship`` — accuracy vs prefix-length curves;
+* ``repro cca-interplay`` — §5.1 goodput grid;
+* ``repro cca-id`` — §5.2 CCA identification;
+* ``repro collect`` — collect and save the 9-site dataset for reuse.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=2025, help="master seed")
+    parser.add_argument(
+        "--samples", type=int, default=100, help="page loads per site"
+    )
+    parser.add_argument(
+        "--dataset", type=str, default=None,
+        help="path of a dataset .npz to reuse (see `repro collect`)",
+    )
+
+
+def _load_or_collect(args, config):
+    from repro.capture.serialize import load_dataset
+    from repro.web.pageload import collect_dataset
+
+    if args.dataset:
+        return load_dataset(args.dataset)
+    return collect_dataset(
+        n_samples=config.n_samples, config=config.pageload, seed=config.seed
+    )
+
+
+def _config(args):
+    from repro.experiments.config import ExperimentConfig
+
+    return ExperimentConfig(n_samples=args.samples, seed=args.seed)
+
+
+def cmd_collect(args) -> int:
+    from repro.capture.serialize import save_dataset
+
+    config = _config(args)
+    started = time.time()
+    dataset = _load_or_collect(args, config)
+    save_dataset(dataset, args.out)
+    print(
+        f"saved {dataset.num_traces} traces "
+        f"({len(dataset.labels)} sites) to {args.out} "
+        f"in {time.time() - started:.1f}s"
+    )
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from repro.experiments.table1 import format_table1, run_table1
+
+    rows = run_table1(_config(args))
+    print(format_table1(rows))
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from repro.experiments.table2 import format_table2, run_table2
+
+    config = _config(args)
+    dataset = _load_or_collect(args, config)
+    table = run_table2(config, dataset=dataset)
+    print(format_table2(table))
+    return 0
+
+
+def cmd_figure3(args) -> int:
+    from repro.experiments.figure3 import (
+        Figure3Config,
+        format_figure3,
+        run_figure3,
+    )
+
+    config = Figure3Config()
+    if args.alphas:
+        config = Figure3Config(
+            alphas=tuple(int(a) for a in args.alphas.split(","))
+        )
+    points = run_figure3(config)
+    print(format_figure3(points))
+    return 0
+
+
+def cmd_censorship(args) -> int:
+    from repro.experiments.censorship import (
+        detection_delay,
+        format_censorship,
+        run_censorship_curve,
+    )
+
+    config = _config(args)
+    dataset = _load_or_collect(args, config)
+    points = run_censorship_curve(config, dataset=dataset)
+    print(format_censorship(points))
+    print("\nFirst prefix reaching 90% accuracy per condition:")
+    for name, n in sorted(detection_delay(points).items()):
+        print(f"  {name:<10} {n if n is not None else '> sweep'}")
+    return 0
+
+
+def cmd_cca_interplay(args) -> int:
+    from repro.experiments.cca_interplay import format_interplay, run_interplay
+
+    results = run_interplay(seed=args.seed)
+    print(format_interplay(results))
+    return 0
+
+
+def cmd_cca_id(args) -> int:
+    from repro.experiments.cca_identification import (
+        format_cca_id,
+        run_cca_identification,
+    )
+
+    result = run_cca_identification(seed=args.seed)
+    print(format_cca_id(result))
+    return 0
+
+
+def cmd_work_conservation(args) -> int:
+    from repro.experiments.work_conservation import (
+        format_work_conservation,
+        run_work_conservation,
+    )
+
+    results = run_work_conservation(seed=args.seed)
+    print(format_work_conservation(results))
+    return 0
+
+
+def cmd_open_world(args) -> int:
+    from repro.experiments.open_world import format_open_world, run_open_world
+
+    results = run_open_world(seed=args.seed)
+    print(format_open_world(results))
+    return 0
+
+
+def cmd_quic_vs_tcp(args) -> int:
+    from repro.experiments.quic_vs_tcp import (
+        format_quic_vs_tcp,
+        run_quic_vs_tcp,
+    )
+
+    config = _config(args)
+    dataset = _load_or_collect(args, config) if args.dataset else None
+    result = run_quic_vs_tcp(config, tcp_dataset=dataset)
+    print(format_quic_vs_tcp(result))
+    return 0
+
+
+def cmd_enforcement(args) -> int:
+    from repro.experiments.enforcement import (
+        format_enforcement,
+        run_enforcement_gap,
+    )
+
+    config = _config(args)
+    dataset = _load_or_collect(args, config) if args.dataset else None
+    result = run_enforcement_gap(config, raw_dataset=dataset)
+    print(format_enforcement(result))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Stob (HotNets '25) reproduction experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("collect", help="collect and save the 9-site dataset")
+    _add_common(p)
+    p.add_argument("--out", type=str, default="dataset.npz")
+    p.set_defaults(func=cmd_collect)
+
+    p = sub.add_parser("table1", help="defense taxonomy + overheads")
+    _add_common(p)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("table2", help="k-FP accuracy grid")
+    _add_common(p)
+    p.set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("figure3", help="throughput vs reduction degree")
+    _add_common(p)
+    p.add_argument(
+        "--alphas", type=str, default=None,
+        help="comma-separated reduction degrees (default 0..100 step 10)",
+    )
+    p.set_defaults(func=cmd_figure3)
+
+    p = sub.add_parser("censorship", help="accuracy vs prefix length")
+    _add_common(p)
+    p.set_defaults(func=cmd_censorship)
+
+    p = sub.add_parser("cca-interplay", help="§5.1 goodput grid")
+    _add_common(p)
+    p.set_defaults(func=cmd_cca_interplay)
+
+    p = sub.add_parser("cca-id", help="§5.2 CCA identification")
+    _add_common(p)
+    p.set_defaults(func=cmd_cca_id)
+
+    p = sub.add_parser(
+        "work-conservation",
+        help="§2.3 primitives vs a sharing bulk flow",
+    )
+    _add_common(p)
+    p.set_defaults(func=cmd_work_conservation)
+
+    p = sub.add_parser("open-world", help="open-world k-FP evaluation")
+    _add_common(p)
+    p.set_defaults(func=cmd_open_world)
+
+    p = sub.add_parser("quic-vs-tcp", help="fingerprintability across transports")
+    _add_common(p)
+    p.set_defaults(func=cmd_quic_vs_tcp)
+
+    p = sub.add_parser(
+        "enforcement",
+        help="emulated vs stack-enforced defense comparison",
+    )
+    _add_common(p)
+    p.set_defaults(func=cmd_enforcement)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

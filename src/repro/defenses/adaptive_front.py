@@ -1,0 +1,79 @@
+"""Adaptive FRONT (Hasselquist et al., PETS 2024 — "Raising the Bar").
+
+The adaptive variant scales FRONT's padding effort to the connection
+instead of using fixed budgets: the padding budget is proportional to
+the trace's own packet count and the padding window tracks the trace
+duration, so short fetches are not drowned (or under-protected) by a
+one-size-fits-all configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.capture.trace import IN, OUT, Trace
+from repro.defenses.base import TraceDefense
+
+DUMMY_SIZE = 1500
+
+
+class AdaptiveFrontDefense(TraceDefense):
+    """FRONT with budgets/windows adapted to the trace.
+
+    Parameters
+    ----------
+    budget_fraction:
+        Maximum dummies per side as a fraction of the trace's packet
+        count (drawn uniformly from [budget_fraction/4, budget_fraction]).
+    window_fraction:
+        Rayleigh window as a fraction of the trace duration.
+    """
+
+    name = "adaptive-front"
+
+    def __init__(
+        self,
+        budget_fraction: float = 0.6,
+        window_fraction: float = 0.5,
+        dummy_size: int = DUMMY_SIZE,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed)
+        if budget_fraction <= 0:
+            raise ValueError(
+                f"budget_fraction must be positive, got {budget_fraction}"
+            )
+        if window_fraction <= 0:
+            raise ValueError(
+                f"window_fraction must be positive, got {window_fraction}"
+            )
+        self.budget_fraction = budget_fraction
+        self.window_fraction = window_fraction
+        self.dummy_size = dummy_size
+
+    def _side(self, gen, n_packets, duration, start, fraction):
+        budget_max = max(1, int(n_packets * fraction))
+        budget = int(gen.integers(max(1, budget_max // 4), budget_max + 1))
+        window = duration * self.window_fraction
+        times = gen.rayleigh(scale=max(window, 1e-3) / 2.0, size=budget)
+        times = times[times <= duration] + start
+        return times
+
+    def apply(self, trace: Trace, rng: Optional[np.random.Generator] = None) -> Trace:
+        gen = self._rng(rng)
+        if len(trace) == 0:
+            return trace
+        duration = max(trace.duration, 1e-3)
+        start = float(trace.times[0])
+        n_out = int((trace.directions == OUT).sum())
+        n_in = int((trace.directions == IN).sum())
+        client = self._side(gen, n_out, duration, start, self.budget_fraction)
+        server = self._side(gen, n_in, duration, start, self.budget_fraction)
+        records = [
+            (float(t), OUT, self.dummy_size) for t in client
+        ] + [(float(t), IN, self.dummy_size) for t in server]
+        if not records:
+            return trace
+        return trace.concat(Trace.from_records(records))

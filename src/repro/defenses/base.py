@@ -1,0 +1,75 @@
+"""Defense interface and composition helpers."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.capture.trace import Trace
+
+
+class TraceDefense(abc.ABC):
+    """A transformation of observed packet sequences.
+
+    Defenses receive and return :class:`Trace` objects.  They must be
+    pure: the input trace is never mutated.  ``seed`` fixes the
+    defense's own randomness; :meth:`apply` optionally accepts an
+    external generator for sweep experiments.
+    """
+
+    #: Short identifier used in tables and reports.
+    name = "base"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def _rng(self, rng: Optional[np.random.Generator]) -> np.random.Generator:
+        return rng if rng is not None else np.random.default_rng(self.seed)
+
+    @abc.abstractmethod
+    def apply(self, trace: Trace, rng: Optional[np.random.Generator] = None) -> Trace:
+        """Return the defended trace."""
+
+    def __call__(self, trace: Trace) -> Trace:
+        return self.apply(trace)
+
+
+class NoDefense(TraceDefense):
+    """Identity transform — the 'Original' condition."""
+
+    name = "original"
+
+    def apply(self, trace: Trace, rng: Optional[np.random.Generator] = None) -> Trace:
+        return trace
+
+
+class FirstNPackets(TraceDefense):
+    """Apply an inner defense to only the first ``n`` packets.
+
+    This is the paper's censorship-evaluation construction: the
+    countermeasure acts on the connection prefix a censor must decide
+    on, while the remainder of the trace passes through unchanged.
+    The tail is time-shifted by however much the defense stretched the
+    prefix, preserving continuity.
+    """
+
+    def __init__(self, inner: TraceDefense, n: int, seed: int = 0) -> None:
+        super().__init__(seed)
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.inner = inner
+        self.n = n
+        self.name = f"{inner.name}@{n}"
+
+    def apply(self, trace: Trace, rng: Optional[np.random.Generator] = None) -> Trace:
+        if len(trace) <= self.n:
+            return self.inner.apply(trace, rng)
+        head = self.inner.apply(trace.head(self.n), rng)
+        tail = trace.tail_after(self.n)
+        if len(head) and len(tail):
+            original_boundary = trace.times[self.n - 1]
+            shift = max(0.0, head.times[-1] - original_boundary)
+            tail = Trace(tail.times + shift, tail.directions, tail.sizes)
+        return head.concat(tail)

@@ -1,0 +1,68 @@
+"""BuFLO (Dyer et al., IEEE S&P 2012) — constant-rate regularisation.
+
+BuFLO sends fixed-size packets at a fixed interval ``rho`` in both
+directions for at least ``tau`` seconds, buffering real data into the
+constant stream and padding with dummies when no data is queued.  It
+is the canonical heavyweight regularisation defense: strong but with
+extreme bandwidth and latency overheads (§2.3's argument against
+padding-heavy designs).
+
+The trace transform emulates the canonical description: each
+direction's real bytes are re-serialised into an ``ell``-sized,
+``rho``-spaced packet train; the train lasts until data is exhausted
+and at least until ``tau``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.capture.trace import IN, OUT, Trace
+from repro.defenses.base import TraceDefense
+
+
+class BufloDefense(TraceDefense):
+    """Constant-bitrate re-serialisation with a minimum duration."""
+
+    name = "buflo"
+
+    def __init__(
+        self,
+        ell: int = 1500,
+        rho: float = 0.002,
+        tau: float = 10.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed)
+        if ell <= 0:
+            raise ValueError(f"ell must be positive, got {ell}")
+        if rho <= 0:
+            raise ValueError(f"rho must be positive, got {rho}")
+        if tau < 0:
+            raise ValueError(f"tau must be >= 0, got {tau}")
+        self.ell = ell
+        self.rho = rho
+        self.tau = tau
+
+    def _direction_train(self, trace: Trace, direction: int) -> List[tuple]:
+        """The CBR packet train carrying one direction's bytes."""
+        side = trace.filter_direction(direction)
+        total_bytes = int(side.sizes.sum())
+        needed = math.ceil(total_bytes / self.ell) if total_bytes else 0
+        # Run until data fits AND tau has elapsed.
+        slots = max(needed, math.ceil(self.tau / self.rho))
+        start = float(trace.times[0]) if len(trace) else 0.0
+        return [
+            (start + k * self.rho, direction, self.ell) for k in range(slots)
+        ]
+
+    def apply(self, trace: Trace, rng: Optional[np.random.Generator] = None) -> Trace:
+        if len(trace) == 0:
+            return trace
+        records = self._direction_train(trace, OUT) + self._direction_train(
+            trace, IN
+        )
+        return Trace.from_records(records)

@@ -1,0 +1,42 @@
+"""Split + delay combined (the paper's third protected dataset)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.capture.trace import IN, Trace
+from repro.defenses.base import TraceDefense
+from repro.defenses.delay import DelayDefense
+from repro.defenses.split import SplitDefense
+
+
+class CombinedDefense(TraceDefense):
+    """Apply splitting first, then delaying, as the paper combines
+    its two countermeasures."""
+
+    name = "combined"
+
+    def __init__(
+        self,
+        threshold: int = 1200,
+        factor: int = 2,
+        low: float = 0.10,
+        high: float = 0.30,
+        direction: Optional[int] = IN,
+        header_bytes: int = 0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed)
+        self.split = SplitDefense(
+            threshold=threshold, factor=factor, direction=direction,
+            header_bytes=header_bytes, seed=seed,
+        )
+        self.delay = DelayDefense(
+            low=low, high=high, direction=direction, seed=seed + 1
+        )
+
+    def apply(self, trace: Trace, rng: Optional[np.random.Generator] = None) -> Trace:
+        gen = self._rng(rng)
+        return self.delay.apply(self.split.apply(trace, gen), gen)

@@ -1,0 +1,67 @@
+"""Packet delaying (the paper's §3 second countermeasure).
+
+"To implement packet delaying, we increment the inter-arrival time
+between the original packet and the one before by 10-30%, where the
+percentage is drawn uniformly at random."  Applied to incoming
+(server->client) packets only, emulating server-side deployment, and
+kept small so added delay never approaches retransmission timeouts.
+
+Delays are necessarily cumulative — stretching one gap shifts every
+later packet of the same direction — which mirrors what an in-stack
+delay (a pacing gap) does to the rest of the connection.  Outgoing
+packets keep their original times except where monotonicity requires
+a shift.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.capture.trace import IN, Trace
+from repro.defenses.base import TraceDefense
+
+
+class DelayDefense(TraceDefense):
+    """Inflate inter-arrival times of one direction by U(low, high)."""
+
+    name = "delayed"
+
+    def __init__(
+        self,
+        low: float = 0.10,
+        high: float = 0.30,
+        direction: Optional[int] = IN,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed)
+        if not 0 <= low <= high:
+            raise ValueError(f"need 0 <= low <= high, got ({low}, {high})")
+        self.low = low
+        self.high = high
+        self.direction = direction
+
+    def apply(self, trace: Trace, rng: Optional[np.random.Generator] = None) -> Trace:
+        gen = self._rng(rng)
+        n = len(trace)
+        if n == 0:
+            return trace
+        new_times = np.empty(n)
+        new_times[0] = trace.times[0]
+        prev_new = trace.times[0]
+        for i in range(1, n):
+            iat = trace.times[i] - trace.times[i - 1]
+            applies = (
+                self.direction is None or trace.directions[i] == self.direction
+            )
+            if applies:
+                factor = 1.0 + float(gen.uniform(self.low, self.high))
+                candidate = prev_new + iat * factor
+            else:
+                # Undelayed direction keeps its schedule, but cannot
+                # depart before an already-delayed earlier packet.
+                candidate = max(trace.times[i], prev_new)
+            new_times[i] = candidate
+            prev_new = candidate
+        return Trace(new_times, trace.directions.copy(), trace.sizes.copy())

@@ -1,0 +1,73 @@
+"""HTTPOS-lite (Luo et al., NDSS 2011) — client-side obfuscation.
+
+HTTPOS is the paper's §2.3 example of how *client-only* defenses must
+contort the protocol: the client advertises a small MSS and receive
+window to force the server into small, client-clocked packets —
+"small MSS values apply for the connection lifetime and thus damage
+transmission efficiency".
+
+The trace emulation captures that behaviour: every incoming packet is
+re-chunked to the small advertised MSS, each chunk spaced by the
+serialisation + clocking delay the tiny window imposes, and outgoing
+requests get random pipelining delays.  The heavy latency overhead the
+paper criticises falls out of the mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.capture.trace import IN, OUT, Trace
+from repro.defenses.base import TraceDefense
+
+
+class HttposLiteDefense(TraceDefense):
+    """Small advertised MSS/window emulation."""
+
+    name = "httpos"
+
+    def __init__(
+        self,
+        advertised_mss: int = 536,
+        clock_delay: float = 0.001,
+        request_jitter: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed)
+        if advertised_mss < 64:
+            raise ValueError(
+                f"advertised_mss must be >= 64, got {advertised_mss}"
+            )
+        if clock_delay < 0 or request_jitter < 0:
+            raise ValueError("delays must be >= 0")
+        self.advertised_mss = advertised_mss
+        self.clock_delay = clock_delay
+        self.request_jitter = request_jitter
+
+    def apply(self, trace: Trace, rng: Optional[np.random.Generator] = None) -> Trace:
+        gen = self._rng(rng)
+        records: List[tuple] = []
+        # Accumulated delay from window clocking shifts later packets.
+        shift = 0.0
+        header = 52
+        for t, d, s in zip(trace.times, trace.directions, trace.sizes):
+            t = float(t) + shift
+            if d == IN and s > self.advertised_mss + header:
+                payload = int(s) - header
+                chunks = []
+                while payload > 0:
+                    take = min(payload, self.advertised_mss)
+                    chunks.append(take + header)
+                    payload -= take
+                for k, chunk in enumerate(chunks):
+                    records.append((t + k * self.clock_delay, IN, chunk))
+                shift += (len(chunks) - 1) * self.clock_delay
+            elif d == OUT:
+                jitter = float(gen.uniform(0, self.request_jitter))
+                shift += jitter
+                records.append((t + jitter, OUT, int(s)))
+            else:
+                records.append((t, d, int(s)))
+        return Trace.from_records(records)

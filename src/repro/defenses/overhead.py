@@ -1,0 +1,76 @@
+"""Overhead metrics for defenses (§2.3's cost axis).
+
+* **bandwidth overhead** — extra wire bytes relative to the original
+  trace (padding and header duplication both count);
+* **latency overhead** — relative increase of the trace duration
+  (time-to-last-byte).
+
+The paper's qualitative claims these metrics reproduce: FRONT ≈ 80 %
+bandwidth overhead, QCSD ≈ 309 %, packet splitting costs only extra
+headers, delaying costs no bandwidth but some latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.capture.dataset import Dataset
+from repro.capture.trace import Trace
+from repro.defenses.base import TraceDefense
+
+
+def bandwidth_overhead(original: Trace, defended: Trace) -> float:
+    """(defended bytes - original bytes) / original bytes."""
+    base = original.total_bytes
+    if base == 0:
+        raise ValueError("original trace has no bytes")
+    return (defended.total_bytes - base) / base
+
+
+def latency_overhead(original: Trace, defended: Trace) -> float:
+    """(defended duration - original duration) / original duration."""
+    base = original.duration
+    if base <= 0:
+        return 0.0
+    return (defended.duration - base) / base
+
+
+def packet_overhead(original: Trace, defended: Trace) -> float:
+    """Relative increase in packet count."""
+    if len(original) == 0:
+        raise ValueError("original trace has no packets")
+    return (len(defended) - len(original)) / len(original)
+
+
+def overhead_summary(
+    dataset: Dataset,
+    defense: TraceDefense,
+    max_traces: Optional[int] = None,
+) -> Dict[str, float]:
+    """Mean overheads of ``defense`` across a dataset.
+
+    Returns a dict with ``bandwidth``, ``latency`` and ``packets``
+    mean relative overheads plus the trace count used.
+    """
+    bw, lat, pkt = [], [], []
+    count = 0
+    for _label, trace in dataset:
+        if len(trace) == 0 or trace.total_bytes == 0:
+            continue
+        defended = defense.apply(trace)
+        bw.append(bandwidth_overhead(trace, defended))
+        lat.append(latency_overhead(trace, defended))
+        pkt.append(packet_overhead(trace, defended))
+        count += 1
+        if max_traces is not None and count >= max_traces:
+            break
+    if count == 0:
+        raise ValueError("dataset contained no usable traces")
+    return {
+        "bandwidth": float(np.mean(bw)),
+        "latency": float(np.mean(lat)),
+        "packets": float(np.mean(pkt)),
+        "n_traces": float(count),
+    }

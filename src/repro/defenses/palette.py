@@ -1,0 +1,119 @@
+"""Palette-lite: traffic-cluster anonymisation (Shen et al., S&P 2024).
+
+Palette regularises traces *per cluster*: pages with similar traffic
+are grouped, and every member is padded up to the cluster's
+"supertrace" so the attacker can at best identify the cluster, not the
+page.  This lite version clusters on incoming volume (quantile
+buckets) and pads each trace's download volume and packet count up to
+its cluster's maxima with trailing dummy packets.
+
+Unlike the per-trace defenses, Palette is *dataset-level*: the cluster
+boundaries come from a calibration set (:meth:`PaletteDefense.fit`),
+mirroring how the real system provisions cluster profiles ahead of
+time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.capture.dataset import Dataset
+from repro.capture.trace import IN, Trace
+from repro.defenses.base import TraceDefense
+
+DUMMY_SIZE = 1500
+
+
+class PaletteDefense(TraceDefense):
+    """Quantile-clustered volume/count regularisation."""
+
+    name = "palette"
+
+    def __init__(self, n_clusters: int = 4, rate: float = 6.25e6,
+                 seed: int = 0) -> None:
+        super().__init__(seed)
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.n_clusters = n_clusters
+        self.rate = rate
+        self._boundaries: Optional[np.ndarray] = None
+        self._target_bytes: Optional[np.ndarray] = None
+        self._target_packets: Optional[np.ndarray] = None
+
+    # -- calibration --------------------------------------------------------------
+
+    def fit(self, dataset: Dataset) -> "PaletteDefense":
+        """Derive cluster boundaries and supertrace targets."""
+        volumes = np.array(
+            [t.incoming_bytes for _l, t in dataset], dtype=np.float64
+        )
+        counts = np.array(
+            [len(t.filter_direction(IN)) for _l, t in dataset],
+            dtype=np.float64,
+        )
+        if len(volumes) < self.n_clusters:
+            raise ValueError(
+                f"need >= {self.n_clusters} traces to fit, got {len(volumes)}"
+            )
+        quantiles = np.linspace(0, 100, self.n_clusters + 1)[1:-1]
+        self._boundaries = np.percentile(volumes, quantiles)
+        cluster_of = np.digitize(volumes, self._boundaries)
+        self._target_bytes = np.array(
+            [
+                volumes[cluster_of == c].max() if np.any(cluster_of == c) else 0
+                for c in range(self.n_clusters)
+            ]
+        )
+        self._target_packets = np.array(
+            [
+                counts[cluster_of == c].max() if np.any(cluster_of == c) else 0
+                for c in range(self.n_clusters)
+            ]
+        )
+        return self
+
+    def fitted(self) -> bool:
+        return self._boundaries is not None
+
+    def cluster_of(self, trace: Trace) -> int:
+        if not self.fitted():
+            raise RuntimeError("PaletteDefense.fit() a calibration set first")
+        return int(np.digitize([trace.incoming_bytes], self._boundaries)[0])
+
+    # -- application ----------------------------------------------------------------
+
+    def apply(self, trace: Trace, rng=None) -> Trace:
+        if not self.fitted():
+            raise RuntimeError("PaletteDefense.fit() a calibration set first")
+        if len(trace) == 0:
+            return trace
+        cluster = self.cluster_of(trace)
+        pad_bytes = max(
+            0, int(self._target_bytes[cluster]) - trace.incoming_bytes
+        )
+        pad_packets = max(
+            int(np.ceil(pad_bytes / DUMMY_SIZE)),
+            int(self._target_packets[cluster])
+            - len(trace.filter_direction(IN)),
+        )
+        if pad_packets <= 0:
+            return trace
+        # Trailing dummy train at the padding rate.
+        start = float(trace.times[-1])
+        interval = DUMMY_SIZE / self.rate
+        records = [
+            (start + (k + 1) * interval, IN, DUMMY_SIZE)
+            for k in range(pad_packets)
+        ]
+        return trace.concat(Trace.from_records(records))
+
+
+def fit_palette(
+    dataset: Dataset, n_clusters: int = 4, seed: int = 0
+) -> PaletteDefense:
+    """Convenience: a fitted Palette defense for ``dataset``."""
+    return PaletteDefense(n_clusters=n_clusters, seed=seed).fit(dataset)

@@ -1,0 +1,112 @@
+"""RegulaTor (Holland & Hopper, PETS 2022) — surge-shaped regularisation.
+
+RegulaTor observes that page downloads begin with a surge of incoming
+packets whose rate decays.  It re-schedules *incoming* packets onto a
+canonical decaying-rate envelope ``R0 * d^t`` that restarts whenever a
+genuine new surge arrives, padding with dummies when the envelope has
+capacity but no real data is queued.  Outgoing packets are released at
+a fixed fraction of incoming ones.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.capture.trace import IN, OUT, Trace
+from repro.defenses.base import TraceDefense
+
+DUMMY_SIZE = 1500
+
+
+class RegulatorDefense(TraceDefense):
+    """Decaying-rate download envelope.
+
+    Parameters
+    ----------
+    initial_rate:
+        R0, packets/second at surge start.
+    decay:
+        d, per-second decay multiplier (0 < d < 1).
+    surge_threshold:
+        Queue length (packets) that restarts the surge.
+    upload_ratio:
+        One outgoing packet is released per ``1/upload_ratio`` incoming
+        slots.
+    padding_budget:
+        Maximum dummy packets injected when the envelope idles.
+    """
+
+    name = "regulator"
+
+    def __init__(
+        self,
+        initial_rate: float = 300.0,
+        decay: float = 0.8,
+        surge_threshold: int = 60,
+        upload_ratio: float = 0.25,
+        padding_budget: int = 300,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed)
+        if initial_rate <= 0:
+            raise ValueError(f"initial_rate must be positive, got {initial_rate}")
+        if not 0 < decay < 1:
+            raise ValueError(f"decay must be in (0, 1), got {decay}")
+        if surge_threshold < 1:
+            raise ValueError(f"surge_threshold must be >= 1, got {surge_threshold}")
+        if not 0 < upload_ratio <= 1:
+            raise ValueError(f"upload_ratio must be in (0, 1], got {upload_ratio}")
+        if padding_budget < 0:
+            raise ValueError(f"padding_budget must be >= 0, got {padding_budget}")
+        self.initial_rate = initial_rate
+        self.decay = decay
+        self.surge_threshold = surge_threshold
+        self.upload_ratio = upload_ratio
+        self.padding_budget = padding_budget
+
+    def apply(self, trace: Trace, rng: Optional[np.random.Generator] = None) -> Trace:
+        if len(trace) == 0:
+            return trace
+        incoming = trace.filter_direction(IN)
+        n_in = len(incoming)
+        start = float(trace.times[0])
+        records: List[tuple] = []
+
+        # Walk the envelope: at time t since surge start, instantaneous
+        # rate is R0 * d^t; the next slot is 1/rate later.
+        surge_start = start
+        t = start
+        sent = 0
+        queued_arrivals = incoming.times
+        padding_left = self.padding_budget
+        out_credit = 0.0
+        guard = 10 * (n_in + self.padding_budget) + 1000
+        while sent < n_in and guard > 0:
+            guard -= 1
+            elapsed = t - surge_start
+            rate = self.initial_rate * (self.decay ** elapsed)
+            slot = 1.0 / max(rate, 1e-3)
+            t += slot
+            backlog = int(np.searchsorted(queued_arrivals, t)) - sent
+            if backlog > self.surge_threshold:
+                # A genuine surge: restart the envelope.
+                surge_start = t
+            if backlog > 0:
+                records.append((t, IN, int(incoming.sizes[sent])))
+                sent += 1
+            elif padding_left > 0:
+                records.append((t, IN, DUMMY_SIZE))
+                padding_left -= 1
+            out_credit += self.upload_ratio
+            if out_credit >= 1.0:
+                out_credit -= 1.0
+                records.append((t, OUT, DUMMY_SIZE))
+        # Anything the guard cut off is flushed at the end (defensive;
+        # does not occur for realistic parameters).
+        for k in range(sent, n_in):
+            t += 1.0 / self.initial_rate
+            records.append((t, IN, int(incoming.sizes[k])))
+        return Trace.from_records(records)

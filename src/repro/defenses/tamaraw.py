@@ -1,0 +1,61 @@
+"""Tamaraw (Cai et al., CCS 2014) — per-direction CBR + length padding.
+
+Tamaraw refines BuFLO: each direction gets its own packet interval
+(incoming traffic is denser than outgoing), and the train length is
+padded up to the next multiple of ``pad_multiple`` packets so total
+lengths collapse into few anonymity sets.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.capture.trace import IN, OUT, Trace
+from repro.defenses.base import TraceDefense
+
+
+class TamarawDefense(TraceDefense):
+    """Per-direction CBR with train-length padding."""
+
+    name = "tamaraw"
+
+    def __init__(
+        self,
+        ell: int = 1500,
+        rho_out: float = 0.04,
+        rho_in: float = 0.012,
+        pad_multiple: int = 100,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed)
+        if ell <= 0:
+            raise ValueError(f"ell must be positive, got {ell}")
+        if rho_out <= 0 or rho_in <= 0:
+            raise ValueError("packet intervals must be positive")
+        if pad_multiple < 1:
+            raise ValueError(f"pad_multiple must be >= 1, got {pad_multiple}")
+        self.ell = ell
+        self.rho_out = rho_out
+        self.rho_in = rho_in
+        self.pad_multiple = pad_multiple
+
+    def _train(self, trace: Trace, direction: int, rho: float) -> List[tuple]:
+        side = trace.filter_direction(direction)
+        total_bytes = int(side.sizes.sum())
+        needed = math.ceil(total_bytes / self.ell) if total_bytes else 0
+        padded = (
+            math.ceil(max(needed, 1) / self.pad_multiple) * self.pad_multiple
+        )
+        start = float(trace.times[0]) if len(trace) else 0.0
+        return [(start + k * rho, direction, self.ell) for k in range(padded)]
+
+    def apply(self, trace: Trace, rng: Optional[np.random.Generator] = None) -> Trace:
+        if len(trace) == 0:
+            return trace
+        records = self._train(trace, OUT, self.rho_out) + self._train(
+            trace, IN, self.rho_in
+        )
+        return Trace.from_records(records)

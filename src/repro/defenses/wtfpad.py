@@ -1,0 +1,92 @@
+"""WTF-PAD (Juarez et al., 2016) — adaptive padding.
+
+WTF-PAD hides the statistically unusual inter-arrival gaps that delimit
+bursts: when a gap longer than what the token histograms consider a
+within-burst delay occurs, dummy packets are injected to simulate a
+fake burst.  No real packet is delayed.
+
+This implementation keeps the essential adaptive-padding machinery:
+per-direction gap histograms distinguishing *burst* mode (short gaps)
+from *gap* mode (long gaps); on observing a long silence it samples
+fake-burst dummy times until the real next packet arrives.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.capture.trace import Trace
+from repro.defenses.base import TraceDefense
+
+DUMMY_SIZE = 1500
+
+
+class WtfPadDefense(TraceDefense):
+    """Adaptive padding with exponential fake-burst gaps.
+
+    Parameters
+    ----------
+    gap_threshold:
+        Inter-arrival gaps longer than this (seconds) trigger fake
+        bursts — the boundary between the 'burst' and 'gap' histograms.
+    burst_scale:
+        Mean intra-burst dummy spacing (seconds).
+    fake_burst_max:
+        Maximum dummies per fake burst.
+    budget_factor:
+        Cap on total dummies: ``budget_factor * len(trace)``.
+    """
+
+    name = "wtfpad"
+
+    def __init__(
+        self,
+        gap_threshold: float = 0.008,
+        burst_scale: float = 0.002,
+        fake_burst_max: int = 12,
+        budget_factor: float = 1.5,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed)
+        if gap_threshold <= 0:
+            raise ValueError(f"gap_threshold must be positive, got {gap_threshold}")
+        if burst_scale <= 0:
+            raise ValueError(f"burst_scale must be positive, got {burst_scale}")
+        if fake_burst_max < 1:
+            raise ValueError(f"fake_burst_max must be >= 1, got {fake_burst_max}")
+        if budget_factor < 0:
+            raise ValueError(f"budget_factor must be >= 0, got {budget_factor}")
+        self.gap_threshold = gap_threshold
+        self.burst_scale = burst_scale
+        self.fake_burst_max = fake_burst_max
+        self.budget_factor = budget_factor
+
+    def apply(self, trace: Trace, rng: Optional[np.random.Generator] = None) -> Trace:
+        gen = self._rng(rng)
+        n = len(trace)
+        if n < 2:
+            return trace
+        budget = int(self.budget_factor * n)
+        dummies: List[tuple] = []
+        for i in range(1, n):
+            if budget <= 0:
+                break
+            gap = trace.times[i] - trace.times[i - 1]
+            if gap <= self.gap_threshold:
+                continue
+            # Fake burst continuing the previous packet's direction.
+            direction = int(trace.directions[i - 1])
+            burst_len = int(gen.integers(1, self.fake_burst_max + 1))
+            burst_len = min(burst_len, budget)
+            t = float(trace.times[i - 1])
+            for _ in range(burst_len):
+                t += float(gen.exponential(self.burst_scale))
+                if t >= trace.times[i]:
+                    break
+                dummies.append((t, direction, DUMMY_SIZE))
+                budget -= 1
+        if not dummies:
+            return trace
+        return trace.concat(Trace.from_records(dummies))

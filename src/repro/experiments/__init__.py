@@ -1,0 +1,34 @@
+"""Experiment runners: one module per table/figure of the paper.
+
+* :mod:`~repro.experiments.table2` — k-FP closed-world accuracy under
+  split/delay/combined countermeasures at N in {15, 30, 45, All}.
+* :mod:`~repro.experiments.figure3` — single-connection throughput
+  under the packet-size/TSO-size reduction sweep on a 100 Gb/s link.
+* :mod:`~repro.experiments.table1` — the defense taxonomy with
+  measured bandwidth/latency overheads.
+* :mod:`~repro.experiments.censorship` — accuracy-vs-prefix-length
+  curves (the §3 censorship argument).
+* :mod:`~repro.experiments.cca_interplay` — §5.1: throughput impact of
+  Stob actions under each congestion-control algorithm.
+* :mod:`~repro.experiments.cca_identification` — §5.2: passive CCA
+  identification with and without Stob.
+
+Extension ablations (testing the paper's claims beyond its own tables):
+
+* :mod:`~repro.experiments.enforcement` — emulated vs stack-enforced
+  defenses (the paper's core thesis, §2.3).
+* :mod:`~repro.experiments.work_conservation` — §2.3's padding vs
+  delaying vs splitting cost to a sharing flow.
+* :mod:`~repro.experiments.quic_vs_tcp` — §2.3's "the same will apply
+  to QUIC".
+* :mod:`~repro.experiments.open_world` — §3's closed-world upper-bound
+  caveat, quantified.
+* :mod:`~repro.experiments.attack_robustness` — §2.2's manipulation
+  taxonomy across attacker families (k-FP / CUMUL / kNN).
+* :mod:`~repro.experiments.parameter_sweep` — the §3 "ongoing work"
+  split/delay parameter grid.
+"""
+
+from repro.experiments.config import ExperimentConfig
+
+__all__ = ["ExperimentConfig"]

@@ -1,0 +1,122 @@
+"""§5.1 ablation: Stob actions vs congestion control.
+
+The paper argues packet-sequence control "may conflict with the CCA" —
+BBR uses pacing to probe the path, so external departure manipulation
+perturbs its model — and suggests gating obfuscation off in sensitive
+phases.  This experiment measures bulk-transfer goodput for each CCA
+under: no obfuscation, delaying, splitting, and delaying with the
+phase gate (no action during BBR STARTUP/DRAIN), plus the distortion
+of BBR's bandwidth estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.simnet.engine import Simulator
+from repro.simnet.path import NetworkPath
+from repro.stack.cc.base import CcPhase
+from repro.stack.host import make_flow
+from repro.stack.tcp import TcpConfig
+from repro.stob.actions import DelayAction, SplitAction
+from repro.stob.constraints import PhaseGate
+from repro.stob.controller import StobController
+from repro.units import mbps, msec, to_mbps
+
+
+@dataclass
+class InterplayResult:
+    cca: str
+    action: str
+    goodput_mbps: float
+    retransmissions: int
+    timeouts: int
+    #: BBR only: final bottleneck-bandwidth estimate relative to the
+    #: true path rate; None for loss-based CCAs.  The delivery-rate
+    #: estimator samples at segment granularity, so absolute values run
+    #: high — the *relative* change under obfuscation is the signal.
+    bw_estimate_ratio: Optional[float] = None
+
+
+def _make_controller(kind: str, seed: int) -> Optional[StobController]:
+    if kind == "none":
+        return None
+    if kind == "delay":
+        return StobController(
+            action=DelayAction(0.10, 0.30, rng=np.random.default_rng(seed))
+        )
+    if kind == "split":
+        return StobController(action=SplitAction(1200, 2))
+    if kind == "delay+gate":
+        return StobController(
+            action=DelayAction(0.10, 0.30, rng=np.random.default_rng(seed)),
+            gate=PhaseGate(gated=(CcPhase.STARTUP, CcPhase.DRAIN)),
+        )
+    raise ValueError(f"unknown action kind {kind!r}")
+
+
+def run_interplay(
+    ccas: tuple = ("reno", "cubic", "bbr"),
+    actions: tuple = ("none", "delay", "split", "delay+gate"),
+    rate_mbps: float = 100.0,
+    rtt_ms: float = 20.0,
+    transfer_mib: int = 30,
+    duration: float = 4.0,
+    seed: int = 0,
+) -> List[InterplayResult]:
+    """The goodput grid."""
+    results: List[InterplayResult] = []
+    for cca in ccas:
+        for kind in actions:
+            sim = Simulator()
+            path = NetworkPath(rate=mbps(rate_mbps), rtt=msec(rtt_ms))
+            flow = make_flow(
+                sim,
+                path,
+                client_config=TcpConfig(cc=cca),
+                server_config=TcpConfig(cc=cca),
+            )
+            controller = _make_controller(kind, seed)
+            if controller is not None:
+                flow.server.segment_controller = controller
+            total = transfer_mib * 1024 * 1024
+            flow.server.on_established = (
+                lambda f=flow, t=total: f.server.write(t)
+            )
+            flow.connect()
+            sim.run(until=duration)
+            got = flow.client.receive_buffer.delivered
+            elapsed = min(sim.now, duration)
+            ratio = None
+            if cca == "bbr":
+                estimate = flow.server.cca.btl_bw
+                ratio = estimate / path.rate if path.rate else None
+            results.append(
+                InterplayResult(
+                    cca=cca,
+                    action=kind,
+                    goodput_mbps=to_mbps(got / elapsed),
+                    retransmissions=flow.server.retransmissions,
+                    timeouts=flow.server.timeouts,
+                    bw_estimate_ratio=ratio,
+                )
+            )
+    return results
+
+
+def format_interplay(results: List[InterplayResult]) -> str:
+    lines = [
+        "§5.1 CCA interplay: bulk goodput under Stob actions",
+        f"{'cca':<7} {'action':<12} {'goodput(Mb/s)':>14} {'retx':>6} "
+        f"{'RTOs':>5} {'BBR bw est/true':>16}",
+    ]
+    for r in results:
+        ratio = f"{r.bw_estimate_ratio:.2f}" if r.bw_estimate_ratio else "-"
+        lines.append(
+            f"{r.cca:<7} {r.action:<12} {r.goodput_mbps:>14.1f} "
+            f"{r.retransmissions:>6} {r.timeouts:>5} {ratio:>16}"
+        )
+    return "\n".join(lines)

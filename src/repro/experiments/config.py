@@ -1,0 +1,27 @@
+"""Shared experiment configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.web.pageload import PageLoadConfig
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs shared by the evaluation pipeline.
+
+    The defaults reproduce the paper's setup: 9 sites, 100 samples,
+    IQR sanitisation (the paper ends at 74 traces/site), k-FP with a
+    random forest, 5-fold cross-validation for the ± std columns.
+    """
+
+    n_samples: int = 100
+    seed: int = 2025
+    n_folds: int = 5
+    n_estimators: int = 150
+    balance_to: int = 74
+    pageload: PageLoadConfig = field(default_factory=PageLoadConfig)
+    #: Packet-prefix lengths for the censorship setting (paper: 15/30/45
+    #: plus the full trace).
+    prefix_lengths: tuple = (15, 30, 45)

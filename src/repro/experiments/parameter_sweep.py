@@ -1,0 +1,119 @@
+"""Countermeasure parameter sweeps (the paper's declared next step).
+
+§3: "It is important to note that splitting packets also inherently
+adds a delay ... It may be that a combination of delay and packet size
+would have compound effects in the features and the overheads.  An
+evaluation of the effects of combinations of these variables and more
+complex defensive strategies is our ongoing work."
+
+This experiment runs that evaluation: a grid over the split threshold
+and the delay intensity, measuring k-FP accuracy (protection) and
+bandwidth/latency overheads (cost) at each point — the
+protection-vs-cost surface a deployer would tune on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.attacks.features.kfp import KfpFeatureExtractor
+from repro.capture.dataset import Dataset
+from repro.capture.sanitize import sanitize_dataset
+from repro.defenses.combined import CombinedDefense
+from repro.defenses.delay import DelayDefense
+from repro.defenses.overhead import overhead_summary
+from repro.defenses.split import SplitDefense
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.table2 import evaluate_dataset
+from repro.ml.metrics import mean_std
+from repro.web.pageload import collect_dataset
+
+#: Split thresholds (bytes).  The paper fixed 1200 "to prevent creating
+#: packets smaller than the minimum TCP MSS of 536 bytes"; lower values
+#: split more aggressively.
+SPLIT_THRESHOLDS = (1400, 1200, 1000, 800)
+#: Delay intensities: the (low, high) IAT inflation ranges.  The paper
+#: fixed (0.10, 0.30) "because larger delays could trigger
+#: retransmission timeouts".
+DELAY_RANGES = ((0.0, 0.0), (0.10, 0.30), (0.25, 0.75), (0.50, 1.50))
+
+
+@dataclass
+class SweepPoint:
+    split_threshold: Optional[int]
+    delay_low: float
+    delay_high: float
+    accuracy_mean: float
+    accuracy_std: float
+    bandwidth_overhead: float
+    latency_overhead: float
+
+
+def _defense(threshold: Optional[int], low: float, high: float, seed: int):
+    if threshold is not None and high > 0:
+        return CombinedDefense(
+            threshold=threshold, low=low, high=high, seed=seed
+        )
+    if threshold is not None:
+        return SplitDefense(threshold=threshold, seed=seed)
+    return DelayDefense(low=low, high=high, seed=seed)
+
+
+def run_parameter_sweep(
+    config: Optional[ExperimentConfig] = None,
+    dataset: Optional[Dataset] = None,
+    thresholds: tuple = SPLIT_THRESHOLDS,
+    delay_ranges: tuple = DELAY_RANGES,
+) -> List[SweepPoint]:
+    """The split-threshold x delay-intensity grid."""
+    config = config or ExperimentConfig()
+    if dataset is None:
+        dataset = collect_dataset(
+            n_samples=config.n_samples, config=config.pageload,
+            seed=config.seed,
+        )
+    clean, _ = sanitize_dataset(dataset, balance_to=config.balance_to)
+    extractor = KfpFeatureExtractor()
+    points: List[SweepPoint] = []
+    for threshold in thresholds:
+        for low, high in delay_ranges:
+            if high == 0 and threshold is None:
+                continue
+            defense = _defense(threshold, low, high, config.seed)
+            defended = clean.map(defense.apply)
+            mean, std = mean_std(
+                evaluate_dataset(defended, config, extractor)
+            )
+            cost = overhead_summary(clean, defense, max_traces=60)
+            points.append(
+                SweepPoint(
+                    split_threshold=threshold,
+                    delay_low=low,
+                    delay_high=high,
+                    accuracy_mean=mean,
+                    accuracy_std=std,
+                    bandwidth_overhead=cost["bandwidth"],
+                    latency_overhead=cost["latency"],
+                )
+            )
+    return points
+
+
+def format_parameter_sweep(points: List[SweepPoint]) -> str:
+    lines = [
+        "Countermeasure parameter sweep (the paper's §3 'ongoing work'):",
+        "k-FP accuracy and overheads per (split threshold, delay range)",
+        f"{'split':>6} {'delay':>12} {'accuracy':>16} {'bw ovh':>8} "
+        f"{'lat ovh':>8}",
+    ]
+    for p in points:
+        delay = f"{p.delay_low:.2f}-{p.delay_high:.2f}"
+        lines.append(
+            f"{p.split_threshold or '-':>6} {delay:>12} "
+            f"{p.accuracy_mean:>8.3f} ± {p.accuracy_std:.3f} "
+            f"{p.bandwidth_overhead:>+8.1%} {p.latency_overhead:>+8.1%}"
+        )
+    return "\n".join(lines)

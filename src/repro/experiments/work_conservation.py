@@ -1,0 +1,136 @@
+"""Work-conservation of the obfuscation primitives (§2.3).
+
+"Padding is worse than timing control, because it wastes network
+bandwidth in a non-work-conserving manner.  Timing manipulation, such
+as delaying packets, leaves the idle resource for other flows.  Using
+smaller packet sizes is not as harmful as padding."
+
+Setup: two flows share one bottleneck.  Flow A (the defended web
+server) applies one primitive — nothing, delaying, splitting, or
+constant-rate dummy padding.  Flow B is an innocent bulk transfer.
+Measured: flow B's goodput under each condition.  Padding should be
+the only primitive that visibly taxes B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.simnet.engine import Simulator
+from repro.simnet.path import NetworkPath
+from repro.stack.host import Host, link_hosts, next_flow_id
+from repro.stack.tcp import TcpConfig
+from repro.stob.actions import DelayAction, SplitAction
+from repro.stob.controller import StobController
+from repro.stob.cover import CoverTrafficShaper
+from repro.units import mbps, msec, to_mbps
+
+PRIMITIVES = ("none", "delay", "split", "padding")
+
+
+@dataclass
+class WorkConservationResult:
+    primitive: str
+    victim_goodput_mbps: float
+    defended_goodput_mbps: float
+    cover_mbps: float
+
+
+def _run_condition(
+    primitive: str,
+    rate_mbps: float,
+    rtt_ms: float,
+    duration: float,
+    padding_fraction: float,
+    seed: int,
+) -> WorkConservationResult:
+    sim = Simulator()
+    path = NetworkPath(rate=mbps(rate_mbps), rtt=msec(rtt_ms), buffer_bdp=1.5)
+    server = Host(sim, "servers")
+    client = Host(sim, "clients")
+    # Both flows originate at the server host: its access link is the
+    # shared bottleneck.
+    reverse, forward = link_hosts(sim, server, client, path)
+
+    flow_a = next_flow_id()
+    flow_b = next_flow_id()
+    a_tx = server.add_endpoint(flow_a, direction=-1, config=TcpConfig())
+    a_rx = client.add_endpoint(flow_a, direction=1, config=TcpConfig())
+    b_tx = server.add_endpoint(flow_b, direction=-1, config=TcpConfig())
+    b_rx = client.add_endpoint(flow_b, direction=1, config=TcpConfig())
+
+    shaper = None
+    if primitive == "delay":
+        a_tx.segment_controller = StobController(
+            action=DelayAction(0.10, 0.30, rng=np.random.default_rng(seed))
+        )
+    elif primitive == "split":
+        a_tx.segment_controller = StobController(action=SplitAction(1200, 2))
+    elif primitive == "padding":
+        shaper = CoverTrafficShaper(
+            sim, a_tx, rate_bytes_per_sec=mbps(rate_mbps * padding_fraction)
+        )
+    elif primitive != "none":
+        raise ValueError(f"unknown primitive {primitive!r}")
+
+    # Flow A: a moderate, application-limited stream (a busy web
+    # server's share); Flow B: greedy bulk.
+    chunk = int(mbps(rate_mbps) * 0.25 * 0.05)  # 25% load in 50ms chunks
+
+    def feed_a() -> None:
+        a_tx.write(chunk)
+        sim.schedule(0.05, feed_a)
+
+    def start_a() -> None:
+        feed_a()
+        if shaper is not None:
+            shaper.start()
+
+    a_tx.on_established = start_a
+    b_tx.on_established = lambda: b_tx.write(1 << 30)
+
+    a_rx.connect()
+    b_rx.connect()
+    sim.run(until=duration)
+    return WorkConservationResult(
+        primitive=primitive,
+        victim_goodput_mbps=to_mbps(b_tx.delivered / duration),
+        defended_goodput_mbps=to_mbps(a_tx.delivered / duration),
+        cover_mbps=to_mbps((shaper.injected_bytes if shaper else 0) / duration),
+    )
+
+
+def run_work_conservation(
+    rate_mbps: float = 50.0,
+    rtt_ms: float = 20.0,
+    duration: float = 6.0,
+    padding_fraction: float = 0.4,
+    seed: int = 0,
+) -> List[WorkConservationResult]:
+    """B's goodput under each of A's obfuscation primitives."""
+    return [
+        _run_condition(
+            primitive, rate_mbps, rtt_ms, duration, padding_fraction, seed
+        )
+        for primitive in PRIMITIVES
+    ]
+
+
+def format_work_conservation(
+    results: List[WorkConservationResult],
+) -> str:
+    lines = [
+        "§2.3 work conservation: a victim bulk flow shares the bottleneck "
+        "with a defended server",
+        f"{'primitive':<10} {'victim goodput(Mb/s)':>21} "
+        f"{'defended goodput':>17} {'cover traffic':>14}",
+    ]
+    for r in results:
+        lines.append(
+            f"{r.primitive:<10} {r.victim_goodput_mbps:>21.1f} "
+            f"{r.defended_goodput_mbps:>17.1f} {r.cover_mbps:>14.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,34 @@
+"""From-scratch machine learning used by the WF attacks.
+
+scikit-learn is not available offline, so this package implements the
+pieces k-FP needs from first principles, vectorised with numpy:
+
+* :class:`~repro.ml.tree.DecisionTree` — CART with gini impurity,
+* :class:`~repro.ml.forest.RandomForest` — bagging + feature
+  subsampling + out-of-bag scoring + per-tree leaf indices (k-FP's
+  fingerprint vectors),
+* :class:`~repro.ml.knn.KNeighborsClassifier` — brute-force k-NN with
+  euclidean or hamming distance,
+* metrics and stratified cross-validation helpers.
+"""
+
+from repro.ml.tree import DecisionTree
+from repro.ml.forest import RandomForest
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    precision_recall_f1,
+)
+from repro.ml.validate import cross_validate_accuracy, stratified_kfold_indices
+
+__all__ = [
+    "DecisionTree",
+    "RandomForest",
+    "KNeighborsClassifier",
+    "accuracy_score",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "cross_validate_accuracy",
+    "stratified_kfold_indices",
+]

@@ -1,0 +1,114 @@
+"""Random forest built on :class:`repro.ml.tree.DecisionTree`.
+
+Standard Breiman forest: bootstrap-resampled trees with per-node
+feature subsampling.  Extras the k-FP attack relies on:
+
+* :meth:`RandomForest.apply` — the (n_samples, n_trees) matrix of leaf
+  indices, k-FP's "fingerprint" representation;
+* out-of-bag accuracy for honest in-training evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.tree import DecisionTree
+
+
+class RandomForest:
+    """Bagged CART ensemble."""
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features="sqrt",
+        oob_score: bool = False,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.oob_score = oob_score
+        self.random_state = random_state
+        self.trees_: List[DecisionTree] = []
+        self.n_classes_: int = 0
+        self.oob_score_: Optional[float] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForest":
+        """Fit the ensemble."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if len(X) != len(y):
+            raise ValueError(f"X has {len(X)} rows but y has {len(y)}")
+        n = len(X)
+        self.n_classes_ = int(y.max()) + 1
+        root = np.random.default_rng(self.random_state)
+        seeds = root.spawn(self.n_estimators)
+        self.trees_ = []
+        oob_votes = (
+            np.zeros((n, self.n_classes_)) if self.oob_score else None
+        )
+        for tree_rng in seeds:
+            sample = tree_rng.integers(0, n, size=n)
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                rng=tree_rng,
+            )
+            tree.fit(X[sample], y[sample], n_classes=self.n_classes_)
+            self.trees_.append(tree)
+            if oob_votes is not None:
+                mask = np.ones(n, dtype=bool)
+                mask[np.unique(sample)] = False
+                if np.any(mask):
+                    oob_votes[mask] += tree.predict_proba(X[mask])
+        if oob_votes is not None:
+            voted = oob_votes.sum(axis=1) > 0
+            if np.any(voted):
+                predictions = np.argmax(oob_votes[voted], axis=1)
+                self.oob_score_ = float(np.mean(predictions == y[voted]))
+        return self
+
+    def _check_fitted(self) -> None:
+        if not self.trees_:
+            raise RuntimeError("forest is not fitted")
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Mean leaf class distribution across trees."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        proba = np.zeros((len(X), self.n_classes_))
+        for tree in self.trees_:
+            proba += tree.predict_proba(X)
+        return proba / len(self.trees_)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Soft-voted class labels."""
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf indices: shape (n_samples, n_estimators).
+
+        Two samples landing in the same leaves across many trees are
+        similar in the forest's metric — the basis of k-FP's k-NN
+        matching stage.
+        """
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        return np.column_stack([tree.apply(X) for tree in self.trees_])
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy on (X, y)."""
+        y = np.asarray(y, dtype=np.int64)
+        return float(np.mean(self.predict(X) == y))

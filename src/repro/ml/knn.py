@@ -1,0 +1,98 @@
+"""Brute-force k-nearest-neighbour classifier.
+
+Supports euclidean distance (standard) and hamming distance over
+integer codes — the latter is what k-FP uses to match random-forest
+leaf vectors between test and training samples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class KNeighborsClassifier:
+    """k-NN with euclidean or hamming distance."""
+
+    def __init__(self, n_neighbors: int = 3, metric: str = "euclidean") -> None:
+        if n_neighbors < 1:
+            raise ValueError(f"n_neighbors must be >= 1, got {n_neighbors}")
+        if metric not in ("euclidean", "hamming"):
+            raise ValueError(f"metric must be euclidean or hamming, got {metric!r}")
+        self.n_neighbors = n_neighbors
+        self.metric = metric
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self.n_classes_: int = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        X = np.asarray(X)
+        y = np.asarray(y, dtype=np.int64)
+        if len(X) != len(y):
+            raise ValueError(f"X has {len(X)} rows but y has {len(y)}")
+        if len(X) < self.n_neighbors:
+            raise ValueError(
+                f"need at least n_neighbors={self.n_neighbors} samples, got {len(X)}"
+            )
+        self._X = X
+        self._y = y
+        self.n_classes_ = int(y.max()) + 1
+        return self
+
+    def _distances(self, X: np.ndarray) -> np.ndarray:
+        """(n_test, n_train) distance matrix."""
+        if self.metric == "euclidean":
+            a = np.asarray(X, dtype=np.float64)
+            b = np.asarray(self._X, dtype=np.float64)
+            aa = np.sum(a * a, axis=1)[:, None]
+            bb = np.sum(b * b, axis=1)[None, :]
+            sq = np.maximum(aa + bb - 2.0 * (a @ b.T), 0.0)
+            return np.sqrt(sq)
+        # Hamming over integer codes, computed in column blocks to keep
+        # the boolean intermediates small.
+        a = np.asarray(X)
+        b = np.asarray(self._X)
+        out = np.zeros((len(a), len(b)), dtype=np.float64)
+        block = 32
+        for start in range(0, a.shape[1], block):
+            stop = min(start + block, a.shape[1])
+            out += np.sum(
+                a[:, None, start:stop] != b[None, :, start:stop], axis=2
+            )
+        return out / a.shape[1]
+
+    def kneighbors(self, X: np.ndarray) -> np.ndarray:
+        """Indices of the k nearest training samples per row."""
+        if self._X is None:
+            raise RuntimeError("classifier is not fitted")
+        distances = self._distances(X)
+        k = self.n_neighbors
+        # argpartition then sort the k candidates for deterministic order.
+        part = np.argpartition(distances, k - 1, axis=1)[:, :k]
+        rows = np.arange(len(X))[:, None]
+        order = np.argsort(distances[rows, part], axis=1, kind="stable")
+        return part[rows, order]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority vote among the k nearest neighbours."""
+        neighbors = self.kneighbors(X)
+        votes = self._y[neighbors]
+        out = np.empty(len(X), dtype=np.int64)
+        for i, row in enumerate(votes):
+            out[i] = np.bincount(row, minlength=self.n_classes_).argmax()
+        return out
+
+    def predict_unanimous(self, X: np.ndarray, fallback: int = -1) -> np.ndarray:
+        """k-FP style strict vote: a label only when all k neighbours
+        agree, else ``fallback`` (used for open-world precision)."""
+        neighbors = self.kneighbors(X)
+        votes = self._y[neighbors]
+        unanimous = np.all(votes == votes[:, :1], axis=1)
+        out = np.full(len(X), fallback, dtype=np.int64)
+        out[unanimous] = votes[unanimous, 0]
+        return out
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        y = np.asarray(y, dtype=np.int64)
+        return float(np.mean(self.predict(X) == y))

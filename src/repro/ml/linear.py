@@ -1,0 +1,96 @@
+"""Linear classifiers trained by SGD (no scikit-learn available).
+
+:class:`LinearSVC` is a one-vs-rest L2-regularised hinge-loss linear
+classifier (Pegasos-style SGD) — the classifier family behind the
+CUMUL website-fingerprinting attack (the original uses an RBF SVM; a
+linear one on the same features is the standard cheap variant).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class LinearSVC:
+    """One-vs-rest linear SVM via Pegasos SGD.
+
+    Parameters
+    ----------
+    lam:
+        L2 regularisation strength (Pegasos lambda).
+    epochs:
+        Full passes over the training set.
+    random_state:
+        Seed for shuffling.
+    """
+
+    def __init__(
+        self,
+        lam: float = 1e-4,
+        epochs: int = 30,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if lam <= 0:
+            raise ValueError(f"lam must be positive, got {lam}")
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        self.lam = lam
+        self.epochs = epochs
+        self.random_state = random_state
+        self.coef_: Optional[np.ndarray] = None  # (n_classes, d)
+        self.intercept_: Optional[np.ndarray] = None
+        self.n_classes_: int = 0
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    def _normalise(self, X: np.ndarray) -> np.ndarray:
+        return (X - self._mean) / self._std
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVC":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if len(X) != len(y):
+            raise ValueError(f"X has {len(X)} rows but y has {len(y)}")
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        self._std = np.where(std > 0, std, 1.0)
+        Xn = self._normalise(X)
+        n, d = Xn.shape
+        self.n_classes_ = int(y.max()) + 1
+        rng = np.random.default_rng(self.random_state)
+        self.coef_ = np.zeros((self.n_classes_, d))
+        self.intercept_ = np.zeros(self.n_classes_)
+        step = 0
+        for cls in range(self.n_classes_):
+            target = np.where(y == cls, 1.0, -1.0)
+            w = np.zeros(d)
+            b = 0.0
+            t = 0
+            for _epoch in range(self.epochs):
+                for index in rng.permutation(n):
+                    t += 1
+                    eta = 1.0 / (self.lam * t)
+                    margin = target[index] * (Xn[index] @ w + b)
+                    w *= 1.0 - eta * self.lam
+                    if margin < 1.0:
+                        w += eta * target[index] * Xn[index]
+                        b += eta * target[index] * 0.01
+            self.coef_[cls] = w
+            self.intercept_[cls] = b
+            step += t
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("classifier is not fitted")
+        Xn = self._normalise(np.asarray(X, dtype=np.float64))
+        return Xn @ self.coef_.T + self.intercept_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return np.argmax(self.decision_function(X), axis=1)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        y = np.asarray(y, dtype=np.int64)
+        return float(np.mean(self.predict(X) == y))

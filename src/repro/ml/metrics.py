@@ -1,0 +1,61 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) != len(y_pred):
+        raise ValueError(
+            f"length mismatch: y_true={len(y_true)} y_pred={len(y_pred)}"
+        )
+    if len(y_true) == 0:
+        raise ValueError("cannot score empty arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """Counts[i, j] = samples with true class i predicted as j."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-class precision, recall and F1 (zero where undefined)."""
+    matrix = confusion_matrix(y_true, y_pred, n_classes).astype(np.float64)
+    tp = np.diag(matrix)
+    predicted = matrix.sum(axis=0)
+    actual = matrix.sum(axis=1)
+    precision = np.divide(
+        tp, predicted, out=np.zeros(n_classes), where=predicted > 0
+    )
+    recall = np.divide(tp, actual, out=np.zeros(n_classes), where=actual > 0)
+    denom = precision + recall
+    f1 = np.divide(
+        2 * precision * recall, denom, out=np.zeros(n_classes), where=denom > 0
+    )
+    return precision, recall, f1
+
+
+def mean_std(values) -> Tuple[float, float]:
+    """Mean and sample standard deviation (ddof=1 when possible) —
+    the ``x.xxx ± y.yyy`` format of the paper's Table 2."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if len(arr) == 0:
+        raise ValueError("no values")
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if len(arr) > 1 else 0.0
+    return mean, std

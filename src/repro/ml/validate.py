@@ -1,0 +1,53 @@
+"""Cross-validation helpers."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Tuple
+
+import numpy as np
+
+
+def stratified_kfold_indices(
+    y: np.ndarray, n_folds: int, rng: np.random.Generator
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield (train_idx, test_idx) pairs with per-class balance."""
+    y = np.asarray(y, dtype=np.int64)
+    if n_folds < 2:
+        raise ValueError(f"need at least 2 folds, got {n_folds}")
+    fold_of = np.empty(len(y), dtype=np.int64)
+    for cls in np.unique(y):
+        members = np.nonzero(y == cls)[0]
+        if len(members) < n_folds:
+            raise ValueError(
+                f"class {cls} has {len(members)} samples; cannot make "
+                f"{n_folds} folds"
+            )
+        shuffled = rng.permutation(members)
+        fold_of[shuffled] = np.arange(len(members)) % n_folds
+    for fold in range(n_folds):
+        test_idx = np.nonzero(fold_of == fold)[0]
+        train_idx = np.nonzero(fold_of != fold)[0]
+        yield train_idx, test_idx
+
+
+def cross_validate_accuracy(
+    make_model: Callable[[], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    n_folds: int = 5,
+    rng: np.random.Generator = None,
+) -> List[float]:
+    """Fit/score ``make_model()`` across stratified folds.
+
+    The model must expose ``fit(X, y)`` and ``score(X, y)``.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    X = np.asarray(X)
+    y = np.asarray(y, dtype=np.int64)
+    scores: List[float] = []
+    for train_idx, test_idx in stratified_kfold_indices(y, n_folds, rng):
+        model = make_model()
+        model.fit(X[train_idx], y[train_idx])
+        scores.append(float(model.score(X[test_idx], y[test_idx])))
+    return scores

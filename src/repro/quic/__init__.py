@@ -1,0 +1,25 @@
+"""QUIC-lite: a userspace transport over UDP.
+
+§2.3: "This observation is based on TCP, but the same will apply to
+QUIC.  Although it runs on top of UDP, since QUIC also provides stream
+abstractions, packet size is determined by QUIC based on its PMTU
+discovery.  Datagram transmission to the UDP layer is also scheduled
+by QUIC based on its congestion control, rather than the application."
+
+This package models exactly that: a QUIC endpoint with
+
+* stream data packetised into PMTU-sized datagrams (QUIC decides, not
+  the application),
+* packet-number-based loss detection (time + packet thresholds, no
+  retransmission of packets — lost data is re-packetised),
+* the same pluggable congestion controllers as TCP (Reno/CUBIC/BBR),
+* internal pacing (QUIC paces in userspace),
+* native PADDING support (cover traffic without a TLS-record hack),
+* the same Stob controller hooks as the TCP endpoint — making the
+  paper's point that the obfuscation layer can be transport-agnostic.
+"""
+
+from repro.quic.packet import QuicPacket
+from repro.quic.endpoint import QuicConfig, QuicEndpoint, make_quic_flow
+
+__all__ = ["QuicPacket", "QuicConfig", "QuicEndpoint", "make_quic_flow"]

@@ -1,0 +1,24 @@
+"""Discrete-event network simulator.
+
+The simulator is intentionally small and fully deterministic: a binary
+heap of timestamped events, links that model serialization plus
+propagation delay, drop-tail queues, and a :class:`~repro.simnet.path.NetworkPath`
+convenience wrapper describing an end-to-end path (rate, RTT, buffer).
+
+All higher layers (``repro.stack``, ``repro.web``) are built on this
+package.
+"""
+
+from repro.simnet.engine import Event, EventLoop, Simulator
+from repro.simnet.entities import DropTailQueue, Link, Wire
+from repro.simnet.path import NetworkPath
+
+__all__ = [
+    "Event",
+    "EventLoop",
+    "Simulator",
+    "DropTailQueue",
+    "Link",
+    "Wire",
+    "NetworkPath",
+]

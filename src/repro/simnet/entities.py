@@ -1,0 +1,184 @@
+"""Network entities: wires, links and drop-tail queues.
+
+A *packet* for this layer is any object exposing a ``wire_size``
+attribute (bytes occupied on the wire, headers included).  The stack
+layer's :class:`repro.stack.packet.Packet` satisfies this.
+
+``Link`` models the two delays every real link has:
+
+* **serialization** — ``wire_size / rate`` of exclusive transmitter use,
+* **propagation** — a constant delay after serialization completes.
+
+Packets arriving while the transmitter is busy wait in a drop-tail
+queue; when the queue byte-capacity is exceeded the packet is dropped
+(and counted), which is what closed-loop congestion control reacts to.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional
+
+import numpy as np
+
+from repro.simnet.engine import Simulator
+from repro.units import serialization_delay
+
+Receiver = Callable[[Any], None]
+
+
+class Wire:
+    """A propagation-delay-only connector (infinite bandwidth).
+
+    Useful for modelling the host-internal hop between stack layers
+    where serialization is accounted for elsewhere.
+    """
+
+    def __init__(self, sim: Simulator, delay: float, receiver: Receiver) -> None:
+        if delay < 0:
+            raise ValueError(f"propagation delay must be >= 0, got {delay}")
+        self._sim = sim
+        self.delay = delay
+        self._receiver = receiver
+        self.delivered = 0
+
+    def send(self, packet: Any) -> None:
+        """Deliver ``packet`` after the propagation delay."""
+        self._sim.schedule(self.delay, lambda: self._deliver(packet))
+
+    def _deliver(self, packet: Any) -> None:
+        self.delivered += 1
+        self._receiver(packet)
+
+
+class DropTailQueue:
+    """A byte-bounded FIFO with drop statistics.
+
+    ``capacity_bytes`` of 0 means "no buffering": a packet is only
+    accepted when the queue is empty and the link idle (handled by the
+    caller).  ``None`` means unbounded.
+    """
+
+    def __init__(self, capacity_bytes: Optional[int]) -> None:
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._items: Deque[Any] = deque()
+        self._bytes = 0
+        self.enqueued = 0
+        self.dropped = 0
+        #: Running peak occupancy in bytes; a cheap bottleneck-behaviour
+        #: signal used by the passive CCA identifier (paper §5.2).
+        self.peak_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def bytes(self) -> int:
+        """Current occupancy in bytes."""
+        return self._bytes
+
+    def try_push(self, packet: Any) -> bool:
+        """Enqueue ``packet``; return False (and count a drop) if full."""
+        size = packet.wire_size
+        if self.capacity_bytes is not None and self._bytes + size > self.capacity_bytes:
+            self.dropped += 1
+            return False
+        self._items.append(packet)
+        self._bytes += size
+        self.enqueued += 1
+        if self._bytes > self.peak_bytes:
+            self.peak_bytes = self._bytes
+        return True
+
+    def pop(self) -> Any:
+        """Dequeue the head packet.  Raises IndexError when empty."""
+        packet = self._items.popleft()
+        self._bytes -= packet.wire_size
+        return packet
+
+
+class Link:
+    """A rate-limited link with a drop-tail buffer and propagation delay.
+
+    Optionally applies independent random loss (``loss_rate``) and
+    per-packet propagation jitter, both driven by a caller-supplied
+    ``numpy.random.Generator`` so runs are reproducible.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bytes_per_sec: float,
+        propagation_delay: float,
+        receiver: Receiver,
+        queue_capacity_bytes: Optional[int] = None,
+        loss_rate: float = 0.0,
+        jitter: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if rate_bytes_per_sec <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bytes_per_sec}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {loss_rate}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        if (loss_rate > 0 or jitter > 0) and rng is None:
+            raise ValueError("loss_rate/jitter require an rng for determinism")
+        self._sim = sim
+        self.rate = rate_bytes_per_sec
+        self.propagation_delay = propagation_delay
+        self._receiver = receiver
+        self.queue = DropTailQueue(queue_capacity_bytes)
+        self.loss_rate = loss_rate
+        self.jitter = jitter
+        self._rng = rng
+        self._busy = False
+        self.sent_packets = 0
+        self.sent_bytes = 0
+        #: Simulated time at which the transmitter last went idle; used
+        #: to compute utilisation.
+        self.busy_time = 0.0
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, packet: Any) -> bool:
+        """Offer ``packet`` to the link.
+
+        Returns False when the packet was dropped at the queue tail.
+        """
+        if not self.queue.try_push(packet):
+            return False
+        if not self._busy:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        packet = self.queue.pop()
+        self._busy = True
+        tx_time = serialization_delay(packet.wire_size, self.rate)
+        self.busy_time += tx_time
+        self._sim.schedule(tx_time, lambda: self._tx_done(packet))
+
+    def _tx_done(self, packet: Any) -> None:
+        self.sent_packets += 1
+        self.sent_bytes += packet.wire_size
+        delay = self.propagation_delay
+        if self.jitter > 0:
+            delay += float(self._rng.uniform(0.0, self.jitter))
+        dropped = self.loss_rate > 0 and float(self._rng.random()) < self.loss_rate
+        if not dropped:
+            self._sim.schedule(delay, lambda: self._receiver(packet))
+        if len(self.queue):
+            self._start_next()
+        else:
+            self._busy = False
+
+    # -- introspection -----------------------------------------------------
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds the transmitter was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)

@@ -1,0 +1,109 @@
+"""End-to-end path description and construction helpers.
+
+A :class:`NetworkPath` captures the handful of parameters that matter to
+a transport protocol — bottleneck rate, round-trip propagation delay,
+bottleneck buffer size, loss and jitter — and can materialise the
+forward/reverse :class:`~repro.simnet.entities.Link` pair between two
+endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.simnet.engine import Simulator
+from repro.simnet.entities import Link
+from repro.units import ETHERNET_MTU, gbps, msec
+
+
+@dataclass
+class NetworkPath:
+    """Parameters of an end-to-end network path.
+
+    Attributes
+    ----------
+    rate:
+        Bottleneck rate in bytes/second (both directions).
+    rtt:
+        Round-trip *propagation* delay in seconds (split evenly between
+        the two directions).  Queueing delay comes on top, from the
+        bottleneck buffer.
+    buffer_bdp:
+        Bottleneck drop-tail buffer expressed as a multiple of the
+        bandwidth-delay product.  1.0 is the classic "one BDP" router.
+    loss_rate:
+        Independent random loss probability per packet per direction.
+    jitter:
+        Maximum uniform extra propagation delay per packet (seconds).
+    """
+
+    rate: float = gbps(1)
+    rtt: float = msec(20)
+    buffer_bdp: float = 1.0
+    loss_rate: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"path rate must be positive, got {self.rate}")
+        if self.rtt < 0:
+            raise ValueError(f"path RTT must be >= 0, got {self.rtt}")
+        if self.buffer_bdp < 0:
+            raise ValueError(f"buffer_bdp must be >= 0, got {self.buffer_bdp}")
+
+    @property
+    def bdp_bytes(self) -> int:
+        """Bandwidth-delay product in bytes."""
+        return int(self.rate * self.rtt)
+
+    @property
+    def buffer_bytes(self) -> int:
+        """Bottleneck buffer size in bytes (at least a handful of MTUs,
+        so tiny-RTT test paths still behave like store-and-forward
+        routers rather than dropping every burst)."""
+        return max(int(self.bdp_bytes * self.buffer_bdp), 8 * ETHERNET_MTU)
+
+    @property
+    def one_way_delay(self) -> float:
+        """Propagation delay of a single direction."""
+        return self.rtt / 2.0
+
+    def build_links(
+        self,
+        sim: Simulator,
+        forward_receiver: Callable[[Any], None],
+        reverse_receiver: Callable[[Any], None],
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[Link, Link]:
+        """Create the forward (data) and reverse (ACK) links.
+
+        The reverse link gets the same parameters; for the dominant
+        data-transfer direction the forward link is the bottleneck
+        because ACKs are small.
+        """
+        if (self.loss_rate > 0 or self.jitter > 0) and rng is None:
+            rng = np.random.default_rng(0)
+        forward = Link(
+            sim,
+            rate_bytes_per_sec=self.rate,
+            propagation_delay=self.one_way_delay,
+            receiver=forward_receiver,
+            queue_capacity_bytes=self.buffer_bytes,
+            loss_rate=self.loss_rate,
+            jitter=self.jitter,
+            rng=rng,
+        )
+        reverse = Link(
+            sim,
+            rate_bytes_per_sec=self.rate,
+            propagation_delay=self.one_way_delay,
+            receiver=reverse_receiver,
+            queue_capacity_bytes=self.buffer_bytes,
+            loss_rate=self.loss_rate,
+            jitter=self.jitter,
+            rng=rng,
+        )
+        return forward, reverse

@@ -1,0 +1,40 @@
+"""Host network-stack model.
+
+This package models the shaded region of the paper's Figure 1: the
+layers between the transport protocol implementation and NIC I/O,
+inclusive.  It reproduces the behaviours the paper argues make
+application-level WF defenses unenforceable:
+
+* deferred transmission when the congestion/receive window closes
+  (``tcp.py``),
+* queuing disciplines and pacing below the transport (``qdisc.py``,
+  ``pacing.py``),
+* TCP segmentation offload creating line-rate micro-bursts of
+  fixed-size packets (``tso.py``, ``nic.py``),
+* a CPU cost model that makes small packets and small TSO batches
+  expensive (``nic.py``), which is what the paper's Figure 3 measures.
+
+The Stob framework (``repro.stob``) hooks into
+:class:`~repro.stack.tcp.TcpEndpoint` through the
+``segment_controller`` interface defined here.
+"""
+
+from repro.stack.packet import Packet, TsoSegment
+from repro.stack.buffers import ReceiveBuffer, SendBuffer
+from repro.stack.nic import CpuModel, Nic
+from repro.stack.tcp import TcpEndpoint, TcpConfig
+from repro.stack.host import Host, TcpFlow, make_flow
+
+__all__ = [
+    "Packet",
+    "TsoSegment",
+    "SendBuffer",
+    "ReceiveBuffer",
+    "CpuModel",
+    "Nic",
+    "TcpEndpoint",
+    "TcpConfig",
+    "Host",
+    "TcpFlow",
+    "make_flow",
+]

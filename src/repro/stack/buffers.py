@@ -1,0 +1,218 @@
+"""Socket send/receive buffers.
+
+The send buffer models the asynchrony §2.3 highlights: ``send()`` copies
+application data into the buffer and *returns*; the stack transmits it
+later, whenever windows allow.  Only byte counts are tracked — payload
+contents are irrelevant to every experiment.
+
+The receive buffer reassembles the byte stream (tracking the cumulative
+ACK point) and hands contiguous data to the application.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.stack import intervals
+
+
+class SendBuffer:
+    """A bytestream send buffer with an application backpressure limit.
+
+    Positions are absolute stream offsets:
+
+    ``una`` <= ``nxt`` <= ``end``
+
+    * ``una`` — first unacknowledged byte,
+    * ``nxt`` — next byte to transmit for the first time,
+    * ``end`` — one past the last byte the application has written.
+    """
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        if limit is not None and limit <= 0:
+            raise ValueError(f"send buffer limit must be positive, got {limit}")
+        self.limit = limit
+        self.una = 0
+        self.nxt = 0
+        self.end = 0
+        #: Stream offsets at which the application marked a message
+        #: boundary (used by the web layer to delimit HTTP exchanges).
+        self._marks: List[Tuple[int, Callable[[], None]]] = []
+
+    # -- application side ----------------------------------------------------
+
+    @property
+    def buffered(self) -> int:
+        """Bytes written but not yet acknowledged (socket memory in use)."""
+        return self.end - self.una
+
+    @property
+    def unsent(self) -> int:
+        """Bytes written but not yet transmitted even once."""
+        return self.end - self.nxt
+
+    def writable(self) -> int:
+        """How many more bytes the application may write right now."""
+        if self.limit is None:
+            return 2**62
+        return max(0, self.limit - self.buffered)
+
+    def write(self, nbytes: int) -> int:
+        """Append up to ``nbytes`` of application data; return bytes taken."""
+        if nbytes < 0:
+            raise ValueError(f"cannot write negative bytes: {nbytes}")
+        taken = min(nbytes, self.writable())
+        self.end += taken
+        return taken
+
+    def mark(self, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` once every byte written so far is ACKed."""
+        if self.una >= self.end:
+            callback()
+        else:
+            self._marks.append((self.end, callback))
+
+    # -- stack side ------------------------------------------------------------
+
+    def sendable(self) -> int:
+        """Bytes available for first transmission."""
+        return self.end - self.nxt
+
+    def take(self, nbytes: int) -> int:
+        """Advance ``nxt`` by up to ``nbytes``; return the amount taken."""
+        if nbytes < 0:
+            raise ValueError(f"cannot take negative bytes: {nbytes}")
+        taken = min(nbytes, self.sendable())
+        self.nxt += taken
+        return taken
+
+    def ack_to(self, ack: int) -> int:
+        """Cumulative ACK up to stream offset ``ack``; return newly acked
+        byte count.  Out-of-window ACKs are ignored (return 0).
+
+        ``ack`` may exceed ``nxt``: after a retransmission-timeout
+        rewind, ACKs for data sent before the rewind are still valid
+        and also advance ``nxt`` (that data needs no retransmission).
+        """
+        if ack <= self.una or ack > self.end:
+            return 0
+        newly = ack - self.una
+        self.una = ack
+        if self.nxt < self.una:
+            self.nxt = self.una
+        fired, pending = [], []
+        for offset, callback in self._marks:
+            (fired if offset <= self.una else pending).append((offset, callback))
+        self._marks = pending
+        for _offset, callback in fired:
+            callback()
+        return newly
+
+    def rewind_for_retransmit(self) -> None:
+        """Go-back-N style: rewind ``nxt`` to ``una`` so unacked bytes
+        are transmitted again (used on RTO)."""
+        self.nxt = self.una
+
+
+class ReceiveBuffer:
+    """Reassembles the received byte stream and produces the ACK point.
+
+    Out-of-order segments are held (by their ``[start, end)`` range)
+    until the gap fills.  ``deliverable`` counts bytes that became
+    contiguous and were handed to the application.
+    """
+
+    def __init__(self, window: int = 1 << 24) -> None:
+        if window <= 0:
+            raise ValueError(f"receive window must be positive, got {window}")
+        self.window = window
+        self.rcv_nxt = 0
+        self.delivered = 0
+        #: Disjoint sorted out-of-order ranges above ``rcv_nxt``.
+        self._out_of_order: List[Tuple[int, int]] = []
+        #: The range most recently grown — reported first in SACK
+        #: blocks (RFC 2018) so the sender learns new information.
+        self._last_grown: Optional[Tuple[int, int]] = None
+        #: Rotation cursor over the remaining blocks, so consecutive
+        #: ACKs cycle through the whole hole map (RFC 2018's "as many
+        #: ... as possible" behaviour) instead of repeating the lowest.
+        self._sack_rotation = 0
+        self._on_data: Optional[Callable[[int], None]] = None
+
+    def on_data(self, callback: Callable[[int], None]) -> None:
+        """Register a callback invoked with each newly contiguous byte
+        count (the application's data-ready notification)."""
+        self._on_data = callback
+
+    @property
+    def advertised_window(self) -> int:
+        """Receive window advertised to the peer.  The model assumes the
+        application drains instantly, so the full window is always open."""
+        return self.window
+
+    def receive(self, start: int, length: int) -> int:
+        """Accept a segment covering ``[start, start + length)``.
+
+        Returns the new cumulative ACK point.  Data beyond the window is
+        trimmed (real stacks drop it; trimming keeps the model simple
+        and the experiments identical since windows are rarely hit).
+        """
+        if length < 0:
+            raise ValueError(f"negative segment length: {length}")
+        end = start + length
+        # Trim anything beyond the window edge.
+        window_edge = self.rcv_nxt + self.window
+        end = min(end, window_edge)
+        if end > start:
+            if start <= self.rcv_nxt:
+                # In-order (possibly partially duplicate).
+                self.rcv_nxt = max(self.rcv_nxt, end)
+            else:
+                # Out of order: merge the range into the held set and
+                # remember which merged range grew, for SACK reporting.
+                self._out_of_order = intervals.insert(
+                    self._out_of_order, start, end
+                )
+                for merged in self._out_of_order:
+                    if merged[0] <= start < merged[1]:
+                        self._last_grown = merged
+                        break
+            self._coalesce()
+        return self.rcv_nxt
+
+    def sack_ranges(self, limit: int = 3) -> tuple:
+        """Up to ``limit`` out-of-order ranges for the SACK option.
+
+        The most recently grown range comes first (RFC 2018); the
+        remaining slots rotate through the other held ranges across
+        successive calls so a sender eventually learns the full map.
+        """
+        blocks: List[Tuple[int, int]] = []
+        if self._last_grown is not None and self._last_grown in self._out_of_order:
+            blocks.append(self._last_grown)
+        n = len(self._out_of_order)
+        for offset in range(n):
+            if len(blocks) >= limit:
+                break
+            rng = self._out_of_order[(self._sack_rotation + offset) % n]
+            if rng not in blocks:
+                blocks.append(rng)
+        if n:
+            self._sack_rotation = (self._sack_rotation + max(1, limit - 1)) % n
+        return tuple(blocks)
+
+    def _coalesce(self) -> None:
+        """Advance rcv_nxt through any now-contiguous held ranges."""
+        remaining: List[Tuple[int, int]] = []
+        for start, end in self._out_of_order:
+            if start <= self.rcv_nxt:
+                if end > self.rcv_nxt:
+                    self.rcv_nxt = end
+            else:
+                remaining.append((start, end))
+        self._out_of_order = remaining
+        newly = self.rcv_nxt - self.delivered
+        if newly > 0:
+            self.delivered = self.rcv_nxt
+            if self._on_data is not None:
+                self._on_data(newly)

@@ -1,0 +1,46 @@
+"""Pluggable congestion-control algorithms (CCAs).
+
+Three CCAs are provided, matching the ones the paper discusses:
+
+* :class:`~repro.stack.cc.reno.Reno` — classic AIMD,
+* :class:`~repro.stack.cc.cubic.Cubic` — Linux's default,
+* :class:`~repro.stack.cc.bbr.BbrLite` — a model-based, pacing-driven
+  CCA with explicit phases (relevant to §5.1's co-design discussion).
+
+Every CCA exposes a *phase* so Stob's constraint layer can gate
+obfuscation actions (e.g. "no packet-sequence manipulation during BBR
+startup", as suggested in §5.1).
+"""
+
+from repro.stack.cc.base import CongestionControl, CcPhase, AckSample
+from repro.stack.cc.reno import Reno
+from repro.stack.cc.cubic import Cubic
+from repro.stack.cc.bbr import BbrLite
+
+_REGISTRY = {
+    "reno": Reno,
+    "cubic": Cubic,
+    "bbr": BbrLite,
+}
+
+
+def make_cca(name: str, mss: int):
+    """Instantiate a CCA by name (``reno``, ``cubic`` or ``bbr``)."""
+    try:
+        cls = _REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown congestion control {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+    return cls(mss=mss)
+
+
+__all__ = [
+    "CongestionControl",
+    "CcPhase",
+    "AckSample",
+    "Reno",
+    "Cubic",
+    "BbrLite",
+    "make_cca",
+]

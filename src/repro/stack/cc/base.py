@@ -1,0 +1,113 @@
+"""Congestion-control interface.
+
+The TCP endpoint feeds the CCA :class:`AckSample` objects and asks it
+for two things — ``cwnd`` (bytes in flight allowed) and
+``pacing_rate`` (bytes/second; ``None`` disables pacing).  This is the
+same division of labour as Linux's ``tcp_congestion_ops`` plus the
+fq pacing hook.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class CcPhase(enum.Enum):
+    """Coarse CCA phase, exposed so Stob can gate actions (§5.1)."""
+
+    SLOW_START = "slow_start"
+    CONGESTION_AVOIDANCE = "congestion_avoidance"
+    RECOVERY = "recovery"
+    #: BBR-specific phases.
+    STARTUP = "startup"
+    DRAIN = "drain"
+    PROBE_BW = "probe_bw"
+    PROBE_RTT = "probe_rtt"
+
+
+@dataclass
+class AckSample:
+    """Measurements delivered to the CCA on every ACK.
+
+    Attributes
+    ----------
+    acked_bytes:
+        Bytes newly acknowledged by this ACK.
+    rtt:
+        RTT sample in seconds (negative when unavailable).
+    now:
+        Simulated time of ACK arrival.
+    in_flight:
+        Bytes outstanding *after* this ACK.
+    delivery_rate:
+        Estimated delivery rate (bytes/s) over the last RTT, or 0.
+    """
+
+    acked_bytes: int
+    rtt: float
+    now: float
+    in_flight: int
+    delivery_rate: float = 0.0
+
+
+class CongestionControl(abc.ABC):
+    """Base class for congestion-control algorithms."""
+
+    #: Human-readable algorithm name (used by the CCA identifier too).
+    name = "base"
+
+    def __init__(self, mss: int) -> None:
+        if mss <= 0:
+            raise ValueError(f"mss must be positive, got {mss}")
+        self.mss = mss
+        #: Congestion window in bytes.
+        self.cwnd = 10 * mss  # RFC 6928 IW10
+        #: Slow-start threshold in bytes.
+        self.ssthresh = 2**62
+
+    # -- events ---------------------------------------------------------------
+
+    @abc.abstractmethod
+    def on_ack(self, sample: AckSample) -> None:
+        """A cumulative ACK advanced the window."""
+
+    @abc.abstractmethod
+    def on_loss(self, now: float, in_flight: int) -> None:
+        """Fast-retransmit-detected loss (dupack threshold)."""
+
+    def on_rto(self, now: float) -> None:
+        """Retransmission timeout: collapse to one segment (RFC 5681)."""
+        self.ssthresh = max(self.cwnd // 2, 2 * self.mss)
+        self.cwnd = self.mss
+
+    def on_recovery_exit(self, now: float) -> None:
+        """Called when recovery completes (all lost data repaired)."""
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def phase(self) -> CcPhase:
+        """Current coarse phase."""
+        if self.cwnd < self.ssthresh:
+            return CcPhase.SLOW_START
+        return CcPhase.CONGESTION_AVOIDANCE
+
+    def pacing_rate(self, srtt: float) -> Optional[float]:
+        """Desired pacing rate in bytes/s, or None to disable pacing.
+
+        Loss-based CCAs use the Linux default: pace at 200 % of
+        cwnd/srtt in slow start and 120 % afterwards, so ACK clocking
+        is smoothed without throttling below the window.
+        """
+        if srtt <= 0:
+            return None
+        ratio = 2.0 if self.phase is CcPhase.SLOW_START else 1.2
+        return ratio * self.cwnd / srtt
+
+    def reset(self) -> None:
+        """Restore initial window state (new connection reuse)."""
+        self.cwnd = 10 * self.mss
+        self.ssthresh = 2**62

@@ -1,0 +1,162 @@
+"""BBR-lite: a model-based, pacing-driven congestion control.
+
+This follows BBRv1's structure closely enough for the paper's §5.1
+discussion to be reproducible: the algorithm *measures* delivery rate,
+paces at ``gain * btl_bw``, and cycles probing gains — so any external
+manipulation of departure times (Stob) perturbs its model.  The
+implementation keeps windowed max/min filters for bottleneck bandwidth
+and propagation RTT, and the four phases STARTUP / DRAIN / PROBE_BW /
+PROBE_RTT.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.stack.cc.base import AckSample, CcPhase, CongestionControl
+
+#: 2/ln(2): the startup gain that doubles delivery rate each RTT.
+STARTUP_GAIN = 2.885
+DRAIN_GAIN = 1.0 / STARTUP_GAIN
+#: PROBE_BW gain cycle (one phase per min-RTT).
+PROBE_GAINS = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+#: Bandwidth filter window, in gain-cycle phases.
+BW_WINDOW_ROUNDS = 10
+#: How long without 25 % bandwidth growth before leaving STARTUP.
+STARTUP_FULL_BW_ROUNDS = 3
+
+
+class BbrLite(CongestionControl):
+    """Simplified BBRv1."""
+
+    name = "bbr"
+
+    def __init__(self, mss: int) -> None:
+        super().__init__(mss)
+        self._phase = CcPhase.STARTUP
+        self._btl_bw = 0.0
+        self._bw_samples: Deque[Tuple[int, float]] = deque()  # (round, bw)
+        self._min_rtt = float("inf")
+        self._round = 0
+        self._round_bytes = 0
+        self._full_bw = 0.0
+        self._full_bw_rounds = 0
+        self._cycle_index = 0
+        self._cycle_started = 0.0
+        self._pacing_gain = STARTUP_GAIN
+        self._cwnd_gain = 2.0
+
+    # -- filters -------------------------------------------------------------
+
+    def _update_bw(self, bw: float) -> None:
+        self._bw_samples.append((self._round, bw))
+        horizon = self._round - BW_WINDOW_ROUNDS
+        while self._bw_samples and self._bw_samples[0][0] < horizon:
+            self._bw_samples.popleft()
+        self._btl_bw = max(sample for _round, sample in self._bw_samples)
+
+    @property
+    def btl_bw(self) -> float:
+        """Current bottleneck-bandwidth estimate (bytes/s)."""
+        return self._btl_bw
+
+    @property
+    def min_rtt(self) -> float:
+        """Current propagation-RTT estimate (seconds)."""
+        return self._min_rtt
+
+    def _bdp(self) -> float:
+        if self._btl_bw <= 0 or self._min_rtt == float("inf"):
+            return float(10 * self.mss)
+        return self._btl_bw * self._min_rtt
+
+    # -- events ---------------------------------------------------------------
+
+    def on_ack(self, sample: AckSample) -> None:
+        if sample.rtt > 0:
+            self._min_rtt = min(self._min_rtt, sample.rtt)
+        if sample.delivery_rate > 0:
+            self._update_bw(sample.delivery_rate)
+        # Round accounting: one round per cwnd of acked data.
+        self._round_bytes += sample.acked_bytes
+        if self._round_bytes >= max(self.cwnd, self.mss):
+            self._round_bytes = 0
+            self._round += 1
+            self._on_round(sample.now)
+        self._update_cwnd()
+
+    def _on_round(self, now: float) -> None:
+        if self._phase is CcPhase.STARTUP:
+            if self._btl_bw > self._full_bw * 1.25:
+                self._full_bw = self._btl_bw
+                self._full_bw_rounds = 0
+            else:
+                self._full_bw_rounds += 1
+                if self._full_bw_rounds >= STARTUP_FULL_BW_ROUNDS:
+                    self._enter_drain()
+        elif self._phase is CcPhase.DRAIN:
+            pass  # exit condition checked in on_ack via inflight
+        elif self._phase is CcPhase.PROBE_BW:
+            self._advance_cycle(now)
+
+    def _enter_drain(self) -> None:
+        self._phase = CcPhase.DRAIN
+        self._pacing_gain = DRAIN_GAIN
+        self._cwnd_gain = 2.0
+
+    def _enter_probe_bw(self, now: float) -> None:
+        self._phase = CcPhase.PROBE_BW
+        self._cycle_index = 0
+        self._cycle_started = now
+        self._pacing_gain = PROBE_GAINS[0]
+        self._cwnd_gain = 2.0
+
+    def _advance_cycle(self, now: float) -> None:
+        self._cycle_index = (self._cycle_index + 1) % len(PROBE_GAINS)
+        self._pacing_gain = PROBE_GAINS[self._cycle_index]
+        self._cycle_started = now
+
+    def _update_cwnd(self) -> None:
+        target = self._cwnd_gain * self._bdp()
+        self.cwnd = max(int(target), 4 * self.mss)
+
+    def check_drain_exit(self, in_flight: int, now: float) -> None:
+        """The endpoint calls this so DRAIN can end when the queue built
+        during STARTUP has drained to one BDP."""
+        if self._phase is CcPhase.DRAIN and in_flight <= self._bdp():
+            self._enter_probe_bw(now)
+
+    def on_loss(self, now: float, in_flight: int) -> None:
+        # BBRv1 mostly ignores isolated losses; it caps the window as a
+        # safety net, mirroring Linux's conservative in-recovery cwnd.
+        self.cwnd = max(int(self._bdp()), 4 * self.mss)
+
+    def on_rto(self, now: float) -> None:
+        self.cwnd = 4 * self.mss
+
+    def on_recovery_exit(self, now: float) -> None:
+        self._update_cwnd()
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def phase(self) -> CcPhase:
+        return self._phase
+
+    @property
+    def pacing_gain(self) -> float:
+        """Current pacing gain (exposed for tests and Stob gating)."""
+        return self._pacing_gain
+
+    def pacing_rate(self, srtt: float) -> Optional[float]:
+        if self._btl_bw <= 0:
+            # No bandwidth sample yet: pace off the initial window.
+            if srtt <= 0:
+                return None
+            return self._pacing_gain * self.cwnd / srtt
+        return self._pacing_gain * self._btl_bw
+
+    def reset(self) -> None:
+        super().reset()
+        self.__init__(self.mss)

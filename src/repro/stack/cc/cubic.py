@@ -1,0 +1,113 @@
+"""CUBIC congestion control (RFC 9438 model).
+
+The window grows as ``W(t) = C (t - K)^3 + W_max`` after a loss, where
+``K = cbrt(W_max * beta / C)``.  Slow start and recovery behave like
+Reno.  The implementation follows the RFC's formulation with windows in
+MSS units internally, converted to bytes at the interface.
+"""
+
+from __future__ import annotations
+
+from repro.stack.cc.base import AckSample, CcPhase, CongestionControl
+
+#: Standard CUBIC constants.
+CUBIC_C = 0.4
+CUBIC_BETA = 0.7
+
+
+class Cubic(CongestionControl):
+    """CUBIC congestion control."""
+
+    name = "cubic"
+
+    def __init__(self, mss: int) -> None:
+        super().__init__(mss)
+        self._w_max = 0.0  # in MSS units
+        self._epoch_start = -1.0
+        self._k = 0.0
+        self._in_recovery = False
+        self._min_rtt = float("inf")
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _cwnd_mss(self) -> float:
+        return self.cwnd / self.mss
+
+    def _set_cwnd_mss(self, w: float) -> None:
+        self.cwnd = max(int(w * self.mss), 2 * self.mss)
+
+    # -- events ---------------------------------------------------------------
+
+    def on_ack(self, sample: AckSample) -> None:
+        if sample.rtt > 0:
+            self._min_rtt = min(self._min_rtt, sample.rtt)
+        if self._in_recovery:
+            return
+        if self.cwnd < self.ssthresh:
+            # HyStart (delay-increase flavour): leave slow start before
+            # the queue overflows, once the RTT has clearly inflated
+            # above the propagation floor.  Linux CUBIC ships this;
+            # without it every connection overshoots by a full window.
+            if (
+                sample.rtt > 0
+                and self._min_rtt < float("inf")
+                and self.cwnd >= 16 * self.mss
+                and sample.rtt > self._min_rtt + max(self._min_rtt / 8, 0.004)
+            ):
+                self.ssthresh = self.cwnd
+            else:
+                self.cwnd += sample.acked_bytes
+                return
+        if self._epoch_start < 0:
+            # First CA ack after recovery (or ever): start a cubic epoch.
+            self._epoch_start = sample.now
+            w = self._cwnd_mss()
+            if self._w_max < w:
+                self._w_max = w
+            self._k = ((self._w_max * (1 - CUBIC_BETA)) / CUBIC_C) ** (1.0 / 3.0)
+        t = sample.now - self._epoch_start
+        target = CUBIC_C * (t - self._k) ** 3 + self._w_max
+        current = self._cwnd_mss()
+        if target > current:
+            # Approach the cubic target over roughly one RTT.
+            self._set_cwnd_mss(current + (target - current) / max(current, 1.0))
+        else:
+            # TCP-friendly floor: grow at least like Reno would.
+            self._set_cwnd_mss(current + 0.01)
+
+    def on_loss(self, now: float, in_flight: int) -> None:
+        if self._in_recovery:
+            return
+        self._in_recovery = True
+        w = self._cwnd_mss()
+        # Fast convergence: release bandwidth faster on consecutive losses.
+        if w < self._w_max:
+            self._w_max = w * (1 + CUBIC_BETA) / 2.0
+        else:
+            self._w_max = w
+        self.ssthresh = max(int(w * CUBIC_BETA) * self.mss, 2 * self.mss)
+        self.cwnd = self.ssthresh
+        self._epoch_start = -1.0
+
+    def on_rto(self, now: float) -> None:
+        # An RTO aborts any fast recovery in progress.
+        super().on_rto(now)
+        self._epoch_start = -1.0
+        self._in_recovery = False
+
+    def on_recovery_exit(self, now: float) -> None:
+        self._in_recovery = False
+
+    @property
+    def phase(self) -> CcPhase:
+        if self._in_recovery:
+            return CcPhase.RECOVERY
+        return super().phase
+
+    def reset(self) -> None:
+        super().reset()
+        self._w_max = 0.0
+        self._epoch_start = -1.0
+        self._k = 0.0
+        self._in_recovery = False
+        self._min_rtt = float("inf")

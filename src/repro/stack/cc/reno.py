@@ -1,0 +1,65 @@
+"""NewReno congestion control (RFC 5681/6582 model).
+
+Slow start doubles cwnd per RTT (one MSS per acked MSS); congestion
+avoidance adds one MSS per RTT; loss halves the window and enters
+recovery until the loss point is repaired.
+"""
+
+from __future__ import annotations
+
+from repro.stack.cc.base import AckSample, CcPhase, CongestionControl
+
+
+class Reno(CongestionControl):
+    """Classic AIMD congestion control."""
+
+    name = "reno"
+
+    def __init__(self, mss: int) -> None:
+        super().__init__(mss)
+        self._in_recovery = False
+        self._avoidance_acc = 0  # byte accumulator for CA growth
+
+    def on_ack(self, sample: AckSample) -> None:
+        if self._in_recovery:
+            # Window is frozen during fast recovery (simplified: no
+            # window inflation; the endpoint handles retransmission).
+            return
+        if self.cwnd < self.ssthresh:
+            # Slow start: grow by the acked byte count (doubling/RTT).
+            self.cwnd += sample.acked_bytes
+        else:
+            # Congestion avoidance: one MSS per cwnd-worth of ACKs.
+            self._avoidance_acc += sample.acked_bytes
+            if self._avoidance_acc >= self.cwnd:
+                self._avoidance_acc -= self.cwnd
+                self.cwnd += self.mss
+
+    def on_loss(self, now: float, in_flight: int) -> None:
+        if self._in_recovery:
+            return
+        self._in_recovery = True
+        self.ssthresh = max(self.cwnd // 2, 2 * self.mss)
+        self.cwnd = self.ssthresh
+
+    def on_rto(self, now: float) -> None:
+        # An RTO aborts any fast recovery in progress: the connection
+        # restarts from slow start, not from a frozen window.
+        super().on_rto(now)
+        self._in_recovery = False
+        self._avoidance_acc = 0
+
+    def on_recovery_exit(self, now: float) -> None:
+        self._in_recovery = False
+        self._avoidance_acc = 0
+
+    @property
+    def phase(self) -> CcPhase:
+        if self._in_recovery:
+            return CcPhase.RECOVERY
+        return super().phase
+
+    def reset(self) -> None:
+        super().reset()
+        self._in_recovery = False
+        self._avoidance_acc = 0

@@ -1,0 +1,157 @@
+"""Host wiring: CPU + qdisc + NIC + TCP endpoints, and flow helpers.
+
+A :class:`Host` is single-homed: one NIC on one link, one fq (or fifo)
+qdisc in front of it, one CPU core driving the transmit path, and any
+number of TCP endpoints multiplexed by flow id — the same shape as the
+paper's Figure 1.
+
+:func:`make_flow` builds the canonical two-host topology used by every
+experiment: a client and a server joined by a
+:class:`~repro.simnet.path.NetworkPath`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.simnet.engine import Simulator
+from repro.simnet.entities import Link
+from repro.simnet.path import NetworkPath
+from repro.stack.nic import Cpu, CpuModel, Nic
+from repro.stack.packet import Packet
+from repro.stack.qdisc import DEFAULT_TSQ_BYTES, FifoQdisc, FqQdisc, Qdisc
+from repro.stack.tcp import TcpConfig, TcpEndpoint
+
+_flow_ids = itertools.count(1)
+
+
+def next_flow_id() -> int:
+    """Return a process-unique flow identifier."""
+    return next(_flow_ids)
+
+
+class Host:
+    """A single-homed host running the modelled stack."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        cpu_model: Optional[CpuModel] = None,
+        qdisc_kind: str = "fq",
+        tsq_bytes: int = DEFAULT_TSQ_BYTES,
+    ) -> None:
+        self._sim = sim
+        self.name = name
+        self.cpu = Cpu(sim, cpu_model or CpuModel())
+        self._qdisc_kind = qdisc_kind
+        self._tsq_bytes = tsq_bytes
+        self.nic: Optional[Nic] = None
+        self.qdisc: Optional[Qdisc] = None
+        self.endpoints: Dict[int, TcpEndpoint] = {}
+
+    def attach_link(self, link: Link) -> None:
+        """Bind the host's NIC to its access link (once)."""
+        if self.nic is not None:
+            raise RuntimeError(f"host {self.name} already has a NIC")
+        self.nic = Nic(self._sim, link.send)
+        if self._qdisc_kind == "fq":
+            self.qdisc = FqQdisc(self._sim, self.nic.transmit, self._tsq_bytes)
+        elif self._qdisc_kind == "fifo":
+            self.qdisc = FifoQdisc(self._sim, self.nic.transmit, self._tsq_bytes)
+        else:
+            raise ValueError(f"unknown qdisc kind {self._qdisc_kind!r}")
+
+    def add_endpoint(
+        self, flow_id: int, direction: int, config: Optional[TcpConfig] = None
+    ) -> TcpEndpoint:
+        """Create a TCP endpoint on this host for ``flow_id``."""
+        if self.nic is None or self.qdisc is None:
+            raise RuntimeError(f"host {self.name} has no link attached")
+        if flow_id in self.endpoints:
+            raise ValueError(f"flow {flow_id} already exists on {self.name}")
+        endpoint = TcpEndpoint(
+            sim=self._sim,
+            flow_id=flow_id,
+            direction=direction,
+            cpu=self.cpu,
+            qdisc=self.qdisc,
+            ack_sender=self.nic.send_packet,
+            config=config,
+        )
+        self.endpoints[flow_id] = endpoint
+        return endpoint
+
+    def receive(self, packet: Packet) -> None:
+        """Demultiplex an arriving packet to its endpoint."""
+        endpoint = self.endpoints.get(packet.flow_id)
+        if endpoint is not None:
+            endpoint.on_packet(packet)
+
+
+@dataclass
+class TcpFlow:
+    """A client/server endpoint pair over one path."""
+
+    flow_id: int
+    client: TcpEndpoint
+    server: TcpEndpoint
+    client_host: Host
+    server_host: Host
+    forward_link: Link
+    reverse_link: Link
+
+    def connect(self) -> None:
+        """Start the client's handshake."""
+        self.client.connect()
+
+
+def link_hosts(
+    sim: Simulator,
+    client_host: Host,
+    server_host: Host,
+    path: NetworkPath,
+    rng: Optional[np.random.Generator] = None,
+) -> tuple:
+    """Create forward/reverse links between two hosts and attach NICs."""
+    forward, reverse = path.build_links(
+        sim,
+        forward_receiver=server_host.receive,
+        reverse_receiver=client_host.receive,
+        rng=rng,
+    )
+    client_host.attach_link(forward)
+    server_host.attach_link(reverse)
+    return forward, reverse
+
+
+def make_flow(
+    sim: Simulator,
+    path: NetworkPath,
+    client_config: Optional[TcpConfig] = None,
+    server_config: Optional[TcpConfig] = None,
+    client_cpu: Optional[CpuModel] = None,
+    server_cpu: Optional[CpuModel] = None,
+    rng: Optional[np.random.Generator] = None,
+    qdisc_kind: str = "fq",
+) -> TcpFlow:
+    """Build the canonical client/server topology with one TCP flow."""
+    client_host = Host(sim, "client", cpu_model=client_cpu, qdisc_kind=qdisc_kind)
+    server_host = Host(sim, "server", cpu_model=server_cpu, qdisc_kind=qdisc_kind)
+    forward, reverse = link_hosts(sim, client_host, server_host, path, rng=rng)
+    flow_id = next_flow_id()
+    client = client_host.add_endpoint(flow_id, direction=1, config=client_config)
+    server = server_host.add_endpoint(flow_id, direction=-1, config=server_config)
+    return TcpFlow(
+        flow_id=flow_id,
+        client=client,
+        server=server,
+        client_host=client_host,
+        server_host=server_host,
+        forward_link=forward,
+        reverse_link=reverse,
+    )

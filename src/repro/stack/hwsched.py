@@ -1,0 +1,109 @@
+"""Programmable hardware packet scheduler model (paper §5.5).
+
+"Stob relies on a custom packet queuing mechanism, which may hinder
+its adoption in existing systems that already rely on hardware-based
+schedulers in commodity NICs.  However ... PIEO implemented in FPGA
+enables dequeuing an arbitrary packet based on the policy."
+
+:class:`PieoQdisc` models a PIEO (push-in extract-out) scheduler: each
+element carries an *eligibility time* and a *rank*; the scheduler
+extracts, among currently eligible elements, the one with the smallest
+rank.  With eligibility = Stob's earliest departure time and rank =
+FIFO sequence per flow, PIEO reproduces the software fq behaviour —
+demonstrating the paper's claim that Stob's queuing maps onto
+programmable NIC schedulers.  Custom rank functions implement other
+policies (e.g. strict priority between flows).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.simnet.engine import Simulator
+from repro.stack.packet import TsoSegment
+from repro.stack.qdisc import DEFAULT_TSQ_BYTES, Qdisc, SegmentSink
+
+#: rank(segment, fifo_sequence) -> sortable value.
+RankFunction = Callable[[TsoSegment, int], float]
+
+
+def fifo_rank(segment: TsoSegment, sequence: int) -> float:
+    """Default rank: global arrival order (work-conserving fq)."""
+    return float(sequence)
+
+
+class PieoQdisc(Qdisc):
+    """PIEO scheduler: extract the min-rank *eligible* element.
+
+    Elements become eligible at their ``not_before`` time (clamped to
+    per-flow FIFO order, like the software fq).  The dequeue loop runs
+    whenever the earliest eligibility passes, mirroring the doorbell-
+    driven operation of a hardware scheduler.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sink: SegmentSink,
+        tsq_bytes: int = DEFAULT_TSQ_BYTES,
+        rank: Optional[RankFunction] = None,
+    ) -> None:
+        super().__init__(sim, sink, tsq_bytes)
+        self._rank = rank or fifo_rank
+        self._seq = itertools.count()
+        #: Eligibility-ordered heap of (eligible_at, seq, segment, rank).
+        self._pending: List[Tuple[float, int, TsoSegment, float]] = []
+        #: Rank-ordered heap of eligible elements.
+        self._eligible: List[Tuple[float, int, TsoSegment]] = []
+        self._flow_last_departure: Dict[int, float] = {}
+        self._timer = None
+
+    def enqueue(self, segment: TsoSegment) -> None:
+        self._account_enqueue(segment)
+        sequence = next(self._seq)
+        eligible_at = max(
+            segment.not_before,
+            self._sim.now,
+            self._flow_last_departure.get(segment.flow_id, 0.0),
+        )
+        self._flow_last_departure[segment.flow_id] = eligible_at
+        rank = self._rank(segment, sequence)
+        heapq.heappush(
+            self._pending, (eligible_at, sequence, segment, rank)
+        )
+        self._pump()
+
+    def _pump(self) -> None:
+        """Move due elements to the eligible set; extract by rank."""
+        now = self._sim.now
+        while self._pending and self._pending[0][0] <= now:
+            _when, sequence, segment, rank = heapq.heappop(self._pending)
+            heapq.heappush(self._eligible, (rank, sequence, segment))
+        while self._eligible:
+            _rank, _sequence, segment = heapq.heappop(self._eligible)
+            self._release(segment)
+            # Releasing may have enqueued more (TSQ wakeups) — absorb.
+            while self._pending and self._pending[0][0] <= self._sim.now:
+                _w, seq2, seg2, rank2 = heapq.heappop(self._pending)
+                heapq.heappush(self._eligible, (rank2, seq2, seg2))
+        self._arm_timer()
+
+    def _arm_timer(self) -> None:
+        if not self._pending:
+            return
+        head = self._pending[0][0]
+        if self._timer is not None and not self._timer.cancelled:
+            if self._timer.time <= head:
+                return
+            self._timer.cancel()
+        self._timer = self._sim.schedule_at(max(head, self._sim.now), self._fire)
+
+    def _fire(self) -> None:
+        self._timer = None
+        self._pump()
+
+    @property
+    def backlog(self) -> int:
+        return len(self._pending) + len(self._eligible)

@@ -1,0 +1,258 @@
+"""Disjoint byte-range sets (SACK scoreboard arithmetic).
+
+Ranges are half-open ``(start, end)`` tuples.  A *range set* is a list
+of disjoint, non-adjacent ranges sorted by ``start``.  These helpers
+implement the merging/trimming the SACK scoreboard needs; they are
+pure functions so they are easy to property-test.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Tuple
+
+Range = Tuple[int, int]
+
+
+def insert(ranges: List[Range], start: int, end: int) -> List[Range]:
+    """Return ``ranges`` with ``[start, end)`` merged in.
+
+    Uses bisect to touch only the overlapping region, so inserting into
+    a large scoreboard is O(log n + k) rather than a full re-sort.
+    """
+    if end <= start:
+        return list(ranges)
+    # Find the first range whose end >= start (could merge) and the
+    # first range whose start > end (cannot merge).
+    lo = bisect.bisect_left(ranges, start, key=lambda r: r[1])
+    hi = bisect.bisect_right(ranges, end, lo=lo, key=lambda r: r[0])
+    if lo < hi:
+        start = min(start, ranges[lo][0])
+        end = max(end, ranges[hi - 1][1])
+    return ranges[:lo] + [(start, end)] + ranges[hi:]
+
+
+def trim_below(ranges: List[Range], point: int) -> List[Range]:
+    """Drop every byte below ``point`` from the set."""
+    out: List[Range] = []
+    for start, end in ranges:
+        if end <= point:
+            continue
+        out.append((max(start, point), end))
+    return out
+
+
+def total_bytes(ranges: List[Range]) -> int:
+    """Total bytes covered by the set."""
+    return sum(end - start for start, end in ranges)
+
+
+def covered_bytes(ranges: List[Range], start: int, end: int) -> int:
+    """Bytes of ``[start, end)`` covered by the set."""
+    total = 0
+    for r_start, r_end in ranges:
+        lo = max(r_start, start)
+        hi = min(r_end, end)
+        if hi > lo:
+            total += hi - lo
+    return total
+
+
+def contains(ranges: List[Range], point: int) -> bool:
+    """True when ``point`` is covered by the set."""
+    return any(start <= point < end for start, end in ranges)
+
+
+def union(a: List[Range], b: List[Range]) -> List[Range]:
+    """Union of two range sets (linear merge of the sorted inputs)."""
+    merged = sorted(a + b)
+    out: List[Range] = []
+    for start, end in merged:
+        if out and start <= out[-1][1]:
+            if end > out[-1][1]:
+                out[-1] = (out[-1][0], end)
+        else:
+            out.append((start, end))
+    return out
+
+
+def subtract(ranges: List[Range], other: List[Range]) -> List[Range]:
+    """Bytes of ``ranges`` not covered by ``other``."""
+    out: List[Range] = []
+    for start, end in ranges:
+        cursor = start
+        for o_start, o_end in other:
+            if o_end <= cursor:
+                continue
+            if o_start >= end:
+                break
+            if o_start > cursor:
+                out.append((cursor, min(o_start, end)))
+            cursor = max(cursor, o_end)
+            if cursor >= end:
+                break
+        if cursor < end:
+            out.append((cursor, end))
+    return out
+
+
+class RangeSet:
+    """A mutable disjoint range set with O(log n + k) updates and an
+    incrementally maintained byte total.
+
+    This is the SACK scoreboard's workhorse: the naive recompute-
+    everything approach makes interval arithmetic the simulation's
+    hot path once a big window suffers correlated drops.
+    """
+
+    __slots__ = ("_ranges", "total", "version")
+
+    def __init__(self, ranges: Optional[List[Range]] = None) -> None:
+        self._ranges: List[Range] = []
+        self.total = 0
+        #: Bumped on every mutation; lets callers memoise derived values.
+        self.version = 0
+        if ranges:
+            for start, end in ranges:
+                self.add(start, end)
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+    def __iter__(self):
+        return iter(self._ranges)
+
+    def __bool__(self) -> bool:
+        return bool(self._ranges)
+
+    @property
+    def ranges(self) -> List[Range]:
+        """The underlying sorted disjoint list (do not mutate)."""
+        return self._ranges
+
+    @property
+    def max_end(self) -> int:
+        """Highest covered byte + 1 (0 when empty)."""
+        return self._ranges[-1][1] if self._ranges else 0
+
+    def add(self, start: int, end: int) -> int:
+        """Merge ``[start, end)`` in; return newly covered bytes."""
+        if end <= start:
+            return 0
+        ranges = self._ranges
+        lo = bisect.bisect_left(ranges, start, key=lambda r: r[1])
+        hi = bisect.bisect_right(ranges, end, lo=lo, key=lambda r: r[0])
+        absorbed = 0
+        if lo < hi:
+            start = min(start, ranges[lo][0])
+            end = max(end, ranges[hi - 1][1])
+            absorbed = sum(r[1] - r[0] for r in ranges[lo:hi])
+        ranges[lo:hi] = [(start, end)]
+        added = (end - start) - absorbed
+        self.total += added
+        self.version += 1
+        return added
+
+    def remove(self, start: int, end: int) -> int:
+        """Erase ``[start, end)``; return bytes removed."""
+        if end <= start or not self._ranges:
+            return 0
+        ranges = self._ranges
+        # Overlap window: first range ending after ``start`` up to the
+        # first range starting at/after ``end``.
+        lo = bisect.bisect_right(ranges, start, key=lambda r: r[1])
+        hi = bisect.bisect_left(ranges, end, lo=lo, key=lambda r: r[0])
+        if lo >= hi:
+            return 0
+        replacement: List[Range] = []
+        removed = 0
+        for r_start, r_end in ranges[lo:hi]:
+            cut_lo = max(r_start, start)
+            cut_hi = min(r_end, end)
+            if cut_hi > cut_lo:
+                removed += cut_hi - cut_lo
+                if r_start < cut_lo:
+                    replacement.append((r_start, cut_lo))
+                if cut_hi < r_end:
+                    replacement.append((cut_hi, r_end))
+            else:
+                replacement.append((r_start, r_end))
+        ranges[lo:hi] = replacement
+        self.total -= removed
+        self.version += 1
+        return removed
+
+    def trim_below(self, point: int) -> int:
+        """Drop every byte below ``point``; return bytes removed."""
+        if not self._ranges or self._ranges[0][0] >= point:
+            return 0
+        return self.remove(self._ranges[0][0], point)
+
+    def covered_in(self, start: int, end: int) -> int:
+        """Bytes of ``[start, end)`` covered by the set."""
+        if end <= start or not self._ranges:
+            return 0
+        ranges = self._ranges
+        lo = bisect.bisect_left(ranges, start, key=lambda r: r[1])
+        covered = 0
+        for r_start, r_end in ranges[lo:]:
+            if r_start >= end:
+                break
+            covered += min(r_end, end) - max(r_start, start)
+        return covered
+
+    def clear(self) -> None:
+        self._ranges = []
+        self.total = 0
+        self.version += 1
+
+
+def merged_gaps(
+    a: "RangeSet", b: "RangeSet", start: int, limit: int
+) -> List[Range]:
+    """Spans of ``[start, limit)`` covered by neither set.
+
+    Two-pointer sweep over the (already sorted, disjoint) inputs.
+    """
+    if start >= limit:
+        return []
+
+    def window(rs: "RangeSet") -> List[Range]:
+        ranges = rs.ranges
+        lo = bisect.bisect_right(ranges, start, key=lambda r: r[1])
+        hi = bisect.bisect_left(ranges, limit, lo=lo, key=lambda r: r[0])
+        return ranges[lo:hi]
+
+    events = sorted(window(a) + window(b))
+    gaps: List[Range] = []
+    cursor = start
+    for r_start, r_end in events:
+        if r_start > cursor:
+            gaps.append((cursor, min(r_start, limit)))
+        cursor = max(cursor, r_end)
+        if cursor >= limit:
+            return gaps
+    if cursor < limit:
+        gaps.append((cursor, limit))
+    return gaps
+
+
+def first_gap(
+    ranges: List[Range], start: int, limit: int
+) -> Optional[Range]:
+    """First uncovered range within ``[start, limit)``, or None.
+
+    ``ranges`` must be a valid (sorted, disjoint) range set.
+    """
+    if start >= limit:
+        return None
+    cursor = start
+    for r_start, r_end in ranges:
+        if r_end <= cursor:
+            continue
+        if r_start > cursor:
+            return (cursor, min(r_start, limit))
+        cursor = r_end
+        if cursor >= limit:
+            return None
+    return (cursor, limit) if cursor < limit else None

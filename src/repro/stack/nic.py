@@ -1,0 +1,165 @@
+"""NIC model and host CPU cost model.
+
+The NIC performs the TSO split: a :class:`~repro.stack.packet.TsoSegment`
+becomes a back-to-back run of wire packets (the micro-burst of §2.3 —
+the link below serializes them at line rate with no interleaving).
+
+The :class:`CpuModel` prices the host-side work per segment, per packet
+and per byte.  It is the substrate for Figure 3: shrinking packet sizes
+and TSO sizes raises the cycles-per-byte cost, capping single-core
+throughput.  Default constants are calibrated so that an iperf3-like
+bulk transfer over a 100 Gb/s link reproduces the paper's shape
+(tens of Gb/s at default sizing, ≈ 20 Gb/s at the most aggressive
+reduction degree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List
+
+from repro.simnet.engine import Simulator
+from repro.stack.packet import Packet, TsoSegment
+
+PacketTap = Callable[[Packet, float], None]
+
+
+@dataclass
+class CpuModel:
+    """Cycle costs of the transmission path.
+
+    Attributes
+    ----------
+    freq_hz:
+        Core clock frequency.
+    cycles_per_segment:
+        Fixed cost of one trip down the stack (socket call share, TCP
+        segment construction, qdisc, driver doorbell).
+    cycles_per_packet:
+        Per-wire-packet cost (descriptor setup, completion handling).
+    cycles_per_byte:
+        Per-byte cost (copy/DMA-setup share, checksum folding).
+    """
+
+    freq_hz: float = 3.0e9
+    cycles_per_segment: float = 4800.0
+    cycles_per_packet: float = 250.0
+    cycles_per_byte: float = 0.285
+
+    def __post_init__(self) -> None:
+        if self.freq_hz <= 0:
+            raise ValueError(f"freq_hz must be positive, got {self.freq_hz}")
+
+    def segment_cost(self, payload_bytes: int, num_packets: int) -> float:
+        """Seconds of CPU one TSO segment costs the sender."""
+        cycles = (
+            self.cycles_per_segment
+            + self.cycles_per_packet * num_packets
+            + self.cycles_per_byte * payload_bytes
+        )
+        return cycles / self.freq_hz
+
+    def max_throughput(self, payload_per_segment: int, num_packets: int) -> float:
+        """Analytic CPU-bound throughput (payload bytes/s) for segments
+        of the given shape — handy for calibration and tests."""
+        cost = self.segment_cost(payload_per_segment, num_packets)
+        if cost <= 0:
+            return float("inf")
+        return payload_per_segment / cost
+
+
+class Cpu:
+    """A single core as a serially-consumed resource."""
+
+    def __init__(self, sim: Simulator, model: CpuModel) -> None:
+        self._sim = sim
+        self.model = model
+        self._busy_until = 0.0
+        self.consumed = 0.0
+
+    @property
+    def busy_until(self) -> float:
+        """Simulated time at which currently queued work completes."""
+        return self._busy_until
+
+    def consume(self, cost: float) -> float:
+        """Queue ``cost`` seconds of work; return its completion time."""
+        if cost < 0:
+            raise ValueError(f"cpu cost must be >= 0, got {cost}")
+        start = max(self._sim.now, self._busy_until)
+        self._busy_until = start + cost
+        self.consumed += cost
+        return self._busy_until
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds spent executing."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.consumed / elapsed)
+
+
+class Nic:
+    """Network interface: TSO split + transmission onto a link.
+
+    ``taps`` observe every transmitted packet with its handoff time —
+    the vantage point used to capture WF traces.
+    """
+
+    def __init__(self, sim: Simulator, link_send: Callable[[Any], bool]) -> None:
+        self._sim = sim
+        self._link_send = link_send
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.tx_payload_bytes = 0
+        self.tx_segments = 0
+        self.dropped = 0
+        self._taps: List[PacketTap] = []
+
+    def add_tap(self, tap: PacketTap) -> None:
+        """Observe every packet leaving this NIC."""
+        self._taps.append(tap)
+
+    def send_packet(self, packet: Packet) -> bool:
+        """Transmit a single pre-built packet (pure ACKs, SYNs).
+
+        These bypass the qdisc, mirroring how small control packets
+        avoid fq pacing in Linux.
+        """
+        now = self._sim.now
+        packet.sent_at = now
+        if packet.packet_id == 0:
+            packet.packet_id = self._sim.next_packet_id()
+        for tap in self._taps:
+            tap(packet, now)
+        if self._link_send(packet):
+            self.tx_packets += 1
+            self.tx_bytes += packet.wire_size
+            return True
+        self.dropped += 1
+        return False
+
+    def transmit(self, segment: TsoSegment) -> List[Packet]:
+        """TSO-split ``segment`` and push the packets to the link.
+
+        Returns the packet list (useful to tests).  Packets the link's
+        drop-tail queue rejects are counted in ``dropped``; loss
+        recovery is the transport's job.
+        """
+        packets = segment.split_packets(self._sim.next_packet_id)
+        self.tx_segments += 1
+        now = self._sim.now
+        for packet in packets:
+            packet.sent_at = now
+            # Timestamp at transmission (as Linux does), so RTT samples
+            # exclude qdisc/pacing wait — otherwise pacing feeds back
+            # into srtt and the rate estimate spirals down.
+            packet.ts_val = now
+            for tap in self._taps:
+                tap(packet, now)
+            if self._link_send(packet):
+                self.tx_packets += 1
+                self.tx_bytes += packet.wire_size
+                self.tx_payload_bytes += packet.payload_len
+            else:
+                self.dropped += 1
+        return packets

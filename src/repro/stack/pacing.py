@@ -1,0 +1,65 @@
+"""Per-flow pacing state (the fq rate-limiting half).
+
+The pacer turns a pacing *rate* into per-segment earliest departure
+times, exactly as fq does for TCP: a flow keeps a ``next_allowed``
+timestamp; each segment departs at ``max(now, next_allowed)`` and
+pushes ``next_allowed`` forward by its serialization time at the pacing
+rate.
+
+Stob injects *additional* departure gaps through
+:meth:`FlowPacer.schedule`'s ``extra_gap`` argument.  Gaps can only
+delay — never advance — a departure, which is how the implementation
+guarantees the §4.2 safety constraint (never more aggressive than the
+CCA's chosen rate).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class FlowPacer:
+    """Earliest-departure-time calculator for one flow."""
+
+    def __init__(self) -> None:
+        self._next_allowed = 0.0
+        self.scheduled_segments = 0
+        self.total_extra_gap = 0.0
+
+    @property
+    def next_allowed(self) -> float:
+        """Earliest time the next segment may depart."""
+        return self._next_allowed
+
+    def schedule(
+        self,
+        now: float,
+        wire_bytes: int,
+        pacing_rate: Optional[float],
+        extra_gap: float = 0.0,
+    ) -> float:
+        """Return the departure time for a segment of ``wire_bytes``.
+
+        ``pacing_rate`` of ``None`` (or <= 0) means pacing is disabled:
+        the segment may leave immediately (plus any ``extra_gap``).
+        ``extra_gap`` must be non-negative; Stob uses it to stretch the
+        packet sequence.
+        """
+        if wire_bytes < 0:
+            raise ValueError(f"wire_bytes must be >= 0, got {wire_bytes}")
+        if extra_gap < 0:
+            raise ValueError(
+                f"extra_gap must be >= 0 (Stob may only delay), got {extra_gap}"
+            )
+        departure = max(now, self._next_allowed) + extra_gap
+        if pacing_rate is not None and pacing_rate > 0:
+            self._next_allowed = departure + wire_bytes / pacing_rate
+        else:
+            self._next_allowed = departure
+        self.scheduled_segments += 1
+        self.total_extra_gap += extra_gap
+        return departure
+
+    def reset(self) -> None:
+        """Forget pacing history (connection restart)."""
+        self._next_allowed = 0.0

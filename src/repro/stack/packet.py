@@ -1,0 +1,170 @@
+"""Packet and TSO-segment representations.
+
+Two transmission units exist in the stack, mirroring Linux:
+
+* :class:`TsoSegment` — the large transport-level segment TCP pushes to
+  the lower layers; the NIC splits it into wire packets (TSO).
+* :class:`Packet` — a wire packet: what links carry and what a passive
+  eavesdropper (and hence a WF attack) observes.
+
+Payload *contents* are never materialised — only byte counts — because
+nothing in the reproduction depends on actual data bytes.  This keeps
+multi-gigabyte simulated transfers cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import IPV4_HEADER, TCP_HEADER_TS
+
+#: Total per-packet TCP/IP header bytes used throughout the stack model
+#: (IPv4 + TCP with timestamps, as in a default Linux connection).
+HEADER_BYTES = IPV4_HEADER + TCP_HEADER_TS
+
+
+@dataclass
+class Packet:
+    """A TCP/IP wire packet.
+
+    Attributes
+    ----------
+    flow_id:
+        Identifier of the connection this packet belongs to.
+    direction:
+        +1 for client -> server, -1 for server -> client.  This is the
+        convention WF traces use.
+    seq / end_seq:
+        Byte-stream sequence range ``[seq, end_seq)`` carried.
+    ack:
+        Cumulative ACK number carried (every data packet also acks).
+    payload_len:
+        Payload bytes (0 for a pure ACK).
+    is_syn / is_fin:
+        Connection management flags.
+    sent_at:
+        Simulated time the packet left the NIC (stamped by the NIC).
+    packet_id:
+        Unique id for tracing/debugging.
+    dummy:
+        True when the packet carries padding rather than real data
+        (injected by padding defenses; receivers discard it).
+    """
+
+    flow_id: int
+    direction: int
+    seq: int = 0
+    ack: int = 0
+    payload_len: int = 0
+    is_syn: bool = False
+    is_fin: bool = False
+    sent_at: float = -1.0
+    packet_id: int = 0
+    dummy: bool = False
+    #: Echo of the sender's timestamp for RTT sampling (TCP timestamps).
+    ts_val: float = -1.0
+    ts_ecr: float = -1.0
+    #: Receive window advertised by the sender of this packet.
+    rwnd: int = 1 << 30
+    #: SACK blocks: up to three ``(start, end)`` received-out-of-order
+    #: ranges, as in the TCP SACK option.
+    sack: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.direction not in (1, -1):
+            raise ValueError(f"direction must be +1 or -1, got {self.direction}")
+        if self.payload_len < 0:
+            raise ValueError(f"payload_len must be >= 0, got {self.payload_len}")
+
+    @property
+    def end_seq(self) -> int:
+        """One past the last sequence byte carried (SYN/FIN occupy one)."""
+        return self.seq + self.payload_len + (1 if (self.is_syn or self.is_fin) else 0)
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes on the wire, headers included."""
+        return self.payload_len + HEADER_BYTES
+
+    @property
+    def is_data(self) -> bool:
+        """True when the packet carries payload (real or dummy)."""
+        return self.payload_len > 0
+
+
+@dataclass
+class TsoSegment:
+    """A transport-level super-segment handed to the lower stack layers.
+
+    The NIC splits it into ``packet_sizes`` wire packets at line rate
+    without interleaving — the micro-burst behaviour §2.3 describes.
+    ``packet_sizes`` lists *payload* sizes; Linux TSO produces equal
+    MSS-sized packets except the last, but Stob's flexible-TSO extension
+    (§5.5) allows arbitrary per-packet sizes, which is why this is a
+    list rather than a single MSS value.
+    """
+
+    flow_id: int
+    direction: int
+    seq: int
+    ack: int
+    packet_sizes: list = field(default_factory=list)
+    is_syn: bool = False
+    is_fin: bool = False
+    ts_val: float = -1.0
+    ts_ecr: float = -1.0
+    #: Earliest departure time requested by pacing/Stob; the fq qdisc
+    #: holds the segment until this instant.  -1 means "now".
+    not_before: float = -1.0
+    dummy: bool = False
+
+    def __post_init__(self) -> None:
+        if any(size <= 0 for size in self.packet_sizes):
+            raise ValueError(f"packet sizes must be positive: {self.packet_sizes}")
+
+    @property
+    def payload_len(self) -> int:
+        """Total payload bytes across all packets of the segment."""
+        return sum(self.packet_sizes)
+
+    @property
+    def end_seq(self) -> int:
+        return self.seq + self.payload_len + (1 if (self.is_syn or self.is_fin) else 0)
+
+    @property
+    def num_packets(self) -> int:
+        """Number of wire packets this segment will become (>= 1; a
+        pure-ACK segment still emits one header-only packet)."""
+        return max(1, len(self.packet_sizes))
+
+    @property
+    def wire_size(self) -> int:
+        """Total bytes the segment will occupy on the wire."""
+        return self.payload_len + self.num_packets * HEADER_BYTES
+
+    def split_packets(self, next_packet_id) -> list:
+        """Materialise the wire packets (TSO split).
+
+        ``next_packet_id`` is a callable returning fresh packet ids.
+        SYN/FIN flags go on the first/last packet respectively.
+        """
+        sizes: list = list(self.packet_sizes) or [0]
+        packets = []
+        seq = self.seq
+        for index, size in enumerate(sizes):
+            packet = Packet(
+                flow_id=self.flow_id,
+                direction=self.direction,
+                seq=seq,
+                ack=self.ack,
+                payload_len=size,
+                is_syn=self.is_syn and index == 0,
+                is_fin=self.is_fin and index == len(sizes) - 1,
+                packet_id=next_packet_id(),
+                dummy=self.dummy,
+                ts_val=self.ts_val,
+                ts_ecr=self.ts_ecr,
+            )
+            packets.append(packet)
+            seq = packet.end_seq
+        return packets

@@ -1,0 +1,174 @@
+"""Queuing disciplines below the transport layer.
+
+This is the second asynchronous stage of Figure 1: segments pushed by
+TCP are *not* transmitted in the pushing context.  They sit in a qdisc
+and a (modelled) softirq thread dequeues them — honouring earliest
+departure times set by pacing/Stob — and hands them to the NIC.
+
+Two qdiscs are provided:
+
+* :class:`FifoQdisc` — pfifo_fast-like, ignores departure times beyond
+  ordering (segments are released immediately in arrival order);
+* :class:`FqQdisc` — fq-like, releases each segment at its
+  ``not_before`` time using a timer heap.
+
+Both enforce a TCP-Small-Queues-style per-flow byte limit through
+:meth:`Qdisc.budget`, creating the backpressure loop that real stacks
+use to bound in-host bufferbloat (§2.3).
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+import itertools
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.simnet.engine import Simulator
+from repro.stack.packet import TsoSegment
+
+SegmentSink = Callable[[TsoSegment], None]
+
+#: Default per-flow limit of bytes queued below TCP (Linux TSQ is
+#: ~2 segments or 1 ms of pacing; we use a byte cap).
+DEFAULT_TSQ_BYTES = 256 * 1024
+
+
+class Qdisc(abc.ABC):
+    """Base qdisc: accepts TSO segments, releases them to a sink."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sink: SegmentSink,
+        tsq_bytes: int = DEFAULT_TSQ_BYTES,
+    ) -> None:
+        if tsq_bytes <= 0:
+            raise ValueError(f"tsq_bytes must be positive, got {tsq_bytes}")
+        self._sim = sim
+        self._sink = sink
+        self.tsq_bytes = tsq_bytes
+        self._flow_bytes: Dict[int, int] = {}
+        self._drain_callbacks: Dict[int, Callable[[], None]] = {}
+        self.enqueued_segments = 0
+        self.released_segments = 0
+
+    # -- TSQ backpressure ------------------------------------------------------
+
+    def budget(self, flow_id: int) -> int:
+        """Bytes flow ``flow_id`` may still enqueue before TSQ blocks it."""
+        return max(0, self.tsq_bytes - self._flow_bytes.get(flow_id, 0))
+
+    def queued_bytes(self, flow_id: int) -> int:
+        """Bytes of ``flow_id`` currently below the transport layer."""
+        return self._flow_bytes.get(flow_id, 0)
+
+    def on_drain(self, flow_id: int, callback: Callable[[], None]) -> None:
+        """Register the TSQ wakeup for a flow (called after each release)."""
+        self._drain_callbacks[flow_id] = callback
+
+    def _account_enqueue(self, segment: TsoSegment) -> None:
+        self._flow_bytes[segment.flow_id] = (
+            self._flow_bytes.get(segment.flow_id, 0) + segment.wire_size
+        )
+        self.enqueued_segments += 1
+
+    def _release(self, segment: TsoSegment) -> None:
+        self._flow_bytes[segment.flow_id] -= segment.wire_size
+        self.released_segments += 1
+        self._sink(segment)
+        callback = self._drain_callbacks.get(segment.flow_id)
+        if callback is not None:
+            callback()
+
+    # -- interface ----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def enqueue(self, segment: TsoSegment) -> None:
+        """Accept a segment from the transport layer."""
+
+    @property
+    @abc.abstractmethod
+    def backlog(self) -> int:
+        """Number of segments currently held."""
+
+
+class FifoQdisc(Qdisc):
+    """A FIFO qdisc: releases segments in arrival order, asynchronously
+    (next event-loop instant), ignoring pacing departure times."""
+
+    def __init__(self, sim, sink, tsq_bytes: int = DEFAULT_TSQ_BYTES) -> None:
+        super().__init__(sim, sink, tsq_bytes)
+        self._queue: Deque[TsoSegment] = deque()
+        self._draining = False
+
+    def enqueue(self, segment: TsoSegment) -> None:
+        self._account_enqueue(segment)
+        self._queue.append(segment)
+        if not self._draining:
+            self._draining = True
+            self._sim.schedule(0.0, self._drain)
+
+    def _drain(self) -> None:
+        while self._queue:
+            self._release(self._queue.popleft())
+        self._draining = False
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)
+
+
+class FqQdisc(Qdisc):
+    """An fq-like qdisc honouring per-segment earliest departure times."""
+
+    def __init__(self, sim, sink, tsq_bytes: int = DEFAULT_TSQ_BYTES) -> None:
+        super().__init__(sim, sink, tsq_bytes)
+        self._heap: List[Tuple[float, int, TsoSegment]] = []
+        self._seq = itertools.count()
+        self._timer = None
+        #: Last assigned departure per flow: fq keeps each flow FIFO,
+        #: so a later segment (e.g. an unpaced retransmission) must not
+        #: overtake already-queued segments of the same flow — doing so
+        #: manufactures reordering the sender then misreads as loss.
+        self._flow_last_departure: Dict[int, float] = {}
+
+    def enqueue(self, segment: TsoSegment) -> None:
+        self._account_enqueue(segment)
+        when = max(
+            segment.not_before,
+            self._sim.now,
+            self._flow_last_departure.get(segment.flow_id, 0.0),
+        )
+        self._flow_last_departure[segment.flow_id] = when
+        heapq.heappush(self._heap, (when, next(self._seq), segment))
+        self._arm_timer()
+
+    def _arm_timer(self) -> None:
+        if not self._heap:
+            return
+        head_time = self._heap[0][0]
+        if self._timer is not None and not self._timer.cancelled:
+            if self._timer.time <= head_time:
+                return
+            self._timer.cancel()
+        self._timer = self._sim.schedule_at(max(head_time, self._sim.now), self._fire)
+
+    def _fire(self) -> None:
+        now = self._sim.now
+        while self._heap and self._heap[0][0] <= now:
+            _when, _seq, segment = heapq.heappop(self._heap)
+            self._release(segment)
+        self._timer = None
+        self._arm_timer()
+
+    @property
+    def backlog(self) -> int:
+        return len(self._heap)
+
+    def next_departure(self) -> Optional[float]:
+        """Departure time of the head segment, or None when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]

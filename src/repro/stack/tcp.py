@@ -1,0 +1,753 @@
+"""TCP endpoint: the transport half of the stack model.
+
+A :class:`TcpEndpoint` owns one side of a connection.  It implements
+the behaviours §2.3 identifies as the reason application-level WF
+defenses cannot control packet sequences:
+
+* window-gated, *deferred* transmission — ``write()`` returns and the
+  stack transmits when cwnd/rwnd open on ACK arrival;
+* TSO segment construction with Linux-style autosizing;
+* fq pacing via earliest departure times;
+* TCP-Small-Queues backpressure from the qdisc (dynamic: ~2 ms of the
+  pacing rate, never below two segments);
+* SACK loss recovery: an RFC 6675-style scoreboard with pipe-limited,
+  dup-ACK-paced hole retransmission, an IsLost marking rule, and a
+  RACK-style knowledge horizon (holes younger than 1.5 sRTT are
+  presumed merely unreported, not lost);
+* retransmission timeout with exponential backoff; an RTO performs a
+  go-back-N rewind through the normal send path.
+
+Simplifications (documented, none affect the experiments):
+
+* The three-way handshake uses flag packets that do not consume
+  sequence space; data stream offsets start at 0.
+* Pure ACKs bypass the qdisc and carry no CPU cost (the paper's
+  Figure 3 measures the *sender's* CPU efficiency).
+
+The Stob hook is ``segment_controller``: an object (see
+:class:`repro.stob.controller.StobController`) consulted for packet
+sizes, TSO sizing and extra departure gaps for every segment built.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.simnet.engine import Event, Simulator
+from repro.stack import intervals
+from repro.stack.buffers import ReceiveBuffer, SendBuffer
+from repro.stack.cc import make_cca
+from repro.stack.cc.base import AckSample
+from repro.stack.nic import Cpu
+from repro.stack.packet import Packet, TsoSegment
+from repro.stack.qdisc import Qdisc
+from repro.stack.pacing import FlowPacer
+from repro.stack.tso import TsoPolicy
+
+#: Dup-ACK threshold for fast retransmit (RFC 5681).
+DUPACK_THRESHOLD = 3
+
+
+@dataclass
+class TcpConfig:
+    """Tunables of a TCP endpoint (sysctl-ish defaults)."""
+
+    mss: int = 1448
+    cc: str = "cubic"
+    receive_window: int = 1 << 24
+    send_buffer: Optional[int] = None
+    pacing: bool = True
+    tso: TsoPolicy = field(default_factory=TsoPolicy)
+    min_rto: float = 0.2
+    max_rto: float = 60.0
+    initial_rto: float = 1.0
+    delayed_ack_packets: int = 2
+    delayed_ack_timeout: float = 0.04
+    #: Number of quick-ACK packets at connection start (Linux acks the
+    #: slow-start burst immediately to grow the peer's window fast).
+    quickack_packets: int = 16
+
+    def __post_init__(self) -> None:
+        if self.mss <= 0:
+            raise ValueError(f"mss must be positive, got {self.mss}")
+        if self.delayed_ack_packets < 1:
+            raise ValueError(
+                f"delayed_ack_packets must be >= 1, got {self.delayed_ack_packets}"
+            )
+
+
+class TcpEndpoint:
+    """One side of a TCP connection."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: int,
+        direction: int,
+        cpu: Cpu,
+        qdisc: Qdisc,
+        ack_sender: Callable[[Packet], None],
+        config: Optional[TcpConfig] = None,
+    ) -> None:
+        self._sim = sim
+        self.flow_id = flow_id
+        self.direction = direction
+        self._cpu = cpu
+        self._qdisc = qdisc
+        self._send_ack_packet = ack_sender
+        self.config = config or TcpConfig()
+
+        self.send_buffer = SendBuffer(limit=self.config.send_buffer)
+        self.receive_buffer = ReceiveBuffer(window=self.config.receive_window)
+        self.cca = make_cca(self.config.cc, self.config.mss)
+        self.pacer = FlowPacer()
+        #: Hook consulted for every segment built (Stob).  None means
+        #: stock stack behaviour.
+        self.segment_controller = None
+
+        # Sender state.
+        self.peer_rwnd = self.config.receive_window
+        self.established = False
+        self.fin_sent = False
+        self._fin_dispatched = False
+        self._dup_acks = 0
+        self._in_recovery = False
+        self._recovery_point = 0
+        #: SACK scoreboard: ranges the peer received out of order.
+        #: Invariant: disjoint from ``_retx_ranges`` (a SACK arriving
+        #: for retransmitted data evicts it from the retx set).
+        self._scoreboard = intervals.RangeSet()
+        #: Ranges retransmitted in this recovery, not yet ACKed/SACKed.
+        self._retx_ranges = intervals.RangeSet()
+        self._pipe_memo = (-1, -1, -1, -1, 0)
+        #: Sequence below which holes were already retransmitted this
+        #: recovery round (avoids re-walking the scoreboard per ACK).
+        self._retx_cursor = 0
+        self._rto_timer: Optional[Event] = None
+        self._rto_backoff = 1
+        self._srtt = -1.0
+        self._rttvar = 0.0
+        self.delivered = 0
+        self._rate_samples: Deque[Tuple[int, int, float]] = deque()
+        self.retransmissions = 0
+        self.timeouts = 0
+
+        # Receiver state.
+        self._ack_pending_packets = 0
+        self._ack_timer: Optional[Event] = None
+        self._last_ts_val = -1.0
+        self._packets_received = 0
+        self.fin_received = False
+        self.on_fin: Optional[Callable[[], None]] = None
+        self.on_established: Optional[Callable[[], None]] = None
+
+        self._qdisc.on_drain(self.flow_id, self._on_tsq_drain)
+
+    # ------------------------------------------------------------------ app API
+
+    @property
+    def snd_nxt(self) -> int:
+        """Next new stream byte to transmit."""
+        return self.send_buffer.nxt
+
+    @property
+    def snd_una(self) -> int:
+        """First unacknowledged stream byte (owned by the send
+        buffer, the single source of truth)."""
+        return self.send_buffer.una
+
+    @property
+    def bytes_in_flight(self) -> int:
+        """Stream bytes sent and not yet cumulatively acknowledged."""
+        return self.send_buffer.nxt - self.snd_una
+
+    @property
+    def srtt(self) -> float:
+        """Smoothed RTT in seconds (negative before the first sample)."""
+        return self._srtt
+
+    def connect(self) -> None:
+        """Start the handshake (client side)."""
+        if self.established:
+            return
+        syn = Packet(
+            flow_id=self.flow_id,
+            direction=self.direction,
+            is_syn=True,
+            packet_id=self._sim.next_packet_id(),
+            ts_val=self._sim.now,
+            ack=0,
+        )
+        self._send_ack_packet(syn)
+        # Retry if no SYN-ACK within the initial RTO.
+        self._rto_timer = self._sim.schedule(self.config.initial_rto, self._syn_retry)
+
+    def _syn_retry(self) -> None:
+        self._rto_timer = None
+        if not self.established:
+            self.timeouts += 1
+            self.connect()
+
+    def write(self, nbytes: int) -> int:
+        """Post application data; transmission happens asynchronously."""
+        taken = self.send_buffer.write(nbytes)
+        self.try_send()
+        return taken
+
+    def write_then(self, nbytes: int, callback: Callable[[], None]) -> int:
+        """Post data and invoke ``callback`` once it is fully ACKed."""
+        taken = self.send_buffer.write(nbytes)
+        self.send_buffer.mark(callback)
+        self.try_send()
+        return taken
+
+    def close(self) -> None:
+        """Send FIN after all posted data (half-close)."""
+        self.fin_sent = True
+        self.try_send()
+
+    def on_data(self, callback: Callable[[int], None]) -> None:
+        """Register the receive-side data-ready callback."""
+        self.receive_buffer.on_data(callback)
+
+    # ------------------------------------------------------------------ sending
+
+    def try_send(self) -> None:
+        """Transmit as much as cwnd, rwnd, TSQ and the send buffer allow."""
+        if not self.established:
+            return
+        while True:
+            built = self._build_one_segment()
+            if not built:
+                break
+
+    def _pipe(self) -> int:
+        """Bytes estimated in flight, SACK-adjusted (RFC 6675 'pipe').
+
+        Un-SACKed bytes more than three MSS below the highest SACKed
+        byte are considered *lost* (the RFC's IsLost rule) and leave the
+        pipe — without this, drops inflate the estimate and recovery
+        starves until an RTO.
+
+        The value is memoised on (nxt, una, sack-version): the pipe is
+        queried on every transmission opportunity, which would otherwise
+        make interval arithmetic the simulation's hot path.
+        """
+        memo_key = (
+            self.send_buffer.nxt,
+            self.snd_una,
+            self._scoreboard.version,
+            self._retx_ranges.version,
+        )
+        if self._pipe_memo[:4] == memo_key:
+            return self._pipe_memo[4]
+        sacked = self._scoreboard.total
+        retx_out = self._retx_ranges.total
+        lost = 0
+        if self._scoreboard:
+            high = self._scoreboard.max_end
+            lost_end = max(self.snd_una, high - 3 * self.config.mss)
+            if lost_end > self.snd_una:
+                span = lost_end - self.snd_una
+                # Both sets live entirely in [una, max_end); count their
+                # coverage of the lost window from the (short) tail side
+                # so the cost is O(log n), not a full scan.
+                covered = (
+                    self._scoreboard.total
+                    - self._scoreboard.covered_in(lost_end, high)
+                    + self._retx_ranges.total
+                    - self._retx_ranges.covered_in(
+                        lost_end, max(high, self._retx_ranges.max_end)
+                    )
+                )
+                lost = max(0, span - covered)
+        pipe = max(0, self.bytes_in_flight - sacked - lost + retx_out)
+        self._pipe_memo = memo_key + (pipe,)
+        return pipe
+
+    def _window_budget(self) -> int:
+        window = min(self.cca.cwnd, self.peer_rwnd)
+        return max(0, window - self._pipe())
+
+    def _build_one_segment(self) -> bool:
+        available = self.send_buffer.sendable()
+        fin_only = self.fin_sent and available == 0 and not self._fin_in_flight()
+        if available <= 0 and not fin_only:
+            return False
+        window = self._window_budget()
+        if window <= 0 and not fin_only:
+            return False
+        mss = self.config.mss
+        pacing_rate = self._pacing_rate()
+        # TSQ is a threshold, not a byte allowance: while the below-TCP
+        # backlog is under the limit a full TSO segment may be built
+        # (Linux checks the limit before building, so one segment can
+        # overshoot it).  Capping the segment *size* by the remaining
+        # budget would ratchet segment sizes down under CPU load.
+        if self._tsq_budget(pacing_rate) <= 0:
+            return False
+
+        tso_segs = self.config.tso.autosize(
+            pacing_rate if pacing_rate is not None else 0.0, mss
+        )
+        controller = self.segment_controller
+        if controller is not None:
+            tso_segs = controller.tso_size(self, tso_segs)
+            tso_segs = max(1, tso_segs)
+        seg_limit = min(tso_segs * mss, window, available)
+        if seg_limit <= 0 and not fin_only:
+            return False
+
+        if fin_only:
+            packet_sizes: List[int] = []
+            taken = 0
+        else:
+            packet_sizes = self._packetize(seg_limit, mss)
+            taken = self.send_buffer.take(sum(packet_sizes))
+        seq = self.send_buffer.nxt - taken
+        carries_fin = (
+            self.fin_sent
+            and self.send_buffer.sendable() == 0
+            and not self._fin_in_flight()
+        )
+        if carries_fin:
+            self._fin_dispatched = True
+        segment = TsoSegment(
+            flow_id=self.flow_id,
+            direction=self.direction,
+            seq=seq,
+            ack=self.receive_buffer.rcv_nxt,
+            packet_sizes=packet_sizes,
+            is_fin=carries_fin,
+            ts_val=self._sim.now,
+            ts_ecr=self._last_ts_val,
+        )
+        self._dispatch_segment(segment, pacing_rate)
+        self._record_rate_sample(segment.seq + taken)
+        self._arm_rto()
+        return taken > 0  # a FIN-only segment ends the loop
+
+    def _packetize(self, nbytes: int, mss: int) -> List[int]:
+        """Split ``nbytes`` into per-packet payload sizes.
+
+        Stock TCP produces MSS-sized packets with a smaller tail; the
+        Stob controller may dictate other (only smaller) sizes.
+        """
+        controller = self.segment_controller
+        if controller is not None:
+            sizes = controller.packet_sizes(self, nbytes, mss)
+            if sizes:
+                total = sum(sizes)
+                if total > nbytes or any(s <= 0 or s > mss for s in sizes):
+                    raise ValueError(
+                        f"controller returned invalid packet sizes {sizes} "
+                        f"for {nbytes} bytes at mss {mss}"
+                    )
+                return sizes
+        sizes = [mss] * (nbytes // mss)
+        tail = nbytes % mss
+        if tail:
+            sizes.append(tail)
+        return sizes
+
+    def _pacing_rate(self) -> Optional[float]:
+        if not self.config.pacing:
+            return None
+        return self.cca.pacing_rate(self._srtt)
+
+    def _tsq_budget(self, pacing_rate: Optional[float]) -> int:
+        """TCP-Small-Queues budget, Linux style: keep at most ~2 ms of
+        the current pacing rate (never less than two full segments)
+        queued below TCP.  Without the dynamic bound, a backlog
+        enqueued before a window collapse drains at the collapsed rate
+        and every retransmission queues behind it for seconds."""
+        limit = self._qdisc.tsq_bytes
+        if pacing_rate is not None and pacing_rate > 0:
+            two_segments = 2 * (self.config.mss + 52)
+            dynamic = max(two_segments, int(pacing_rate * 0.002))
+            limit = min(limit, dynamic)
+        return max(0, limit - self._qdisc.queued_bytes(self.flow_id))
+
+    def _dispatch_segment(
+        self, segment: TsoSegment, pacing_rate: Optional[float]
+    ) -> None:
+        extra_gap = 0.0
+        controller = self.segment_controller
+        if controller is not None:
+            extra_gap = max(0.0, controller.departure_gap(self, segment))
+        departure = self.pacer.schedule(
+            self._sim.now, segment.wire_size, pacing_rate, extra_gap
+        )
+        cost = self._cpu.model.segment_cost(segment.payload_len, segment.num_packets)
+        cpu_done = self._cpu.consume(cost)
+        segment.not_before = max(departure, cpu_done)
+        self._qdisc.enqueue(segment)
+
+    def _fin_in_flight(self) -> bool:
+        # FIN tracking is coarse: once sent with all data, do not resend
+        # unless an RTO rewinds the stream.
+        return self._fin_dispatched
+
+    def _record_rate_sample(self, end_seq: int) -> None:
+        self._rate_samples.append((end_seq, self.delivered, self._sim.now))
+
+    def inject_dummy(self, nbytes: int, packet_sizes: Optional[List[int]] = None) -> None:
+        """Send unreliable cover traffic (dummy packets, §2.2 *padding*).
+
+        Dummies do not consume sequence space and are never
+        retransmitted — they model in-stack padding the receiver's
+        stack discards (the TLS-record padding hook of §4.2).
+        """
+        if nbytes <= 0:
+            return
+        mss = self.config.mss
+        sizes = packet_sizes or self._packetize(nbytes, mss)
+        segment = TsoSegment(
+            flow_id=self.flow_id,
+            direction=self.direction,
+            seq=0,
+            ack=self.receive_buffer.rcv_nxt,
+            packet_sizes=sizes,
+            dummy=True,
+            ts_val=self._sim.now,
+            ts_ecr=self._last_ts_val,
+        )
+        # Cover traffic is clocked by its own injector, not by the
+        # congestion controller: it bypasses the data pacer (otherwise
+        # dummies would consume the flow's pacing credits and starve
+        # the real stream) and pays only the CPU cost.
+        cost = self._cpu.model.segment_cost(
+            segment.payload_len, segment.num_packets
+        )
+        segment.not_before = self._cpu.consume(cost)
+        self._qdisc.enqueue(segment)
+
+    def _on_tsq_drain(self) -> None:
+        self.try_send()
+
+    # ------------------------------------------------------------------ receiving
+
+    def on_packet(self, packet: Packet) -> None:
+        """Entry point for every packet arriving from the network."""
+        if packet.is_syn:
+            self._handle_syn(packet)
+            return
+        if packet.dummy:
+            # Cover traffic: observable on the wire, dropped here.
+            return
+        self._last_ts_val = packet.ts_val
+        if packet.payload_len > 0 or packet.is_fin:
+            self._handle_data(packet)
+        self._handle_ack(packet)
+
+    def _handle_syn(self, packet: Packet) -> None:
+        became_established = not self.established
+        self.established = True
+        if packet.ack == 0 and packet.direction != self.direction:
+            # Passive open: reply SYN-ACK (ack=1 marks the SYN acked).
+            synack = Packet(
+                flow_id=self.flow_id,
+                direction=self.direction,
+                is_syn=True,
+                ack=1,
+                packet_id=self._sim.next_packet_id(),
+                ts_val=self._sim.now,
+                ts_ecr=packet.ts_val,
+            )
+            self._send_ack_packet(synack)
+        else:
+            # SYN-ACK received (active open): take the RTT sample, ack it.
+            if packet.ts_ecr >= 0:
+                self._rtt_sample(self._sim.now - packet.ts_ecr)
+            if self._rto_timer is not None:
+                self._rto_timer.cancel()
+                self._rto_timer = None
+            self._send_pure_ack()
+        if became_established:
+            if self.on_established is not None:
+                self.on_established()
+            self.try_send()
+
+    def _handle_data(self, packet: Packet) -> None:
+        before = self.receive_buffer.rcv_nxt
+        self.receive_buffer.receive(packet.seq, packet.payload_len)
+        after = self.receive_buffer.rcv_nxt
+        if packet.is_fin and packet.end_seq - (1 if packet.is_fin else 0) <= after:
+            if not self.fin_received:
+                self.fin_received = True
+                if self.on_fin is not None:
+                    self.on_fin()
+        self._packets_received += 1
+        out_of_order = after == before and packet.payload_len > 0
+        self._ack_pending_packets += 1
+        quick = (
+            out_of_order
+            or self._packets_received <= self.config.quickack_packets
+            or packet.is_fin
+        )
+        if quick or self._ack_pending_packets >= self.config.delayed_ack_packets:
+            self._send_pure_ack()
+        elif self._ack_timer is None or self._ack_timer.cancelled:
+            self._ack_timer = self._sim.schedule(
+                self.config.delayed_ack_timeout, self._ack_timer_fire
+            )
+
+    def _ack_timer_fire(self) -> None:
+        self._ack_timer = None
+        if self._ack_pending_packets > 0:
+            self._send_pure_ack()
+
+    def _send_pure_ack(self) -> None:
+        self._ack_pending_packets = 0
+        if self._ack_timer is not None:
+            self._ack_timer.cancel()
+            self._ack_timer = None
+        ack = Packet(
+            flow_id=self.flow_id,
+            direction=self.direction,
+            seq=self.send_buffer.nxt,
+            ack=self.receive_buffer.rcv_nxt,
+            packet_id=self._sim.next_packet_id(),
+            ts_val=self._sim.now,
+            ts_ecr=self._last_ts_val,
+            rwnd=self.receive_buffer.advertised_window,
+            sack=self.receive_buffer.sack_ranges(),
+        )
+        self._send_ack_packet(ack)
+
+    # ------------------------------------------------------------------ ACK clock
+
+    def _handle_ack(self, packet: Packet) -> None:
+        ack = packet.ack
+        if packet.payload_len == 0:
+            # Pure ACKs carry the peer's current advertised window.
+            self.peer_rwnd = packet.rwnd
+        for start, end in packet.sack:
+            if self._scoreboard.add(start, end):
+                # Keep the retx set disjoint: SACKed retransmissions
+                # are no longer outstanding.
+                self._retx_ranges.remove(start, end)
+        if ack > self.snd_una:
+            self._process_new_ack(ack, packet)
+        elif (
+            ack == self.snd_una
+            and self.bytes_in_flight > 0
+            and packet.payload_len == 0
+        ):
+            self._process_dup_ack()
+        self.try_send()
+
+    def _process_new_ack(self, ack: int, packet: Packet) -> None:
+        newly = self.send_buffer.ack_to(ack)
+        self.delivered += newly
+        self._dup_acks = 0
+        self._rto_backoff = 1
+        self._scoreboard.trim_below(ack)
+        self._retx_ranges.trim_below(ack)
+
+        rtt = -1.0
+        if packet.ts_ecr >= 0:
+            rtt = self._sim.now - packet.ts_ecr
+            self._rtt_sample(rtt)
+        rate = self._delivery_rate(ack)
+
+        if self._in_recovery and ack >= self._recovery_point:
+            self._in_recovery = False
+            self.cca.on_recovery_exit(self._sim.now)
+        elif self._in_recovery:
+            # Partial ACK: keep repairing holes the SACK way.
+            self._sack_retransmit()
+
+        sample = AckSample(
+            acked_bytes=newly,
+            rtt=rtt,
+            now=self._sim.now,
+            in_flight=self.bytes_in_flight,
+            delivery_rate=rate,
+        )
+        self.cca.on_ack(sample)
+        check_drain = getattr(self.cca, "check_drain_exit", None)
+        if check_drain is not None:
+            check_drain(self.bytes_in_flight, self._sim.now)
+
+        if self.bytes_in_flight == 0:
+            self._cancel_rto()
+        else:
+            self._arm_rto(restart=True)
+
+    def _process_dup_ack(self) -> None:
+        self._dup_acks += 1
+        if self._dup_acks >= DUPACK_THRESHOLD and not self._in_recovery:
+            self._in_recovery = True
+            self._recovery_point = self.send_buffer.nxt
+            # Note: _retx_ranges survives across recovery episodes —
+            # retransmissions from the previous episode may still be in
+            # flight, and forgetting them would duplicate them.  It is
+            # cleared on RTO, where everything is presumed lost.
+            self._retx_cursor = self.snd_una
+            self.cca.on_loss(self._sim.now, self.bytes_in_flight)
+        if self._in_recovery:
+            self._sack_retransmit()
+
+    def _delivery_rate(self, ack: int) -> float:
+        """Delivery-rate sample from the oldest segment the ACK covers."""
+        rate = 0.0
+        last = None
+        while self._rate_samples and self._rate_samples[0][0] <= ack:
+            last = self._rate_samples.popleft()
+        if last is not None:
+            _end, delivered_then, sent_time = last
+            elapsed = self._sim.now - sent_time
+            if elapsed > 0:
+                rate = (self.delivered - delivered_then) / elapsed
+        return rate
+
+    def _rtt_sample(self, rtt: float) -> None:
+        if rtt <= 0:
+            return
+        if self._srtt < 0:
+            self._srtt = rtt
+            self._rttvar = rtt / 2.0
+        else:
+            err = rtt - self._srtt
+            self._srtt += 0.125 * err
+            self._rttvar += 0.25 * (abs(err) - self._rttvar)
+
+    # ------------------------------------------------------------------ loss
+
+    def _sack_retransmit(self) -> None:
+        """Repair scoreboard holes, pipe-limited (RFC 6675 style).
+
+        Holes are the unsacked, un-retransmitted ranges between the
+        cumulative ACK point and the highest SACKed byte (or the
+        recovery point when no SACK information exists, which degrades
+        to head retransmission).
+        """
+        mss = self.config.mss
+        high = self._recovery_point
+        if self._scoreboard:
+            high = max(high, self._scoreboard.max_end)
+        budget = self.cca.cwnd - self._pipe()
+        if budget <= 0:
+            return
+        # Dup-ACK pacing: at most one segment per ACK event.  The SACK
+        # option carries only three blocks, so the sender's hole map is
+        # always a little stale; the walk must not outpace what the
+        # rotating SACK reports reveal, or it retransmits data the
+        # receiver already holds.
+        budget = min(budget, mss)
+        cursor = max(self.snd_una, self._retx_cursor)
+        # Only holes below the IsLost edge are eligible: un-SACKed data
+        # within three MSS of the highest SACKed byte may simply still
+        # be in flight (RFC 6675).
+        lost_edge = high - 3 * mss
+        spans = intervals.merged_gaps(
+            self._scoreboard, self._retx_ranges, cursor, lost_edge
+        )
+        # Retransmit MSS-sized chunks of the holes, pipe-limited.  The
+        # cursor remembers how far this recovery round has walked so a
+        # dup-ACK storm does not rescan repaired holes.  A RACK-style
+        # age check stops the walk at the knowledge horizon: a hole
+        # whose original transmission is younger than one sRTT has not
+        # had time to be SACK-reported and is very likely just unknown,
+        # not lost.
+        horizon = self._sim.now - 1.5 * max(self._srtt, 0.0)
+        for start, end in spans:
+            while start < end and budget > 0:
+                if self._sent_time_of(start) > horizon:
+                    return
+                length = min(end - start, mss)
+                self._retransmit_range(start, length)
+                self._retx_ranges.add(start, start + length)
+                start += length
+                budget -= length
+            self._retx_cursor = start
+            if budget <= 0:
+                break
+
+    def _sent_time_of(self, seq: int) -> float:
+        """Approximate original transmission time of stream byte
+        ``seq`` from the delivery-rate sample log (-inf if unknown)."""
+        samples = self._rate_samples
+        if not samples:
+            return float("-inf")
+        lo, hi = 0, len(samples)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if samples[mid][0] <= seq:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo >= len(samples):
+            return float("-inf")
+        return samples[lo][2]
+
+    def _retransmit_range(self, seq: int, length: int) -> None:
+        """Retransmit ``[seq, seq + length)``.
+
+        Retransmissions traverse the fq pacer like normal segments (so
+        a recovery burst is not a line-rate flood that re-overflows the
+        bottleneck), but take no Stob gap — obfuscation never delays
+        loss repair.
+        """
+        if length <= 0:
+            return
+        self.retransmissions += 1
+        segment = TsoSegment(
+            flow_id=self.flow_id,
+            direction=self.direction,
+            seq=seq,
+            ack=self.receive_buffer.rcv_nxt,
+            packet_sizes=[length],
+            ts_val=self._sim.now,
+            ts_ecr=self._last_ts_val,
+        )
+        # Retransmissions are not paced: loss repair must never queue
+        # behind a pacing backlog (Linux transmits them directly).
+        cost = self._cpu.model.segment_cost(segment.payload_len, 1)
+        segment.not_before = self._cpu.consume(cost)
+        self._qdisc.enqueue(segment)
+        self._arm_rto(restart=True)
+
+    def _rto_interval(self) -> float:
+        if self._srtt < 0:
+            base = self.config.initial_rto
+        else:
+            base = self._srtt + max(4.0 * self._rttvar, 0.001)
+        rto = base * self._rto_backoff
+        return min(max(rto, self.config.min_rto), self.config.max_rto)
+
+    def _arm_rto(self, restart: bool = False) -> None:
+        if self._rto_timer is not None and not self._rto_timer.cancelled:
+            if not restart:
+                return
+            self._rto_timer.cancel()
+        self._rto_timer = self._sim.schedule(self._rto_interval(), self._rto_fire)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_timer is not None:
+            self._rto_timer.cancel()
+            self._rto_timer = None
+
+    def _rto_fire(self) -> None:
+        self._rto_timer = None
+        if self.bytes_in_flight <= 0:
+            return
+        self.timeouts += 1
+        self._rto_backoff = min(self._rto_backoff * 2, 64)
+        self._in_recovery = False
+        self._dup_acks = 0
+        self._scoreboard.clear()
+        self._retx_ranges.clear()
+        self.cca.on_rto(self._sim.now)
+        # Everything in flight is presumed lost; forget pacing debt so
+        # the retransmission is not scheduled behind stale departures.
+        self.pacer.reset()
+        # Go-back-N: everything past the ACK point is sent again
+        # through the normal path (cwnd is now one segment).
+        self.send_buffer.rewind_for_retransmit()
+        self._rate_samples.clear()
+        self._arm_rto(restart=True)
+        self.try_send()

@@ -1,0 +1,100 @@
+"""kTLS record-layer model (the TLS box of the paper's Figure 1).
+
+In-kernel TLS sits between the application and TCP: application bytes
+are segmented into TLS records (at most 16 KB of plaintext each), and
+each record gains a 5-byte header plus a 16-byte AEAD tag on the wire.
+Because records are the unit of encryption, they are also the natural
+place for *padding* — §4.2: "its implementation could be done in TLS
+record padding" — so this model exposes a record-padding policy that
+rounds every record's ciphertext length up (TLS 1.3 allows arbitrary
+record padding).
+
+Only byte counts are modelled, consistent with the rest of the stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+#: TLS 1.3 limits and overheads.
+MAX_RECORD_PLAINTEXT = 16384
+RECORD_HEADER = 5
+AEAD_TAG = 16
+RECORD_OVERHEAD = RECORD_HEADER + AEAD_TAG
+
+
+@dataclass
+class RecordPaddingPolicy:
+    """Round each record's ciphertext up to a multiple of ``quantum``.
+
+    ``quantum=1`` disables padding.  NIST-style fixed-length records
+    are ``quantum=MAX_RECORD_PLAINTEXT + RECORD_OVERHEAD``.
+    """
+
+    quantum: int = 1
+
+    def __post_init__(self) -> None:
+        if self.quantum < 1:
+            raise ValueError(f"quantum must be >= 1, got {self.quantum}")
+
+    def padded_size(self, ciphertext: int) -> int:
+        q = self.quantum
+        return ((ciphertext + q - 1) // q) * q
+
+
+class TlsSession:
+    """A kTLS send-side session bound to a byte sink (a TCP endpoint's
+    ``write``), tracking plaintext/ciphertext/padding accounting.
+
+    The receive side needs no modelling: lengths are all WF sees.
+    """
+
+    def __init__(
+        self,
+        write: Callable[[int], int],
+        max_record: int = MAX_RECORD_PLAINTEXT,
+        padding: Optional[RecordPaddingPolicy] = None,
+    ) -> None:
+        if not 1 <= max_record <= MAX_RECORD_PLAINTEXT:
+            raise ValueError(
+                f"max_record must be in [1, {MAX_RECORD_PLAINTEXT}], "
+                f"got {max_record}"
+            )
+        self._write = write
+        self.max_record = max_record
+        self.padding = padding or RecordPaddingPolicy()
+        self.plaintext_bytes = 0
+        self.ciphertext_bytes = 0
+        self.padding_bytes = 0
+        self.records = 0
+
+    def send(self, nbytes: int) -> int:
+        """Encrypt-and-send ``nbytes`` of application data.
+
+        Returns the ciphertext bytes handed to the transport.  Records
+        are filled to ``max_record`` except the last.
+        """
+        if nbytes < 0:
+            raise ValueError(f"cannot send negative bytes: {nbytes}")
+        total_out = 0
+        remaining = nbytes
+        while remaining > 0:
+            plain = min(remaining, self.max_record)
+            ciphertext = plain + RECORD_OVERHEAD
+            padded = self.padding.padded_size(ciphertext)
+            self._write(padded)
+            self.records += 1
+            self.plaintext_bytes += plain
+            self.ciphertext_bytes += padded
+            self.padding_bytes += padded - ciphertext
+            total_out += padded
+            remaining -= plain
+        return total_out
+
+    @property
+    def expansion(self) -> float:
+        """Ciphertext/plaintext ratio so far (1.0 when nothing sent)."""
+        if self.plaintext_bytes == 0:
+            return 1.0
+        return self.ciphertext_bytes / self.plaintext_bytes

@@ -1,0 +1,50 @@
+"""TSO sizing policy (Linux ``tcp_tso_autosize`` model).
+
+TCP would ideally always build 64 KB super-segments for CPU efficiency,
+but — as §4.2 explains — a TSO segment leaves the NIC as an
+un-interleavable line-rate micro-burst, so Linux bounds the segment to
+roughly 1 ms worth of the current pacing rate.  Stob later *lowers*
+this bound further to gain fine-grained interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import DEFAULT_TSO_SEGS, MAX_TSO_BYTES
+
+
+@dataclass
+class TsoPolicy:
+    """Parameters of the autosizing computation.
+
+    ``burst_usecs`` mirrors Linux's goal of one segment per ~1 ms of
+    pacing; ``min_segs``/``max_segs`` bound the result.
+    """
+
+    burst_usecs: float = 1000.0
+    min_segs: int = 2
+    max_segs: int = DEFAULT_TSO_SEGS
+
+    def __post_init__(self) -> None:
+        if self.min_segs < 1:
+            raise ValueError(f"min_segs must be >= 1, got {self.min_segs}")
+        if self.max_segs < self.min_segs:
+            raise ValueError(
+                f"max_segs ({self.max_segs}) must be >= min_segs ({self.min_segs})"
+            )
+
+    def autosize(self, pacing_rate: float, mss: int) -> int:
+        """Return the number of MSS-sized packets for the next TSO segment.
+
+        With no pacing (``pacing_rate <= 0``) the maximum is used, as
+        Linux does for unpaced flows.
+        """
+        if mss <= 0:
+            raise ValueError(f"mss must be positive, got {mss}")
+        hard_cap = max(1, min(self.max_segs, MAX_TSO_BYTES // mss))
+        if pacing_rate <= 0:
+            return hard_cap
+        bytes_per_burst = pacing_rate * (self.burst_usecs * 1e-6)
+        segs = int(bytes_per_burst // mss)
+        return max(min(segs, hard_cap), min(self.min_segs, hard_cap))

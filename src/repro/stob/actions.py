@@ -1,0 +1,259 @@
+"""Packet-sequence obfuscation actions.
+
+An action answers the three questions the transport asks when it
+builds a segment (§4.2):
+
+* ``packet_sizes`` — how to packetise the next chunk of stream bytes,
+* ``tso_size`` — how many packets one TSO segment may carry,
+* ``departure_gap`` — how much extra delay to add before departure.
+
+Actions are *mechanism*; safety (never exceeding the CCA's chosen
+aggressiveness) is enforced by the controller that wraps them.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+import numpy as np
+
+from repro.stob.policy import ObfuscationPolicy
+
+
+class StobAction(abc.ABC):
+    """Base class for packet-sequence actions.
+
+    Subclasses override any of the three hooks; defaults are
+    pass-through (stock stack behaviour).
+    """
+
+    def packet_sizes(self, nbytes: int, mss: int) -> Optional[List[int]]:
+        """Payload sizes for the next ``nbytes`` (None = stock MSS
+        packetisation).  Sizes must be positive, each <= mss, and sum
+        to <= nbytes."""
+        return None
+
+    def tso_size(self, default_segs: int) -> int:
+        """Number of packets per TSO segment (will be clamped to
+        <= default_segs by the controller)."""
+        return default_segs
+
+    def departure_gap(self, now: float, last_departure: float) -> float:
+        """Extra delay (seconds >= 0) before the segment departs."""
+        return 0.0
+
+    def reset(self) -> None:
+        """Clear per-connection state."""
+
+
+class NoOpAction(StobAction):
+    """Stock stack behaviour (the 'Original' condition)."""
+
+
+class SplitAction(StobAction):
+    """The paper's §3 splitting countermeasure, in-stack.
+
+    Payload chunks larger than ``threshold`` become ``factor`` packets
+    of equal size.  The paper splits packets larger than 1200 bytes in
+    two, choosing the threshold so no packet falls below the minimum
+    TCP MSS of 536 bytes.
+    """
+
+    def __init__(self, threshold: int = 1200, factor: int = 2) -> None:
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if factor < 2:
+            raise ValueError(f"factor must be >= 2, got {factor}")
+        self.threshold = threshold
+        self.factor = factor
+
+    def packet_sizes(self, nbytes: int, mss: int) -> Optional[List[int]]:
+        sizes: List[int] = []
+        remaining = nbytes
+        while remaining > 0:
+            chunk = min(remaining, mss)
+            if chunk > self.threshold:
+                base = chunk // self.factor
+                parts = [base] * self.factor
+                parts[-1] += chunk - base * self.factor
+                sizes.extend(parts)
+            else:
+                sizes.append(chunk)
+            remaining -= chunk
+        return sizes
+
+
+class DelayAction(StobAction):
+    """The paper's §3 delaying countermeasure, in-stack.
+
+    Each departure is delayed by ``U(low, high)`` of the elapsed time
+    since the previous departure — incrementing inter-departure gaps by
+    10-30 % in the paper's configuration.  Small fractions are chosen
+    so added delay never approaches retransmission timeouts.
+    """
+
+    def __init__(
+        self,
+        low: float = 0.10,
+        high: float = 0.30,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not 0 <= low <= high:
+            raise ValueError(f"need 0 <= low <= high, got ({low}, {high})")
+        self.low = low
+        self.high = high
+        self._rng = rng or np.random.default_rng(0)
+
+    def departure_gap(self, now: float, last_departure: float) -> float:
+        if last_departure < 0:
+            return 0.0
+        elapsed = max(0.0, now - last_departure)
+        return float(self._rng.uniform(self.low, self.high)) * elapsed
+
+
+class SizeSweepAction(StobAction):
+    """The Figure-3 experiment's incremental reduction strategy.
+
+    Packet size starts at ``base_packet`` (1500 in the paper, i.e. the
+    wire MTU) and is reduced by ``alpha`` per transmission down to
+    ``base_packet - 10 * alpha``, then reset.  TSO size starts at 44
+    and is reduced by ``alpha / 4`` down to ``44 - 8 * (alpha / 4)`` or
+    1, then reset.  ``alpha`` is the horizontal axis of Figure 3.
+    """
+
+    def __init__(
+        self,
+        alpha: int,
+        base_packet: int = 1500,
+        packet_steps: int = 10,
+        base_tso: int = 44,
+        tso_steps: int = 8,
+        header_bytes: int = 52,
+    ) -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = alpha
+        self.base_packet = base_packet
+        self.packet_steps = packet_steps
+        self.base_tso = base_tso
+        self.tso_steps = tso_steps
+        self.header_bytes = header_bytes
+        # Step indices cycle 0..packet_steps / 0..tso_steps, producing
+        # the paper's "reduce by alpha (alpha/4), reset at the maximum
+        # reduction, repeat" sequence, clamped at 1 where it would go
+        # non-positive ("44 - alpha/4 x 8 or 1").
+        self._packet_k = 0
+        self._tso_k = 0
+
+    def reset(self) -> None:
+        self._packet_k = 0
+        self._tso_k = 0
+
+    def _next_packet_size(self) -> int:
+        size = self.base_packet - self.alpha * self._packet_k
+        self._packet_k = (self._packet_k + 1) % (self.packet_steps + 1)
+        return max(size, self.header_bytes + 1)
+
+    def tso_size(self, default_segs: int) -> int:
+        size = self.base_tso - (self.alpha / 4.0) * self._tso_k
+        self._tso_k = (self._tso_k + 1) % (self.tso_steps + 1)
+        return max(1, int(round(size)))
+
+    def packet_sizes(self, nbytes: int, mss: int) -> Optional[List[int]]:
+        sizes: List[int] = []
+        remaining = nbytes
+        while remaining > 0:
+            wire = self._next_packet_size()
+            payload = max(1, min(wire - self.header_bytes, mss, remaining))
+            sizes.append(payload)
+            remaining -= payload
+        return sizes
+
+
+class HistogramAction(StobAction):
+    """Policy-driven obfuscation: sizes and gaps drawn from the
+    policy's histograms — the general §4.1 mechanism."""
+
+    def __init__(self, policy: ObfuscationPolicy) -> None:
+        self.policy = policy
+        self._rng = np.random.default_rng(policy.seed)
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self.policy.seed)
+
+    def packet_sizes(self, nbytes: int, mss: int) -> Optional[List[int]]:
+        dist = self.policy.size_distribution
+        if dist is None:
+            return None
+        sizes: List[int] = []
+        remaining = nbytes
+        while remaining > 0:
+            drawn = int(dist.sample(self._rng))
+            payload = max(1, min(drawn, mss, remaining))
+            sizes.append(payload)
+            remaining -= payload
+        return sizes
+
+    def tso_size(self, default_segs: int) -> int:
+        if self.policy.max_tso_segs is not None:
+            return self.policy.max_tso_segs
+        return default_segs
+
+    def departure_gap(self, now: float, last_departure: float) -> float:
+        dist = self.policy.gap_distribution
+        if dist is None:
+            return 0.0
+        return float(dist.sample(self._rng))
+
+
+class ComposedAction(StobAction):
+    """Chain several actions: the first non-None packetisation wins,
+    TSO sizes take the minimum, gaps add (each can only delay more)."""
+
+    def __init__(self, *actions: StobAction) -> None:
+        if not actions:
+            raise ValueError("need at least one action")
+        self.actions = list(actions)
+
+    def packet_sizes(self, nbytes: int, mss: int) -> Optional[List[int]]:
+        for action in self.actions:
+            sizes = action.packet_sizes(nbytes, mss)
+            if sizes is not None:
+                return sizes
+        return None
+
+    def tso_size(self, default_segs: int) -> int:
+        return min(action.tso_size(default_segs) for action in self.actions)
+
+    def departure_gap(self, now: float, last_departure: float) -> float:
+        return sum(
+            action.departure_gap(now, last_departure) for action in self.actions
+        )
+
+    def reset(self) -> None:
+        for action in self.actions:
+            action.reset()
+
+
+def action_from_policy(policy: ObfuscationPolicy) -> StobAction:
+    """Build the action a declarative policy describes."""
+    actions: List[StobAction] = []
+    if policy.split_threshold is not None:
+        actions.append(
+            SplitAction(policy.split_threshold, policy.split_factor)
+        )
+    if policy.delay_fraction_range is not None:
+        low, high = policy.delay_fraction_range
+        actions.append(
+            DelayAction(low, high, rng=np.random.default_rng(policy.seed))
+        )
+    if policy.size_sweep_degree is not None:
+        actions.append(SizeSweepAction(policy.size_sweep_degree))
+    if policy.size_distribution is not None or policy.gap_distribution is not None:
+        actions.append(HistogramAction(policy))
+    if not actions:
+        return NoOpAction()
+    if len(actions) == 1:
+        return actions[0]
+    return ComposedAction(*actions)

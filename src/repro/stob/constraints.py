@@ -1,0 +1,99 @@
+"""Safety constraints and phase gating for Stob actions.
+
+§4.2: "Stob must ensure that it does not generate more aggressive
+traffic to the network (e.g., higher pacing rate than what CCA
+desired)."  Concretely:
+
+* packet sizes may only shrink relative to the MSS packetisation,
+* the TSO segment may only shrink relative to the CCA/autosize choice,
+* departure gaps may only be added, never removed (the
+  :class:`~repro.stack.pacing.FlowPacer` additionally rejects negative
+  gaps at the mechanism level).
+
+§5.1 suggests gating obfuscation off in CCA phases where packet
+scheduling is load-bearing (e.g. BBR's STARTUP, where pacing drives
+bandwidth probing).  :class:`PhaseGate` implements that interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.stack.cc.base import CcPhase
+
+
+@dataclass
+class ConstraintReport:
+    """Counts of clamped action outputs (visible in experiments)."""
+
+    oversized_packets: int = 0
+    oversized_tso: int = 0
+    negative_gaps: int = 0
+    gated_segments: int = 0
+
+    @property
+    def total_violations(self) -> int:
+        return self.oversized_packets + self.oversized_tso + self.negative_gaps
+
+    def clamp_packet_sizes(
+        self, sizes: Optional[List[int]], nbytes: int, mss: int
+    ) -> Optional[List[int]]:
+        """Clamp a packetisation to legal sizes and total.
+
+        Returns a cleaned list, or None to fall back to stock
+        packetisation when the action's output is unusable.
+        """
+        if sizes is None:
+            return None
+        cleaned: List[int] = []
+        budget = nbytes
+        for size in sizes:
+            if budget <= 0:
+                break
+            clamped = min(int(size), mss, budget)
+            if clamped != size:
+                self.oversized_packets += 1
+            if clamped <= 0:
+                self.oversized_packets += 1
+                continue
+            cleaned.append(clamped)
+            budget -= clamped
+        # An action may under-packetise (sum < nbytes): the remainder
+        # simply stays in the send buffer for the next segment, which
+        # is always safe.  An empty result is not.
+        return cleaned or None
+
+    def clamp_tso(self, segs: int, default_segs: int) -> int:
+        """TSO size may only shrink."""
+        if segs > default_segs:
+            self.oversized_tso += 1
+            return default_segs
+        return max(1, segs)
+
+    def clamp_gap(self, gap: float) -> float:
+        """Gaps may only delay."""
+        if gap < 0:
+            self.negative_gaps += 1
+            return 0.0
+        return gap
+
+
+@dataclass
+class PhaseGate:
+    """Suspends obfuscation in the given congestion-control phases.
+
+    The default gate set is empty (always on).  The §5.1 suggestion —
+    leave BBR's STARTUP alone because pacing measures the path there —
+    is ``PhaseGate(gated=(CcPhase.STARTUP, CcPhase.DRAIN))``.
+    Loss recovery is always gated: obfuscation must never slow repair.
+    """
+
+    gated: Tuple[CcPhase, ...] = ()
+    always_gate_recovery: bool = True
+
+    def allows(self, phase: CcPhase) -> bool:
+        """True when obfuscation may act in this phase."""
+        if self.always_gate_recovery and phase is CcPhase.RECOVERY:
+            return False
+        return phase not in self.gated

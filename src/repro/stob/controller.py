@@ -1,0 +1,96 @@
+"""The Stob controller: the stack-side enforcement point.
+
+A :class:`StobController` is installed on a
+:class:`~repro.stack.tcp.TcpEndpoint` (``endpoint.segment_controller``)
+and consulted for every TSO segment the transport builds.  It wraps an
+obfuscation *action* with the safety constraints and congestion-phase
+gate, and keeps the departure-time state the delay actions need.
+
+Figure 2 of the paper: the application (or administrator) picks the
+policy; the policy lives in the shared registry; the controller applies
+it where packet size and departure time are actually decided.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.stob.actions import NoOpAction, StobAction, action_from_policy
+from repro.stob.constraints import ConstraintReport, PhaseGate
+from repro.stob.policy import ObfuscationPolicy
+
+
+class StobController:
+    """Per-flow enforcement of an obfuscation action."""
+
+    def __init__(
+        self,
+        action: Optional[StobAction] = None,
+        gate: Optional[PhaseGate] = None,
+    ) -> None:
+        self.action = action or NoOpAction()
+        self.gate = gate or PhaseGate()
+        self.report = ConstraintReport()
+        self._last_departure = -1.0
+        #: Totals for overhead accounting.
+        self.segments_seen = 0
+        self.total_gap_added = 0.0
+
+    # -- hooks called by TcpEndpoint --------------------------------------------
+
+    def packet_sizes(self, endpoint, nbytes: int, mss: int) -> Optional[List[int]]:
+        """Packetisation for the next ``nbytes`` (None = stock)."""
+        if not self.gate.allows(endpoint.cca.phase):
+            return None
+        sizes = self.action.packet_sizes(nbytes, mss)
+        return self.report.clamp_packet_sizes(sizes, nbytes, mss)
+
+    def tso_size(self, endpoint, default_segs: int) -> int:
+        """TSO sizing (clamped to the CCA/autosize choice)."""
+        if not self.gate.allows(endpoint.cca.phase):
+            return default_segs
+        return self.report.clamp_tso(
+            self.action.tso_size(default_segs), default_segs
+        )
+
+    def departure_gap(self, endpoint, segment) -> float:
+        """Extra departure delay for ``segment``."""
+        self.segments_seen += 1
+        now = endpoint._sim.now
+        if not self.gate.allows(endpoint.cca.phase):
+            self.report.gated_segments += 1
+            self._last_departure = now
+            return 0.0
+        gap = self.report.clamp_gap(
+            self.action.departure_gap(now, self._last_departure)
+        )
+        self._last_departure = now
+        self.total_gap_added += gap
+        return gap
+
+    def reset(self) -> None:
+        """Clear per-connection state (new connection reuse)."""
+        self.action.reset()
+        self._last_departure = -1.0
+
+
+def attach_stob(
+    endpoint,
+    action: Optional[StobAction] = None,
+    policy: Optional[ObfuscationPolicy] = None,
+    gate: Optional[PhaseGate] = None,
+) -> StobController:
+    """Install a Stob controller on a TCP endpoint.
+
+    Exactly one of ``action`` or ``policy`` must be given; a policy is
+    compiled to its action first.
+    """
+    if (action is None) == (policy is None):
+        raise ValueError("pass exactly one of action= or policy=")
+    if policy is not None:
+        action = action_from_policy(policy)
+        if gate is None and policy.gated_phases:
+            gate = PhaseGate(gated=tuple(policy.gated_phases))
+    controller = StobController(action=action, gate=gate)
+    endpoint.segment_controller = controller
+    return controller

@@ -1,0 +1,77 @@
+"""Stack-level cover traffic (dummy-packet padding).
+
+§2.2's third primitive: *padding* — dummy packets carrying no user
+data.  The paper's position is that padding is the costliest primitive
+because it consumes bandwidth in a non-work-conserving way (§2.3);
+Stob supports it anyway (some defenses need it), implemented as
+unreliable dummy segments injected below the socket (the receiver's
+stack discards them, like TLS record padding or QUIC PADDING frames).
+
+:class:`CoverTrafficShaper` drives a constant-rate dummy stream on a
+TCP endpoint while enabled — the building block for BuFLO-style
+regularisation in-stack, and the workload for the work-conservation
+experiment (:mod:`repro.experiments.work_conservation`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.simnet.engine import Event, Simulator
+from repro.stack.tcp import TcpEndpoint
+
+
+class CoverTrafficShaper:
+    """Constant-rate dummy-packet injector for one endpoint."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        endpoint: TcpEndpoint,
+        rate_bytes_per_sec: float,
+        packet_size: int = 1448,
+    ) -> None:
+        if rate_bytes_per_sec <= 0:
+            raise ValueError(
+                f"cover rate must be positive, got {rate_bytes_per_sec}"
+            )
+        if packet_size <= 0:
+            raise ValueError(f"packet size must be positive, got {packet_size}")
+        self._sim = sim
+        self._endpoint = endpoint
+        self.rate = rate_bytes_per_sec
+        self.packet_size = packet_size
+        self._timer: Optional[Event] = None
+        self.injected_bytes = 0
+        self.running = False
+
+    @property
+    def interval(self) -> float:
+        """Seconds between dummy packets at the configured rate."""
+        return self.packet_size / self.rate
+
+    def start(self) -> None:
+        """Begin injecting (idempotent)."""
+        if self.running:
+            return
+        self.running = True
+        self._arm()
+
+    def stop(self) -> None:
+        """Stop injecting (idempotent)."""
+        self.running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _arm(self) -> None:
+        self._timer = self._sim.schedule(self.interval, self._fire)
+
+    def _fire(self) -> None:
+        self._timer = None
+        if not self.running:
+            return
+        if self._endpoint.established:
+            self._endpoint.inject_dummy(self.packet_size)
+            self.injected_bytes += self.packet_size
+        self._arm()

@@ -1,0 +1,367 @@
+"""A Maybenot-style state-machine defense framework, hosted by Stob.
+
+The paper cites Maybenot (Pulls & Witwer, WPES 2023) among the
+frameworks for traffic-analysis defenses.  Maybenot expresses defenses
+as small probabilistic state machines driven by traffic events:
+states carry an *action* (inject padding, block/delay sending) and
+sample a timeout; events (packet sent/received, padding sent, timer
+expiry) trigger probabilistic transitions.
+
+This module implements that model on top of the Stob primitives, so a
+machine authored against the abstract interface runs *inside the
+stack*, where its actions are enforceable:
+
+* ``PAD`` actions become :meth:`TcpEndpoint.inject_dummy` cover packets;
+* ``BLOCK`` actions become departure gaps on the next real segment;
+* transitions are sampled from per-state distributions.
+
+Two reference machines ship: a FRONT-like front-loaded padder and a
+constant-rate padder (BuFLO's padding half).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.simnet.engine import Event, Simulator
+from repro.stack.tcp import TcpEndpoint
+
+
+class MachineEvent(enum.Enum):
+    """Traffic events that drive transitions."""
+
+    NONPADDING_SENT = "nonpadding_sent"
+    NONPADDING_RECEIVED = "nonpadding_received"
+    PADDING_SENT = "padding_sent"
+    TIMEOUT = "timeout"
+    MACHINE_START = "machine_start"
+
+
+class ActionKind(enum.Enum):
+    """What a state does when its timeout fires."""
+
+    NONE = "none"
+    PAD = "pad"  # inject one dummy packet
+    BLOCK = "block"  # delay the next real segment
+
+
+@dataclass
+class StateAction:
+    """The action executed on a state's timeout."""
+
+    kind: ActionKind = ActionKind.NONE
+    #: Dummy packet size for PAD.
+    padding_size: int = 1448
+    #: Extra departure gap for BLOCK (seconds).
+    block_gap: float = 0.005
+
+
+@dataclass
+class MachineState:
+    """One state: timeout distribution, action, transition table.
+
+    ``timeout_sampler`` is a callable ``(rng) -> seconds``; transitions
+    map an event to a list of ``(next_state_index, probability)``
+    entries (probabilities may sum to < 1: the remainder means "stay").
+    A ``next_state_index`` of ``END`` terminates the machine.
+    """
+
+    name: str
+    timeout_sampler: object = None
+    action: StateAction = field(default_factory=StateAction)
+    transitions: Dict[MachineEvent, List[tuple]] = field(default_factory=dict)
+    #: Limit on actions executed in this state before auto-END.
+    action_limit: Optional[int] = None
+
+
+#: Sentinel transition target terminating the machine.
+END = -1
+
+
+@dataclass
+class Machine:
+    """A defense state machine: states plus a global padding budget."""
+
+    name: str
+    states: List[MachineState]
+    start_state: int = 0
+    #: Maximum dummy bytes the machine may inject (None = unbounded).
+    padding_budget_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.states:
+            raise ValueError("machine needs at least one state")
+        if not 0 <= self.start_state < len(self.states):
+            raise ValueError(f"bad start state {self.start_state}")
+        for state in self.states:
+            for event, edges in state.transitions.items():
+                total = sum(p for _t, p in edges)
+                if total > 1.0 + 1e-9:
+                    raise ValueError(
+                        f"state {state.name!r} event {event}: transition "
+                        f"probabilities sum to {total} > 1"
+                    )
+                for target, _p in edges:
+                    if target != END and not 0 <= target < len(self.states):
+                        raise ValueError(
+                            f"state {state.name!r}: bad target {target}"
+                        )
+
+
+class MachineRunner:
+    """Executes a :class:`Machine` against a TCP endpoint.
+
+    Install with :func:`attach_machine`.  The runner taps the
+    endpoint's transmit path for NONPADDING_SENT events (via the
+    Stob controller's ``departure_gap`` hook, which sees every
+    segment) and receives for NONPADDING_RECEIVED.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        endpoint: TcpEndpoint,
+        machine: Machine,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self._sim = sim
+        self._endpoint = endpoint
+        self.machine = machine
+        self._rng = rng or np.random.default_rng(0)
+        self._state_index = machine.start_state
+        self._timer: Optional[Event] = None
+        self._actions_in_state = 0
+        self.running = False
+        self.padding_injected = 0
+        self.blocks_applied = 0
+        #: Extra gap the Stob controller should apply to the next
+        #: real segment (consumed by the glue controller below).
+        self.pending_gap = 0.0
+        self.transitions_taken = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self._enter(self._state_index)
+        self.handle_event(MachineEvent.MACHINE_START)
+
+    def stop(self) -> None:
+        self.running = False
+        self._cancel_timer()
+
+    @property
+    def state(self) -> MachineState:
+        return self.machine.states[self._state_index]
+
+    def _budget_left(self) -> bool:
+        budget = self.machine.padding_budget_bytes
+        return budget is None or self.padding_injected < budget
+
+    # -- state machinery ----------------------------------------------------------
+
+    def _enter(self, index: int) -> None:
+        self._state_index = index
+        self._actions_in_state = 0
+        self._arm_timeout()
+
+    #: Minimum timeout: prevents a state without an outgoing TIMEOUT
+    #: transition from spinning the event loop at zero delay.
+    MIN_TIMEOUT = 1e-4
+
+    def _arm_timeout(self) -> None:
+        self._cancel_timer()
+        sampler = self.state.timeout_sampler
+        if sampler is None:
+            return
+        timeout = float(sampler(self._rng))
+        if timeout < 0:
+            raise ValueError(f"negative timeout from state {self.state.name}")
+        self._timer = self._sim.schedule(
+            max(timeout, self.MIN_TIMEOUT), self._on_timeout
+        )
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        if not self.running:
+            return
+        self._execute_action()
+        self.handle_event(MachineEvent.TIMEOUT)
+
+    def _execute_action(self) -> None:
+        action = self.state.action
+        if action.kind is ActionKind.PAD and self._budget_left():
+            if self._endpoint.established:
+                self._endpoint.inject_dummy(action.padding_size)
+                self.padding_injected += action.padding_size
+                self.handle_event(MachineEvent.PADDING_SENT)
+        elif action.kind is ActionKind.BLOCK:
+            self.pending_gap += action.block_gap
+            self.blocks_applied += 1
+        self._actions_in_state += 1
+        limit = self.state.action_limit
+        if limit is not None and self._actions_in_state >= limit:
+            self.stop()
+
+    def handle_event(self, event: MachineEvent) -> None:
+        """Feed a traffic event to the machine."""
+        if not self.running:
+            return
+        edges = self.state.transitions.get(event)
+        if edges:
+            draw = float(self._rng.random())
+            cumulative = 0.0
+            for target, probability in edges:
+                cumulative += probability
+                if draw < cumulative:
+                    self.transitions_taken += 1
+                    if target == END:
+                        self.stop()
+                    else:
+                        self._enter(target)
+                    return
+        # No transition taken: re-arm the timeout if it fired.
+        if event is MachineEvent.TIMEOUT:
+            self._arm_timeout()
+
+    # -- Stob glue ------------------------------------------------------------------
+
+    def consume_pending_gap(self) -> float:
+        """Hand any BLOCK delay to the Stob controller (resets it)."""
+        gap = self.pending_gap
+        self.pending_gap = 0.0
+        return gap
+
+
+class MachineController:
+    """A Stob ``segment_controller`` driving a :class:`MachineRunner`.
+
+    Feeds NONPADDING_SENT events to the machine and applies its BLOCK
+    gaps to real segments.  Composes with a base controller (e.g. a
+    split action) if given.
+    """
+
+    def __init__(self, runner: MachineRunner, base=None) -> None:
+        self.runner = runner
+        self.base = base
+
+    def packet_sizes(self, endpoint, nbytes, mss):
+        if self.base is not None:
+            return self.base.packet_sizes(endpoint, nbytes, mss)
+        return None
+
+    def tso_size(self, endpoint, default_segs):
+        if self.base is not None:
+            return self.base.tso_size(endpoint, default_segs)
+        return default_segs
+
+    def departure_gap(self, endpoint, segment) -> float:
+        gap = 0.0
+        if self.base is not None:
+            gap += self.base.departure_gap(endpoint, segment)
+        if not getattr(segment, "dummy", False):
+            self.runner.handle_event(MachineEvent.NONPADDING_SENT)
+            gap += self.runner.consume_pending_gap()
+        return gap
+
+
+def attach_machine(
+    sim: Simulator,
+    endpoint: TcpEndpoint,
+    machine: Machine,
+    rng: Optional[np.random.Generator] = None,
+    base=None,
+) -> MachineRunner:
+    """Install ``machine`` on ``endpoint`` and start it."""
+    runner = MachineRunner(sim, endpoint, machine, rng)
+    endpoint.segment_controller = MachineController(runner, base=base)
+    runner.start()
+    return runner
+
+
+# -- reference machines ---------------------------------------------------------------
+
+
+def front_machine(
+    n_padding: int = 300,
+    window: float = 2.0,
+    padding_size: int = 1448,
+) -> Machine:
+    """A FRONT-like machine: a burst of padding early in the
+    connection, timeouts drawn Rayleigh-ish (abs-normal) around the
+    window, self-terminating after the budget."""
+    if n_padding < 1:
+        raise ValueError(f"n_padding must be >= 1, got {n_padding}")
+
+    def sampler(rng: np.random.Generator) -> float:
+        return abs(float(rng.normal(0.0, window / 2.0))) / n_padding * 4
+
+    pad_state = MachineState(
+        name="pad",
+        timeout_sampler=sampler,
+        action=StateAction(kind=ActionKind.PAD, padding_size=padding_size),
+        action_limit=n_padding,
+    )
+    return Machine(
+        name="front-machine",
+        states=[pad_state],
+        padding_budget_bytes=n_padding * padding_size,
+    )
+
+
+def constant_rate_machine(
+    rate_bytes_per_sec: float,
+    padding_size: int = 1448,
+) -> Machine:
+    """BuFLO's padding half: dummies at a constant rate, forever."""
+    if rate_bytes_per_sec <= 0:
+        raise ValueError("rate must be positive")
+    interval = padding_size / rate_bytes_per_sec
+
+    state = MachineState(
+        name="cbr",
+        timeout_sampler=lambda rng: interval,
+        action=StateAction(kind=ActionKind.PAD, padding_size=padding_size),
+    )
+    return Machine(name="cbr-machine", states=[state])
+
+
+def burst_block_machine(gap: float = 0.01, every: int = 10) -> Machine:
+    """Delay every ``every``-th real segment by ``gap`` seconds —
+    a timing-only machine using BLOCK actions."""
+    counter_states = []
+    for index in range(every):
+        is_last = index == every - 1
+        counter_states.append(
+            MachineState(
+                name=f"count{index}",
+                timeout_sampler=None,
+                action=(
+                    StateAction(kind=ActionKind.BLOCK, block_gap=gap)
+                    if is_last
+                    else StateAction()
+                ),
+                transitions={
+                    MachineEvent.NONPADDING_SENT: [
+                        ((index + 1) % every, 1.0)
+                    ],
+                },
+            )
+        )
+    # BLOCK executes on timeout; the last state fires it near-
+    # immediately and returns to counting (a TIMEOUT transition, so the
+    # timeout never re-arms in place).
+    counter_states[every - 1].timeout_sampler = lambda rng: 0.0
+    counter_states[every - 1].transitions[MachineEvent.TIMEOUT] = [(0, 1.0)]
+    return Machine(name="burst-block", states=counter_states)

@@ -1,0 +1,213 @@
+"""Obfuscation policies.
+
+§4.1: "packet departure time and size applied to data units can be
+represented as relatively compact distribution functions like
+histograms ... maintained in the shared memory between the application
+and stack."  A policy is therefore a pair of histogram-backed
+distributions — one over packet sizes, one over extra departure gaps —
+plus knobs for TSO reduction, compactly serialisable and shareable
+between flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+
+class _Histogram:
+    """A discrete distribution over bin values with given weights."""
+
+    def __init__(self, values: Sequence[float], weights: Sequence[float]) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        weights = np.asarray(weights, dtype=np.float64)
+        if len(values) == 0:
+            raise ValueError("histogram needs at least one bin")
+        if len(values) != len(weights):
+            raise ValueError(
+                f"{len(values)} values but {len(weights)} weights"
+            )
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise ValueError("weights must be non-negative and sum > 0")
+        self.values = values
+        self.probabilities = weights / weights.sum()
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one bin value."""
+        return float(rng.choice(self.values, p=self.probabilities))
+
+    def mean(self) -> float:
+        return float(np.dot(self.values, self.probabilities))
+
+    def to_dict(self) -> Dict[str, list]:
+        """Compact serialisable form (the shared-memory representation)."""
+        return {
+            "values": self.values.tolist(),
+            "weights": self.probabilities.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, list]) -> "_Histogram":
+        return cls(payload["values"], payload["weights"])
+
+
+class SizeDistribution(_Histogram):
+    """Distribution over packet payload sizes (bytes).
+
+    Values must be positive; the controller additionally clamps to the
+    connection's MSS at enforcement time.
+    """
+
+    def __init__(self, sizes: Sequence[float], weights: Sequence[float]) -> None:
+        super().__init__(sizes, weights)
+        if np.any(self.values <= 0):
+            raise ValueError("packet sizes must be positive")
+
+    @classmethod
+    def uniform(cls, low: int, high: int, step: int = 100) -> "SizeDistribution":
+        """Equal-weight sizes from ``low`` to ``high`` inclusive."""
+        sizes = list(range(low, high + 1, step))
+        return cls(sizes, [1.0] * len(sizes))
+
+
+class GapDistribution(_Histogram):
+    """Distribution over extra inter-departure gaps (seconds >= 0)."""
+
+    def __init__(self, gaps: Sequence[float], weights: Sequence[float]) -> None:
+        super().__init__(gaps, weights)
+        if np.any(self.values < 0):
+            raise ValueError("gaps must be >= 0 (Stob may only delay)")
+
+    @classmethod
+    def exponential_bins(
+        cls, scale: float, n_bins: int = 16, max_gap: Optional[float] = None
+    ) -> "GapDistribution":
+        """Geometric gap bins weighted by an exponential density — the
+        adaptive-padding-style histogram shape WTF-PAD popularised."""
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        max_gap = max_gap if max_gap is not None else scale * 8
+        gaps = np.geomspace(scale / 16, max_gap, n_bins)
+        weights = np.exp(-gaps / scale)
+        return cls(gaps, weights)
+
+
+@dataclass
+class ObfuscationPolicy:
+    """A complete, shareable obfuscation policy.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in the registry and reports.
+    size_distribution:
+        Optional distribution packet sizes are drawn from (None keeps
+        the stack's MSS-sized packets).
+    gap_distribution:
+        Optional distribution of extra departure gaps (None adds no
+        delay).
+    split_threshold / split_factor:
+        When set, payload chunks larger than the threshold are split
+        into ``split_factor`` equal packets (the paper's §3 splitting).
+    delay_fraction_range:
+        When set, ``(low, high)`` — each segment's departure is delayed
+        by a uniform fraction of the time since the previous departure
+        (the paper's §3 delaying: +10-30 % inter-arrival time).
+    tso_sweep / size_sweep_degree:
+        Enables the Figure-3 incremental reduction of TSO size and
+        packet size with maximum reduction degree alpha.
+    max_tso_segs:
+        Hard cap on TSO segments per super-segment (None = CCA's
+        choice).
+    gated_phases:
+        CCA phases (values of :class:`repro.stack.cc.base.CcPhase`) in
+        which the policy is suspended (§5.1 co-design hook).
+    seed:
+        Per-policy RNG seed for reproducible obfuscation noise.
+    """
+
+    name: str = "policy"
+    size_distribution: Optional[SizeDistribution] = None
+    gap_distribution: Optional[GapDistribution] = None
+    split_threshold: Optional[int] = None
+    split_factor: int = 2
+    delay_fraction_range: Optional[tuple] = None
+    size_sweep_degree: Optional[int] = None
+    max_tso_segs: Optional[int] = None
+    gated_phases: tuple = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.split_threshold is not None and self.split_threshold <= 0:
+            raise ValueError(
+                f"split_threshold must be positive, got {self.split_threshold}"
+            )
+        if self.split_factor < 2:
+            raise ValueError(f"split_factor must be >= 2, got {self.split_factor}")
+        if self.delay_fraction_range is not None:
+            low, high = self.delay_fraction_range
+            if not 0 <= low <= high:
+                raise ValueError(
+                    f"delay_fraction_range must be 0 <= low <= high, "
+                    f"got {self.delay_fraction_range}"
+                )
+        if self.max_tso_segs is not None and self.max_tso_segs < 1:
+            raise ValueError(
+                f"max_tso_segs must be >= 1, got {self.max_tso_segs}"
+            )
+
+    def to_dict(self) -> dict:
+        """Compact dict form, as would live in app/stack shared memory."""
+        return {
+            "name": self.name,
+            "size_distribution": (
+                self.size_distribution.to_dict() if self.size_distribution else None
+            ),
+            "gap_distribution": (
+                self.gap_distribution.to_dict() if self.gap_distribution else None
+            ),
+            "split_threshold": self.split_threshold,
+            "split_factor": self.split_factor,
+            "delay_fraction_range": (
+                list(self.delay_fraction_range)
+                if self.delay_fraction_range
+                else None
+            ),
+            "size_sweep_degree": self.size_sweep_degree,
+            "max_tso_segs": self.max_tso_segs,
+            "gated_phases": [p.value for p in self.gated_phases],
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ObfuscationPolicy":
+        from repro.stack.cc.base import CcPhase
+
+        return cls(
+            name=payload["name"],
+            size_distribution=(
+                SizeDistribution.from_dict(payload["size_distribution"])
+                if payload.get("size_distribution")
+                else None
+            ),
+            gap_distribution=(
+                GapDistribution.from_dict(payload["gap_distribution"])
+                if payload.get("gap_distribution")
+                else None
+            ),
+            split_threshold=payload.get("split_threshold"),
+            split_factor=payload.get("split_factor", 2),
+            delay_fraction_range=(
+                tuple(payload["delay_fraction_range"])
+                if payload.get("delay_fraction_range")
+                else None
+            ),
+            size_sweep_degree=payload.get("size_sweep_degree"),
+            max_tso_segs=payload.get("max_tso_segs"),
+            gated_phases=tuple(
+                CcPhase(v) for v in payload.get("gated_phases", ())
+            ),
+            seed=payload.get("seed", 0),
+        )

@@ -1,0 +1,66 @@
+"""The shared policy registry (Figure 2's shared-memory policy table).
+
+Policies are registered under destination keys (or a wildcard) by the
+application or administrator; the stack looks its flow's policy up at
+connection setup.  Instances are shared between flows to the same
+destination, exactly as §4.1 suggests ("their instances can be shared
+between flows in some cases (e.g., same destination)").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.stob.policy import ObfuscationPolicy
+
+#: Key matching any destination without a more specific entry.
+WILDCARD = "*"
+
+
+class PolicyRegistry:
+    """Destination-keyed obfuscation policy table."""
+
+    def __init__(self) -> None:
+        self._policies: Dict[str, ObfuscationPolicy] = {}
+        self.lookups = 0
+        self.hits = 0
+
+    def register(self, destination: str, policy: ObfuscationPolicy) -> None:
+        """Install ``policy`` for ``destination`` (or ``"*"``)."""
+        if not destination:
+            raise ValueError("destination key must be non-empty")
+        self._policies[destination] = policy
+
+    def unregister(self, destination: str) -> None:
+        """Remove the policy for ``destination`` (KeyError if absent)."""
+        del self._policies[destination]
+
+    def lookup(self, destination: str) -> Optional[ObfuscationPolicy]:
+        """Most specific policy for ``destination``, or None."""
+        self.lookups += 1
+        policy = self._policies.get(destination)
+        if policy is None:
+            policy = self._policies.get(WILDCARD)
+        if policy is not None:
+            self.hits += 1
+        return policy
+
+    def __len__(self) -> int:
+        return len(self._policies)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._policies))
+
+    def to_dict(self) -> dict:
+        """Serialisable snapshot of the whole table — the compact
+        shared-memory representation."""
+        return {
+            dest: policy.to_dict() for dest, policy in self._policies.items()
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PolicyRegistry":
+        registry = cls()
+        for dest, policy_dict in payload.items():
+            registry.register(dest, ObfuscationPolicy.from_dict(policy_dict))
+        return registry

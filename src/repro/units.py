@@ -1,0 +1,118 @@
+"""Unit helpers and wire-level constants shared across the package.
+
+All simulation times are in **seconds** (floats) and all sizes are in
+**bytes** (ints) unless a name says otherwise.  These helpers exist so
+that call sites read naturally (``mbps(100)`` instead of ``100 * 1e6 / 8``)
+and so unit mistakes are grep-able.
+"""
+
+from __future__ import annotations
+
+# --- wire constants -------------------------------------------------------
+
+#: Standard Ethernet MTU in bytes (IP datagram size).
+ETHERNET_MTU = 1500
+
+#: IPv4 header size without options.
+IPV4_HEADER = 20
+
+#: TCP header size without options.
+TCP_HEADER = 20
+
+#: TCP header size with common options (timestamps) as used by Linux.
+TCP_HEADER_TS = 32
+
+#: UDP header size.
+UDP_HEADER = 8
+
+#: Default TCP MSS on a 1500-byte-MTU path without timestamps.
+DEFAULT_MSS = ETHERNET_MTU - IPV4_HEADER - TCP_HEADER  # 1460
+
+#: Minimum TCP MSS that real-world stacks accept (RFC 879).
+MIN_MSS = 536
+
+#: Ethernet frame overhead on the wire: preamble (8) + dst/src/type (14)
+#: + FCS (4) + inter-frame gap (12).
+ETHERNET_OVERHEAD = 38
+
+#: Largest TSO "super segment" Linux will build (64 KiB minus headers).
+MAX_TSO_BYTES = 65536
+
+#: Default maximum number of MSS-sized packets in one TSO segment, as
+#: referenced by the paper's Figure 3 (default TSO size of 44 packets).
+DEFAULT_TSO_SEGS = 44
+
+
+# --- rate helpers ---------------------------------------------------------
+
+
+def bits_per_sec(bits: float) -> float:
+    """Return a link rate expressed in bytes/second from bits/second."""
+    return bits / 8.0
+
+
+def kbps(value: float) -> float:
+    """Kilobits per second -> bytes per second."""
+    return value * 1e3 / 8.0
+
+
+def mbps(value: float) -> float:
+    """Megabits per second -> bytes per second."""
+    return value * 1e6 / 8.0
+
+
+def gbps(value: float) -> float:
+    """Gigabits per second -> bytes per second."""
+    return value * 1e9 / 8.0
+
+
+def to_mbps(bytes_per_sec: float) -> float:
+    """Bytes per second -> megabits per second."""
+    return bytes_per_sec * 8.0 / 1e6
+
+
+def to_gbps(bytes_per_sec: float) -> float:
+    """Bytes per second -> gigabits per second."""
+    return bytes_per_sec * 8.0 / 1e9
+
+
+# --- time helpers ---------------------------------------------------------
+
+
+def usec(value: float) -> float:
+    """Microseconds -> seconds."""
+    return value * 1e-6
+
+
+def msec(value: float) -> float:
+    """Milliseconds -> seconds."""
+    return value * 1e-3
+
+
+def to_msec(seconds: float) -> float:
+    """Seconds -> milliseconds."""
+    return seconds * 1e3
+
+
+# --- size helpers ---------------------------------------------------------
+
+
+def kib(value: float) -> int:
+    """KiB -> bytes."""
+    return int(value * 1024)
+
+
+def mib(value: float) -> int:
+    """MiB -> bytes."""
+    return int(value * 1024 * 1024)
+
+
+def serialization_delay(nbytes: int, rate_bytes_per_sec: float) -> float:
+    """Time to clock ``nbytes`` onto a link of the given rate.
+
+    Raises ``ValueError`` for a non-positive rate, because a zero-rate
+    link would silently produce ``inf`` times and hang a simulation.
+    """
+    if rate_bytes_per_sec <= 0:
+        raise ValueError(f"link rate must be positive, got {rate_bytes_per_sec}")
+    return nbytes / rate_bytes_per_sec

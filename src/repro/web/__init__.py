@@ -1,0 +1,30 @@
+"""Synthetic web workload.
+
+The paper captured tcpdump traces of nine popular sites.  We have no
+network, so this package *is* the web: per-site statistical profiles
+(:mod:`~repro.web.sites`), an HTTP/1.1-style page-load driver that
+exchanges request/response bytes over the simulated stack
+(:mod:`~repro.web.pageload`), and a fast statistical trace generator
+for unit tests (:mod:`~repro.web.tracegen`).
+
+What matters for the experiments is that per-site packet sequences are
+*distinctive but noisy* — the property WF attacks exploit in real
+captures — and that defended traces are produced by exactly the trace
+transforms the paper emulates.
+"""
+
+from repro.web.objects import PageSample, SiteProfile
+from repro.web.sites import SITE_CATALOG, site_names
+from repro.web.pageload import PageLoadConfig, load_page, collect_dataset
+from repro.web.tracegen import StatisticalTraceGenerator
+
+__all__ = [
+    "SiteProfile",
+    "PageSample",
+    "SITE_CATALOG",
+    "site_names",
+    "PageLoadConfig",
+    "load_page",
+    "collect_dataset",
+    "StatisticalTraceGenerator",
+]

@@ -1,0 +1,136 @@
+"""Web page structure: site profiles and sampled page instances.
+
+A :class:`SiteProfile` is a compact statistical description of a
+website's page composition — the knobs that make its packet sequence
+distinctive: HTML size, object count/size mixture, dependency depth,
+server think times.  :meth:`SiteProfile.sample_page` draws one concrete
+:class:`PageSample` (what one visit downloads), with natural visit-to-
+visit variance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ObjectClass:
+    """One kind of embedded object (images, scripts, ...).
+
+    Sizes are log-normal: ``exp(N(log_mean, log_sigma))`` bytes,
+    clamped to ``[min_size, max_size]``.
+    """
+
+    name: str
+    count_mean: float
+    count_jitter: float  # multiplicative 1 +/- jitter
+    log_mean: float  # natural log of typical byte size
+    log_sigma: float
+    min_size: int = 200
+    max_size: int = 8 * 1024 * 1024
+
+    def sample_count(self, rng: np.random.Generator) -> int:
+        factor = 1.0 + float(rng.uniform(-self.count_jitter, self.count_jitter))
+        return max(0, int(round(self.count_mean * factor)))
+
+    def sample_size(self, rng: np.random.Generator) -> int:
+        size = int(np.exp(rng.normal(self.log_mean, self.log_sigma)))
+        return int(np.clip(size, self.min_size, self.max_size))
+
+
+@dataclass
+class SiteProfile:
+    """Statistical fingerprint of one website."""
+
+    name: str
+    #: Main document size: log-normal parameters.
+    html_log_mean: float
+    html_log_sigma: float
+    #: Embedded object mixture.
+    object_classes: List[ObjectClass]
+    #: Dependency rounds: objects discovered after parsing earlier
+    #: responses (1 = everything known after the HTML).
+    dependency_rounds: int = 2
+    #: Server think time per request: uniform range in seconds.
+    think_time: Tuple[float, float] = (0.005, 0.030)
+    #: Client parse delay between rounds: uniform range in seconds.
+    parse_time: Tuple[float, float] = (0.010, 0.040)
+    #: Request size range (URL + headers + cookies).
+    request_size: Tuple[int, int] = (350, 800)
+    #: TLS certificate-flight size range (ServerHello + chain).  This
+    #: is the strongly site-identifying early exchange real captures
+    #: contain: chains differ per operator and vary little per visit.
+    cert_size: Tuple[int, int] = (3000, 3400)
+    #: ClientHello size range.
+    client_hello_size: Tuple[int, int] = (380, 560)
+
+    def sample_page(self, rng: np.random.Generator) -> "PageSample":
+        """One visit's concrete page composition."""
+        html = int(
+            np.clip(np.exp(rng.normal(self.html_log_mean, self.html_log_sigma)),
+                    2000, 4 * 1024 * 1024)
+        )
+        objects: List[int] = []
+        for cls in self.object_classes:
+            count = cls.sample_count(rng)
+            objects.extend(cls.sample_size(rng) for _ in range(count))
+        # Shuffle so rounds contain a mixture of object kinds.
+        rng.shuffle(objects)
+        # Round 0 is the TLS handshake: ClientHello up, certificate
+        # flight down.  Round 1 is the main document.
+        rounds: List[List[int]] = [
+            [int(rng.integers(*self.cert_size))],
+            [html],
+        ]
+        if objects:
+            n_rounds = max(1, self.dependency_rounds)
+            split = np.array_split(np.asarray(objects), n_rounds)
+            rounds.extend([chunk.tolist() for chunk in split if len(chunk)])
+        requests = [
+            [int(rng.integers(*self.client_hello_size))]
+        ] + [
+            [int(rng.integers(*self.request_size)) for _ in round_objects]
+            for round_objects in rounds[1:]
+        ]
+        # The handshake is answered from memory (sub-millisecond);
+        # content rounds take the profile's think time.
+        thinks = [[float(rng.uniform(0.0005, 0.002))]] + [
+            [float(rng.uniform(*self.think_time)) for _ in round_objects]
+            for round_objects in rounds[1:]
+        ]
+        parses = [0.0] + [
+            float(rng.uniform(*self.parse_time)) for _ in rounds[1:]
+        ]
+        return PageSample(
+            site=self.name,
+            rounds=rounds,
+            request_sizes=requests,
+            think_times=thinks,
+            parse_times=parses,
+        )
+
+
+@dataclass
+class PageSample:
+    """One concrete page visit: response/request sizes per round."""
+
+    site: str
+    #: rounds[r] = list of response body sizes (bytes).
+    rounds: List[List[int]]
+    #: request_sizes[r][i] = request bytes for object i of round r.
+    request_sizes: List[List[int]]
+    #: think_times[r][i] = server think time for that object.
+    think_times: List[List[float]]
+    #: parse_times[r] = client delay before issuing round r.
+    parse_times: List[float]
+
+    @property
+    def total_download_bytes(self) -> int:
+        return sum(sum(r) for r in self.rounds)
+
+    @property
+    def total_objects(self) -> int:
+        return sum(len(r) for r in self.rounds)

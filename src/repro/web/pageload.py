@@ -1,0 +1,239 @@
+"""Page loads over the simulated stack.
+
+:func:`load_page` plays one visit of a site through the full host-stack
+model: TCP handshake, pipelined HTTP/1.1-style request/response rounds
+with server think times and client parse times, captured by a
+:class:`~repro.capture.trace.TraceObserver` on the client's access
+link — the same vantage point as the paper's tcpdump capture.
+
+:func:`collect_dataset` repeats this for every site and sample count,
+with per-visit path jitter (RTT and bandwidth vary between visits the
+way consecutive real fetches do), producing the raw dataset the
+Table-2 pipeline sanitises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.capture.dataset import Dataset
+from repro.capture.trace import Trace, TraceObserver
+from repro.simnet.engine import Simulator
+from repro.simnet.path import NetworkPath
+from repro.stack.host import TcpFlow, make_flow
+from repro.stack.tcp import TcpConfig
+from repro.stob.controller import StobController
+from repro.units import mbps, msec
+from repro.web.objects import PageSample, SiteProfile
+from repro.web.sites import SITE_CATALOG
+
+
+@dataclass
+class PageLoadConfig:
+    """Parameters of one page-load simulation."""
+
+    #: Access-path parameters (means; jittered per visit).
+    rate_mbps: float = 50.0
+    rtt_ms: float = 30.0
+    rate_jitter: float = 0.15
+    rtt_jitter: float = 0.20
+    buffer_bdp: float = 1.5
+    loss_rate: float = 0.0
+    #: TCP config applied to both ends.
+    cc: str = "cubic"
+    #: Hard cap on simulated seconds per load (hung-load guard).
+    max_duration: float = 60.0
+    #: How many requests are pipelined back-to-back in one round.
+    pipeline_depth: int = 6
+
+    def sample_path(self, rng: np.random.Generator) -> NetworkPath:
+        """Draw this visit's path (rate/RTT jittered)."""
+        rate = self.rate_mbps * (
+            1.0 + float(rng.uniform(-self.rate_jitter, self.rate_jitter))
+        )
+        rtt = self.rtt_ms * (
+            1.0 + float(rng.uniform(-self.rtt_jitter, self.rtt_jitter))
+        )
+        return NetworkPath(
+            rate=mbps(max(rate, 1.0)),
+            rtt=msec(max(rtt, 1.0)),
+            buffer_bdp=self.buffer_bdp,
+            loss_rate=self.loss_rate,
+        )
+
+
+class _PageLoadSession:
+    """Drives the request/response rounds of one visit."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow: TcpFlow,
+        page: PageSample,
+        pipeline_depth: int,
+        on_complete: Callable[[], None],
+    ) -> None:
+        self._sim = sim
+        self._flow = flow
+        self._page = page
+        self._depth = max(1, pipeline_depth)
+        self._on_complete = on_complete
+        self._round = -1
+        # Server request-processing queue: (request_bytes, response
+        # bytes, think seconds), FIFO per arrival order.
+        self._server_queue: List[tuple] = []
+        self._server_received = 0
+        self._server_consumed = 0
+        # Client download bookkeeping for the active round.
+        self._round_remaining = 0
+        self._client_received = 0
+        self._client_consumed = 0
+        self.completed = False
+
+        flow.server.on_data(self._server_data)
+        flow.client.on_data(self._client_data)
+        flow.client.on_established = self._start
+        flow.connect()
+
+    # -- client side ------------------------------------------------------------
+
+    def _start(self) -> None:
+        self._next_round()
+
+    def _next_round(self) -> None:
+        self._round += 1
+        if self._round >= len(self._page.rounds):
+            self.completed = True
+            self._on_complete()
+            return
+        parse = self._page.parse_times[self._round]
+        self._sim.schedule(parse, self._issue_round)
+
+    def _issue_round(self) -> None:
+        r = self._round
+        responses = self._page.rounds[r]
+        requests = self._page.request_sizes[r]
+        thinks = self._page.think_times[r]
+        self._round_remaining = len(responses)
+        # Pipeline requests in batches of `depth`; the server queue
+        # preserves ordering, so batching only affects upstream timing.
+        for i, (req, resp, think) in enumerate(zip(requests, responses, thinks)):
+            delay = (i // self._depth) * 0.001
+            self._server_queue.append((req, resp, think))
+            self._sim.schedule(delay, self._make_request_sender(req))
+
+    def _make_request_sender(self, req: int) -> Callable[[], None]:
+        def send() -> None:
+            self._flow.client.write(req)
+
+        return send
+
+    def _client_data(self, nbytes: int) -> None:
+        self._client_received += nbytes
+        # Responses complete in FIFO order; compare against the running
+        # total of expected response bytes for this round.
+        while self._round_remaining > 0:
+            responses = self._page.rounds[self._round]
+            done = len(responses) - self._round_remaining
+            threshold = self._client_consumed + responses[done]
+            if self._client_received < threshold:
+                break
+            self._client_consumed = threshold
+            self._round_remaining -= 1
+        if self._round_remaining == 0 and not self.completed:
+            self._next_round()
+
+    # -- server side -------------------------------------------------------------
+
+    def _server_data(self, nbytes: int) -> None:
+        self._server_received += nbytes
+        while self._server_queue:
+            req, resp, think = self._server_queue[0]
+            if self._server_received - self._server_consumed < req:
+                break
+            self._server_consumed += req
+            self._server_queue.pop(0)
+            self._sim.schedule(think, self._make_response_sender(resp))
+
+    def _make_response_sender(self, resp: int) -> Callable[[], None]:
+        def send() -> None:
+            self._flow.server.write(resp)
+
+        return send
+
+
+def load_page(
+    profile: SiteProfile,
+    config: Optional[PageLoadConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+    server_controller: Optional[StobController] = None,
+    client_controller: Optional[StobController] = None,
+) -> Trace:
+    """Simulate one visit and return the observed trace.
+
+    ``server_controller``/``client_controller`` optionally install Stob
+    on either endpoint, producing *stack-enforced* defended traces (as
+    opposed to the paper's post-hoc trace emulation).
+    """
+    config = config or PageLoadConfig()
+    rng = rng or np.random.default_rng(0)
+    sim = Simulator()
+    path = config.sample_path(rng)
+    link_rng = np.random.default_rng(int(rng.integers(0, 2**63)))
+    flow = make_flow(
+        sim,
+        path,
+        client_config=TcpConfig(cc=config.cc),
+        server_config=TcpConfig(cc=config.cc),
+        rng=link_rng,
+    )
+    if server_controller is not None:
+        flow.server.segment_controller = server_controller
+    if client_controller is not None:
+        flow.client.segment_controller = client_controller
+
+    observer = TraceObserver()
+    flow.client_host.nic.add_tap(observer.tap_outgoing)
+    flow.server_host.nic.add_tap(observer.tap_incoming)
+
+    page = profile.sample_page(rng)
+    done = {"flag": False}
+
+    def finish() -> None:
+        done["flag"] = True
+
+    _PageLoadSession(sim, flow, page, config.pipeline_depth, finish)
+    # Run until the page completes (plus trailing ACKs) or the guard.
+    step = 0.1
+    while not done["flag"] and sim.now < config.max_duration:
+        sim.run(until=min(sim.now + step, config.max_duration))
+    if done["flag"]:
+        # Drain trailing ACKs/retransmissions.
+        sim.run(until=sim.now + 4 * path.rtt)
+    return observer.trace()
+
+
+def collect_dataset(
+    n_samples: int = 100,
+    sites: Optional[List[str]] = None,
+    config: Optional[PageLoadConfig] = None,
+    seed: int = 0,
+    progress: Optional[Callable[[str, int], None]] = None,
+) -> Dataset:
+    """Collect ``n_samples`` visits of each site (the paper's 100)."""
+    config = config or PageLoadConfig()
+    dataset = Dataset()
+    labels = sites or sorted(SITE_CATALOG)
+    root = np.random.default_rng(seed)
+    for label in labels:
+        profile = SITE_CATALOG[label]
+        for index in range(n_samples):
+            rng = np.random.default_rng(root.integers(0, 2**63))
+            trace = load_page(profile, config, rng)
+            dataset.add(label, trace)
+            if progress is not None:
+                progress(label, index)
+    return dataset

@@ -1,0 +1,110 @@
+"""Fast statistical trace generator (no stack simulation).
+
+For unit tests and quick experiments a full stack simulation per trace
+is overkill.  :class:`StatisticalTraceGenerator` converts a sampled
+:class:`~repro.web.objects.PageSample` directly into a plausible packet
+trace: requests become single outgoing packets, responses become
+MSS-sized incoming bursts paced at the configured rate, rounds are
+separated by RTT + think/parse gaps.
+
+Traces from this generator share the coarse structure of the
+stack-simulated ones (per-site distinctiveness, bursts, volume), but
+lack emergent transport behaviour (slow-start ramp, ACK traffic, TSO
+micro-bursts).  The real experiment pipeline uses
+:func:`repro.web.pageload.load_page`; this generator is the cheap
+stand-in where transport fidelity does not matter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.capture.dataset import Dataset
+from repro.capture.trace import IN, OUT, Trace
+from repro.web.objects import SiteProfile
+from repro.web.sites import SITE_CATALOG
+
+
+class StatisticalTraceGenerator:
+    """Sample traces straight from site profiles."""
+
+    def __init__(
+        self,
+        rate_bytes_per_sec: float = 6.25e6,  # 50 Mb/s
+        rtt: float = 0.03,
+        mss: int = 1448,
+        header: int = 52,
+        ack_every: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if rate_bytes_per_sec <= 0:
+            raise ValueError("rate must be positive")
+        if rtt < 0:
+            raise ValueError("rtt must be >= 0")
+        self.rate = rate_bytes_per_sec
+        self.rtt = rtt
+        self.mss = mss
+        self.header = header
+        self.ack_every = max(1, ack_every)
+        self._root = np.random.default_rng(seed)
+
+    def generate(
+        self, profile: SiteProfile, rng: Optional[np.random.Generator] = None
+    ) -> Trace:
+        """One synthetic visit of ``profile``."""
+        rng = rng or np.random.default_rng(self._root.integers(0, 2**63))
+        page = profile.sample_page(rng)
+        records: List[Tuple[float, int, int]] = []
+        t = 0.0
+        wire_mtu = self.mss + self.header
+        for round_index, responses in enumerate(page.rounds):
+            t += page.parse_times[round_index]
+            requests = page.request_sizes[round_index]
+            thinks = page.think_times[round_index]
+            # Requests go out back-to-back.
+            for req in requests:
+                records.append((t, OUT, min(req + self.header, wire_mtu)))
+                t += 0.0002
+            # From the client's vantage point the first response byte
+            # appears one full RTT (plus server think) after the request.
+            t += self.rtt + (thinks[0] if thinks else 0.0)
+            data_clock = t
+            ack_counter = 0
+            for resp, think in zip(responses, thinks):
+                remaining = resp
+                data_clock += think * 0.3  # overlapping processing
+                while remaining > 0:
+                    payload = min(remaining, self.mss)
+                    wire = payload + self.header
+                    data_clock += wire / self.rate
+                    jitter = float(rng.exponential(0.0002))
+                    records.append((data_clock + jitter, IN, wire))
+                    remaining -= payload
+                    ack_counter += 1
+                    if ack_counter % self.ack_every == 0:
+                        # Client-side vantage: the ACK leaves the client
+                        # right after the data arrives.
+                        records.append(
+                            (data_clock + 50e-6, OUT, self.header)
+                        )
+            t = data_clock
+        return Trace.from_records(records).shifted_to_zero()
+
+    def generate_dataset(
+        self,
+        n_samples: int,
+        sites: Optional[List[str]] = None,
+        seed: int = 0,
+    ) -> Dataset:
+        """A full closed-world dataset."""
+        labels = sites or sorted(SITE_CATALOG)
+        dataset = Dataset()
+        root = np.random.default_rng(seed)
+        for label in labels:
+            profile = SITE_CATALOG[label]
+            for _ in range(n_samples):
+                rng = np.random.default_rng(root.integers(0, 2**63))
+                dataset.add(label, self.generate(profile, rng))
+        return dataset

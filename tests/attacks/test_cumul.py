@@ -1,0 +1,77 @@
+"""CUMUL attack and linear-SVM tests."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.cumul import CumulAttack, cumulative_features
+from repro.capture.trace import IN, OUT, Trace
+from repro.defenses.delay import DelayDefense
+from repro.defenses.split import SplitDefense
+from repro.ml.linear import LinearSVC
+from repro.web.tracegen import StatisticalTraceGenerator
+
+
+def test_linear_svc_separable(rng):
+    X = np.concatenate([rng.normal(0, 1, (60, 4)), rng.normal(5, 1, (60, 4))])
+    y = np.array([0] * 60 + [1] * 60)
+    svc = LinearSVC(epochs=10, random_state=0).fit(X, y)
+    assert svc.score(X, y) > 0.95
+
+
+def test_linear_svc_multiclass(rng):
+    X, y = [], []
+    for cls in range(3):
+        X.append(rng.normal(cls * 5, 1, (40, 6)))
+        y.extend([cls] * 40)
+    X = np.vstack(X)
+    y = np.asarray(y)
+    svc = LinearSVC(epochs=10, random_state=1).fit(X, y)
+    assert svc.score(X, y) > 0.9
+    assert svc.decision_function(X).shape == (120, 3)
+
+
+def test_linear_svc_validation():
+    with pytest.raises(ValueError):
+        LinearSVC(lam=0)
+    with pytest.raises(ValueError):
+        LinearSVC(epochs=0)
+    with pytest.raises(RuntimeError):
+        LinearSVC().predict(np.zeros((1, 2)))
+
+
+def test_cumulative_features_shape_and_sign():
+    trace = Trace.from_records(
+        [(0.0, OUT, 500), (0.1, IN, 1500), (0.2, IN, 1500)]
+    )
+    vector = cumulative_features(trace, n_interp=10)
+    assert vector.shape == (14,)
+    assert vector[0] == 3000  # incoming bytes
+    assert vector[1] == 500  # outgoing bytes
+    # The curve ends at incoming - outgoing.
+    assert vector[-1] == pytest.approx(2500)
+
+
+def test_cumulative_features_empty():
+    assert cumulative_features(Trace.empty(), 20).shape == (24,)
+
+
+def test_cumul_attack_closed_world():
+    generator = StatisticalTraceGenerator(seed=7)
+    dataset = generator.generate_dataset(
+        n_samples=14,
+        sites=["wikipedia.org", "youtube.com", "netflix.com"],
+        seed=7,
+    )
+    rng = np.random.default_rng(0)
+    train, test = dataset.train_test_split(0.25, rng)
+    attack = CumulAttack(epochs=15, random_state=0).fit_dataset(train)
+    assert attack.score_dataset(test) > 0.6  # chance 1/3
+
+
+def test_cumul_is_timing_blind_but_size_sensitive(random_trace):
+    """Delaying must not change CUMUL's view; splitting must."""
+    base = cumulative_features(random_trace)
+    delayed = DelayDefense(seed=1).apply(random_trace)
+    assert np.allclose(cumulative_features(delayed), base)
+    split = SplitDefense(seed=1).apply(random_trace)
+    assert not np.allclose(cumulative_features(split), base)

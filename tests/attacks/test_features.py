@@ -1,0 +1,118 @@
+"""k-FP feature extraction tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.features.kfp import KfpFeatureExtractor, extract_features
+from repro.capture.trace import IN, OUT, Trace
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return KfpFeatureExtractor()
+
+
+def test_names_are_stable_and_unique(extractor):
+    names = extractor.names()
+    assert len(names) == extractor.n_features
+    assert len(set(names)) == len(names)
+    assert extractor.names() == names  # stable across calls
+
+
+def test_vector_length_matches_names(extractor, random_trace):
+    vector = extractor.extract(random_trace)
+    assert vector.shape == (extractor.n_features,)
+
+
+def test_all_features_finite_on_degenerate_traces(extractor):
+    cases = [
+        Trace.empty(),
+        Trace.from_records([(0.0, IN, 100)]),
+        Trace.from_records([(0.0, OUT, 100)]),
+        Trace.from_records([(0.0, IN, 100), (0.0, IN, 100)]),  # zero IATs
+    ]
+    for trace in cases:
+        vector = extractor.extract(trace)
+        assert np.all(np.isfinite(vector)), trace
+
+
+def test_count_features_correct(extractor, simple_trace):
+    vector = extractor.extract(simple_trace)
+    names = extractor.names()
+    get = lambda name: vector[names.index(name)]
+    assert get("count_total") == len(simple_trace)
+    assert get("count_in") == (simple_trace.directions == IN).sum()
+    assert get("count_out") == (simple_trace.directions == OUT).sum()
+    assert get("bytes_total") == simple_trace.total_bytes
+    assert get("bytes_in") == simple_trace.incoming_bytes
+
+
+def test_burst_features(extractor):
+    # Directions: OUT, IN*3, OUT*2, IN -> runs: 1 out, 3 in, 2 out, 1 in
+    trace = Trace.from_records(
+        [
+            (0.0, OUT, 100),
+            (0.1, IN, 100), (0.2, IN, 100), (0.3, IN, 100),
+            (0.4, OUT, 100), (0.5, OUT, 100),
+            (0.6, IN, 100),
+        ]
+    )
+    vector = extractor.extract(trace)
+    names = extractor.names()
+    get = lambda name: vector[names.index(name)]
+    assert get("burst_count_in") == 2
+    assert get("burst_len_in_max") == 3
+    assert get("burst_count_out") == 2
+    assert get("burst_len_out_max") == 2
+
+
+def test_direction_sensitivity(extractor, random_trace):
+    """Flipping all directions must change the vector."""
+    flipped = Trace(
+        random_trace.times, -random_trace.directions, random_trace.sizes
+    )
+    a = extractor.extract(random_trace)
+    b = extractor.extract(flipped)
+    assert not np.allclose(a, b)
+
+
+def test_timing_sensitivity(extractor, random_trace):
+    stretched = Trace(
+        random_trace.times * 2.0, random_trace.directions, random_trace.sizes
+    )
+    a = extractor.extract(random_trace)
+    b = extractor.extract(stretched)
+    assert not np.allclose(a, b)
+
+
+def test_extract_many_stacks_rows(extractor, random_trace, simple_trace):
+    matrix = extractor.extract_many([random_trace, simple_trace])
+    assert matrix.shape == (2, extractor.n_features)
+    assert np.allclose(matrix[0], extractor.extract(random_trace))
+
+
+def test_module_level_helper(random_trace):
+    vector = extract_features(random_trace)
+    assert np.all(np.isfinite(vector))
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0, 50, allow_nan=False),
+            st.sampled_from([IN, OUT]),
+            st.integers(1, 1600),
+        ),
+        min_size=0,
+        max_size=100,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_features_total_on_arbitrary_traces(records):
+    """The extractor never produces NaN/inf, whatever the trace."""
+    extractor = KfpFeatureExtractor()
+    vector = extractor.extract(Trace.from_records(records))
+    assert vector.shape == (extractor.n_features,)
+    assert np.all(np.isfinite(vector))

@@ -1,0 +1,141 @@
+"""Dataset, sanitisation and serialisation tests."""
+
+import numpy as np
+import pytest
+
+from repro.capture.dataset import Dataset
+from repro.capture.sanitize import iqr_filter, is_error_trace, sanitize_dataset
+from repro.capture.serialize import load_dataset, save_dataset
+from repro.capture.trace import IN, OUT, Trace
+
+
+def make_trace(rng, n=50, scale=1000):
+    times = np.cumsum(rng.exponential(0.01, n))
+    dirs = rng.choice([IN, IN, OUT], n).astype(np.int8)
+    sizes = rng.integers(100, scale + 1, n)
+    return Trace(times - times[0], dirs, sizes)
+
+
+def make_dataset(rng, labels=("x", "y", "z"), per_label=12):
+    ds = Dataset()
+    for label in labels:
+        for _ in range(per_label):
+            ds.add(label, make_trace(rng))
+    return ds
+
+
+def test_labels_sorted_and_counts(rng):
+    ds = make_dataset(rng, labels=("b", "a"))
+    assert ds.labels == ["a", "b"]
+    assert ds.num_traces == 24
+
+
+def test_map_and_truncate(rng):
+    ds = make_dataset(rng)
+    truncated = ds.truncate(5)
+    assert all(len(t) == 5 for _l, t in truncated)
+    doubled = ds.map(lambda t: t.concat(t))
+    assert all(len(t) == 100 for _l, t in doubled)
+
+
+def test_subset_and_balanced(rng):
+    ds = make_dataset(rng)
+    sub = ds.subset(["x"])
+    assert sub.labels == ["x"]
+    with pytest.raises(KeyError):
+        ds.subset(["nope"])
+    balanced = ds.balanced(5)
+    assert all(len(balanced.traces[l]) == 5 for l in balanced.labels)
+    with pytest.raises(ValueError):
+        ds.balanced(100)
+
+
+def test_to_arrays_label_order(rng):
+    ds = make_dataset(rng, labels=("b", "a"), per_label=2)
+    traces, y = ds.to_arrays()
+    assert len(traces) == 4
+    assert list(y) == [0, 0, 1, 1]
+
+
+def test_train_test_split_stratified(rng):
+    ds = make_dataset(rng, per_label=10)
+    train, test = ds.train_test_split(0.3, rng)
+    for label in ds.labels:
+        assert len(test.traces[label]) == 3
+        assert len(train.traces[label]) == 7
+    with pytest.raises(ValueError):
+        ds.train_test_split(1.5, rng)
+
+
+def test_kfold_partitions_each_label(rng):
+    ds = make_dataset(rng, per_label=9)
+    folds = list(ds.kfold(3, rng))
+    assert len(folds) == 3
+    for train, test in folds:
+        for label in ds.labels:
+            assert len(test.traces[label]) == 3
+            assert len(train.traces[label]) == 6
+    with pytest.raises(ValueError):
+        list(ds.kfold(1, rng))
+    with pytest.raises(ValueError):
+        list(make_dataset(rng, per_label=2).kfold(5, rng))
+
+
+# -- sanitisation -----------------------------------------------------------------
+
+
+def test_iqr_filter_drops_outliers():
+    values = np.array([10.0] * 20 + [10000.0])
+    mask = iqr_filter(values)
+    assert mask[:-1].all()
+    assert not mask[-1]
+    assert iqr_filter(np.empty(0)).shape == (0,)
+
+
+def test_is_error_trace():
+    assert is_error_trace(Trace.empty())
+    tiny = Trace.from_records([(0.0, OUT, 100)])
+    assert is_error_trace(tiny)
+    no_download = Trace.from_records([(0.001 * i, OUT, 100) for i in range(20)])
+    assert is_error_trace(no_download)
+
+
+def test_sanitize_dataset_reports_and_balances(rng):
+    ds = make_dataset(rng, per_label=12)
+    # Inject an error trace and an outlier.
+    ds.traces["x"].append(Trace.empty())
+    big = make_trace(rng, n=50, scale=100000)
+    ds.traces["y"].append(big)
+    clean, report = sanitize_dataset(ds, balance_to=10)
+    assert report["_balanced_to"] <= 10
+    kept_x, err_x, _iqr_x = report["x"]
+    assert err_x == 1
+    for label in clean.labels:
+        assert len(clean.traces[label]) == report["_balanced_to"]
+
+
+# -- serialisation -----------------------------------------------------------------
+
+
+def test_save_load_roundtrip(rng, tmp_path):
+    ds = make_dataset(rng, per_label=4)
+    path = str(tmp_path / "ds.npz")
+    save_dataset(ds, path)
+    loaded = load_dataset(path)
+    assert loaded.labels == ds.labels
+    assert loaded.num_traces == ds.num_traces
+    for label in ds.labels:
+        for original, restored in zip(ds.traces[label], loaded.traces[label]):
+            assert np.allclose(original.times, restored.times)
+            assert np.array_equal(original.directions, restored.directions)
+            assert np.array_equal(original.sizes, restored.sizes)
+
+
+def test_save_load_empty_label(rng, tmp_path):
+    ds = Dataset()
+    ds.traces["empty"] = []
+    ds.add("full", make_trace(rng))
+    path = str(tmp_path / "ds2.npz")
+    save_dataset(ds, path)
+    loaded = load_dataset(path)
+    assert loaded.labels == ["empty", "full"]

@@ -1,0 +1,117 @@
+"""Trace container tests, with hypothesis invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capture.trace import IN, OUT, Trace, TraceObserver
+
+
+def test_validation_rejects_bad_arrays():
+    with pytest.raises(ValueError):
+        Trace(np.array([0.0, 1.0]), np.array([1], dtype=np.int8), np.array([1, 2]))
+    with pytest.raises(ValueError):
+        Trace(np.array([1.0, 0.0]), np.array([1, 1], dtype=np.int8), np.array([1, 1]))
+    with pytest.raises(ValueError):
+        Trace(np.array([0.0]), np.array([2], dtype=np.int8), np.array([1]))
+    with pytest.raises(ValueError):
+        Trace(np.array([0.0]), np.array([1], dtype=np.int8), np.array([0]))
+
+
+def test_from_records_sorts(simple_trace):
+    records = [(1.0, IN, 100), (0.5, OUT, 50)]
+    trace = Trace.from_records(records)
+    assert list(trace.times) == [0.5, 1.0]
+    assert Trace.from_records([]).times.shape == (0,)
+
+
+def test_head_and_tail(simple_trace):
+    head = simple_trace.head(3)
+    tail = simple_trace.tail_after(3)
+    assert len(head) == 3
+    assert len(tail) == len(simple_trace) - 3
+    merged = head.concat(tail)
+    assert np.allclose(merged.times, simple_trace.times)
+
+
+def test_filter_direction(simple_trace):
+    incoming = simple_trace.filter_direction(IN)
+    assert np.all(incoming.directions == IN)
+    outgoing = simple_trace.filter_direction(OUT)
+    assert len(incoming) + len(outgoing) == len(simple_trace)
+
+
+def test_byte_accounting(simple_trace):
+    assert (
+        simple_trace.incoming_bytes + simple_trace.outgoing_bytes
+        == simple_trace.total_bytes
+    )
+
+
+def test_shifted_to_zero(random_trace):
+    shifted = Trace(
+        random_trace.times + 5.0, random_trace.directions, random_trace.sizes
+    ).shifted_to_zero()
+    assert shifted.times[0] == 0.0
+    assert shifted.duration == pytest.approx(random_trace.duration)
+
+
+def test_interarrival_times(simple_trace):
+    iats = simple_trace.interarrival_times()
+    assert len(iats) == len(simple_trace) - 1
+    assert np.all(iats >= 0)
+    assert Trace.empty().interarrival_times().shape == (0,)
+
+
+def test_concat_is_time_sorted(rng):
+    a = Trace.from_records([(0.0, IN, 10), (2.0, IN, 10)])
+    b = Trace.from_records([(1.0, OUT, 20)])
+    merged = a.concat(b)
+    assert list(merged.times) == [0.0, 1.0, 2.0]
+    assert list(merged.sizes) == [10, 20, 10]
+
+
+def test_observer_collects_and_sorts():
+    class P:
+        wire_size = 100
+
+    observer = TraceObserver()
+    observer.tap_incoming(P(), 1.0)
+    observer.tap_outgoing(P(), 0.5)
+    trace = observer.trace()
+    assert len(trace) == 2
+    assert trace.times[0] == 0.0  # zero-based
+    assert list(trace.directions) == [OUT, IN]
+    observer.reset()
+    assert len(observer.trace()) == 0
+
+
+trace_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        st.sampled_from([IN, OUT]),
+        st.integers(1, 2000),
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+@given(trace_strategy)
+@settings(max_examples=120)
+def test_trace_invariants_hold_from_any_records(records):
+    trace = Trace.from_records(records)
+    assert len(trace) == len(records)
+    if len(trace):
+        assert np.all(np.diff(trace.times) >= 0)
+        assert trace.total_bytes == sum(r[2] for r in records)
+
+
+@given(trace_strategy, st.integers(0, 80))
+@settings(max_examples=120)
+def test_head_tail_partition(records, n):
+    trace = Trace.from_records(records)
+    head, tail = trace.head(n), trace.tail_after(n)
+    assert len(head) + len(tail) == len(trace)
+    assert head.total_bytes + tail.total_bytes == trace.total_bytes

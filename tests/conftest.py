@@ -1,0 +1,31 @@
+"""Shared fixtures."""
+
+import numpy as np
+import pytest
+
+from repro.capture.trace import IN, OUT, Trace
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def simple_trace():
+    """A small deterministic trace: request, response burst, ack."""
+    times = np.array([0.0, 0.03, 0.031, 0.032, 0.05, 0.08])
+    dirs = np.array([OUT, IN, IN, IN, OUT, IN], dtype=np.int8)
+    sizes = np.array([400, 1500, 1500, 900, 52, 1300])
+    return Trace(times, dirs, sizes)
+
+
+@pytest.fixture
+def random_trace(rng):
+    """A 400-packet random trace, incoming-heavy like a download."""
+    n = 400
+    times = np.cumsum(rng.exponential(0.004, n))
+    times -= times[0]
+    dirs = rng.choice([IN, IN, IN, OUT], size=n).astype(np.int8)
+    sizes = rng.integers(60, 1501, size=n)
+    return Trace(times, dirs, sizes)

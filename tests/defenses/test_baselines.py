@@ -1,0 +1,193 @@
+"""Tests for the Table-1 baseline defense zoo."""
+
+import numpy as np
+import pytest
+
+from repro.capture.trace import IN, OUT, Trace
+from repro.defenses.buflo import BufloDefense
+from repro.defenses.front import FrontDefense
+from repro.defenses.httpos import HttposLiteDefense
+from repro.defenses.regulator import RegulatorDefense
+from repro.defenses.tamaraw import TamarawDefense
+from repro.defenses.wtfpad import WtfPadDefense
+
+
+# -- FRONT ------------------------------------------------------------------------
+
+
+def test_front_adds_dummies_both_directions(random_trace):
+    out = FrontDefense(seed=1).apply(random_trace)
+    added = len(out) - len(random_trace)
+    assert added > 0
+    assert out.total_bytes > random_trace.total_bytes
+
+
+def test_front_does_not_delay_real_packets(random_trace):
+    out = FrontDefense(seed=1).apply(random_trace)
+    # Zero-delay property: every original (time, dir, size) remains.
+    original = set(
+        zip(random_trace.times.tolist(), random_trace.directions.tolist(),
+            random_trace.sizes.tolist())
+    )
+    defended = set(
+        zip(out.times.tolist(), out.directions.tolist(), out.sizes.tolist())
+    )
+    assert original <= defended
+
+
+def test_front_padding_within_trace_duration(random_trace):
+    out = FrontDefense(seed=2).apply(random_trace)
+    assert out.duration <= random_trace.duration + 1e-9
+
+
+def test_front_bandwidth_overhead_is_substantial(random_trace):
+    """§2.3: FRONT costs on the order of 80% extra bandwidth."""
+    out = FrontDefense(seed=3).apply(random_trace)
+    overhead = (out.total_bytes - random_trace.total_bytes) / random_trace.total_bytes
+    assert overhead > 0.2
+
+
+def test_front_validation():
+    with pytest.raises(ValueError):
+        FrontDefense(n_client=0)
+    with pytest.raises(ValueError):
+        FrontDefense(w_min=5.0, w_max=1.0)
+
+
+# -- BuFLO / Tamaraw ---------------------------------------------------------------
+
+
+def test_buflo_constant_rate_and_fixed_size(random_trace):
+    defense = BufloDefense(ell=1500, rho=0.01, tau=1.0)
+    out = defense.apply(random_trace)
+    assert set(np.unique(out.sizes)) == {1500}
+    for direction in (IN, OUT):
+        side = out.filter_direction(direction)
+        gaps = np.diff(side.times)
+        assert np.allclose(gaps, 0.01)
+
+
+def test_buflo_carries_all_real_bytes(random_trace):
+    defense = BufloDefense(ell=1500, rho=0.001, tau=0.0)
+    out = defense.apply(random_trace)
+    for direction in (IN, OUT):
+        real = int(random_trace.filter_direction(direction).sizes.sum())
+        cap = int(out.filter_direction(direction).sizes.sum())
+        assert cap >= real
+
+
+def test_buflo_runs_at_least_tau(random_trace):
+    defense = BufloDefense(rho=0.01, tau=2.0)
+    out = defense.apply(random_trace)
+    assert out.duration >= 2.0 - 0.011
+
+
+def test_tamaraw_pads_to_multiple(random_trace):
+    defense = TamarawDefense(pad_multiple=100)
+    out = defense.apply(random_trace)
+    for direction in (IN, OUT):
+        count = len(out.filter_direction(direction))
+        assert count % 100 == 0
+
+
+def test_tamaraw_incoming_denser_than_outgoing(random_trace):
+    defense = TamarawDefense(rho_out=0.04, rho_in=0.012)
+    out = defense.apply(random_trace)
+    gaps_in = np.diff(out.filter_direction(IN).times)
+    gaps_out = np.diff(out.filter_direction(OUT).times)
+    assert gaps_in.mean() < gaps_out.mean()
+
+
+# -- WTF-PAD -----------------------------------------------------------------------
+
+
+def test_wtfpad_fills_large_gaps(random_trace):
+    defense = WtfPadDefense(gap_threshold=0.005, seed=1)
+    out = defense.apply(random_trace)
+    assert len(out) > len(random_trace)
+    # No real packet moved.
+    real_times = set(random_trace.times.tolist())
+    assert real_times <= set(out.times.tolist())
+
+
+def test_wtfpad_budget_respected(random_trace):
+    defense = WtfPadDefense(budget_factor=0.1, seed=2)
+    out = defense.apply(random_trace)
+    assert len(out) - len(random_trace) <= int(0.1 * len(random_trace))
+
+
+def test_wtfpad_no_gaps_no_padding():
+    # All gaps below the threshold: nothing to hide.
+    times = np.arange(50) * 0.001
+    trace = Trace(times, np.full(50, IN, np.int8), np.full(50, 1500))
+    out = WtfPadDefense(gap_threshold=0.02).apply(trace)
+    assert len(out) == 50
+
+
+# -- RegulaTor ----------------------------------------------------------------------
+
+
+def test_regulator_reschedules_incoming_onto_envelope(random_trace):
+    defense = RegulatorDefense(seed=1)
+    out = defense.apply(random_trace)
+    # All real incoming bytes survive.
+    real_in = int(random_trace.filter_direction(IN).sizes.sum())
+    out_in = int(out.filter_direction(IN).sizes.sum())
+    assert out_in >= real_in
+    assert len(out.filter_direction(OUT)) > 0
+
+
+def test_regulator_rate_decays_between_surges():
+    # A single burst then silence: the envelope slots should spread out.
+    times = np.concatenate([np.zeros(50) + 0.001 * np.arange(50), [3.0]])
+    dirs = np.full(51, IN, np.int8)
+    sizes = np.full(51, 1500)
+    trace = Trace(times, dirs, sizes)
+    out = RegulatorDefense(initial_rate=200, decay=0.5, padding_budget=50).apply(
+        trace
+    )
+    in_gaps = np.diff(out.filter_direction(IN).times)
+    # Later slots are farther apart than early ones (decaying rate).
+    assert in_gaps[-1] > in_gaps[0]
+
+
+def test_regulator_validation():
+    with pytest.raises(ValueError):
+        RegulatorDefense(decay=1.5)
+    with pytest.raises(ValueError):
+        RegulatorDefense(initial_rate=0)
+
+
+# -- HTTPOS-lite --------------------------------------------------------------------
+
+
+def test_httpos_rechunks_incoming_to_small_mss(random_trace):
+    defense = HttposLiteDefense(advertised_mss=536, seed=1)
+    out = defense.apply(random_trace)
+    incoming = out.filter_direction(IN)
+    assert incoming.sizes.max() <= 536 + 52
+    assert len(out) > len(random_trace)
+
+
+def test_httpos_adds_latency(random_trace):
+    out = HttposLiteDefense(seed=1).apply(random_trace)
+    assert out.duration > random_trace.duration
+
+
+def test_httpos_conserves_incoming_payload(random_trace):
+    defense = HttposLiteDefense(advertised_mss=536)
+    out = defense.apply(random_trace)
+    header = 52
+    orig_payload = int(
+        (random_trace.filter_direction(IN).sizes - header).clip(0).sum()
+    )
+    new_payload = int((out.filter_direction(IN).sizes - header).clip(0).sum())
+    assert new_payload >= orig_payload
+
+
+def test_all_baselines_deterministic(random_trace):
+    for cls in (FrontDefense, WtfPadDefense, RegulatorDefense, HttposLiteDefense):
+        a = cls(seed=4).apply(random_trace)
+        b = cls(seed=4).apply(random_trace)
+        assert len(a) == len(b)
+        assert np.allclose(a.times, b.times)

@@ -1,0 +1,136 @@
+"""Morphing, Palette-lite and Adaptive FRONT tests."""
+
+import numpy as np
+import pytest
+
+from repro.capture.dataset import Dataset
+from repro.capture.trace import IN, OUT, Trace
+from repro.defenses.adaptive_front import AdaptiveFrontDefense
+from repro.defenses.morphing import MorphingDefense
+from repro.defenses.palette import PaletteDefense, fit_palette
+
+
+def make_dataset(rng, volumes=(100_000, 200_000, 400_000, 800_000), per=4):
+    ds = Dataset()
+    for volume in volumes:
+        for _ in range(per):
+            n = max(volume // 1500, 10) - int(rng.integers(0, 10))
+            times = np.cumsum(rng.exponential(0.002, n))
+            dirs = np.full(n, IN, dtype=np.int8)
+            dirs[::5] = OUT
+            sizes = np.full(n, 1500)
+            ds.add(f"site{volume}", Trace(times - times[0], dirs, sizes))
+    return ds
+
+
+# -- morphing -----------------------------------------------------------------------
+
+
+def test_morphing_sizes_come_from_target(random_trace):
+    defense = MorphingDefense(target_sizes=[300, 900], seed=1)
+    out = defense.apply(random_trace)
+    incoming = out.filter_direction(IN)
+    assert set(np.unique(incoming.sizes)) <= {300, 900}
+    # Outgoing untouched.
+    assert np.array_equal(
+        out.filter_direction(OUT).sizes,
+        random_trace.filter_direction(OUT).sizes,
+    )
+
+
+def test_morphing_conserves_or_pads_bytes(random_trace):
+    defense = MorphingDefense(seed=2)
+    out = defense.apply(random_trace)
+    assert out.incoming_bytes >= random_trace.incoming_bytes
+
+
+def test_morphing_towards_decoy(random_trace, rng):
+    decoy = Trace.from_records(
+        [(0.01 * i, IN, 700) for i in range(50)]
+    )
+    defense = MorphingDefense.towards(decoy, seed=3)
+    out = defense.apply(random_trace)
+    assert set(np.unique(out.filter_direction(IN).sizes)) == {700}
+
+
+def test_morphing_validation(random_trace):
+    with pytest.raises(ValueError):
+        MorphingDefense(target_sizes=[])
+    with pytest.raises(ValueError):
+        MorphingDefense(target_sizes=[0])
+    with pytest.raises(ValueError):
+        MorphingDefense.towards(Trace.empty())
+
+
+# -- palette ------------------------------------------------------------------------
+
+
+def test_palette_requires_fit(random_trace):
+    with pytest.raises(RuntimeError):
+        PaletteDefense().apply(random_trace)
+
+
+def test_palette_pads_to_cluster_max(rng):
+    ds = make_dataset(rng)
+    defense = fit_palette(ds, n_clusters=4)
+    # Every defended trace reaches (at least) its cluster's max volume.
+    defended_volumes = {}
+    for label, trace in ds:
+        out = defense.apply(trace)
+        cluster = defense.cluster_of(trace)
+        defended_volumes.setdefault(cluster, []).append(out.incoming_bytes)
+        assert out.incoming_bytes >= trace.incoming_bytes
+    for cluster, volumes in defended_volumes.items():
+        spread = (max(volumes) - min(volumes)) / max(volumes)
+        assert spread < 0.2  # anonymity set: volumes collapse together
+
+
+def test_palette_fit_validation(rng):
+    ds = make_dataset(rng, volumes=(100_000,), per=2)
+    with pytest.raises(ValueError):
+        PaletteDefense(n_clusters=10).fit(ds)
+    with pytest.raises(ValueError):
+        PaletteDefense(n_clusters=0)
+
+
+def test_palette_biggest_traces_barely_padded(rng):
+    ds = make_dataset(rng)
+    defense = fit_palette(ds, n_clusters=4)
+    biggest = max((t for _l, t in ds), key=lambda t: t.incoming_bytes)
+    out = defense.apply(biggest)
+    assert out.incoming_bytes <= biggest.incoming_bytes * 1.05
+
+
+# -- adaptive FRONT ------------------------------------------------------------------
+
+
+def test_adaptive_front_scales_with_trace(rng):
+    small = Trace.from_records(
+        [(0.01 * i, IN if i % 2 else OUT, 1000) for i in range(20)]
+    )
+    big = Trace.from_records(
+        [(0.01 * i, IN if i % 2 else OUT, 1000) for i in range(800)]
+    )
+    defense = AdaptiveFrontDefense(seed=4)
+    added_small = len(defense.apply(small)) - len(small)
+    added_big = len(defense.apply(big)) - len(big)
+    assert added_big > added_small
+
+
+def test_adaptive_front_zero_delay(random_trace):
+    out = AdaptiveFrontDefense(seed=5).apply(random_trace)
+    original = set(
+        zip(random_trace.times.tolist(), random_trace.directions.tolist(),
+            random_trace.sizes.tolist())
+    )
+    defended = set(
+        zip(out.times.tolist(), out.directions.tolist(), out.sizes.tolist())
+    )
+    assert original <= defended
+
+
+def test_adaptive_front_validation():
+    with pytest.raises(ValueError):
+        AdaptiveFrontDefense(budget_fraction=0)
+    with pytest.raises(ValueError):
+        AdaptiveFrontDefense(window_fraction=0)

@@ -1,0 +1,99 @@
+"""Overhead metrics and the Table-1 registry."""
+
+import numpy as np
+import pytest
+
+from repro.capture.dataset import Dataset
+from repro.capture.trace import IN, OUT, Trace
+from repro.defenses.base import NoDefense
+from repro.defenses.front import FrontDefense
+from repro.defenses.overhead import (
+    bandwidth_overhead,
+    latency_overhead,
+    overhead_summary,
+    packet_overhead,
+)
+from repro.defenses.registry import (
+    DEFENSE_TAXONOMY,
+    build_defense,
+    implemented_defenses,
+)
+
+
+def small_dataset(rng):
+    ds = Dataset()
+    for label in ("a", "b"):
+        for _ in range(4):
+            n = 80
+            times = np.cumsum(rng.exponential(0.01, n))
+            dirs = rng.choice([IN, IN, OUT], n).astype(np.int8)
+            sizes = rng.integers(100, 1501, n)
+            ds.add(label, Trace(times - times[0], dirs, sizes))
+    return ds
+
+
+def test_bandwidth_overhead_zero_for_identity(random_trace):
+    assert bandwidth_overhead(random_trace, random_trace) == 0.0
+    assert latency_overhead(random_trace, random_trace) == 0.0
+    assert packet_overhead(random_trace, random_trace) == 0.0
+
+
+def test_bandwidth_overhead_positive_for_padding(random_trace):
+    out = FrontDefense(seed=0).apply(random_trace)
+    assert bandwidth_overhead(random_trace, out) > 0
+
+
+def test_overhead_rejects_empty(random_trace):
+    with pytest.raises(ValueError):
+        bandwidth_overhead(Trace.empty(), random_trace)
+
+
+def test_overhead_summary_aggregates(rng):
+    ds = small_dataset(rng)
+    summary = overhead_summary(ds, NoDefense())
+    assert summary["bandwidth"] == 0.0
+    assert summary["latency"] == 0.0
+    assert summary["n_traces"] == 8
+    padded = overhead_summary(ds, FrontDefense(seed=1))
+    assert padded["bandwidth"] > 0
+    assert padded["packets"] > 0
+
+
+def test_overhead_summary_max_traces(rng):
+    ds = small_dataset(rng)
+    summary = overhead_summary(ds, NoDefense(), max_traces=3)
+    assert summary["n_traces"] == 3
+
+
+def test_taxonomy_covers_papers_rows():
+    systems = {info.system for info in DEFENSE_TAXONOMY}
+    for expected in (
+        "ALPaCA", "BuFLO", "RegulaTor", "Surakav", "Palette", "WTF-PAD",
+        "FRONT", "BLANKET", "Morphing", "HTTPOS", "Burst Defense", "Cactus",
+        "Adaptive FRONT", "QCSD", "pad-resources", "NetShaper",
+    ):
+        assert expected in systems
+
+
+def test_taxonomy_strategies_match_paper():
+    by_name = {info.system: info for info in DEFENSE_TAXONOMY}
+    assert by_name["BuFLO"].strategy == "Regularization"
+    assert by_name["FRONT"].strategy == "Obfuscation"
+    assert by_name["NetShaper"].target == "TLS & QUIC"
+    assert by_name["QCSD"].target == "QUIC"
+    assert "packet size" in by_name["HTTPOS"].manipulations
+
+
+def test_build_defense_factory(random_trace):
+    for name in implemented_defenses():
+        defense = build_defense(name, seed=1)
+        out = defense.apply(random_trace)
+        assert np.all(np.diff(out.times) >= -1e-12)
+    with pytest.raises(ValueError):
+        build_defense("nope")
+
+
+def test_build_defense_passes_kwargs(random_trace):
+    defense = build_defense("split", threshold=800)
+    out = defense.apply(random_trace)
+    assert out.filter_direction(IN).sizes.max() <= 800

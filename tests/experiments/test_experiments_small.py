@@ -1,0 +1,119 @@
+"""Scaled-down experiment pipeline tests.
+
+These run the same code paths as the benchmarks with tiny parameters,
+so pipeline regressions surface in the unit suite rather than only in
+multi-minute bench runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.capture.sanitize import sanitize_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.censorship import (
+    detection_delay,
+    format_censorship,
+    run_censorship_curve,
+)
+from repro.experiments.figure3 import (
+    Figure3Config,
+    format_figure3,
+    run_figure3,
+    run_point,
+)
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import (
+    Table2Cell,
+    build_datasets,
+    evaluate_dataset,
+    format_table2,
+    make_defenses,
+    run_table2,
+)
+from repro.web.tracegen import StatisticalTraceGenerator
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(
+        n_samples=8, n_folds=2, n_estimators=15, balance_to=8, seed=1
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    generator = StatisticalTraceGenerator(seed=1)
+    return generator.generate_dataset(n_samples=8, seed=1)
+
+
+def test_make_defenses_has_paper_conditions(tiny_config):
+    defenses = make_defenses(0)
+    assert set(defenses) == {"original", "split", "delayed", "combined"}
+
+
+def test_build_datasets_sixteen(tiny_dataset, tiny_config):
+    clean, _ = sanitize_dataset(tiny_dataset, balance_to=8)
+    datasets = build_datasets(clean, seed=0)
+    assert len(datasets) == 16
+    for (name, n), ds in datasets.items():
+        assert ds.num_traces == clean.num_traces
+        if isinstance(n, int):
+            assert max(len(t) for _l, t in ds) <= n * 2 + 2  # split can grow
+
+
+def test_evaluate_dataset_returns_fold_scores(tiny_dataset, tiny_config):
+    scores = evaluate_dataset(tiny_dataset, tiny_config)
+    assert len(scores) == tiny_config.n_folds
+    assert all(0 <= s <= 1 for s in scores)
+    # 9-class chance is ~0.11; features must do much better.
+    assert np.mean(scores) > 0.4
+
+
+def test_run_table2_on_prebuilt_dataset(tiny_dataset, tiny_config):
+    table = run_table2(tiny_config, dataset=tiny_dataset)
+    assert len(table) == 16
+    rendered = format_table2(table)
+    assert "Original" in rendered and "Split" in rendered
+    for cell in table.values():
+        assert isinstance(cell, Table2Cell)
+        assert 0 <= cell.mean <= 1
+
+
+def test_run_table1_measures_implemented_defenses(tiny_config, tiny_dataset):
+    rows = run_table1(tiny_config, dataset=tiny_dataset, max_traces=10)
+    measured = [r for r in rows if r.bandwidth is not None]
+    assert len(measured) >= 8
+    by_system = {r.info.system: r for r in rows}
+    # Padding defenses cost bandwidth; pure delaying does not.
+    assert by_system["FRONT"].bandwidth > 0.2
+    assert by_system["Stob-Delay"].bandwidth == pytest.approx(0.0)
+    assert by_system["Stob-Delay"].latency > 0
+    # Splitting costs only duplicated headers: small but nonzero.
+    assert 0 < by_system["Stob-Split"].bandwidth < 0.1
+    assert "FRONT" in format_table1(rows)
+
+
+def test_run_figure3_single_cheap_point():
+    config = Figure3Config(alphas=(0,), warmup=0.004, measure=0.008)
+    point = run_point(0, config)
+    assert point.goodput_gbps > 1.0
+    assert point.mean_tso_packets > 1
+
+
+def test_run_figure3_formats(monkeypatch):
+    config = Figure3Config(alphas=(0, 100), warmup=0.004, measure=0.008)
+    points = run_figure3(config)
+    assert len(points) == 2
+    rendered = format_figure3(points)
+    assert "alpha" in rendered and "goodput" in rendered
+
+
+def test_censorship_curve_and_delay_metric(tiny_dataset, tiny_config):
+    points = run_censorship_curve(
+        tiny_config, dataset=tiny_dataset, prefixes=(10, 40)
+    )
+    assert len(points) == 4 * 2  # four defenses x two prefixes
+    delays = detection_delay(points, threshold=0.0)
+    assert set(delays) == {"original", "split", "delayed", "combined"}
+    assert all(n == 10 for n in delays.values())  # threshold 0 -> first
+    assert "N" in format_censorship(points)

@@ -1,0 +1,126 @@
+"""Tests for the extension experiments: work conservation, open world,
+QUIC-vs-TCP (tiny scales)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.open_world import (
+    build_open_world,
+    evaluate_open_world,
+    format_open_world,
+    run_open_world,
+)
+from repro.experiments.quic_vs_tcp import format_quic_vs_tcp, run_quic_vs_tcp
+from repro.experiments.work_conservation import (
+    format_work_conservation,
+    run_work_conservation,
+)
+from repro.web.sites import random_profile
+
+
+def test_random_profiles_are_distinct_and_valid():
+    rng = np.random.default_rng(1)
+    profiles = [random_profile(f"bg{i}", rng) for i in range(5)]
+    sizes = set()
+    for profile in profiles:
+        page = profile.sample_page(np.random.default_rng(0))
+        assert page.total_download_bytes > 10_000
+        sizes.add(page.total_download_bytes)
+    assert len(sizes) == 5  # parameter draws differ
+
+
+def test_work_conservation_shape():
+    results = run_work_conservation(duration=2.0)
+    by_primitive = {r.primitive: r for r in results}
+    assert set(by_primitive) == {"none", "delay", "split", "padding"}
+    base = by_primitive["none"].victim_goodput_mbps
+    assert base > 10
+    assert by_primitive["delay"].victim_goodput_mbps > 0.85 * base
+    assert by_primitive["padding"].victim_goodput_mbps < base
+    assert by_primitive["padding"].cover_mbps > 5
+    assert "padding" in format_work_conservation(results)
+
+
+def test_open_world_build_and_eval_tiny():
+    monitored, background = build_open_world(
+        n_monitored_samples=8, n_background_sites=10, seed=2
+    )
+    assert monitored.num_traces == 72
+    assert len(background.labels) == 10
+    result = evaluate_open_world(
+        monitored, background, n_estimators=20, seed=2
+    )
+    assert 0 <= result.precision <= 1
+    assert 0 <= result.recall <= 1
+    assert result.n_background_test > 0
+
+
+def test_open_world_runner_formats():
+    results = run_open_world(
+        seed=4, n_monitored_samples=8, n_background_sites=10
+    )
+    assert len(results) == 2
+    assert "precision" in format_open_world(results)
+
+
+def test_quic_vs_tcp_tiny():
+    config = ExperimentConfig(
+        n_samples=6, n_folds=2, n_estimators=15, balance_to=6, seed=8
+    )
+    result = run_quic_vs_tcp(config)
+    rendered = format_quic_vs_tcp(result)
+    assert "QUIC" in rendered
+    # Both transports beat 9-class chance clearly even at tiny scale.
+    assert result.accuracy_tcp[0] > 0.3
+    assert result.accuracy_quic[0] > 0.3
+    assert 0 <= result.cross_transport_accuracy <= 1
+
+
+def test_attack_robustness_tiny():
+    from repro.experiments.attack_robustness import (
+        format_attack_robustness,
+        run_attack_robustness,
+    )
+    from repro.web.tracegen import StatisticalTraceGenerator
+
+    config = ExperimentConfig(
+        n_samples=10, n_folds=2, n_estimators=15, balance_to=10, seed=6
+    )
+    dataset = StatisticalTraceGenerator(seed=6).generate_dataset(
+        n_samples=10, seed=6
+    )
+    cells = run_attack_robustness(config, dataset=dataset)
+    assert len(cells) == 12  # 3 attacks x 4 defenses
+    rendered = format_attack_robustness(cells)
+    assert "cumul" in rendered
+    grid = {(c.attack, c.defense): c.accuracy for c in cells}
+    # Delaying leaves CUMUL's features untouched.
+    assert abs(grid[("cumul", "delayed")] - grid[("cumul", "original")]) < 0.25
+
+
+def test_parameter_sweep_tiny():
+    from repro.experiments.parameter_sweep import (
+        format_parameter_sweep,
+        run_parameter_sweep,
+    )
+    from repro.web.tracegen import StatisticalTraceGenerator
+
+    config = ExperimentConfig(
+        n_samples=8, n_folds=2, n_estimators=12, balance_to=8, seed=9
+    )
+    dataset = StatisticalTraceGenerator(seed=9).generate_dataset(
+        n_samples=8, seed=9
+    )
+    points = run_parameter_sweep(
+        config,
+        dataset=dataset,
+        thresholds=(1200,),
+        delay_ranges=((0.10, 0.30), (0.50, 1.50)),
+    )
+    assert len(points) == 2
+    rendered = format_parameter_sweep(points)
+    assert "split" in rendered
+    mild, harsh = points
+    assert harsh.latency_overhead > mild.latency_overhead
+    assert mild.bandwidth_overhead == harsh.bandwidth_overhead == 0.0

@@ -1,0 +1,59 @@
+"""Unit-level tests of the Figure-3 machinery (cheap configs)."""
+
+import pytest
+
+from repro.experiments.figure3 import (
+    Figure3Config,
+    Figure3Point,
+    format_figure3,
+    run_point,
+)
+from repro.stack.nic import CpuModel
+from repro.units import usec
+
+
+def test_config_defaults_match_paper_axis():
+    config = Figure3Config()
+    assert config.alphas == (0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+    assert config.link_gbps == 100.0
+
+
+def test_cpu_model_analytic_endpoints_bracket_paper_shape():
+    """The calibrated cost model puts the analytic CPU-bound endpoints
+    in the right ballpark: tens of Gb/s at default sizing, ~half that
+    at the most aggressive reduction."""
+    model = CpuModel()
+    default = model.max_throughput(44 * 1448, 44) * 8 / 1e9
+    assert 35 < default < 60
+    # alpha=100 steady shape: ~12 packets of ~900 B payload.
+    reduced = model.max_throughput(12 * 900, 12) * 8 / 1e9
+    assert 15 < reduced < 30
+    assert reduced < default
+
+
+def test_run_point_measures_window_only():
+    config = Figure3Config(alphas=(0,), warmup=0.004, measure=0.006)
+    point = run_point(0, config)
+    assert isinstance(point, Figure3Point)
+    assert point.goodput_gbps > 0
+    assert point.cpu_utilization <= 1.0
+    # Steady-state shape statistics, not cold-start averages.
+    assert point.mean_tso_packets >= 1
+
+
+def test_alpha_changes_wire_shape_quickly():
+    config = Figure3Config(alphas=(0,), warmup=0.004, measure=0.006)
+    base = run_point(0, config)
+    swept = run_point(100, config)
+    assert swept.mean_packet_size < base.mean_packet_size
+    assert swept.mean_tso_packets < base.mean_tso_packets
+
+
+def test_format_contains_all_points():
+    points = [
+        Figure3Point(0, 45.0, 1500.0, 44.0, 1.0, 0),
+        Figure3Point(100, 24.0, 955.0, 12.0, 1.0, 0),
+    ]
+    rendered = format_figure3(points)
+    assert "45.0" in rendered and "24.0" in rendered
+    assert rendered.count("\n") >= 3

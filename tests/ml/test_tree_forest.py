@@ -1,0 +1,155 @@
+"""Decision-tree and random-forest tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.forest import RandomForest
+from repro.ml.tree import DecisionTree
+
+
+def blobs(rng, n_per=60, n_classes=3, d=5, sep=4.0):
+    """Well-separated gaussian blobs."""
+    X, y = [], []
+    for cls in range(n_classes):
+        center = rng.normal(0, 1, d) * 0 + cls * sep
+        X.append(rng.normal(center, 1.0, size=(n_per, d)))
+        y.extend([cls] * n_per)
+    return np.vstack(X), np.asarray(y)
+
+
+def test_tree_fits_separable_data(rng):
+    X, y = blobs(rng)
+    tree = DecisionTree(rng=rng).fit(X, y)
+    assert np.mean(tree.predict(X) == y) > 0.98
+
+
+def test_tree_pure_node_stops():
+    X = np.zeros((10, 2))
+    y = np.zeros(10, dtype=int)
+    tree = DecisionTree().fit(X, y)
+    assert tree.node_count == 1
+    assert (tree.predict(X) == 0).all()
+
+
+def test_tree_max_depth_respected(rng):
+    X, y = blobs(rng)
+    tree = DecisionTree(max_depth=2, rng=rng).fit(X, y)
+    assert tree.max_reached_depth <= 2
+
+
+def test_tree_min_samples_leaf(rng):
+    X, y = blobs(rng, n_per=20)
+    tree = DecisionTree(min_samples_leaf=8, rng=rng).fit(X, y)
+    leaf_mask = tree.feature < 0
+    leaf_sizes = tree.value[leaf_mask].sum(axis=1)
+    assert leaf_sizes.min() >= 8
+
+
+def test_tree_xor_requires_depth(rng):
+    """XOR is not linearly separable; a depth-2 tree nails it."""
+    X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]] * 25, dtype=float)
+    X = X + rng.normal(0, 0.05, X.shape)
+    y = (X[:, 0].round().astype(int) ^ X[:, 1].round().astype(int))
+    tree = DecisionTree(rng=rng).fit(X, y)
+    assert np.mean(tree.predict(X) == y) > 0.95
+
+
+def test_tree_apply_returns_leaves(rng):
+    X, y = blobs(rng)
+    tree = DecisionTree(rng=rng).fit(X, y)
+    leaves = tree.apply(X)
+    assert (tree.feature[leaves] == -1).all()
+
+
+def test_tree_predict_proba_rows_sum_to_one(rng):
+    X, y = blobs(rng)
+    tree = DecisionTree(rng=rng).fit(X, y)
+    proba = tree.predict_proba(X)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_tree_validation(rng):
+    with pytest.raises(ValueError):
+        DecisionTree(min_samples_split=1)
+    with pytest.raises(ValueError):
+        DecisionTree(min_samples_leaf=0)
+    with pytest.raises(ValueError):
+        DecisionTree().fit(np.zeros((3, 2)), np.zeros(4, dtype=int))
+    with pytest.raises(ValueError):
+        DecisionTree().fit(np.zeros(3), np.zeros(3, dtype=int))
+    with pytest.raises(RuntimeError):
+        DecisionTree().predict(np.zeros((2, 2)))
+
+
+def test_tree_constant_features_yield_single_leaf():
+    X = np.ones((20, 3))
+    y = np.array([0, 1] * 10)
+    tree = DecisionTree().fit(X, y)
+    assert tree.node_count == 1  # no valid split exists
+
+
+# -- forest ------------------------------------------------------------------------
+
+
+def test_forest_fits_and_beats_chance(rng):
+    X, y = blobs(rng, sep=2.0)
+    forest = RandomForest(n_estimators=30, random_state=0).fit(X, y)
+    assert forest.score(X, y) > 0.9
+
+
+def test_forest_generalises_to_test_split(rng):
+    X, y = blobs(rng, n_per=100, sep=3.0)
+    order = rng.permutation(len(y))
+    X, y = X[order], y[order]
+    forest = RandomForest(n_estimators=40, random_state=1).fit(X[:200], y[:200])
+    assert forest.score(X[200:], y[200:]) > 0.9
+
+
+def test_forest_deterministic_given_seed(rng):
+    X, y = blobs(rng)
+    a = RandomForest(n_estimators=10, random_state=5).fit(X, y).predict(X)
+    b = RandomForest(n_estimators=10, random_state=5).fit(X, y).predict(X)
+    assert np.array_equal(a, b)
+
+
+def test_forest_oob_score(rng):
+    X, y = blobs(rng, sep=3.0)
+    forest = RandomForest(n_estimators=30, oob_score=True, random_state=2)
+    forest.fit(X, y)
+    assert forest.oob_score_ is not None
+    assert forest.oob_score_ > 0.8
+
+
+def test_forest_apply_shape(rng):
+    X, y = blobs(rng)
+    forest = RandomForest(n_estimators=7, random_state=3).fit(X, y)
+    leaves = forest.apply(X)
+    assert leaves.shape == (len(X), 7)
+
+
+def test_forest_proba_shape_and_normalisation(rng):
+    X, y = blobs(rng)
+    forest = RandomForest(n_estimators=5, random_state=4).fit(X, y)
+    proba = forest.predict_proba(X)
+    assert proba.shape == (len(X), 3)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_forest_validation():
+    with pytest.raises(ValueError):
+        RandomForest(n_estimators=0)
+    forest = RandomForest(n_estimators=2)
+    with pytest.raises(RuntimeError):
+        forest.predict(np.zeros((1, 2)))
+
+
+@given(st.integers(2, 5), st.integers(20, 60))
+@settings(max_examples=15, deadline=None)
+def test_forest_training_accuracy_property(n_classes, n_per):
+    """On well-separated blobs the forest is near-perfect in-sample."""
+    rng = np.random.default_rng(n_classes * 100 + n_per)
+    X, y = blobs(rng, n_per=n_per, n_classes=n_classes, sep=6.0)
+    forest = RandomForest(n_estimators=15, random_state=0).fit(X, y)
+    assert forest.score(X, y) > 0.95

@@ -1,0 +1,109 @@
+"""Event-loop unit tests."""
+
+import pytest
+
+from repro.simnet.engine import EventLoop, Simulator
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(2.0, lambda: fired.append("b"))
+    loop.schedule(1.0, lambda: fired.append("a"))
+    loop.schedule(3.0, lambda: fired.append("c"))
+    loop.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    loop = EventLoop()
+    fired = []
+    for tag in range(5):
+        loop.schedule(1.0, lambda t=tag: fired.append(t))
+    loop.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_clock_advances_to_event_time():
+    loop = EventLoop()
+    seen = []
+    loop.schedule(0.5, lambda: seen.append(loop.now))
+    loop.run()
+    assert seen == [0.5]
+    assert loop.now == 0.5
+
+
+def test_negative_delay_rejected():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        loop.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_before_now_rejected():
+    loop = EventLoop()
+    loop.schedule(1.0, lambda: None)
+    loop.run()
+    with pytest.raises(ValueError):
+        loop.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    loop = EventLoop()
+    fired = []
+    event = loop.schedule(1.0, lambda: fired.append("x"))
+    event.cancel()
+    loop.run()
+    assert fired == []
+    assert loop.processed_events == 0
+
+
+def test_run_until_stops_and_preserves_future_events():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, lambda: fired.append(1))
+    loop.schedule(5.0, lambda: fired.append(5))
+    loop.run(until=2.0)
+    assert fired == [1]
+    assert loop.now == 2.0
+    loop.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    loop = EventLoop()
+    loop.run(until=3.0)
+    assert loop.now == 3.0
+
+
+def test_max_events_bounds_execution():
+    loop = EventLoop()
+    fired = []
+    for i in range(10):
+        loop.schedule(float(i + 1), lambda i=i: fired.append(i))
+    loop.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_events_scheduled_during_run_are_executed():
+    loop = EventLoop()
+    fired = []
+
+    def first():
+        fired.append("first")
+        loop.schedule(1.0, lambda: fired.append("second"))
+
+    loop.schedule(1.0, first)
+    loop.run()
+    assert fired == ["first", "second"]
+
+
+def test_step_returns_false_when_empty():
+    loop = EventLoop()
+    assert loop.step() is False
+
+
+def test_simulator_packet_ids_unique_and_increasing():
+    sim = Simulator()
+    ids = [sim.next_packet_id() for _ in range(100)]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == 100

@@ -1,0 +1,159 @@
+"""Link and queue unit tests."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.entities import DropTailQueue, Link, Wire
+
+
+@dataclass
+class FakePacket:
+    wire_size: int
+
+
+def test_wire_delivers_after_delay():
+    sim = Simulator()
+    got = []
+    wire = Wire(sim, delay=0.1, receiver=lambda p: got.append((sim.now, p)))
+    wire.send(FakePacket(100))
+    sim.run()
+    assert got[0][0] == pytest.approx(0.1)
+
+
+def test_wire_rejects_negative_delay():
+    with pytest.raises(ValueError):
+        Wire(Simulator(), delay=-1.0, receiver=lambda p: None)
+
+
+def test_droptail_accepts_until_capacity():
+    queue = DropTailQueue(capacity_bytes=250)
+    assert queue.try_push(FakePacket(100))
+    assert queue.try_push(FakePacket(100))
+    assert not queue.try_push(FakePacket(100))
+    assert queue.dropped == 1
+    assert queue.bytes == 200
+    assert len(queue) == 2
+
+
+def test_droptail_unbounded_when_capacity_none():
+    queue = DropTailQueue(capacity_bytes=None)
+    for _ in range(1000):
+        assert queue.try_push(FakePacket(1500))
+    assert queue.dropped == 0
+
+
+def test_droptail_pop_order_and_accounting():
+    queue = DropTailQueue(capacity_bytes=None)
+    first, second = FakePacket(10), FakePacket(20)
+    queue.try_push(first)
+    queue.try_push(second)
+    assert queue.pop() is first
+    assert queue.bytes == 20
+    assert queue.pop() is second
+    with pytest.raises(IndexError):
+        queue.pop()
+
+
+def test_droptail_peak_tracking():
+    queue = DropTailQueue(capacity_bytes=None)
+    queue.try_push(FakePacket(100))
+    queue.try_push(FakePacket(100))
+    queue.pop()
+    assert queue.peak_bytes == 200
+
+
+def test_link_serialization_plus_propagation():
+    sim = Simulator()
+    got = []
+    link = Link(
+        sim,
+        rate_bytes_per_sec=1000.0,
+        propagation_delay=0.5,
+        receiver=lambda p: got.append(sim.now),
+    )
+    link.send(FakePacket(100))  # 0.1s serialization + 0.5s propagation
+    sim.run()
+    assert got[0] == pytest.approx(0.6)
+
+
+def test_link_packets_queue_behind_each_other():
+    sim = Simulator()
+    got = []
+    link = Link(
+        sim,
+        rate_bytes_per_sec=1000.0,
+        propagation_delay=0.0,
+        receiver=lambda p: got.append(sim.now),
+    )
+    link.send(FakePacket(100))
+    link.send(FakePacket(100))
+    sim.run()
+    assert got == [pytest.approx(0.1), pytest.approx(0.2)]
+
+
+def test_link_drop_when_queue_full():
+    sim = Simulator()
+    got = []
+    link = Link(
+        sim,
+        rate_bytes_per_sec=100.0,
+        propagation_delay=0.0,
+        receiver=got.append,
+        queue_capacity_bytes=150,
+    )
+    sent = [link.send(FakePacket(100)) for _ in range(4)]
+    sim.run()
+    # First packet starts transmitting immediately (dequeued), the
+    # second occupies the 150-byte queue, the rest are dropped.
+    assert sent == [True, True, False, False]
+    assert link.queue.dropped == 2
+    assert len(got) == 2
+
+
+def test_link_random_loss_is_deterministic_with_seed():
+    def run(seed):
+        sim = Simulator()
+        got = []
+        link = Link(
+            sim,
+            rate_bytes_per_sec=1e6,
+            propagation_delay=0.0,
+            receiver=got.append,
+            loss_rate=0.5,
+            rng=np.random.default_rng(seed),
+        )
+        for _ in range(100):
+            link.send(FakePacket(100))
+        sim.run()
+        return len(got)
+
+    assert run(1) == run(1)
+    assert 10 < run(1) < 90  # loss actually happens
+
+
+def test_link_requires_rng_for_loss():
+    with pytest.raises(ValueError):
+        Link(
+            Simulator(),
+            rate_bytes_per_sec=1.0,
+            propagation_delay=0.0,
+            receiver=lambda p: None,
+            loss_rate=0.1,
+        )
+
+
+def test_link_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        Link(Simulator(), 0.0, 0.0, lambda p: None)
+
+
+def test_link_utilization():
+    sim = Simulator()
+    link = Link(sim, 1000.0, 0.0, lambda p: None)
+    link.send(FakePacket(500))  # 0.5s busy
+    sim.run()
+    assert link.utilization(1.0) == pytest.approx(0.5)
+    assert link.utilization(0.0) == 0.0

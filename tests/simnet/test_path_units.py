@@ -1,0 +1,81 @@
+"""NetworkPath and unit-helper tests."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.path import NetworkPath
+from repro import units
+
+
+def test_rate_helpers_roundtrip():
+    assert units.mbps(100) == pytest.approx(12.5e6)
+    assert units.gbps(1) == pytest.approx(125e6)
+    assert units.to_mbps(units.mbps(42)) == pytest.approx(42)
+    assert units.to_gbps(units.gbps(7)) == pytest.approx(7)
+    assert units.kbps(8) == pytest.approx(1000)
+
+
+def test_time_size_helpers():
+    assert units.msec(20) == pytest.approx(0.02)
+    assert units.usec(100) == pytest.approx(1e-4)
+    assert units.to_msec(0.5) == pytest.approx(500)
+    assert units.kib(2) == 2048
+    assert units.mib(1) == 1048576
+
+
+def test_serialization_delay():
+    assert units.serialization_delay(1000, 1000.0) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        units.serialization_delay(1000, 0.0)
+
+
+def test_wire_constants_consistent():
+    assert units.DEFAULT_MSS == units.ETHERNET_MTU - units.IPV4_HEADER - units.TCP_HEADER
+    assert units.MIN_MSS == 536
+    assert units.DEFAULT_TSO_SEGS == 44
+
+
+def test_path_bdp_and_buffer():
+    path = NetworkPath(rate=units.mbps(100), rtt=units.msec(20))
+    assert path.bdp_bytes == int(units.mbps(100) * 0.02)
+    assert path.buffer_bytes >= path.bdp_bytes  # default 1 BDP + floor
+    assert path.one_way_delay == pytest.approx(0.01)
+
+
+def test_path_buffer_floor_for_tiny_paths():
+    path = NetworkPath(rate=units.kbps(64), rtt=units.msec(1))
+    assert path.buffer_bytes >= 8 * units.ETHERNET_MTU
+
+
+def test_path_validation():
+    with pytest.raises(ValueError):
+        NetworkPath(rate=0)
+    with pytest.raises(ValueError):
+        NetworkPath(rtt=-1)
+    with pytest.raises(ValueError):
+        NetworkPath(buffer_bdp=-0.1)
+
+
+def test_build_links_wires_receivers():
+    sim = Simulator()
+    path = NetworkPath(rate=units.mbps(10), rtt=units.msec(10))
+    forward_got, reverse_got = [], []
+    forward, reverse = path.build_links(
+        sim, forward_got.append, reverse_got.append
+    )
+
+    class P:
+        wire_size = 100
+
+    forward.send(P())
+    reverse.send(P())
+    sim.run()
+    assert len(forward_got) == 1
+    assert len(reverse_got) == 1
+
+
+def test_build_links_with_loss_creates_rng():
+    sim = Simulator()
+    path = NetworkPath(rate=units.mbps(10), rtt=units.msec(10), loss_rate=0.5)
+    forward, _reverse = path.build_links(sim, lambda p: None, lambda p: None)
+    assert forward.loss_rate == 0.5

@@ -1,0 +1,116 @@
+"""Integration tests for the asynchronous send path of Figure 1.
+
+The paper's core systems argument: data posted by the application is
+*not* transmitted in the posting context — windows defer it, the qdisc
+decouples it, and TSO splits it at line rate.  These tests pin that
+behaviour down in the model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.path import NetworkPath
+from repro.stack.host import make_flow
+from repro.stack.tcp import TcpConfig
+from repro.units import mbps, msec, mib
+
+
+def build(rate=mbps(20), rtt=msec(20), **kwargs):
+    sim = Simulator()
+    path = NetworkPath(rate=rate, rtt=rtt)
+    flow = make_flow(sim, path, **kwargs)
+    return sim, flow
+
+
+def test_write_returns_before_transmission():
+    """send() semantics: posting data does not transmit it."""
+    sim, flow = build()
+    flow.connect()
+    sim.run(until=1.0)  # handshake done
+    taken = flow.server.write(mib(1))
+    assert taken == mib(1)
+    # Nothing on the wire yet in the writing context.
+    assert flow.server_host.nic.tx_payload_bytes == 0
+
+
+def test_window_defers_transmission_until_acks():
+    """Only ~IW10 leaves immediately; the rest waits for ACK clock."""
+    sim, flow = build()
+    flow.connect()
+    sim.run(until=1.0)
+    flow.server.write(mib(1))
+    # Run a hair of time: less than one RTT, so no ACKs yet.
+    sim.run(until=sim.now + 0.005)
+    sent = flow.server_host.nic.tx_payload_bytes
+    assert 0 < sent <= 16 * 1448  # roughly the initial window
+    sim.run(until=sim.now + 5.0)
+    assert flow.client.receive_buffer.delivered == mib(1)
+
+
+def test_tso_produces_microbursts():
+    """Packets of one TSO segment leave the NIC at the same instant."""
+    sim, flow = build(rate=mbps(1000), rtt=msec(10))
+    stamps = []
+    flow.server_host.nic.add_tap(
+        lambda p, t: stamps.append(t) if p.payload_len else None
+    )
+    flow.server.on_established = lambda: flow.server.write(mib(2))
+    flow.connect()
+    sim.run(until=5.0)
+    stamps = np.asarray(stamps)
+    same_instant = np.sum(np.diff(stamps) == 0.0)
+    assert same_instant > 10  # plenty of multi-packet bursts
+
+
+def test_pacing_spreads_tso_segments():
+    """fq pacing: segment departures are spaced, not back-to-back."""
+    sim, flow = build(rate=mbps(50), rtt=msec(30))
+    departures = []
+    original = flow.server_host.nic.transmit
+
+    def spy(segment):
+        departures.append(sim.now)
+        return original(segment)
+
+    flow.server_host.qdisc._sink = spy
+    flow.server.on_established = lambda: flow.server.write(mib(1))
+    flow.connect()
+    sim.run(until=10.0)
+    gaps = np.diff(departures)
+    assert (gaps > 0).sum() > len(gaps) * 0.4
+
+
+def test_tsq_bounds_qdisc_backlog():
+    """TCP Small Queues: the below-TCP backlog stays bounded."""
+    sim, flow = build(rate=mbps(5), rtt=msec(50))
+    peak = {"bytes": 0}
+    qdisc = flow.server_host.qdisc
+    original = qdisc.enqueue
+
+    def spy(segment):
+        original(segment)
+        peak["bytes"] = max(peak["bytes"], qdisc.queued_bytes(segment.flow_id))
+
+    qdisc.enqueue = spy
+    flow.server.on_established = lambda: flow.server.write(mib(2))
+    flow.connect()
+    sim.run(until=20.0)
+    assert flow.client.receive_buffer.delivered == mib(2)
+    assert peak["bytes"] <= qdisc.tsq_bytes + 70 * 1500
+
+
+def test_small_mss_harms_efficiency():
+    """§2.3's HTTPOS point: a small MSS costs packets for the lifetime
+    of the connection (here: many more packets on the wire)."""
+    def packets_for(mss):
+        sim, flow = build(
+            client_config=TcpConfig(mss=mss), server_config=TcpConfig(mss=mss)
+        )
+        flow.server.on_established = lambda: flow.server.write(500_000)
+        flow.connect()
+        sim.run(until=20.0)
+        assert flow.client.receive_buffer.delivered == 500_000
+        return flow.server_host.nic.tx_packets
+
+    assert packets_for(536) > 1.8 * packets_for(1448)

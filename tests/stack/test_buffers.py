@@ -1,0 +1,170 @@
+"""Send/receive buffer tests, including a hypothesis reassembly model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stack.buffers import ReceiveBuffer, SendBuffer
+
+
+# -- SendBuffer ------------------------------------------------------------------
+
+
+def test_write_take_ack_cycle():
+    buf = SendBuffer()
+    assert buf.write(1000) == 1000
+    assert buf.sendable() == 1000
+    assert buf.take(400) == 400
+    assert buf.nxt == 400
+    assert buf.ack_to(400) == 400
+    assert buf.una == 400
+    assert buf.buffered == 600
+
+
+def test_write_respects_limit():
+    buf = SendBuffer(limit=500)
+    assert buf.write(1000) == 500
+    assert buf.writable() == 0
+    buf.take(500)
+    buf.ack_to(500)
+    assert buf.writable() == 500
+
+
+def test_take_never_exceeds_written():
+    buf = SendBuffer()
+    buf.write(100)
+    assert buf.take(500) == 100
+    assert buf.take(1) == 0
+
+
+def test_ack_beyond_nxt_advances_nxt():
+    """After an RTO rewind, ACKs for pre-rewind data are valid."""
+    buf = SendBuffer()
+    buf.write(1000)
+    buf.take(1000)
+    buf.rewind_for_retransmit()
+    assert buf.nxt == 0
+    assert buf.ack_to(700) == 700
+    assert buf.una == 700
+    assert buf.nxt == 700
+
+
+def test_ack_beyond_end_ignored():
+    buf = SendBuffer()
+    buf.write(100)
+    buf.take(100)
+    assert buf.ack_to(200) == 0
+    assert buf.una == 0
+
+
+def test_stale_and_duplicate_acks_ignored():
+    buf = SendBuffer()
+    buf.write(100)
+    buf.take(100)
+    buf.ack_to(50)
+    assert buf.ack_to(50) == 0
+    assert buf.ack_to(30) == 0
+
+
+def test_mark_fires_when_all_written_data_acked():
+    buf = SendBuffer()
+    fired = []
+    buf.write(100)
+    buf.mark(lambda: fired.append("a"))
+    buf.take(100)
+    buf.ack_to(99)
+    assert fired == []
+    buf.ack_to(100)
+    assert fired == ["a"]
+
+
+def test_mark_fires_immediately_when_nothing_outstanding():
+    buf = SendBuffer()
+    fired = []
+    buf.mark(lambda: fired.append("now"))
+    assert fired == ["now"]
+
+
+def test_negative_write_take_rejected():
+    buf = SendBuffer()
+    with pytest.raises(ValueError):
+        buf.write(-1)
+    with pytest.raises(ValueError):
+        buf.take(-1)
+
+
+# -- ReceiveBuffer ----------------------------------------------------------------
+
+
+def test_in_order_delivery():
+    buf = ReceiveBuffer()
+    got = []
+    buf.on_data(got.append)
+    assert buf.receive(0, 100) == 100
+    assert buf.receive(100, 50) == 150
+    assert got == [100, 50]
+
+
+def test_out_of_order_held_then_delivered():
+    buf = ReceiveBuffer()
+    got = []
+    buf.on_data(got.append)
+    buf.receive(100, 100)  # hole at [0, 100)
+    assert buf.rcv_nxt == 0
+    assert buf.sack_ranges() == ((100, 200),)
+    buf.receive(0, 100)
+    assert buf.rcv_nxt == 200
+    assert got == [200]
+
+
+def test_duplicate_data_does_not_double_deliver():
+    buf = ReceiveBuffer()
+    got = []
+    buf.on_data(got.append)
+    buf.receive(0, 100)
+    buf.receive(0, 100)
+    buf.receive(50, 50)
+    assert got == [100]
+
+
+def test_sack_blocks_coalesce_and_report_recent_first():
+    buf = ReceiveBuffer()
+    buf.receive(100, 100)
+    buf.receive(300, 100)
+    buf.receive(200, 100)  # joins both
+    assert buf.sack_ranges() == ((100, 400),)
+    buf.receive(600, 50)
+    # Most recently grown block first.
+    assert buf.sack_ranges()[0] == (600, 650)
+
+
+def test_window_trimming():
+    buf = ReceiveBuffer(window=100)
+    buf.receive(0, 250)
+    assert buf.rcv_nxt == 100
+
+
+def test_bad_constructor_and_length():
+    with pytest.raises(ValueError):
+        ReceiveBuffer(window=0)
+    buf = ReceiveBuffer()
+    with pytest.raises(ValueError):
+        buf.receive(0, -1)
+
+
+@given(
+    st.permutations(list(range(20))),
+    st.integers(1, 5),
+)
+@settings(max_examples=100)
+def test_reassembly_order_independence(order, chunk):
+    """Delivering the same chunks in any order yields the same stream."""
+    buf = ReceiveBuffer()
+    total = []
+    buf.on_data(total.append)
+    for index in order:
+        buf.receive(index * chunk, chunk)
+    assert buf.rcv_nxt == 20 * chunk
+    assert sum(total) == 20 * chunk
+    assert buf.sack_ranges() == ()

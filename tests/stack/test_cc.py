@@ -1,0 +1,153 @@
+"""Congestion-control unit tests."""
+
+import pytest
+
+from repro.stack.cc import BbrLite, Cubic, Reno, make_cca
+from repro.stack.cc.base import AckSample, CcPhase
+
+MSS = 1448
+
+
+def ack(bytes_=MSS, rtt=0.02, now=0.0, in_flight=0, rate=0.0):
+    return AckSample(
+        acked_bytes=bytes_, rtt=rtt, now=now, in_flight=in_flight,
+        delivery_rate=rate,
+    )
+
+
+def test_factory():
+    assert isinstance(make_cca("reno", MSS), Reno)
+    assert isinstance(make_cca("CUBIC", MSS), Cubic)
+    assert isinstance(make_cca("bbr", MSS), BbrLite)
+    with pytest.raises(ValueError):
+        make_cca("vegas", MSS)
+
+
+def test_initial_window_is_iw10():
+    assert Reno(MSS).cwnd == 10 * MSS
+
+
+def test_reno_slow_start_doubles_per_acked_window():
+    cca = Reno(MSS)
+    start = cca.cwnd
+    cca.on_ack(ack(bytes_=start))
+    assert cca.cwnd == 2 * start
+    assert cca.phase is CcPhase.SLOW_START
+
+
+def test_reno_congestion_avoidance_grows_one_mss_per_window():
+    cca = Reno(MSS)
+    cca.ssthresh = cca.cwnd  # force CA
+    before = cca.cwnd
+    cca.on_ack(ack(bytes_=before))
+    assert cca.cwnd == before + MSS
+    assert cca.phase is CcPhase.CONGESTION_AVOIDANCE
+
+
+def test_reno_loss_halves_and_freezes_in_recovery():
+    cca = Reno(MSS)
+    cca.cwnd = 100 * MSS
+    cca.on_loss(0.0, 100 * MSS)
+    assert cca.cwnd == 50 * MSS
+    assert cca.phase is CcPhase.RECOVERY
+    frozen = cca.cwnd
+    cca.on_ack(ack())
+    assert cca.cwnd == frozen
+    cca.on_recovery_exit(0.1)
+    assert cca.phase is not CcPhase.RECOVERY
+
+
+def test_rto_collapses_to_one_mss_and_clears_recovery():
+    for cls in (Reno, Cubic):
+        cca = cls(MSS)
+        cca.cwnd = 100 * MSS
+        cca.on_loss(0.0, 0)
+        cca.on_rto(1.0)
+        assert cca.cwnd == MSS
+        assert cca.phase is CcPhase.SLOW_START  # not stuck in recovery
+        before = cca.cwnd
+        cca.on_ack(ack(bytes_=MSS))
+        assert cca.cwnd > before  # growth resumed
+
+
+def test_cubic_reduces_by_beta_on_loss():
+    cca = Cubic(MSS)
+    cca.cwnd = 100 * MSS
+    cca.ssthresh = 50 * MSS
+    cca.on_loss(0.0, 0)
+    assert cca.cwnd == pytest.approx(70 * MSS, rel=0.02)
+
+
+def test_cubic_grows_toward_wmax_in_ca():
+    cca = Cubic(MSS)
+    cca.cwnd = 100 * MSS
+    cca.on_loss(0.0, 0)
+    cca.on_recovery_exit(0.0)
+    start = cca.cwnd
+    for step in range(200):
+        cca.on_ack(ack(now=step * 0.01))
+    assert cca.cwnd > start
+
+
+def test_pacing_rate_ratio_slow_start_vs_ca():
+    cca = Reno(MSS)
+    srtt = 0.1
+    ss_rate = cca.pacing_rate(srtt)
+    assert ss_rate == pytest.approx(2.0 * cca.cwnd / srtt)
+    cca.ssthresh = cca.cwnd  # CA
+    ca_rate = cca.pacing_rate(srtt)
+    assert ca_rate == pytest.approx(1.2 * cca.cwnd / srtt)
+    assert cca.pacing_rate(-1.0) is None
+
+
+def test_bbr_startup_exits_when_bandwidth_plateaus():
+    cca = BbrLite(MSS)
+    assert cca.phase is CcPhase.STARTUP
+    for round_index in range(20):
+        # Constant delivery rate: no 25% growth -> exit startup.
+        cca.on_ack(
+            ack(bytes_=cca.cwnd, rtt=0.02, now=round_index * 0.02, rate=1e6)
+        )
+        if cca.phase is not CcPhase.STARTUP:
+            break
+    assert cca.phase in (CcPhase.DRAIN, CcPhase.PROBE_BW)
+
+
+def test_bbr_drain_exits_at_bdp():
+    cca = BbrLite(MSS)
+    for round_index in range(20):
+        cca.on_ack(
+            ack(bytes_=cca.cwnd, rtt=0.02, now=round_index * 0.02, rate=1e6)
+        )
+    cca.check_drain_exit(in_flight=0, now=1.0)
+    assert cca.phase is CcPhase.PROBE_BW
+
+
+def test_bbr_pacing_follows_btl_bw_and_gain():
+    cca = BbrLite(MSS)
+    cca._update_bw(2e6)
+    rate = cca.pacing_rate(0.02)
+    assert rate == pytest.approx(cca.pacing_gain * 2e6)
+
+
+def test_bbr_min_rtt_filter():
+    cca = BbrLite(MSS)
+    cca.on_ack(ack(rtt=0.030))
+    cca.on_ack(ack(rtt=0.020))
+    cca.on_ack(ack(rtt=0.025))
+    assert cca.min_rtt == pytest.approx(0.020)
+
+
+def test_bbr_bw_window_expires_old_samples():
+    cca = BbrLite(MSS)
+    cca._update_bw(5e6)
+    # Push many rounds with lower bandwidth; the old max must age out.
+    for _ in range(40):
+        cca._round += 1
+        cca._update_bw(1e6)
+    assert cca.btl_bw == pytest.approx(1e6)
+
+
+def test_invalid_mss_rejected():
+    with pytest.raises(ValueError):
+        Reno(0)

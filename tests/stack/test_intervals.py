@@ -1,0 +1,199 @@
+"""Interval arithmetic tests, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stack import intervals
+from repro.stack.intervals import RangeSet, merged_gaps
+
+
+# -- pure functions -------------------------------------------------------------
+
+
+def test_insert_into_empty():
+    assert intervals.insert([], 5, 10) == [(5, 10)]
+
+
+def test_insert_noop_for_empty_range():
+    assert intervals.insert([(1, 2)], 5, 5) == [(1, 2)]
+
+
+def test_insert_merges_overlap_and_adjacency():
+    ranges = [(0, 5), (10, 15)]
+    assert intervals.insert(ranges, 5, 10) == [(0, 15)]
+    assert intervals.insert(ranges, 3, 12) == [(0, 15)]
+    assert intervals.insert(ranges, 20, 25) == [(0, 5), (10, 15), (20, 25)]
+
+
+def test_trim_below():
+    assert intervals.trim_below([(0, 5), (8, 12)], 9) == [(9, 12)]
+    assert intervals.trim_below([(0, 5)], 10) == []
+
+
+def test_union_merges():
+    assert intervals.union([(0, 3)], [(2, 5), (7, 9)]) == [(0, 5), (7, 9)]
+
+
+def test_subtract():
+    assert intervals.subtract([(0, 10)], [(3, 5)]) == [(0, 3), (5, 10)]
+    assert intervals.subtract([(0, 10)], [(0, 10)]) == []
+    assert intervals.subtract([(0, 10)], []) == [(0, 10)]
+
+
+def test_first_gap():
+    assert intervals.first_gap([(5, 10)], 0, 20) == (0, 5)
+    assert intervals.first_gap([(0, 10)], 0, 20) == (10, 20)
+    assert intervals.first_gap([(0, 20)], 0, 20) is None
+    assert intervals.first_gap([], 5, 5) is None
+
+
+def test_covered_bytes():
+    assert intervals.covered_bytes([(0, 10), (20, 30)], 5, 25) == 10
+
+
+# -- RangeSet ----------------------------------------------------------------------
+
+
+def test_rangeset_add_returns_new_bytes():
+    rs = RangeSet()
+    assert rs.add(0, 10) == 10
+    assert rs.add(5, 15) == 5
+    assert rs.add(5, 15) == 0
+    assert rs.total == 15
+    assert rs.ranges == [(0, 15)]
+
+
+def test_rangeset_adjacent_merge():
+    rs = RangeSet()
+    rs.add(0, 10)
+    rs.add(10, 20)
+    assert rs.ranges == [(0, 20)]
+
+
+def test_rangeset_remove_splits():
+    rs = RangeSet([(0, 20)])
+    assert rs.remove(5, 10) == 5
+    assert rs.ranges == [(0, 5), (10, 20)]
+    assert rs.total == 15
+
+
+def test_rangeset_remove_disjoint_is_noop():
+    rs = RangeSet([(0, 5)])
+    assert rs.remove(10, 20) == 0
+    assert rs.total == 5
+
+
+def test_rangeset_trim_below():
+    rs = RangeSet([(0, 5), (8, 12)])
+    assert rs.trim_below(9) == 6
+    assert rs.ranges == [(9, 12)]
+
+
+def test_rangeset_covered_in():
+    rs = RangeSet([(0, 10), (20, 30)])
+    assert rs.covered_in(5, 25) == 10
+    assert rs.covered_in(30, 40) == 0
+
+
+def test_rangeset_version_bumps_on_mutation():
+    rs = RangeSet()
+    v0 = rs.version
+    rs.add(0, 5)
+    assert rs.version > v0
+    v1 = rs.version
+    rs.remove(0, 2)
+    assert rs.version > v1
+    v2 = rs.version
+    rs.clear()
+    assert rs.version > v2
+
+
+def test_merged_gaps():
+    a = RangeSet([(5, 10)])
+    b = RangeSet([(12, 15)])
+    assert merged_gaps(a, b, 0, 20) == [(0, 5), (10, 12), (15, 20)]
+    assert merged_gaps(a, b, 0, 0) == []
+    assert merged_gaps(RangeSet(), RangeSet(), 3, 7) == [(3, 7)]
+
+
+# -- hypothesis properties --------------------------------------------------------
+
+range_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=1, max_value=40),
+    ).map(lambda t: (t[0], t[0] + t[1])),
+    max_size=20,
+)
+
+
+def _cover(ranges, size=260):
+    mask = np.zeros(size, dtype=bool)
+    for start, end in ranges:
+        mask[start:end] = True
+    return mask
+
+
+@given(range_lists)
+@settings(max_examples=200)
+def test_rangeset_matches_boolean_mask_model(ops):
+    """A RangeSet built by adds equals the naive boolean-mask union."""
+    rs = RangeSet()
+    mask = np.zeros(260, dtype=bool)
+    for start, end in ops:
+        rs.add(start, end)
+        mask[start:end] = True
+    assert rs.total == int(mask.sum())
+    assert _cover(rs.ranges).tolist() == mask.tolist()
+    # Invariants: sorted, disjoint, non-adjacent.
+    ranges = rs.ranges
+    for (s1, e1), (s2, e2) in zip(ranges, ranges[1:]):
+        assert e1 < s2
+
+
+@given(range_lists, range_lists)
+@settings(max_examples=100)
+def test_rangeset_remove_matches_mask_model(adds, removes):
+    rs = RangeSet()
+    mask = np.zeros(260, dtype=bool)
+    for start, end in adds:
+        rs.add(start, end)
+        mask[start:end] = True
+    for start, end in removes:
+        rs.remove(start, end)
+        mask[start:end] = False
+    assert rs.total == int(mask.sum())
+    assert _cover(rs.ranges).tolist() == mask.tolist()
+
+
+@given(range_lists, range_lists,
+       st.integers(0, 250), st.integers(0, 250))
+@settings(max_examples=100)
+def test_merged_gaps_matches_mask_model(a_ranges, b_ranges, start, extra):
+    limit = start + extra
+    a, b = RangeSet(), RangeSet()
+    mask = np.zeros(520, dtype=bool)
+    for s, e in a_ranges:
+        a.add(s, e)
+        mask[s:e] = True
+    for s, e in b_ranges:
+        b.add(s, e)
+        mask[s:e] = True
+    gaps = merged_gaps(a, b, start, limit)
+    expected = np.zeros(520, dtype=bool)
+    expected[start:limit] = ~mask[start:limit]
+    assert _cover(gaps, 520).tolist() == expected.tolist()
+
+
+@given(range_lists, st.integers(0, 250), st.integers(0, 250))
+@settings(max_examples=100)
+def test_covered_in_matches_mask_model(adds, start, extra):
+    end = start + extra
+    rs = RangeSet()
+    mask = np.zeros(520, dtype=bool)
+    for s, e in adds:
+        rs.add(s, e)
+        mask[s:e] = True
+    assert rs.covered_in(start, end) == int(mask[start:end].sum())

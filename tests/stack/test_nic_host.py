@@ -1,0 +1,120 @@
+"""NIC, CPU model and host wiring tests."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.path import NetworkPath
+from repro.stack.host import Host, link_hosts, make_flow, next_flow_id
+from repro.stack.nic import Cpu, CpuModel, Nic
+from repro.stack.packet import Packet, TsoSegment
+from repro.units import mbps, msec
+
+
+def test_cpu_model_costs_scale_with_shape():
+    model = CpuModel()
+    big = model.segment_cost(44 * 1448, 44)
+    small = model.segment_cost(1448, 1)
+    assert big > small
+    # Cost per byte is lower for the big segment (amortised overheads).
+    assert big / (44 * 1448) < small / 1448
+
+
+def test_cpu_model_max_throughput_monotone_in_tso():
+    model = CpuModel()
+    t_big = model.max_throughput(44 * 1448, 44)
+    t_small = model.max_throughput(4 * 1448, 4)
+    assert t_big > t_small
+
+
+def test_cpu_serialises_work():
+    sim = Simulator()
+    cpu = Cpu(sim, CpuModel())
+    first = cpu.consume(0.5)
+    second = cpu.consume(0.5)
+    assert first == pytest.approx(0.5)
+    assert second == pytest.approx(1.0)
+    assert cpu.utilization(2.0) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        cpu.consume(-1.0)
+
+
+def test_nic_tso_split_and_taps():
+    sim = Simulator()
+    sent = []
+    nic = Nic(sim, lambda p: (sent.append(p), True)[1])
+    observed = []
+    nic.add_tap(lambda p, t: observed.append((p.payload_len, t)))
+    segment = TsoSegment(
+        flow_id=1, direction=-1, seq=0, ack=0, packet_sizes=[1000, 1000, 500]
+    )
+    packets = nic.transmit(segment)
+    assert len(packets) == 3
+    assert nic.tx_packets == 3
+    assert nic.tx_segments == 1
+    assert nic.tx_payload_bytes == 2500
+    assert [o[0] for o in observed] == [1000, 1000, 500]
+    # Micro-burst: all packets handed over at the same instant.
+    assert len({o[1] for o in observed}) == 1
+
+
+def test_nic_counts_drops():
+    sim = Simulator()
+    nic = Nic(sim, lambda p: False)
+    nic.transmit(TsoSegment(flow_id=1, direction=1, seq=0, ack=0,
+                            packet_sizes=[100]))
+    assert nic.dropped == 1
+    assert nic.tx_packets == 0
+
+
+def test_nic_send_packet_assigns_id_and_stamps():
+    sim = Simulator()
+    nic = Nic(sim, lambda p: True)
+    packet = Packet(flow_id=1, direction=1)
+    assert nic.send_packet(packet)
+    assert packet.packet_id > 0
+    assert packet.sent_at == sim.now
+
+
+def test_host_requires_link_before_endpoint():
+    sim = Simulator()
+    host = Host(sim, "h")
+    with pytest.raises(RuntimeError):
+        host.add_endpoint(1, 1)
+
+
+def test_host_rejects_double_attach_and_duplicate_flow():
+    sim = Simulator()
+    a = Host(sim, "a")
+    b = Host(sim, "b")
+    link_hosts(sim, a, b, NetworkPath(rate=mbps(10), rtt=msec(10)))
+    with pytest.raises(RuntimeError):
+        link_hosts(sim, a, b, NetworkPath(rate=mbps(10), rtt=msec(10)))
+    a.add_endpoint(1, 1)
+    with pytest.raises(ValueError):
+        a.add_endpoint(1, 1)
+
+
+def test_host_unknown_qdisc():
+    sim = Simulator()
+    host = Host(sim, "h", qdisc_kind="htb")
+    host_link = NetworkPath(rate=mbps(10), rtt=msec(10))
+    peer = Host(sim, "p")
+    with pytest.raises(ValueError):
+        link_hosts(sim, host, peer, host_link)
+
+
+def test_make_flow_unique_ids():
+    sim = Simulator()
+    path = NetworkPath(rate=mbps(10), rtt=msec(10))
+    first = make_flow(sim, path)
+    second = make_flow(Simulator(), path)
+    assert first.flow_id != second.flow_id
+    assert next_flow_id() > second.flow_id
+
+
+def test_unknown_flow_packets_are_ignored():
+    sim = Simulator()
+    path = NetworkPath(rate=mbps(10), rtt=msec(10))
+    flow = make_flow(sim, path)
+    stray = Packet(flow_id=999_999, direction=1)
+    flow.client_host.receive(stray)  # must not raise

@@ -1,0 +1,61 @@
+"""Flow pacer tests."""
+
+import pytest
+
+from repro.stack.pacing import FlowPacer
+
+
+def test_unpaced_departs_immediately():
+    pacer = FlowPacer()
+    assert pacer.schedule(1.0, 1500, None) == 1.0
+    assert pacer.schedule(1.0, 1500, 0.0) == 1.0
+
+
+def test_paced_segments_are_spaced_by_serialization_time():
+    pacer = FlowPacer()
+    first = pacer.schedule(0.0, 1000, 1000.0)  # 1 second per segment
+    second = pacer.schedule(0.0, 1000, 1000.0)
+    assert first == 0.0
+    assert second == pytest.approx(1.0)
+
+
+def test_idle_flow_does_not_accumulate_credit_debt():
+    pacer = FlowPacer()
+    pacer.schedule(0.0, 1000, 1000.0)
+    # Long idle: next departure is "now", not the stale next_allowed.
+    assert pacer.schedule(10.0, 1000, 1000.0) == 10.0
+
+
+def test_extra_gap_delays_and_is_cumulative():
+    pacer = FlowPacer()
+    first = pacer.schedule(0.0, 1000, 1000.0, extra_gap=0.5)
+    second = pacer.schedule(0.0, 1000, 1000.0)
+    assert first == pytest.approx(0.5)
+    # The gap pushed next_allowed too: 0.5 + 1.0 serialization.
+    assert second == pytest.approx(1.5)
+
+
+def test_negative_gap_rejected():
+    pacer = FlowPacer()
+    with pytest.raises(ValueError):
+        pacer.schedule(0.0, 100, None, extra_gap=-0.1)
+
+
+def test_negative_bytes_rejected():
+    with pytest.raises(ValueError):
+        FlowPacer().schedule(0.0, -1, None)
+
+
+def test_gap_accounting():
+    pacer = FlowPacer()
+    pacer.schedule(0.0, 100, None, extra_gap=0.2)
+    pacer.schedule(0.0, 100, None, extra_gap=0.3)
+    assert pacer.total_extra_gap == pytest.approx(0.5)
+    assert pacer.scheduled_segments == 2
+
+
+def test_reset():
+    pacer = FlowPacer()
+    pacer.schedule(0.0, 1000, 10.0)
+    pacer.reset()
+    assert pacer.next_allowed == 0.0

@@ -1,0 +1,79 @@
+"""Packet and TSO-segment tests."""
+
+import pytest
+
+from repro.stack.packet import HEADER_BYTES, Packet, TsoSegment
+
+
+def test_packet_wire_size_includes_headers():
+    packet = Packet(flow_id=1, direction=1, payload_len=1000)
+    assert packet.wire_size == 1000 + HEADER_BYTES
+
+
+def test_packet_end_seq_counts_payload_and_flags():
+    data = Packet(flow_id=1, direction=1, seq=100, payload_len=50)
+    assert data.end_seq == 150
+    syn = Packet(flow_id=1, direction=1, seq=0, is_syn=True)
+    assert syn.end_seq == 1
+    fin = Packet(flow_id=1, direction=-1, seq=10, payload_len=5, is_fin=True)
+    assert fin.end_seq == 16
+
+
+def test_packet_validation():
+    with pytest.raises(ValueError):
+        Packet(flow_id=1, direction=0)
+    with pytest.raises(ValueError):
+        Packet(flow_id=1, direction=1, payload_len=-1)
+
+
+def test_packet_is_data():
+    assert Packet(flow_id=1, direction=1, payload_len=1).is_data
+    assert not Packet(flow_id=1, direction=1).is_data
+
+
+def test_tso_segment_split_produces_expected_packets():
+    counter = iter(range(1, 100))
+    segment = TsoSegment(
+        flow_id=7,
+        direction=-1,
+        seq=1000,
+        ack=55,
+        packet_sizes=[500, 500, 200],
+    )
+    packets = segment.split_packets(lambda: next(counter))
+    assert [p.payload_len for p in packets] == [500, 500, 200]
+    assert [p.seq for p in packets] == [1000, 1500, 2000]
+    assert all(p.ack == 55 and p.flow_id == 7 for p in packets)
+    assert segment.payload_len == 1200
+    assert segment.num_packets == 3
+    assert segment.wire_size == 1200 + 3 * HEADER_BYTES
+
+
+def test_tso_segment_fin_goes_on_last_packet():
+    segment = TsoSegment(
+        flow_id=1, direction=1, seq=0, ack=0,
+        packet_sizes=[100, 100], is_fin=True,
+    )
+    packets = segment.split_packets(lambda: 0)
+    assert not packets[0].is_fin
+    assert packets[1].is_fin
+
+
+def test_tso_segment_empty_sizes_yields_one_control_packet():
+    segment = TsoSegment(flow_id=1, direction=1, seq=5, ack=0, is_fin=True)
+    packets = segment.split_packets(lambda: 0)
+    assert len(packets) == 1
+    assert packets[0].payload_len == 0
+    assert packets[0].is_fin
+
+
+def test_tso_segment_rejects_nonpositive_sizes():
+    with pytest.raises(ValueError):
+        TsoSegment(flow_id=1, direction=1, seq=0, ack=0, packet_sizes=[0])
+
+
+def test_dummy_flag_propagates_to_packets():
+    segment = TsoSegment(
+        flow_id=1, direction=-1, seq=0, ack=0, packet_sizes=[100], dummy=True
+    )
+    assert segment.split_packets(lambda: 0)[0].dummy

@@ -1,0 +1,105 @@
+"""Cross-cutting hypothesis properties of stack primitives."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stack.pacing import FlowPacer
+from repro.stack.tso import TsoPolicy
+from repro.stob.actions import SizeSweepAction, SplitAction
+from repro.stob.constraints import ConstraintReport
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0, 10, allow_nan=False),  # now (monotonic-ised)
+            st.integers(40, 65_000),            # wire bytes
+            st.floats(1e3, 1e9),                # pacing rate
+            st.floats(0, 0.1),                  # extra gap
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=150)
+def test_pacer_departures_never_decrease(calls):
+    """fq invariant: a flow's departures are non-decreasing, whatever
+    the call pattern."""
+    pacer = FlowPacer()
+    now = 0.0
+    last = 0.0
+    for delta, nbytes, rate, gap in calls:
+        now += delta / 10
+        departure = pacer.schedule(now, nbytes, rate, gap)
+        assert departure >= now - 1e-12
+        assert departure >= last - 1e-12
+        last = departure
+
+
+@given(
+    st.floats(0, 1e12, allow_nan=False),
+    st.integers(100, 9000),
+)
+@settings(max_examples=150)
+def test_autosize_always_within_bounds(rate, mss):
+    policy = TsoPolicy()
+    segs = policy.autosize(rate, mss)
+    assert 1 <= segs <= 44
+    assert segs * mss <= 65536 or segs == 1
+
+
+@given(st.integers(1, 200_000), st.integers(537, 9000))
+@settings(max_examples=150)
+def test_split_action_conserves_bytes(nbytes, mss):
+    action = SplitAction(threshold=1200, factor=2)
+    sizes = action.packet_sizes(nbytes, mss)
+    assert sum(sizes) == nbytes
+    assert all(0 < s <= mss for s in sizes)
+
+
+@given(st.integers(0, 100), st.integers(1, 300))
+@settings(max_examples=100)
+def test_size_sweep_emits_valid_sizes_forever(alpha, steps):
+    action = SizeSweepAction(alpha)
+    for _ in range(steps):
+        segs = action.tso_size(44)
+        assert 1 <= segs <= 44
+    sizes = action.packet_sizes(50_000, 1448)
+    assert sum(sizes) == 50_000
+    assert all(1 <= s <= 1448 for s in sizes)
+
+
+@given(
+    st.lists(st.integers(-2000, 4000), min_size=0, max_size=20),
+    st.integers(1, 5000),
+    st.integers(100, 2000),
+)
+@settings(max_examples=150)
+def test_constraint_clamp_output_always_legal(sizes, nbytes, mss):
+    """Whatever garbage an action returns, the clamped packetisation is
+    legal: positive sizes, each <= mss, total <= nbytes."""
+    report = ConstraintReport()
+    cleaned = report.clamp_packet_sizes(list(sizes), nbytes, mss)
+    if cleaned is not None:
+        assert all(0 < s <= mss for s in cleaned)
+        assert sum(cleaned) <= nbytes
+
+
+@given(st.lists(st.integers(0, 400), min_size=1, max_size=60, unique=True))
+@settings(max_examples=100)
+def test_quic_stream_reassembly_any_order(offsets):
+    """QUIC receive: byte ranges delivered in any order reassemble."""
+    from repro.stack.buffers import ReceiveBuffer
+
+    chunk = 100
+    buf = ReceiveBuffer()
+    contiguous = sorted(offsets) == list(range(len(offsets)))
+    for offset in offsets:
+        buf.receive(offset * chunk, chunk)
+    # rcv_nxt equals the length of the initial contiguous run.
+    run = 0
+    have = set(offsets)
+    while run in have:
+        run += 1
+    assert buf.rcv_nxt == run * chunk

@@ -1,0 +1,118 @@
+"""Qdisc tests: ordering, departure times, TSQ accounting."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.stack.packet import TsoSegment
+from repro.stack.qdisc import FifoQdisc, FqQdisc
+
+
+def seg(flow_id=1, size=1000, not_before=-1.0):
+    return TsoSegment(
+        flow_id=flow_id,
+        direction=1,
+        seq=0,
+        ack=0,
+        packet_sizes=[size],
+        not_before=not_before,
+    )
+
+
+def test_fifo_releases_in_order_asynchronously():
+    sim = Simulator()
+    got = []
+    qdisc = FifoQdisc(sim, got.append)
+    a, b = seg(), seg()
+    qdisc.enqueue(a)
+    qdisc.enqueue(b)
+    assert got == []  # not released in the enqueue context
+    sim.run()
+    assert got == [a, b]
+
+
+def test_fq_honours_departure_times_across_flows():
+    sim = Simulator()
+    got = []
+    qdisc = FqQdisc(sim, lambda s: got.append((sim.now, s)))
+    late = seg(flow_id=1, not_before=2.0)
+    early = seg(flow_id=2, not_before=1.0)
+    qdisc.enqueue(late)
+    qdisc.enqueue(early)
+    sim.run()
+    assert [s for _t, s in got] == [early, late]
+    assert got[0][0] == pytest.approx(1.0)
+    assert got[1][0] == pytest.approx(2.0)
+
+
+def test_fq_keeps_each_flow_fifo():
+    """A later same-flow segment with an earlier departure time must
+    not overtake (fq is per-flow FIFO); it departs with the queue."""
+    sim = Simulator()
+    got = []
+    qdisc = FqQdisc(sim, lambda s: got.append((sim.now, s)))
+    first = seg(flow_id=1, not_before=2.0)
+    second = seg(flow_id=1, not_before=0.5)  # e.g. an unpaced retransmit
+    qdisc.enqueue(first)
+    qdisc.enqueue(second)
+    sim.run()
+    assert [s for _t, s in got] == [first, second]
+    assert got[1][0] >= got[0][0]
+
+
+def test_fq_releases_due_segments_immediately():
+    sim = Simulator()
+    got = []
+    qdisc = FqQdisc(sim, got.append)
+    qdisc.enqueue(seg(not_before=-1.0))
+    sim.run()
+    assert len(got) == 1
+
+
+def test_tsq_budget_accounting():
+    sim = Simulator()
+    qdisc = FqQdisc(sim, lambda s: None, tsq_bytes=5000)
+    assert qdisc.budget(1) == 5000
+    segment = seg(flow_id=1, size=1000, not_before=100.0)
+    qdisc.enqueue(segment)
+    assert qdisc.budget(1) == 5000 - segment.wire_size
+    assert qdisc.queued_bytes(1) == segment.wire_size
+    assert qdisc.budget(2) == 5000  # per-flow
+
+
+def test_tsq_drain_callback_fires_on_release():
+    sim = Simulator()
+    qdisc = FqQdisc(sim, lambda s: None)
+    fired = []
+    qdisc.on_drain(1, lambda: fired.append(sim.now))
+    qdisc.enqueue(seg(flow_id=1, not_before=1.5))
+    sim.run()
+    assert fired == [pytest.approx(1.5)]
+    assert qdisc.queued_bytes(1) == 0
+
+
+def test_fq_timer_rearm_on_earlier_arrival():
+    sim = Simulator()
+    got = []
+    qdisc = FqQdisc(sim, lambda s: got.append(sim.now))
+    qdisc.enqueue(seg(flow_id=1, not_before=5.0))
+    sim.run(until=0.5)
+    qdisc.enqueue(seg(flow_id=2, not_before=1.0))
+    sim.run()
+    assert got == [pytest.approx(1.0), pytest.approx(5.0)]
+
+
+def test_backlog_counts():
+    sim = Simulator()
+    qdisc = FqQdisc(sim, lambda s: None)
+    qdisc.enqueue(seg(not_before=10.0))
+    qdisc.enqueue(seg(not_before=20.0))
+    assert qdisc.backlog == 2
+    assert qdisc.next_departure() == pytest.approx(10.0)
+    sim.run()
+    assert qdisc.backlog == 0
+    assert qdisc.next_departure() is None
+
+
+def test_invalid_tsq():
+    with pytest.raises(ValueError):
+        FqQdisc(Simulator(), lambda s: None, tsq_bytes=0)

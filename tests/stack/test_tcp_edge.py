@@ -1,0 +1,139 @@
+"""TCP edge-case and failure-injection tests."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.path import NetworkPath
+from repro.stack.host import make_flow
+from repro.stack.tcp import TcpConfig
+from repro.units import kbps, mbps, msec, mib
+
+
+def build(rate=mbps(20), rtt=msec(20), loss=0.0, seed=1, **kw):
+    sim = Simulator()
+    path = NetworkPath(rate=rate, rtt=rtt, loss_rate=loss)
+    flow = make_flow(
+        sim, path, rng=np.random.default_rng(seed),
+        client_config=kw.pop("client_config", TcpConfig()),
+        server_config=kw.pop("server_config", TcpConfig()),
+    )
+    return sim, flow
+
+
+def test_syn_loss_retries_until_established():
+    # Heavy loss: the handshake must eventually complete via retries.
+    sim, flow = build(loss=0.4, seed=5)
+    flow.connect()
+    sim.run(until=30.0)
+    assert flow.client.established
+    assert flow.server.established
+
+
+def test_ack_path_loss_does_not_stall_transfer():
+    """Losing ACKs (reverse direction for the server) must not break
+    delivery — cumulative ACKs are self-healing."""
+    sim, flow = build(loss=0.05, seed=7)
+    flow.server.on_established = lambda: flow.server.write(mib(1))
+    flow.connect()
+    sim.run(until=60.0)
+    assert flow.client.receive_buffer.delivered == mib(1)
+
+
+def test_idle_connection_fires_no_rto():
+    sim, flow = build()
+    flow.connect()
+    sim.run(until=1.0)
+    before = flow.server.timeouts
+    sim.run(until=10.0)
+    assert flow.server.timeouts == before
+
+
+def test_two_sequential_transfers_on_one_connection():
+    """App-limited pattern: burst, idle, burst (web-like)."""
+    sim, flow = build()
+    flow.server.on_established = lambda: flow.server.write(200_000)
+    flow.connect()
+    sim.run(until=3.0)
+    assert flow.client.receive_buffer.delivered == 200_000
+    flow.server.write(300_000)
+    sim.run(until=8.0)
+    assert flow.client.receive_buffer.delivered == 500_000
+
+
+def test_tiny_receive_window_throttles_but_delivers():
+    sim, flow = build(
+        server_config=TcpConfig(),
+        client_config=TcpConfig(receive_window=16 * 1448),
+    )
+    flow.server.on_established = lambda: flow.server.write(300_000)
+    flow.connect()
+    sim.run(until=30.0)
+    assert flow.client.receive_buffer.delivered == 300_000
+    # rwnd-limited: in flight never exceeded the advertised window.
+    assert flow.server.peer_rwnd == 16 * 1448
+
+
+def test_slow_link_completes_small_transfer():
+    sim, flow = build(rate=kbps(256), rtt=msec(100))
+    flow.server.on_established = lambda: flow.server.write(50_000)
+    flow.connect()
+    sim.run(until=30.0)
+    assert flow.client.receive_buffer.delivered == 50_000
+
+
+def test_send_buffer_limit_applies_backpressure():
+    sim, flow = build(
+        server_config=TcpConfig(send_buffer=64 * 1024),
+    )
+    written = []
+
+    def start():
+        written.append(flow.server.write(mib(1)))
+
+    flow.server.on_established = start
+    flow.connect()
+    sim.run(until=1.0)
+    assert written[0] == 64 * 1024  # only the buffer's worth accepted
+
+
+def test_heavy_loss_still_converges():
+    sim, flow = build(loss=0.10, seed=11)
+    flow.server.on_established = lambda: flow.server.write(300_000)
+    flow.connect()
+    sim.run(until=60.0)
+    assert flow.client.receive_buffer.delivered == 300_000
+    assert flow.server.retransmissions > 0
+
+
+def test_quickack_then_delayed_ack_cadence():
+    """After the quickack phase, roughly one ACK per two data packets."""
+    sim, flow = build()
+    acks = []
+    flow.client_host.nic.add_tap(
+        lambda p, t: acks.append(t) if p.payload_len == 0 else None
+    )
+    datas = []
+    flow.server_host.nic.add_tap(
+        lambda p, t: datas.append(t) if p.payload_len else None
+    )
+    flow.server.on_established = lambda: flow.server.write(mib(1))
+    flow.connect()
+    sim.run(until=20.0)
+    assert flow.client.receive_buffer.delivered == mib(1)
+    # ACK count is roughly half the data count (within a loose band).
+    assert 0.3 * len(datas) < len(acks) < 0.9 * len(datas)
+
+
+def test_bidirectional_loss_and_duplex_data():
+    sim, flow = build(loss=0.03, seed=13)
+
+    def start():
+        flow.server.write(400_000)
+        flow.client.write(100_000)
+
+    flow.server.on_established = start
+    flow.connect()
+    sim.run(until=60.0)
+    assert flow.client.receive_buffer.delivered == 400_000
+    assert flow.server.receive_buffer.delivered == 100_000

@@ -1,0 +1,95 @@
+"""kTLS record-layer tests."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.path import NetworkPath
+from repro.stack.host import make_flow
+from repro.stack.tls import (
+    AEAD_TAG,
+    MAX_RECORD_PLAINTEXT,
+    RECORD_HEADER,
+    RECORD_OVERHEAD,
+    RecordPaddingPolicy,
+    TlsSession,
+)
+from repro.units import mbps, msec
+
+
+def collector():
+    sent = []
+    return sent, lambda n: (sent.append(n), n)[1]
+
+
+def test_small_message_single_record():
+    sent, sink = collector()
+    session = TlsSession(sink)
+    out = session.send(1000)
+    assert sent == [1000 + RECORD_OVERHEAD]
+    assert out == 1000 + RECORD_OVERHEAD
+    assert session.records == 1
+
+
+def test_large_message_segments_into_records():
+    sent, sink = collector()
+    session = TlsSession(sink)
+    session.send(MAX_RECORD_PLAINTEXT * 2 + 100)
+    assert len(sent) == 3
+    assert sent[0] == MAX_RECORD_PLAINTEXT + RECORD_OVERHEAD
+    assert sent[2] == 100 + RECORD_OVERHEAD
+    assert session.plaintext_bytes == MAX_RECORD_PLAINTEXT * 2 + 100
+
+
+def test_record_padding_rounds_up():
+    sent, sink = collector()
+    session = TlsSession(sink, padding=RecordPaddingPolicy(quantum=512))
+    session.send(100)
+    assert sent == [512]
+    assert session.padding_bytes == 512 - 100 - RECORD_OVERHEAD
+    assert session.expansion > 1.0
+
+
+def test_fixed_length_records_hide_sizes():
+    quantum = MAX_RECORD_PLAINTEXT + RECORD_OVERHEAD
+    sent, sink = collector()
+    session = TlsSession(
+        sink, padding=RecordPaddingPolicy(quantum=quantum)
+    )
+    session.send(10)
+    session.send(9000)
+    assert sent == [quantum, quantum]  # indistinguishable lengths
+
+
+def test_expansion_default_is_overhead_only():
+    sent, sink = collector()
+    session = TlsSession(sink)
+    session.send(MAX_RECORD_PLAINTEXT)
+    assert session.expansion == pytest.approx(
+        (MAX_RECORD_PLAINTEXT + RECORD_OVERHEAD) / MAX_RECORD_PLAINTEXT
+    )
+    assert TlsSession(sink).expansion == 1.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RecordPaddingPolicy(quantum=0)
+    with pytest.raises(ValueError):
+        TlsSession(lambda n: n, max_record=0)
+    with pytest.raises(ValueError):
+        TlsSession(lambda n: n).send(-1)
+
+
+def test_tls_over_simulated_tcp():
+    """Integration: kTLS on top of the TCP endpoint delivers the
+    ciphertext byte count end to end."""
+    sim = Simulator()
+    path = NetworkPath(rate=mbps(20), rtt=msec(20))
+    flow = make_flow(sim, path)
+    session = TlsSession(flow.server.write)
+    flow.server.on_established = lambda: session.send(100_000)
+    flow.connect()
+    sim.run(until=10.0)
+    expected = 100_000 + session.records * RECORD_OVERHEAD
+    assert flow.client.receive_buffer.delivered == expected
+    assert session.records == 7  # ceil(100000 / 16384)
+    assert RECORD_HEADER + AEAD_TAG == RECORD_OVERHEAD

@@ -1,0 +1,46 @@
+"""TSO autosizing tests."""
+
+import pytest
+
+from repro.stack.tso import TsoPolicy
+from repro.units import MAX_TSO_BYTES
+
+
+def test_unpaced_flow_gets_max():
+    policy = TsoPolicy()
+    assert policy.autosize(0.0, 1448) == min(44, MAX_TSO_BYTES // 1448)
+
+
+def test_autosize_tracks_one_ms_of_pacing():
+    policy = TsoPolicy()
+    # 14.48 MB/s -> 14.48 KB per ms -> 10 packets of 1448.
+    assert policy.autosize(14.48e6, 1448) == 10
+
+
+def test_autosize_clamps_to_min_segs():
+    policy = TsoPolicy(min_segs=2)
+    assert policy.autosize(1000.0, 1448) == 2
+
+
+def test_autosize_clamps_to_max():
+    policy = TsoPolicy(max_segs=44)
+    assert policy.autosize(1e12, 1448) == 44
+
+
+def test_autosize_respects_64k_hard_cap():
+    policy = TsoPolicy(max_segs=1000)
+    assert policy.autosize(1e12, 1448) == MAX_TSO_BYTES // 1448
+
+
+def test_tiny_mss_cannot_exceed_hard_cap():
+    policy = TsoPolicy(min_segs=2, max_segs=44)
+    assert policy.autosize(1e12, 100) == 44
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        TsoPolicy(min_segs=0)
+    with pytest.raises(ValueError):
+        TsoPolicy(min_segs=5, max_segs=4)
+    with pytest.raises(ValueError):
+        TsoPolicy().autosize(1.0, 0)

@@ -1,0 +1,217 @@
+"""Stob action unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.stob.actions import (
+    ComposedAction,
+    DelayAction,
+    HistogramAction,
+    NoOpAction,
+    SizeSweepAction,
+    SplitAction,
+    action_from_policy,
+)
+from repro.stob.policy import GapDistribution, ObfuscationPolicy, SizeDistribution
+
+
+def test_noop_is_passthrough():
+    action = NoOpAction()
+    assert action.packet_sizes(1000, 1448) is None
+    assert action.tso_size(44) == 44
+    assert action.departure_gap(1.0, 0.5) == 0.0
+
+
+# -- SplitAction ----------------------------------------------------------------
+
+
+def test_split_divides_large_chunks():
+    action = SplitAction(threshold=1200, factor=2)
+    sizes = action.packet_sizes(1448, 1448)
+    assert sizes == [724, 724]
+
+
+def test_split_leaves_small_chunks_alone():
+    action = SplitAction(threshold=1200)
+    assert action.packet_sizes(1000, 1448) == [1000]
+
+
+def test_split_handles_multiple_mss():
+    action = SplitAction(threshold=1200, factor=2)
+    sizes = action.packet_sizes(3000, 1448)
+    # Chunks: 1448 -> 724+724, 1448 -> 724+724, 104 -> 104
+    assert sizes == [724, 724, 724, 724, 104]
+    assert sum(sizes) == 3000
+
+
+def test_split_odd_sizes_conserve_bytes():
+    action = SplitAction(threshold=1200, factor=3)
+    sizes = action.packet_sizes(1447, 1447)
+    assert sum(sizes) == 1447
+    assert len(sizes) == 3
+
+
+def test_split_validation():
+    with pytest.raises(ValueError):
+        SplitAction(threshold=0)
+    with pytest.raises(ValueError):
+        SplitAction(factor=1)
+
+
+# -- DelayAction ----------------------------------------------------------------
+
+
+def test_delay_proportional_to_elapsed():
+    action = DelayAction(0.10, 0.30, rng=np.random.default_rng(0))
+    gaps = [action.departure_gap(1.0, 0.0) for _ in range(200)]
+    assert all(0.10 <= g <= 0.30 for g in gaps)
+
+
+def test_delay_zero_without_history():
+    action = DelayAction()
+    assert action.departure_gap(5.0, -1.0) == 0.0
+
+
+def test_delay_validation():
+    with pytest.raises(ValueError):
+        DelayAction(0.3, 0.1)
+    with pytest.raises(ValueError):
+        DelayAction(-0.1, 0.2)
+
+
+# -- SizeSweepAction -------------------------------------------------------------
+
+
+def test_sweep_alpha_zero_is_constant():
+    action = SizeSweepAction(0)
+    assert [action.tso_size(44) for _ in range(5)] == [44] * 5
+    sizes = action.packet_sizes(1448 * 3, 1448)
+    assert all(size == 1448 for size in sizes)
+
+
+def test_sweep_packet_cycle_matches_paper_formula():
+    action = SizeSweepAction(100, header_bytes=52)
+    # Wire sizes: 1500, 1400, ..., 500, then reset to 1500.
+    wire = [action._next_packet_size() for _ in range(12)]
+    assert wire[:11] == [1500 - 100 * k for k in range(11)]
+    assert wire[11] == 1500
+
+
+def test_sweep_tso_cycle_clamps_at_one():
+    action = SizeSweepAction(100)
+    values = [action.tso_size(44) for _ in range(9)]
+    # 44, 19, then clamped at 1 for the rest of the cycle.
+    assert values[0] == 44
+    assert values[1] == 19
+    assert all(v == 1 for v in values[2:])
+
+
+def test_sweep_mean_tso_decreases_with_alpha():
+    def mean_tso(alpha):
+        action = SizeSweepAction(alpha)
+        return np.mean([action.tso_size(44) for _ in range(90)])
+
+    means = [mean_tso(a) for a in (0, 20, 60, 100)]
+    assert all(a >= b for a, b in zip(means, means[1:]))
+
+
+def test_sweep_packet_sizes_respect_mss_and_total():
+    action = SizeSweepAction(60)
+    sizes = action.packet_sizes(10_000, 1448)
+    assert sum(sizes) == 10_000
+    assert all(1 <= s <= 1448 for s in sizes)
+
+
+def test_sweep_reset():
+    action = SizeSweepAction(40)
+    action.tso_size(44)
+    action.tso_size(44)
+    action.reset()
+    assert action.tso_size(44) == 44
+
+
+def test_sweep_rejects_negative_alpha():
+    with pytest.raises(ValueError):
+        SizeSweepAction(-1)
+
+
+# -- HistogramAction --------------------------------------------------------------
+
+
+def test_histogram_action_draws_from_distributions():
+    policy = ObfuscationPolicy(
+        name="h",
+        size_distribution=SizeDistribution([500, 1000], [1, 1]),
+        gap_distribution=GapDistribution([0.001, 0.002], [1, 1]),
+        seed=42,
+    )
+    action = HistogramAction(policy)
+    sizes = action.packet_sizes(5000, 1448)
+    assert sum(sizes) == 5000
+    assert set(sizes) <= {500, 1000} | {s for s in sizes if s < 1000}
+    gap = action.departure_gap(0.0, -1.0)
+    assert gap in (0.001, 0.002)
+
+
+def test_histogram_action_deterministic_after_reset():
+    policy = ObfuscationPolicy(
+        name="h",
+        size_distribution=SizeDistribution([400, 800, 1200], [1, 2, 1]),
+        seed=7,
+    )
+    action = HistogramAction(policy)
+    first = action.packet_sizes(6000, 1448)
+    action.reset()
+    second = action.packet_sizes(6000, 1448)
+    assert first == second
+
+
+# -- ComposedAction ---------------------------------------------------------------
+
+
+def test_composed_takes_min_tso_and_sums_gaps():
+    class FixedGap(NoOpAction):
+        def __init__(self, gap, tso):
+            self._gap, self._tso = gap, tso
+
+        def departure_gap(self, now, last):
+            return self._gap
+
+        def tso_size(self, default):
+            return self._tso
+
+    action = ComposedAction(FixedGap(0.1, 30), FixedGap(0.2, 10))
+    assert action.tso_size(44) == 10
+    assert action.departure_gap(0.0, 0.0) == pytest.approx(0.3)
+
+
+def test_composed_first_packetizer_wins():
+    action = ComposedAction(NoOpAction(), SplitAction(1200))
+    assert action.packet_sizes(1448, 1448) == [724, 724]
+
+
+def test_composed_requires_actions():
+    with pytest.raises(ValueError):
+        ComposedAction()
+
+
+# -- action_from_policy -----------------------------------------------------------
+
+
+def test_policy_compilation():
+    assert isinstance(action_from_policy(ObfuscationPolicy()), NoOpAction)
+    assert isinstance(
+        action_from_policy(ObfuscationPolicy(split_threshold=1200)), SplitAction
+    )
+    assert isinstance(
+        action_from_policy(ObfuscationPolicy(delay_fraction_range=(0.1, 0.3))),
+        DelayAction,
+    )
+    assert isinstance(
+        action_from_policy(ObfuscationPolicy(size_sweep_degree=40)),
+        SizeSweepAction,
+    )
+    combined = action_from_policy(
+        ObfuscationPolicy(split_threshold=1200, delay_fraction_range=(0.1, 0.3))
+    )
+    assert isinstance(combined, ComposedAction)

@@ -1,0 +1,145 @@
+"""Stob controller and constraint tests, including in-stack enforcement."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.path import NetworkPath
+from repro.stack.cc.base import CcPhase
+from repro.stack.host import make_flow
+from repro.stack.tcp import TcpConfig
+from repro.stob.actions import DelayAction, NoOpAction, SplitAction, StobAction
+from repro.stob.constraints import ConstraintReport, PhaseGate
+from repro.stob.controller import StobController, attach_stob
+from repro.stob.policy import ObfuscationPolicy
+from repro.units import mbps, msec, mib
+
+
+class OversizedAction(StobAction):
+    """Misbehaving action that tries to be more aggressive."""
+
+    def packet_sizes(self, nbytes, mss):
+        return [mss * 2]  # bigger than MSS: must be clamped
+
+    def tso_size(self, default_segs):
+        return default_segs * 10  # must be clamped down
+
+    def departure_gap(self, now, last_departure):
+        return -1.0  # negative: must be clamped to 0
+
+
+def make_test_flow(controller=None, cc="cubic"):
+    sim = Simulator()
+    path = NetworkPath(rate=mbps(20), rtt=msec(20))
+    flow = make_flow(
+        sim, path, client_config=TcpConfig(cc=cc), server_config=TcpConfig(cc=cc)
+    )
+    if controller is not None:
+        flow.server.segment_controller = controller
+    return sim, flow
+
+
+def test_constraints_clamp_aggressive_actions():
+    controller = StobController(action=OversizedAction())
+    sim, flow = make_test_flow(controller)
+    flow.server.on_established = lambda: flow.server.write(200_000)
+    flow.connect()
+    sim.run(until=10.0)
+    assert flow.client.receive_buffer.delivered == 200_000
+    assert controller.report.oversized_packets > 0
+    assert controller.report.oversized_tso > 0
+    assert controller.report.negative_gaps > 0
+    assert controller.report.total_violations > 0
+
+
+def test_split_action_shrinks_wire_packets():
+    controller = StobController(action=SplitAction(1200, 2))
+    sim, flow = make_test_flow(controller)
+    sizes = []
+    flow.server_host.nic.add_tap(
+        lambda p, t: sizes.append(p.payload_len) if p.payload_len else None
+    )
+    flow.server.on_established = lambda: flow.server.write(100_000)
+    flow.connect()
+    sim.run(until=10.0)
+    assert flow.client.receive_buffer.delivered == 100_000
+    assert max(sizes) <= 1200
+
+
+def test_delay_action_stretches_trace():
+    def run(action):
+        controller = StobController(action=action)
+        sim, flow = make_test_flow(controller)
+        times = []
+        flow.server_host.nic.add_tap(
+            lambda p, t: times.append(t) if p.payload_len else None
+        )
+        flow.server.on_established = lambda: flow.server.write(400_000)
+        flow.connect()
+        sim.run(until=20.0)
+        assert flow.client.receive_buffer.delivered == 400_000
+        return times[-1] - times[0]
+
+    base = run(NoOpAction())
+    delayed = run(DelayAction(0.2, 0.2, rng=np.random.default_rng(0)))
+    assert delayed > base * 1.05
+
+
+def test_phase_gate_blocks_in_gated_phase():
+    gate = PhaseGate(gated=(CcPhase.SLOW_START,))
+    assert not gate.allows(CcPhase.SLOW_START)
+    assert gate.allows(CcPhase.CONGESTION_AVOIDANCE)
+    # Recovery always gated by default.
+    assert not gate.allows(CcPhase.RECOVERY)
+    open_gate = PhaseGate(always_gate_recovery=False)
+    assert open_gate.allows(CcPhase.RECOVERY)
+
+
+def test_gated_controller_counts_gated_segments():
+    controller = StobController(
+        action=SplitAction(1200),
+        gate=PhaseGate(gated=(CcPhase.SLOW_START,)),
+    )
+    sim, flow = make_test_flow(controller)
+    flow.server.on_established = lambda: flow.server.write(50_000)
+    flow.connect()
+    sim.run(until=5.0)
+    # Whole transfer fits in slow start: everything gated.
+    assert controller.report.gated_segments > 0
+    assert flow.client.receive_buffer.delivered == 50_000
+
+
+def test_attach_stob_with_policy():
+    sim, flow = make_test_flow()
+    controller = attach_stob(
+        flow.server, policy=ObfuscationPolicy(split_threshold=1200)
+    )
+    assert flow.server.segment_controller is controller
+    assert isinstance(controller.action, SplitAction)
+
+
+def test_attach_stob_requires_exactly_one_source():
+    _sim, flow = make_test_flow()
+    with pytest.raises(ValueError):
+        attach_stob(flow.server)
+    with pytest.raises(ValueError):
+        attach_stob(
+            flow.server,
+            action=NoOpAction(),
+            policy=ObfuscationPolicy(),
+        )
+
+
+def test_clamp_packet_sizes_fallback_to_stock():
+    report = ConstraintReport()
+    assert report.clamp_packet_sizes(None, 1000, 1448) is None
+    assert report.clamp_packet_sizes([0, -5], 1000, 1448) is None
+    cleaned = report.clamp_packet_sizes([4000], 1000, 1448)
+    assert cleaned == [1000]
+
+
+def test_clamp_packet_sizes_trims_over_budget():
+    report = ConstraintReport()
+    cleaned = report.clamp_packet_sizes([600, 600, 600], 1000, 1448)
+    assert cleaned == [600, 400]
+    assert sum(cleaned) <= 1000

@@ -1,0 +1,76 @@
+"""Cover-traffic shaper tests."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.path import NetworkPath
+from repro.stack.host import make_flow
+from repro.stob.cover import CoverTrafficShaper
+from repro.units import mbps, msec
+
+
+def make(rate=mbps(20)):
+    sim = Simulator()
+    flow = make_flow(sim, NetworkPath(rate=rate, rtt=msec(20)))
+    return sim, flow
+
+
+def test_shaper_injects_at_configured_rate():
+    sim, flow = make()
+    shaper = CoverTrafficShaper(sim, flow.server, rate_bytes_per_sec=mbps(5))
+    flow.server.on_established = shaper.start
+    flow.connect()
+    sim.run(until=2.0)
+    expected = mbps(5) * 1.9  # minus handshake time
+    assert shaper.injected_bytes == pytest.approx(expected, rel=0.15)
+
+
+def test_dummies_visible_on_wire_but_not_delivered():
+    sim, flow = make()
+    dummy_packets = []
+    flow.server_host.nic.add_tap(
+        lambda p, t: dummy_packets.append(p) if p.dummy else None
+    )
+    shaper = CoverTrafficShaper(sim, flow.server, rate_bytes_per_sec=mbps(2))
+
+    def start():
+        shaper.start()
+        flow.server.write(50_000)
+
+    flow.server.on_established = start
+    flow.connect()
+    sim.run(until=3.0)
+    assert len(dummy_packets) > 10
+    assert flow.client.receive_buffer.delivered == 50_000
+
+
+def test_stop_is_idempotent_and_halts_injection():
+    sim, flow = make()
+    shaper = CoverTrafficShaper(sim, flow.server, rate_bytes_per_sec=mbps(5))
+    flow.server.on_established = shaper.start
+    flow.connect()
+    sim.run(until=1.0)
+    shaper.stop()
+    shaper.stop()
+    injected = shaper.injected_bytes
+    sim.run(until=2.0)
+    assert shaper.injected_bytes == injected
+    shaper.start()
+    sim.run(until=2.5)
+    assert shaper.injected_bytes > injected
+
+
+def test_validation():
+    sim, flow = make()
+    with pytest.raises(ValueError):
+        CoverTrafficShaper(sim, flow.server, rate_bytes_per_sec=0)
+    with pytest.raises(ValueError):
+        CoverTrafficShaper(sim, flow.server, 1000.0, packet_size=0)
+
+
+def test_interval_property():
+    sim, flow = make()
+    shaper = CoverTrafficShaper(
+        sim, flow.server, rate_bytes_per_sec=14480.0, packet_size=1448
+    )
+    assert shaper.interval == pytest.approx(0.1)

@@ -1,0 +1,182 @@
+"""Maybenot-style machine framework tests."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.path import NetworkPath
+from repro.stack.host import make_flow
+from repro.stob.machines import (
+    END,
+    ActionKind,
+    Machine,
+    MachineEvent,
+    MachineRunner,
+    MachineState,
+    StateAction,
+    attach_machine,
+    burst_block_machine,
+    constant_rate_machine,
+    front_machine,
+)
+from repro.units import mbps, msec
+
+
+def make_env():
+    sim = Simulator()
+    flow = make_flow(sim, NetworkPath(rate=mbps(20), rtt=msec(20)))
+    return sim, flow
+
+
+# -- validation -------------------------------------------------------------------
+
+
+def test_machine_validation():
+    with pytest.raises(ValueError):
+        Machine(name="empty", states=[])
+    state = MachineState(name="s")
+    with pytest.raises(ValueError):
+        Machine(name="bad-start", states=[state], start_state=5)
+    bad = MachineState(
+        name="over",
+        transitions={MachineEvent.TIMEOUT: [(0, 0.7), (0, 0.7)]},
+    )
+    with pytest.raises(ValueError):
+        Machine(name="overprob", states=[bad])
+    dangling = MachineState(
+        name="dangling",
+        transitions={MachineEvent.TIMEOUT: [(7, 0.5)]},
+    )
+    with pytest.raises(ValueError):
+        Machine(name="dangling", states=[dangling])
+
+
+def test_reference_machine_validation():
+    with pytest.raises(ValueError):
+        front_machine(n_padding=0)
+    with pytest.raises(ValueError):
+        constant_rate_machine(0)
+
+
+# -- semantics ---------------------------------------------------------------------
+
+
+def test_constant_rate_machine_pads_at_rate():
+    sim, flow = make_env()
+    machine = constant_rate_machine(rate_bytes_per_sec=14480.0)  # 10 pkt/s
+    runner = attach_machine(sim, flow.server, machine,
+                            rng=np.random.default_rng(0))
+    flow.connect()
+    sim.run(until=2.0)
+    # ~10 packets/s for ~2s of established time.
+    assert 10 <= runner.padding_injected // 1448 <= 22
+
+
+def test_front_machine_respects_budget_and_stops():
+    sim, flow = make_env()
+    machine = front_machine(n_padding=20, window=0.5)
+    runner = attach_machine(sim, flow.server, machine,
+                            rng=np.random.default_rng(1))
+    flow.connect()
+    sim.run(until=5.0)
+    assert runner.padding_injected <= 20 * 1448
+    assert not runner.running  # self-terminated at the action limit
+
+
+def test_padding_observable_on_wire():
+    sim, flow = make_env()
+    dummies = []
+    flow.server_host.nic.add_tap(
+        lambda p, t: dummies.append(p) if p.dummy else None
+    )
+    attach_machine(
+        sim, flow.server, constant_rate_machine(28960.0),
+        rng=np.random.default_rng(2),
+    )
+    flow.server.on_established = lambda: flow.server.write(50_000)
+    flow.connect()
+    sim.run(until=2.0)
+    assert len(dummies) > 5
+    assert flow.client.receive_buffer.delivered == 50_000
+
+
+def test_block_machine_delays_segments():
+    def run(machine):
+        sim, flow = make_env()
+        times = []
+        flow.server_host.nic.add_tap(
+            lambda p, t: times.append(t) if p.payload_len else None
+        )
+        if machine is not None:
+            attach_machine(sim, flow.server, machine,
+                           rng=np.random.default_rng(3))
+        flow.server.on_established = lambda: flow.server.write(400_000)
+        flow.connect()
+        sim.run(until=20.0)
+        assert flow.client.receive_buffer.delivered == 400_000
+        return times[-1] - times[0]
+
+    base = run(None)
+    blocked = run(burst_block_machine(gap=0.05, every=5))
+    assert blocked > base
+
+
+def test_transitions_follow_probabilities():
+    # Deterministic 2-state ping-pong on TIMEOUT.
+    a = MachineState(
+        name="a",
+        timeout_sampler=lambda rng: 0.01,
+        transitions={MachineEvent.TIMEOUT: [(1, 1.0)]},
+    )
+    b = MachineState(
+        name="b",
+        timeout_sampler=lambda rng: 0.01,
+        transitions={MachineEvent.TIMEOUT: [(0, 1.0)]},
+    )
+    machine = Machine(name="pingpong", states=[a, b])
+    sim, flow = make_env()
+    runner = MachineRunner(sim, flow.server, machine,
+                           rng=np.random.default_rng(4))
+    runner.start()
+    sim.run(until=0.1)
+    assert runner.transitions_taken >= 8
+
+
+def test_end_transition_stops_machine():
+    state = MachineState(
+        name="once",
+        timeout_sampler=lambda rng: 0.01,
+        action=StateAction(kind=ActionKind.PAD),
+        transitions={MachineEvent.TIMEOUT: [(END, 1.0)]},
+    )
+    machine = Machine(name="oneshot", states=[state])
+    sim, flow = make_env()
+    runner = attach_machine(sim, flow.server, machine,
+                            rng=np.random.default_rng(5))
+    flow.connect()
+    sim.run(until=1.0)
+    assert not runner.running
+    assert runner.padding_injected <= 1448  # at most one action
+
+
+def test_machine_composes_with_base_controller():
+    from repro.stob.actions import SplitAction
+    from repro.stob.controller import StobController
+
+    sim, flow = make_env()
+    base = StobController(action=SplitAction(1200, 2))
+    attach_machine(
+        sim, flow.server, constant_rate_machine(14480.0),
+        rng=np.random.default_rng(6), base=base,
+    )
+    real_sizes = []
+    flow.server_host.nic.add_tap(
+        lambda p, t: real_sizes.append(p.payload_len)
+        if p.payload_len and not p.dummy
+        else None
+    )
+    flow.server.on_established = lambda: flow.server.write(100_000)
+    flow.connect()
+    sim.run(until=5.0)
+    assert flow.client.receive_buffer.delivered == 100_000
+    assert max(real_sizes) <= 1200  # base split still enforced

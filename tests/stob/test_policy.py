@@ -1,0 +1,128 @@
+"""Policy and registry tests."""
+
+import numpy as np
+import pytest
+
+from repro.stack.cc.base import CcPhase
+from repro.stob.policy import GapDistribution, ObfuscationPolicy, SizeDistribution
+from repro.stob.registry import PolicyRegistry
+
+
+def test_size_distribution_sampling():
+    dist = SizeDistribution([500, 1000, 1448], [1, 1, 2])
+    rng = np.random.default_rng(0)
+    samples = {dist.sample(rng) for _ in range(100)}
+    assert samples <= {500.0, 1000.0, 1448.0}
+    assert dist.mean() == pytest.approx((500 + 1000 + 2 * 1448) / 4)
+
+
+def test_size_distribution_uniform_constructor():
+    dist = SizeDistribution.uniform(500, 1500, step=500)
+    assert list(dist.values) == [500, 1000, 1500]
+
+
+def test_size_distribution_rejects_bad_input():
+    with pytest.raises(ValueError):
+        SizeDistribution([], [])
+    with pytest.raises(ValueError):
+        SizeDistribution([100], [1, 2])
+    with pytest.raises(ValueError):
+        SizeDistribution([-5], [1])
+    with pytest.raises(ValueError):
+        SizeDistribution([100], [0])
+
+
+def test_gap_distribution_rejects_negative_gaps():
+    with pytest.raises(ValueError):
+        GapDistribution([-0.1], [1])
+
+
+def test_gap_exponential_bins_shape():
+    dist = GapDistribution.exponential_bins(scale=0.01, n_bins=8)
+    assert len(dist.values) == 8
+    assert np.all(np.diff(dist.values) > 0)
+    # Short gaps more likely than long ones.
+    assert dist.probabilities[0] > dist.probabilities[-1]
+
+
+def test_histogram_roundtrip():
+    dist = SizeDistribution([500, 1000], [1, 3])
+    clone = SizeDistribution.from_dict(dist.to_dict())
+    assert np.allclose(clone.values, dist.values)
+    assert np.allclose(clone.probabilities, dist.probabilities)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        ObfuscationPolicy(split_threshold=0)
+    with pytest.raises(ValueError):
+        ObfuscationPolicy(split_factor=1)
+    with pytest.raises(ValueError):
+        ObfuscationPolicy(delay_fraction_range=(0.5, 0.1))
+    with pytest.raises(ValueError):
+        ObfuscationPolicy(max_tso_segs=0)
+
+
+def test_policy_roundtrip_through_shared_memory_form():
+    policy = ObfuscationPolicy(
+        name="full",
+        size_distribution=SizeDistribution([500, 1000], [1, 1]),
+        gap_distribution=GapDistribution([0.001], [1]),
+        split_threshold=1200,
+        delay_fraction_range=(0.1, 0.3),
+        size_sweep_degree=40,
+        max_tso_segs=8,
+        gated_phases=(CcPhase.STARTUP,),
+        seed=9,
+    )
+    clone = ObfuscationPolicy.from_dict(policy.to_dict())
+    assert clone.name == "full"
+    assert clone.split_threshold == 1200
+    assert clone.delay_fraction_range == (0.1, 0.3)
+    assert clone.size_sweep_degree == 40
+    assert clone.max_tso_segs == 8
+    assert clone.gated_phases == (CcPhase.STARTUP,)
+    assert clone.size_distribution is not None
+    assert clone.gap_distribution is not None
+
+
+def test_registry_lookup_specific_over_wildcard():
+    registry = PolicyRegistry()
+    wildcard = ObfuscationPolicy(name="wild")
+    specific = ObfuscationPolicy(name="spec")
+    registry.register("*", wildcard)
+    registry.register("example.com", specific)
+    assert registry.lookup("example.com").name == "spec"
+    assert registry.lookup("other.org").name == "wild"
+    assert registry.hits == 2
+
+
+def test_registry_miss_returns_none():
+    registry = PolicyRegistry()
+    assert registry.lookup("nothing") is None
+    assert registry.lookups == 1
+    assert registry.hits == 0
+
+
+def test_registry_unregister_and_len():
+    registry = PolicyRegistry()
+    registry.register("a", ObfuscationPolicy(name="a"))
+    assert len(registry) == 1
+    registry.unregister("a")
+    assert len(registry) == 0
+    with pytest.raises(KeyError):
+        registry.unregister("a")
+
+
+def test_registry_roundtrip():
+    registry = PolicyRegistry()
+    registry.register("a.com", ObfuscationPolicy(name="a", split_threshold=1000))
+    registry.register("*", ObfuscationPolicy(name="default"))
+    clone = PolicyRegistry.from_dict(registry.to_dict())
+    assert sorted(clone) == ["*", "a.com"]
+    assert clone.lookup("a.com").split_threshold == 1000
+
+
+def test_registry_rejects_empty_key():
+    with pytest.raises(ValueError):
+        PolicyRegistry().register("", ObfuscationPolicy())

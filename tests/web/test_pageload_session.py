@@ -1,0 +1,98 @@
+"""Page-load driver internals: request/response round machinery."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.path import NetworkPath
+from repro.stack.host import make_flow
+from repro.units import mbps, msec
+from repro.web.objects import PageSample
+from repro.web.pageload import PageLoadConfig, _PageLoadSession, load_page
+from repro.web.sites import SITE_CATALOG
+
+
+def run_session(page, pipeline_depth=6, until=20.0):
+    sim = Simulator()
+    flow = make_flow(sim, NetworkPath(rate=mbps(30), rtt=msec(20)))
+    session = _PageLoadSession(sim, flow, page, pipeline_depth, lambda: None)
+    sim.run(until=until)
+    return sim, flow, session
+
+
+def simple_page(rounds, request=500, think=0.005, parse=0.01):
+    return PageSample(
+        site="test",
+        rounds=rounds,
+        request_sizes=[[request] * len(r) for r in rounds],
+        think_times=[[think] * len(r) for r in rounds],
+        parse_times=[parse] * len(rounds),
+    )
+
+
+def test_single_round_single_object():
+    page = simple_page([[50_000]])
+    _sim, flow, session = run_session(page)
+    assert session.completed
+    assert flow.client.receive_buffer.delivered == 50_000
+    assert flow.server.receive_buffer.delivered == 500
+
+
+def test_rounds_are_sequential():
+    """Round 2's requests leave only after round 1 completes."""
+    page = simple_page([[30_000], [30_000]], parse=0.05)
+    sim = Simulator()
+    flow = make_flow(sim, NetworkPath(rate=mbps(30), rtt=msec(20)))
+    request_times = []
+    flow.client_host.nic.add_tap(
+        lambda p, t: request_times.append(t) if p.payload_len > 100 else None
+    )
+    session = _PageLoadSession(sim, flow, page, 6, lambda: None)
+    sim.run(until=20.0)
+    assert session.completed
+    assert len(request_times) >= 2
+    # Second request departs after the first response finished
+    # (at 30 Mb/s, 30 kB takes ~8 ms + RTT + parse).
+    assert request_times[1] - request_times[0] > 0.05
+
+
+def test_pipelined_round_many_objects():
+    page = simple_page([[10_000] * 8])
+    _sim, flow, session = run_session(page)
+    assert session.completed
+    assert flow.client.receive_buffer.delivered == 80_000
+
+
+def test_pipeline_depth_one_still_completes():
+    page = simple_page([[10_000] * 5])
+    _sim, _flow, session = run_session(page, pipeline_depth=1)
+    assert session.completed
+
+
+def test_completion_callback_fires_once():
+    fired = []
+    sim = Simulator()
+    flow = make_flow(sim, NetworkPath(rate=mbps(30), rtt=msec(20)))
+    page = simple_page([[20_000]])
+    _PageLoadSession(sim, flow, page, 6, lambda: fired.append(sim.now))
+    sim.run(until=20.0)
+    assert len(fired) == 1
+
+
+def test_load_page_stops_soon_after_completion():
+    """The guard loop must not run the full max_duration for a page
+    that completes quickly."""
+    config = PageLoadConfig(max_duration=60.0)
+    trace = load_page(
+        SITE_CATALOG["whatsapp.net"], config, np.random.default_rng(3)
+    )
+    assert trace.duration < 10.0
+
+
+def test_page_load_config_path_sampling_bounds(rng):
+    config = PageLoadConfig(rate_mbps=50, rtt_ms=30,
+                            rate_jitter=0.15, rtt_jitter=0.2)
+    for _ in range(20):
+        path = config.sample_path(rng)
+        assert mbps(50 * 0.84) <= path.rate <= mbps(50 * 1.16)
+        assert msec(30 * 0.79) <= path.rtt <= msec(30 * 1.21)

@@ -1,0 +1,112 @@
+"""Web workload tests: profiles, sampling, page loads, tracegen."""
+
+import numpy as np
+import pytest
+
+from repro.capture.trace import IN, OUT
+from repro.stob.actions import SplitAction
+from repro.stob.controller import StobController
+from repro.web.objects import ObjectClass, SiteProfile
+from repro.web.pageload import PageLoadConfig, collect_dataset, load_page
+from repro.web.sites import SITE_CATALOG, site_names
+from repro.web.tracegen import StatisticalTraceGenerator
+
+
+def test_catalog_has_the_papers_nine_sites():
+    assert site_names() == [
+        "bing.com", "github.com", "instagram.com", "netflix.com",
+        "office.com", "spotify.com", "whatsapp.net", "wikipedia.org",
+        "youtube.com",
+    ]
+
+
+def test_page_sample_structure(rng):
+    profile = SITE_CATALOG["wikipedia.org"]
+    page = profile.sample_page(rng)
+    # Round 0 = TLS handshake, round 1 = HTML, then objects.
+    assert len(page.rounds) >= 2
+    assert len(page.rounds[0]) == 1
+    assert page.rounds[0][0] == pytest.approx(
+        np.mean(profile.cert_size), abs=(profile.cert_size[1] - profile.cert_size[0])
+    )
+    assert page.total_download_bytes > 10_000
+    assert len(page.request_sizes) == len(page.rounds)
+    assert len(page.think_times) == len(page.rounds)
+    assert len(page.parse_times) == len(page.rounds)
+
+
+def test_page_samples_vary_between_visits(rng):
+    profile = SITE_CATALOG["youtube.com"]
+    sizes = {profile.sample_page(rng).total_download_bytes for _ in range(5)}
+    assert len(sizes) == 5
+
+
+def test_object_class_sampling_bounds(rng):
+    cls = ObjectClass("img", 10, 0.3, np.log(10_000), 0.5, min_size=500,
+                      max_size=50_000)
+    for _ in range(50):
+        assert 500 <= cls.sample_size(rng) <= 50_000
+    counts = [cls.sample_count(rng) for _ in range(50)]
+    assert min(counts) >= 7 and max(counts) <= 13
+
+
+def test_load_page_produces_full_trace(rng):
+    trace = load_page(SITE_CATALOG["wikipedia.org"], PageLoadConfig(), rng)
+    assert len(trace) > 50
+    assert trace.times[0] == 0.0
+    assert trace.incoming_bytes > trace.outgoing_bytes  # download-heavy
+    assert set(np.unique(trace.directions)) == {IN, OUT}
+
+
+def test_load_page_deterministic(rng):
+    cfg = PageLoadConfig()
+    a = load_page(SITE_CATALOG["bing.com"], cfg, np.random.default_rng(42))
+    b = load_page(SITE_CATALOG["bing.com"], cfg, np.random.default_rng(42))
+    assert len(a) == len(b)
+    assert np.allclose(a.times, b.times)
+    assert np.array_equal(a.sizes, b.sizes)
+
+
+def test_load_page_with_stob_controller_shrinks_packets(rng):
+    controller = StobController(action=SplitAction(1200, 2))
+    trace = load_page(
+        SITE_CATALOG["wikipedia.org"],
+        PageLoadConfig(),
+        np.random.default_rng(1),
+        server_controller=controller,
+    )
+    incoming = trace.filter_direction(IN)
+    assert incoming.sizes.max() <= 1200 + 52  # payload cap + headers
+
+
+def test_collect_dataset_shape():
+    dataset = collect_dataset(
+        n_samples=2, sites=["wikipedia.org", "bing.com"], seed=5
+    )
+    assert dataset.labels == ["bing.com", "wikipedia.org"]
+    assert dataset.num_traces == 4
+    for _label, trace in dataset:
+        assert len(trace) > 20
+
+
+def test_tracegen_fast_and_distinct():
+    generator = StatisticalTraceGenerator(seed=2)
+    wiki = generator.generate(SITE_CATALOG["wikipedia.org"])
+    tube = generator.generate(SITE_CATALOG["youtube.com"])
+    assert tube.total_bytes > wiki.total_bytes  # youtube is much bigger
+    assert np.all(np.diff(wiki.times) >= 0)
+
+
+def test_tracegen_dataset(rng):
+    generator = StatisticalTraceGenerator(seed=3)
+    dataset = generator.generate_dataset(
+        n_samples=3, sites=["bing.com", "github.com"], seed=3
+    )
+    assert dataset.num_traces == 6
+
+
+def test_tracegen_validation():
+    with pytest.raises(ValueError):
+        StatisticalTraceGenerator(rate_bytes_per_sec=0)
+    with pytest.raises(ValueError):
+        StatisticalTraceGenerator(rtt=-1)

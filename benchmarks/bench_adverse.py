@@ -1,0 +1,54 @@
+"""Bench: k-FP grid under adverse network conditions.
+
+No paper table corresponds to this — it stress-tests the paper's §3
+result: does the (small) protection of the kernel-emulable split/delay
+countermeasures survive once the stack itself is retransmitting
+through bursty loss and link flaps?
+
+Expectations are loose (statistical pipeline over noisy networks):
+
+* the clean row reproduces the Table-2 "All" shape — strong original
+  accuracy, defenses not materially below it;
+* adverse rows stay well above chance — retransmission noise perturbs
+  but does not erase site fingerprints;
+* collection completes gracefully: every stall/retry/drop is reported
+  rather than silently truncating traces.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.experiments.adverse_network import (
+    AdverseConfig,
+    format_adverse,
+    run_adverse,
+)
+
+pytestmark = pytest.mark.benchmark(group="adverse")
+
+
+def test_adverse(benchmark, experiment_config, bench_scale):
+    config = AdverseConfig(base=experiment_config)
+    result = benchmark.pedantic(
+        lambda: run_adverse(config),
+        rounds=1,
+        iterations=1,
+    )
+    rendered = format_adverse(result)
+    print("\n" + rendered)
+    write_result(f"bench_adverse_{bench_scale}", rendered)
+
+    chance = 1.0 / 9.0
+    for condition in ("clean", "bursty", "flap"):
+        original = result.cells[(condition, "original")].mean
+        assert original > 2 * chance, (
+            f"{condition}: k-FP should beat chance by a wide margin"
+        )
+    clean_original = result.cells[("clean", "original")].mean
+    clean_combined = result.cells[("clean", "combined")].mean
+    assert clean_combined > clean_original - 0.15, (
+        "full-trace defended accuracy should not collapse (Table-2 shape)"
+    )
+    # The reliability layer must account for every trial.
+    for condition, report in result.reports.items():
+        assert report.completed_trials + report.dropped_trials > 0

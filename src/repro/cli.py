@@ -8,12 +8,19 @@ Each subcommand regenerates one table/figure of the paper:
 * ``repro censorship`` — accuracy vs prefix-length curves;
 * ``repro cca-interplay`` — §5.1 goodput grid;
 * ``repro cca-id`` — §5.2 CCA identification;
+* ``repro adverse`` — k-FP grid under adverse network conditions;
 * ``repro collect`` — collect and save the 9-site dataset for reuse.
+
+Every dataset-producing subcommand accepts ``--seed``, ``--out`` and
+``--resume``; ``--checkpoint PATH`` enables the resilient runner's
+periodic checkpointing, and ``--resume`` continues an interrupted
+collection from that checkpoint to a byte-identical result.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -30,12 +37,59 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_dataset_opts(
+    parser: argparse.ArgumentParser, out_help: str = "write results to this file"
+) -> None:
+    """Options shared by every dataset-producing subcommand."""
+    parser.add_argument("--out", type=str, default=None, help=out_help)
+    parser.add_argument(
+        "--checkpoint", type=str, default=None,
+        help="checkpoint path: collect resiliently, persisting partial "
+        "datasets so an interrupted run can be resumed",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted collection from --checkpoint",
+    )
+
+
+def _validate_common(parser: argparse.ArgumentParser, args) -> None:
+    """Reject bad argument combinations via parser.error (no tracebacks)."""
+    if getattr(args, "seed", 0) is not None and getattr(args, "seed", 0) < 0:
+        parser.error(f"--seed must be >= 0, got {args.seed}")
+    if getattr(args, "samples", 1) is not None and getattr(args, "samples", 1) < 1:
+        parser.error(f"--samples must be >= 1, got {args.samples}")
+    dataset = getattr(args, "dataset", None)
+    if dataset is not None and not os.path.exists(dataset):
+        parser.error(f"--dataset file not found: {dataset}")
+    if getattr(args, "resume", False):
+        if getattr(args, "checkpoint", None) is None:
+            parser.error("--resume requires --checkpoint")
+        if dataset is not None:
+            parser.error("--resume collects traces; incompatible with --dataset")
+
+
 def _load_or_collect(args, config):
     from repro.capture.serialize import load_dataset
-    from repro.web.pageload import collect_dataset
 
     if args.dataset:
         return load_dataset(args.dataset)
+    if getattr(args, "checkpoint", None):
+        from repro.experiments.runner import RunnerConfig, collect_resilient
+        from repro.web.sites import SITE_CATALOG
+
+        dataset, report = collect_resilient(
+            sorted(SITE_CATALOG),
+            config.n_samples,
+            pageload_config=config.pageload,
+            seed=config.seed,
+            runner_config=RunnerConfig(checkpoint_path=args.checkpoint),
+            resume=args.resume,
+        )
+        print(f"collection: {report.summary()}", file=sys.stderr)
+        return dataset
+    from repro.web.pageload import collect_dataset
+
     return collect_dataset(
         n_samples=config.n_samples, config=config.pageload, seed=config.seed
     )
@@ -45,6 +99,16 @@ def _config(args):
     from repro.experiments.config import ExperimentConfig
 
     return ExperimentConfig(n_samples=args.samples, seed=args.seed)
+
+
+def _emit(text: str, out: Optional[str]) -> None:
+    """Print rendered results; also persist them when --out is given."""
+    print(text)
+    if out:
+        directory = os.path.dirname(os.path.abspath(out))
+        os.makedirs(directory, exist_ok=True)
+        with open(out, "w") as handle:
+            handle.write(text + "\n")
 
 
 def cmd_collect(args) -> int:
@@ -76,7 +140,7 @@ def cmd_table2(args) -> int:
     config = _config(args)
     dataset = _load_or_collect(args, config)
     table = run_table2(config, dataset=dataset)
-    print(format_table2(table))
+    _emit(format_table2(table), args.out)
     return 0
 
 
@@ -89,9 +153,7 @@ def cmd_figure3(args) -> int:
 
     config = Figure3Config()
     if args.alphas:
-        config = Figure3Config(
-            alphas=tuple(int(a) for a in args.alphas.split(","))
-        )
+        config = Figure3Config(alphas=args.alphas)
     points = run_figure3(config)
     print(format_figure3(points))
     return 0
@@ -107,10 +169,11 @@ def cmd_censorship(args) -> int:
     config = _config(args)
     dataset = _load_or_collect(args, config)
     points = run_censorship_curve(config, dataset=dataset)
-    print(format_censorship(points))
-    print("\nFirst prefix reaching 90% accuracy per condition:")
+    lines = [format_censorship(points), ""]
+    lines.append("First prefix reaching 90% accuracy per condition:")
     for name, n in sorted(detection_delay(points).items()):
-        print(f"  {name:<10} {n if n is not None else '> sweep'}")
+        lines.append(f"  {name:<10} {n if n is not None else '> sweep'}")
+    _emit("\n".join(lines), args.out)
     return 0
 
 
@@ -161,7 +224,7 @@ def cmd_quic_vs_tcp(args) -> int:
     config = _config(args)
     dataset = _load_or_collect(args, config) if args.dataset else None
     result = run_quic_vs_tcp(config, tcp_dataset=dataset)
-    print(format_quic_vs_tcp(result))
+    _emit(format_quic_vs_tcp(result), args.out)
     return 0
 
 
@@ -174,7 +237,36 @@ def cmd_enforcement(args) -> int:
     config = _config(args)
     dataset = _load_or_collect(args, config) if args.dataset else None
     result = run_enforcement_gap(config, raw_dataset=dataset)
-    print(format_enforcement(result))
+    _emit(format_enforcement(result), args.out)
+    return 0
+
+
+def cmd_adverse(args) -> int:
+    from repro.experiments.adverse_network import (
+        AdverseConfig,
+        CONDITION_ORDER,
+        default_conditions,
+        format_adverse,
+        run_adverse,
+    )
+
+    conditions = default_conditions()
+    if args.conditions is not None:
+        wanted = [c.strip() for c in args.conditions.split(",") if c.strip()]
+        unknown = sorted(set(wanted) - set(CONDITION_ORDER))
+        if unknown:
+            args._parser.error(
+                f"unknown conditions: {', '.join(unknown)} "
+                f"(choose from {', '.join(CONDITION_ORDER)})"
+            )
+        conditions = {name: conditions[name] for name in wanted}
+    config = AdverseConfig(
+        base=_config(args),
+        conditions=conditions,
+        checkpoint_dir=args.checkpoint,
+    )
+    result = run_adverse(config, resume=args.resume)
+    _emit(format_adverse(result), args.out)
     return 0
 
 
@@ -188,6 +280,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("collect", help="collect and save the 9-site dataset")
     _add_common(p)
     p.add_argument("--out", type=str, default="dataset.npz")
+    p.add_argument(
+        "--checkpoint", type=str, default=None,
+        help="checkpoint path for resilient collection",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted collection from --checkpoint",
+    )
     p.set_defaults(func=cmd_collect)
 
     p = sub.add_parser("table1", help="defense taxonomy + overheads")
@@ -196,18 +296,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table2", help="k-FP accuracy grid")
     _add_common(p)
+    _add_dataset_opts(p)
     p.set_defaults(func=cmd_table2)
+
+    def _alpha_list(text: str) -> tuple:
+        try:
+            return tuple(int(a) for a in text.split(","))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"alphas must be comma-separated integers, got {text!r}"
+            )
 
     p = sub.add_parser("figure3", help="throughput vs reduction degree")
     _add_common(p)
     p.add_argument(
-        "--alphas", type=str, default=None,
+        "--alphas", type=_alpha_list, default=None,
         help="comma-separated reduction degrees (default 0..100 step 10)",
     )
     p.set_defaults(func=cmd_figure3)
 
     p = sub.add_parser("censorship", help="accuracy vs prefix length")
     _add_common(p)
+    _add_dataset_opts(p)
     p.set_defaults(func=cmd_censorship)
 
     p = sub.add_parser("cca-interplay", help="§5.1 goodput grid")
@@ -231,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("quic-vs-tcp", help="fingerprintability across transports")
     _add_common(p)
+    _add_dataset_opts(p)
     p.set_defaults(func=cmd_quic_vs_tcp)
 
     p = sub.add_parser(
@@ -238,13 +349,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="emulated vs stack-enforced defense comparison",
     )
     _add_common(p)
+    _add_dataset_opts(p)
     p.set_defaults(func=cmd_enforcement)
+
+    p = sub.add_parser(
+        "adverse",
+        help="k-FP grid under clean/bursty-loss/link-flap conditions",
+    )
+    _add_common(p)
+    _add_dataset_opts(p)
+    p.add_argument(
+        "--conditions", type=str, default=None,
+        help="comma-separated subset of clean,bursty,flap (default: all)",
+    )
+    p.set_defaults(func=cmd_adverse)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _validate_common(parser, args)
+    args._parser = parser
     return args.func(args)
 
 

@@ -1,0 +1,388 @@
+"""Resilient experiment runner: retries, deadlines, checkpoint/resume.
+
+Dataset collection is the long pole of every experiment in this repo —
+thousands of simulated page loads — and under fault injection
+individual trials can stall or fail.  This module wraps trial
+execution with the reliability layer a long collection run needs:
+
+* **deterministic per-trial seeding** — each (site, sample, attempt)
+  triple derives its own ``numpy.random.Generator`` from the master
+  seed, independent of execution order, so an interrupted run resumed
+  from a checkpoint produces a byte-identical final dataset;
+* **stall detection** — per-trial simulated-time deadlines surface as
+  :class:`~repro.web.pageload.PageLoadStalled`, and an optional
+  wall-clock deadline aborts trials that burn real time;
+* **retry with reseed and exponential backoff** — a failed trial is
+  retried up to a budget, each attempt with a fresh derived seed;
+* **structured failure log** — trials that exhaust their budget are
+  recorded (site, sample, attempts, error) and the run completes
+  gracefully with reduced samples;
+* **checkpointing** — partial datasets are persisted periodically
+  through :mod:`repro.capture.serialize` plus a JSON manifest, and
+  ``resume=True`` skips completed trials.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.capture.dataset import Dataset
+from repro.capture.serialize import load_dataset, save_dataset
+from repro.capture.trace import Trace
+from repro.web.pageload import PageLoadConfig, PageLoadStalled, load_page_strict
+from repro.web.sites import SITE_CATALOG
+
+#: Errors the runner treats as retryable trial failures.  Anything
+#: else (KeyboardInterrupt, programming errors) propagates after a
+#: checkpoint, because retrying cannot fix it.
+RETRYABLE = (PageLoadStalled, RuntimeError, ValueError)
+
+
+class TrialDeadlineExceeded(RuntimeError):
+    """A trial exceeded its wall-clock budget (raised by the watchdog)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget and backoff shape for one trial."""
+
+    max_attempts: int = 3
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+
+
+@dataclass
+class TrialFailure:
+    """One trial that exhausted its retry budget."""
+
+    label: str
+    index: int
+    attempts: int
+    error: str
+    message: str
+
+
+@dataclass
+class CollectionReport:
+    """What happened during a (possibly resumed) collection run."""
+
+    completed_trials: int = 0
+    resumed_trials: int = 0
+    retries: int = 0
+    stalls: int = 0
+    failures: List[TrialFailure] = field(default_factory=list)
+
+    @property
+    def dropped_trials(self) -> int:
+        return len(self.failures)
+
+    def summary(self) -> str:
+        return (
+            f"{self.completed_trials} trials collected "
+            f"({self.resumed_trials} from checkpoint), "
+            f"{self.retries} retries, {self.stalls} stalls, "
+            f"{self.dropped_trials} dropped"
+        )
+
+
+@dataclass
+class RunnerConfig:
+    """Reliability knobs for a collection run."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Wall-clock seconds one trial attempt may burn (None = unlimited).
+    trial_wall_deadline: Optional[float] = None
+    #: Write a checkpoint every N completed trials (0 disables).
+    checkpoint_every: int = 25
+    checkpoint_path: Optional[str] = None
+
+
+#: A trial function: (label, sample index, rng, watchdog) -> Trace.
+TrialFn = Callable[[str, int, np.random.Generator, Optional[Callable[[], None]]], Trace]
+
+
+def trial_seed_rng(master_seed: int, site_index: int, sample: int, attempt: int) -> np.random.Generator:
+    """The canonical per-trial generator.
+
+    Seeding from the full coordinate tuple (not a sequential stream)
+    is what makes resume byte-identical: a trial's randomness depends
+    only on *which* trial it is and the attempt number, never on how
+    many trials ran before it.
+    """
+    return np.random.default_rng([master_seed, site_index, sample, attempt])
+
+
+def pageload_trial_fn(config: PageLoadConfig) -> TrialFn:
+    """The default trial: one strict page load of the labelled site."""
+
+    def run_trial(
+        label: str,
+        index: int,
+        rng: np.random.Generator,
+        watchdog: Optional[Callable[[], None]],
+    ) -> Trace:
+        return load_page_strict(
+            SITE_CATALOG[label], label, config, rng, watchdog=watchdog
+        )
+
+    return run_trial
+
+
+class ResilientRunner:
+    """Executes a grid of (site, sample) trials with retries and
+    checkpointing.
+
+    ``sleep`` and ``clock`` are injectable for tests (no real backoff
+    sleeping or wall-clock waiting in CI).
+    """
+
+    CHECKPOINT_VERSION = 1
+
+    def __init__(
+        self,
+        config: Optional[RunnerConfig] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or RunnerConfig()
+        self._sleep = sleep
+        self._clock = clock
+
+    # -- checkpoint format -------------------------------------------------
+
+    @staticmethod
+    def _npz_path(checkpoint_path: str) -> str:
+        # np.savez appends ".npz" to extension-less paths; normalise so
+        # the load side looks for the file that was actually written.
+        if not checkpoint_path.endswith(".npz"):
+            return checkpoint_path + ".npz"
+        return checkpoint_path
+
+    def _manifest_path(self, checkpoint_path: str) -> str:
+        return self._npz_path(checkpoint_path) + ".manifest.json"
+
+    def _fingerprint(self, sites: Sequence[str], n_samples: int, master_seed: int) -> str:
+        return f"v{self.CHECKPOINT_VERSION}:{master_seed}:{n_samples}:{','.join(sites)}"
+
+    def _write_checkpoint(
+        self,
+        checkpoint_path: str,
+        fingerprint: str,
+        results: Dict[str, Dict[int, Trace]],
+        failures: List[TrialFailure],
+    ) -> None:
+        dataset = Dataset()
+        indices: Dict[str, List[int]] = {}
+        for label in sorted(results):
+            ordered = sorted(results[label])
+            indices[label] = ordered
+            dataset.traces[label] = [results[label][i] for i in ordered]
+        save_dataset(dataset, self._npz_path(checkpoint_path))
+        manifest = {
+            "version": self.CHECKPOINT_VERSION,
+            "fingerprint": fingerprint,
+            "indices": indices,
+            "failures": [asdict(f) for f in failures],
+        }
+        tmp = self._manifest_path(checkpoint_path) + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(manifest, handle, indent=1, sort_keys=True)
+        os.replace(tmp, self._manifest_path(checkpoint_path))
+
+    def _load_checkpoint(
+        self, checkpoint_path: str, fingerprint: str
+    ) -> Tuple[Dict[str, Dict[int, Trace]], List[TrialFailure]]:
+        manifest_path = self._manifest_path(checkpoint_path)
+        npz_path = self._npz_path(checkpoint_path)
+        if not (os.path.exists(npz_path) and os.path.exists(manifest_path)):
+            return {}, []
+        with open(manifest_path) as handle:
+            manifest = json.load(handle)
+        if manifest.get("fingerprint") != fingerprint:
+            raise ValueError(
+                "checkpoint was written by a different run configuration: "
+                f"{manifest.get('fingerprint')!r} != {fingerprint!r}; "
+                "remove it or rerun with the original seed/sites/samples"
+            )
+        dataset = load_dataset(npz_path)
+        results: Dict[str, Dict[int, Trace]] = {}
+        for label, ordered in manifest["indices"].items():
+            traces = dataset.traces.get(label, [])
+            results[label] = {
+                int(index): trace for index, trace in zip(ordered, traces)
+            }
+        failures = [TrialFailure(**f) for f in manifest["failures"]]
+        return results, failures
+
+    # -- execution ---------------------------------------------------------
+
+    def _make_watchdog(self) -> Optional[Callable[[], None]]:
+        deadline = self.config.trial_wall_deadline
+        if deadline is None:
+            return None
+        started = self._clock()
+
+        def watchdog() -> None:
+            elapsed = self._clock() - started
+            if elapsed > deadline:
+                raise TrialDeadlineExceeded(
+                    f"trial exceeded wall-clock budget "
+                    f"({elapsed:.1f}s > {deadline:.1f}s)"
+                )
+
+        return watchdog
+
+    def _run_trial(
+        self,
+        trial_fn: TrialFn,
+        label: str,
+        site_index: int,
+        sample: int,
+        master_seed: int,
+        report: CollectionReport,
+    ) -> Optional[Trace]:
+        """One trial with retries; None when the budget is exhausted."""
+        retry = self.config.retry
+        last_error: Optional[BaseException] = None
+        for attempt in range(retry.max_attempts):
+            rng = trial_seed_rng(master_seed, site_index, sample, attempt)
+            watchdog = self._make_watchdog()
+            try:
+                return trial_fn(label, sample, rng, watchdog)
+            except RETRYABLE + (TrialDeadlineExceeded,) as error:
+                last_error = error
+                if isinstance(error, PageLoadStalled):
+                    report.stalls += 1
+                if attempt + 1 < retry.max_attempts:
+                    report.retries += 1
+                    self._sleep(retry.delay(attempt + 1))
+        report.failures.append(
+            TrialFailure(
+                label=label,
+                index=sample,
+                attempts=retry.max_attempts,
+                error=type(last_error).__name__,
+                message=str(last_error),
+            )
+        )
+        return None
+
+    def collect(
+        self,
+        sites: Sequence[str],
+        n_samples: int,
+        trial_fn: TrialFn,
+        master_seed: int,
+        resume: bool = False,
+        progress: Optional[Callable[[str, int], None]] = None,
+    ) -> Tuple[Dataset, CollectionReport]:
+        """Run the (site x sample) grid and return (dataset, report).
+
+        With ``resume=True`` and a configured ``checkpoint_path``,
+        completed trials are loaded from the checkpoint and skipped;
+        the final dataset is identical to an uninterrupted run because
+        trial seeds are position-derived.  On KeyboardInterrupt a final
+        checkpoint is written before the interrupt propagates.
+        """
+        if n_samples < 1:
+            raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+        sites = sorted(sites)
+        report = CollectionReport()
+        checkpoint_path = self.config.checkpoint_path
+        fingerprint = self._fingerprint(sites, n_samples, master_seed)
+        results: Dict[str, Dict[int, Trace]] = {}
+        failed: Dict[str, set] = {}
+        if resume:
+            if checkpoint_path is None:
+                raise ValueError("resume=True requires a checkpoint_path")
+            results, report.failures = self._load_checkpoint(
+                checkpoint_path, fingerprint
+            )
+            report.resumed_trials = sum(len(v) for v in results.values())
+            report.completed_trials = report.resumed_trials
+            for failure in report.failures:
+                failed.setdefault(failure.label, set()).add(failure.index)
+
+        since_checkpoint = 0
+
+        def maybe_checkpoint(force: bool = False) -> None:
+            nonlocal since_checkpoint
+            if checkpoint_path is None:
+                return
+            every = self.config.checkpoint_every
+            if force or (every > 0 and since_checkpoint >= every):
+                self._write_checkpoint(
+                    checkpoint_path, fingerprint, results, report.failures
+                )
+                since_checkpoint = 0
+
+        try:
+            for site_index, label in enumerate(sites):
+                done = results.get(label, {})
+                already_failed = failed.get(label, set())
+                for sample in range(n_samples):
+                    if sample in done or sample in already_failed:
+                        continue
+                    trace = self._run_trial(
+                        trial_fn, label, site_index, sample, master_seed, report
+                    )
+                    if trace is not None:
+                        results.setdefault(label, {})[sample] = trace
+                        report.completed_trials += 1
+                        since_checkpoint += 1
+                        if progress is not None:
+                            progress(label, sample)
+                    maybe_checkpoint()
+        except KeyboardInterrupt:
+            maybe_checkpoint(force=True)
+            raise
+        maybe_checkpoint(force=True)
+
+        dataset = Dataset()
+        for label in sites:
+            if label in results:
+                dataset.traces[label] = [
+                    results[label][i] for i in sorted(results[label])
+                ]
+        return dataset, report
+
+
+def collect_resilient(
+    sites: Sequence[str],
+    n_samples: int,
+    pageload_config: Optional[PageLoadConfig] = None,
+    seed: int = 0,
+    runner_config: Optional[RunnerConfig] = None,
+    resume: bool = False,
+    progress: Optional[Callable[[str, int], None]] = None,
+) -> Tuple[Dataset, CollectionReport]:
+    """Convenience wrapper: resilient page-load collection of ``sites``."""
+    runner = ResilientRunner(runner_config)
+    trial_fn = pageload_trial_fn(pageload_config or PageLoadConfig())
+    return runner.collect(
+        sites, n_samples, trial_fn, seed, resume=resume, progress=progress
+    )

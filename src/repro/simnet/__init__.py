@@ -4,13 +4,28 @@ The simulator is intentionally small and fully deterministic: a binary
 heap of timestamped events, links that model serialization plus
 propagation delay, drop-tail queues, and a :class:`~repro.simnet.path.NetworkPath`
 convenience wrapper describing an end-to-end path (rate, RTT, buffer).
+``repro.simnet.faults`` layers composable fault processes (bursty
+loss, link flaps, reordering, duplication, bandwidth degradation) onto
+links for adverse-network experiments.
 
 All higher layers (``repro.stack``, ``repro.web``) are built on this
 package.
 """
 
 from repro.simnet.engine import Event, EventLoop, Simulator
-from repro.simnet.entities import DropTailQueue, Link, Wire
+from repro.simnet.entities import DropTailQueue, Link, LinkStats, Wire
+from repro.simnet.faults import (
+    BandwidthScheduleSpec,
+    BlackoutSpec,
+    DuplicateSpec,
+    FaultPlan,
+    FaultSpec,
+    GilbertElliottSpec,
+    LinkFlapSpec,
+    ReorderSpec,
+    bursty_loss_spec,
+    link_flap_spec,
+)
 from repro.simnet.path import NetworkPath
 
 __all__ = [
@@ -19,6 +34,17 @@ __all__ = [
     "Simulator",
     "DropTailQueue",
     "Link",
+    "LinkStats",
     "Wire",
     "NetworkPath",
+    "FaultPlan",
+    "FaultSpec",
+    "GilbertElliottSpec",
+    "LinkFlapSpec",
+    "BlackoutSpec",
+    "ReorderSpec",
+    "DuplicateSpec",
+    "BandwidthScheduleSpec",
+    "bursty_loss_spec",
+    "link_flap_spec",
 ]

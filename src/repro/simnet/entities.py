@@ -17,11 +17,13 @@ queue; when the queue byte-capacity is exceeded the packet is dropped
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import Any, Callable, Deque, Optional
 
 import numpy as np
 
 from repro.simnet.engine import Simulator
+from repro.simnet.faults import FaultPlan
 from repro.units import serialization_delay
 
 Receiver = Callable[[Any], None]
@@ -99,12 +101,60 @@ class DropTailQueue:
         return packet
 
 
+@dataclass(frozen=True)
+class LinkStats:
+    """A consistent snapshot of one link direction's packet accounting.
+
+    Every packet offered to the link ends in exactly one bucket, so the
+    snapshot satisfies two conservation identities (checked by
+    :meth:`conserved`):
+
+    * ``offered = queue_drops + enqueued``
+    * ``enqueued = queued + in_service + random_losses + fault_losses
+      + in_flight + delivered``
+
+    ``delivered`` counts unique packets; fault-injected ``duplicates``
+    are extra copies on top and deliberately sit outside the identity.
+    """
+
+    offered: int
+    queue_drops: int
+    enqueued: int
+    queued: int
+    in_service: int
+    transmitted: int
+    random_losses: int
+    fault_losses: int
+    in_flight: int
+    delivered: int
+    duplicates: int
+    reordered: int
+
+    def conserved(self) -> bool:
+        """Whether both conservation identities hold."""
+        return (
+            self.offered == self.queue_drops + self.enqueued
+            and self.enqueued
+            == (
+                self.queued
+                + self.in_service
+                + self.random_losses
+                + self.fault_losses
+                + self.in_flight
+                + self.delivered
+            )
+        )
+
+
 class Link:
     """A rate-limited link with a drop-tail buffer and propagation delay.
 
     Optionally applies independent random loss (``loss_rate``) and
     per-packet propagation jitter, both driven by a caller-supplied
-    ``numpy.random.Generator`` so runs are reproducible.
+    ``numpy.random.Generator`` so runs are reproducible.  A
+    :class:`~repro.simnet.faults.FaultPlan` composes richer fault
+    processes on top: bursty loss, flaps, reordering, duplication and
+    time-varying bandwidth degradation.
     """
 
     def __init__(
@@ -117,6 +167,7 @@ class Link:
         loss_rate: float = 0.0,
         jitter: float = 0.0,
         rng: Optional[np.random.Generator] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if rate_bytes_per_sec <= 0:
             raise ValueError(f"link rate must be positive, got {rate_bytes_per_sec}")
@@ -134,9 +185,13 @@ class Link:
         self.loss_rate = loss_rate
         self.jitter = jitter
         self._rng = rng
+        self.faults = faults
         self._busy = False
         self.sent_packets = 0
         self.sent_bytes = 0
+        self.random_losses = 0
+        self.delivered = 0
+        self.in_flight = 0
         #: Simulated time at which the transmitter last went idle; used
         #: to compute utilisation.
         self.busy_time = 0.0
@@ -157,25 +212,62 @@ class Link:
     def _start_next(self) -> None:
         packet = self.queue.pop()
         self._busy = True
-        tx_time = serialization_delay(packet.wire_size, self.rate)
+        rate = self.rate
+        if self.faults is not None:
+            rate *= self.faults.rate_factor(self._sim.now)
+        tx_time = serialization_delay(packet.wire_size, rate)
         self.busy_time += tx_time
         self._sim.schedule(tx_time, lambda: self._tx_done(packet))
 
     def _tx_done(self, packet: Any) -> None:
         self.sent_packets += 1
         self.sent_bytes += packet.wire_size
+        now = self._sim.now
         delay = self.propagation_delay
         if self.jitter > 0:
             delay += float(self._rng.uniform(0.0, self.jitter))
         dropped = self.loss_rate > 0 and float(self._rng.random()) < self.loss_rate
+        if dropped:
+            self.random_losses += 1
+        elif self.faults is not None and self.faults.drops(now):
+            dropped = True
         if not dropped:
-            self._sim.schedule(delay, lambda: self._receiver(packet))
+            if self.faults is not None:
+                delay += self.faults.extra_delay(now)
+                if self.faults.duplicate(now):
+                    self._sim.schedule(delay, lambda: self._receiver(packet))
+            self.in_flight += 1
+            self._sim.schedule(delay, lambda: self._deliver(packet))
         if len(self.queue):
             self._start_next()
         else:
             self._busy = False
 
+    def _deliver(self, packet: Any) -> None:
+        self.in_flight -= 1
+        self.delivered += 1
+        self._receiver(packet)
+
     # -- introspection -----------------------------------------------------
+
+    def stats(self) -> LinkStats:
+        """A conservation-checked accounting snapshot (see
+        :class:`LinkStats`)."""
+        faults = self.faults
+        return LinkStats(
+            offered=self.queue.enqueued + self.queue.dropped,
+            queue_drops=self.queue.dropped,
+            enqueued=self.queue.enqueued,
+            queued=len(self.queue),
+            in_service=1 if self._busy else 0,
+            transmitted=self.sent_packets,
+            random_losses=self.random_losses,
+            fault_losses=faults.fault_losses if faults else 0,
+            in_flight=self.in_flight,
+            delivered=self.delivered,
+            duplicates=faults.duplicated if faults else 0,
+            reordered=faults.reordered if faults else 0,
+        )
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` seconds the transmitter was busy."""

@@ -1,0 +1,396 @@
+"""Fault injection for links: bursty loss, flaps, reordering, degradation.
+
+The paper's Stob argument rests on stack behaviour under *real* network
+conditions — retransmissions and bursty loss reshape the very packet
+sequences k-FP fingerprints.  Independent per-packet loss (the
+``loss_rate`` knob on :class:`~repro.simnet.entities.Link`) is too
+benign a model: real losses cluster (Gilbert–Elliott), links go dark
+for whole RTTs (blackouts/flaps), paths reorder and duplicate, and
+access bandwidth sags under cross traffic.
+
+This module provides those fault processes as small composable
+objects.  The declarative ``*Spec`` dataclasses describe a fault
+configuration (hashable, picklable, safe to embed in experiment
+configs); ``Spec.build(rng)`` materialises the stateful fault process
+for one simulation, seeded from a ``numpy.random.Generator`` so every
+run is reproducible.  A :class:`FaultPlan` composes several faults and
+is what :class:`~repro.simnet.entities.Link` consults on every packet.
+
+All fault queries take the current simulated time and are invoked in
+event order, so time-driven faults (flaps, schedules) advance their
+state lazily and deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Fault:
+    """Base class: a no-op fault.  Subclasses override what they need.
+
+    ``Link`` queries, in order, per transmitted packet:
+
+    * :meth:`rate_factor` while starting serialization (bandwidth
+      degradation; multiplies the link rate),
+    * :meth:`drops` when serialization completes (loss processes),
+    * :meth:`extra_delay` for surviving packets (reordering),
+    * :meth:`duplicate` for surviving packets (duplication).
+    """
+
+    def rate_factor(self, now: float) -> float:
+        """Multiplier applied to the link rate at time ``now``."""
+        return 1.0
+
+    def drops(self, now: float) -> bool:
+        """Whether the packet finishing transmission now is lost."""
+        return False
+
+    def extra_delay(self, now: float) -> float:
+        """Extra propagation delay for this packet (reordering)."""
+        return 0.0
+
+    def duplicate(self, now: float) -> bool:
+        """Whether this packet is delivered twice."""
+        return False
+
+
+class GilbertElliottLoss(Fault):
+    """Two-state Markov (Gilbert–Elliott) bursty loss.
+
+    The chain advances once per transmitted packet: in the *good* state
+    packets are lost with ``loss_good`` (usually 0), in the *bad* state
+    with ``loss_bad``.  Mean burst length is ``1 / p_exit_bad`` packets.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        p_enter_bad: float,
+        p_exit_bad: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 0.5,
+    ) -> None:
+        for name, p in (
+            ("p_enter_bad", p_enter_bad),
+            ("p_exit_bad", p_exit_bad),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        self._rng = rng
+        self.p_enter_bad = p_enter_bad
+        self.p_exit_bad = p_exit_bad
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.bad = False
+        #: Packets seen in the bad state (burst-exposure diagnostic).
+        self.bad_packets = 0
+
+    def drops(self, now: float) -> bool:
+        flip = float(self._rng.random())
+        if self.bad:
+            if flip < self.p_exit_bad:
+                self.bad = False
+        else:
+            if flip < self.p_enter_bad:
+                self.bad = True
+        if self.bad:
+            self.bad_packets += 1
+        loss = self.loss_bad if self.bad else self.loss_good
+        return loss > 0 and float(self._rng.random()) < loss
+
+
+class LinkFlap(Fault):
+    """Alternating up/down periods with exponential durations.
+
+    While down, every packet finishing transmission is lost — the
+    discrete-event analogue of pulling the cable for a moment.  The
+    schedule is sampled lazily from ``rng`` as simulated time advances,
+    so it is deterministic per seed.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        up_mean: float,
+        down_mean: float,
+        start_up: bool = True,
+    ) -> None:
+        if up_mean <= 0 or down_mean <= 0:
+            raise ValueError(
+                f"up/down means must be positive, got {up_mean}/{down_mean}"
+            )
+        self._rng = rng
+        self.up_mean = up_mean
+        self.down_mean = down_mean
+        self.up = start_up
+        self._until = self._sample_duration()
+        self.transitions = 0
+
+    def _sample_duration(self) -> float:
+        mean = self.up_mean if self.up else self.down_mean
+        return float(self._rng.exponential(mean))
+
+    def _advance(self, now: float) -> None:
+        while now >= self._until:
+            self.up = not self.up
+            self.transitions += 1
+            self._until += self._sample_duration()
+
+    def drops(self, now: float) -> bool:
+        self._advance(now)
+        return not self.up
+
+
+class Blackout(Fault):
+    """A single deterministic outage window ``[start, start + duration)``."""
+
+    def __init__(self, start: float, duration: float) -> None:
+        if start < 0 or duration < 0:
+            raise ValueError(
+                f"blackout start/duration must be >= 0, got {start}/{duration}"
+            )
+        self.start = start
+        self.end = start + duration
+
+    def drops(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+class PacketReorder(Fault):
+    """With probability ``prob``, hold a packet back by an extra
+    uniform delay so it lands behind its successors."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        prob: float,
+        delay_low: float,
+        delay_high: float,
+    ) -> None:
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError(f"reorder prob must be in [0, 1], got {prob}")
+        if not 0.0 <= delay_low <= delay_high:
+            raise ValueError(
+                f"need 0 <= delay_low <= delay_high, got {delay_low}/{delay_high}"
+            )
+        self._rng = rng
+        self.prob = prob
+        self.delay_low = delay_low
+        self.delay_high = delay_high
+
+    def extra_delay(self, now: float) -> float:
+        if float(self._rng.random()) < self.prob:
+            return float(self._rng.uniform(self.delay_low, self.delay_high))
+        return 0.0
+
+
+class PacketDuplicate(Fault):
+    """With probability ``prob``, deliver the packet twice."""
+
+    def __init__(self, rng: np.random.Generator, prob: float) -> None:
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError(f"duplicate prob must be in [0, 1], got {prob}")
+        self._rng = rng
+        self.prob = prob
+
+    def duplicate(self, now: float) -> bool:
+        return float(self._rng.random()) < self.prob
+
+
+class BandwidthSchedule(Fault):
+    """Piecewise-constant link-rate degradation.
+
+    ``stages`` is a sequence of ``(start_time, factor)`` pairs; the
+    factor of the latest stage at or before ``now`` multiplies the link
+    rate (1.0 before the first stage).  Factors must be positive —
+    "link fully down" is a flap/blackout, not a zero rate.
+    """
+
+    def __init__(self, stages: Sequence[Tuple[float, float]]) -> None:
+        stages = sorted((float(t), float(f)) for t, f in stages)
+        for when, factor in stages:
+            if when < 0:
+                raise ValueError(f"stage times must be >= 0, got {when}")
+            if factor <= 0:
+                raise ValueError(f"rate factors must be positive, got {factor}")
+        self.stages = stages
+
+    def rate_factor(self, now: float) -> float:
+        factor = 1.0
+        for when, stage_factor in self.stages:
+            if now >= when:
+                factor = stage_factor
+            else:
+                break
+        return factor
+
+
+class FaultPlan:
+    """A composition of faults consulted by one :class:`Link` direction.
+
+    Aggregates the per-category counters the :class:`LinkStats`
+    snapshot reports (fault losses, reorders, duplicates).
+    """
+
+    def __init__(self, faults: Sequence[Fault]) -> None:
+        self.faults: List[Fault] = list(faults)
+        self.fault_losses = 0
+        self.reordered = 0
+        self.duplicated = 0
+
+    def rate_factor(self, now: float) -> float:
+        factor = 1.0
+        for fault in self.faults:
+            factor *= fault.rate_factor(now)
+        return factor
+
+    def drops(self, now: float) -> bool:
+        # Every loss process advances its state even when an earlier
+        # one already claimed the packet, so the processes stay
+        # independent of composition order.
+        dropped = False
+        for fault in self.faults:
+            if fault.drops(now):
+                dropped = True
+        if dropped:
+            self.fault_losses += 1
+        return dropped
+
+    def extra_delay(self, now: float) -> float:
+        delay = 0.0
+        for fault in self.faults:
+            delay += fault.extra_delay(now)
+        if delay > 0:
+            self.reordered += 1
+        return delay
+
+    def duplicate(self, now: float) -> bool:
+        duplicated = False
+        for fault in self.faults:
+            if fault.duplicate(now):
+                duplicated = True
+        if duplicated:
+            self.duplicated += 1
+        return duplicated
+
+
+# -- declarative specs ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GilbertElliottSpec:
+    """Parameters of a :class:`GilbertElliottLoss` process."""
+
+    p_enter_bad: float = 0.01
+    p_exit_bad: float = 0.25
+    loss_good: float = 0.0
+    loss_bad: float = 0.5
+
+    def build(self, rng: np.random.Generator) -> Fault:
+        return GilbertElliottLoss(
+            rng, self.p_enter_bad, self.p_exit_bad, self.loss_good, self.loss_bad
+        )
+
+
+@dataclass(frozen=True)
+class LinkFlapSpec:
+    """Parameters of a :class:`LinkFlap` process (seconds)."""
+
+    up_mean: float = 5.0
+    down_mean: float = 0.2
+    start_up: bool = True
+
+    def build(self, rng: np.random.Generator) -> Fault:
+        return LinkFlap(rng, self.up_mean, self.down_mean, self.start_up)
+
+
+@dataclass(frozen=True)
+class BlackoutSpec:
+    """A fixed outage window."""
+
+    start: float = 1.0
+    duration: float = 0.5
+
+    def build(self, rng: np.random.Generator) -> Fault:
+        return Blackout(self.start, self.duration)
+
+
+@dataclass(frozen=True)
+class ReorderSpec:
+    """Parameters of a :class:`PacketReorder` process."""
+
+    prob: float = 0.01
+    delay_low: float = 0.001
+    delay_high: float = 0.01
+
+    def build(self, rng: np.random.Generator) -> Fault:
+        return PacketReorder(rng, self.prob, self.delay_low, self.delay_high)
+
+
+@dataclass(frozen=True)
+class DuplicateSpec:
+    """Parameters of a :class:`PacketDuplicate` process."""
+
+    prob: float = 0.005
+
+    def build(self, rng: np.random.Generator) -> Fault:
+        return PacketDuplicate(rng, self.prob)
+
+
+@dataclass(frozen=True)
+class BandwidthScheduleSpec:
+    """Piecewise-constant rate-degradation stages."""
+
+    stages: Tuple[Tuple[float, float], ...] = ((0.0, 1.0),)
+
+    def build(self, rng: np.random.Generator) -> Fault:
+        return BandwidthSchedule(self.stages)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A declarative bundle of fault specs for one network path.
+
+    ``build_plan`` materialises an independent :class:`FaultPlan` (one
+    per link direction); each constituent fault gets its own child
+    generator spawned from ``rng`` so faults never share random
+    streams.
+    """
+
+    specs: Tuple[object, ...] = ()
+
+    def __post_init__(self) -> None:
+        for spec in self.specs:
+            if not hasattr(spec, "build"):
+                raise TypeError(f"not a fault spec: {spec!r}")
+
+    def build_plan(self, rng: np.random.Generator) -> Optional[FaultPlan]:
+        if not self.specs:
+            return None
+        children = rng.spawn(len(self.specs))
+        return FaultPlan(
+            [spec.build(child) for spec, child in zip(self.specs, children)]
+        )
+
+
+#: Canonical adverse-network conditions used by the experiments layer.
+def bursty_loss_spec(
+    p_enter_bad: float = 0.02,
+    p_exit_bad: float = 0.3,
+    loss_bad: float = 0.4,
+) -> FaultSpec:
+    """A Gilbert–Elliott bursty-loss condition."""
+    return FaultSpec(
+        (GilbertElliottSpec(p_enter_bad, p_exit_bad, 0.0, loss_bad),)
+    )
+
+
+def link_flap_spec(up_mean: float = 2.0, down_mean: float = 0.05) -> FaultSpec:
+    """A flapping-link condition (mostly up, brief dark windows)."""
+    return FaultSpec((LinkFlapSpec(up_mean, down_mean),))

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.simnet.engine import Simulator
 from repro.simnet.entities import Link
+from repro.simnet.faults import FaultSpec
 from repro.units import ETHERNET_MTU, gbps, msec
 
 
@@ -38,6 +39,11 @@ class NetworkPath:
         Independent random loss probability per packet per direction.
     jitter:
         Maximum uniform extra propagation delay per packet (seconds).
+    fault_spec:
+        Optional :class:`~repro.simnet.faults.FaultSpec` describing
+        richer fault processes (bursty loss, flaps, reordering,
+        duplication, bandwidth degradation) materialised independently
+        per direction when the links are built.
     """
 
     rate: float = gbps(1)
@@ -45,6 +51,7 @@ class NetworkPath:
     buffer_bdp: float = 1.0
     loss_rate: float = 0.0
     jitter: float = 0.0
+    fault_spec: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
@@ -84,8 +91,15 @@ class NetworkPath:
         data-transfer direction the forward link is the bottleneck
         because ACKs are small.
         """
-        if (self.loss_rate > 0 or self.jitter > 0) and rng is None:
+        needs_rng = (
+            self.loss_rate > 0 or self.jitter > 0 or self.fault_spec is not None
+        )
+        if needs_rng and rng is None:
             rng = np.random.default_rng(0)
+        forward_faults = reverse_faults = None
+        if self.fault_spec is not None:
+            forward_faults = self.fault_spec.build_plan(rng)
+            reverse_faults = self.fault_spec.build_plan(rng)
         forward = Link(
             sim,
             rate_bytes_per_sec=self.rate,
@@ -95,6 +109,7 @@ class NetworkPath:
             loss_rate=self.loss_rate,
             jitter=self.jitter,
             rng=rng,
+            faults=forward_faults,
         )
         reverse = Link(
             sim,
@@ -105,5 +120,6 @@ class NetworkPath:
             loss_rate=self.loss_rate,
             jitter=self.jitter,
             rng=rng,
+            faults=reverse_faults,
         )
         return forward, reverse

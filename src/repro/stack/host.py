@@ -19,7 +19,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.simnet.engine import Simulator
-from repro.simnet.entities import Link
+from repro.simnet.entities import Link, LinkStats
 from repro.simnet.path import NetworkPath
 from repro.stack.nic import Cpu, CpuModel, Nic
 from repro.stack.packet import Packet
@@ -108,6 +108,13 @@ class TcpFlow:
     def connect(self) -> None:
         """Start the client's handshake."""
         self.client.connect()
+
+    def link_stats(self) -> Dict[str, "LinkStats"]:
+        """Conservation-checked accounting for both link directions."""
+        return {
+            "forward": self.forward_link.stats(),
+            "reverse": self.reverse_link.stats(),
+        }
 
 
 def link_hosts(

@@ -15,7 +15,15 @@ transforms the paper emulates.
 
 from repro.web.objects import PageSample, SiteProfile
 from repro.web.sites import SITE_CATALOG, site_names
-from repro.web.pageload import PageLoadConfig, load_page, collect_dataset
+from repro.web.pageload import (
+    PageLoadConfig,
+    PageLoadResult,
+    PageLoadStalled,
+    collect_dataset,
+    load_page,
+    load_page_result,
+    load_page_strict,
+)
 from repro.web.tracegen import StatisticalTraceGenerator
 
 __all__ = [
@@ -24,7 +32,11 @@ __all__ = [
     "SITE_CATALOG",
     "site_names",
     "PageLoadConfig",
+    "PageLoadResult",
+    "PageLoadStalled",
     "load_page",
+    "load_page_result",
+    "load_page_strict",
     "collect_dataset",
     "StatisticalTraceGenerator",
 ]

@@ -6,10 +6,17 @@ with server think times and client parse times, captured by a
 :class:`~repro.capture.trace.TraceObserver` on the client's access
 link — the same vantage point as the paper's tcpdump capture.
 
+A load that does not finish inside ``config.max_duration`` simulated
+seconds is a *stall*, not a shorter page: :func:`load_page_result`
+reports ``completed=False`` with diagnostics, and strict callers (the
+resilient experiment runner) get a structured :class:`PageLoadStalled`
+instead of a silently truncated trace.
+
 :func:`collect_dataset` repeats this for every site and sample count,
 with per-visit path jitter (RTT and bandwidth vary between visits the
 way consecutive real fetches do), producing the raw dataset the
-Table-2 pipeline sanitises.
+Table-2 pipeline sanitises.  Stalled visits are dropped and counted —
+partial traces never enter a dataset.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ import numpy as np
 from repro.capture.dataset import Dataset
 from repro.capture.trace import Trace, TraceObserver
 from repro.simnet.engine import Simulator
+from repro.simnet.faults import FaultSpec
 from repro.simnet.path import NetworkPath
 from repro.stack.host import TcpFlow, make_flow
 from repro.stack.tcp import TcpConfig
@@ -44,10 +52,12 @@ class PageLoadConfig:
     loss_rate: float = 0.0
     #: TCP config applied to both ends.
     cc: str = "cubic"
-    #: Hard cap on simulated seconds per load (hung-load guard).
+    #: Hard cap on simulated seconds per load (stall guard).
     max_duration: float = 60.0
     #: How many requests are pipelined back-to-back in one round.
     pipeline_depth: int = 6
+    #: Optional fault processes injected on both path directions.
+    fault_spec: Optional[FaultSpec] = None
 
     def sample_path(self, rng: np.random.Generator) -> NetworkPath:
         """Draw this visit's path (rate/RTT jittered)."""
@@ -62,7 +72,50 @@ class PageLoadConfig:
             rtt=msec(max(rtt, 1.0)),
             buffer_bdp=self.buffer_bdp,
             loss_rate=self.loss_rate,
+            fault_spec=self.fault_spec,
         )
+
+
+@dataclass
+class PageLoadResult:
+    """Outcome of one simulated visit.
+
+    ``completed`` distinguishes a real page load from one truncated at
+    the ``max_duration`` guard; the remaining fields are the stall
+    diagnostics an operator (or the resilient runner's failure log)
+    needs to tell *where* a load got stuck.
+    """
+
+    trace: Trace
+    completed: bool
+    sim_time: float
+    rounds_completed: int
+    total_rounds: int
+    bytes_received: int
+    events_processed: int
+
+    def stall_summary(self) -> str:
+        """One-line diagnostic used in failure logs."""
+        return (
+            f"round {self.rounds_completed}/{self.total_rounds}, "
+            f"{self.bytes_received} B received, "
+            f"sim_time={self.sim_time:.1f}s, "
+            f"events={self.events_processed}"
+        )
+
+
+class PageLoadStalled(RuntimeError):
+    """A page load hit its deadline without completing.
+
+    Carries the partial :class:`PageLoadResult` so callers can log
+    structured diagnostics without ever treating the truncated trace
+    as a valid sample.
+    """
+
+    def __init__(self, site: str, result: PageLoadResult) -> None:
+        super().__init__(f"page load of {site!r} stalled: {result.stall_summary()}")
+        self.site = site
+        self.result = result
 
 
 class _PageLoadSession:
@@ -97,6 +150,20 @@ class _PageLoadSession:
         flow.client.on_data(self._client_data)
         flow.client.on_established = self._start
         flow.connect()
+
+    @property
+    def rounds_completed(self) -> int:
+        """Fully downloaded request/response rounds."""
+        return max(0, self._round if not self.completed else len(self._page.rounds))
+
+    @property
+    def bytes_received(self) -> int:
+        """Application bytes the client has received so far."""
+        return self._client_received
+
+    @property
+    def total_rounds(self) -> int:
+        return len(self._page.rounds)
 
     # -- client side ------------------------------------------------------------
 
@@ -165,18 +232,23 @@ class _PageLoadSession:
         return send
 
 
-def load_page(
+def load_page_result(
     profile: SiteProfile,
     config: Optional[PageLoadConfig] = None,
     rng: Optional[np.random.Generator] = None,
     server_controller: Optional[StobController] = None,
     client_controller: Optional[StobController] = None,
-) -> Trace:
-    """Simulate one visit and return the observed trace.
+    watchdog: Optional[Callable[[], None]] = None,
+) -> PageLoadResult:
+    """Simulate one visit and return the full :class:`PageLoadResult`.
 
     ``server_controller``/``client_controller`` optionally install Stob
     on either endpoint, producing *stack-enforced* defended traces (as
     opposed to the paper's post-hoc trace emulation).
+
+    ``watchdog`` is called between simulation slices; it may raise
+    (e.g. a wall-clock deadline in the resilient runner) to abort a
+    load that is burning real time.
     """
     config = config or PageLoadConfig()
     rng = rng or np.random.default_rng(0)
@@ -205,15 +277,62 @@ def load_page(
     def finish() -> None:
         done["flag"] = True
 
-    _PageLoadSession(sim, flow, page, config.pipeline_depth, finish)
+    session = _PageLoadSession(sim, flow, page, config.pipeline_depth, finish)
     # Run until the page completes (plus trailing ACKs) or the guard.
     step = 0.1
     while not done["flag"] and sim.now < config.max_duration:
+        if watchdog is not None:
+            watchdog()
         sim.run(until=min(sim.now + step, config.max_duration))
     if done["flag"]:
         # Drain trailing ACKs/retransmissions.
         sim.run(until=sim.now + 4 * path.rtt)
-    return observer.trace()
+    return PageLoadResult(
+        trace=observer.trace(),
+        completed=done["flag"],
+        sim_time=sim.now,
+        rounds_completed=session.rounds_completed,
+        total_rounds=session.total_rounds,
+        bytes_received=session.bytes_received,
+        events_processed=sim.processed_events,
+    )
+
+
+def load_page(
+    profile: SiteProfile,
+    config: Optional[PageLoadConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+    server_controller: Optional[StobController] = None,
+    client_controller: Optional[StobController] = None,
+) -> Trace:
+    """Simulate one visit and return the observed trace.
+
+    Thin compatibility wrapper over :func:`load_page_result`; callers
+    that must distinguish completed from deadline-truncated loads use
+    the result API (or :func:`load_page_strict`).
+    """
+    return load_page_result(
+        profile, config, rng, server_controller, client_controller
+    ).trace
+
+
+def load_page_strict(
+    profile: SiteProfile,
+    site: str,
+    config: Optional[PageLoadConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+    server_controller: Optional[StobController] = None,
+    client_controller: Optional[StobController] = None,
+    watchdog: Optional[Callable[[], None]] = None,
+) -> Trace:
+    """Like :func:`load_page` but raises :class:`PageLoadStalled`
+    instead of returning a deadline-truncated trace."""
+    result = load_page_result(
+        profile, config, rng, server_controller, client_controller, watchdog
+    )
+    if not result.completed:
+        raise PageLoadStalled(site, result)
+    return result.trace
 
 
 def collect_dataset(
@@ -222,8 +341,17 @@ def collect_dataset(
     config: Optional[PageLoadConfig] = None,
     seed: int = 0,
     progress: Optional[Callable[[str, int], None]] = None,
+    stall_log: Optional[List[PageLoadStalled]] = None,
 ) -> Dataset:
-    """Collect ``n_samples`` visits of each site (the paper's 100)."""
+    """Collect ``n_samples`` visits of each site (the paper's 100).
+
+    Stalled loads are dropped — a deadline-truncated trace is not a
+    shorter page load and would poison the dataset.  Each stall is
+    appended to ``stall_log`` (when given) so callers can report how
+    many visits were discarded; the resilient runner in
+    :mod:`repro.experiments.runner` adds retries and checkpointing on
+    top of this primitive.
+    """
     config = config or PageLoadConfig()
     dataset = Dataset()
     labels = sites or sorted(SITE_CATALOG)
@@ -232,8 +360,12 @@ def collect_dataset(
         profile = SITE_CATALOG[label]
         for index in range(n_samples):
             rng = np.random.default_rng(root.integers(0, 2**63))
-            trace = load_page(profile, config, rng)
-            dataset.add(label, trace)
+            result = load_page_result(profile, config, rng)
+            if not result.completed:
+                if stall_log is not None:
+                    stall_log.append(PageLoadStalled(label, result))
+                continue
+            dataset.add(label, result.trace)
             if progress is not None:
                 progress(label, index)
     return dataset

@@ -1,0 +1,83 @@
+"""Adverse-network experiment tests (tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.adverse_network import (
+    AdverseConfig,
+    default_conditions,
+    format_adverse,
+    run_adverse,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import RetryPolicy, RunnerConfig
+from repro.web.pageload import PageLoadConfig
+
+TINY_SITES = ["bing.com", "github.com", "wikipedia.org"]
+
+
+def tiny_config(**kwargs) -> AdverseConfig:
+    base = ExperimentConfig(
+        n_samples=6, n_folds=2, n_estimators=12, balance_to=4, seed=11
+    )
+    return AdverseConfig(base=base, sites=TINY_SITES, **kwargs)
+
+
+def test_default_conditions_cover_the_grid():
+    conditions = default_conditions()
+    assert set(conditions) == {"clean", "bursty", "flap"}
+    assert conditions["clean"] is None
+    assert conditions["bursty"] is not None and conditions["flap"] is not None
+
+
+def test_run_adverse_produces_full_grid_and_reports():
+    result = run_adverse(tiny_config())
+    for condition in ("clean", "bursty", "flap"):
+        for defense in ("original", "split", "delayed", "combined"):
+            cell = result.cells[(condition, defense)]
+            assert 0.0 <= cell.mean <= 1.0
+            assert cell.fold_scores
+        report = result.reports[condition]
+        assert report.completed_trials + report.dropped_trials == len(TINY_SITES) * 6
+    rendered = format_adverse(result)
+    assert "clean" in rendered and "bursty" in rendered and "flap" in rendered
+    assert "Collection reliability" in rendered
+
+
+def test_run_adverse_is_deterministic():
+    subset = {"bursty": default_conditions()["bursty"]}
+    first = run_adverse(tiny_config(conditions=subset))
+    second = run_adverse(tiny_config(conditions=subset))
+    for key, cell in first.cells.items():
+        assert cell.fold_scores == second.cells[key].fold_scores, key
+
+
+def test_run_adverse_checkpoints_per_condition(tmp_path):
+    config = tiny_config(
+        conditions={"clean": None},
+        checkpoint_dir=str(tmp_path),
+        runner=RunnerConfig(retry=RetryPolicy(max_attempts=2), checkpoint_every=1),
+    )
+    run_adverse(config)
+    assert (tmp_path / "adverse_clean.ckpt.npz").exists()
+    assert (tmp_path / "adverse_clean.ckpt.npz.manifest.json").exists()
+    # Resuming a completed run is a no-op that reuses the checkpoint.
+    result = run_adverse(config, resume=True)
+    report = result.reports["clean"]
+    assert report.resumed_trials == report.completed_trials
+
+
+def test_stalls_under_faults_reduce_samples_not_poison():
+    """With an absurdly tight sim deadline every load stalls; the
+    experiment must fail with a clear reliability message, never
+    ingest partial traces."""
+    base = ExperimentConfig(n_samples=2, n_folds=2, seed=3)
+    base.pageload = PageLoadConfig(max_duration=0.05)
+    config = AdverseConfig(
+        base=base,
+        sites=["bing.com"],
+        conditions={"clean": None},
+        runner=RunnerConfig(retry=RetryPolicy(max_attempts=2, backoff_base=0.0)),
+    )
+    with pytest.raises(RuntimeError, match="zero usable traces"):
+        run_adverse(config)

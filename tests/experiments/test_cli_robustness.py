@@ -1,0 +1,118 @@
+"""CLI consistency: --seed/--out/--resume everywhere, parser.error
+instead of tracebacks, and the adverse subcommand."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_adverse_subcommand_registered():
+    text = build_parser().format_help()
+    assert "adverse" in text
+
+
+@pytest.mark.parametrize(
+    "command", ["collect", "table2", "censorship", "quic-vs-tcp", "enforcement", "adverse"]
+)
+def test_dataset_producing_subcommands_accept_seed_out_resume(command):
+    parser = build_parser()
+    text = None
+    for action in parser._subparsers._group_actions[0].choices.items():
+        if action[0] == command:
+            text = action[1].format_help()
+    assert text is not None
+    for option in ("--seed", "--out", "--resume", "--checkpoint"):
+        assert option in text, f"{command} must accept {option}"
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["table2", "--samples", "0"],
+        ["collect", "--seed", "-3"],
+        ["table2", "--dataset", "/nonexistent/file.npz"],
+        ["table2", "--resume"],  # --resume without --checkpoint
+        ["table2", "--resume", "--checkpoint", "x.npz", "--dataset", "d.npz"],
+        ["figure3", "--alphas", "ten,20"],
+        ["adverse", "--conditions", "clean,marsquake"],
+    ],
+)
+def test_bad_arguments_exit_via_parser_error(argv, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2  # argparse error exit, not a traceback
+    err = capsys.readouterr().err
+    assert "usage:" in err or "error:" in err
+
+
+def test_collect_with_checkpoint_then_resume(tmp_path, capsys):
+    out = str(tmp_path / "tiny.npz")
+    ckpt = str(tmp_path / "tiny.ckpt.npz")
+    assert main([
+        "collect", "--samples", "1", "--seed", "2",
+        "--out", out, "--checkpoint", ckpt,
+    ]) == 0
+    assert (tmp_path / "tiny.ckpt.npz").exists()
+    # Resuming the finished run re-saves the same dataset from checkpoint.
+    assert main([
+        "collect", "--samples", "1", "--seed", "2",
+        "--out", out, "--checkpoint", ckpt, "--resume",
+    ]) == 0
+    from repro.capture.serialize import load_dataset
+
+    assert load_dataset(out).num_traces == 9
+
+
+def test_resilient_collect_cli_is_deterministic(tmp_path):
+    from repro.capture.serialize import load_dataset
+
+    paths = []
+    for name in ("a.npz", "b.npz"):
+        out = str(tmp_path / name)
+        assert main([
+            "collect", "--samples", "1", "--seed", "5",
+            "--out", out, "--checkpoint", str(tmp_path / (name + ".ckpt")),
+        ]) == 0
+        paths.append(out)
+    first, second = (load_dataset(p) for p in paths)
+    assert first.labels == second.labels
+    for label in first.labels:
+        for t1, t2 in zip(first.traces[label], second.traces[label]):
+            assert np.array_equal(t1.times, t2.times)
+            assert np.array_equal(t1.sizes, t2.sizes)
+
+
+def test_out_writes_results_file(tmp_path, monkeypatch):
+    import repro.experiments.table2 as t2
+
+    monkeypatch.setattr(t2, "run_table2", lambda config, dataset=None: {})
+    monkeypatch.setattr(t2, "format_table2", lambda table: "TABLE2 RENDERED")
+    monkeypatch.setattr(
+        "repro.cli._load_or_collect", lambda args, config: object()
+    )
+    out = str(tmp_path / "results" / "table2.txt")
+    assert main(["table2", "--out", out]) == 0
+    assert (tmp_path / "results" / "table2.txt").read_text() == "TABLE2 RENDERED\n"
+
+
+def test_adverse_cli_runs_tiny_grid(tmp_path, monkeypatch):
+    """End-to-end `repro adverse` on a stubbed-down grid."""
+    import repro.experiments.adverse_network as adv
+
+    def fake_run(config, resume=False):
+        from repro.experiments.adverse_network import AdverseCell, AdverseResult
+        from repro.experiments.runner import CollectionReport
+
+        cells = {
+            (c, d): AdverseCell(c, d, 0.5, 0.01, [0.5])
+            for c in ("clean", "bursty", "flap")
+            for d in ("original", "split", "delayed", "combined")
+        }
+        return AdverseResult(cells=cells, reports={"clean": CollectionReport()})
+
+    monkeypatch.setattr(adv, "run_adverse", fake_run)
+    out = str(tmp_path / "adverse.txt")
+    assert main(["adverse", "--samples", "2", "--out", out]) == 0
+    text = (tmp_path / "adverse.txt").read_text()
+    assert "Adverse-network" in text and "bursty" in text

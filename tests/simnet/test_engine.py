@@ -107,3 +107,93 @@ def test_simulator_packet_ids_unique_and_increasing():
     ids = [sim.next_packet_id() for _ in range(100)]
     assert ids == sorted(ids)
     assert len(set(ids)) == 100
+
+
+# -- run() edge cases ---------------------------------------------------------
+
+
+def test_run_until_with_cancelled_head_event():
+    """A cancelled head must not block `until` from advancing the clock
+    nor shadow a live event behind it."""
+    loop = EventLoop()
+    fired = []
+    head = loop.schedule(1.0, lambda: fired.append("cancelled"))
+    loop.schedule(1.5, lambda: fired.append("live"))
+    head.cancel()
+    loop.run(until=2.0)
+    assert fired == ["live"]
+    assert loop.now == 2.0
+    assert loop.processed_events == 1
+
+
+def test_run_until_with_all_events_cancelled_advances_clock():
+    loop = EventLoop()
+    events = [loop.schedule(float(t), lambda: None) for t in (1, 2, 3)]
+    for event in events:
+        event.cancel()
+    loop.run(until=5.0)
+    assert loop.now == 5.0
+    assert loop.processed_events == 0
+    assert loop.pending_events == 0
+
+
+def test_max_events_does_not_count_cancelled_events():
+    """Lazy-deleted events are skipped without consuming the budget."""
+    loop = EventLoop()
+    fired = []
+    for i in range(6):
+        event = loop.schedule(float(i + 1), lambda i=i: fired.append(i))
+        if i % 2 == 0:
+            event.cancel()
+    loop.run(max_events=2)
+    assert fired == [1, 3]
+
+
+def test_max_events_zero_executes_nothing():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(1.0, lambda: fired.append("x"))
+    loop.run(max_events=0)
+    assert fired == []
+    assert loop.pending_events == 1
+
+
+def test_run_until_exact_event_time_fires_the_event():
+    """`until` is inclusive: an event at exactly `until` executes."""
+    loop = EventLoop()
+    fired = []
+    loop.schedule(2.0, lambda: fired.append(loop.now))
+    loop.run(until=2.0)
+    assert fired == [2.0]
+    assert loop.now == 2.0
+
+
+def test_repeated_run_until_advances_clock_exactly_and_monotonically():
+    """Slice-stepping (the page-load driver pattern) must land the clock
+    on every boundary exactly, and a shorter `until` must never move
+    the clock backwards."""
+    loop = EventLoop()
+    fired = []
+    loop.schedule(0.25, lambda: fired.append(loop.now))
+    loop.schedule(0.75, lambda: fired.append(loop.now))
+    for boundary in (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8):
+        loop.run(until=boundary)
+        assert loop.now == boundary
+    loop.run(until=0.5)  # earlier than now: a no-op, not a rewind
+    assert loop.now == 0.8
+    assert fired == [0.25, 0.75]
+
+
+def test_events_scheduled_mid_run_respect_until():
+    loop = EventLoop()
+    fired = []
+
+    def reschedule():
+        fired.append("first")
+        loop.schedule(2.0, lambda: fired.append("late"))
+
+    loop.schedule(0.5, reschedule)
+    loop.run(until=1.0)
+    assert fired == ["first"]
+    loop.run()
+    assert fired == ["first", "late"]

@@ -1,0 +1,240 @@
+"""Fault-injection unit tests + link conservation integration."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.entities import Link
+from repro.simnet.faults import (
+    BandwidthSchedule,
+    BandwidthScheduleSpec,
+    Blackout,
+    DuplicateSpec,
+    FaultPlan,
+    FaultSpec,
+    GilbertElliottLoss,
+    GilbertElliottSpec,
+    LinkFlap,
+    LinkFlapSpec,
+    PacketDuplicate,
+    PacketReorder,
+    ReorderSpec,
+    bursty_loss_spec,
+    link_flap_spec,
+)
+
+
+@dataclass
+class FakePacket:
+    wire_size: int
+
+
+def test_gilbert_elliott_losses_are_bursty():
+    """GE losses must cluster: observed burst lengths should exceed the
+    independent-loss expectation for the same overall loss rate."""
+    rng = np.random.default_rng(0)
+    ge = GilbertElliottLoss(rng, p_enter_bad=0.02, p_exit_bad=0.2, loss_bad=0.9)
+    drops = [ge.drops(now=i * 0.001) for i in range(20000)]
+    rate = np.mean(drops)
+    assert 0.02 < rate < 0.4
+    # Mean run length of consecutive drops.
+    runs, current = [], 0
+    for d in drops:
+        if d:
+            current += 1
+        elif current:
+            runs.append(current)
+            current = 0
+    assert np.mean(runs) > 1.5, "losses should arrive in bursts"
+
+
+def test_gilbert_elliott_rejects_bad_probs():
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(np.random.default_rng(0), p_enter_bad=1.5, p_exit_bad=0.1)
+
+
+def test_link_flap_alternates_and_is_deterministic():
+    def observe(seed):
+        flap = LinkFlap(np.random.default_rng(seed), up_mean=1.0, down_mean=1.0)
+        return [flap.drops(t) for t in np.linspace(0, 50, 500)]
+
+    first = observe(7)
+    assert observe(7) == first
+    assert any(first) and not all(first), "link must both flap and recover"
+
+
+def test_link_flap_rejects_nonpositive_means():
+    with pytest.raises(ValueError):
+        LinkFlap(np.random.default_rng(0), up_mean=0.0, down_mean=1.0)
+
+
+def test_blackout_window():
+    blackout = Blackout(start=1.0, duration=0.5)
+    assert not blackout.drops(0.9)
+    assert blackout.drops(1.0)
+    assert blackout.drops(1.49)
+    assert not blackout.drops(1.5)
+
+
+def test_reorder_delay_bounds():
+    reorder = PacketReorder(
+        np.random.default_rng(3), prob=1.0, delay_low=0.01, delay_high=0.02
+    )
+    delays = [reorder.extra_delay(0.0) for _ in range(100)]
+    assert all(0.01 <= d <= 0.02 for d in delays)
+
+
+def test_duplicate_probability_zero_and_one():
+    rng = np.random.default_rng(0)
+    assert not PacketDuplicate(rng, 0.0).duplicate(0.0)
+    assert PacketDuplicate(rng, 1.0).duplicate(0.0)
+
+
+def test_bandwidth_schedule_stages():
+    schedule = BandwidthSchedule([(1.0, 0.5), (2.0, 0.1)])
+    assert schedule.rate_factor(0.0) == 1.0
+    assert schedule.rate_factor(1.5) == 0.5
+    assert schedule.rate_factor(5.0) == 0.1
+
+
+def test_bandwidth_schedule_rejects_zero_factor():
+    with pytest.raises(ValueError):
+        BandwidthSchedule([(0.0, 0.0)])
+
+
+def test_fault_spec_builds_independent_plans():
+    spec = FaultSpec((GilbertElliottSpec(), LinkFlapSpec(), ReorderSpec()))
+    rng = np.random.default_rng(5)
+    first, second = spec.build_plan(rng), spec.build_plan(rng)
+    assert first is not second
+    assert len(first.faults) == 3
+
+
+def test_fault_spec_rejects_non_specs():
+    with pytest.raises(TypeError):
+        FaultSpec((42,))
+
+
+def test_empty_fault_spec_builds_no_plan():
+    assert FaultSpec(()).build_plan(np.random.default_rng(0)) is None
+
+
+def test_canonical_condition_helpers():
+    assert bursty_loss_spec().specs
+    assert link_flap_spec().specs
+
+
+# -- link integration ---------------------------------------------------------
+
+
+def test_link_fault_losses_counted_and_conserved():
+    sim = Simulator()
+    plan = FaultPlan([Blackout(start=0.0, duration=1e9)])  # drops everything
+    got = []
+    link = Link(sim, 1e6, 0.0, got.append, faults=plan)
+    for _ in range(10):
+        link.send(FakePacket(100))
+    sim.run()
+    assert got == []
+    stats = link.stats()
+    assert stats.fault_losses == 10
+    assert stats.delivered == 0
+    assert stats.conserved()
+
+
+def test_link_duplicates_deliver_twice():
+    sim = Simulator()
+    rng = np.random.default_rng(0)
+    plan = FaultPlan([PacketDuplicate(rng, prob=1.0)])
+    got = []
+    link = Link(sim, 1e6, 0.0, got.append, faults=plan)
+    for _ in range(5):
+        link.send(FakePacket(100))
+    sim.run()
+    assert len(got) == 10
+    stats = link.stats()
+    assert stats.delivered == 5 and stats.duplicates == 5
+    assert stats.conserved()
+
+
+def test_link_reorder_actually_reorders():
+    sim = Simulator()
+    rng = np.random.default_rng(1)
+    plan = FaultPlan([PacketReorder(rng, prob=0.5, delay_low=0.05, delay_high=0.1)])
+    got = []
+    link = Link(
+        sim, 1e7, 0.001,
+        lambda p: got.append(p.wire_size), faults=plan,
+    )
+    for i in range(50):
+        link.send(FakePacket(100 + i))
+    sim.run()
+    assert sorted(got) == [100 + i for i in range(50)]
+    assert got != sorted(got), "some packets must arrive out of order"
+    assert link.stats().conserved()
+
+
+def test_bandwidth_degradation_slows_the_link():
+    def finish_time(factor):
+        sim = Simulator()
+        plan = FaultPlan([BandwidthSchedule([(0.0, factor)])])
+        link = Link(sim, 1e4, 0.0, lambda p: None, faults=plan)
+        for _ in range(10):
+            link.send(FakePacket(100))
+        sim.run()
+        return sim.now
+
+    assert finish_time(0.5) == pytest.approx(2 * finish_time(1.0))
+
+
+def test_link_stats_conserved_with_random_loss_mid_flight():
+    sim = Simulator()
+    rng = np.random.default_rng(9)
+    link = Link(sim, 1e5, 0.5, lambda p: None, loss_rate=0.3, rng=rng)
+    for _ in range(40):
+        link.send(FakePacket(500))
+    sim.run(until=0.15)  # some in service, some in flight, none delivered
+    mid = link.stats()
+    assert mid.conserved()
+    assert mid.in_flight + mid.in_service + mid.queued > 0
+    sim.run()
+    final = link.stats()
+    assert final.conserved()
+    assert final.in_flight == 0 and final.queued == 0
+    assert final.random_losses > 0 and final.delivered > 0
+
+
+def test_conservation_integration_full_tcp_flow_over_faulty_path():
+    """End-to-end conservation: a real TCP page-load-sized transfer over
+    a bursty+flapping+duplicating path keeps every link's accounting
+    balanced (sent = delivered + dropped + in-flight)."""
+    from repro.simnet.path import NetworkPath
+    from repro.stack.host import make_flow
+    from repro.units import mbps, msec
+
+    sim = Simulator()
+    spec = FaultSpec(
+        (
+            GilbertElliottSpec(p_enter_bad=0.05, p_exit_bad=0.3, loss_bad=0.5),
+            LinkFlapSpec(up_mean=0.3, down_mean=0.05),
+            DuplicateSpec(prob=0.02),
+            ReorderSpec(prob=0.05, delay_low=0.001, delay_high=0.01),
+            BandwidthScheduleSpec(stages=((0.5, 0.5),)),
+        )
+    )
+    path = NetworkPath(rate=mbps(10), rtt=msec(20), fault_spec=spec)
+    flow = make_flow(sim, path, rng=np.random.default_rng(11))
+    received = []
+    flow.server.on_data(received.append)
+    flow.client.on_established = lambda: flow.client.write(200_000)
+    flow.connect()
+    sim.run(until=30.0)
+    stats = flow.link_stats()
+    for direction, snapshot in stats.items():
+        assert snapshot.conserved(), f"{direction}: {snapshot}"
+    forward = stats["forward"]
+    assert forward.fault_losses > 0, "faults must actually fire"
+    assert forward.delivered > 0, "the transfer must make progress"
+    assert sum(received) > 0

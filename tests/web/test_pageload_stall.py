@@ -1,0 +1,101 @@
+"""Stall semantics: completed vs deadline-truncated page loads."""
+
+import numpy as np
+import pytest
+
+from repro.web.pageload import (
+    PageLoadConfig,
+    PageLoadStalled,
+    collect_dataset,
+    load_page,
+    load_page_result,
+    load_page_strict,
+)
+from repro.web.sites import SITE_CATALOG
+
+SITE = "bing.com"
+
+
+def test_normal_load_reports_completed():
+    result = load_page_result(
+        SITE_CATALOG[SITE], PageLoadConfig(), np.random.default_rng(1)
+    )
+    assert result.completed
+    assert result.rounds_completed == result.total_rounds
+    assert result.bytes_received > 0
+    assert result.events_processed > 0
+    assert len(result.trace) > 0
+
+
+def test_truncated_load_reports_stall_diagnostics():
+    config = PageLoadConfig(max_duration=0.05)  # far too short to finish
+    result = load_page_result(
+        SITE_CATALOG[SITE], config, np.random.default_rng(1)
+    )
+    assert not result.completed
+    assert result.sim_time == pytest.approx(0.05)
+    assert result.rounds_completed < result.total_rounds
+    summary = result.stall_summary()
+    assert "round" in summary and "sim_time" in summary
+
+
+def test_strict_load_raises_structured_stall():
+    config = PageLoadConfig(max_duration=0.05)
+    with pytest.raises(PageLoadStalled) as excinfo:
+        load_page_strict(
+            SITE_CATALOG[SITE], SITE, config, np.random.default_rng(1)
+        )
+    error = excinfo.value
+    assert error.site == SITE
+    assert not error.result.completed
+    assert SITE in str(error)
+
+
+def test_legacy_load_page_still_returns_trace():
+    trace = load_page(SITE_CATALOG[SITE], PageLoadConfig(), np.random.default_rng(2))
+    assert len(trace) > 0
+
+
+def test_watchdog_is_invoked_and_can_abort():
+    calls = {"n": 0}
+
+    class Abort(Exception):
+        pass
+
+    def watchdog():
+        calls["n"] += 1
+        if calls["n"] > 2:
+            raise Abort()
+
+    with pytest.raises(Abort):
+        load_page_result(
+            SITE_CATALOG["instagram.com"],
+            PageLoadConfig(),
+            np.random.default_rng(3),
+            watchdog=watchdog,
+        )
+    assert calls["n"] > 2
+
+
+def test_collect_dataset_drops_and_counts_stalled_loads():
+    stalls = []
+    dataset = collect_dataset(
+        n_samples=2,
+        sites=[SITE],
+        config=PageLoadConfig(max_duration=0.05),
+        seed=4,
+        stall_log=stalls,
+    )
+    assert dataset.num_traces == 0, "partial traces must never be ingested"
+    assert len(stalls) == 2
+    assert all(isinstance(s, PageLoadStalled) for s in stalls)
+
+
+def test_collect_dataset_keeps_completed_loads():
+    stalls = []
+    dataset = collect_dataset(
+        n_samples=2, sites=[SITE], config=PageLoadConfig(), seed=4,
+        stall_log=stalls,
+    )
+    assert dataset.num_traces == 2
+    assert stalls == []

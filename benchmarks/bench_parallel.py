@@ -1,0 +1,136 @@
+"""Bench: serial-vs-N-workers speedup of the parallel execution layer.
+
+Times the three parallelised hot paths — trial collection
+(``collect_dataset``), k-FP feature extraction (``extract_many``) and
+random-forest fit/predict (``n_jobs``) — at 1, 2 and all-cores worker
+counts, and asserts along the way that every parallel result is
+bit-identical to the serial one (the whole point of position-derived
+seeding).
+
+Speedup is recorded, not hard-asserted: CI containers may expose a
+single core, in which case the pool only adds overhead.  On a 4-core
+machine the collection and forest stages are expected to reach >= 2x
+at ``workers=4``.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import FULL, write_result
+from repro.attacks.features.kfp import KfpFeatureExtractor
+from repro.ml.forest import RandomForest
+from repro.web.pageload import PageLoadConfig, collect_dataset
+
+pytestmark = pytest.mark.benchmark(group="parallel")
+
+N_SAMPLES = 24 if FULL else 6
+N_ESTIMATORS = 150 if FULL else 60
+
+
+def worker_counts():
+    cores = os.cpu_count() or 1
+    return sorted({1, 2, cores})
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def dataset_fingerprint(dataset):
+    return [
+        (label, len(trace), float(trace.times.sum()), int(trace.sizes.sum()))
+        for label in dataset.labels
+        for trace in dataset.traces[label]
+    ]
+
+
+def test_parallel_speedup(bench_scale):
+    config = PageLoadConfig()
+    rows = []
+    baselines = {}
+
+    # --- Stage 1: trial collection -------------------------------------
+    serial_ds, t_serial = timed(
+        lambda: collect_dataset(n_samples=N_SAMPLES, config=config, seed=7)
+    )
+    reference = dataset_fingerprint(serial_ds)
+    baselines["collect"] = t_serial
+    rows.append(("collect", 1, t_serial, 1.0))
+    for workers in worker_counts():
+        if workers == 1:
+            continue
+        fanned, elapsed = timed(
+            lambda w=workers: collect_dataset(
+                n_samples=N_SAMPLES, config=config, seed=7, workers=w
+            )
+        )
+        assert dataset_fingerprint(fanned) == reference, (
+            f"collect_dataset(workers={workers}) diverged from serial"
+        )
+        rows.append(("collect", workers, elapsed, t_serial / elapsed))
+
+    # --- Stage 2: k-FP feature extraction ------------------------------
+    traces = [t for label in serial_ds.labels for t in serial_ds.traces[label]]
+    extractor = KfpFeatureExtractor()
+    serial_X, t_serial = timed(lambda: extractor.extract_many(traces))
+    rows.append(("features", 1, t_serial, 1.0))
+    for workers in worker_counts():
+        if workers == 1:
+            continue
+        fanned_X, elapsed = timed(
+            lambda w=workers: extractor.extract_many(traces, workers=w)
+        )
+        assert np.array_equal(serial_X, fanned_X), (
+            f"extract_many(workers={workers}) diverged from serial"
+        )
+        rows.append(("features", workers, elapsed, t_serial / elapsed))
+
+    # --- Stage 3: random-forest fit + predict ---------------------------
+    labels = sorted(serial_ds.labels)
+    y = np.concatenate(
+        [
+            np.full(len(serial_ds.traces[label]), i)
+            for i, label in enumerate(labels)
+        ]
+    )
+    X = extractor.extract_many(
+        [t for label in labels for t in serial_ds.traces[label]]
+    )
+    serial_forest, t_serial = timed(
+        lambda: RandomForest(
+            n_estimators=N_ESTIMATORS, random_state=3
+        ).fit(X, y)
+    )
+    serial_proba = serial_forest.predict_proba(X)
+    rows.append(("forest", 1, t_serial, 1.0))
+    for workers in worker_counts():
+        if workers == 1:
+            continue
+        fanned_forest, elapsed = timed(
+            lambda w=workers: RandomForest(
+                n_estimators=N_ESTIMATORS, random_state=3, n_jobs=w
+            ).fit(X, y)
+        )
+        assert np.array_equal(
+            serial_proba, fanned_forest.predict_proba(X)
+        ), f"forest(n_jobs={workers}) diverged from serial"
+        rows.append(("forest", workers, elapsed, t_serial / elapsed))
+
+    lines = [
+        f"Parallel speedup ({os.cpu_count()} cores, "
+        f"{N_SAMPLES} samples/site, {N_ESTIMATORS} trees)",
+        f"{'stage':>10} | {'workers':>7} | {'seconds':>8} | {'speedup':>7}",
+    ]
+    for stage, workers, elapsed, speedup in rows:
+        lines.append(
+            f"{stage:>10} | {workers:>7} | {elapsed:>8.3f} | {speedup:>6.2f}x"
+        )
+    lines.append("All parallel results verified bit-identical to serial.")
+    rendered = "\n".join(lines)
+    print("\n" + rendered)
+    write_result(f"bench_parallel_{bench_scale}", rendered)

@@ -108,9 +108,27 @@ class KfpFeatureExtractor:
         """The k-FP feature vector of one trace."""
         return np.asarray(self._extract(trace), dtype=np.float64)
 
-    def extract_many(self, traces: Sequence[Trace]) -> np.ndarray:
-        """Feature matrix, one row per trace."""
-        return np.vstack([self.extract(t) for t in traces])
+    def extract_many(self, traces: Sequence[Trace], workers: int = 1) -> np.ndarray:
+        """Feature matrix, one row per trace.
+
+        ``workers > 1`` splits the batch into contiguous chunks over a
+        shared process pool (``0`` = one worker per core).  Each row is
+        a pure function of its trace, so the matrix is bit-identical
+        for any worker count; ``workers=1`` stays in-process.
+        """
+        from repro.parallel import (
+            chunked,
+            default_chunk_size,
+            resolve_workers,
+            shared_pool,
+        )
+
+        workers = resolve_workers(workers)
+        if workers <= 1 or len(traces) <= 1:
+            return np.vstack([self.extract(t) for t in traces])
+        chunks = chunked(list(traces), default_chunk_size(len(traces), workers))
+        parts = shared_pool(workers).map(_extract_feature_chunk, chunks)
+        return np.vstack(list(parts))
 
     # -- the actual feature computation ------------------------------------------
 
@@ -322,9 +340,27 @@ class KfpFeatureExtractor:
 _DEFAULT_EXTRACTOR: KfpFeatureExtractor = None
 
 
-def extract_features(trace: Trace) -> np.ndarray:
-    """Module-level convenience wrapper around a shared extractor."""
+def _default_extractor() -> KfpFeatureExtractor:
+    """The lazily built per-process extractor (also used by pool
+    workers, which each get their own copy after fork/spawn)."""
     global _DEFAULT_EXTRACTOR
     if _DEFAULT_EXTRACTOR is None:
         _DEFAULT_EXTRACTOR = KfpFeatureExtractor()
-    return _DEFAULT_EXTRACTOR.extract(trace)
+    return _DEFAULT_EXTRACTOR
+
+
+def _extract_feature_chunk(traces: Sequence[Trace]) -> np.ndarray:
+    """Pool-worker task: the feature rows of one chunk of traces."""
+    return _default_extractor().extract_many(traces)
+
+
+def extract_features(trace: Trace) -> np.ndarray:
+    """Module-level convenience wrapper around a shared extractor."""
+    return _default_extractor().extract(trace)
+
+
+def extract_features_batch(traces: Sequence[Trace], workers: int = 1) -> np.ndarray:
+    """Batch counterpart of :func:`extract_features`: the feature
+    matrix of ``traces``, optionally fanned out over ``workers``
+    processes (bit-identical for any worker count)."""
+    return _default_extractor().extract_many(traces, workers=workers)

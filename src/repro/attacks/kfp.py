@@ -40,6 +40,10 @@ class KFingerprinting:
         Neighbours for leaf-knn mode.
     random_state:
         Seed for the forest.
+    n_jobs:
+        Processes for feature extraction and forest fit/predict
+        (1 = in-process, 0 = one per core; results are bit-identical
+        for any value).
     """
 
     def __init__(
@@ -49,17 +53,20 @@ class KFingerprinting:
         k_neighbors: int = 3,
         max_depth: Optional[int] = None,
         random_state: Optional[int] = None,
+        n_jobs: int = 1,
     ) -> None:
         if mode not in ("forest", "leaf-knn"):
             raise ValueError(f"mode must be forest or leaf-knn, got {mode!r}")
         self.mode = mode
         self.k_neighbors = k_neighbors
+        self.n_jobs = n_jobs
         self.extractor = KfpFeatureExtractor()
         self.forest = RandomForest(
             n_estimators=n_estimators,
             max_depth=max_depth,
             oob_score=False,
             random_state=random_state,
+            n_jobs=n_jobs,
         )
         self._leaf_knn: Optional[KNeighborsClassifier] = None
         self.labels_: List[str] = []
@@ -68,7 +75,7 @@ class KFingerprinting:
 
     def fit_traces(self, traces: Sequence[Trace], y: np.ndarray) -> "KFingerprinting":
         """Fit on raw traces with integer labels."""
-        X = self.extractor.extract_many(traces)
+        X = self.extractor.extract_many(traces, workers=self.n_jobs)
         return self.fit_features(X, y)
 
     def fit_features(self, X: np.ndarray, y: np.ndarray) -> "KFingerprinting":
@@ -91,7 +98,7 @@ class KFingerprinting:
     # -- prediction ------------------------------------------------------------------
 
     def predict_traces(self, traces: Sequence[Trace]) -> np.ndarray:
-        X = self.extractor.extract_many(traces)
+        X = self.extractor.extract_many(traces, workers=self.n_jobs)
         return self.predict_features(X)
 
     def predict_features(self, X: np.ndarray) -> np.ndarray:

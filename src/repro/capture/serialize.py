@@ -3,11 +3,23 @@
 Datasets are stored as a single ``.npz`` archive: three flat arrays per
 label plus per-trace offsets.  This loads orders of magnitude faster
 than pickling thousands of objects and keeps files portable.
+
+Archives contain only plain numeric and fixed-width unicode arrays, so
+they load with ``np.load(path, allow_pickle=False)`` — no pickled
+objects means a dataset file cannot execute code when opened.  Earlier
+versions of this module stored ``_labels`` with ``dtype=object`` and
+also passed ``allow_pickle=True`` to :func:`numpy.savez_compressed` —
+which is not a kwarg of ``savez`` at all, so numpy silently serialised
+a bogus boolean array under the key ``"allow_pickle"`` into every
+archive.  :func:`load_dataset` still reads those legacy archives
+(falling back to ``allow_pickle=True`` for the object-dtype label
+array and ignoring the stray key).
 """
 
 from __future__ import annotations
 
 import os
+import zipfile
 from typing import Dict, List
 
 import numpy as np
@@ -20,7 +32,11 @@ def save_dataset(dataset: Dataset, path: str) -> None:
     """Write ``dataset`` to ``path`` (an ``.npz`` file)."""
     payload: Dict[str, np.ndarray] = {}
     labels = dataset.labels
-    payload["_labels"] = np.array(labels, dtype=object)
+    # Fixed-width unicode, never dtype=object: keeps the archive
+    # loadable with allow_pickle=False.
+    payload["_labels"] = (
+        np.array(labels, dtype=np.str_) if labels else np.empty(0, dtype="U1")
+    )
     for label in labels:
         traces = dataset.traces[label]
         offsets = np.cumsum([len(t) for t in traces])[:-1] if traces else np.empty(0)
@@ -38,25 +54,57 @@ def save_dataset(dataset: Dataset, path: str) -> None:
         payload[f"{label}/offsets"] = np.asarray(offsets, dtype=np.int64)
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
-    np.savez_compressed(path, **payload, allow_pickle=True)
+    np.savez_compressed(path, **payload)
+
+
+def _read_labels(path: str) -> List[str]:
+    """The label array, tolerating legacy object-dtype archives."""
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            return [str(x) for x in archive["_labels"]]
+        except ValueError:
+            pass
+    # Legacy archive: _labels was written with dtype=object and needs
+    # pickle to deserialise.  Everything else is plain numeric.
+    with np.load(path, allow_pickle=True) as archive:
+        return [str(x) for x in archive["_labels"]]
 
 
 def load_dataset(path: str) -> Dataset:
-    """Read a dataset previously written by :func:`save_dataset`."""
-    archive = np.load(path, allow_pickle=True)
-    labels: List[str] = [str(x) for x in archive["_labels"]]
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    Handles both current archives (fixed-width unicode labels, loadable
+    with ``allow_pickle=False``) and legacy ones (object-dtype labels
+    plus a stray ``"allow_pickle"`` key, which is ignored).
+    """
+    labels = _read_labels(path)
     dataset = Dataset()
-    for label in labels:
-        times = archive[f"{label}/times"]
-        dirs = archive[f"{label}/dirs"]
-        sizes = archive[f"{label}/sizes"]
-        offsets = archive[f"{label}/offsets"].astype(np.int64)
-        dataset.traces[label] = [
-            Trace(t, d, s)
-            for t, d, s in zip(
-                np.split(times, offsets),
-                np.split(dirs, offsets),
-                np.split(sizes, offsets),
-            )
-        ]
+    with np.load(path, allow_pickle=False) as archive:
+        for label in labels:
+            times = archive[f"{label}/times"]
+            dirs = archive[f"{label}/dirs"]
+            sizes = archive[f"{label}/sizes"]
+            offsets = archive[f"{label}/offsets"].astype(np.int64)
+            dataset.traces[label] = [
+                Trace(t, d, s)
+                for t, d, s in zip(
+                    np.split(times, offsets),
+                    np.split(dirs, offsets),
+                    np.split(sizes, offsets),
+                )
+            ]
     return dataset
+
+
+def is_legacy_archive(path: str) -> bool:
+    """True when ``path`` predates the allow_pickle fix (it contains
+    the stray ``allow_pickle`` member or object-dtype labels)."""
+    with zipfile.ZipFile(path) as zf:
+        if "allow_pickle.npy" in zf.namelist():
+            return True
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            archive["_labels"]
+        except ValueError:
+            return True
+    return False

@@ -9,12 +9,19 @@ Each subcommand regenerates one table/figure of the paper:
 * ``repro cca-interplay`` — §5.1 goodput grid;
 * ``repro cca-id`` — §5.2 CCA identification;
 * ``repro adverse`` — k-FP grid under adverse network conditions;
+* ``repro sweep`` — split-threshold x delay-intensity parameter grid;
 * ``repro collect`` — collect and save the 9-site dataset for reuse.
 
 Every dataset-producing subcommand accepts ``--seed``, ``--out`` and
 ``--resume``; ``--checkpoint PATH`` enables the resilient runner's
 periodic checkpointing, and ``--resume`` continues an interrupted
 collection from that checkpoint to a byte-identical result.
+
+``--workers N`` (collect/table2/adverse/sweep) fans collection,
+feature extraction and forest fitting out over N processes (0 = one
+per core).  All randomness is position-derived, so any worker count
+produces bit-identical results — ``--workers`` is purely a wall-clock
+knob and composes with ``--checkpoint``/``--resume``.
 """
 
 from __future__ import annotations
@@ -53,6 +60,15 @@ def _add_dataset_opts(
     )
 
 
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for collection/features/forest "
+        "(1 = in-process, 0 = one per core; results are bit-identical "
+        "for any value)",
+    )
+
+
 def _validate_common(parser: argparse.ArgumentParser, args) -> None:
     """Reject bad argument combinations via parser.error (no tracebacks)."""
     if getattr(args, "seed", 0) is not None and getattr(args, "seed", 0) < 0:
@@ -67,6 +83,9 @@ def _validate_common(parser: argparse.ArgumentParser, args) -> None:
             parser.error("--resume requires --checkpoint")
         if dataset is not None:
             parser.error("--resume collects traces; incompatible with --dataset")
+    workers = getattr(args, "workers", 1)
+    if workers is not None and workers < 0:
+        parser.error(f"--workers must be >= 0, got {workers}")
 
 
 def _load_or_collect(args, config):
@@ -83,7 +102,9 @@ def _load_or_collect(args, config):
             config.n_samples,
             pageload_config=config.pageload,
             seed=config.seed,
-            runner_config=RunnerConfig(checkpoint_path=args.checkpoint),
+            runner_config=RunnerConfig(
+                checkpoint_path=args.checkpoint, workers=config.workers
+            ),
             resume=args.resume,
         )
         print(f"collection: {report.summary()}", file=sys.stderr)
@@ -91,14 +112,19 @@ def _load_or_collect(args, config):
     from repro.web.pageload import collect_dataset
 
     return collect_dataset(
-        n_samples=config.n_samples, config=config.pageload, seed=config.seed
+        n_samples=config.n_samples, config=config.pageload, seed=config.seed,
+        workers=config.workers,
     )
 
 
 def _config(args):
     from repro.experiments.config import ExperimentConfig
 
-    return ExperimentConfig(n_samples=args.samples, seed=args.seed)
+    return ExperimentConfig(
+        n_samples=args.samples,
+        seed=args.seed,
+        workers=getattr(args, "workers", 1),
+    )
 
 
 def _emit(text: str, out: Optional[str]) -> None:
@@ -260,13 +286,30 @@ def cmd_adverse(args) -> int:
                 f"(choose from {', '.join(CONDITION_ORDER)})"
             )
         conditions = {name: conditions[name] for name in wanted}
+    from repro.experiments.runner import RunnerConfig
+
+    base = _config(args)
     config = AdverseConfig(
-        base=_config(args),
+        base=base,
         conditions=conditions,
+        runner=RunnerConfig(workers=base.workers),
         checkpoint_dir=args.checkpoint,
     )
     result = run_adverse(config, resume=args.resume)
     _emit(format_adverse(result), args.out)
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.experiments.parameter_sweep import (
+        format_parameter_sweep,
+        run_parameter_sweep,
+    )
+
+    config = _config(args)
+    dataset = _load_or_collect(args, config)
+    points = run_parameter_sweep(config, dataset=dataset)
+    _emit(format_parameter_sweep(points), args.out)
     return 0
 
 
@@ -288,6 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true",
         help="resume an interrupted collection from --checkpoint",
     )
+    _add_workers(p)
     p.set_defaults(func=cmd_collect)
 
     p = sub.add_parser("table1", help="defense taxonomy + overheads")
@@ -297,6 +341,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table2", help="k-FP accuracy grid")
     _add_common(p)
     _add_dataset_opts(p)
+    _add_workers(p)
     p.set_defaults(func=cmd_table2)
 
     def _alpha_list(text: str) -> tuple:
@@ -362,7 +407,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--conditions", type=str, default=None,
         help="comma-separated subset of clean,bursty,flap (default: all)",
     )
+    _add_workers(p)
     p.set_defaults(func=cmd_adverse)
+
+    p = sub.add_parser(
+        "sweep",
+        help="split-threshold x delay-intensity countermeasure sweep",
+    )
+    _add_common(p)
+    _add_dataset_opts(p)
+    _add_workers(p)
+    p.set_defaults(func=cmd_sweep)
     return parser
 
 

@@ -22,7 +22,7 @@ dataset.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.attacks.features.kfp import KfpFeatureExtractor
@@ -127,10 +127,10 @@ def run_adverse(
         spec = config.conditions[condition]
         runner_config = config.runner
         if config.checkpoint_dir is not None:
-            runner_config = RunnerConfig(
-                retry=config.runner.retry,
-                trial_wall_deadline=config.runner.trial_wall_deadline,
-                checkpoint_every=config.runner.checkpoint_every,
+            # replace() keeps every other knob (retry, workers, chunk
+            # size, ...) from the configured runner.
+            runner_config = replace(
+                config.runner,
                 checkpoint_path=os.path.join(
                     config.checkpoint_dir, f"adverse_{condition}.ckpt.npz"
                 ),

@@ -25,3 +25,8 @@ class ExperimentConfig:
     #: Packet-prefix lengths for the censorship setting (paper: 15/30/45
     #: plus the full trace).
     prefix_lengths: tuple = (15, 30, 45)
+    #: Processes for collection, feature extraction and forest
+    #: fit/predict (1 = in-process, 0 = one per core).  Every parallel
+    #: path derives randomness from position, so results are
+    #: bit-identical for any value.
+    workers: int = 1

@@ -73,7 +73,7 @@ def run_parameter_sweep(
     if dataset is None:
         dataset = collect_dataset(
             n_samples=config.n_samples, config=config.pageload,
-            seed=config.seed,
+            seed=config.seed, workers=config.workers,
         )
     clean, _ = sanitize_dataset(dataset, balance_to=config.balance_to)
     extractor = KfpFeatureExtractor()

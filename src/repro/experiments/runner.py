@@ -19,7 +19,13 @@ execution with the reliability layer a long collection run needs:
   gracefully with reduced samples;
 * **checkpointing** — partial datasets are persisted periodically
   through :mod:`repro.capture.serialize` plus a JSON manifest, and
-  ``resume=True`` skips completed trials.
+  ``resume=True`` skips completed trials;
+* **parallel execution** — ``workers > 1`` fans trials out over a
+  :class:`~concurrent.futures.ProcessPoolExecutor` in chunks.  Because
+  every trial's randomness is position-derived
+  (:func:`trial_seed_rng`) and results are merged by coordinate, the
+  final dataset is bit-identical for any worker count, and
+  checkpoint/resume keeps working across worker-count changes.
 """
 
 from __future__ import annotations
@@ -27,10 +33,13 @@ from __future__ import annotations
 import json
 import os
 import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.parallel import chunked, default_chunk_size, resolve_workers
 
 from repro.capture.dataset import Dataset
 from repro.capture.serialize import load_dataset, save_dataset
@@ -111,7 +120,7 @@ class CollectionReport:
 
 @dataclass
 class RunnerConfig:
-    """Reliability knobs for a collection run."""
+    """Reliability and parallelism knobs for a collection run."""
 
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     #: Wall-clock seconds one trial attempt may burn (None = unlimited).
@@ -119,6 +128,13 @@ class RunnerConfig:
     #: Write a checkpoint every N completed trials (0 disables).
     checkpoint_every: int = 25
     checkpoint_path: Optional[str] = None
+    #: Trial-executor processes: 1 = in-process (the default fast
+    #: path), N > 1 = a pool of N, 0 = one per core.  Results are
+    #: bit-identical for any value because trial seeds are
+    #: position-derived; ``trial_fn`` must be picklable when > 1.
+    workers: int = 1
+    #: Trials per pool task (None = auto, ~4 chunks per worker).
+    chunk_size: Optional[int] = None
 
 
 #: A trial function: (label, sample index, rng, watchdog) -> Trace.
@@ -136,20 +152,112 @@ def trial_seed_rng(master_seed: int, site_index: int, sample: int, attempt: int)
     return np.random.default_rng([master_seed, site_index, sample, attempt])
 
 
-def pageload_trial_fn(config: PageLoadConfig) -> TrialFn:
-    """The default trial: one strict page load of the labelled site."""
+@dataclass(frozen=True)
+class PageLoadTrial:
+    """The default trial: one strict page load of the labelled site.
 
-    def run_trial(
+    A dataclass rather than a closure so it pickles — the parallel
+    executor ships the trial function to worker processes.
+    """
+
+    config: PageLoadConfig
+
+    def __call__(
+        self,
         label: str,
         index: int,
         rng: np.random.Generator,
         watchdog: Optional[Callable[[], None]],
     ) -> Trace:
         return load_page_strict(
-            SITE_CATALOG[label], label, config, rng, watchdog=watchdog
+            SITE_CATALOG[label], label, self.config, rng, watchdog=watchdog
         )
 
-    return run_trial
+
+def pageload_trial_fn(config: PageLoadConfig) -> TrialFn:
+    """The default (picklable) page-load trial function."""
+    return PageLoadTrial(config)
+
+
+@dataclass
+class TrialOutcome:
+    """Everything one trial's retry loop produced (shipped back from
+    pool workers; also used by the in-process path)."""
+
+    label: str
+    sample: int
+    trace: Optional[Trace]
+    retries: int = 0
+    stalls: int = 0
+    failure: Optional[TrialFailure] = None
+
+
+def execute_trial(
+    trial_fn: TrialFn,
+    label: str,
+    site_index: int,
+    sample: int,
+    master_seed: int,
+    retry: RetryPolicy,
+    wall_deadline: Optional[float] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
+) -> TrialOutcome:
+    """One trial with retries — the shared core of the serial and
+    parallel paths.  Each attempt reseeds from the trial coordinates,
+    so where the trial executes never changes its randomness."""
+    outcome = TrialOutcome(label=label, sample=sample, trace=None)
+    last_error: Optional[BaseException] = None
+    for attempt in range(retry.max_attempts):
+        rng = trial_seed_rng(master_seed, site_index, sample, attempt)
+        watchdog: Optional[Callable[[], None]] = None
+        if wall_deadline is not None:
+            started = clock()
+
+            def watchdog() -> None:
+                elapsed = clock() - started
+                if elapsed > wall_deadline:
+                    raise TrialDeadlineExceeded(
+                        f"trial exceeded wall-clock budget "
+                        f"({elapsed:.1f}s > {wall_deadline:.1f}s)"
+                    )
+
+        try:
+            outcome.trace = trial_fn(label, sample, rng, watchdog)
+            return outcome
+        except RETRYABLE + (TrialDeadlineExceeded,) as error:
+            last_error = error
+            if isinstance(error, PageLoadStalled):
+                outcome.stalls += 1
+            if attempt + 1 < retry.max_attempts:
+                outcome.retries += 1
+                sleep(retry.delay(attempt + 1))
+    outcome.failure = TrialFailure(
+        label=label,
+        index=sample,
+        attempts=retry.max_attempts,
+        error=type(last_error).__name__,
+        message=str(last_error),
+    )
+    return outcome
+
+
+def _execute_trial_chunk(
+    trial_fn: TrialFn,
+    retry: RetryPolicy,
+    master_seed: int,
+    wall_deadline: Optional[float],
+    trials: List[Tuple[str, int, int]],
+) -> List[TrialOutcome]:
+    """Pool-worker task: run a chunk of ``(label, site_index, sample)``
+    trials and ship their outcomes back in one message."""
+    return [
+        execute_trial(
+            trial_fn, label, site_index, sample, master_seed, retry,
+            wall_deadline=wall_deadline,
+        )
+        for label, site_index, sample in trials
+    ]
 
 
 class ResilientRunner:
@@ -240,22 +348,6 @@ class ResilientRunner:
 
     # -- execution ---------------------------------------------------------
 
-    def _make_watchdog(self) -> Optional[Callable[[], None]]:
-        deadline = self.config.trial_wall_deadline
-        if deadline is None:
-            return None
-        started = self._clock()
-
-        def watchdog() -> None:
-            elapsed = self._clock() - started
-            if elapsed > deadline:
-                raise TrialDeadlineExceeded(
-                    f"trial exceeded wall-clock budget "
-                    f"({elapsed:.1f}s > {deadline:.1f}s)"
-                )
-
-        return watchdog
-
     def _run_trial(
         self,
         trial_fn: TrialFn,
@@ -265,31 +357,23 @@ class ResilientRunner:
         master_seed: int,
         report: CollectionReport,
     ) -> Optional[Trace]:
-        """One trial with retries; None when the budget is exhausted."""
-        retry = self.config.retry
-        last_error: Optional[BaseException] = None
-        for attempt in range(retry.max_attempts):
-            rng = trial_seed_rng(master_seed, site_index, sample, attempt)
-            watchdog = self._make_watchdog()
-            try:
-                return trial_fn(label, sample, rng, watchdog)
-            except RETRYABLE + (TrialDeadlineExceeded,) as error:
-                last_error = error
-                if isinstance(error, PageLoadStalled):
-                    report.stalls += 1
-                if attempt + 1 < retry.max_attempts:
-                    report.retries += 1
-                    self._sleep(retry.delay(attempt + 1))
-        report.failures.append(
-            TrialFailure(
-                label=label,
-                index=sample,
-                attempts=retry.max_attempts,
-                error=type(last_error).__name__,
-                message=str(last_error),
-            )
+        """One in-process trial; None when the budget is exhausted."""
+        outcome = execute_trial(
+            trial_fn, label, site_index, sample, master_seed,
+            self.config.retry,
+            wall_deadline=self.config.trial_wall_deadline,
+            sleep=self._sleep,
+            clock=self._clock,
         )
-        return None
+        self._merge_outcome(outcome, report)
+        return outcome.trace
+
+    @staticmethod
+    def _merge_outcome(outcome: TrialOutcome, report: CollectionReport) -> None:
+        report.retries += outcome.retries
+        report.stalls += outcome.stalls
+        if outcome.failure is not None:
+            report.failures.append(outcome.failure)
 
     def collect(
         self,
@@ -340,26 +424,49 @@ class ResilientRunner:
                 )
                 since_checkpoint = 0
 
+        # Trials still to run, in deterministic grid order.
+        pending = [
+            (label, site_index, sample)
+            for site_index, label in enumerate(sites)
+            for sample in range(n_samples)
+            if sample not in results.get(label, {})
+            and sample not in failed.get(label, set())
+        ]
+
+        def complete(outcome: TrialOutcome) -> None:
+            nonlocal since_checkpoint
+            self._merge_outcome(outcome, report)
+            if outcome.trace is not None:
+                results.setdefault(outcome.label, {})[outcome.sample] = outcome.trace
+                report.completed_trials += 1
+                since_checkpoint += 1
+                if progress is not None:
+                    progress(outcome.label, outcome.sample)
+            maybe_checkpoint()
+
+        workers = resolve_workers(self.config.workers)
         try:
-            for site_index, label in enumerate(sites):
-                done = results.get(label, {})
-                already_failed = failed.get(label, set())
-                for sample in range(n_samples):
-                    if sample in done or sample in already_failed:
-                        continue
-                    trace = self._run_trial(
-                        trial_fn, label, site_index, sample, master_seed, report
+            if workers > 1 and len(pending) > 1:
+                self._collect_parallel(
+                    pending, trial_fn, master_seed, workers, complete
+                )
+            else:
+                for label, site_index, sample in pending:
+                    outcome = execute_trial(
+                        trial_fn, label, site_index, sample, master_seed,
+                        self.config.retry,
+                        wall_deadline=self.config.trial_wall_deadline,
+                        sleep=self._sleep,
+                        clock=self._clock,
                     )
-                    if trace is not None:
-                        results.setdefault(label, {})[sample] = trace
-                        report.completed_trials += 1
-                        since_checkpoint += 1
-                        if progress is not None:
-                            progress(label, sample)
-                    maybe_checkpoint()
+                    complete(outcome)
         except KeyboardInterrupt:
             maybe_checkpoint(force=True)
             raise
+        # Failure order must not depend on completion order (the
+        # checkpoint manifest and report are part of the deterministic
+        # output surface).
+        report.failures.sort(key=lambda f: (f.label, f.index))
         maybe_checkpoint(force=True)
 
         dataset = Dataset()
@@ -369,6 +476,50 @@ class ResilientRunner:
                     results[label][i] for i in sorted(results[label])
                 ]
         return dataset, report
+
+    def _collect_parallel(
+        self,
+        pending: List[Tuple[str, int, int]],
+        trial_fn: TrialFn,
+        master_seed: int,
+        workers: int,
+        complete: Callable[[TrialOutcome], None],
+    ) -> None:
+        """Fan ``pending`` out over a process pool in chunks.
+
+        Outcomes are merged as chunks finish (so periodic checkpoints
+        still happen mid-run), but every result is keyed by its trial
+        coordinates and every seed is position-derived, so the final
+        dataset is independent of completion order and worker count.
+        On interrupt, unstarted chunks are cancelled and the caller
+        writes a final checkpoint covering everything merged so far.
+        """
+        chunk_size = self.config.chunk_size or default_chunk_size(
+            len(pending), workers
+        )
+        chunks = chunked(pending, chunk_size)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _execute_trial_chunk,
+                    trial_fn,
+                    self.config.retry,
+                    master_seed,
+                    self.config.trial_wall_deadline,
+                    chunk,
+                )
+                for chunk in chunks
+            }
+            try:
+                while futures:
+                    done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        for outcome in future.result():
+                            complete(outcome)
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
 
 
 def collect_resilient(

@@ -100,7 +100,7 @@ def evaluate_dataset(
     """k-fold k-FP (random forest) accuracies on one dataset."""
     extractor = extractor or KfpFeatureExtractor()
     traces, y = dataset.to_arrays()
-    X = extractor.extract_many(traces)
+    X = extractor.extract_many(traces, workers=config.workers)
     rng = np.random.default_rng(config.seed)
     scores: List[float] = []
     for fold_index, (train_idx, test_idx) in enumerate(
@@ -109,6 +109,7 @@ def evaluate_dataset(
         forest = RandomForest(
             n_estimators=config.n_estimators,
             random_state=config.seed + fold_index,
+            n_jobs=config.workers,
         )
         forest.fit(X[train_idx], y[train_idx])
         scores.append(
@@ -129,6 +130,7 @@ def run_table2(
             n_samples=config.n_samples,
             config=config.pageload,
             seed=config.seed,
+            workers=config.workers,
         )
     clean, _report = sanitize_dataset(dataset, balance_to=config.balance_to)
     datasets = build_datasets(clean, config.seed)

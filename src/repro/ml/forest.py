@@ -6,15 +6,64 @@ feature subsampling.  Extras the k-FP attack relies on:
 * :meth:`RandomForest.apply` — the (n_samples, n_trees) matrix of leaf
   indices, k-FP's "fingerprint" representation;
 * out-of-bag accuracy for honest in-training evaluation.
+
+Fitting and prediction optionally parallelise over ``n_jobs``
+processes.  Results are bit-identical to the serial path for any job
+count: each tree's randomness comes from its own generator (spawned
+from the root seed before any fan-out), trees are merged back in index
+order, and prediction parallelises over *rows* — never over trees — so
+the floating-point summation order of the ensemble vote is unchanged.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.ml.tree import DecisionTree
+from repro.parallel import chunked, default_chunk_size, resolve_workers, shared_pool
+
+
+def _fit_tree_chunk(
+    X: np.ndarray,
+    y: np.ndarray,
+    n_classes: int,
+    params: Dict,
+    rngs: Sequence[np.random.Generator],
+) -> List[Tuple[DecisionTree, np.ndarray]]:
+    """Fit one chunk of trees (also the serial path when called with
+    every generator).  Each entry returns (tree, bootstrap sample):
+    the sample indices are needed afterwards for out-of-bag voting.
+
+    The bootstrap draw and the tree's node-level subsampling both
+    consume ``tree_rng`` in the exact order of the original serial
+    implementation, which is what keeps any chunking bit-identical.
+    """
+    n = len(X)
+    fitted: List[Tuple[DecisionTree, np.ndarray]] = []
+    for tree_rng in rngs:
+        sample = tree_rng.integers(0, n, size=n)
+        tree = DecisionTree(rng=tree_rng, **params)
+        tree.fit(X[sample], y[sample], n_classes=n_classes)
+        fitted.append((tree, sample))
+    return fitted
+
+
+def _predict_proba_rows(
+    trees: List[DecisionTree], n_classes: int, X_rows: np.ndarray
+) -> np.ndarray:
+    """Ensemble-summed class distributions for a chunk of rows, in the
+    serial tree order (summation order = bit-identical votes)."""
+    proba = np.zeros((len(X_rows), n_classes))
+    for tree in trees:
+        proba += tree.predict_proba(X_rows)
+    return proba
+
+
+def _apply_rows(trees: List[DecisionTree], X_rows: np.ndarray) -> np.ndarray:
+    """Leaf-index matrix for a chunk of rows."""
+    return np.column_stack([tree.apply(X_rows) for tree in trees])
 
 
 class RandomForest:
@@ -29,6 +78,7 @@ class RandomForest:
         max_features="sqrt",
         oob_score: bool = False,
         random_state: Optional[int] = None,
+        n_jobs: int = 1,
     ) -> None:
         if n_estimators < 1:
             raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
@@ -39,9 +89,20 @@ class RandomForest:
         self.max_features = max_features
         self.oob_score = oob_score
         self.random_state = random_state
+        #: Fit/predict processes: 1 = in-process, 0 = one per core.
+        #: Any value yields bit-identical trees and predictions.
+        self.n_jobs = resolve_workers(n_jobs) if n_jobs != 1 else 1
         self.trees_: List[DecisionTree] = []
         self.n_classes_: int = 0
         self.oob_score_: Optional[float] = None
+
+    def _tree_params(self) -> Dict:
+        return {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+        }
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForest":
         """Fit the ensemble."""
@@ -52,28 +113,36 @@ class RandomForest:
         n = len(X)
         self.n_classes_ = int(y.max()) + 1
         root = np.random.default_rng(self.random_state)
+        # Per-tree generators are spawned from the root *before* any
+        # fan-out, so each tree's randomness is fixed by its index —
+        # never by which process fits it.
         seeds = root.spawn(self.n_estimators)
-        self.trees_ = []
-        oob_votes = (
-            np.zeros((n, self.n_classes_)) if self.oob_score else None
-        )
-        for tree_rng in seeds:
-            sample = tree_rng.integers(0, n, size=n)
-            tree = DecisionTree(
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                rng=tree_rng,
+        params = self._tree_params()
+        if self.n_jobs > 1 and self.n_estimators > 1:
+            rng_chunks = chunked(
+                seeds, default_chunk_size(self.n_estimators, self.n_jobs)
             )
-            tree.fit(X[sample], y[sample], n_classes=self.n_classes_)
-            self.trees_.append(tree)
-            if oob_votes is not None:
+            parts = shared_pool(self.n_jobs).map(
+                _fit_tree_chunk,
+                [X] * len(rng_chunks),
+                [y] * len(rng_chunks),
+                [self.n_classes_] * len(rng_chunks),
+                [params] * len(rng_chunks),
+                rng_chunks,
+            )
+            fitted = [pair for part in parts for pair in part]
+        else:
+            fitted = _fit_tree_chunk(X, y, self.n_classes_, params, seeds)
+        self.trees_ = [tree for tree, _sample in fitted]
+        if self.oob_score:
+            # Accumulated in tree-index order, matching the serial
+            # interleaved implementation bit for bit.
+            oob_votes = np.zeros((n, self.n_classes_))
+            for tree, sample in fitted:
                 mask = np.ones(n, dtype=bool)
                 mask[np.unique(sample)] = False
                 if np.any(mask):
                     oob_votes[mask] += tree.predict_proba(X[mask])
-        if oob_votes is not None:
             voted = oob_votes.sum(axis=1) > 0
             if np.any(voted):
                 predictions = np.argmax(oob_votes[voted], axis=1)
@@ -84,13 +153,27 @@ class RandomForest:
         if not self.trees_:
             raise RuntimeError("forest is not fitted")
 
+    def _row_chunks(self, X: np.ndarray) -> Optional[List[np.ndarray]]:
+        """Row chunks for parallel prediction, or None for in-process."""
+        if self.n_jobs <= 1 or len(X) <= 1:
+            return None
+        return chunked(X, default_chunk_size(len(X), self.n_jobs))
+
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Mean leaf class distribution across trees."""
         self._check_fitted()
         X = np.asarray(X, dtype=np.float64)
-        proba = np.zeros((len(X), self.n_classes_))
-        for tree in self.trees_:
-            proba += tree.predict_proba(X)
+        row_chunks = self._row_chunks(X)
+        if row_chunks is None:
+            proba = _predict_proba_rows(self.trees_, self.n_classes_, X)
+        else:
+            parts = shared_pool(self.n_jobs).map(
+                _predict_proba_rows,
+                [self.trees_] * len(row_chunks),
+                [self.n_classes_] * len(row_chunks),
+                [np.asarray(chunk) for chunk in row_chunks],
+            )
+            proba = np.vstack(list(parts))
         return proba / len(self.trees_)
 
     def predict(self, X: np.ndarray) -> np.ndarray:
@@ -106,7 +189,15 @@ class RandomForest:
         """
         self._check_fitted()
         X = np.asarray(X, dtype=np.float64)
-        return np.column_stack([tree.apply(X) for tree in self.trees_])
+        row_chunks = self._row_chunks(X)
+        if row_chunks is None:
+            return _apply_rows(self.trees_, X)
+        parts = shared_pool(self.n_jobs).map(
+            _apply_rows,
+            [self.trees_] * len(row_chunks),
+            [np.asarray(chunk) for chunk in row_chunks],
+        )
+        return np.vstack(list(parts))
 
     def score(self, X: np.ndarray, y: np.ndarray) -> float:
         """Mean accuracy on (X, y)."""

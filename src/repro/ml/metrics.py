@@ -23,9 +23,23 @@ def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
 def confusion_matrix(
     y_true: np.ndarray, y_pred: np.ndarray, n_classes: int
 ) -> np.ndarray:
-    """Counts[i, j] = samples with true class i predicted as j."""
+    """Counts[i, j] = samples with true class i predicted as j.
+
+    Labels must lie in ``[0, n_classes)``.  Fancy indexing would
+    otherwise wrap negatives silently — a ``-1`` label increments the
+    *last* row — corrupting every metric derived from the matrix.
+    """
+    if n_classes < 1:
+        raise ValueError(f"n_classes must be >= 1, got {n_classes}")
     y_true = np.asarray(y_true, dtype=np.int64)
     y_pred = np.asarray(y_pred, dtype=np.int64)
+    for name, arr in (("y_true", y_true), ("y_pred", y_pred)):
+        if arr.size and (arr.min() < 0 or arr.max() >= n_classes):
+            bad = arr[(arr < 0) | (arr >= n_classes)]
+            raise ValueError(
+                f"{name} contains labels outside [0, {n_classes}): "
+                f"{sorted(set(bad.tolist()))}"
+            )
     matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
     np.add.at(matrix, (y_true, y_pred), 1)
     return matrix

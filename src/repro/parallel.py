@@ -1,0 +1,94 @@
+"""Process-pool plumbing shared by the parallel execution paths.
+
+Three subsystems fan work out across processes — trial collection
+(:mod:`repro.experiments.runner`), k-FP feature extraction
+(:mod:`repro.attacks.features.kfp`) and random-forest fitting and
+prediction (:mod:`repro.ml.forest`).  They share the conventions
+defined here so a single ``workers`` knob means the same thing
+everywhere:
+
+* ``workers=1`` — the in-process fast path, byte-identical to the
+  pre-parallel code and free of pool overhead (the default);
+* ``workers=N`` — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  of N processes;
+* ``workers=0`` (or ``None``) — one process per available core.
+
+Determinism is the load-bearing invariant: every parallel path in this
+repo derives randomness from *position* (trial coordinates, spawned
+per-tree generators), never from execution order, so any worker count
+produces bit-identical results.  Helpers here only move work around;
+they must never reorder the merge.
+
+The hot evaluation paths (features, forest) run many small batches per
+experiment, so they reuse a cached pool via :func:`shared_pool` rather
+than paying process start-up per call.  The collection runner manages
+its own pool: a collection run is long-lived and wants explicit
+cancel/teardown semantics on interrupt.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Each worker receives roughly this many chunks over a run; >1 so a
+#: slow chunk does not leave the other workers idle at the tail.
+CHUNKS_PER_WORKER = 4
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a ``workers`` knob to a concrete process count."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return int(workers)
+
+
+def default_chunk_size(n_items: int, workers: int) -> int:
+    """Chunk size giving ~:data:`CHUNKS_PER_WORKER` chunks per worker."""
+    if n_items <= 0:
+        return 1
+    return max(1, -(-n_items // (workers * CHUNKS_PER_WORKER)))
+
+
+def chunked(items: Sequence[T], size: int) -> List[List[T]]:
+    """Contiguous chunks of at most ``size`` items, order-preserving."""
+    if size < 1:
+        raise ValueError(f"chunk size must be >= 1, got {size}")
+    items = list(items)
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+_SHARED_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def shared_pool(workers: int) -> ProcessPoolExecutor:
+    """A cached executor of exactly ``workers`` processes.
+
+    Feature extraction and forest fitting are called once per fold per
+    dataset — dozens of times per experiment — and process start-up
+    would dominate small batches.  Pools are cached per size and torn
+    down at interpreter exit (or explicitly via
+    :func:`shutdown_shared_pools`).
+    """
+    workers = resolve_workers(workers)
+    pool = _SHARED_POOLS.get(workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        _SHARED_POOLS[workers] = pool
+    return pool
+
+
+def shutdown_shared_pools() -> None:
+    """Tear down every cached pool (tests; interpreter exit)."""
+    while _SHARED_POOLS:
+        _, pool = _SHARED_POOLS.popitem()
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_shared_pools)

@@ -21,8 +21,9 @@ partial traces never enter a dataset.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -335,6 +336,47 @@ def load_page_strict(
     return result.trace
 
 
+def visit_seed_rng(seed: int, label: str, sample: int) -> np.random.Generator:
+    """The canonical per-visit generator: derived from the visit's
+    *identity* ``(seed, label, sample)``, never from how many visits
+    ran before it.
+
+    An earlier version drew visit seeds from one sequential stream, so
+    adding a site to the list (or changing ``n_samples``) reshuffled
+    every subsequent visit's randomness.  Deriving from the coordinate
+    tuple makes each visit's trace a pure function of (seed, label,
+    sample): subsetting sites or extending sample counts leaves all
+    other visits bit-identical, matching the runner's position-derived
+    :func:`repro.experiments.runner.trial_seed_rng` — and it is what
+    makes parallel fan-out of :func:`collect_dataset` safe.  The label
+    enters through its CRC-32 so the derivation is independent of the
+    site catalogue's size or ordering.
+
+    Dataset-reproducibility implication: datasets collected with a
+    pre-fix sequential-stream build differ from current ones for the
+    same seed; re-collect rather than mixing the two generations.
+    """
+    return np.random.default_rng(
+        [seed, zlib.crc32(label.encode("utf-8")), sample]
+    )
+
+
+def _collect_visit_chunk(
+    config: PageLoadConfig, seed: int, visits: List[Tuple[str, int]]
+) -> List[Tuple[str, int, PageLoadResult]]:
+    """Worker task: run a chunk of ``(label, sample)`` visits.
+
+    Module-level (picklable) so :func:`collect_dataset` can fan chunks
+    out over a process pool; each visit reseeds from its coordinates,
+    so chunking never affects results.
+    """
+    out = []
+    for label, sample in visits:
+        rng = visit_seed_rng(seed, label, sample)
+        out.append((label, sample, load_page_result(SITE_CATALOG[label], config, rng)))
+    return out
+
+
 def collect_dataset(
     n_samples: int = 100,
     sites: Optional[List[str]] = None,
@@ -342,6 +384,7 @@ def collect_dataset(
     seed: int = 0,
     progress: Optional[Callable[[str, int], None]] = None,
     stall_log: Optional[List[PageLoadStalled]] = None,
+    workers: int = 1,
 ) -> Dataset:
     """Collect ``n_samples`` visits of each site (the paper's 100).
 
@@ -351,21 +394,46 @@ def collect_dataset(
     many visits were discarded; the resilient runner in
     :mod:`repro.experiments.runner` adds retries and checkpointing on
     top of this primitive.
+
+    ``workers > 1`` fans the (site x sample) grid out over a process
+    pool.  Every visit's randomness comes from :func:`visit_seed_rng`
+    (its coordinates, not a shared stream), and results are merged in
+    grid order, so the dataset is bit-identical for any worker count;
+    ``workers=1`` (default) is the in-process fast path.  ``workers=0``
+    uses one process per core.
     """
+    from repro.parallel import chunked, default_chunk_size, resolve_workers
+
     config = config or PageLoadConfig()
     dataset = Dataset()
     labels = sites or sorted(SITE_CATALOG)
-    root = np.random.default_rng(seed)
-    for label in labels:
-        profile = SITE_CATALOG[label]
-        for index in range(n_samples):
-            rng = np.random.default_rng(root.integers(0, 2**63))
-            result = load_page_result(profile, config, rng)
-            if not result.completed:
-                if stall_log is not None:
-                    stall_log.append(PageLoadStalled(label, result))
-                continue
-            dataset.add(label, result.trace)
-            if progress is not None:
-                progress(label, index)
+    grid = [(label, sample) for label in labels for sample in range(n_samples)]
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(grid) <= 1:
+        outcomes = _collect_visit_chunk(config, seed, grid)
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        chunks = chunked(grid, default_chunk_size(len(grid), workers))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            parts = pool.map(
+                _collect_visit_chunk,
+                [config] * len(chunks),
+                [seed] * len(chunks),
+                chunks,
+            )
+            merged = {
+                (label, sample): result
+                for part in parts
+                for label, sample, result in part
+            }
+        outcomes = [(label, s, merged[(label, s)]) for label, s in grid]
+    for label, index, result in outcomes:
+        if not result.completed:
+            if stall_log is not None:
+                stall_log.append(PageLoadStalled(label, result))
+            continue
+        dataset.add(label, result.trace)
+        if progress is not None:
+            progress(label, index)
     return dataset

@@ -1,0 +1,126 @@
+"""Serialisation safety: pickle-free archives + legacy compatibility.
+
+``save_dataset`` once passed ``allow_pickle=True`` to
+``np.savez_compressed`` — not a kwarg of savez, so numpy silently
+stored a bogus boolean array under the key ``"allow_pickle"`` in every
+archive, and object-dtype labels forced ``allow_pickle=True`` on load.
+Current archives must load with ``allow_pickle=False``; legacy ones
+must keep loading.
+"""
+
+import io
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.capture.dataset import Dataset
+from repro.capture.serialize import is_legacy_archive, load_dataset, save_dataset
+from repro.capture.trace import IN, OUT, Trace
+
+
+def make_dataset(rng, labels=("alpha", "beta"), per_label=3):
+    ds = Dataset()
+    for label in labels:
+        for _ in range(per_label):
+            n = int(rng.integers(5, 20))
+            times = np.cumsum(rng.exponential(0.01, n))
+            dirs = rng.choice([IN, OUT], n).astype(np.int8)
+            sizes = rng.integers(60, 1500, n)
+            ds.add(label, Trace(times - times[0], dirs, sizes))
+    return ds
+
+
+def save_legacy(dataset, path):
+    """Reproduce the pre-fix on-disk format: object-dtype labels plus
+    the stray ``allow_pickle`` member.
+
+    On NumPy < 2.0 ``savez_compressed`` had no ``allow_pickle``
+    parameter, so the old ``save_dataset`` call silently stored the
+    kwarg as an array; newer NumPy accepts the kwarg, so the stray
+    member is written explicitly here to match old archives on disk.
+    """
+    payload = {"_labels": np.array(dataset.labels, dtype=object)}
+    for label in dataset.labels:
+        traces = dataset.traces[label]
+        offsets = np.cumsum([len(t) for t in traces])[:-1]
+        payload[f"{label}/times"] = np.concatenate([t.times for t in traces])
+        payload[f"{label}/dirs"] = np.concatenate([t.directions for t in traces])
+        payload[f"{label}/sizes"] = np.concatenate([t.sizes for t in traces])
+        payload[f"{label}/offsets"] = np.asarray(offsets, dtype=np.int64)
+    np.savez_compressed(path, **payload)
+    # ``**payload`` can't carry the stray member on NumPy >= 2.0 (the
+    # key now collides with a real kwarg), so append it to the zip the
+    # way legacy NumPy stored it.
+    buf = io.BytesIO()
+    np.lib.format.write_array(buf, np.asarray(True))
+    with zipfile.ZipFile(path, "a") as zf:
+        zf.writestr("allow_pickle.npy", buf.getvalue())
+
+
+def datasets_equal(a, b):
+    if a.labels != b.labels:
+        return False
+    return all(
+        np.array_equal(t1.times, t2.times)
+        and np.array_equal(t1.directions, t2.directions)
+        and np.array_equal(t1.sizes, t2.sizes)
+        for label in a.labels
+        for t1, t2 in zip(a.traces[label], b.traces[label])
+    )
+
+
+def test_roundtrip_loads_without_pickle(tmp_path, rng):
+    ds = make_dataset(rng)
+    path = str(tmp_path / "ds.npz")
+    save_dataset(ds, path)
+    # The archive must be fully readable with pickle disabled...
+    with np.load(path, allow_pickle=False) as archive:
+        for key in archive.files:
+            archive[key]
+        assert archive["_labels"].dtype.kind == "U"
+    assert datasets_equal(ds, load_dataset(path))
+
+
+def test_no_stray_allow_pickle_key(tmp_path, rng):
+    path = str(tmp_path / "ds.npz")
+    save_dataset(make_dataset(rng), path)
+    with np.load(path, allow_pickle=False) as archive:
+        assert "allow_pickle" not in archive.files
+    with zipfile.ZipFile(path) as zf:
+        assert "allow_pickle.npy" not in zf.namelist()
+    assert not is_legacy_archive(path)
+
+
+def test_legacy_archive_still_loads(tmp_path, rng):
+    ds = make_dataset(rng)
+    path = str(tmp_path / "legacy.npz")
+    save_legacy(ds, path)
+    # Prove the fixture really reproduces the old defect...
+    with zipfile.ZipFile(path) as zf:
+        assert "allow_pickle.npy" in zf.namelist()
+    with np.load(path, allow_pickle=False) as archive:
+        with pytest.raises(ValueError):
+            archive["_labels"]
+    assert is_legacy_archive(path)
+    # ...and that the loader copes with both quirks.
+    assert datasets_equal(ds, load_dataset(path))
+
+
+def test_resave_modernises_legacy_archive(tmp_path, rng):
+    ds = make_dataset(rng)
+    legacy = str(tmp_path / "legacy.npz")
+    modern = str(tmp_path / "modern.npz")
+    save_legacy(ds, legacy)
+    save_dataset(load_dataset(legacy), modern)
+    with np.load(modern, allow_pickle=False) as archive:
+        assert "allow_pickle" not in archive.files
+        assert archive["_labels"].dtype.kind == "U"
+
+
+def test_empty_dataset_roundtrip(tmp_path):
+    path = str(tmp_path / "empty.npz")
+    save_dataset(Dataset(), path)
+    loaded = load_dataset(path)
+    assert loaded.labels == []
+    assert loaded.num_traces == 0

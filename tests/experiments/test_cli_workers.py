@@ -1,0 +1,62 @@
+"""CLI: --workers flag and the sweep subcommand."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.mark.parametrize("command", ["collect", "table2", "adverse", "sweep"])
+def test_workers_flag_parses(command):
+    args = build_parser().parse_args([command, "--workers", "2"])
+    assert args.workers == 2
+
+
+@pytest.mark.parametrize("command", ["collect", "table2", "adverse", "sweep"])
+def test_workers_defaults_to_in_process(command):
+    assert build_parser().parse_args([command]).workers == 1
+
+
+def test_negative_workers_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["collect", "--workers", "-1", "--out", "x.npz"])
+    assert "--workers" in capsys.readouterr().err
+
+
+def test_sweep_subcommand_listed():
+    assert "sweep" in build_parser().format_help()
+
+
+def test_sweep_wires_dataset_and_workers(tmp_path, capsys, monkeypatch):
+    import repro.experiments.parameter_sweep as ps
+
+    out = str(tmp_path / "tiny.npz")
+    assert main(["collect", "--samples", "1", "--seed", "2", "--out", out]) == 0
+    capsys.readouterr()
+    seen = {}
+
+    def fake_sweep(config, dataset=None, **kwargs):
+        seen["workers"] = config.workers
+        seen["n_traces"] = dataset.num_traces
+        return [ps.SweepPoint(1200, 0.1, 0.3, 0.5, 0.01, 0.1, 0.05)]
+
+    monkeypatch.setattr(ps, "run_parameter_sweep", fake_sweep)
+    assert main([
+        "sweep", "--dataset", out, "--samples", "1", "--seed", "2",
+        "--workers", "2",
+    ]) == 0
+    text = capsys.readouterr().out
+    assert "parameter sweep" in text
+    assert seen == {"workers": 2, "n_traces": 9}
+
+
+def test_collect_parallel_matches_serial_bytes(tmp_path, capsys):
+    serial = str(tmp_path / "serial.npz")
+    fanned = str(tmp_path / "fanned.npz")
+    assert main(["collect", "--samples", "1", "--seed", "3", "--out", serial]) == 0
+    assert main([
+        "collect", "--samples", "1", "--seed", "3", "--out", fanned,
+        "--workers", "2",
+    ]) == 0
+    assert (tmp_path / "serial.npz").read_bytes() == (
+        tmp_path / "fanned.npz"
+    ).read_bytes()

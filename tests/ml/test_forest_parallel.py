@@ -1,0 +1,76 @@
+"""Serial-vs-parallel bit-identity of the random forest.
+
+Per-tree generators are spawned from the root seed before any fan-out
+and prediction parallelises over rows (never trees), so every output —
+trees, votes, leaf indices, OOB score — must match the serial path
+exactly for any ``n_jobs``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForest
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(42)
+    X = rng.normal(size=(150, 25))
+    y = (X[:, 0] + X[:, 3] > 0).astype(np.int64) + rng.integers(0, 2, 150)
+    X_test = rng.normal(size=(40, 25))
+    return X, y, X_test
+
+
+def fit(n_jobs, data, **kwargs):
+    X, y, _ = data
+    forest = RandomForest(
+        n_estimators=10, random_state=7, oob_score=True, n_jobs=n_jobs, **kwargs
+    )
+    return forest.fit(X, y)
+
+
+def test_fit_is_bit_identical(data):
+    X, y, X_test = data
+    serial = fit(1, data)
+    parallel = fit(2, data)
+    assert len(serial.trees_) == len(parallel.trees_)
+    for t1, t2 in zip(serial.trees_, parallel.trees_):
+        assert np.array_equal(t1.feature, t2.feature)
+        assert np.array_equal(t1.threshold, t2.threshold)
+        assert np.array_equal(t1.value, t2.value)
+    assert serial.oob_score_ == parallel.oob_score_
+
+
+def test_predictions_bit_identical_for_any_job_count(data):
+    X, y, X_test = data
+    serial = fit(1, data)
+    for n_jobs in (2, 3):
+        parallel = fit(n_jobs, data)
+        assert np.array_equal(
+            serial.predict_proba(X_test), parallel.predict_proba(X_test)
+        )
+        assert np.array_equal(serial.predict(X_test), parallel.predict(X_test))
+        assert np.array_equal(serial.apply(X_test), parallel.apply(X_test))
+
+
+def test_parallel_predict_on_serial_fit(data):
+    """n_jobs only moves work around: a serially fitted forest
+    predicted with row fan-out gives the same votes."""
+    X, y, X_test = data
+    serial = fit(1, data)
+    fanned = fit(1, data)
+    fanned.n_jobs = 2
+    assert np.array_equal(serial.predict_proba(X_test), fanned.predict_proba(X_test))
+    assert np.array_equal(serial.apply(X_test), fanned.apply(X_test))
+
+
+def test_n_jobs_zero_means_all_cores(data):
+    forest = fit(0, data)
+    assert forest.n_jobs >= 1
+    _, _, X_test = data
+    assert np.array_equal(fit(1, data).predict(X_test), forest.predict(X_test))
+
+
+def test_negative_n_jobs_rejected():
+    with pytest.raises(ValueError):
+        RandomForest(n_jobs=-2)

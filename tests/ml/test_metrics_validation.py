@@ -1,0 +1,50 @@
+"""confusion_matrix label validation.
+
+``np.add.at`` fancy indexing wraps negative labels silently — a ``-1``
+increments the *last* row — so out-of-range labels must be rejected,
+not absorbed into a corrupted matrix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import confusion_matrix, precision_recall_f1
+
+
+def test_valid_labels_unchanged():
+    matrix = confusion_matrix([0, 1, 2, 1], [0, 2, 2, 1], 3)
+    assert matrix.tolist() == [[1, 0, 0], [0, 1, 1], [0, 0, 1]]
+    assert matrix.sum() == 4
+
+
+def test_negative_true_label_rejected():
+    with pytest.raises(ValueError, match=r"y_true.*\[0, 3\).*-1"):
+        confusion_matrix([0, -1, 2], [0, 1, 2], 3)
+
+
+def test_negative_predicted_label_rejected():
+    with pytest.raises(ValueError, match="y_pred"):
+        confusion_matrix([0, 1, 2], [0, -1, 2], 3)
+
+
+def test_label_at_or_above_n_classes_rejected():
+    with pytest.raises(ValueError, match="y_true"):
+        confusion_matrix([0, 3], [0, 1], 3)
+    with pytest.raises(ValueError, match="y_pred"):
+        confusion_matrix([0, 1], [0, 7], 3)
+
+
+def test_invalid_n_classes_rejected():
+    with pytest.raises(ValueError, match="n_classes"):
+        confusion_matrix([0], [0], 0)
+
+
+def test_empty_arrays_allowed():
+    assert confusion_matrix([], [], 2).tolist() == [[0, 0], [0, 0]]
+
+
+def test_precision_recall_inherits_validation():
+    # The derived metrics go through confusion_matrix and therefore
+    # reject the same corruption instead of silently mis-scoring.
+    with pytest.raises(ValueError):
+        precision_recall_f1(np.array([0, -1]), np.array([0, 1]), 2)

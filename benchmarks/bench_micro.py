@@ -7,13 +7,27 @@ substrates so regressions in the simulator or the ML stack are caught:
 * page-load simulation rate,
 * k-FP feature extraction rate,
 * random-forest fit/predict,
-* SACK scoreboard arithmetic.
+* SACK scoreboard arithmetic,
+* raw event-loop churn vs. the pre-observability baseline loop.
+
+:class:`BaselineEventLoop` is a frozen copy of the event loop as it
+stood *before* the observability hooks landed.  It exists so the
+disabled-path overhead of instrumentation is measured against real
+code, not remembered numbers: ``tests/obs/test_overhead_guard.py``
+asserts the instrumented-but-disabled loop stays within 5 % of this
+baseline's throughput on the same workload (the absolute numbers from
+this machine are recorded in ``results/bench_micro_pre_obs.txt``).
 """
+
+import heapq
+import itertools
+import time
 
 import numpy as np
 import pytest
 
 from repro.attacks.features.kfp import KfpFeatureExtractor
+from repro.simnet.engine import Event as _Event
 from repro.ml.forest import RandomForest
 from repro.simnet.engine import Simulator
 from repro.simnet.path import NetworkPath
@@ -25,6 +39,99 @@ from repro.web.pageload import PageLoadConfig, load_page
 from repro.web.sites import SITE_CATALOG
 
 pytestmark = pytest.mark.benchmark(group="micro")
+
+
+class BaselineEventLoop:
+    """The seed repo's event loop, verbatim, minus docstrings.
+
+    Frozen on purpose: this is the pre-instrumentation reference the
+    observability overhead guard compares against.  Do not "improve"
+    it — any change invalidates the comparison.
+    """
+
+    def __init__(self):
+        self._heap = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    def schedule(self, delay, action):
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = _Event(time=self._now + delay, seq=next(self._seq), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def step(self):
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.action()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until=None, max_events=None):
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                return
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                self._now = max(self._now, until)
+                return
+            if self.step():
+                executed += 1
+        if until is not None:
+            self._now = max(self._now, until)
+
+
+def run_event_churn(loop, n_events=20_000):
+    """The fixed overhead-guard workload: a self-rescheduling chain
+    plus a pre-scheduled batch, exercising push, pop and cancellation
+    exactly as page loads do.  Returns events executed."""
+    remaining = [n_events // 2]
+
+    def chain():
+        if remaining[0] > 0:
+            remaining[0] -= 1
+            loop.schedule(1e-6, chain)
+
+    loop.schedule(0.0, chain)
+    cancel_every = 16
+    for i in range(n_events // 2):
+        event = loop.schedule(1e-6 * (i + 1), lambda: None)
+        if i % cancel_every == 0:
+            event.cancel()
+    loop.run()
+    return loop._processed
+
+
+def event_churn_throughput(loop_factory, n_events=20_000, repeats=5):
+    """Best-of-``repeats`` events/second for :func:`run_event_churn`."""
+    best = float("inf")
+    executed = 0
+    for _ in range(repeats):
+        loop = loop_factory()
+        started = time.perf_counter()
+        executed = run_event_churn(loop, n_events)
+        best = min(best, time.perf_counter() - started)
+    return executed / best
+
+
+def test_event_churn_vs_baseline(benchmark):
+    """Track raw loop churn; the 5 % guard lives in tests/obs."""
+    from repro.simnet.engine import EventLoop
+
+    executed = benchmark(lambda: run_event_churn(EventLoop(), 20_000))
+    assert executed > 10_000
+    # Same workload must execute the same events on the baseline loop.
+    assert run_event_churn(BaselineEventLoop(), 20_000) == executed
 
 
 def run_bulk_transfer():

@@ -22,6 +22,14 @@ feature extraction and forest fitting out over N processes (0 = one
 per core).  All randomness is position-derived, so any worker count
 produces bit-identical results — ``--workers`` is purely a wall-clock
 knob and composes with ``--checkpoint``/``--resume``.
+
+``--metrics PATH`` / ``--trace PATH`` (collect/table2/adverse/sweep)
+turn on the :mod:`repro.obs` observability layer: counters, gauges and
+histograms from the simulator, TCP stack, Stob controller and runner
+land in a JSON metrics file, and structured schema-v1 events in a
+JSONL trace file.  ``repro report FILE`` summarises either artifact.
+Deterministic counters (events processed, packets, retries) are equal
+for any ``--workers`` value; worker metrics merge into the parent.
 """
 
 from __future__ import annotations
@@ -57,6 +65,18 @@ def _add_dataset_opts(
     parser.add_argument(
         "--resume", action="store_true",
         help="resume an interrupted collection from --checkpoint",
+    )
+
+
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics", type=str, default=None, metavar="PATH",
+        help="write a metrics snapshot (JSON) of the run to PATH "
+        "(summarise with `repro report PATH`)",
+    )
+    parser.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="write structured schema-v1 events (JSONL) to PATH",
     )
 
 
@@ -300,6 +320,18 @@ def cmd_adverse(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    from repro.obs.report import format_report
+
+    blocks = []
+    for path in args.paths:
+        if not os.path.exists(path):
+            args._parser.error(f"report file not found: {path}")
+        blocks.append(format_report(path))
+    print("\n\n".join(blocks))
+    return 0
+
+
 def cmd_sweep(args) -> int:
     from repro.experiments.parameter_sweep import (
         format_parameter_sweep,
@@ -332,6 +364,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume an interrupted collection from --checkpoint",
     )
     _add_workers(p)
+    _add_obs(p)
     p.set_defaults(func=cmd_collect)
 
     p = sub.add_parser("table1", help="defense taxonomy + overheads")
@@ -342,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     _add_dataset_opts(p)
     _add_workers(p)
+    _add_obs(p)
     p.set_defaults(func=cmd_table2)
 
     def _alpha_list(text: str) -> tuple:
@@ -408,6 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated subset of clean,bursty,flap (default: all)",
     )
     _add_workers(p)
+    _add_obs(p)
     p.set_defaults(func=cmd_adverse)
 
     p = sub.add_parser(
@@ -417,7 +452,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     _add_dataset_opts(p)
     _add_workers(p)
+    _add_obs(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "report",
+        help="summarise --metrics / --trace files from an earlier run",
+    )
+    p.add_argument("paths", nargs="+", help="metrics (.json) or trace (.jsonl) files")
+    p.set_defaults(func=cmd_report)
     return parser
 
 
@@ -426,7 +469,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     _validate_common(parser, args)
     args._parser = parser
-    return args.func(args)
+    metrics_path = getattr(args, "metrics", None)
+    trace_path = getattr(args, "trace", None)
+    if metrics_path is None and trace_path is None:
+        return args.func(args)
+
+    # Observability must be live before any simulator/endpoint is
+    # constructed — components bind their instruments at build time.
+    from repro.obs import runtime as obs_runtime
+
+    session = obs_runtime.enable(trace_path=trace_path)
+    exit_code = 1
+    try:
+        session.emit("run.start", "cli", command=args.command)
+        exit_code = args.func(args)
+        return exit_code
+    finally:
+        session.emit("run.end", "cli", command=args.command, exit_code=exit_code)
+        if metrics_path is not None:
+            session.registry.dump(metrics_path)
+        obs_runtime.disable()
 
 
 if __name__ == "__main__":

@@ -39,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import runtime as _obs_runtime
 from repro.parallel import chunked, default_chunk_size, resolve_workers
 
 from repro.capture.dataset import Dataset
@@ -140,6 +141,12 @@ class RunnerConfig:
 #: A trial function: (label, sample index, rng, watchdog) -> Trace.
 TrialFn = Callable[[str, int, np.random.Generator, Optional[Callable[[], None]]], Trace]
 
+#: Fixed bucket edges for per-trial wall time (seconds).
+TRIAL_WALL_EDGES = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
 
 def trial_seed_rng(master_seed: int, site_index: int, sample: int, attempt: int) -> np.random.Generator:
     """The canonical per-trial generator.
@@ -208,6 +215,7 @@ def execute_trial(
     so where the trial executes never changes its randomness."""
     outcome = TrialOutcome(label=label, sample=sample, trace=None)
     last_error: Optional[BaseException] = None
+    trial_started = clock()
     for attempt in range(retry.max_attempts):
         rng = trial_seed_rng(master_seed, site_index, sample, attempt)
         watchdog: Optional[Callable[[], None]] = None
@@ -224,6 +232,7 @@ def execute_trial(
 
         try:
             outcome.trace = trial_fn(label, sample, rng, watchdog)
+            _observe_trial(outcome, clock() - trial_started)
             return outcome
         except RETRYABLE + (TrialDeadlineExceeded,) as error:
             last_error = error
@@ -239,7 +248,33 @@ def execute_trial(
         error=type(last_error).__name__,
         message=str(last_error),
     )
+    _observe_trial(outcome, clock() - trial_started)
     return outcome
+
+
+def _observe_trial(outcome: TrialOutcome, wall_seconds: float) -> None:
+    """Record one finished retry loop in the active metrics registry.
+
+    Runs in whichever process executed the trial — the parent on the
+    serial path, a pool worker otherwise (worker registries travel
+    home as snapshots, see :mod:`repro.obs.runtime`).  All counters
+    here are sim-determined, so serial and parallel runs report equal
+    totals; only the wall-time histogram is machine-dependent.
+    """
+    obs = _obs_runtime.session()
+    if obs is None:
+        return
+    registry = obs.registry
+    registry.counter("runner.trials").add(1)
+    if outcome.trace is not None:
+        registry.counter("runner.trials_completed").add(1)
+    registry.counter("runner.retries").add(outcome.retries)
+    registry.counter("runner.stalls").add(outcome.stalls)
+    if outcome.failure is not None:
+        registry.counter("runner.trials_failed").add(1)
+    registry.histogram(
+        "runner.trial_wall_seconds", TRIAL_WALL_EDGES
+    ).observe(wall_seconds)
 
 
 def _execute_trial_chunk(
@@ -320,6 +355,13 @@ class ResilientRunner:
         with open(tmp, "w") as handle:
             json.dump(manifest, handle, indent=1, sort_keys=True)
         os.replace(tmp, self._manifest_path(checkpoint_path))
+        obs = _obs_runtime.session()
+        if obs is not None:
+            obs.registry.counter("runner.checkpoint_writes").add(1)
+            obs.emit(
+                "checkpoint.write", "runner",
+                trials=sum(len(v) for v in results.values()),
+            )
 
     def _load_checkpoint(
         self, checkpoint_path: str, fingerprint: str
@@ -433,9 +475,28 @@ class ResilientRunner:
             and sample not in failed.get(label, set())
         ]
 
+        obs = _obs_runtime.session()
+
         def complete(outcome: TrialOutcome) -> None:
             nonlocal since_checkpoint
             self._merge_outcome(outcome, report)
+            if obs is not None:
+                if outcome.retries:
+                    obs.emit(
+                        "trial.retry", "runner", label=outcome.label,
+                        sample=outcome.sample, retries=outcome.retries,
+                    )
+                if outcome.failure is not None:
+                    obs.emit(
+                        "trial.failure", "runner", label=outcome.label,
+                        sample=outcome.sample, error=outcome.failure.error,
+                    )
+                else:
+                    obs.emit(
+                        "trial.end", "runner", label=outcome.label,
+                        sample=outcome.sample, retries=outcome.retries,
+                        stalls=outcome.stalls,
+                    )
             if outcome.trace is not None:
                 results.setdefault(outcome.label, {})[outcome.sample] = outcome.trace
                 report.completed_trials += 1
@@ -452,6 +513,10 @@ class ResilientRunner:
                 )
             else:
                 for label, site_index, sample in pending:
+                    if obs is not None:
+                        obs.emit(
+                            "trial.start", "runner", label=label, sample=sample
+                        )
                     outcome = execute_trial(
                         trial_fn, label, site_index, sample, master_seed,
                         self.config.retry,
@@ -498,10 +563,17 @@ class ResilientRunner:
             len(pending), workers
         )
         chunks = chunked(pending, chunk_size)
+        # With observability on, chunks run under worker-local metric
+        # sessions whose snapshots ship back with the outcomes and are
+        # folded into the parent registry (obs.absorb) — counter totals
+        # therefore match the serial path for any worker count.
+        chunk_fn = _execute_trial_chunk
+        if _obs_runtime.session() is not None:
+            chunk_fn = _obs_runtime.WorkerTask(_execute_trial_chunk)
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
                 pool.submit(
-                    _execute_trial_chunk,
+                    chunk_fn,
                     trial_fn,
                     self.config.retry,
                     master_seed,
@@ -514,7 +586,7 @@ class ResilientRunner:
                 while futures:
                     done, futures = wait(futures, return_when=FIRST_COMPLETED)
                     for future in done:
-                        for outcome in future.result():
+                        for outcome in _obs_runtime.absorb(future.result()):
                             complete(outcome)
             except BaseException:
                 for future in futures:

@@ -1,0 +1,66 @@
+"""``repro.obs`` — dependency-free observability for the whole stack.
+
+Three pieces, used together or alone:
+
+* :mod:`repro.obs.metrics` — counters / gauges / histograms / timers
+  in a mergeable :class:`~repro.obs.metrics.Registry` with
+  deterministic (fixed-bucket, sorted-key) output;
+* :mod:`repro.obs.tracing` — a JSONL event tracer with a versioned,
+  documented schema (:mod:`repro.obs.schema`);
+* :mod:`repro.obs.runtime` — the process-wide session, its disabled
+  fast path (hot loops pay one attribute check), and the
+  worker-snapshot merge used by :mod:`repro.parallel` fan-out.
+
+``repro <cmd> --metrics m.json --trace t.jsonl`` turns it on from the
+CLI; ``repro report m.json t.jsonl`` summarises the artifacts.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    Timer,
+    load_snapshot,
+    pow2_edges,
+)
+from repro.obs.runtime import (
+    ObsSession,
+    WorkerResult,
+    WorkerTask,
+    absorb,
+    disable,
+    enable,
+    enabled,
+    session,
+)
+from repro.obs.schema import (
+    KNOWN_KINDS,
+    TRACE_SCHEMA_VERSION,
+    validate_record,
+    validate_trace_file,
+)
+from repro.obs.tracing import Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KNOWN_KINDS",
+    "ObsSession",
+    "Registry",
+    "TRACE_SCHEMA_VERSION",
+    "Timer",
+    "Tracer",
+    "WorkerResult",
+    "WorkerTask",
+    "absorb",
+    "disable",
+    "enable",
+    "enabled",
+    "load_snapshot",
+    "pow2_edges",
+    "session",
+    "validate_record",
+    "validate_trace_file",
+]

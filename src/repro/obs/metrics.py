@@ -1,0 +1,363 @@
+"""Hierarchical metrics: counters, gauges, timers, histograms.
+
+The instruments live in a :class:`Registry`, keyed by dotted names
+(``simnet.events_processed``, ``tcp.retransmissions``) so a report can
+group them by subsystem.  Design constraints, in order:
+
+* **deterministic output** — histograms use *fixed* bucket edges
+  declared at creation, counters are plain integers/floats, and
+  snapshots serialise with sorted keys, so two runs that do the same
+  work produce byte-identical metrics files (wall-clock instruments
+  are the documented exception);
+* **mergeable** — :meth:`Registry.merge` folds a snapshot produced in
+  a worker process into the parent registry (counters add, histogram
+  bucket counts add element-wise, gauges combine min/max), which is
+  how :mod:`repro.parallel` fan-out keeps one coherent set of totals;
+* **cheap when off** — components hold instrument references obtained
+  once at construction; with observability disabled they hold ``None``
+  and the hot loops pay a single attribute check
+  (see :mod:`repro.obs.runtime`).
+
+Nothing here imports from the simulation layers, so every layer may
+import this module without cycles.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+#: Format tag written into every metrics snapshot/file.
+METRICS_SCHEMA = "repro.obs/metrics"
+METRICS_VERSION = 1
+
+
+def pow2_edges(lo: int, hi: int) -> Tuple[int, ...]:
+    """Power-of-two bucket edges from ``lo`` to ``hi`` inclusive."""
+    if lo <= 0 or hi < lo:
+        raise ValueError(f"need 0 < lo <= hi, got ({lo}, {hi})")
+    edges = []
+    edge = lo
+    while edge <= hi:
+        edges.append(edge)
+        edge *= 2
+    return tuple(edges)
+
+
+class Counter:
+    """A monotonically increasing sum (int or float)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def add(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        self.value += amount
+
+    inc = add
+
+    def state(self) -> Number:
+        return self.value
+
+    def merge_state(self, state: Number) -> None:
+        self.value += state
+
+
+class Gauge:
+    """A point-in-time value with min/max envelope.
+
+    Merging across workers cannot preserve "whichever process set it
+    last" (completion order is nondeterministic), so ``last`` merges as
+    the max — min/max are the meaningful aggregates.
+    """
+
+    __slots__ = ("name", "last", "min", "max", "sets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.last: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+        self.sets = 0
+
+    def set(self, value: Number) -> None:
+        self.last = value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self.sets += 1
+
+    def state(self) -> Dict[str, Number]:
+        return {
+            "last": self.last,
+            "min": 0 if self.min is None else self.min,
+            "max": 0 if self.max is None else self.max,
+            "sets": self.sets,
+        }
+
+    def merge_state(self, state: Dict[str, Number]) -> None:
+        if state.get("sets", 0) == 0:
+            return
+        if self.sets == 0:
+            self.min = state["min"]
+            self.max = state["max"]
+            self.last = state["last"]
+        else:
+            self.min = min(self.min, state["min"])
+            self.max = max(self.max, state["max"])
+            self.last = max(self.last, state["last"])
+        self.sets += state["sets"]
+
+
+class Histogram:
+    """A fixed-bucket histogram.
+
+    ``edges`` are upper bounds: an observation lands in the first
+    bucket whose edge is >= the value; values above the last edge land
+    in the overflow bucket (``counts`` has ``len(edges) + 1`` cells).
+    Fixed edges — never computed from the data — are what make
+    histogram output deterministic and snapshots mergeable.
+    """
+
+    __slots__ = ("name", "edges", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, edges: Sequence[Number]) -> None:
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError(f"histogram {name} needs ascending edges, got {edges}")
+        self.name = name
+        self.edges: Tuple[Number, ...] = tuple(edges)
+        self.counts: List[int] = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.total: float = 0.0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+
+    def observe(self, value: Number) -> None:
+        self.counts[bisect.bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper edge of the bucket holding
+        the q-th observation (the overflow bucket reports ``max``)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank and n:
+                if i < len(self.edges):
+                    return float(self.edges[i])
+                return float(self.max)
+        return float(self.max)
+
+    def state(self) -> Dict[str, object]:
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": 0 if self.min is None else self.min,
+            "max": 0 if self.max is None else self.max,
+        }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        if tuple(state["edges"]) != self.edges:
+            raise ValueError(
+                f"histogram {self.name}: cannot merge edges "
+                f"{state['edges']} into {list(self.edges)}"
+            )
+        for i, n in enumerate(state["counts"]):
+            self.counts[i] += n
+        if state["count"]:
+            self.min = state["min"] if self.min is None else min(self.min, state["min"])
+            self.max = state["max"] if self.max is None else max(self.max, state["max"])
+        self.count += state["count"]
+        self.total += state["sum"]
+
+
+class Timer:
+    """Accumulated wall-clock spans (total seconds, count, max).
+
+    Wall time is inherently nondeterministic; timers exist for the
+    sim-time/wall-time ratio and per-phase profiling, and are excluded
+    from determinism guarantees.
+    """
+
+    __slots__ = ("name", "count", "total", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            seconds = 0.0
+        self.count += 1
+        self.total += seconds
+        self.max = max(self.max, seconds)
+
+    def time(self) -> "_TimerSpan":
+        return _TimerSpan(self)
+
+    def state(self) -> Dict[str, float]:
+        return {"count": self.count, "total": self.total, "max": self.max}
+
+    def merge_state(self, state: Dict[str, float]) -> None:
+        self.count += int(state["count"])
+        self.total += state["total"]
+        self.max = max(self.max, state["max"])
+
+
+class _TimerSpan:
+    """``with timer.time():`` context manager."""
+
+    __slots__ = ("_timer", "_started")
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+        self._started = 0.0
+
+    def __enter__(self) -> "_TimerSpan":
+        import time
+
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        import time
+
+        self._timer.record(time.perf_counter() - self._started)
+
+
+_KIND_SECTIONS = {
+    Counter: "counters",
+    Gauge: "gauges",
+    Histogram: "histograms",
+    Timer: "timers",
+}
+
+
+class Registry:
+    """A namespace of instruments, one per dotted name.
+
+    Accessors are get-or-create and idempotent; asking for an existing
+    name with a different instrument type (or different histogram
+    edges) is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, cls, *args):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, *args)
+            self._instruments[name] = instrument
+            return instrument
+        if not isinstance(instrument, cls):
+            raise TypeError(
+                f"{name} is a {type(instrument).__name__}, not a {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, edges: Sequence[Number]) -> Histogram:
+        histogram = self._get(name, Histogram, edges)
+        if histogram.edges != tuple(edges):
+            raise ValueError(
+                f"histogram {name} exists with edges {list(histogram.edges)}, "
+                f"requested {list(edges)}"
+            )
+        return histogram
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-data (JSON-serialisable) view of every instrument."""
+        sections: Dict[str, Dict[str, object]] = {
+            "counters": {}, "gauges": {}, "histograms": {}, "timers": {},
+        }
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            sections[_KIND_SECTIONS[type(instrument)]][name] = instrument.state()
+        return {
+            "schema": METRICS_SCHEMA,
+            "version": METRICS_VERSION,
+            **sections,
+        }
+
+    def merge(self, snapshot: Dict[str, object]) -> None:
+        """Fold a snapshot (e.g. from a worker process) into this
+        registry.  Counters and histograms are additive; gauges merge
+        their envelopes; unknown names are created on the fly."""
+        if snapshot.get("schema") != METRICS_SCHEMA:
+            raise ValueError(
+                f"not a metrics snapshot: schema={snapshot.get('schema')!r}"
+            )
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).merge_state(value)
+        for name, state in snapshot.get("gauges", {}).items():
+            self.gauge(name).merge_state(state)
+        for name, state in snapshot.get("histograms", {}).items():
+            self.histogram(name, state["edges"]).merge_state(state)
+        for name, state in snapshot.get("timers", {}).items():
+            self.timer(name).merge_state(state)
+
+    # -- persistence -------------------------------------------------------
+
+    def dump(self, path: str) -> None:
+        """Write the snapshot as deterministic, sorted-key JSON."""
+        import os
+
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(self.snapshot(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+
+
+def load_snapshot(path: str) -> Dict[str, object]:
+    """Read and sanity-check a metrics file written by :meth:`Registry.dump`."""
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    if not isinstance(snapshot, dict) or snapshot.get("schema") != METRICS_SCHEMA:
+        raise ValueError(f"{path} is not a {METRICS_SCHEMA} file")
+    if snapshot.get("version") != METRICS_VERSION:
+        raise ValueError(
+            f"{path} has metrics version {snapshot.get('version')}, "
+            f"this build reads version {METRICS_VERSION}"
+        )
+    return snapshot

@@ -1,0 +1,166 @@
+"""Human-readable summaries of metrics and trace files.
+
+``repro report FILE [FILE ...]`` renders either artifact kind:
+
+* a **metrics** file (JSON written by ``--metrics``) becomes grouped
+  counter/gauge/histogram/timer tables, plus derived figures such as
+  the sim-time/wall-time ratio when both sides were recorded;
+* a **trace** file (JSONL written by ``--trace``) is schema-validated
+  and summarised as event-kind counts and the time span.
+
+File kind is sniffed from content, not extension: a metrics file is a
+single JSON object carrying the metrics schema tag, anything else is
+treated as a JSONL trace.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.obs.metrics import METRICS_SCHEMA, load_snapshot
+from repro.obs.schema import kind_counts, validate_trace_file
+
+
+def sniff_kind(path: str) -> str:
+    """``"metrics"`` or ``"trace"`` for ``path``."""
+    with open(path) as handle:
+        head = handle.read(4096).lstrip()
+    if head.startswith("{"):
+        try:
+            first = json.loads(head if head.count("\n") == 0 else head.splitlines()[0])
+        except json.JSONDecodeError:
+            first = None
+        if isinstance(first, dict) and "kind" in first and "ts" in first:
+            return "trace"
+    if METRICS_SCHEMA in head:
+        return "metrics"
+    return "trace"
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, int):
+        return f"{value}"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.4g}"
+
+
+def format_metrics_report(snapshot: Dict[str, object], path: str = "") -> str:
+    """Render a metrics snapshot as aligned text tables."""
+    lines: List[str] = []
+    title = f"metrics {path}".rstrip()
+    lines.append(title)
+    lines.append("=" * len(title))
+
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append("counters")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {_fmt(counters[name])}")
+
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append("gauges (last / min / max)")
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            g = gauges[name]
+            lines.append(
+                f"  {name:<{width}}  {_fmt(g['last'])} / "
+                f"{_fmt(g['min'])} / {_fmt(g['max'])}"
+            )
+
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append("histograms (count / mean / p50 / p99 / max)")
+        width = max(len(name) for name in histograms)
+        for name in sorted(histograms):
+            h = histograms[name]
+            count = h["count"]
+            mean = h["sum"] / count if count else 0.0
+            lines.append(
+                f"  {name:<{width}}  {count} / {_fmt(mean)} / "
+                f"{_fmt(_bucket_quantile(h, 0.5))} / "
+                f"{_fmt(_bucket_quantile(h, 0.99))} / {_fmt(h['max'])}"
+            )
+
+    timers = snapshot.get("timers", {})
+    if timers:
+        lines.append("")
+        lines.append("timers (count / total s / max s)")
+        width = max(len(name) for name in timers)
+        for name in sorted(timers):
+            t = timers[name]
+            lines.append(
+                f"  {name:<{width}}  {int(t['count'])} / "
+                f"{_fmt(t['total'])} / {_fmt(t['max'])}"
+            )
+
+    derived = _derived_lines(counters, timers)
+    if derived:
+        lines.append("")
+        lines.append("derived")
+        lines.extend(derived)
+    return "\n".join(lines)
+
+
+def _bucket_quantile(state: Dict[str, object], q: float) -> float:
+    count = state["count"]
+    if not count:
+        return 0.0
+    rank = q * count
+    seen = 0
+    for i, n in enumerate(state["counts"]):
+        seen += n
+        if seen >= rank and n:
+            edges = state["edges"]
+            return float(edges[i]) if i < len(edges) else float(state["max"])
+    return float(state["max"])
+
+
+def _derived_lines(counters: Dict[str, float], timers: Dict[str, object]) -> List[str]:
+    lines = []
+    sim = counters.get("simnet.sim_seconds")
+    wall = timers.get("simnet.wall", {}).get("total") if timers else None
+    if sim and wall:
+        lines.append(f"  sim-time / wall-time      {sim / wall:.1f}x")
+    events = counters.get("simnet.events_processed")
+    if events and wall:
+        lines.append(f"  simulator event rate      {events / wall:,.0f} events/s")
+    retx = counters.get("tcp.retransmissions")
+    segs = counters.get("tcp.segments_sent")
+    if retx is not None and segs:
+        lines.append(f"  retransmit ratio          {retx / segs:.4f}")
+    return lines
+
+
+def format_trace_report(path: str) -> str:
+    """Validate a trace file and render its summary."""
+    records = validate_trace_file(path)
+    title = f"trace {path}"
+    lines = [title, "=" * len(title), ""]
+    if not records:
+        lines.append("(empty trace)")
+        return "\n".join(lines)
+    span = records[-1]["ts"] - records[0]["ts"]
+    lines.append(f"{len(records)} events over {span:.3f}s (schema v1, valid)")
+    lines.append("")
+    lines.append("events by kind")
+    pairs = kind_counts(records)
+    width = max(len(kind) for kind, _ in pairs)
+    for kind, count in pairs:
+        lines.append(f"  {kind:<{width}}  {count}")
+    return "\n".join(lines)
+
+
+def format_report(path: str) -> str:
+    """Render ``path`` (metrics or trace, sniffed) as text."""
+    if sniff_kind(path) == "metrics":
+        return format_metrics_report(load_snapshot(path), path)
+    return format_trace_report(path)

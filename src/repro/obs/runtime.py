@@ -1,0 +1,151 @@
+"""The process-wide observability session and its no-op fast path.
+
+Observability is off by default: :func:`session` returns ``None``,
+components cache that ``None`` at construction, and every hot loop
+pays exactly one ``is not None`` attribute check.  :func:`enable`
+(called by the CLI when ``--metrics``/``--trace`` is given, or by
+tests) installs an :class:`ObsSession` holding the metrics
+:class:`~repro.obs.metrics.Registry` and, optionally, a
+:class:`~repro.obs.tracing.Tracer`.
+
+Cross-process semantics
+-----------------------
+
+Simulations fan out over :class:`~concurrent.futures.ProcessPoolExecutor`
+workers (see :mod:`repro.parallel`).  Two rules keep the numbers
+coherent:
+
+* a session is **pid-scoped** — a forked worker that inherited the
+  parent's session object sees :func:`session` return ``None``
+  (matching pids is the guard), so workers never write to the
+  parent's trace file descriptor;
+* worker tasks are wrapped in :class:`WorkerTask`, which installs a
+  fresh *metrics-only* session around the task, snapshots it, and
+  ships the snapshot home with the payload; the parent calls
+  :func:`absorb` to fold it into its registry.  Counters are additive
+  and every simulation's work is position-deterministic, so the merged
+  totals equal a serial run's for any worker count.
+
+Trace events are emitted only by the coordinating process (worker
+sessions carry no tracer): a single writer is what keeps ``ts``
+monotone within a file.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.obs.metrics import Registry
+from repro.obs.tracing import Tracer
+
+
+class ObsSession:
+    """One process's live observability state."""
+
+    def __init__(self, trace_path: Optional[str] = None) -> None:
+        self.registry = Registry()
+        self.tracer: Optional[Tracer] = Tracer(trace_path) if trace_path else None
+        self.pid = os.getpid()
+
+    def emit(self, kind: str, src: str, **fields: object) -> None:
+        """Trace an event if this session carries a tracer."""
+        if self.tracer is not None:
+            self.tracer.emit(kind, src, **fields)
+
+    def close(self) -> None:
+        if self.tracer is not None:
+            self.tracer.close()
+
+
+_SESSION: Optional[ObsSession] = None
+
+
+def enable(trace_path: Optional[str] = None) -> ObsSession:
+    """Install (and return) the process-wide session.
+
+    Components read the session at *construction*, so enable
+    observability before building simulators/endpoints — the CLI does
+    this before dispatching any subcommand.
+    """
+    global _SESSION
+    if _SESSION is not None and _SESSION.pid == os.getpid():
+        raise RuntimeError("observability is already enabled; disable() first")
+    _SESSION = ObsSession(trace_path)
+    return _SESSION
+
+
+def disable() -> None:
+    """Tear the session down (closing the tracer).  Idempotent."""
+    global _SESSION
+    if _SESSION is not None and _SESSION.pid == os.getpid():
+        _SESSION.close()
+    _SESSION = None
+
+
+def session() -> Optional[ObsSession]:
+    """The current process's session, or ``None`` (the fast path).
+
+    The pid check makes inherited sessions invisible to forked
+    workers: their metrics arrive via :class:`WorkerTask` snapshots,
+    never via the parent's instruments or file handles.
+    """
+    if _SESSION is not None and _SESSION.pid == os.getpid():
+        return _SESSION
+    return None
+
+
+def enabled() -> bool:
+    return session() is not None
+
+
+@dataclass
+class WorkerResult:
+    """A worker task's payload plus its metrics snapshot."""
+
+    payload: Any
+    metrics: Dict[str, object]
+
+
+@dataclass
+class WorkerTask:
+    """Wraps a picklable task so it runs under a worker-local,
+    metrics-only session and returns a :class:`WorkerResult`.
+
+    Pool submission sites wrap their chunk functions in this only when
+    the parent session is active; with observability off the original
+    function is submitted unwrapped and nothing changes.
+    """
+
+    fn: Callable[..., Any]
+
+    def __call__(self, *args: Any, **kwargs: Any) -> WorkerResult:
+        global _SESSION
+        inherited = _SESSION
+        _SESSION = worker_session = ObsSession(trace_path=None)
+        try:
+            payload = self.fn(*args, **kwargs)
+            snapshot = worker_session.registry.snapshot()
+        finally:
+            _SESSION = inherited
+        return WorkerResult(payload=payload, metrics=snapshot)
+
+
+def absorb(result: Any) -> Any:
+    """Unwrap a :class:`WorkerResult`, folding its metrics into the
+    current session (when one is active).  Pass-through for plain
+    payloads, so merge sites can call it unconditionally."""
+    if not isinstance(result, WorkerResult):
+        return result
+    current = session()
+    if current is not None:
+        current.registry.merge(result.metrics)
+        current.emit(
+            "worker.merge", "parallel",
+            instruments=sum(
+                len(result.metrics.get(section, {}))
+                for section in ("counters", "gauges", "histograms", "timers")
+            ),
+        )
+    return result.payload

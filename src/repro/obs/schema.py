@@ -1,0 +1,134 @@
+"""Trace event schema, version 1.
+
+Every line of a trace file is one JSON object (JSONL).  Required keys:
+
+==========  ======================================================
+``v``       schema version; always the integer ``1``
+``ts``      seconds since the tracer was opened (float, wall clock,
+            monotone non-decreasing across the file)
+``kind``    event type, one of :data:`KNOWN_KINDS`
+``src``     emitting component (``cli``, ``runner``, ``pageload``,
+            ``tcp.flow<N>``, ...)
+==========  ======================================================
+
+Any other key is an event-specific detail field and must hold a JSON
+scalar (string / number / bool / null) — keeping records flat means
+every consumer from ``jq`` to a spreadsheet can read them.
+
+Event kinds (v1)
+----------------
+
+* ``run.start`` / ``run.end`` — one pair per CLI invocation
+  (fields: ``command``, and on ``run.end`` ``exit_code``);
+* ``trial.start`` / ``trial.end`` — resilient-runner trials
+  (``label``, ``sample``; ``trial.end`` adds ``retries``, ``stalls``);
+* ``trial.retry`` / ``trial.failure`` — retry/budget-exhaustion
+  (``label``, ``sample``, ``error``);
+* ``checkpoint.write`` — a checkpoint hit disk (``trials``);
+* ``pageload.done`` / ``pageload.stall`` — one simulated visit
+  (``sim_time``, ``events``, ``bytes``, ``rounds``);
+* ``tcp.rto`` — a retransmission timeout fired (``sim_time``,
+  ``backoff``);
+* ``worker.merge`` — a worker metrics snapshot was folded into the
+  parent registry (``instruments``).
+
+The schema is append-only: v1 consumers must ignore unknown *detail*
+fields, and any change to required keys or their meaning bumps ``v``.
+In multi-process runs only the coordinating process emits trace
+records (worker metrics are merged, worker events are not), which is
+what keeps ``ts`` monotone within a file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Tuple
+
+TRACE_SCHEMA_VERSION = 1
+
+#: Every event kind a v1 trace may contain.
+KNOWN_KINDS = frozenset(
+    {
+        "run.start",
+        "run.end",
+        "trial.start",
+        "trial.end",
+        "trial.retry",
+        "trial.failure",
+        "checkpoint.write",
+        "pageload.done",
+        "pageload.stall",
+        "tcp.rto",
+        "worker.merge",
+    }
+)
+
+REQUIRED_KEYS = ("v", "ts", "kind", "src")
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def validate_record(record: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``record`` is a valid v1 event."""
+    if not isinstance(record, dict):
+        raise ValueError(f"record must be an object, got {type(record).__name__}")
+    for key in REQUIRED_KEYS:
+        if key not in record:
+            raise ValueError(f"record missing required key {key!r}: {record}")
+    if record["v"] != TRACE_SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema version {record['v']!r}")
+    if not isinstance(record["ts"], (int, float)) or isinstance(record["ts"], bool):
+        raise ValueError(f"ts must be a number, got {record['ts']!r}")
+    if record["ts"] < 0:
+        raise ValueError(f"ts must be >= 0, got {record['ts']}")
+    if record["kind"] not in KNOWN_KINDS:
+        raise ValueError(f"unknown event kind {record['kind']!r}")
+    if not isinstance(record["src"], str) or not record["src"]:
+        raise ValueError(f"src must be a non-empty string, got {record['src']!r}")
+    for key, value in record.items():
+        if not isinstance(value, _SCALAR_TYPES):
+            raise ValueError(
+                f"detail field {key!r} must be a JSON scalar, "
+                f"got {type(value).__name__}"
+            )
+
+
+def iter_trace(path: str) -> Iterator[Dict[str, object]]:
+    """Yield parsed records from a JSONL trace file."""
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{lineno}: not JSON: {error}") from None
+
+
+def validate_trace_file(path: str) -> List[Dict[str, object]]:
+    """Validate every record of a trace file (including ``ts``
+    monotonicity across records) and return them."""
+    records = []
+    last_ts = float("-inf")
+    for i, record in enumerate(iter_trace(path), 1):
+        try:
+            validate_record(record)
+        except ValueError as error:
+            raise ValueError(f"{path}: record {i}: {error}") from None
+        if record["ts"] < last_ts:
+            raise ValueError(
+                f"{path}: record {i}: ts went backwards "
+                f"({record['ts']} < {last_ts})"
+            )
+        last_ts = record["ts"]
+        records.append(record)
+    return records
+
+
+def kind_counts(records: List[Dict[str, object]]) -> List[Tuple[str, int]]:
+    """(kind, count) pairs sorted by kind — the report's summary rows."""
+    counts: Dict[str, int] = {}
+    for record in records:
+        counts[record["kind"]] = counts.get(record["kind"], 0) + 1
+    return sorted(counts.items())

@@ -1,0 +1,68 @@
+"""Structured JSONL event tracer (schema v1, :mod:`repro.obs.schema`).
+
+A :class:`Tracer` appends one JSON object per event to a file as the
+run progresses — crash-visible, greppable, and cheap: emission is a
+dict build plus one ``json.dumps``, and components that hold no tracer
+reference pay nothing.  Timestamps are seconds since the tracer was
+opened (``time.perf_counter`` based), clamped to be monotone
+non-decreasing, which the schema validator enforces on read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Optional, TextIO
+
+from repro.obs.schema import KNOWN_KINDS, TRACE_SCHEMA_VERSION
+
+
+class Tracer:
+    """Writes schema-v1 event records to a JSONL file.
+
+    ``clock`` is injectable for tests; the default is a perf-counter
+    offset from open time, so ``ts`` is a small non-negative float.
+    """
+
+    def __init__(self, path: str, clock: Optional[Callable[[], float]] = None) -> None:
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle: Optional[TextIO] = open(path, "w")
+        if clock is None:
+            t0 = time.perf_counter()
+            clock = lambda: time.perf_counter() - t0  # noqa: E731
+        self._clock = clock
+        self._last_ts = 0.0
+        self.emitted = 0
+
+    def emit(self, kind: str, src: str, **fields: object) -> None:
+        """Append one event.  ``kind`` must be a documented v1 kind —
+        emitting an unknown kind is a programming error caught here,
+        not a malformed file discovered later."""
+        if self._handle is None:
+            return
+        if kind not in KNOWN_KINDS:
+            raise ValueError(f"unknown trace event kind {kind!r}")
+        ts = max(self._clock(), self._last_ts)
+        self._last_ts = ts
+        record = {"v": TRACE_SCHEMA_VERSION, "ts": round(ts, 6), "kind": kind,
+                  "src": src, **fields}
+        self._handle.write(json.dumps(record, sort_keys=False) + "\n")
+        self.emitted += 1
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -20,8 +20,16 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
+
+from repro.obs import runtime as _obs_runtime
+from repro.obs.metrics import pow2_edges
+
+#: Fixed bucket edges for the queue-depth histogram (deterministic
+#: output requires edges that never depend on the data).
+QUEUE_DEPTH_EDGES = pow2_edges(1, 1 << 16)
 
 
 @dataclass(order=True)
@@ -52,6 +60,20 @@ class EventLoop:
         self._seq = itertools.count()
         self._now = 0.0
         self._processed = 0
+        # Observability: instrument handles are resolved once here so
+        # the disabled path costs the loop a single `is not None` check
+        # per run() call — never per event.
+        obs = _obs_runtime.session()
+        self._obs = obs
+        if obs is not None:
+            registry = obs.registry
+            self._obs_events = registry.counter("simnet.events_processed")
+            self._obs_sim_seconds = registry.counter("simnet.sim_seconds")
+            self._obs_wall = registry.timer("simnet.wall")
+            self._obs_depth = registry.histogram(
+                "simnet.queue_depth", QUEUE_DEPTH_EDGES
+            )
+            self._obs_depth_max = registry.gauge("simnet.queue_depth.max")
 
     @property
     def now(self) -> float:
@@ -113,6 +135,33 @@ class EventLoop:
         than it remain in the heap and the clock is advanced to exactly
         ``until`` (so a subsequent ``run`` continues seamlessly).
         """
+        if self._obs is None:
+            self._run_loop(until, max_events)
+            return
+        # Instrumented path: aggregate per run() slice, not per event,
+        # so the event loop itself stays untouched.
+        depth = len(self._heap)
+        processed_before = self._processed
+        sim_before = self._now
+        wall_before = time.perf_counter()
+        try:
+            self._run_loop(until, max_events)
+        finally:
+            self._obs_wall.record(time.perf_counter() - wall_before)
+            self._obs_events.add(self._processed - processed_before)
+            self._obs_sim_seconds.add(self._now - sim_before)
+            if depth:
+                self._obs_depth.observe(depth)
+                gauge = self._obs_depth_max
+                if gauge.max is None or depth > gauge.max:
+                    gauge.set(depth)
+
+    def _run_loop(
+        self,
+        until: Optional[float],
+        max_events: Optional[int],
+    ) -> None:
+        """The uninstrumented core of :meth:`run`."""
         executed = 0
         while self._heap:
             if max_events is not None and executed >= max_events:

@@ -35,6 +35,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, List, Optional, Tuple
 
+from repro.obs import runtime as _obs_runtime
+from repro.obs.metrics import pow2_edges
 from repro.simnet.engine import Event, Simulator
 from repro.stack import intervals
 from repro.stack.buffers import ReceiveBuffer, SendBuffer
@@ -48,6 +50,9 @@ from repro.stack.tso import TsoPolicy
 
 #: Dup-ACK threshold for fast retransmit (RFC 5681).
 DUPACK_THRESHOLD = 3
+
+#: Fixed cwnd-sample bucket edges: 4 KiB .. 64 MiB, powers of two.
+CWND_EDGES = pow2_edges(1 << 12, 1 << 26)
 
 
 @dataclass
@@ -142,6 +147,22 @@ class TcpEndpoint:
         self.fin_received = False
         self.on_fin: Optional[Callable[[], None]] = None
         self.on_established: Optional[Callable[[], None]] = None
+
+        # Observability: resolve instrument handles once; with the
+        # session disabled every hook below is one attribute check.
+        obs = _obs_runtime.session()
+        self._obs = obs
+        if obs is not None:
+            registry = obs.registry
+            self._obs_segments = registry.counter("tcp.segments_sent")
+            self._obs_packets = registry.counter("tcp.packets_sent")
+            self._obs_retx = registry.counter("tcp.retransmissions")
+            self._obs_timeouts = registry.counter("tcp.timeouts")
+            self._obs_tsq_blocked = registry.counter("tcp.tsq_blocked")
+            self._obs_pacing_stalls = registry.counter("tcp.pacing_stalls")
+            self._obs_cwnd = registry.histogram("tcp.cwnd_bytes", CWND_EDGES)
+            self._obs_cover_packets = registry.counter("stob.cover_packets")
+            self._obs_cover_bytes = registry.counter("stob.cover_bytes")
 
         self._qdisc.on_drain(self.flow_id, self._on_tsq_drain)
 
@@ -287,6 +308,8 @@ class TcpEndpoint:
         # overshoot it).  Capping the segment *size* by the remaining
         # budget would ratchet segment sizes down under CPU load.
         if self._tsq_budget(pacing_rate) <= 0:
+            if self._obs is not None:
+                self._obs_tsq_blocked.add(1)
             return False
 
         tso_segs = self.config.tso.autosize(
@@ -383,6 +406,11 @@ class TcpEndpoint:
         cost = self._cpu.model.segment_cost(segment.payload_len, segment.num_packets)
         cpu_done = self._cpu.consume(cost)
         segment.not_before = max(departure, cpu_done)
+        if self._obs is not None:
+            self._obs_segments.add(1)
+            self._obs_packets.add(segment.num_packets)
+            if departure > self._sim.now:
+                self._obs_pacing_stalls.add(1)
         self._qdisc.enqueue(segment)
 
     def _fin_in_flight(self) -> bool:
@@ -418,6 +446,9 @@ class TcpEndpoint:
         # congestion controller: it bypasses the data pacer (otherwise
         # dummies would consume the flow's pacing credits and starve
         # the real stream) and pays only the CPU cost.
+        if self._obs is not None:
+            self._obs_cover_packets.add(segment.num_packets)
+            self._obs_cover_bytes.add(segment.payload_len)
         cost = self._cpu.model.segment_cost(
             segment.payload_len, segment.num_packets
         )
@@ -568,6 +599,8 @@ class TcpEndpoint:
             delivery_rate=rate,
         )
         self.cca.on_ack(sample)
+        if self._obs is not None:
+            self._obs_cwnd.observe(self.cca.cwnd)
         check_drain = getattr(self.cca, "check_drain_exit", None)
         if check_drain is not None:
             check_drain(self.bytes_in_flight, self._sim.now)
@@ -695,6 +728,8 @@ class TcpEndpoint:
         if length <= 0:
             return
         self.retransmissions += 1
+        if self._obs is not None:
+            self._obs_retx.add(1)
         segment = TsoSegment(
             flow_id=self.flow_id,
             direction=self.direction,
@@ -736,6 +771,12 @@ class TcpEndpoint:
         if self.bytes_in_flight <= 0:
             return
         self.timeouts += 1
+        if self._obs is not None:
+            self._obs_timeouts.add(1)
+            self._obs.emit(
+                "tcp.rto", f"tcp.flow{self.flow_id}",
+                sim_time=round(self._sim.now, 6), backoff=self._rto_backoff,
+            )
         self._rto_backoff = min(self._rto_backoff * 2, 64)
         self._in_recovery = False
         self._dup_acks = 0

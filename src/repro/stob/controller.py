@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.obs import runtime as _obs_runtime
 from repro.stob.actions import NoOpAction, StobAction, action_from_policy
 from repro.stob.constraints import ConstraintReport, PhaseGate
 from repro.stob.policy import ObfuscationPolicy
@@ -35,6 +36,14 @@ class StobController:
         #: Totals for overhead accounting.
         self.segments_seen = 0
         self.total_gap_added = 0.0
+        obs = _obs_runtime.session()
+        self._obs = obs
+        if obs is not None:
+            registry = obs.registry
+            self._obs_actions = registry.counter("stob.actions_applied")
+            self._obs_gated = registry.counter("stob.gated_segments")
+            self._obs_gap = registry.counter("stob.gap_seconds")
+            self._obs_violations = registry.counter("stob.constraint_violations")
 
     # -- hooks called by TcpEndpoint --------------------------------------------
 
@@ -42,16 +51,28 @@ class StobController:
         """Packetisation for the next ``nbytes`` (None = stock)."""
         if not self.gate.allows(endpoint.cca.phase):
             return None
+        violations_before = self.report.total_violations
         sizes = self.action.packet_sizes(nbytes, mss)
-        return self.report.clamp_packet_sizes(sizes, nbytes, mss)
+        cleaned = self.report.clamp_packet_sizes(sizes, nbytes, mss)
+        if self._obs is not None:
+            self._obs_violations.add(
+                self.report.total_violations - violations_before
+            )
+        return cleaned
 
     def tso_size(self, endpoint, default_segs: int) -> int:
         """TSO sizing (clamped to the CCA/autosize choice)."""
         if not self.gate.allows(endpoint.cca.phase):
             return default_segs
-        return self.report.clamp_tso(
+        violations_before = self.report.total_violations
+        segs = self.report.clamp_tso(
             self.action.tso_size(default_segs), default_segs
         )
+        if self._obs is not None:
+            self._obs_violations.add(
+                self.report.total_violations - violations_before
+            )
+        return segs
 
     def departure_gap(self, endpoint, segment) -> float:
         """Extra departure delay for ``segment``."""
@@ -59,13 +80,22 @@ class StobController:
         now = endpoint._sim.now
         if not self.gate.allows(endpoint.cca.phase):
             self.report.gated_segments += 1
+            if self._obs is not None:
+                self._obs_gated.add(1)
             self._last_departure = now
             return 0.0
+        violations_before = self.report.total_violations
         gap = self.report.clamp_gap(
             self.action.departure_gap(now, self._last_departure)
         )
         self._last_departure = now
         self.total_gap_added += gap
+        if self._obs is not None:
+            self._obs_actions.add(1)
+            self._obs_gap.add(gap)
+            self._obs_violations.add(
+                self.report.total_violations - violations_before
+            )
         return gap
 
     def reset(self) -> None:

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.capture.dataset import Dataset
 from repro.capture.trace import Trace, TraceObserver
+from repro.obs import runtime as _obs_runtime
 from repro.simnet.engine import Simulator
 from repro.simnet.faults import FaultSpec
 from repro.simnet.path import NetworkPath
@@ -288,7 +289,7 @@ def load_page_result(
     if done["flag"]:
         # Drain trailing ACKs/retransmissions.
         sim.run(until=sim.now + 4 * path.rtt)
-    return PageLoadResult(
+    result = PageLoadResult(
         trace=observer.trace(),
         completed=done["flag"],
         sim_time=sim.now,
@@ -297,6 +298,22 @@ def load_page_result(
         bytes_received=session.bytes_received,
         events_processed=sim.processed_events,
     )
+    obs = _obs_runtime.session()
+    if obs is not None:
+        registry = obs.registry
+        registry.counter("pageload.loads").add(1)
+        registry.counter("pageload.bytes_received").add(result.bytes_received)
+        if not result.completed:
+            registry.counter("pageload.stalls").add(1)
+        obs.emit(
+            "pageload.done" if result.completed else "pageload.stall",
+            "pageload",
+            sim_time=round(result.sim_time, 6),
+            events=result.events_processed,
+            bytes=result.bytes_received,
+            rounds=result.rounds_completed,
+        )
+    return result
 
 
 def load_page(
@@ -414,14 +431,23 @@ def collect_dataset(
     else:
         from concurrent.futures import ProcessPoolExecutor
 
+        # Worker metrics (when observability is on) come home as
+        # per-chunk snapshots and merge into this process's registry;
+        # chunk order is fixed, so the merged totals are deterministic.
+        chunk_fn = _collect_visit_chunk
+        if _obs_runtime.session() is not None:
+            chunk_fn = _obs_runtime.WorkerTask(_collect_visit_chunk)
         chunks = chunked(grid, default_chunk_size(len(grid), workers))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            parts = pool.map(
-                _collect_visit_chunk,
-                [config] * len(chunks),
-                [seed] * len(chunks),
-                chunks,
-            )
+            parts = [
+                _obs_runtime.absorb(part)
+                for part in pool.map(
+                    chunk_fn,
+                    [config] * len(chunks),
+                    [seed] * len(chunks),
+                    chunks,
+                )
+            ]
             merged = {
                 (label, sample): result
                 for part in parts

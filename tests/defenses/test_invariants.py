@@ -1,0 +1,138 @@
+"""Registry-driven invariant tests: properties every defense must hold.
+
+Instead of per-defense assertions, these tests parametrize over the
+whole :func:`repro.defenses.registry.implemented_defenses` registry —
+a defense added later is covered automatically, with no test edits.
+
+The invariants:
+
+* the defended trace is a valid :class:`Trace` — monotone
+  non-decreasing timestamps, directions in {+1, -1}, positive sizes
+  (construction enforces these, so we re-check explicitly on the
+  arrays to catch any future relaxation of the constructor);
+* the defense is pure: the input trace is never mutated;
+* the defense is deterministic under a fixed seed;
+* the overhead accounting matches reality: the bandwidth / latency /
+  packet overhead functions must equal the deltas recomputed
+  independently from the raw arrays, and ``overhead_summary`` means
+  must equal a per-trace recomputation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.capture.dataset import Dataset
+from repro.capture.trace import IN, OUT, Trace
+from repro.defenses.overhead import (
+    bandwidth_overhead,
+    latency_overhead,
+    overhead_summary,
+    packet_overhead,
+)
+from repro.defenses.registry import build_defense, implemented_defenses
+
+ALL_DEFENSES = implemented_defenses()
+SEEDS = (0, 7)
+
+
+def make_trace(seed, n=150):
+    rng = np.random.default_rng(seed)
+    times = np.cumsum(rng.exponential(0.005, n))
+    times -= times[0]
+    dirs = rng.choice([IN, IN, IN, OUT], size=n).astype(np.int8)
+    sizes = rng.integers(80, 1501, size=n)
+    return Trace(times, dirs, sizes)
+
+
+def test_registry_is_nonempty_and_stable():
+    assert len(ALL_DEFENSES) >= 10
+    assert ALL_DEFENSES == tuple(sorted(ALL_DEFENSES))
+    assert "original" in ALL_DEFENSES
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", ALL_DEFENSES)
+def test_defended_trace_is_well_formed(name, seed):
+    trace = make_trace(seed)
+    defended = build_defense(name, seed=seed).apply(trace)
+    assert len(defended) > 0
+    # Re-assert the Trace invariants on the raw arrays.
+    assert np.all(np.diff(defended.times) >= -1e-12), f"{name}: times regress"
+    assert np.all(np.isin(defended.directions, (OUT, IN))), f"{name}: bad direction"
+    assert np.all(defended.sizes > 0), f"{name}: non-positive size"
+    assert np.all(np.isfinite(defended.times)), f"{name}: non-finite time"
+
+
+@pytest.mark.parametrize("name", ALL_DEFENSES)
+def test_defense_does_not_mutate_input(name):
+    trace = make_trace(3)
+    times, dirs, sizes = (
+        trace.times.copy(), trace.directions.copy(), trace.sizes.copy()
+    )
+    build_defense(name, seed=3).apply(trace)
+    assert np.array_equal(trace.times, times), name
+    assert np.array_equal(trace.directions, dirs), name
+    assert np.array_equal(trace.sizes, sizes), name
+
+
+@pytest.mark.parametrize("name", ALL_DEFENSES)
+def test_defense_deterministic_under_seed(name):
+    trace = make_trace(5)
+    a = build_defense(name, seed=9).apply(trace)
+    b = build_defense(name, seed=9).apply(trace)
+    assert np.array_equal(a.times, b.times), name
+    assert np.array_equal(a.directions, b.directions), name
+    assert np.array_equal(a.sizes, b.sizes), name
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", ALL_DEFENSES)
+def test_overhead_accounting_matches_actual_bytes_and_time(name, seed):
+    """The overhead functions must agree with deltas recomputed
+    directly from the arrays — accounting can't drift from reality."""
+    trace = make_trace(seed)
+    defended = build_defense(name, seed=seed).apply(trace)
+
+    base_bytes = int(trace.sizes.sum())
+    defended_bytes = int(defended.sizes.sum())
+    assert bandwidth_overhead(trace, defended) == pytest.approx(
+        (defended_bytes - base_bytes) / base_bytes
+    ), name
+
+    base_duration = float(trace.times[-1] - trace.times[0])
+    defended_duration = (
+        float(defended.times[-1] - defended.times[0]) if len(defended) > 1 else 0.0
+    )
+    assert latency_overhead(trace, defended) == pytest.approx(
+        (defended_duration - base_duration) / base_duration
+    ), name
+
+    assert packet_overhead(trace, defended) == pytest.approx(
+        (len(defended) - len(trace)) / len(trace)
+    ), name
+
+    # Padding-only and delay-only defenses must not *lose* payload.
+    assert defended_bytes >= 0
+    if name == "original":
+        assert defended_bytes == base_bytes
+
+
+@pytest.mark.parametrize("name", ("original", "front", "split", "delayed"))
+def test_overhead_summary_matches_per_trace_recomputation(name):
+    ds = Dataset()
+    for label, seed in (("a", 1), ("a", 2), ("b", 3)):
+        ds.add(label, make_trace(seed, n=100))
+
+    defense = build_defense(name, seed=4)
+    summary = overhead_summary(ds, defense)
+
+    bw, lat, pkt = [], [], []
+    for _label, trace in ds:
+        defended = build_defense(name, seed=4).apply(trace)
+        bw.append(bandwidth_overhead(trace, defended))
+        lat.append(latency_overhead(trace, defended))
+        pkt.append(packet_overhead(trace, defended))
+    assert summary["n_traces"] == 3
+    assert summary["bandwidth"] == pytest.approx(np.mean(bw)), name
+    assert summary["latency"] == pytest.approx(np.mean(lat)), name
+    assert summary["packets"] == pytest.approx(np.mean(pkt)), name

@@ -76,6 +76,7 @@ def test_enforced_dataset_differs_from_stock():
     assert enforced_mean > stock_mean
 
 
+@pytest.mark.slow
 def test_enforcement_gap_pipeline_tiny():
     config = ExperimentConfig(
         n_samples=4, n_folds=2, n_estimators=10, balance_to=4, seed=5

@@ -64,6 +64,7 @@ def test_open_world_runner_formats():
     assert "precision" in format_open_world(results)
 
 
+@pytest.mark.slow
 def test_quic_vs_tcp_tiny():
     config = ExperimentConfig(
         n_samples=6, n_folds=2, n_estimators=15, balance_to=6, seed=8

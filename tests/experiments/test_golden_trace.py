@@ -1,0 +1,79 @@
+"""Golden-trace regression test.
+
+A fixed 2-site x 3-sample collection is digested and compared against
+the committed golden digest in ``tests/data/golden_collect.json``.
+Any change to the simulator, TCP stack, page-load model, or seeding
+that alters the bytes-on-the-wire of this tiny dataset fails here —
+intentional changes must regenerate the golden file (procedure in
+README.md, "Updating the golden trace").
+
+The digest is also recomputed with ``workers=2``: parallel collection
+promises bit-identical datasets for any worker count, and this is the
+test that holds it to that.
+"""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.web.pageload import collect_dataset
+from repro.web.sites import SITE_CATALOG
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "..", "data",
+                           "golden_collect.json")
+
+
+def load_golden():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+def dataset_digest(dataset):
+    """SHA-256 over every trace's label and raw arrays, in the
+    dataset's deterministic (label-sorted) iteration order."""
+    digest = hashlib.sha256()
+    for label, trace in dataset:
+        digest.update(label.encode())
+        digest.update(trace.times.tobytes())
+        digest.update(trace.directions.tobytes())
+        digest.update(trace.sizes.tobytes())
+    return digest.hexdigest()
+
+
+def collect_golden_dataset(workers=1):
+    golden = load_golden()
+    return collect_dataset(
+        n_samples=golden["n_samples"],
+        sites=golden["sites"],
+        seed=golden["seed"],
+        workers=workers,
+    )
+
+
+def test_golden_file_describes_real_sites():
+    golden = load_golden()
+    assert set(golden["sites"]) <= set(SITE_CATALOG)
+    assert golden["n_samples"] >= 2
+    assert len(golden["digest"]) == 64
+
+
+@pytest.mark.slow
+def test_collect_matches_golden_digest():
+    golden = load_golden()
+    dataset = collect_golden_dataset(workers=1)
+    assert dataset.num_traces == len(golden["sites"]) * golden["n_samples"]
+    assert dataset_digest(dataset) == golden["digest"], (
+        "collect_dataset output changed; if intentional, regenerate "
+        "tests/data/golden_collect.json (see README.md)"
+    )
+
+
+@pytest.mark.slow
+def test_parallel_collect_matches_golden_digest():
+    golden = load_golden()
+    assert dataset_digest(collect_golden_dataset(workers=2)) == golden["digest"], (
+        "workers=2 produced different bytes than the golden serial "
+        "collection — parallel determinism is broken"
+    )

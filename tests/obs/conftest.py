@@ -1,0 +1,35 @@
+"""Observability test fixtures.
+
+Every test that enables a session must tear it down — a leaked session
+would make unrelated tests record metrics.  The fixtures here make
+that automatic.
+"""
+
+import pytest
+
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def _clean_session():
+    """Guarantee no session leaks into or out of any obs test."""
+    runtime.disable()
+    yield
+    runtime.disable()
+
+
+@pytest.fixture
+def obs_session():
+    """A live metrics-only session, torn down afterwards."""
+    session = runtime.enable()
+    yield session
+    runtime.disable()
+
+
+@pytest.fixture
+def traced_session(tmp_path):
+    """A live session with a tracer; yields (session, trace_path)."""
+    trace_path = str(tmp_path / "trace.jsonl")
+    session = runtime.enable(trace_path=trace_path)
+    yield session, trace_path
+    runtime.disable()

@@ -1,0 +1,230 @@
+"""Unit tests for the metrics instruments and registry."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    Timer,
+    load_snapshot,
+    pow2_edges,
+)
+
+
+class TestCounter:
+    def test_add_and_inc(self):
+        c = Counter("x")
+        c.add()
+        c.add(4)
+        c.inc(2.5)
+        assert c.value == 7.5
+
+    def test_rejects_negative(self):
+        c = Counter("x")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.add(-1)
+
+    def test_merge_adds(self):
+        c = Counter("x")
+        c.add(3)
+        c.merge_state(4)
+        assert c.value == 7
+
+
+class TestGauge:
+    def test_envelope(self):
+        g = Gauge("depth")
+        for v in (5, 2, 9):
+            g.set(v)
+        assert (g.last, g.min, g.max, g.sets) == (9, 2, 9, 3)
+
+    def test_merge_combines_envelopes(self):
+        a, b = Gauge("g"), Gauge("g")
+        a.set(5)
+        b.set(1)
+        b.set(8)
+        a.merge_state(b.state())
+        assert (a.min, a.max, a.sets) == (1, 8, 3)
+        # 'last' merges as max: completion order across workers is
+        # nondeterministic, so max is the only reproducible choice.
+        assert a.last == 8
+
+    def test_merge_empty_is_noop(self):
+        g = Gauge("g")
+        g.set(3)
+        g.merge_state(Gauge("g").state())
+        assert (g.last, g.min, g.max, g.sets) == (3, 3, 3, 1)
+
+
+class TestHistogram:
+    def test_requires_ascending_edges(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("h", [3, 1, 2])
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("h", [])
+
+    def test_bucketing_and_overflow(self):
+        h = Histogram("h", [10, 100])
+        for v in (1, 10, 11, 100, 5000):
+            h.observe(v)
+        # 1 and 10 land at edge 10; 11 and 100 at edge 100; 5000 overflows.
+        assert h.counts == [2, 2, 1]
+        assert h.count == 5
+        assert h.min == 1 and h.max == 5000
+        assert h.total == 5122
+
+    def test_quantiles(self):
+        h = Histogram("h", [10, 100])
+        for v in (1, 2, 3, 50):
+            h.observe(v)
+        assert h.quantile(0.5) == 10.0
+        assert h.quantile(1.0) == 100.0
+        assert math.isnan(Histogram("e", [1]).quantile(0.5))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_overflow_quantile_reports_max(self):
+        h = Histogram("h", [10])
+        h.observe(99)
+        assert h.quantile(0.99) == 99.0
+
+    def test_merge_adds_buckets(self):
+        a, b = Histogram("h", [10, 100]), Histogram("h", [10, 100])
+        a.observe(5)
+        b.observe(50)
+        b.observe(500)
+        a.merge_state(b.state())
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+        assert a.min == 5 and a.max == 500
+
+    def test_merge_rejects_different_edges(self):
+        a = Histogram("h", [10])
+        with pytest.raises(ValueError, match="cannot merge edges"):
+            a.merge_state(Histogram("h", [20]).state())
+
+    def test_pow2_edges(self):
+        assert pow2_edges(1, 8) == (1, 2, 4, 8)
+        assert pow2_edges(4, 4) == (4,)
+        with pytest.raises(ValueError):
+            pow2_edges(0, 8)
+        with pytest.raises(ValueError):
+            pow2_edges(8, 4)
+
+
+class TestTimer:
+    def test_record_and_context_manager(self):
+        t = Timer("t")
+        t.record(0.5)
+        t.record(-1.0)  # clamped to zero, still counted
+        with t.time():
+            pass
+        assert t.count == 3
+        assert t.max == 0.5
+        assert t.total >= 0.5
+
+    def test_merge(self):
+        a, b = Timer("t"), Timer("t")
+        a.record(1.0)
+        b.record(3.0)
+        a.merge_state(b.state())
+        assert a.count == 2 and a.total == 4.0 and a.max == 3.0
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        r = Registry()
+        assert r.counter("a") is r.counter("a")
+        assert r.histogram("h", [1, 2]) is r.histogram("h", [1, 2])
+        assert len(r) == 2
+        assert "a" in r and "z" not in r
+
+    def test_type_conflict_raises(self):
+        r = Registry()
+        r.counter("a")
+        with pytest.raises(TypeError):
+            r.gauge("a")
+
+    def test_histogram_edge_conflict_raises(self):
+        r = Registry()
+        r.histogram("h", [1, 2])
+        with pytest.raises(ValueError, match="exists with edges"):
+            r.histogram("h", [1, 4])
+
+    def test_snapshot_shape(self):
+        r = Registry()
+        r.counter("c").add(2)
+        r.gauge("g").set(7)
+        r.histogram("h", [10]).observe(3)
+        r.timer("t").record(0.1)
+        snap = r.snapshot()
+        assert snap["schema"] == "repro.obs/metrics"
+        assert snap["version"] == 1
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"]["g"]["last"] == 7
+        assert snap["histograms"]["h"]["counts"] == [1, 0]
+        assert snap["timers"]["t"]["count"] == 1
+
+    def test_merge_creates_unknown_names(self):
+        src = Registry()
+        src.counter("c").add(5)
+        src.histogram("h", [10]).observe(2)
+        dst = Registry()
+        dst.counter("c").add(1)
+        dst.merge(src.snapshot())
+        assert dst.counter("c").value == 6
+        assert dst.histogram("h", [10]).count == 1
+
+    def test_merge_rejects_foreign_schema(self):
+        with pytest.raises(ValueError, match="not a metrics snapshot"):
+            Registry().merge({"schema": "something/else"})
+
+    def test_merge_is_associative_for_counters(self):
+        parts = []
+        for amount in (1, 2, 3):
+            r = Registry()
+            r.counter("c").add(amount)
+            parts.append(r.snapshot())
+        left, right = Registry(), Registry()
+        for snap in parts:
+            left.merge(snap)
+        for snap in reversed(parts):
+            right.merge(snap)
+        assert left.counter("c").value == right.counter("c").value == 6
+
+    def test_dump_and_load_roundtrip(self, tmp_path):
+        r = Registry()
+        r.counter("c").add(3)
+        r.gauge("g").set(1)
+        path = str(tmp_path / "sub" / "metrics.json")  # dir is created
+        r.dump(path)
+        snap = load_snapshot(path)
+        assert snap["counters"] == {"c": 3}
+
+    def test_dump_is_deterministic(self, tmp_path):
+        def build():
+            r = Registry()
+            r.counter("b").add(1)
+            r.counter("a").add(2)
+            return r
+
+        p1, p2 = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        build().dump(p1)
+        build().dump(p2)
+        assert open(p1).read() == open(p2).read()
+
+    def test_load_rejects_non_metrics_file(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"schema": "nope"}')
+        with pytest.raises(ValueError, match="is not a"):
+            load_snapshot(str(path))
+
+    def test_load_rejects_future_version(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text('{"schema": "repro.obs/metrics", "version": 99}')
+        with pytest.raises(ValueError, match="version"):
+            load_snapshot(str(path))

@@ -1,0 +1,124 @@
+"""The --metrics/--trace CLI flags, `repro report`, and the
+serial-vs-parallel metrics equality guarantee."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import runtime
+from repro.obs.metrics import load_snapshot
+from repro.obs.report import format_metrics_report, format_trace_report, sniff_kind
+from repro.obs.schema import validate_trace_file
+
+
+def _collect_with_obs(workers):
+    """Collect a tiny dataset under a metrics session; return the
+    counter section of the snapshot plus the dataset digest material."""
+    from repro.web.pageload import collect_dataset
+    from repro.web.sites import SITE_CATALOG
+
+    session = runtime.enable()
+    try:
+        dataset = collect_dataset(
+            n_samples=2,
+            sites=sorted(SITE_CATALOG)[:2],
+            seed=11,
+            workers=workers,
+        )
+        snapshot = session.registry.snapshot()
+    finally:
+        runtime.disable()
+    return dataset, snapshot
+
+
+@pytest.mark.slow
+def test_metrics_identical_serial_vs_parallel():
+    """The acceptance criterion: integer counters and histogram bucket
+    counts are *exactly* equal for any worker count.  Float counters
+    (e.g. simulated seconds) may differ in the last bits because
+    summation order changes with the merge grouping."""
+    _, serial = _collect_with_obs(workers=1)
+    _, parallel = _collect_with_obs(workers=2)
+
+    assert set(serial["counters"]) == set(parallel["counters"])
+    for name, value in serial["counters"].items():
+        other = parallel["counters"][name]
+        if isinstance(value, int) and isinstance(other, int):
+            assert other == value, f"counter {name}: {other} != {value}"
+        else:
+            assert other == pytest.approx(value, rel=1e-9), f"counter {name}"
+    for name, state in serial["histograms"].items():
+        assert parallel["histograms"][name]["counts"] == state["counts"], name
+        assert parallel["histograms"][name]["count"] == state["count"], name
+
+
+@pytest.mark.slow
+def test_cli_collect_writes_metrics_and_trace(tmp_path, capsys):
+    out = str(tmp_path / "ds.npz")
+    metrics = str(tmp_path / "metrics.json")
+    trace = str(tmp_path / "trace.jsonl")
+    assert main([
+        "collect", "--samples", "1", "--seed", "4", "--out", out,
+        "--metrics", metrics, "--trace", trace,
+    ]) == 0
+    capsys.readouterr()
+
+    # The session was torn down by main().
+    assert runtime.session() is None
+
+    snapshot = load_snapshot(metrics)
+    counters = snapshot["counters"]
+    assert counters["pageload.loads"] == 9  # one visit per catalog site
+    assert counters["simnet.events_processed"] > 0
+    assert counters["tcp.segments_sent"] > 0
+    assert "simnet.wall" in snapshot["timers"]
+
+    records = validate_trace_file(trace)
+    kinds = [r["kind"] for r in records]
+    assert kinds[0] == "run.start" and kinds[-1] == "run.end"
+    assert kinds.count("pageload.done") == 9
+    assert records[-1]["exit_code"] == 0
+
+    # `repro report` renders both files.
+    assert sniff_kind(metrics) == "metrics"
+    assert sniff_kind(trace) == "trace"
+    assert main(["report", metrics, trace]) == 0
+    report = capsys.readouterr().out
+    assert "counters" in report
+    assert "simnet.events_processed" in report
+    assert "events by kind" in report
+    assert "pageload.done" in report
+
+
+def test_report_missing_file_errors(capsys):
+    with pytest.raises(SystemExit):
+        main(["report", "/nonexistent/metrics.json"])
+    assert "not found" in capsys.readouterr().err
+
+
+def test_format_metrics_report_derived_lines():
+    snapshot = {
+        "schema": "repro.obs/metrics",
+        "version": 1,
+        "counters": {
+            "simnet.events_processed": 10_000,
+            "simnet.sim_seconds": 50.0,
+            "tcp.retransmissions": 5,
+            "tcp.segments_sent": 1000,
+        },
+        "gauges": {},
+        "histograms": {},
+        "timers": {"simnet.wall": {"count": 1, "total": 2.0, "max": 2.0}},
+    }
+    text = format_metrics_report(snapshot, "m.json")
+    assert "sim-time / wall-time" in text
+    assert "25.0x" in text
+    assert "5,000 events/s" in text
+    assert "0.0050" in text  # retransmit ratio
+
+
+def test_format_trace_report_empty(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    assert "(empty trace)" in format_trace_report(str(path))

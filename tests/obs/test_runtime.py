@@ -1,0 +1,81 @@
+"""Session lifecycle, pid scoping, and worker snapshot plumbing."""
+
+import pytest
+
+from repro.obs import runtime
+
+
+def test_disabled_by_default():
+    assert runtime.session() is None
+    assert not runtime.enabled()
+
+
+def test_enable_disable_cycle():
+    session = runtime.enable()
+    assert runtime.session() is session
+    assert runtime.enabled()
+    runtime.disable()
+    assert runtime.session() is None
+    runtime.disable()  # idempotent
+
+
+def test_double_enable_raises():
+    runtime.enable()
+    with pytest.raises(RuntimeError, match="already enabled"):
+        runtime.enable()
+
+
+def test_inherited_session_invisible_to_other_pid(obs_session, monkeypatch):
+    """A forked worker inherits _SESSION but must see None (the pid
+    guard) — simulated here by lying about the pid."""
+    import repro.obs.runtime as mod
+
+    monkeypatch.setattr(mod.os, "getpid", lambda: obs_session.pid + 1)
+    assert runtime.session() is None
+    assert not runtime.enabled()
+
+
+def test_worker_task_returns_snapshot(obs_session):
+    def job(x):
+        session = runtime.session()
+        session.registry.counter("job.calls").add(1)
+        return x * 2
+
+    result = runtime.WorkerTask(job)(21)
+    assert isinstance(result, runtime.WorkerResult)
+    assert result.payload == 42
+    assert result.metrics["counters"] == {"job.calls": 1}
+    # The worker wrote to its own fresh session, not the parent's.
+    assert "job.calls" not in obs_session.registry
+
+
+def test_worker_task_restores_session_on_error(obs_session):
+    def boom():
+        raise RuntimeError("task failed")
+
+    with pytest.raises(RuntimeError, match="task failed"):
+        runtime.WorkerTask(boom)()
+    assert runtime.session() is obs_session
+
+
+def test_absorb_merges_into_parent(obs_session):
+    obs_session.registry.counter("c").add(1)
+    result = runtime.WorkerResult(
+        payload="data",
+        metrics={"schema": "repro.obs/metrics", "version": 1, "counters": {"c": 5}},
+    )
+    assert runtime.absorb(result) == "data"
+    assert obs_session.registry.counter("c").value == 6
+
+
+def test_absorb_passthrough_for_plain_payloads():
+    payload = {"not": "a WorkerResult"}
+    assert runtime.absorb(payload) is payload
+
+
+def test_absorb_without_session_still_unwraps():
+    result = runtime.WorkerResult(
+        payload=7,
+        metrics={"schema": "repro.obs/metrics", "version": 1, "counters": {}},
+    )
+    assert runtime.absorb(result) == 7

@@ -1,0 +1,137 @@
+"""Tracer behaviour and trace schema (v1) validation.
+
+The load-bearing test here drives a real instrumented page load and
+validates every emitted record against the documented schema — the
+schema doc in :mod:`repro.obs.schema` and the emitting code cannot
+drift apart without this failing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs.schema import (
+    KNOWN_KINDS,
+    REQUIRED_KEYS,
+    kind_counts,
+    validate_record,
+    validate_trace_file,
+)
+from repro.obs.tracing import Tracer
+
+
+def _valid(**overrides):
+    record = {"v": 1, "ts": 0.5, "kind": "run.start", "src": "cli"}
+    record.update(overrides)
+    return record
+
+
+class TestValidateRecord:
+    def test_accepts_valid_record(self):
+        validate_record(_valid(command="collect", detail=None, flag=True))
+
+    @pytest.mark.parametrize("key", REQUIRED_KEYS)
+    def test_missing_required_key(self, key):
+        record = _valid()
+        del record[key]
+        with pytest.raises(ValueError, match="missing required key"):
+            validate_record(record)
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ValueError, match="version"):
+            validate_record(_valid(v=2))
+
+    def test_rejects_bad_ts(self):
+        with pytest.raises(ValueError, match="ts must be a number"):
+            validate_record(_valid(ts="0.5"))
+        with pytest.raises(ValueError, match="ts must be a number"):
+            validate_record(_valid(ts=True))
+        with pytest.raises(ValueError, match=">= 0"):
+            validate_record(_valid(ts=-1.0))
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            validate_record(_valid(kind="made.up"))
+
+    def test_rejects_bad_src(self):
+        with pytest.raises(ValueError, match="src"):
+            validate_record(_valid(src=""))
+
+    def test_rejects_nested_detail_fields(self):
+        with pytest.raises(ValueError, match="JSON scalar"):
+            validate_record(_valid(extra={"nested": 1}))
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError, match="must be an object"):
+            validate_record(["not", "a", "dict"])
+
+
+class TestTracer:
+    def test_unknown_kind_is_programming_error(self, tmp_path):
+        with Tracer(str(tmp_path / "t.jsonl")) as tracer:
+            with pytest.raises(ValueError, match="unknown trace event kind"):
+                tracer.emit("bogus.kind", "test")
+
+    def test_clock_clamped_monotone(self, tmp_path):
+        ticks = iter([1.0, 0.5, 2.0])
+        path = str(tmp_path / "t.jsonl")
+        with Tracer(path, clock=lambda: next(ticks)) as tracer:
+            for _ in range(3):
+                tracer.emit("run.start", "test")
+        records = validate_trace_file(path)  # would raise on ts regression
+        assert [r["ts"] for r in records] == [1.0, 1.0, 2.0]
+
+    def test_emit_after_close_is_noop(self, tmp_path):
+        tracer = Tracer(str(tmp_path / "t.jsonl"))
+        tracer.close()
+        tracer.emit("run.start", "test")
+        assert tracer.emitted == 0
+
+
+class TestFileValidation:
+    def test_rejects_non_json_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="not JSON"):
+            validate_trace_file(str(path))
+
+    def test_rejects_ts_regression_across_records(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps(_valid(ts=2.0)) + "\n" + json.dumps(_valid(ts=1.0)) + "\n"
+        )
+        with pytest.raises(ValueError, match="ts went backwards"):
+            validate_trace_file(str(path))
+
+    def test_kind_counts(self):
+        records = [_valid(), _valid(), _valid(kind="run.end")]
+        assert kind_counts(records) == [("run.end", 1), ("run.start", 2)]
+
+
+def test_instrumented_pageload_emits_valid_trace(traced_session):
+    """Every record a real simulated page load emits is schema-valid,
+    time-ordered, and of a documented kind."""
+    from repro.web.pageload import PageLoadConfig, load_page_result
+    from repro.web.sites import SITE_CATALOG
+
+    session, trace_path = traced_session
+    site = SITE_CATALOG[sorted(SITE_CATALOG)[0]]
+    result = load_page_result(site, PageLoadConfig(), np.random.default_rng(7))
+    assert result.completed
+    session.tracer.flush()
+
+    records = validate_trace_file(trace_path)  # schema + ts monotonicity
+    kinds = {r["kind"] for r in records}
+    assert kinds <= KNOWN_KINDS
+    assert "pageload.done" in kinds
+    done = next(r for r in records if r["kind"] == "pageload.done")
+    assert done["src"] == "pageload"
+    assert done["bytes"] == result.bytes_received
+    assert done["events"] == result.events_processed
+
+    # The same load also populated the metrics registry.
+    counters = session.registry.snapshot()["counters"]
+    assert counters["pageload.loads"] == 1
+    assert counters["simnet.events_processed"] == result.events_processed
+    assert counters["tcp.segments_sent"] > 0

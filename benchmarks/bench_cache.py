@@ -1,0 +1,88 @@
+"""Bench: the content-addressed artifact cache.
+
+Runs the Table-2 evaluation cold (empty store) and warm (same store)
+and reports the speedup — the acceptance bar is >= 5x, and in practice
+a warm run only derives keys and reads JSON, so it lands far above
+that.  Also proves the cache is safe under the parallel runner: the
+collected dataset and its downstream metrics are byte-identical at
+``workers=1`` and ``workers=2``.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.cache import ArtifactStore
+from repro.capture.serialize import dumps_dataset
+from repro.experiments.table2 import format_table2, run_table2
+
+pytestmark = pytest.mark.benchmark(group="cache")
+
+
+def test_cache_cold_vs_warm(experiment_config, collected_dataset, bench_scale,
+                            tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+
+    start = time.perf_counter()
+    cold = run_table2(experiment_config, dataset=collected_dataset, cache=store)
+    cold_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = run_table2(experiment_config, dataset=collected_dataset, cache=store)
+    warm_seconds = time.perf_counter() - start
+
+    assert warm == cold
+    assert store.counters["hits"] > 0
+    speedup = cold_seconds / warm_seconds
+    stats = store.stats()
+    lines = [
+        "Artifact-cache bench: Table 2 cold vs warm",
+        f"  cold run: {cold_seconds:8.2f} s",
+        f"  warm run: {warm_seconds:8.2f} s",
+        f"  speedup:  {speedup:8.1f}x (acceptance floor: 5x)",
+        f"  store:    {stats.entries} entries, {stats.payload_bytes} payload bytes",
+        "",
+        format_table2(cold),
+    ]
+    rendered = "\n".join(lines)
+    print("\n" + rendered)
+    write_result(f"bench_cache_{bench_scale}", rendered)
+    assert speedup >= 5.0
+
+
+def test_cache_byte_identity_across_workers(tmp_path):
+    """workers is a wall-clock knob: the cached dataset artifact and
+    the evaluated metrics must be byte-for-byte equal at 1 and 2."""
+    import dataclasses
+
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import RunnerConfig, collect_resilient
+    from repro.web.pageload import PageLoadConfig
+    from repro.web.sites import SITE_CATALOG
+
+    config = ExperimentConfig(
+        n_samples=2, n_folds=2, n_estimators=10, balance_to=2, seed=21,
+        pageload=PageLoadConfig(),
+    )
+    sites = sorted(SITE_CATALOG)[:4]
+    archives, tables = [], []
+    for workers in (1, 2):
+        store = ArtifactStore(str(tmp_path / f"w{workers}"))
+        dataset, _report = collect_resilient(
+            sites,
+            config.n_samples,
+            pageload_config=config.pageload,
+            seed=config.seed,
+            runner_config=RunnerConfig(workers=workers),
+            cache=store,
+        )
+        archives.append(dumps_dataset(dataset))
+        table = run_table2(
+            dataclasses.replace(config, workers=workers),
+            dataset=dataset,
+            cache=store,
+        )
+        tables.append(format_table2(table).encode("utf-8"))
+    assert archives[0] == archives[1]
+    assert tables[0] == tables[1]

@@ -11,6 +11,7 @@ import pytest
 
 from benchmarks.conftest import write_result
 from repro.experiments.parameter_sweep import (
+    SweepConfig,
     format_parameter_sweep,
     run_parameter_sweep,
 )
@@ -28,13 +29,13 @@ def test_parameter_sweep(benchmark, experiment_config, collected_dataset,
         if bench_scale == "small"
         else ((0.0, 0.0), (0.10, 0.30), (0.25, 0.75), (0.50, 1.50))
     )
+    sweep_config = SweepConfig(
+        base=experiment_config,
+        thresholds=thresholds,
+        delay_ranges=delay_ranges,
+    )
     points = benchmark.pedantic(
-        lambda: run_parameter_sweep(
-            experiment_config,
-            dataset=collected_dataset,
-            thresholds=thresholds,
-            delay_ranges=delay_ranges,
-        ),
+        lambda: run_parameter_sweep(sweep_config, dataset=collected_dataset),
         rounds=1,
         iterations=1,
     )

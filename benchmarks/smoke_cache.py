@@ -1,0 +1,80 @@
+"""CI smoke test: the artifact cache across real CLI invocations.
+
+Runs a small parameter sweep twice against the same ``--cache`` store:
+the second run must report cache hits (via ``repro cache stats``) and
+render the identical table.  Also collects the same tiny dataset twice
+through the cache and byte-diffs the two archives — the warm copy is
+decoded from the store, so any codec or corruption-handling regression
+shows up as a byte difference.
+
+Usage:  PYTHONPATH=src python benchmarks/smoke_cache.py
+"""
+
+import contextlib
+import io
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cli import main
+
+
+def _stats_hits(cache: str) -> int:
+    captured = io.StringIO()
+    with contextlib.redirect_stdout(captured):
+        if main(["cache", "stats", "--cache", cache]) != 0:
+            return -1
+    match = re.search(r"(\d+) hits", captured.getvalue())
+    return int(match.group(1)) if match else -1
+
+
+def run() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = str(Path(tmp) / "store")
+
+        # Dataset byte-identity: cold collect, then warm from cache.
+        archives = []
+        for name in ("cold.npz", "warm.npz"):
+            out = Path(tmp) / name
+            argv = [
+                "collect", "--samples", "1", "--seed", "11",
+                "--cache", cache, "--out", str(out),
+            ]
+            if main(argv) != 0:
+                print(f"smoke: collect {name} failed", file=sys.stderr)
+                return 1
+            archives.append(out.read_bytes())
+        if archives[0] != archives[1]:
+            print("smoke: warm dataset differs from cold dataset",
+                  file=sys.stderr)
+            return 1
+
+        # Sweep twice: identical rendering, and the second run hits.
+        tables = []
+        for name in ("sweep1.txt", "sweep2.txt"):
+            out = Path(tmp) / name
+            argv = [
+                "sweep", "--samples", "3", "--folds", "2", "--seed", "11",
+                "--cache", cache, "--out", str(out),
+            ]
+            if main(argv) != 0:
+                print(f"smoke: sweep {name} failed", file=sys.stderr)
+                return 1
+            tables.append(out.read_bytes())
+        if tables[0] != tables[1]:
+            print("smoke: warm sweep output differs from cold",
+                  file=sys.stderr)
+            return 1
+
+        hits = _stats_hits(cache)
+        if hits <= 0:
+            print(f"smoke: expected cache hits, stats reported {hits}",
+                  file=sys.stderr)
+            return 1
+    print(f"smoke: cache warm runs byte-identical, {hits} hits recorded")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -84,6 +84,11 @@ def _sampled_series(series: np.ndarray, n: int) -> np.ndarray:
 class KfpFeatureExtractor:
     """Extracts the k-FP vector from a :class:`Trace`."""
 
+    #: Cache identity: bump ``version`` whenever the feature definition
+    #: changes, so stale cached feature matrices invalidate.
+    name = "kfp"
+    version = 1
+
     def __init__(self) -> None:
         self._names: List[str] = []
         self._names_final = False

@@ -1,0 +1,67 @@
+"""Content-addressed artifact cache with incremental recomputation.
+
+The Table-2 workflow repeatedly re-runs the same collect → defend →
+extract-features → train → evaluate pipeline while only one knob
+changes.  Since every stage of that pipeline is deterministic given its
+typed config (PR 2 made outputs byte-identical across worker counts),
+each stage's output is a pure function of (stage config, code version,
+upstream artifacts) — i.e. perfectly cacheable.
+
+Three layers:
+
+* :mod:`repro.cache.canonical` — the canonical JSON form that config
+  digests are computed over (stable key order, JSON-safe scalars,
+  type-tagged dataclasses);
+* :mod:`repro.cache.keys` — :class:`CacheKey` derivation: a SHA-256
+  over stage name, stage implementation version, package code version,
+  canonical config and upstream-artifact digests;
+* :mod:`repro.cache.store` — :class:`ArtifactStore`, the on-disk store:
+  atomic rename writes (safe under multiprocess fan-out), lock-free
+  reads, corruption-detecting payload digests with fallback to
+  recompute, and hit/miss/bytes counters surfaced both locally and
+  through the :mod:`repro.obs` registry;
+* :mod:`repro.cache.pipeline` — stage key builders and
+  ``cached_*`` get-or-compute helpers the experiments layer wires in.
+"""
+
+from repro.cache.canonical import canonical_json, digest, jsonable
+from repro.cache.keys import CODE_VERSION, STAGE_VERSIONS, CacheKey
+from repro.cache.store import ArtifactStore, StoreStats, aggregate_run_stats
+from repro.cache.pipeline import (
+    cached_array,
+    cached_arrays,
+    cached_dataset,
+    cached_json,
+    capture_key,
+    dataset_key,
+    defend_key,
+    defense_spec,
+    eval_key,
+    features_key,
+    overhead_key,
+    sanitize_key,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CacheKey",
+    "CODE_VERSION",
+    "STAGE_VERSIONS",
+    "StoreStats",
+    "aggregate_run_stats",
+    "cached_array",
+    "cached_arrays",
+    "cached_dataset",
+    "cached_json",
+    "canonical_json",
+    "capture_key",
+    "dataset_key",
+    "defend_key",
+    "defense_spec",
+    "digest",
+    "eval_key",
+    "features_key",
+    "jsonable",
+    "overhead_key",
+    "sanitize_key",
+]

@@ -1,0 +1,85 @@
+"""Canonical JSON: the form cache digests are computed over.
+
+Two runs must derive the same digest for the same *logical* config, so
+the canonical form has to be independent of dict insertion order,
+tuple-vs-list spelling and numpy-vs-python scalar types.  It also has
+to be *total* over the config space: anything that cannot be
+represented faithfully (NaN, arbitrary objects) raises instead of
+silently digesting something ambiguous.
+
+Rules:
+
+* dicts serialise with sorted string keys;
+* tuples, lists and 1-D arrays all become JSON arrays;
+* numpy scalars collapse to the equivalent python scalar;
+* non-finite floats are rejected (``NaN != NaN`` would make a digest
+  meaningless);
+* an object exposing ``to_dict()`` is asked for its canonical dict —
+  this is how the typed experiment configs plug in;
+* any other dataclass becomes a type-tagged dict
+  (``{"__dataclass__": "GilbertElliottSpec", ...fields}``) so two spec
+  types with identical field names never collide.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+from typing import Any
+
+import numpy as np
+
+
+def jsonable(obj: Any) -> Any:
+    """Convert ``obj`` to plain JSON-safe data under the canonical rules."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        if not math.isfinite(obj):
+            raise ValueError(f"non-finite float {obj!r} cannot be canonicalised")
+        return obj
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return jsonable(float(obj))
+    if isinstance(obj, np.ndarray):
+        return [jsonable(x) for x in obj.tolist()]
+    to_dict = getattr(obj, "to_dict", None)
+    if callable(to_dict) and not isinstance(obj, type):
+        return jsonable(to_dict())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {"__dataclass__": type(obj).__name__}
+        for field in dataclasses.fields(obj):
+            out[field.name] = jsonable(getattr(obj, field.name))
+        return out
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"canonical dicts need string keys, got {key!r}"
+                )
+            out[key] = jsonable(value)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [jsonable(x) for x in obj]
+    raise TypeError(
+        f"{type(obj).__name__} is not canonicalisable; give it a "
+        f"to_dict() or pass plain data"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """The one canonical serialisation: sorted keys, no whitespace."""
+    return json.dumps(
+        jsonable(obj), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def digest(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``obj``."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()

@@ -1,0 +1,226 @@
+"""Incremental recomputation over the experiment pipeline.
+
+The evaluation pipeline is a chain of deterministic stages::
+
+    capture -> sanitize -> defend -> features -> eval
+
+Each stage's key derives from its typed config plus the digest of the
+upstream artifact (:class:`~repro.cache.keys.CacheKey`), so the cache
+reuses exactly the prefix of the chain whose inputs did not change:
+swapping the defense reuses cached raw captures; changing only the
+classifier hyperparameters reuses cached features.
+
+This module provides the stage key builders and the ``cached_*``
+get-or-compute helpers.  All helpers accept ``store=None`` (or
+``key=None``) and degrade to plain computation, so call sites carry no
+conditional plumbing.  Artifact codecs are self-describing and safe:
+datasets travel as ``.npz`` archives, arrays as ``.npy`` (both loaded
+with ``allow_pickle=False``), scalars/score-lists as JSON.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.cache.keys import CacheKey
+from repro.cache.store import ArtifactStore
+from repro.capture.dataset import Dataset
+from repro.capture.serialize import (
+    dataset_content_digest,
+    dumps_dataset,
+    loads_dataset,
+)
+
+# -- stage keys ------------------------------------------------------------
+
+
+def capture_key(
+    pageload_config: Any,
+    sites: Sequence[str],
+    n_samples: int,
+    seed: int,
+    collector: Any = None,
+) -> CacheKey:
+    """Key of a raw collected dataset.
+
+    ``collector`` captures anything beyond the page-load config that
+    changes *which traces end up in the dataset* — e.g. the resilient
+    runner's retry policy (retries decide which trials drop).  Worker
+    counts and checkpoint paths stay out: they are wall-clock knobs
+    with byte-identical output.
+    """
+    return CacheKey.derive(
+        "capture",
+        {
+            "pageload": pageload_config,
+            "sites": sorted(sites),
+            "n_samples": n_samples,
+            "seed": seed,
+            "collector": collector,
+        },
+    )
+
+
+def dataset_key(dataset: Dataset) -> CacheKey:
+    """Content-address an externally supplied dataset (e.g. loaded
+    from ``--dataset``), anchoring the downstream chain to its bytes."""
+    return CacheKey.derive(
+        "dataset", {"content_sha256": dataset_content_digest(dataset)}
+    )
+
+
+def sanitize_key(
+    upstream: CacheKey,
+    balance_to: Optional[int],
+    iqr_factor: float = 1.5,
+    min_packets: int = 10,
+) -> CacheKey:
+    return CacheKey.derive(
+        "sanitize",
+        {
+            "balance_to": balance_to,
+            "iqr_factor": iqr_factor,
+            "min_packets": min_packets,
+        },
+        upstream=(upstream,),
+    )
+
+
+def defense_spec(defense: Any) -> dict:
+    """The canonical identity of a configured defense: registry name
+    plus its total ``params()`` dict (the Defense contract)."""
+    return {"name": defense.name, "params": defense.params()}
+
+
+def defend_key(
+    upstream: CacheKey, defense: Any, prefix: Optional[int] = None
+) -> CacheKey:
+    """Key of a defended (and possibly prefix-truncated) dataset."""
+    return CacheKey.derive(
+        "defend",
+        {"defense": defense_spec(defense), "prefix": prefix},
+        upstream=(upstream,),
+    )
+
+
+def features_key(upstream: CacheKey, extractor: Any) -> CacheKey:
+    return CacheKey.derive(
+        "features",
+        {
+            "extractor": getattr(extractor, "name", type(extractor).__name__),
+            "extractor_version": getattr(extractor, "version", 0),
+        },
+        upstream=(upstream,),
+    )
+
+
+def eval_key(
+    upstream: CacheKey, n_folds: int, n_estimators: int, seed: int
+) -> CacheKey:
+    return CacheKey.derive(
+        "eval",
+        {"n_folds": n_folds, "n_estimators": n_estimators, "seed": seed},
+        upstream=(upstream,),
+    )
+
+
+def overhead_key(upstream: CacheKey, defense: Any, max_traces: int) -> CacheKey:
+    return CacheKey.derive(
+        "overhead",
+        {"defense": defense_spec(defense), "max_traces": max_traces},
+        upstream=(upstream,),
+    )
+
+
+# -- get-or-compute helpers ------------------------------------------------
+
+
+def cached_dataset(
+    store: Optional[ArtifactStore],
+    key: Optional[CacheKey],
+    compute: Callable[[], Dataset],
+) -> Dataset:
+    """A dataset artifact: ``.npz`` payload, loaded allow_pickle=False."""
+    if store is None or key is None:
+        return compute()
+    data = store.get_bytes(key)
+    if data is not None:
+        try:
+            return loads_dataset(data)
+        except (ValueError, KeyError, OSError):
+            # Decodable-but-wrong payloads fall back like corruption.
+            store._count("corruptions")
+    dataset = compute()
+    store.put_bytes(key, dumps_dataset(dataset), kind="dataset")
+    return dataset
+
+
+def cached_array(
+    store: Optional[ArtifactStore],
+    key: Optional[CacheKey],
+    compute: Callable[[], np.ndarray],
+) -> np.ndarray:
+    """An ndarray artifact: ``.npy`` payload."""
+    if store is None or key is None:
+        return compute()
+    data = store.get_bytes(key)
+    if data is not None:
+        try:
+            return np.load(io.BytesIO(data), allow_pickle=False)
+        except (ValueError, OSError):
+            store._count("corruptions")
+    array = compute()
+    buffer = io.BytesIO()
+    np.save(buffer, np.asarray(array), allow_pickle=False)
+    store.put_bytes(key, buffer.getvalue(), kind="array")
+    return array
+
+
+def cached_arrays(
+    store: Optional[ArtifactStore],
+    key: Optional[CacheKey],
+    compute: Callable[[], dict],
+) -> dict:
+    """A named-array bundle (e.g. a feature matrix plus its labels):
+    ``.npz`` payload, loaded allow_pickle=False."""
+    if store is None or key is None:
+        return compute()
+    data = store.get_bytes(key)
+    if data is not None:
+        try:
+            with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+                return {name: archive[name] for name in archive.files}
+        except (ValueError, KeyError, OSError):
+            store._count("corruptions")
+    arrays = compute()
+    buffer = io.BytesIO()
+    np.savez(buffer, **{k: np.asarray(v) for k, v in arrays.items()})
+    store.put_bytes(key, buffer.getvalue(), kind="arrays")
+    return arrays
+
+
+def cached_json(
+    store: Optional[ArtifactStore],
+    key: Optional[CacheKey],
+    compute: Callable[[], Any],
+) -> Any:
+    """A JSON-safe artifact (fold scores, overhead summaries, ...)."""
+    if store is None or key is None:
+        return compute()
+    data = store.get_bytes(key)
+    if data is not None:
+        try:
+            return json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            store._count("corruptions")
+    value = compute()
+    store.put_bytes(
+        key,
+        json.dumps(value, sort_keys=True, separators=(",", ":")).encode("utf-8"),
+        kind="json",
+    )
+    return value

@@ -1,0 +1,333 @@
+"""The on-disk artifact store.
+
+Layout (all under one root directory)::
+
+    root/
+      objects/<stage>/<aa>/<digest>.bin    payload bytes
+      objects/<stage>/<aa>/<digest>.json   entry metadata (sha256, size)
+      runs/<pid>-<seq>.json                per-run counter snapshots
+
+Concurrency model — the store must be safe under PR 2's multiprocess
+fan-out without any locking:
+
+* **writes are atomic**: payloads land in a unique ``.tmp`` file first
+  and are published with ``os.replace``; the metadata sidecar is
+  written the same way *after* the payload, so a reader that sees
+  metadata always sees a fully published payload.  Two processes
+  computing the same key both write; last rename wins and both files
+  are complete at every instant.
+* **reads are lock-free**: read metadata, read payload, verify the
+  payload's SHA-256 against the metadata.  Any mismatch (torn file,
+  bit rot, truncation) is counted as a corruption, the entry is
+  evicted best-effort, and the caller falls back to recomputing.
+
+Counters (hits/misses/writes/corruptions/bytes) are kept per store
+instance, mirrored into the :mod:`repro.obs` registry when a session
+is active, and persisted per run under ``runs/`` so ``repro cache
+stats`` can report hit rates across invocations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.cache.keys import CacheKey
+from repro.obs import runtime as _obs_runtime
+
+#: Store format version, recorded in every metadata sidecar.
+STORE_SCHEMA = "repro.cache/artifact"
+STORE_VERSION = 1
+
+_COUNTER_NAMES = (
+    "hits", "misses", "writes", "corruptions", "bytes_read", "bytes_written",
+)
+
+
+@dataclass
+class StoreStats:
+    """Contents summary of a store (what ``repro cache stats`` prints)."""
+
+    entries: int = 0
+    payload_bytes: int = 0
+    #: stage -> (entry count, payload bytes)
+    by_stage: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+
+@dataclass
+class GcResult:
+    """What one ``gc`` pass did."""
+
+    removed_entries: int = 0
+    freed_bytes: int = 0
+    pruned_tmp: int = 0
+
+
+@dataclass
+class VerifyResult:
+    """What one ``verify`` pass found."""
+
+    ok: int = 0
+    corrupt: List[str] = field(default_factory=list)
+    deleted: int = 0
+
+
+class ArtifactStore:
+    """A content-addressed artifact store rooted at ``root``."""
+
+    _tmp_seq = itertools.count()
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        self.counters: Dict[str, int] = {name: 0 for name in _COUNTER_NAMES}
+        os.makedirs(os.path.join(self.root, "objects"), exist_ok=True)
+        os.makedirs(os.path.join(self.root, "runs"), exist_ok=True)
+
+    # -- paths -------------------------------------------------------------
+
+    def _base(self, key: CacheKey) -> str:
+        return os.path.join(self.root, "objects", *key.relpath.split("/"))
+
+    def payload_path(self, key: CacheKey) -> str:
+        return self._base(key) + ".bin"
+
+    def meta_path(self, key: CacheKey) -> str:
+        return self._base(key) + ".json"
+
+    # -- counters ----------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] += amount
+        obs = _obs_runtime.session()
+        if obs is not None:
+            obs.registry.counter(f"cache.{name}").add(amount)
+
+    # -- write path --------------------------------------------------------
+
+    def _atomic_write(self, path: str, data: bytes) -> None:
+        tmp = f"{path}.{os.getpid()}.{next(self._tmp_seq)}.tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+
+    def put_bytes(self, key: CacheKey, data: bytes, kind: str = "bytes") -> None:
+        """Publish ``data`` under ``key`` (atomic; last writer wins)."""
+        os.makedirs(os.path.dirname(self._base(key)), exist_ok=True)
+        meta = {
+            "schema": STORE_SCHEMA,
+            "version": STORE_VERSION,
+            "stage": key.stage,
+            "digest": key.digest,
+            "kind": kind,
+            "payload_sha256": hashlib.sha256(data).hexdigest(),
+            "payload_bytes": len(data),
+        }
+        # Payload first, metadata second: metadata's existence implies a
+        # fully published payload for lock-free readers.
+        self._atomic_write(self.payload_path(key), data)
+        self._atomic_write(
+            self.meta_path(key),
+            json.dumps(meta, sort_keys=True, indent=1).encode("utf-8"),
+        )
+        self._count("writes")
+        self._count("bytes_written", len(data))
+
+    # -- read path ---------------------------------------------------------
+
+    def _evict(self, key: CacheKey) -> None:
+        for path in (self.meta_path(key), self.payload_path(key)):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+    def get_bytes(self, key: CacheKey) -> Optional[bytes]:
+        """The payload for ``key``, or ``None`` (miss / corrupt entry).
+
+        A corrupt or truncated entry — payload digest not matching its
+        metadata — is counted, evicted best-effort, and reported as a
+        miss, so callers transparently fall back to recomputation.
+        """
+        try:
+            with open(self.meta_path(key), "rb") as handle:
+                meta = json.loads(handle.read().decode("utf-8"))
+            with open(self.payload_path(key), "rb") as handle:
+                data = handle.read()
+        except (OSError, ValueError):
+            if os.path.exists(self.meta_path(key)):
+                # Metadata present but unreadable/unparseable: corrupt.
+                self._count("corruptions")
+                self._evict(key)
+            self._count("misses")
+            return None
+        if (
+            meta.get("payload_sha256") != hashlib.sha256(data).hexdigest()
+            or meta.get("digest") != key.digest
+        ):
+            self._count("corruptions")
+            self._evict(key)
+            self._count("misses")
+            return None
+        self._count("hits")
+        self._count("bytes_read", len(data))
+        return data
+
+    def has(self, key: CacheKey) -> bool:
+        """Entry present (metadata published)?  Does not verify payload."""
+        return os.path.exists(self.meta_path(key))
+
+    # -- maintenance -------------------------------------------------------
+
+    def _iter_meta_paths(self) -> Iterator[str]:
+        objects = os.path.join(self.root, "objects")
+        for dirpath, _dirnames, filenames in os.walk(objects):
+            for name in sorted(filenames):
+                if name.endswith(".json"):
+                    yield os.path.join(dirpath, name)
+
+    def _entry_from_meta(self, meta_path: str) -> Optional[CacheKey]:
+        try:
+            with open(meta_path, "rb") as handle:
+                meta = json.loads(handle.read().decode("utf-8"))
+            return CacheKey(stage=meta["stage"], digest=meta["digest"])
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def stats(self) -> StoreStats:
+        """Entry and byte totals, grouped by stage."""
+        stats = StoreStats()
+        for meta_path in self._iter_meta_paths():
+            payload = meta_path[: -len(".json")] + ".bin"
+            stage = os.path.relpath(
+                meta_path, os.path.join(self.root, "objects")
+            ).split(os.sep)[0]
+            stats.entries += 1
+            try:
+                size = os.path.getsize(payload)
+            except OSError:
+                size = 0
+            stats.payload_bytes += size
+            count, nbytes = stats.by_stage.get(stage, (0, 0))
+            stats.by_stage[stage] = (count + 1, nbytes + size)
+        return stats
+
+    def verify(self, delete: bool = False) -> VerifyResult:
+        """Re-hash every payload against its metadata."""
+        result = VerifyResult()
+        for meta_path in self._iter_meta_paths():
+            key = self._entry_from_meta(meta_path)
+            payload_path = meta_path[: -len(".json")] + ".bin"
+            ok = False
+            if key is not None:
+                try:
+                    with open(meta_path, "rb") as handle:
+                        meta = json.loads(handle.read().decode("utf-8"))
+                    with open(payload_path, "rb") as handle:
+                        data = handle.read()
+                    ok = (
+                        meta.get("payload_sha256")
+                        == hashlib.sha256(data).hexdigest()
+                    )
+                except (OSError, ValueError):
+                    ok = False
+            if ok:
+                result.ok += 1
+            else:
+                rel = os.path.relpath(meta_path, self.root)
+                result.corrupt.append(rel)
+                if delete:
+                    for path in (meta_path, payload_path):
+                        try:
+                            os.remove(path)
+                        except OSError:
+                            pass
+                    result.deleted += 1
+        return result
+
+    def gc(self, max_bytes: Optional[int] = None) -> GcResult:
+        """Prune the store.
+
+        Always removes leftover ``.tmp`` files (from interrupted
+        writers).  With ``max_bytes``, evicts least-recently-modified
+        entries until the payload total fits the budget.
+        """
+        result = GcResult()
+        objects = os.path.join(self.root, "objects")
+        for dirpath, _dirnames, filenames in os.walk(objects):
+            for name in filenames:
+                if name.endswith(".tmp"):
+                    try:
+                        os.remove(os.path.join(dirpath, name))
+                        result.pruned_tmp += 1
+                    except OSError:
+                        pass
+        if max_bytes is None:
+            return result
+        entries: List[Tuple[float, int, str, str]] = []
+        total = 0
+        for meta_path in self._iter_meta_paths():
+            payload_path = meta_path[: -len(".json")] + ".bin"
+            try:
+                size = os.path.getsize(payload_path)
+                mtime = os.path.getmtime(payload_path)
+            except OSError:
+                size, mtime = 0, 0.0
+            entries.append((mtime, size, meta_path, payload_path))
+            total += size
+        entries.sort()
+        for mtime, size, meta_path, payload_path in entries:
+            if total <= max_bytes:
+                break
+            for path in (meta_path, payload_path):
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+            result.removed_entries += 1
+            result.freed_bytes += size
+            total -= size
+        return result
+
+    # -- run-stat persistence ----------------------------------------------
+
+    def write_run_stats(self) -> Optional[str]:
+        """Persist this instance's counters under ``runs/`` (atomic).
+
+        Called once at the end of a CLI run so ``repro cache stats``
+        can report hit/miss totals across invocations.  Returns the
+        path written, or ``None`` when the store saw no activity.
+        """
+        if not any(self.counters.values()):
+            return None
+        path = os.path.join(
+            self.root, "runs", f"{os.getpid()}-{next(self._tmp_seq)}.json"
+        )
+        self._atomic_write(
+            path, json.dumps(self.counters, sort_keys=True).encode("utf-8")
+        )
+        return path
+
+
+def aggregate_run_stats(root: str) -> Dict[str, int]:
+    """Sum every persisted run-counter snapshot under ``root``."""
+    totals = {name: 0 for name in _COUNTER_NAMES}
+    totals["runs"] = 0
+    runs = os.path.join(os.path.abspath(root), "runs")
+    if not os.path.isdir(runs):
+        return totals
+    for name in sorted(os.listdir(runs)):
+        if not name.endswith(".json"):
+            continue
+        try:
+            with open(os.path.join(runs, name), "rb") as handle:
+                counters = json.loads(handle.read().decode("utf-8"))
+        except (OSError, ValueError):
+            continue
+        totals["runs"] += 1
+        for counter in _COUNTER_NAMES:
+            totals[counter] += int(counters.get(counter, 0))
+    return totals

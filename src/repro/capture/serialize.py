@@ -18,6 +18,8 @@ array and ignoring the stray key).
 
 from __future__ import annotations
 
+import hashlib
+import io
 import os
 import zipfile
 from typing import Dict, List
@@ -28,8 +30,8 @@ from repro.capture.dataset import Dataset
 from repro.capture.trace import Trace
 
 
-def save_dataset(dataset: Dataset, path: str) -> None:
-    """Write ``dataset`` to ``path`` (an ``.npz`` file)."""
+def _archive_payload(dataset: Dataset) -> Dict[str, np.ndarray]:
+    """The flat-array archive members for ``dataset``."""
     payload: Dict[str, np.ndarray] = {}
     labels = dataset.labels
     # Fixed-width unicode, never dtype=object: keeps the archive
@@ -52,9 +54,46 @@ def save_dataset(dataset: Dataset, path: str) -> None:
         payload[f"{label}/dirs"] = dirs
         payload[f"{label}/sizes"] = sizes
         payload[f"{label}/offsets"] = np.asarray(offsets, dtype=np.int64)
+    return payload
+
+
+def save_dataset(dataset: Dataset, path: str) -> None:
+    """Write ``dataset`` to ``path`` (an ``.npz`` file)."""
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
-    np.savez_compressed(path, **payload)
+    np.savez_compressed(path, **_archive_payload(dataset))
+
+
+def dumps_dataset(dataset: Dataset) -> bytes:
+    """The ``.npz`` archive for ``dataset`` as bytes (deterministic:
+    numpy stamps a fixed zip date, so equal datasets serialise to equal
+    bytes — what lets the artifact cache diff archives directly)."""
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **_archive_payload(dataset))
+    return buffer.getvalue()
+
+
+def loads_dataset(data: bytes) -> Dataset:
+    """Inverse of :func:`dumps_dataset` (current-format archives only)."""
+    return _build_dataset(io.BytesIO(data))
+
+
+def dataset_content_digest(dataset: Dataset) -> str:
+    """SHA-256 over the dataset's raw arrays (no compression pass).
+
+    Content addressing for in-memory datasets: orders of magnitude
+    cheaper than hashing a compressed archive, and independent of the
+    archive container format.
+    """
+    h = hashlib.sha256()
+    for label in dataset.labels:
+        h.update(label.encode("utf-8"))
+        h.update(len(dataset.traces[label]).to_bytes(8, "little"))
+        for trace in dataset.traces[label]:
+            h.update(np.ascontiguousarray(trace.times, dtype=np.float64).tobytes())
+            h.update(np.ascontiguousarray(trace.directions, dtype=np.int8).tobytes())
+            h.update(np.ascontiguousarray(trace.sizes, dtype=np.int64).tobytes())
+    return h.hexdigest()
 
 
 def _read_labels(path: str) -> List[str]:
@@ -81,18 +120,31 @@ def load_dataset(path: str) -> Dataset:
     dataset = Dataset()
     with np.load(path, allow_pickle=False) as archive:
         for label in labels:
-            times = archive[f"{label}/times"]
-            dirs = archive[f"{label}/dirs"]
-            sizes = archive[f"{label}/sizes"]
-            offsets = archive[f"{label}/offsets"].astype(np.int64)
-            dataset.traces[label] = [
-                Trace(t, d, s)
-                for t, d, s in zip(
-                    np.split(times, offsets),
-                    np.split(dirs, offsets),
-                    np.split(sizes, offsets),
-                )
-            ]
+            dataset.traces[label] = _label_traces(archive, label)
+    return dataset
+
+
+def _label_traces(archive, label: str) -> List[Trace]:
+    times = archive[f"{label}/times"]
+    dirs = archive[f"{label}/dirs"]
+    sizes = archive[f"{label}/sizes"]
+    offsets = archive[f"{label}/offsets"].astype(np.int64)
+    return [
+        Trace(t, d, s)
+        for t, d, s in zip(
+            np.split(times, offsets),
+            np.split(dirs, offsets),
+            np.split(sizes, offsets),
+        )
+    ]
+
+
+def _build_dataset(source: io.BytesIO) -> Dataset:
+    """Current-format archive (fixed-width labels) from a file object."""
+    dataset = Dataset()
+    with np.load(source, allow_pickle=False) as archive:
+        for label in [str(x) for x in archive["_labels"]]:
+            dataset.traces[label] = _label_traces(archive, label)
     return dataset
 
 

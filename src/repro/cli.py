@@ -23,6 +23,12 @@ per core).  All randomness is position-derived, so any worker count
 produces bit-identical results — ``--workers`` is purely a wall-clock
 knob and composes with ``--checkpoint``/``--resume``.
 
+``--cache DIR`` (collect/table2/adverse/sweep) keys every pipeline
+stage (capture → sanitize → defend → features → eval) on its config
+and reuses cached artifacts, so re-runs and partially-changed runs
+skip whatever already exists; ``--no-cache`` disables it for one run.
+``repro cache stats|gc|verify`` inspects and maintains the store.
+
 ``--metrics PATH`` / ``--trace PATH`` (collect/table2/adverse/sweep)
 turn on the :mod:`repro.obs` observability layer: counters, gauges and
 histograms from the simulator, TCP stack, Stob controller and runner
@@ -47,16 +53,22 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--samples", type=int, default=100, help="page loads per site"
     )
     parser.add_argument(
+        "--folds", type=int, default=5,
+        help="cross-validation folds for accuracy cells",
+    )
+    parser.add_argument(
         "--dataset", type=str, default=None,
         help="path of a dataset .npz to reuse (see `repro collect`)",
     )
 
 
 def _add_dataset_opts(
-    parser: argparse.ArgumentParser, out_help: str = "write results to this file"
+    parser: argparse.ArgumentParser,
+    out_help: str = "write results to this file",
+    out_default: Optional[str] = None,
 ) -> None:
     """Options shared by every dataset-producing subcommand."""
-    parser.add_argument("--out", type=str, default=None, help=out_help)
+    parser.add_argument("--out", type=str, default=out_default, help=out_help)
     parser.add_argument(
         "--checkpoint", type=str, default=None,
         help="checkpoint path: collect resiliently, persisting partial "
@@ -65,6 +77,19 @@ def _add_dataset_opts(
     parser.add_argument(
         "--resume", action="store_true",
         help="resume an interrupted collection from --checkpoint",
+    )
+
+
+def _add_cache(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache", type=str, default=None, metavar="DIR",
+        help="content-addressed artifact cache directory: collected "
+        "datasets, features and scores are keyed on their configs and "
+        "reused across runs (see `repro cache stats`)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache for this run (compute everything)",
     )
 
 
@@ -95,6 +120,9 @@ def _validate_common(parser: argparse.ArgumentParser, args) -> None:
         parser.error(f"--seed must be >= 0, got {args.seed}")
     if getattr(args, "samples", 1) is not None and getattr(args, "samples", 1) < 1:
         parser.error(f"--samples must be >= 1, got {args.samples}")
+    folds = getattr(args, "folds", 5)
+    if folds is not None and folds < 2:
+        parser.error(f"--folds must be >= 2, got {folds}")
     dataset = getattr(args, "dataset", None)
     if dataset is not None and not os.path.exists(dataset):
         parser.error(f"--dataset file not found: {dataset}")
@@ -106,9 +134,29 @@ def _validate_common(parser: argparse.ArgumentParser, args) -> None:
     workers = getattr(args, "workers", 1)
     if workers is not None and workers < 0:
         parser.error(f"--workers must be >= 0, got {workers}")
+    cache = getattr(args, "cache", None)
+    if cache is not None and os.path.isfile(cache):
+        parser.error(f"--cache must be a directory, not a file: {cache}")
 
 
-def _load_or_collect(args, config):
+def _store(args):
+    """The run's :class:`~repro.cache.ArtifactStore` (or None).
+
+    ``--no-cache`` wins over ``--cache``.  The store is memoised on
+    ``args`` so ``main()`` can flush its per-run counters at exit.
+    """
+    if getattr(args, "_cache_store", None) is not None:
+        return args._cache_store
+    path = getattr(args, "cache", None)
+    if path is None or getattr(args, "no_cache", False):
+        return None
+    from repro.cache import ArtifactStore
+
+    args._cache_store = ArtifactStore(path)
+    return args._cache_store
+
+
+def _load_or_collect(args, config, cache=None):
     from repro.capture.serialize import load_dataset
 
     if args.dataset:
@@ -126,6 +174,7 @@ def _load_or_collect(args, config):
                 checkpoint_path=args.checkpoint, workers=config.workers
             ),
             resume=args.resume,
+            cache=cache,
         )
         print(f"collection: {report.summary()}", file=sys.stderr)
         return dataset
@@ -133,7 +182,7 @@ def _load_or_collect(args, config):
 
     return collect_dataset(
         n_samples=config.n_samples, config=config.pageload, seed=config.seed,
-        workers=config.workers,
+        workers=config.workers, cache=cache,
     )
 
 
@@ -143,6 +192,7 @@ def _config(args):
     return ExperimentConfig(
         n_samples=args.samples,
         seed=args.seed,
+        n_folds=getattr(args, "folds", 5),
         workers=getattr(args, "workers", 1),
     )
 
@@ -162,7 +212,7 @@ def cmd_collect(args) -> int:
 
     config = _config(args)
     started = time.time()
-    dataset = _load_or_collect(args, config)
+    dataset = _load_or_collect(args, config, _store(args))
     save_dataset(dataset, args.out)
     print(
         f"saved {dataset.num_traces} traces "
@@ -184,8 +234,14 @@ def cmd_table2(args) -> int:
     from repro.experiments.table2 import format_table2, run_table2
 
     config = _config(args)
-    dataset = _load_or_collect(args, config)
-    table = run_table2(config, dataset=dataset)
+    store = _store(args)
+    # Only materialise a dataset up front when one is supplied or
+    # checkpointed collection is requested; otherwise run_table2's
+    # cached chain collects lazily (a fully-warm run collects nothing).
+    dataset = None
+    if args.dataset or getattr(args, "checkpoint", None):
+        dataset = _load_or_collect(args, config, store)
+    table = run_table2(config, dataset=dataset, cache=store)
     _emit(format_table2(table), args.out)
     return 0
 
@@ -315,7 +371,7 @@ def cmd_adverse(args) -> int:
         runner=RunnerConfig(workers=base.workers),
         checkpoint_dir=args.checkpoint,
     )
-    result = run_adverse(config, resume=args.resume)
+    result = run_adverse(config, resume=args.resume, cache=_store(args))
     _emit(format_adverse(result), args.out)
     return 0
 
@@ -339,10 +395,56 @@ def cmd_sweep(args) -> int:
     )
 
     config = _config(args)
-    dataset = _load_or_collect(args, config)
-    points = run_parameter_sweep(config, dataset=dataset)
+    store = _store(args)
+    dataset = None
+    if args.dataset or getattr(args, "checkpoint", None):
+        dataset = _load_or_collect(args, config, store)
+    points = run_parameter_sweep(config, dataset=dataset, cache=store)
     _emit(format_parameter_sweep(points), args.out)
     return 0
+
+
+def cmd_cache(args) -> int:
+    from repro.cache import ArtifactStore, aggregate_run_stats
+
+    store = ArtifactStore(args.cache)
+    if args.cache_command == "stats":
+        stats = store.stats()
+        lines = [
+            f"cache at {os.path.abspath(args.cache)}",
+            f"  entries: {stats.entries}",
+            f"  payload bytes: {stats.payload_bytes}",
+        ]
+        for stage in sorted(stats.by_stage):
+            count, nbytes = stats.by_stage[stage]
+            lines.append(f"    {stage:>10}: {count} entries, {nbytes} bytes")
+        totals = aggregate_run_stats(args.cache)
+        lines.append(
+            f"  across {totals.get('runs', 0)} recorded runs: "
+            f"{totals.get('hits', 0)} hits, {totals.get('misses', 0)} misses, "
+            f"{totals.get('writes', 0)} writes, "
+            f"{totals.get('corruptions', 0)} corruptions"
+        )
+        print("\n".join(lines))
+        return 0
+    if args.cache_command == "gc":
+        result = store.gc(max_bytes=args.max_bytes)
+        print(
+            f"gc: removed {result.removed_entries} entries "
+            f"({result.freed_bytes} bytes), pruned {result.pruned_tmp} tmp files"
+        )
+        return 0
+    if args.cache_command == "verify":
+        result = store.verify(delete=args.delete)
+        print(
+            f"verify: {result.ok} ok, {len(result.corrupt)} corrupt"
+            + (f", {result.deleted} deleted" if args.delete else "")
+        )
+        for relpath in result.corrupt:
+            print(f"  corrupt: {relpath}")
+        return 0 if not result.corrupt or args.delete else 1
+    args._parser.error(f"unknown cache command {args.cache_command!r}")
+    return 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -354,16 +456,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("collect", help="collect and save the 9-site dataset")
     _add_common(p)
-    p.add_argument("--out", type=str, default="dataset.npz")
-    p.add_argument(
-        "--checkpoint", type=str, default=None,
-        help="checkpoint path for resilient collection",
-    )
-    p.add_argument(
-        "--resume", action="store_true",
-        help="resume an interrupted collection from --checkpoint",
+    _add_dataset_opts(
+        p, out_help="write the dataset .npz here", out_default="dataset.npz"
     )
     _add_workers(p)
+    _add_cache(p)
     _add_obs(p)
     p.set_defaults(func=cmd_collect)
 
@@ -375,6 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     _add_dataset_opts(p)
     _add_workers(p)
+    _add_cache(p)
     _add_obs(p)
     p.set_defaults(func=cmd_table2)
 
@@ -397,6 +495,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("censorship", help="accuracy vs prefix length")
     _add_common(p)
     _add_dataset_opts(p)
+    _add_workers(p)
     p.set_defaults(func=cmd_censorship)
 
     p = sub.add_parser("cca-interplay", help="§5.1 goodput grid")
@@ -421,6 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("quic-vs-tcp", help="fingerprintability across transports")
     _add_common(p)
     _add_dataset_opts(p)
+    _add_workers(p)
     p.set_defaults(func=cmd_quic_vs_tcp)
 
     p = sub.add_parser(
@@ -429,6 +529,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p)
     _add_dataset_opts(p)
+    _add_workers(p)
     p.set_defaults(func=cmd_enforcement)
 
     p = sub.add_parser(
@@ -442,6 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated subset of clean,bursty,flap (default: all)",
     )
     _add_workers(p)
+    _add_cache(p)
     _add_obs(p)
     p.set_defaults(func=cmd_adverse)
 
@@ -452,8 +554,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     _add_dataset_opts(p)
     _add_workers(p)
+    _add_cache(p)
     _add_obs(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect or maintain a --cache artifact store",
+    )
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("stats", "entry/byte counts per stage plus hit/miss totals"),
+        ("gc", "prune stale tmp files; evict oldest entries over --max-bytes"),
+        ("verify", "re-hash every artifact, report (and optionally delete) corruption"),
+    ):
+        cp = cache_sub.add_parser(name, help=help_text)
+        cp.add_argument(
+            "--cache", type=str, required=True, metavar="DIR",
+            help="artifact cache directory",
+        )
+        if name == "gc":
+            cp.add_argument(
+                "--max-bytes", type=int, default=None,
+                help="evict least-recently-modified entries until the "
+                "payload total fits this budget",
+            )
+        if name == "verify":
+            cp.add_argument(
+                "--delete", action="store_true",
+                help="delete corrupt entries (they will recompute on demand)",
+            )
+        cp.set_defaults(func=cmd_cache)
 
     p = sub.add_parser(
         "report",
@@ -464,6 +595,14 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _flush_cache_stats(args) -> None:
+    """Persist the run's hit/miss counters so `repro cache stats` can
+    report totals across invocations."""
+    store = getattr(args, "_cache_store", None)
+    if store is not None:
+        store.write_run_stats()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -472,7 +611,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     metrics_path = getattr(args, "metrics", None)
     trace_path = getattr(args, "trace", None)
     if metrics_path is None and trace_path is None:
-        return args.func(args)
+        try:
+            return args.func(args)
+        finally:
+            _flush_cache_stats(args)
 
     # Observability must be live before any simulator/endpoint is
     # constructed — components bind their instruments at build time.
@@ -485,6 +627,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         exit_code = args.func(args)
         return exit_code
     finally:
+        _flush_cache_stats(args)
         session.emit("run.end", "cli", command=args.command, exit_code=exit_code)
         if metrics_path is not None:
             session.registry.dump(metrics_path)

@@ -18,7 +18,7 @@ trace-level versions here are what authors evaluate, while only the
 stack-level versions are enforceable.
 """
 
-from repro.defenses.base import FirstNPackets, TraceDefense, NoDefense
+from repro.defenses.base import Defense, FirstNPackets, TraceDefense, NoDefense
 from repro.defenses.split import SplitDefense
 from repro.defenses.delay import DelayDefense
 from repro.defenses.combined import CombinedDefense
@@ -32,9 +32,32 @@ from repro.defenses.morphing import MorphingDefense
 from repro.defenses.palette import PaletteDefense, fit_palette
 from repro.defenses.adaptive_front import AdaptiveFrontDefense
 from repro.defenses.overhead import bandwidth_overhead, latency_overhead, overhead_summary
-from repro.defenses.registry import DEFENSE_TAXONOMY, DefenseInfo, build_defense
+from repro.defenses.registry import (
+    DEFENSE_REGISTRY,
+    DEFENSE_TAXONOMY,
+    DefenseInfo,
+    build_defense,
+    defense_from_spec,
+    implemented_defenses,
+)
+
+# Deprecated free-function entry points (each emits DeprecationWarning).
+from repro.defenses.legacy import (  # noqa: F401
+    adaptive_front,
+    buflo,
+    combined,
+    delay,
+    front,
+    httpos,
+    morphing,
+    regulator,
+    split,
+    tamaraw,
+    wtfpad,
+)
 
 __all__ = [
+    "Defense",
     "TraceDefense",
     "NoDefense",
     "FirstNPackets",
@@ -54,7 +77,22 @@ __all__ = [
     "bandwidth_overhead",
     "latency_overhead",
     "overhead_summary",
+    "DEFENSE_REGISTRY",
     "DEFENSE_TAXONOMY",
     "DefenseInfo",
     "build_defense",
+    "defense_from_spec",
+    "implemented_defenses",
+    # Deprecated shims (kept importable for one release).
+    "split",
+    "delay",
+    "combined",
+    "front",
+    "buflo",
+    "tamaraw",
+    "wtfpad",
+    "regulator",
+    "httpos",
+    "morphing",
+    "adaptive_front",
 ]

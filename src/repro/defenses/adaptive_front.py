@@ -53,6 +53,14 @@ class AdaptiveFrontDefense(TraceDefense):
         self.window_fraction = window_fraction
         self.dummy_size = dummy_size
 
+    def params(self) -> dict:
+        return {
+            "budget_fraction": self.budget_fraction,
+            "window_fraction": self.window_fraction,
+            "dummy_size": self.dummy_size,
+            "seed": self.seed,
+        }
+
     def _side(self, gen, n_packets, duration, start, fraction):
         budget_max = max(1, int(n_packets * fraction))
         budget = int(gen.integers(max(1, budget_max // 4), budget_max + 1))

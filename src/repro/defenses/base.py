@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -13,13 +13,22 @@ from repro.capture.trace import Trace
 class TraceDefense(abc.ABC):
     """A transformation of observed packet sequences.
 
-    Defenses receive and return :class:`Trace` objects.  They must be
-    pure: the input trace is never mutated.  ``seed`` fixes the
-    defense's own randomness; :meth:`apply` optionally accepts an
-    external generator for sweep experiments.
+    The Defense contract, which every defense in this package
+    implements in full:
+
+    * ``name`` — the short registry identifier;
+    * ``params()`` — the *total* set of constructor parameters, as a
+      canonical (JSON-safe) dict: ``build_defense(d.name, **d.params())``
+      reconstructs an equivalent defense, and the artifact cache
+      digests exactly this dict to key defended datasets;
+    * ``apply(trace, rng)`` — deterministic given (``params()``,
+      ``rng``): pure, never mutating the input trace.
+
+    ``seed`` fixes the defense's own randomness; :meth:`apply`
+    optionally accepts an external generator for sweep experiments.
     """
 
-    #: Short identifier used in tables and reports.
+    #: Short identifier used in tables, reports and the registry.
     name = "base"
 
     def __init__(self, seed: int = 0) -> None:
@@ -29,6 +38,10 @@ class TraceDefense(abc.ABC):
         return rng if rng is not None else np.random.default_rng(self.seed)
 
     @abc.abstractmethod
+    def params(self) -> Dict[str, object]:
+        """Canonical constructor parameters (JSON-safe, total)."""
+
+    @abc.abstractmethod
     def apply(self, trace: Trace, rng: Optional[np.random.Generator] = None) -> Trace:
         """Return the defended trace."""
 
@@ -36,10 +49,17 @@ class TraceDefense(abc.ABC):
         return self.apply(trace)
 
 
+#: Public alias for the Defense base contract.
+Defense = TraceDefense
+
+
 class NoDefense(TraceDefense):
     """Identity transform — the 'Original' condition."""
 
     name = "original"
+
+    def params(self) -> Dict[str, object]:
+        return {"seed": self.seed}
 
     def apply(self, trace: Trace, rng: Optional[np.random.Generator] = None) -> Trace:
         return trace
@@ -62,6 +82,15 @@ class FirstNPackets(TraceDefense):
         self.inner = inner
         self.n = n
         self.name = f"{inner.name}@{n}"
+
+    def params(self) -> Dict[str, object]:
+        # Not registry-constructible (it wraps another defense); the
+        # nested spec keeps the dict total for cache digests.
+        return {
+            "inner": {"name": self.inner.name, "params": self.inner.params()},
+            "n": self.n,
+            "seed": self.seed,
+        }
 
     def apply(self, trace: Trace, rng: Optional[np.random.Generator] = None) -> Trace:
         if len(trace) <= self.n:

@@ -47,6 +47,14 @@ class BufloDefense(TraceDefense):
         self.rho = rho
         self.tau = tau
 
+    def params(self) -> dict:
+        return {
+            "ell": self.ell,
+            "rho": self.rho,
+            "tau": self.tau,
+            "seed": self.seed,
+        }
+
     def _direction_train(self, trace: Trace, direction: int) -> List[tuple]:
         """The CBR packet train carrying one direction's bytes."""
         side = trace.filter_direction(direction)

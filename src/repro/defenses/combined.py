@@ -37,6 +37,17 @@ class CombinedDefense(TraceDefense):
             low=low, high=high, direction=direction, seed=seed + 1
         )
 
+    def params(self) -> dict:
+        return {
+            "threshold": self.split.threshold,
+            "factor": self.split.factor,
+            "low": self.delay.low,
+            "high": self.delay.high,
+            "direction": self.split.direction,
+            "header_bytes": self.split.header_bytes,
+            "seed": self.seed,
+        }
+
     def apply(self, trace: Trace, rng: Optional[np.random.Generator] = None) -> Trace:
         gen = self._rng(rng)
         return self.delay.apply(self.split.apply(trace, gen), gen)

@@ -42,6 +42,14 @@ class DelayDefense(TraceDefense):
         self.high = high
         self.direction = direction
 
+    def params(self) -> dict:
+        return {
+            "low": self.low,
+            "high": self.high,
+            "direction": self.direction,
+            "seed": self.seed,
+        }
+
     def apply(self, trace: Trace, rng: Optional[np.random.Generator] = None) -> Trace:
         gen = self._rng(rng)
         n = len(trace)

@@ -48,6 +48,16 @@ class FrontDefense(TraceDefense):
         self.w_max = w_max
         self.dummy_size = dummy_size
 
+    def params(self) -> dict:
+        return {
+            "n_client": self.n_client,
+            "n_server": self.n_server,
+            "w_min": self.w_min,
+            "w_max": self.w_max,
+            "dummy_size": self.dummy_size,
+            "seed": self.seed,
+        }
+
     def _sample_side(
         self,
         gen: np.random.Generator,

@@ -46,6 +46,14 @@ class HttposLiteDefense(TraceDefense):
         self.clock_delay = clock_delay
         self.request_jitter = request_jitter
 
+    def params(self) -> dict:
+        return {
+            "advertised_mss": self.advertised_mss,
+            "clock_delay": self.clock_delay,
+            "request_jitter": self.request_jitter,
+            "seed": self.seed,
+        }
+
     def apply(self, trace: Trace, rng: Optional[np.random.Generator] = None) -> Trace:
         gen = self._rng(rng)
         records: List[tuple] = []

@@ -1,0 +1,101 @@
+"""Deprecated free-function defense entry points.
+
+Before the Defense contract (``name`` / ``params()`` / ``apply``),
+defenses were also applied through module-level convenience functions
+(``split(trace, ...)``, ``delay(trace, ...)``).  Those spellings keep
+working here as thin shims over the registry classes, but emit a
+``DeprecationWarning``: construct via
+:func:`repro.defenses.registry.build_defense` (or the classes
+directly) instead, which is the form the artifact cache can digest.
+
+Migration::
+
+    # old
+    from repro.defenses import split
+    defended = split(trace, threshold=1200)
+
+    # new
+    from repro.defenses import build_defense
+    defended = build_defense("split", threshold=1200).apply(trace)
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional
+
+import numpy as np
+
+from repro.capture.trace import Trace
+from repro.defenses.registry import build_defense
+
+
+def _apply_deprecated(
+    name: str,
+    function: str,
+    trace: Trace,
+    rng: Optional[np.random.Generator],
+    kwargs: dict,
+) -> Trace:
+    warnings.warn(
+        f"repro.defenses.{function}() is deprecated; use "
+        f'build_defense("{name}", ...).apply(trace) instead',
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return build_defense(name, **kwargs).apply(trace, rng)
+
+
+def split(trace: Trace, rng: Optional[np.random.Generator] = None, **kwargs) -> Trace:
+    """Deprecated: ``build_defense("split", ...).apply(trace)``."""
+    return _apply_deprecated("split", "split", trace, rng, kwargs)
+
+
+def delay(trace: Trace, rng: Optional[np.random.Generator] = None, **kwargs) -> Trace:
+    """Deprecated: ``build_defense("delayed", ...).apply(trace)``."""
+    return _apply_deprecated("delayed", "delay", trace, rng, kwargs)
+
+
+def combined(trace: Trace, rng: Optional[np.random.Generator] = None, **kwargs) -> Trace:
+    """Deprecated: ``build_defense("combined", ...).apply(trace)``."""
+    return _apply_deprecated("combined", "combined", trace, rng, kwargs)
+
+
+def front(trace: Trace, rng: Optional[np.random.Generator] = None, **kwargs) -> Trace:
+    """Deprecated: ``build_defense("front", ...).apply(trace)``."""
+    return _apply_deprecated("front", "front", trace, rng, kwargs)
+
+
+def buflo(trace: Trace, rng: Optional[np.random.Generator] = None, **kwargs) -> Trace:
+    """Deprecated: ``build_defense("buflo", ...).apply(trace)``."""
+    return _apply_deprecated("buflo", "buflo", trace, rng, kwargs)
+
+
+def tamaraw(trace: Trace, rng: Optional[np.random.Generator] = None, **kwargs) -> Trace:
+    """Deprecated: ``build_defense("tamaraw", ...).apply(trace)``."""
+    return _apply_deprecated("tamaraw", "tamaraw", trace, rng, kwargs)
+
+
+def wtfpad(trace: Trace, rng: Optional[np.random.Generator] = None, **kwargs) -> Trace:
+    """Deprecated: ``build_defense("wtfpad", ...).apply(trace)``."""
+    return _apply_deprecated("wtfpad", "wtfpad", trace, rng, kwargs)
+
+
+def regulator(trace: Trace, rng: Optional[np.random.Generator] = None, **kwargs) -> Trace:
+    """Deprecated: ``build_defense("regulator", ...).apply(trace)``."""
+    return _apply_deprecated("regulator", "regulator", trace, rng, kwargs)
+
+
+def httpos(trace: Trace, rng: Optional[np.random.Generator] = None, **kwargs) -> Trace:
+    """Deprecated: ``build_defense("httpos", ...).apply(trace)``."""
+    return _apply_deprecated("httpos", "httpos", trace, rng, kwargs)
+
+
+def morphing(trace: Trace, rng: Optional[np.random.Generator] = None, **kwargs) -> Trace:
+    """Deprecated: ``build_defense("morphing", ...).apply(trace)``."""
+    return _apply_deprecated("morphing", "morphing", trace, rng, kwargs)
+
+
+def adaptive_front(trace: Trace, rng: Optional[np.random.Generator] = None, **kwargs) -> Trace:
+    """Deprecated: ``build_defense("adaptive-front", ...).apply(trace)``."""
+    return _apply_deprecated("adaptive-front", "adaptive_front", trace, rng, kwargs)

@@ -57,6 +57,14 @@ class MorphingDefense(TraceDefense):
         self.direction = direction
         self.min_size = min_size
 
+    def params(self) -> dict:
+        return {
+            "target_sizes": self.target.tolist(),
+            "direction": self.direction,
+            "min_size": self.min_size,
+            "seed": self.seed,
+        }
+
     @classmethod
     def towards(cls, decoy: Trace, direction: int = IN, seed: int = 0):
         """Morph toward the packet sizes of a decoy trace."""

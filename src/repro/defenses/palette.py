@@ -44,6 +44,16 @@ class PaletteDefense(TraceDefense):
         self._target_bytes: Optional[np.ndarray] = None
         self._target_packets: Optional[np.ndarray] = None
 
+    def params(self) -> dict:
+        # Constructor parameters only: the fitted cluster state derives
+        # from the calibration dataset, which cache keys capture through
+        # that dataset's own digest.
+        return {
+            "n_clusters": self.n_clusters,
+            "rate": self.rate,
+            "seed": self.seed,
+        }
+
     # -- calibration --------------------------------------------------------------
 
     def fit(self, dataset: Dataset) -> "PaletteDefense":

@@ -78,7 +78,11 @@ DEFENSE_TAXONOMY: Tuple[DefenseInfo, ...] = (
                 ("timing", "packet size"), "CombinedDefense"),
 )
 
-_FACTORY: Dict[str, type] = {
+#: The defense registry: short name -> class.  Every entry implements
+#: the full Defense contract (``name``, total ``params()``,
+#: deterministic ``apply``), so ``build_defense(name, **params)``
+#: round-trips for any configured instance.
+DEFENSE_REGISTRY: Dict[str, type] = {
     "original": NoDefense,
     "split": SplitDefense,
     "delayed": DelayDefense,
@@ -94,16 +98,31 @@ _FACTORY: Dict[str, type] = {
     "palette": PaletteDefense,
 }
 
+# Backwards-compatible private alias (pre-contract name).
+_FACTORY = DEFENSE_REGISTRY
+
 
 def build_defense(name: str, seed: int = 0, **kwargs) -> TraceDefense:
-    """Instantiate a defense by its short name."""
+    """Instantiate a defense by its short name.
+
+    ``kwargs`` are the class's constructor parameters; passing a
+    defense's own ``params()`` dict reconstructs it exactly
+    (``seed`` may arrive either positionally or inside ``kwargs``).
+    """
     try:
-        cls = _FACTORY[name.lower()]
+        cls = DEFENSE_REGISTRY[name.lower()]
     except KeyError:
         raise ValueError(
-            f"unknown defense {name!r}; choose from {sorted(_FACTORY)}"
+            f"unknown defense {name!r}; choose from {sorted(DEFENSE_REGISTRY)}"
         ) from None
-    return cls(seed=seed, **kwargs)
+    kwargs.setdefault("seed", seed)
+    return cls(**kwargs)
+
+
+def defense_from_spec(spec: Dict[str, object]) -> TraceDefense:
+    """Rebuild a defense from a ``{"name": ..., "params": {...}}`` spec
+    (the cache's canonical defense identity)."""
+    return build_defense(str(spec["name"]), **dict(spec["params"]))
 
 
 def implemented_defenses() -> Tuple[str, ...]:
@@ -113,4 +132,4 @@ def implemented_defenses() -> Tuple[str, ...]:
     calibration set before use (see
     :func:`repro.defenses.palette.fit_palette`).
     """
-    return tuple(sorted(name for name in _FACTORY if name != "palette"))
+    return tuple(sorted(name for name in DEFENSE_REGISTRY if name != "palette"))

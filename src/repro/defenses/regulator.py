@@ -67,6 +67,16 @@ class RegulatorDefense(TraceDefense):
         self.upload_ratio = upload_ratio
         self.padding_budget = padding_budget
 
+    def params(self) -> dict:
+        return {
+            "initial_rate": self.initial_rate,
+            "decay": self.decay,
+            "surge_threshold": self.surge_threshold,
+            "upload_ratio": self.upload_ratio,
+            "padding_budget": self.padding_budget,
+            "seed": self.seed,
+        }
+
     def apply(self, trace: Trace, rng: Optional[np.random.Generator] = None) -> Trace:
         if len(trace) == 0:
             return trace

@@ -72,6 +72,16 @@ class SplitDefense(TraceDefense):
         self.spacing = spacing
         self.header_bytes = header_bytes
 
+    def params(self) -> dict:
+        return {
+            "threshold": self.threshold,
+            "factor": self.factor,
+            "direction": self.direction,
+            "spacing": self.spacing,
+            "header_bytes": self.header_bytes,
+            "seed": self.seed,
+        }
+
     def apply(self, trace: Trace, rng: Optional[np.random.Generator] = None) -> Trace:
         times, dirs, sizes = [], [], []
         for t, d, s in zip(trace.times, trace.directions, trace.sizes):

@@ -42,6 +42,15 @@ class TamarawDefense(TraceDefense):
         self.rho_in = rho_in
         self.pad_multiple = pad_multiple
 
+    def params(self) -> dict:
+        return {
+            "ell": self.ell,
+            "rho_out": self.rho_out,
+            "rho_in": self.rho_in,
+            "pad_multiple": self.pad_multiple,
+            "seed": self.seed,
+        }
+
     def _train(self, trace: Trace, direction: int, rho: float) -> List[tuple]:
         side = trace.filter_direction(direction)
         total_bytes = int(side.sizes.sum())

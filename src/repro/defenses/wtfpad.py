@@ -63,6 +63,15 @@ class WtfPadDefense(TraceDefense):
         self.fake_burst_max = fake_burst_max
         self.budget_factor = budget_factor
 
+    def params(self) -> dict:
+        return {
+            "gap_threshold": self.gap_threshold,
+            "burst_scale": self.burst_scale,
+            "fake_burst_max": self.fake_burst_max,
+            "budget_factor": self.budget_factor,
+            "seed": self.seed,
+        }
+
     def apply(self, trace: Trace, rng: Optional[np.random.Generator] = None) -> Trace:
         gen = self._rng(rng)
         n = len(trace)

@@ -26,14 +26,16 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.attacks.features.kfp import KfpFeatureExtractor
+from repro.cache import ArtifactStore, cached_dataset, defend_key, sanitize_key
 from repro.capture.sanitize import sanitize_dataset
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
     CollectionReport,
     RunnerConfig,
     collect_resilient,
+    resilient_capture_key,
 )
-from repro.experiments.table2 import evaluate_dataset, make_defenses
+from repro.experiments.table2 import evaluate_cached, make_defenses
 from repro.ml.metrics import mean_std
 from repro.simnet.faults import FaultSpec, bursty_loss_spec, link_flap_spec
 from repro.web.pageload import PageLoadConfig
@@ -55,9 +57,10 @@ def default_conditions() -> Dict[str, Optional[FaultSpec]]:
     }
 
 
-@dataclass
+@dataclass(frozen=True)
 class AdverseConfig:
-    """Configuration of the adverse-network grid."""
+    """Configuration of the adverse-network grid (frozen; use
+    :func:`dataclasses.replace` for variants)."""
 
     base: ExperimentConfig = field(default_factory=ExperimentConfig)
     conditions: Dict[str, Optional[FaultSpec]] = field(
@@ -67,6 +70,11 @@ class AdverseConfig:
     #: Directory for per-condition checkpoints (None disables).
     checkpoint_dir: Optional[str] = None
     sites: Optional[List[str]] = None
+
+    def to_dict(self) -> dict:
+        from repro.experiments.config import config_to_dict
+
+        return config_to_dict(self)
 
 
 @dataclass
@@ -93,26 +101,21 @@ class AdverseResult:
 
 def _condition_pageload(base: PageLoadConfig, spec: Optional[FaultSpec]) -> PageLoadConfig:
     """The base page-load config with this condition's faults injected."""
-    return PageLoadConfig(
-        rate_mbps=base.rate_mbps,
-        rtt_ms=base.rtt_ms,
-        rate_jitter=base.rate_jitter,
-        rtt_jitter=base.rtt_jitter,
-        buffer_bdp=base.buffer_bdp,
-        loss_rate=base.loss_rate,
-        cc=base.cc,
-        max_duration=base.max_duration,
-        pipeline_depth=base.pipeline_depth,
-        fault_spec=spec,
-    )
+    return replace(base, fault_spec=spec)
 
 
 def run_adverse(
     config: Optional[AdverseConfig] = None,
     resume: bool = False,
+    cache: Optional[ArtifactStore] = None,
 ) -> AdverseResult:
     """Collect per-condition datasets (resiliently) and evaluate the
-    k-FP grid on full traces."""
+    k-FP grid on full traces.
+
+    With ``cache`` set, each condition's collected dataset and every
+    downstream sanitize/defend/features/eval artifact is keyed and
+    reused; a fully-warm re-run executes no page loads and no forests.
+    """
     import os
 
     config = config or AdverseConfig()
@@ -125,6 +128,7 @@ def run_adverse(
         if condition not in config.conditions:
             continue
         spec = config.conditions[condition]
+        pageload = _condition_pageload(base.pageload, spec)
         runner_config = config.runner
         if config.checkpoint_dir is not None:
             # replace() keeps every other knob (retry, workers, chunk
@@ -138,10 +142,11 @@ def run_adverse(
         dataset, report = collect_resilient(
             sites,
             base.n_samples,
-            pageload_config=_condition_pageload(base.pageload, spec),
+            pageload_config=pageload,
             seed=base.seed,
             runner_config=runner_config,
             resume=resume,
+            cache=cache,
         )
         reports[condition] = report
         if dataset.num_traces == 0:
@@ -149,10 +154,36 @@ def run_adverse(
                 f"condition {condition!r} collected zero usable traces "
                 f"({report.summary()}); every trial stalled or failed"
             )
-        clean, _ = sanitize_dataset(dataset, balance_to=base.balance_to)
+        raw_key = (
+            resilient_capture_key(
+                sites, base.n_samples, pageload, base.seed, config.runner
+            )
+            if cache is not None
+            else None
+        )
+        clean_key = (
+            sanitize_key(raw_key, base.balance_to)
+            if raw_key is not None
+            else None
+        )
+        clean = cached_dataset(
+            cache,
+            clean_key,
+            lambda: sanitize_dataset(dataset, balance_to=base.balance_to)[0],
+        )
         for name, defense in make_defenses(base.seed).items():
-            defended = clean.map(defense.apply)
-            scores = evaluate_dataset(defended, base, extractor)
+            dkey = (
+                defend_key(clean_key, defense)
+                if clean_key is not None
+                else None
+            )
+            scores = evaluate_cached(
+                base,
+                lambda defense=defense: clean.map(defense.apply),
+                extractor,
+                cache=cache,
+                upstream=dkey,
+            )
             mean, std = mean_std(scores)
             cells[(condition, name)] = AdverseCell(
                 condition, name, mean, std, scores

@@ -1,19 +1,43 @@
-"""Shared experiment configuration."""
+"""Shared experiment configuration.
+
+Every experiment module's config is a *frozen* dataclass with a
+canonical :meth:`to_dict`: JSON-safe scalars only, stable key order,
+nested configs serialised recursively.  That dict is the single
+serialised form used both by the CLI (``--json`` output, logs) and by
+:mod:`repro.cache` key derivation — freezing guarantees a config
+cannot drift between the moment its cache key is computed and the
+moment the stage runs.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Dict
 
 from repro.web.pageload import PageLoadConfig
 
 
-@dataclass
+def config_to_dict(config: object) -> Dict[str, object]:
+    """Canonical dict form of a frozen config dataclass.
+
+    Field order follows the class definition (stable); values are made
+    JSON-safe through the cache's canonicalisation rules, so the result
+    feeds :func:`repro.cache.canonical.digest` directly.
+    """
+    from repro.cache.canonical import jsonable
+
+    return {f.name: jsonable(getattr(config, f.name)) for f in fields(config)}
+
+
+@dataclass(frozen=True)
 class ExperimentConfig:
     """Knobs shared by the evaluation pipeline.
 
     The defaults reproduce the paper's setup: 9 sites, 100 samples,
     IQR sanitisation (the paper ends at 74 traces/site), k-FP with a
     random forest, 5-fold cross-validation for the ± std columns.
+
+    Frozen: derive variants with :func:`dataclasses.replace`.
     """
 
     n_samples: int = 100
@@ -28,5 +52,9 @@ class ExperimentConfig:
     #: Processes for collection, feature extraction and forest
     #: fit/predict (1 = in-process, 0 = one per core).  Every parallel
     #: path derives randomness from position, so results are
-    #: bit-identical for any value.
+    #: bit-identical for any value — which is why ``workers`` never
+    #: enters a cache key.
     workers: int = 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return config_to_dict(self)

@@ -28,9 +28,10 @@ from repro.stob.controller import StobController
 from repro.units import gbps, to_gbps, usec
 
 
-@dataclass
+@dataclass(frozen=True)
 class Figure3Config:
-    """Parameters of the throughput sweep."""
+    """Parameters of the throughput sweep (frozen; use
+    :func:`dataclasses.replace` for variants)."""
 
     alphas: tuple = (0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
     link_gbps: float = 100.0
@@ -42,6 +43,11 @@ class Figure3Config:
     measure: float = 0.10
     cpu: CpuModel = field(default_factory=CpuModel)
     buffer_bdp: float = 8.0
+
+    def to_dict(self) -> dict:
+        from repro.experiments.config import config_to_dict
+
+        return config_to_dict(self)
 
 
 @dataclass

@@ -14,22 +14,19 @@ protection-vs-cost surface a deployer would tune on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
-
-import numpy as np
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
 
 from repro.attacks.features.kfp import KfpFeatureExtractor
+from repro.cache import ArtifactStore, cached_json, defend_key, overhead_key
 from repro.capture.dataset import Dataset
-from repro.capture.sanitize import sanitize_dataset
 from repro.defenses.combined import CombinedDefense
 from repro.defenses.delay import DelayDefense
 from repro.defenses.overhead import overhead_summary
 from repro.defenses.split import SplitDefense
-from repro.experiments.config import ExperimentConfig
-from repro.experiments.table2 import evaluate_dataset
+from repro.experiments.config import ExperimentConfig, config_to_dict
+from repro.experiments.table2 import dataset_chain, evaluate_cached
 from repro.ml.metrics import mean_std
-from repro.web.pageload import collect_dataset
 
 #: Split thresholds (bytes).  The paper fixed 1200 "to prevent creating
 #: packets smaller than the minimum TCP MSS of 536 bytes"; lower values
@@ -39,6 +36,26 @@ SPLIT_THRESHOLDS = (1400, 1200, 1000, 800)
 #: fixed (0.10, 0.30) "because larger delays could trigger
 #: retransmission timeouts".
 DELAY_RANGES = ((0.0, 0.0), (0.10, 0.30), (0.25, 0.75), (0.50, 1.50))
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Typed configuration of the sweep grid (frozen; use
+    :func:`dataclasses.replace` for variants).
+
+    Replaces the old ad-hoc ``thresholds=`` / ``delay_ranges=`` kwargs
+    of :func:`run_parameter_sweep`, so the grid is part of the single
+    canonical config the CLI prints and the cache digests.
+    """
+
+    base: ExperimentConfig = field(default_factory=ExperimentConfig)
+    thresholds: tuple = SPLIT_THRESHOLDS
+    delay_ranges: tuple = DELAY_RANGES
+    #: Traces sampled per grid point for the overhead measurement.
+    overhead_traces: int = 60
+
+    def to_dict(self) -> dict:
+        return config_to_dict(self)
 
 
 @dataclass
@@ -63,31 +80,58 @@ def _defense(threshold: Optional[int], low: float, high: float, seed: int):
 
 
 def run_parameter_sweep(
-    config: Optional[ExperimentConfig] = None,
+    config: Optional[Union[SweepConfig, ExperimentConfig]] = None,
     dataset: Optional[Dataset] = None,
-    thresholds: tuple = SPLIT_THRESHOLDS,
-    delay_ranges: tuple = DELAY_RANGES,
+    cache: Optional[ArtifactStore] = None,
 ) -> List[SweepPoint]:
-    """The split-threshold x delay-intensity grid."""
-    config = config or ExperimentConfig()
-    if dataset is None:
-        dataset = collect_dataset(
-            n_samples=config.n_samples, config=config.pageload,
-            seed=config.seed, workers=config.workers,
-        )
-    clean, _ = sanitize_dataset(dataset, balance_to=config.balance_to)
+    """The split-threshold x delay-intensity grid.
+
+    ``config`` is a :class:`SweepConfig`; a bare
+    :class:`ExperimentConfig` is accepted and wrapped with the default
+    grid.  With ``cache`` set, each grid point's accuracy and overhead
+    artifacts are keyed on the defense's ``params()`` digest, so
+    re-running with an extended grid recomputes only the new points.
+    """
+    if config is None:
+        config = SweepConfig()
+    elif isinstance(config, ExperimentConfig):
+        config = SweepConfig(base=config)
+    base = config.base
+    get_clean, clean_key = dataset_chain(base, dataset, cache)
     extractor = KfpFeatureExtractor()
     points: List[SweepPoint] = []
-    for threshold in thresholds:
-        for low, high in delay_ranges:
+    for threshold in config.thresholds:
+        for low, high in config.delay_ranges:
             if high == 0 and threshold is None:
                 continue
-            defense = _defense(threshold, low, high, config.seed)
-            defended = clean.map(defense.apply)
-            mean, std = mean_std(
-                evaluate_dataset(defended, config, extractor)
+            defense = _defense(threshold, low, high, base.seed)
+            dkey = (
+                defend_key(clean_key, defense)
+                if clean_key is not None
+                else None
             )
-            cost = overhead_summary(clean, defense, max_traces=60)
+
+            def build(defense=defense):
+                return get_clean().map(defense.apply)
+
+            mean, std = mean_std(
+                evaluate_cached(
+                    base, build, extractor, cache=cache, upstream=dkey
+                )
+            )
+            okey = (
+                overhead_key(clean_key, defense, config.overhead_traces)
+                if clean_key is not None
+                else None
+            )
+
+            def measure_cost(defense=defense):
+                cost = overhead_summary(
+                    get_clean(), defense, max_traces=config.overhead_traces
+                )
+                return {k: float(v) for k, v in cost.items()}
+
+            cost = cached_json(cache, okey, measure_cost)
             points.append(
                 SweepPoint(
                     split_threshold=threshold,

@@ -105,6 +105,9 @@ class CollectionReport:
     retries: int = 0
     stalls: int = 0
     failures: List[TrialFailure] = field(default_factory=list)
+    #: True when the whole collection was served from the artifact
+    #: cache (no trials executed this run).
+    from_cache: bool = False
 
     @property
     def dropped_trials(self) -> int:
@@ -119,9 +122,15 @@ class CollectionReport:
         )
 
 
-@dataclass
+@dataclass(frozen=True)
 class RunnerConfig:
-    """Reliability and parallelism knobs for a collection run."""
+    """Reliability and parallelism knobs for a collection run.
+
+    Frozen: derive variants with :func:`dataclasses.replace`.  Only the
+    ``retry`` policy and ``trial_wall_deadline`` shape what gets
+    *collected*; the checkpoint/worker/chunk knobs are wall-clock-only
+    and are therefore excluded from cache-key derivation.
+    """
 
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     #: Wall-clock seconds one trial attempt may burn (None = unlimited).
@@ -136,6 +145,11 @@ class RunnerConfig:
     workers: int = 1
     #: Trials per pool task (None = auto, ~4 chunks per worker).
     chunk_size: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        from repro.experiments.config import config_to_dict
+
+        return config_to_dict(self)
 
 
 #: A trial function: (label, sample index, rng, watchdog) -> Trace.
@@ -594,6 +608,35 @@ class ResilientRunner:
                 raise
 
 
+def resilient_capture_key(
+    sites: Sequence[str],
+    n_samples: int,
+    pageload_config: PageLoadConfig,
+    seed: int,
+    runner_config: RunnerConfig,
+):
+    """Capture-stage cache key of a resilient collection, or None when
+    the run is not cacheable.
+
+    The retry policy enters the key (retries decide which trials drop,
+    so they shape the dataset); worker/checkpoint/chunk knobs do not
+    (wall-clock only, byte-identical output).  A configured
+    ``trial_wall_deadline`` makes outcomes machine-dependent, so such
+    runs key to None and are never cached.
+    """
+    if runner_config.trial_wall_deadline is not None:
+        return None
+    from repro.cache import capture_key
+
+    return capture_key(
+        pageload_config,
+        sites,
+        n_samples,
+        seed,
+        collector={"runner": "resilient", "retry": runner_config.retry},
+    )
+
+
 def collect_resilient(
     sites: Sequence[str],
     n_samples: int,
@@ -602,10 +645,66 @@ def collect_resilient(
     runner_config: Optional[RunnerConfig] = None,
     resume: bool = False,
     progress: Optional[Callable[[str, int], None]] = None,
+    cache: Optional["ArtifactStore"] = None,
 ) -> Tuple[Dataset, CollectionReport]:
-    """Convenience wrapper: resilient page-load collection of ``sites``."""
+    """Convenience wrapper: resilient page-load collection of ``sites``.
+
+    With ``cache`` set, the collected dataset (and its reliability
+    report) is stored under a capture key that includes the retry
+    policy — retries decide which trials drop, so they shape the
+    dataset — but not worker/checkpoint knobs, which only affect wall
+    clock.  A warm hit returns ``report.from_cache=True`` and runs no
+    trials.  Runs with a ``trial_wall_deadline`` are never cached:
+    their outcomes depend on machine speed, not just config.
+    """
+    runner_config = runner_config or RunnerConfig()
+    pageload_config = pageload_config or PageLoadConfig()
+    key = resilient_capture_key(
+        sites, n_samples, pageload_config, seed, runner_config
+    )
+    cacheable = cache is not None and key is not None
+    if cacheable:
+        from repro.cache import CacheKey
+        from repro.capture.serialize import dumps_dataset, loads_dataset
+
+        report_key = CacheKey.derive("capture", {"report_for": key.digest})
+        data = cache.get_bytes(key)
+        if data is not None:
+            try:
+                dataset = loads_dataset(data)
+            except (ValueError, KeyError, OSError):
+                cache._count("corruptions")
+            else:
+                report = CollectionReport(
+                    completed_trials=dataset.num_traces, from_cache=True
+                )
+                stored = cache.get_bytes(report_key)
+                if stored is not None:
+                    try:
+                        meta = json.loads(stored.decode("utf-8"))
+                        report.retries = int(meta.get("retries", 0))
+                        report.stalls = int(meta.get("stalls", 0))
+                        report.failures = [
+                            TrialFailure(**f) for f in meta.get("failures", [])
+                        ]
+                    except (ValueError, TypeError, UnicodeDecodeError):
+                        cache._count("corruptions")
+                return dataset, report
     runner = ResilientRunner(runner_config)
-    trial_fn = pageload_trial_fn(pageload_config or PageLoadConfig())
-    return runner.collect(
+    trial_fn = pageload_trial_fn(pageload_config)
+    dataset, report = runner.collect(
         sites, n_samples, trial_fn, seed, resume=resume, progress=progress
     )
+    if cacheable and key is not None:
+        cache.put_bytes(key, dumps_dataset(dataset), kind="dataset")
+        summary = {
+            "retries": report.retries,
+            "stalls": report.stalls,
+            "failures": [asdict(f) for f in report.failures],
+        }
+        cache.put_bytes(
+            report_key,
+            json.dumps(summary, sort_keys=True, separators=(",", ":")).encode("utf-8"),
+            kind="json",
+        )
+    return dataset, report

@@ -22,11 +22,24 @@ of a network trace".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.attacks.features.kfp import KfpFeatureExtractor
+from repro.cache import (
+    ArtifactStore,
+    CacheKey,
+    cached_arrays,
+    cached_dataset,
+    cached_json,
+    capture_key,
+    dataset_key,
+    defend_key,
+    eval_key,
+    features_key,
+    sanitize_key,
+)
 from repro.capture.dataset import Dataset
 from repro.capture.sanitize import sanitize_dataset
 from repro.defenses.base import NoDefense, TraceDefense
@@ -38,6 +51,7 @@ from repro.ml.forest import RandomForest
 from repro.ml.metrics import accuracy_score, mean_std
 from repro.ml.validate import stratified_kfold_indices
 from repro.web.pageload import collect_dataset
+from repro.web.sites import SITE_CATALOG
 
 #: Column order of the paper's Table 2.
 DEFENSE_ORDER = ("original", "split", "delayed", "combined")
@@ -92,15 +106,10 @@ class Table2Cell:
         return f"{self.mean:.3f} ± {self.std:.3f}"
 
 
-def evaluate_dataset(
-    dataset: Dataset,
-    config: ExperimentConfig,
-    extractor: Optional[KfpFeatureExtractor] = None,
+def _fold_scores(
+    X: np.ndarray, y: np.ndarray, config: ExperimentConfig
 ) -> List[float]:
-    """k-fold k-FP (random forest) accuracies on one dataset."""
-    extractor = extractor or KfpFeatureExtractor()
-    traces, y = dataset.to_arrays()
-    X = extractor.extract_many(traces, workers=config.workers)
+    """k-fold random-forest accuracies over an extracted feature matrix."""
     rng = np.random.default_rng(config.seed)
     scores: List[float] = []
     for fold_index, (train_idx, test_idx) in enumerate(
@@ -118,28 +127,148 @@ def evaluate_dataset(
     return scores
 
 
+def evaluate_dataset(
+    dataset: Dataset,
+    config: ExperimentConfig,
+    extractor: Optional[KfpFeatureExtractor] = None,
+) -> List[float]:
+    """k-fold k-FP (random forest) accuracies on one dataset."""
+    extractor = extractor or KfpFeatureExtractor()
+    traces, y = dataset.to_arrays()
+    X = extractor.extract_many(traces, workers=config.workers)
+    return _fold_scores(X, y, config)
+
+
+def evaluate_cached(
+    config: ExperimentConfig,
+    build: Callable[[], Dataset],
+    extractor: Optional[KfpFeatureExtractor] = None,
+    cache: Optional[ArtifactStore] = None,
+    upstream: Optional[CacheKey] = None,
+) -> List[float]:
+    """Fold scores for the dataset ``build()`` produces, with feature-
+    and eval-level caching.
+
+    ``upstream`` is the cache key of that (defended) dataset; the
+    feature key chains onto it, the eval key onto the features.  On a
+    warm eval hit neither ``build()`` nor feature extraction runs; on
+    an eval miss with warm features only the forests run.  Scores are
+    coerced to ``float`` so cold (np.float64) and warm (JSON) paths are
+    indistinguishable.  Shared by the Table-2, parameter-sweep and
+    adverse-network experiments.
+    """
+    extractor = extractor or KfpFeatureExtractor()
+    if cache is None or upstream is None:
+        return [float(s) for s in evaluate_dataset(build(), config, extractor)]
+    fkey = features_key(upstream, extractor)
+    ekey = eval_key(fkey, config.n_folds, config.n_estimators, config.seed)
+
+    def features() -> dict:
+        traces, y = build().to_arrays()
+        return {"X": extractor.extract_many(traces, workers=config.workers), "y": y}
+
+    def scores() -> List[float]:
+        arrays = cached_arrays(cache, fkey, features)
+        return [float(s) for s in _fold_scores(arrays["X"], arrays["y"], config)]
+
+    return cached_json(cache, ekey, scores)
+
+
+def dataset_chain(
+    config: ExperimentConfig,
+    dataset: Optional[Dataset] = None,
+    cache: Optional[ArtifactStore] = None,
+) -> Tuple[Callable[[], Dataset], Optional[CacheKey]]:
+    """The collect → sanitize prefix of the pipeline, lazily.
+
+    Returns ``(get_clean, clean_key)``: a thunk producing the sanitised
+    dataset (collected through the cache when none is supplied — at
+    most once) and the sanitize-stage cache key anchoring downstream
+    keys.  The thunk never runs when every downstream stage hits, which
+    is what makes a fully-warm re-run skip collection entirely.
+    """
+    memo: Dict[str, Dataset] = {}
+    if dataset is not None:
+        raw_key = dataset_key(dataset) if cache is not None else None
+
+        def get_raw() -> Dataset:
+            return dataset
+
+    else:
+        raw_key = (
+            capture_key(
+                config.pageload, sorted(SITE_CATALOG), config.n_samples, config.seed
+            )
+            if cache is not None
+            else None
+        )
+
+        def get_raw() -> Dataset:
+            if "raw" not in memo:
+                memo["raw"] = cached_dataset(
+                    cache,
+                    raw_key,
+                    lambda: collect_dataset(
+                        n_samples=config.n_samples,
+                        config=config.pageload,
+                        seed=config.seed,
+                        workers=config.workers,
+                    ),
+                )
+            return memo["raw"]
+
+    clean_key = (
+        sanitize_key(raw_key, config.balance_to) if raw_key is not None else None
+    )
+
+    def get_clean() -> Dataset:
+        if "clean" not in memo:
+            memo["clean"] = cached_dataset(
+                cache,
+                clean_key,
+                lambda: sanitize_dataset(get_raw(), balance_to=config.balance_to)[0],
+            )
+        return memo["clean"]
+
+    return get_clean, clean_key
+
+
 def run_table2(
     config: Optional[ExperimentConfig] = None,
     dataset: Optional[Dataset] = None,
+    cache: Optional[ArtifactStore] = None,
 ) -> Dict[Tuple[str, object], Table2Cell]:
     """The full Table 2.  ``dataset`` may be supplied to reuse a
-    previously collected raw dataset (it is sanitised here)."""
+    previously collected raw dataset (it is sanitised here).
+
+    With ``cache`` set, every pipeline stage is keyed and memoised:
+    a warm re-run touches no simulator, defense or forest code, and a
+    partial change (say, a defense parameter) recomputes only the
+    stages downstream of it.  Results are identical either way.
+    """
     config = config or ExperimentConfig()
-    if dataset is None:
-        dataset = collect_dataset(
-            n_samples=config.n_samples,
-            config=config.pageload,
-            seed=config.seed,
-            workers=config.workers,
-        )
-    clean, _report = sanitize_dataset(dataset, balance_to=config.balance_to)
-    datasets = build_datasets(clean, config.seed)
+    get_clean, clean_key = dataset_chain(config, dataset, cache)
     extractor = KfpFeatureExtractor()
     table: Dict[Tuple[str, object], Table2Cell] = {}
-    for (name, n), ds in datasets.items():
-        scores = evaluate_dataset(ds, config, extractor)
-        mean, std = mean_std(scores)
-        table[(name, n)] = Table2Cell(name, n, mean, std, scores)
+    for name, defense in make_defenses(config.seed).items():
+        for n in ("all",) + N_VALUES:
+            prefix = None if n == "all" else n
+            dkey = (
+                defend_key(clean_key, defense, prefix)
+                if clean_key is not None
+                else None
+            )
+
+            def build(defense: TraceDefense = defense, prefix: Optional[int] = prefix) -> Dataset:
+                clean = get_clean()
+                base = clean if prefix is None else clean.truncate(prefix)
+                return base.map(defense.apply)
+
+            scores = evaluate_cached(
+                config, build, extractor, cache=cache, upstream=dkey
+            )
+            mean, std = mean_std(scores)
+            table[(name, n)] = Table2Cell(name, n, mean, std, scores)
     return table
 
 

@@ -41,9 +41,15 @@ from repro.web.objects import PageSample, SiteProfile
 from repro.web.sites import SITE_CATALOG
 
 
-@dataclass
+@dataclass(frozen=True)
 class PageLoadConfig:
-    """Parameters of one page-load simulation."""
+    """Parameters of one page-load simulation.
+
+    Frozen: derive variants with :func:`dataclasses.replace` (e.g. the
+    adverse-network experiment swapping in a ``fault_spec``).  The
+    canonical :meth:`to_dict` form feeds both CLI output and
+    :mod:`repro.cache` capture-key derivation.
+    """
 
     #: Access-path parameters (means; jittered per visit).
     rate_mbps: float = 50.0
@@ -60,6 +66,13 @@ class PageLoadConfig:
     pipeline_depth: int = 6
     #: Optional fault processes injected on both path directions.
     fault_spec: Optional[FaultSpec] = None
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-safe dict (stable key order)."""
+        from repro.cache.canonical import jsonable
+        from dataclasses import fields
+
+        return {f.name: jsonable(getattr(self, f.name)) for f in fields(self)}
 
     def sample_path(self, rng: np.random.Generator) -> NetworkPath:
         """Draw this visit's path (rate/RTT jittered)."""
@@ -402,6 +415,7 @@ def collect_dataset(
     progress: Optional[Callable[[str, int], None]] = None,
     stall_log: Optional[List[PageLoadStalled]] = None,
     workers: int = 1,
+    cache=None,
 ) -> Dataset:
     """Collect ``n_samples`` visits of each site (the paper's 100).
 
@@ -418,12 +432,34 @@ def collect_dataset(
     grid order, so the dataset is bit-identical for any worker count;
     ``workers=1`` (default) is the in-process fast path.  ``workers=0``
     uses one process per core.
+
+    ``cache`` (a :class:`repro.cache.ArtifactStore`) memoises the
+    collected dataset under its capture key — (pageload config, sites,
+    n_samples, seed); ``workers`` stays out of the key because output
+    is worker-count invariant.  On a warm hit no visit is simulated, so
+    ``progress``/``stall_log`` see nothing.
     """
     from repro.parallel import chunked, default_chunk_size, resolve_workers
 
     config = config or PageLoadConfig()
-    dataset = Dataset()
     labels = sites or sorted(SITE_CATALOG)
+    if cache is not None:
+        from repro.cache import capture_key, cached_dataset
+
+        return cached_dataset(
+            cache,
+            capture_key(config, labels, n_samples, seed),
+            lambda: collect_dataset(
+                n_samples=n_samples,
+                sites=labels,
+                config=config,
+                seed=seed,
+                progress=progress,
+                stall_log=stall_log,
+                workers=workers,
+            ),
+        )
+    dataset = Dataset()
     grid = [(label, sample) for label in labels for sample in range(n_samples)]
     workers = resolve_workers(workers)
     if workers <= 1 or len(grid) <= 1:

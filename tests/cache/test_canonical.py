@@ -1,0 +1,81 @@
+"""Canonical JSON: the digestable form must be order-, spelling- and
+dtype-independent, and total (reject what it cannot represent)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cache.canonical import canonical_json, digest, jsonable
+
+
+def test_dict_order_does_not_matter():
+    assert digest({"a": 1, "b": 2}) == digest({"b": 2, "a": 1})
+
+
+def test_tuple_list_array_spellings_collapse():
+    assert (
+        digest({"x": (1, 2, 3)})
+        == digest({"x": [1, 2, 3]})
+        == digest({"x": np.array([1, 2, 3])})
+    )
+
+
+def test_numpy_scalars_collapse_to_python():
+    assert jsonable(np.int64(7)) == 7
+    assert jsonable(np.float64(0.5)) == 0.5
+    assert jsonable(np.bool_(True)) is True
+    assert digest({"n": np.int32(4)}) == digest({"n": 4})
+
+
+def test_non_finite_floats_rejected():
+    with pytest.raises(ValueError):
+        jsonable(float("nan"))
+    with pytest.raises(ValueError):
+        jsonable({"x": float("inf")})
+
+
+def test_non_string_dict_keys_rejected():
+    with pytest.raises(TypeError):
+        jsonable({1: "a"})
+
+
+def test_arbitrary_objects_rejected():
+    with pytest.raises(TypeError):
+        jsonable(object())
+
+
+def test_to_dict_is_preferred():
+    class WithToDict:
+        def to_dict(self):
+            return {"kind": "custom", "value": 3}
+
+    assert jsonable(WithToDict()) == {"kind": "custom", "value": 3}
+
+
+def test_dataclasses_are_type_tagged():
+    @dataclasses.dataclass
+    class SpecA:
+        x: int = 1
+
+    @dataclasses.dataclass
+    class SpecB:
+        x: int = 1
+
+    # Same field names, different types: must not collide.
+    assert digest(SpecA()) != digest(SpecB())
+    assert jsonable(SpecA())["__dataclass__"] == "SpecA"
+
+
+def test_canonical_json_is_stable_text():
+    text = canonical_json({"b": (1, 2), "a": np.float64(1.5)})
+    assert text == '{"a":1.5,"b":[1,2]}'
+
+
+def test_experiment_config_round_trips_canonically():
+    from repro.experiments.config import ExperimentConfig
+
+    a = ExperimentConfig(seed=3)
+    b = ExperimentConfig(seed=3)
+    assert digest(a) == digest(b)
+    assert digest(a) != digest(ExperimentConfig(seed=4))

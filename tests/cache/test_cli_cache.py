@@ -1,0 +1,116 @@
+"""The `repro cache` CLI (stats/gc/verify) and the `--cache` flag on
+experiment subcommands."""
+
+import os
+
+import pytest
+
+from repro.cache import ArtifactStore, CacheKey
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def populated(tmp_path):
+    root = str(tmp_path / "store")
+    store = ArtifactStore(root)
+    store.put_bytes(CacheKey.derive("eval", {"n": 1}), b"alpha")
+    store.put_bytes(CacheKey.derive("defend", {"n": 2}), b"beta!")
+    return root
+
+
+def test_cache_stats_empty(tmp_path, capsys):
+    root = str(tmp_path / "empty")
+    assert main(["cache", "stats", "--cache", root]) == 0
+    out = capsys.readouterr().out
+    assert "entries: 0" in out
+    assert "across 0 recorded runs" in out
+
+
+def test_cache_stats_populated(populated, capsys):
+    assert main(["cache", "stats", "--cache", populated]) == 0
+    out = capsys.readouterr().out
+    assert "entries: 2" in out
+    assert "payload bytes: 10" in out
+    assert "eval: 1 entries, 5 bytes" in out
+    assert "defend: 1 entries, 5 bytes" in out
+
+
+def test_cache_verify_clean_then_corrupt(populated, capsys):
+    assert main(["cache", "verify", "--cache", populated]) == 0
+    assert "2 ok, 0 corrupt" in capsys.readouterr().out
+    store = ArtifactStore(populated)
+    with open(store.payload_path(CacheKey.derive("eval", {"n": 1})), "wb") as f:
+        f.write(b"tornX")
+    assert main(["cache", "verify", "--cache", populated]) == 1
+    assert "1 ok, 1 corrupt" in capsys.readouterr().out
+    assert main(["cache", "verify", "--cache", populated, "--delete"]) == 0
+    assert "1 deleted" in capsys.readouterr().out
+    assert main(["cache", "verify", "--cache", populated]) == 0
+
+
+def test_cache_gc_empty_and_budget(populated, tmp_path, capsys):
+    assert main(["cache", "gc", "--cache", str(tmp_path / "empty")]) == 0
+    assert "removed 0 entries" in capsys.readouterr().out
+    assert main(["cache", "gc", "--cache", populated, "--max-bytes", "5"]) == 0
+    assert "removed 1 entries (5 bytes)" in capsys.readouterr().out
+
+
+def test_cache_subcommand_requires_cache_dir():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["cache", "stats"])
+    assert excinfo.value.code == 2
+
+
+def test_cache_dir_must_not_be_a_file(tmp_path):
+    path = tmp_path / "afile"
+    path.write_text("not a directory")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["table2", "--cache", str(path)])
+    assert excinfo.value.code == 2
+
+
+@pytest.mark.parametrize("command", ["collect", "table2", "adverse", "sweep"])
+def test_experiment_subcommands_accept_cache_flags(command):
+    parser = build_parser()
+    text = None
+    for name, sub in parser._subparsers._group_actions[0].choices.items():
+        if name == command:
+            text = sub.format_help()
+    assert text is not None
+    assert "--cache" in text and "--no-cache" in text
+
+
+def test_table2_cli_warm_run_uses_cache(tmp_path, capsys):
+    """Cold CLI run populates the store; warm run hits it and renders
+    the identical table; `cache stats` reports the hits."""
+    root = str(tmp_path / "store")
+    cold_out = str(tmp_path / "cold.txt")
+    warm_out = str(tmp_path / "warm.txt")
+    argv = [
+        "table2", "--samples", "4", "--folds", "2", "--seed", "13",
+        "--cache", root,
+    ]
+    assert main(argv + ["--out", cold_out]) == 0
+    assert main(argv + ["--out", warm_out]) == 0
+    with open(cold_out, "rb") as a, open(warm_out, "rb") as b:
+        assert a.read() == b.read()
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache", root]) == 0
+    out = capsys.readouterr().out
+    assert "across 2 recorded runs" in out
+    hits = int(out.split(" hits")[0].rsplit(" ", 1)[-1])
+    assert hits > 0
+
+
+def test_no_cache_disables_the_store(tmp_path):
+    root = str(tmp_path / "store")
+    assert main([
+        "table2", "--samples", "4", "--folds", "2", "--seed", "13",
+        "--cache", root, "--no-cache",
+        "--out", str(tmp_path / "t.txt"),
+    ]) == 0
+    # --no-cache wins: nothing was written under the store root.
+    assert not os.path.isdir(os.path.join(root, "objects")) or not any(
+        files
+        for _, _, files in os.walk(os.path.join(root, "objects"))
+    )

@@ -1,0 +1,125 @@
+"""Key derivation: any perturbation of config, stage version, code
+version or upstream digest must move the key; wall-clock-only knobs
+must not."""
+
+import dataclasses
+
+import pytest
+
+from repro.cache import keys as keys_module
+from repro.cache.keys import CacheKey
+from repro.cache.pipeline import (
+    capture_key,
+    defend_key,
+    eval_key,
+    features_key,
+    overhead_key,
+    sanitize_key,
+)
+from repro.defenses import build_defense
+from repro.web.pageload import PageLoadConfig
+
+
+def test_same_inputs_same_key():
+    a = CacheKey.derive("eval", {"n_folds": 5}, upstream=("d1",))
+    b = CacheKey.derive("eval", {"n_folds": 5}, upstream=("d1",))
+    assert a == b
+
+
+def test_config_perturbation_moves_key():
+    base = CacheKey.derive("eval", {"n_folds": 5})
+    assert CacheKey.derive("eval", {"n_folds": 6}) != base
+
+
+def test_upstream_perturbation_moves_key():
+    a = CacheKey.derive("eval", {"n_folds": 5}, upstream=("d1",))
+    b = CacheKey.derive("eval", {"n_folds": 5}, upstream=("d2",))
+    assert a != b
+
+
+def test_unknown_stage_rejected():
+    with pytest.raises(ValueError):
+        CacheKey.derive("mystery", {})
+
+
+def test_stage_version_bump_moves_key(monkeypatch):
+    before = CacheKey.derive("defend", {"x": 1})
+    monkeypatch.setitem(keys_module.STAGE_VERSIONS, "defend", 99)
+    assert CacheKey.derive("defend", {"x": 1}) != before
+
+
+def test_code_version_bump_moves_key(monkeypatch):
+    before = CacheKey.derive("defend", {"x": 1})
+    monkeypatch.setattr(keys_module, "CODE_VERSION", "999.0.0")
+    assert CacheKey.derive("defend", {"x": 1}) != before
+
+
+def test_relpath_is_sharded():
+    key = CacheKey.derive("eval", {"n_folds": 5})
+    stage, shard, digest = key.relpath.split("/")
+    assert stage == "eval"
+    assert digest.startswith(shard) and len(shard) == 2
+
+
+def test_capture_key_covers_the_collection_identity():
+    config = PageLoadConfig()
+    base = capture_key(config, ["a", "b"], 4, 1)
+    assert capture_key(config, ["b", "a"], 4, 1) == base  # order-free
+    assert capture_key(config, ["a", "c"], 4, 1) != base
+    assert capture_key(config, ["a", "b"], 5, 1) != base
+    assert capture_key(config, ["a", "b"], 4, 2) != base
+    assert capture_key(
+        dataclasses.replace(config, max_duration=9.0), ["a", "b"], 4, 1
+    ) != base
+    assert capture_key(config, ["a", "b"], 4, 1, collector={"r": 1}) != base
+
+
+def test_chain_reuses_unchanged_prefix():
+    """Changing only eval hyperparameters must leave the upstream
+    sanitize/defend/features keys untouched."""
+    config = PageLoadConfig()
+    raw = capture_key(config, ["a"], 2, 7)
+    clean = sanitize_key(raw, balance_to=10)
+    defense = build_defense("split", seed=7)
+    defended = defend_key(clean, defense)
+    feats = features_key(defended, extractor=None)
+    assert eval_key(feats, 5, 150, 7) != eval_key(feats, 5, 200, 7)
+    # ... while the features key is shared between the two eval configs.
+    assert features_key(defended, extractor=None) == feats
+
+
+def test_defense_params_move_defend_key():
+    clean = CacheKey.derive("sanitize", {"balance_to": 10})
+    a = defend_key(clean, build_defense("split", seed=1))
+    b = defend_key(clean, build_defense("split", seed=2))
+    c = defend_key(clean, build_defense("split", seed=1, threshold=800))
+    assert a != b and a != c
+    assert defend_key(clean, build_defense("split", seed=1)) == a
+    assert defend_key(clean, build_defense("split", seed=1), prefix=30) != a
+
+
+def test_overhead_key_depends_on_trace_budget():
+    clean = CacheKey.derive("sanitize", {"balance_to": 10})
+    defense = build_defense("delayed", seed=0)
+    assert overhead_key(clean, defense, 60) != overhead_key(clean, defense, 30)
+
+
+def test_resilient_capture_key_policy():
+    """Retry policy is part of the identity; wall-deadline runs are
+    uncacheable; workers/checkpoint/chunk are wall-clock-only."""
+    from repro.experiments.runner import RunnerConfig, resilient_capture_key
+
+    config = PageLoadConfig()
+    base = resilient_capture_key(["a"], 2, config, 1, RunnerConfig())
+    assert base is not None
+    assert resilient_capture_key(
+        ["a"], 2, config, 1,
+        dataclasses.replace(RunnerConfig(), workers=4, checkpoint_path="x.npz"),
+    ) == base
+    retry = dataclasses.replace(
+        RunnerConfig(),
+        retry=dataclasses.replace(RunnerConfig().retry, max_attempts=9),
+    )
+    assert resilient_capture_key(["a"], 2, config, 1, retry) != base
+    deadline = dataclasses.replace(RunnerConfig(), trial_wall_deadline=1.0)
+    assert resilient_capture_key(["a"], 2, config, 1, deadline) is None

@@ -1,0 +1,170 @@
+"""ArtifactStore: round trips, corruption fallback, counters,
+gc/verify maintenance and per-run stat persistence."""
+
+import json
+import os
+
+from repro.cache import ArtifactStore, CacheKey
+from repro.cache.store import aggregate_run_stats
+
+
+def _key(n=0):
+    return CacheKey.derive("eval", {"n": n})
+
+
+def test_put_get_round_trip(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+    key = _key()
+    assert store.get_bytes(key) is None
+    assert store.counters["misses"] == 1
+    store.put_bytes(key, b"payload")
+    assert store.get_bytes(key) == b"payload"
+    assert store.counters == {
+        "hits": 1, "misses": 1, "writes": 1, "corruptions": 0,
+        "bytes_read": 7, "bytes_written": 7,
+    }
+
+
+def test_last_writer_wins(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+    key = _key()
+    store.put_bytes(key, b"first")
+    store.put_bytes(key, b"second")
+    assert store.get_bytes(key) == b"second"
+
+
+def test_truncated_payload_falls_back_to_miss(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+    key = _key()
+    store.put_bytes(key, b"some payload bytes")
+    with open(store.payload_path(key), "wb") as handle:
+        handle.write(b"some pay")  # truncate
+    assert store.get_bytes(key) is None
+    assert store.counters["corruptions"] == 1
+    # Corrupt entries are evicted so the next write repopulates cleanly.
+    assert not os.path.exists(store.meta_path(key))
+
+
+def test_bit_flip_detected(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+    key = _key()
+    store.put_bytes(key, b"abcdef")
+    with open(store.payload_path(key), "wb") as handle:
+        handle.write(b"abcdeX")
+    assert store.get_bytes(key) is None
+    assert store.counters["corruptions"] == 1
+
+
+def test_unparseable_metadata_is_corruption(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+    key = _key()
+    store.put_bytes(key, b"data")
+    with open(store.meta_path(key), "wb") as handle:
+        handle.write(b"{not json")
+    assert store.get_bytes(key) is None
+    assert store.counters["corruptions"] == 1
+
+
+def test_key_mismatch_is_corruption(tmp_path):
+    """Metadata copied under the wrong digest must not be served."""
+    store = ArtifactStore(str(tmp_path / "store"))
+    a, b = _key(1), _key(2)
+    store.put_bytes(a, b"data")
+    os.makedirs(os.path.dirname(store.meta_path(b)), exist_ok=True)
+    for src, dst in (
+        (store.meta_path(a), store.meta_path(b)),
+        (store.payload_path(a), store.payload_path(b)),
+    ):
+        with open(src, "rb") as fsrc, open(dst, "wb") as fdst:
+            fdst.write(fsrc.read())
+    assert store.get_bytes(b) is None
+    assert store.counters["corruptions"] == 1
+
+
+def test_stats_on_empty_and_populated(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+    empty = store.stats()
+    assert empty.entries == 0 and empty.payload_bytes == 0
+    store.put_bytes(_key(1), b"aaaa")
+    store.put_bytes(_key(2), b"bb")
+    store.put_bytes(CacheKey.derive("defend", {"x": 1}), b"c")
+    stats = store.stats()
+    assert stats.entries == 3
+    assert stats.payload_bytes == 7
+    assert stats.by_stage["eval"] == (2, 6)
+    assert stats.by_stage["defend"] == (1, 1)
+
+
+def test_verify_clean_and_corrupt(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+    assert store.verify().ok == 0  # empty store
+    store.put_bytes(_key(1), b"good")
+    store.put_bytes(_key(2), b"soon bad")
+    with open(store.payload_path(_key(2)), "wb") as handle:
+        handle.write(b"flipped!")
+    found = store.verify()
+    assert found.ok == 1 and len(found.corrupt) == 1 and found.deleted == 0
+    deleted = store.verify(delete=True)
+    assert deleted.deleted == 1
+    assert store.verify().ok == 1 and not store.verify().corrupt
+
+
+def test_gc_prunes_tmp_and_respects_budget(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+    assert store.gc().removed_entries == 0  # empty store
+    store.put_bytes(_key(1), b"x" * 100)
+    store.put_bytes(_key(2), b"y" * 100)
+    stray = os.path.join(store.root, "objects", "eval", "leftover.tmp")
+    with open(stray, "wb") as handle:
+        handle.write(b"interrupted writer")
+    result = store.gc(max_bytes=150)
+    assert result.pruned_tmp == 1
+    assert result.removed_entries == 1
+    assert result.freed_bytes == 100
+    assert store.stats().payload_bytes == 100
+
+
+def test_run_stats_persist_and_aggregate(tmp_path):
+    root = str(tmp_path / "store")
+    store = ArtifactStore(root)
+    assert store.write_run_stats() is None  # no activity, no file
+    store.put_bytes(_key(), b"data")
+    store.get_bytes(_key())
+    path = store.write_run_stats()
+    assert path is not None and os.path.exists(path)
+    second = ArtifactStore(root)
+    second.get_bytes(_key())
+    second.write_run_stats()
+    totals = aggregate_run_stats(root)
+    assert totals["runs"] == 2
+    assert totals["hits"] == 2
+    assert totals["writes"] == 1
+    assert aggregate_run_stats(str(tmp_path / "nowhere"))["runs"] == 0
+
+
+def test_counters_mirror_into_obs_registry(tmp_path):
+    from repro.obs import runtime
+
+    runtime.disable()
+    session = runtime.enable()
+    try:
+        store = ArtifactStore(str(tmp_path / "store"))
+        store.put_bytes(_key(), b"data")
+        store.get_bytes(_key())
+        store.get_bytes(_key(999))
+        counters = session.registry.snapshot()["counters"]
+        assert counters["cache.writes"] == 1
+        assert counters["cache.hits"] == 1
+        assert counters["cache.misses"] == 1
+    finally:
+        runtime.disable()
+
+
+def test_metadata_is_self_describing(tmp_path):
+    store = ArtifactStore(str(tmp_path / "store"))
+    store.put_bytes(_key(), b"data", kind="dataset")
+    with open(store.meta_path(_key()), "rb") as handle:
+        meta = json.loads(handle.read())
+    assert meta["kind"] == "dataset"
+    assert meta["stage"] == "eval"
+    assert meta["payload_bytes"] == 4

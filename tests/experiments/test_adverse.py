@@ -71,8 +71,10 @@ def test_stalls_under_faults_reduce_samples_not_poison():
     """With an absurdly tight sim deadline every load stalls; the
     experiment must fail with a clear reliability message, never
     ingest partial traces."""
-    base = ExperimentConfig(n_samples=2, n_folds=2, seed=3)
-    base.pageload = PageLoadConfig(max_duration=0.05)
+    base = ExperimentConfig(
+        n_samples=2, n_folds=2, seed=3,
+        pageload=PageLoadConfig(max_duration=0.05),
+    )
     config = AdverseConfig(
         base=base,
         sites=["bing.com"],

@@ -26,9 +26,37 @@ def test_dataset_producing_subcommands_accept_seed_out_resume(command):
         assert option in text, f"{command} must accept {option}"
 
 
+def _flag_defaults(command):
+    parser = build_parser()
+    sub = parser._subparsers._group_actions[0].choices[command]
+    defaults = {}
+    for action in sub._actions:
+        for option in action.option_strings:
+            defaults[option] = action.default
+    return defaults
+
+
+@pytest.mark.parametrize("command", ["collect", "table2", "adverse", "sweep"])
+def test_shared_flags_have_identical_defaults(command):
+    """The audited flag set carries one spelling and one default on
+    every dataset-producing subcommand (`--out` differs only on
+    collect, whose output is the dataset itself)."""
+    defaults = _flag_defaults(command)
+    assert defaults["--seed"] == 2025
+    assert defaults["--workers"] == 1
+    assert defaults["--checkpoint"] is None
+    assert defaults["--folds"] == 5
+    assert defaults["--cache"] is None
+    assert defaults["--no-cache"] is False
+    assert defaults["--out"] == ("dataset.npz" if command == "collect" else None)
+
+
 @pytest.mark.parametrize(
     "argv",
     [
+        ["table2", "--workers", "-2"],
+        ["sweep", "--workers", "-1"],
+        ["adverse", "--folds", "1"],
         ["table2", "--samples", "0"],
         ["collect", "--seed", "-3"],
         ["table2", "--dataset", "/nonexistent/file.npz"],
@@ -86,10 +114,12 @@ def test_resilient_collect_cli_is_deterministic(tmp_path):
 def test_out_writes_results_file(tmp_path, monkeypatch):
     import repro.experiments.table2 as t2
 
-    monkeypatch.setattr(t2, "run_table2", lambda config, dataset=None: {})
+    monkeypatch.setattr(
+        t2, "run_table2", lambda config, dataset=None, cache=None: {}
+    )
     monkeypatch.setattr(t2, "format_table2", lambda table: "TABLE2 RENDERED")
     monkeypatch.setattr(
-        "repro.cli._load_or_collect", lambda args, config: object()
+        "repro.cli._load_or_collect", lambda args, config, cache=None: object()
     )
     out = str(tmp_path / "results" / "table2.txt")
     assert main(["table2", "--out", out]) == 0
@@ -100,7 +130,7 @@ def test_adverse_cli_runs_tiny_grid(tmp_path, monkeypatch):
     """End-to-end `repro adverse` on a stubbed-down grid."""
     import repro.experiments.adverse_network as adv
 
-    def fake_run(config, resume=False):
+    def fake_run(config, resume=False, cache=None):
         from repro.experiments.adverse_network import AdverseCell, AdverseResult
         from repro.experiments.runner import CollectionReport
 

@@ -102,23 +102,23 @@ def test_attack_robustness_tiny():
 
 def test_parameter_sweep_tiny():
     from repro.experiments.parameter_sweep import (
+        SweepConfig,
         format_parameter_sweep,
         run_parameter_sweep,
     )
     from repro.web.tracegen import StatisticalTraceGenerator
 
-    config = ExperimentConfig(
-        n_samples=8, n_folds=2, n_estimators=12, balance_to=8, seed=9
+    config = SweepConfig(
+        base=ExperimentConfig(
+            n_samples=8, n_folds=2, n_estimators=12, balance_to=8, seed=9
+        ),
+        thresholds=(1200,),
+        delay_ranges=((0.10, 0.30), (0.50, 1.50)),
     )
     dataset = StatisticalTraceGenerator(seed=9).generate_dataset(
         n_samples=8, seed=9
     )
-    points = run_parameter_sweep(
-        config,
-        dataset=dataset,
-        thresholds=(1200,),
-        delay_ranges=((0.10, 0.30), (0.50, 1.50)),
-    )
+    points = run_parameter_sweep(config, dataset=dataset)
     assert len(points) == 2
     rendered = format_parameter_sweep(points)
     assert "split" in rendered

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.cache.keys import CacheKey
 from repro.cache.store import ArtifactStore
+from repro.errors import ARTIFACT_DECODE_ERRORS
 from repro.capture.dataset import Dataset
 from repro.capture.serialize import (
     dataset_content_digest,
@@ -151,7 +152,7 @@ def cached_dataset(
     if data is not None:
         try:
             return loads_dataset(data)
-        except (ValueError, KeyError, OSError):
+        except ARTIFACT_DECODE_ERRORS:
             # Decodable-but-wrong payloads fall back like corruption.
             store._count("corruptions")
     dataset = compute()
@@ -171,7 +172,7 @@ def cached_array(
     if data is not None:
         try:
             return np.load(io.BytesIO(data), allow_pickle=False)
-        except (ValueError, OSError):
+        except ARTIFACT_DECODE_ERRORS:
             store._count("corruptions")
     array = compute()
     buffer = io.BytesIO()
@@ -194,7 +195,7 @@ def cached_arrays(
         try:
             with np.load(io.BytesIO(data), allow_pickle=False) as archive:
                 return {name: archive[name] for name in archive.files}
-        except (ValueError, KeyError, OSError):
+        except ARTIFACT_DECODE_ERRORS:
             store._count("corruptions")
     arrays = compute()
     buffer = io.BytesIO()
@@ -215,7 +216,7 @@ def cached_json(
     if data is not None:
         try:
             return json.loads(data.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError):
+        except ARTIFACT_DECODE_ERRORS:
             store._count("corruptions")
     value = compute()
     store.put_bytes(

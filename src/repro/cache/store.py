@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.cache.keys import CacheKey
+from repro.errors import ARTIFACT_DECODE_ERRORS
 from repro.obs import runtime as _obs_runtime
 
 #: Store format version, recorded in every metadata sidecar.
@@ -157,7 +158,7 @@ class ArtifactStore:
                 meta = json.loads(handle.read().decode("utf-8"))
             with open(self.payload_path(key), "rb") as handle:
                 data = handle.read()
-        except (OSError, ValueError):
+        except ARTIFACT_DECODE_ERRORS:
             if os.path.exists(self.meta_path(key)):
                 # Metadata present but unreadable/unparseable: corrupt.
                 self._count("corruptions")
@@ -194,7 +195,7 @@ class ArtifactStore:
             with open(meta_path, "rb") as handle:
                 meta = json.loads(handle.read().decode("utf-8"))
             return CacheKey(stage=meta["stage"], digest=meta["digest"])
-        except (OSError, ValueError, KeyError):
+        except ARTIFACT_DECODE_ERRORS:
             return None
 
     def stats(self) -> StoreStats:
@@ -232,7 +233,7 @@ class ArtifactStore:
                         meta.get("payload_sha256")
                         == hashlib.sha256(data).hexdigest()
                     )
-                except (OSError, ValueError):
+                except ARTIFACT_DECODE_ERRORS:
                     ok = False
             if ok:
                 result.ok += 1
@@ -325,7 +326,7 @@ def aggregate_run_stats(root: str) -> Dict[str, int]:
         try:
             with open(os.path.join(runs, name), "rb") as handle:
                 counters = json.loads(handle.read().decode("utf-8"))
-        except (OSError, ValueError):
+        except ARTIFACT_DECODE_ERRORS:
             continue
         totals["runs"] += 1
         for counter in _COUNTER_NAMES:

@@ -64,6 +64,35 @@ def save_dataset(dataset: Dataset, path: str) -> None:
     np.savez_compressed(path, **_archive_payload(dataset))
 
 
+def save_dataset_atomic(dataset: Dataset, path: str) -> None:
+    """Like :func:`save_dataset`, but crash-safe: the archive is staged
+    in a temporary file, fsynced, and published with ``os.replace``.
+
+    A process killed mid-write (SIGKILL during a checkpoint, disk
+    full, node preemption) therefore leaves either the previous
+    complete file or the new one at ``path`` — never a truncated
+    archive.  Matches numpy's extension rule: ``.npz`` is appended
+    when ``path`` does not already end with it, so the atomic and
+    plain writers publish to identical locations.
+    """
+    path = os.path.abspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    tmp = f"{path}.{os.getpid()}.tmp"
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **_archive_payload(dataset))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+
+
 def dumps_dataset(dataset: Dataset) -> bytes:
     """The ``.npz`` archive for ``dataset`` as bytes (deterministic:
     numpy stamps a fixed zip date, so equal datasets serialise to equal

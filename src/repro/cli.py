@@ -23,6 +23,13 @@ per core).  All randomness is position-derived, so any worker count
 produces bit-identical results — ``--workers`` is purely a wall-clock
 knob and composes with ``--checkpoint``/``--resume``.
 
+Parallel runs are crash-supervised (:mod:`repro.supervise`):
+``--max-worker-restarts N`` bounds pool rebuilds after worker deaths
+before degrading to serial in-process execution, and ``--quarantine``
+/ ``--no-quarantine`` chooses between excluding a trial that
+repeatedly kills workers (recorded in the report) and failing the
+run.  SIGTERM is handled like Ctrl-C: final checkpoint, exit 143.
+
 ``--cache DIR`` (collect/table2/adverse/sweep) keys every pipeline
 stage (capture → sanitize → defend → features → eval) on its config
 and reuses cached artifacts, so re-runs and partially-changed runs
@@ -45,6 +52,8 @@ import os
 import sys
 import time
 from typing import List, Optional
+
+from repro.errors import RunTerminated
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -114,6 +123,32 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_supervise(parser: argparse.ArgumentParser) -> None:
+    """Knobs of the crash-tolerant supervisor (see repro.supervise)."""
+    parser.add_argument(
+        "--max-worker-restarts", type=int, default=5, metavar="N",
+        help="pool rebuilds tolerated after worker deaths before the "
+        "circuit breaker trips and collection degrades to serial "
+        "in-process execution (recovery replays position-seeded work, "
+        "so results stay bit-identical)",
+    )
+    parser.add_argument(
+        "--quarantine", action=argparse.BooleanOptionalAction, default=True,
+        help="exclude a trial that repeatedly kills workers and keep "
+        "going (--no-quarantine fails the run instead)",
+    )
+
+
+def _supervisor_config(args):
+    """The run's SupervisorConfig (flag-driven; defaults elsewhere)."""
+    from repro.supervise import SupervisorConfig
+
+    return SupervisorConfig(
+        max_worker_restarts=getattr(args, "max_worker_restarts", 5),
+        quarantine=getattr(args, "quarantine", True),
+    )
+
+
 def _validate_common(parser: argparse.ArgumentParser, args) -> None:
     """Reject bad argument combinations via parser.error (no tracebacks)."""
     if getattr(args, "seed", 0) is not None and getattr(args, "seed", 0) < 0:
@@ -134,6 +169,9 @@ def _validate_common(parser: argparse.ArgumentParser, args) -> None:
     workers = getattr(args, "workers", 1)
     if workers is not None and workers < 0:
         parser.error(f"--workers must be >= 0, got {workers}")
+    restarts = getattr(args, "max_worker_restarts", 0)
+    if restarts is not None and restarts < 0:
+        parser.error(f"--max-worker-restarts must be >= 0, got {restarts}")
     cache = getattr(args, "cache", None)
     if cache is not None and os.path.isfile(cache):
         parser.error(f"--cache must be a directory, not a file: {cache}")
@@ -171,7 +209,8 @@ def _load_or_collect(args, config, cache=None):
             pageload_config=config.pageload,
             seed=config.seed,
             runner_config=RunnerConfig(
-                checkpoint_path=args.checkpoint, workers=config.workers
+                checkpoint_path=args.checkpoint, workers=config.workers,
+                supervisor=_supervisor_config(args),
             ),
             resume=args.resume,
             cache=cache,
@@ -183,6 +222,7 @@ def _load_or_collect(args, config, cache=None):
     return collect_dataset(
         n_samples=config.n_samples, config=config.pageload, seed=config.seed,
         workers=config.workers, cache=cache,
+        supervisor=_supervisor_config(args),
     )
 
 
@@ -368,7 +408,9 @@ def cmd_adverse(args) -> int:
     config = AdverseConfig(
         base=base,
         conditions=conditions,
-        runner=RunnerConfig(workers=base.workers),
+        runner=RunnerConfig(
+            workers=base.workers, supervisor=_supervisor_config(args)
+        ),
         checkpoint_dir=args.checkpoint,
     )
     result = run_adverse(config, resume=args.resume, cache=_store(args))
@@ -460,6 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
         p, out_help="write the dataset .npz here", out_default="dataset.npz"
     )
     _add_workers(p)
+    _add_supervise(p)
     _add_cache(p)
     _add_obs(p)
     p.set_defaults(func=cmd_collect)
@@ -472,6 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     _add_dataset_opts(p)
     _add_workers(p)
+    _add_supervise(p)
     _add_cache(p)
     _add_obs(p)
     p.set_defaults(func=cmd_table2)
@@ -543,6 +587,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated subset of clean,bursty,flap (default: all)",
     )
     _add_workers(p)
+    _add_supervise(p)
     _add_cache(p)
     _add_obs(p)
     p.set_defaults(func=cmd_adverse)
@@ -554,6 +599,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     _add_dataset_opts(p)
     _add_workers(p)
+    _add_supervise(p)
     _add_cache(p)
     _add_obs(p)
     p.set_defaults(func=cmd_sweep)
@@ -603,6 +649,18 @@ def _flush_cache_stats(args) -> None:
         store.write_run_stats()
 
 
+def _report_terminated(args) -> int:
+    """SIGTERM landed mid-run: the runner already wrote its final
+    checkpoint before unwinding, so exit cleanly with the conventional
+    128+SIGTERM status instead of a traceback."""
+    print(
+        f"repro {args.command}: terminated by SIGTERM; "
+        "checkpoint written, resume with --resume",
+        file=sys.stderr,
+    )
+    return 143
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -613,6 +671,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if metrics_path is None and trace_path is None:
         try:
             return args.func(args)
+        except RunTerminated:
+            return _report_terminated(args)
         finally:
             _flush_cache_stats(args)
 
@@ -624,7 +684,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     exit_code = 1
     try:
         session.emit("run.start", "cli", command=args.command)
-        exit_code = args.func(args)
+        try:
+            exit_code = args.func(args)
+        except RunTerminated:
+            exit_code = _report_terminated(args)
         return exit_code
     finally:
         _flush_cache_stats(args)

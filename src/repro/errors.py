@@ -1,0 +1,123 @@
+"""Shared exception taxonomy: what failed, and who should handle it.
+
+Every reliability layer in this repo — the resilient runner's retry
+loop (:mod:`repro.experiments.runner`), the supervised worker pool
+(:mod:`repro.supervise`) and the artifact cache's corruption fallback
+(:mod:`repro.cache`) — needs to answer the same question when
+something goes wrong: *is this the trial's fault, the machine's fault,
+or the programmer's fault?*  The answer decides the recovery:
+
+* :class:`TrialError` — one simulated trial failed for a reason
+  intrinsic to that trial (a stalled page load, an exceeded deadline).
+  **Retry the trial** with a fresh derived seed; if the budget runs
+  out, log a structured failure and drop the sample.
+* :class:`InfrastructureError` — the execution substrate failed (a
+  worker process died, an artifact decoded to garbage).  The work
+  itself is presumed fine: **retry elsewhere** — reschedule the chunk
+  on a rebuilt pool, recompute the artifact — and escalate to the
+  circuit breaker only on repetition.
+* :class:`FatalError` — a programming or configuration error.
+  Retrying cannot fix it; **propagate immediately** so the bug
+  surfaces instead of burning a retry budget masking it.
+
+Exceptions outside the taxonomy (bare ``RuntimeError``, ``KeyError``,
+…) classify as fatal: the original runner treated any ``RuntimeError``
+or ``ValueError`` as retryable, which silently converted programming
+bugs into "flaky trials".  Domain exceptions opt into retry by
+subclassing :class:`TrialError` (e.g.
+:class:`repro.web.pageload.PageLoadStalled`); nothing is retryable by
+accident.
+
+This module sits below every other ``repro`` package (it imports
+nothing from the repo), so any layer may import it without cycles.
+"""
+
+from __future__ import annotations
+
+import zipfile
+from typing import Tuple, Type
+
+
+class ReproError(Exception):
+    """Base of the repo's exception taxonomy."""
+
+
+class TrialError(ReproError, RuntimeError):
+    """A single trial failed for trial-intrinsic reasons — retryable.
+
+    Subclasses ``RuntimeError`` for compatibility: pre-taxonomy callers
+    caught ``RuntimeError`` to mean "a trial went wrong", and domain
+    exceptions (``PageLoadStalled``) were ``RuntimeError`` subclasses.
+    """
+
+
+class InfrastructureError(ReproError, RuntimeError):
+    """The execution substrate failed; the work itself is presumed
+    fine.  Recover by retrying elsewhere (rebuilt pool, recompute)."""
+
+
+class WorkerCrashError(InfrastructureError):
+    """A pool worker process died abruptly (segfault, OOM kill,
+    ``os._exit``).  Raised by the supervisor when recovery is
+    impossible or disabled — e.g. a poison trial with quarantine off,
+    or crash budgets exhausted."""
+
+
+class CorruptArtifactError(InfrastructureError):
+    """A cached artifact or checkpoint failed validation (truncated
+    file, digest mismatch, undecodable payload)."""
+
+
+class FatalError(ReproError):
+    """A programming or configuration error.  Never retried."""
+
+
+class RunTerminated(BaseException):
+    """The process received a termination request (SIGTERM).
+
+    A ``BaseException`` — like ``KeyboardInterrupt`` — so it cannot be
+    swallowed by retry loops or broad ``except Exception`` handlers:
+    it must reach :meth:`ResilientRunner.collect`, which writes a final
+    checkpoint and re-raises so the scheduler sees a clean shutdown.
+    """
+
+
+#: What the runner's retry loop catches.  Deliberately narrow: a trial
+#: opts into retry by raising (a subclass of) these.  Everything else
+#: propagates after a checkpoint, because retrying cannot fix it.
+RETRYABLE_ERRORS: Tuple[Type[BaseException], ...] = (
+    TrialError,
+    InfrastructureError,
+)
+
+#: What decoding a stored artifact can raise — the cache layers and
+#: the checkpoint loader classify these as :class:`CorruptArtifactError`
+#: situations: count the corruption, evict the entry, recompute.
+#: (``zipfile.BadZipFile`` covers truncated ``.npz`` archives, which
+#: numpy surfaces as either that or ``OSError``/``EOFError``.)
+ARTIFACT_DECODE_ERRORS: Tuple[Type[Exception], ...] = (
+    ValueError,
+    KeyError,
+    OSError,
+    EOFError,
+    zipfile.BadZipFile,
+)
+
+
+def classify(error: BaseException) -> str:
+    """``'trial'``, ``'infrastructure'`` or ``'fatal'`` for ``error``.
+
+    The single classification point the reliability layers share, so a
+    new exception type changes behaviour everywhere by subclassing,
+    not by editing N except-tuples.
+    """
+    if isinstance(error, TrialError):
+        return "trial"
+    if isinstance(error, InfrastructureError):
+        return "infrastructure"
+    return "fatal"
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Should a retry loop spend budget on ``error``?"""
+    return isinstance(error, RETRYABLE_ERRORS)

@@ -30,31 +30,56 @@ execution with the reliability layer a long collection run needs:
 
 from __future__ import annotations
 
+import functools
 import json
+import logging
 import os
+import signal
+import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import asdict, dataclass, field
+import warnings
+from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import (
+    ARTIFACT_DECODE_ERRORS,
+    RETRYABLE_ERRORS,
+    RunTerminated,
+    TrialError,
+)
 from repro.obs import runtime as _obs_runtime
 from repro.parallel import chunked, default_chunk_size, resolve_workers
+from repro.supervise import SupervisedPool, SupervisorConfig
 
 from repro.capture.dataset import Dataset
-from repro.capture.serialize import load_dataset, save_dataset
+from repro.capture.serialize import load_dataset, save_dataset_atomic
 from repro.capture.trace import Trace
 from repro.web.pageload import PageLoadConfig, PageLoadStalled, load_page_strict
 from repro.web.sites import SITE_CATALOG
 
-#: Errors the runner treats as retryable trial failures.  Anything
-#: else (KeyboardInterrupt, programming errors) propagates after a
-#: checkpoint, because retrying cannot fix it.
-RETRYABLE = (PageLoadStalled, RuntimeError, ValueError)
+log = logging.getLogger("repro.runner")
 
 
-class TrialDeadlineExceeded(RuntimeError):
+def __getattr__(name: str):
+    # Deprecation shim: the old module-level RETRYABLE tuple included
+    # bare RuntimeError/ValueError, which retried (and thereby masked)
+    # programming bugs.  Retryability now lives in the repro.errors
+    # taxonomy; importing the old name still works but warns.
+    if name == "RETRYABLE":
+        warnings.warn(
+            "repro.experiments.runner.RETRYABLE is deprecated; use "
+            "repro.errors.RETRYABLE_ERRORS (trials opt into retry by "
+            "raising repro.errors.TrialError subclasses)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return RETRYABLE_ERRORS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+class TrialDeadlineExceeded(TrialError):
     """A trial exceeded its wall-clock budget (raised by the watchdog)."""
 
 
@@ -113,13 +138,21 @@ class CollectionReport:
     def dropped_trials(self) -> int:
         return len(self.failures)
 
+    @property
+    def quarantined_trials(self) -> int:
+        """Trials excluded by the supervisor after killing workers."""
+        return sum(1 for f in self.failures if f.error == "WorkerCrashError")
+
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.completed_trials} trials collected "
             f"({self.resumed_trials} from checkpoint), "
             f"{self.retries} retries, {self.stalls} stalls, "
             f"{self.dropped_trials} dropped"
         )
+        if self.quarantined_trials:
+            text += f" ({self.quarantined_trials} quarantined)"
+        return text
 
 
 @dataclass(frozen=True)
@@ -145,6 +178,11 @@ class RunnerConfig:
     workers: int = 1
     #: Trials per pool task (None = auto, ~4 chunks per worker).
     chunk_size: Optional[int] = None
+    #: Failure handling for the parallel executor: worker-death
+    #: recovery, poison-trial quarantine, circuit breaker, hang kills.
+    #: Recovery replays position-seeded work, so (like ``workers``)
+    #: none of it can change the collected bytes.
+    supervisor: SupervisorConfig = field(default_factory=SupervisorConfig)
 
     def to_dict(self) -> dict:
         from repro.experiments.config import config_to_dict
@@ -248,7 +286,7 @@ def execute_trial(
             outcome.trace = trial_fn(label, sample, rng, watchdog)
             _observe_trial(outcome, clock() - trial_started)
             return outcome
-        except RETRYABLE + (TrialDeadlineExceeded,) as error:
+        except RETRYABLE_ERRORS as error:
             last_error = error
             if isinstance(error, PageLoadStalled):
                 outcome.stalls += 1
@@ -358,7 +396,12 @@ class ResilientRunner:
             ordered = sorted(results[label])
             indices[label] = ordered
             dataset.traces[label] = [results[label][i] for i in ordered]
-        save_dataset(dataset, self._npz_path(checkpoint_path))
+        # Both files are published atomically (tmp + fsync + replace):
+        # a SIGKILL mid-checkpoint must leave either the previous
+        # complete checkpoint or the new one, never a truncated .npz —
+        # and the manifest is written second, so a manifest always
+        # refers to a fully published archive.
+        save_dataset_atomic(dataset, self._npz_path(checkpoint_path))
         manifest = {
             "version": self.CHECKPOINT_VERSION,
             "fingerprint": fingerprint,
@@ -368,6 +411,8 @@ class ResilientRunner:
         tmp = self._manifest_path(checkpoint_path) + ".tmp"
         with open(tmp, "w") as handle:
             json.dump(manifest, handle, indent=1, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, self._manifest_path(checkpoint_path))
         obs = _obs_runtime.session()
         if obs is not None:
@@ -384,23 +429,55 @@ class ResilientRunner:
         npz_path = self._npz_path(checkpoint_path)
         if not (os.path.exists(npz_path) and os.path.exists(manifest_path)):
             return {}, []
-        with open(manifest_path) as handle:
-            manifest = json.load(handle)
+        try:
+            with open(manifest_path) as handle:
+                manifest = json.load(handle)
+        except ARTIFACT_DECODE_ERRORS:
+            return self._evict_checkpoint(checkpoint_path, "unreadable manifest")
         if manifest.get("fingerprint") != fingerprint:
             raise ValueError(
                 "checkpoint was written by a different run configuration: "
                 f"{manifest.get('fingerprint')!r} != {fingerprint!r}; "
                 "remove it or rerun with the original seed/sites/samples"
             )
-        dataset = load_dataset(npz_path)
-        results: Dict[str, Dict[int, Trace]] = {}
-        for label, ordered in manifest["indices"].items():
-            traces = dataset.traces.get(label, [])
-            results[label] = {
-                int(index): trace for index, trace in zip(ordered, traces)
-            }
-        failures = [TrialFailure(**f) for f in manifest["failures"]]
+        # A checkpoint interrupted by SIGKILL (or disk-full) can leave a
+        # truncated archive behind on filesystems without atomic-write
+        # guarantees; resume must fall back to a fresh collection, not
+        # crash — the data is recomputable by construction.
+        try:
+            dataset = load_dataset(npz_path)
+            results: Dict[str, Dict[int, Trace]] = {}
+            for label, ordered in manifest["indices"].items():
+                traces = dataset.traces.get(label, [])
+                results[label] = {
+                    int(index): trace for index, trace in zip(ordered, traces)
+                }
+            failures = [TrialFailure(**f) for f in manifest["failures"]]
+        except ARTIFACT_DECODE_ERRORS + (TypeError,):
+            return self._evict_checkpoint(checkpoint_path, "corrupt archive")
         return results, failures
+
+    def _evict_checkpoint(
+        self, checkpoint_path: str, reason: str
+    ) -> Tuple[Dict[str, Dict[int, Trace]], List[TrialFailure]]:
+        """Remove an invalid checkpoint pair and resume from scratch."""
+        log.warning(
+            "checkpoint at %s is invalid (%s); evicting it and "
+            "collecting from scratch", checkpoint_path, reason,
+        )
+        obs = _obs_runtime.session()
+        if obs is not None:
+            obs.registry.counter("runner.checkpoint_corrupt").add(1)
+            obs.emit("checkpoint.corrupt", "runner", reason=reason)
+        for path in (
+            self._npz_path(checkpoint_path),
+            self._manifest_path(checkpoint_path),
+        ):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        return {}, []
 
     # -- execution ---------------------------------------------------------
 
@@ -445,8 +522,11 @@ class ResilientRunner:
         With ``resume=True`` and a configured ``checkpoint_path``,
         completed trials are loaded from the checkpoint and skipped;
         the final dataset is identical to an uninterrupted run because
-        trial seeds are position-derived.  On KeyboardInterrupt a final
-        checkpoint is written before the interrupt propagates.
+        trial seeds are position-derived.  On KeyboardInterrupt — or
+        SIGTERM, which container schedulers send on shutdown and which
+        is translated to :class:`repro.errors.RunTerminated` here — a
+        final checkpoint is written before the interrupt propagates,
+        so the run is resumable.
         """
         if n_samples < 1:
             raise ValueError(f"n_samples must be >= 1, got {n_samples}")
@@ -520,10 +600,11 @@ class ResilientRunner:
             maybe_checkpoint()
 
         workers = resolve_workers(self.config.workers)
+        previous_sigterm = self._install_sigterm_handler()
         try:
             if workers > 1 and len(pending) > 1:
                 self._collect_parallel(
-                    pending, trial_fn, master_seed, workers, complete
+                    pending, trial_fn, master_seed, workers, complete, report
                 )
             else:
                 for label, site_index, sample in pending:
@@ -539,9 +620,11 @@ class ResilientRunner:
                         clock=self._clock,
                     )
                     complete(outcome)
-        except KeyboardInterrupt:
+        except (KeyboardInterrupt, RunTerminated):
             maybe_checkpoint(force=True)
             raise
+        finally:
+            self._restore_sigterm_handler(previous_sigterm)
         # Failure order must not depend on completion order (the
         # checkpoint manifest and report are part of the deterministic
         # output surface).
@@ -556,6 +639,31 @@ class ResilientRunner:
                 ]
         return dataset, report
 
+    @staticmethod
+    def _install_sigterm_handler() -> Optional[object]:
+        """Translate SIGTERM into :class:`repro.errors.RunTerminated`.
+
+        Container and batch schedulers signal shutdown with SIGTERM;
+        handling it exactly like KeyboardInterrupt (final checkpoint,
+        then propagate) makes preempted runs resumable.  Signals can
+        only be installed from the main thread — elsewhere the runner
+        just relies on the caller's handling.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return None
+        if not hasattr(signal, "SIGTERM"):
+            return None
+
+        def _on_sigterm(signum, frame):
+            raise RunTerminated("SIGTERM received; checkpointing and exiting")
+
+        return signal.signal(signal.SIGTERM, _on_sigterm)
+
+    @staticmethod
+    def _restore_sigterm_handler(previous: Optional[object]) -> None:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+
     def _collect_parallel(
         self,
         pending: List[Tuple[str, int, int]],
@@ -563,15 +671,20 @@ class ResilientRunner:
         master_seed: int,
         workers: int,
         complete: Callable[[TrialOutcome], None],
+        report: CollectionReport,
     ) -> None:
-        """Fan ``pending`` out over a process pool in chunks.
+        """Fan ``pending`` out over a supervised process pool in chunks.
 
         Outcomes are merged as chunks finish (so periodic checkpoints
         still happen mid-run), but every result is keyed by its trial
         coordinates and every seed is position-derived, so the final
-        dataset is independent of completion order and worker count.
-        On interrupt, unstarted chunks are cancelled and the caller
-        writes a final checkpoint covering everything merged so far.
+        dataset is independent of completion order, worker count *and
+        worker deaths*: the :class:`~repro.supervise.SupervisedPool`
+        rebuilds crashed pools and reschedules lost chunks, which
+        recompute identical bytes.  Poison trials it quarantines are
+        recorded as structured failures on ``report``.  On interrupt,
+        unstarted chunks are cancelled and the caller writes a final
+        checkpoint covering everything merged so far.
         """
         chunk_size = self.config.chunk_size or default_chunk_size(
             len(pending), workers
@@ -580,32 +693,53 @@ class ResilientRunner:
         # With observability on, chunks run under worker-local metric
         # sessions whose snapshots ship back with the outcomes and are
         # folded into the parent registry (obs.absorb) — counter totals
-        # therefore match the serial path for any worker count.
+        # therefore match the serial path for any worker count.  A
+        # chunk lost to a worker crash never ships its snapshot, so
+        # recovery does not double-count.
         chunk_fn = _execute_trial_chunk
         if _obs_runtime.session() is not None:
             chunk_fn = _obs_runtime.WorkerTask(_execute_trial_chunk)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(
-                    chunk_fn,
-                    trial_fn,
-                    self.config.retry,
-                    master_seed,
-                    self.config.trial_wall_deadline,
-                    chunk,
+        task = functools.partial(
+            chunk_fn,
+            trial_fn,
+            self.config.retry,
+            master_seed,
+            self.config.trial_wall_deadline,
+        )
+
+        def merge(payload: object) -> None:
+            for outcome in _obs_runtime.absorb(payload):
+                complete(outcome)
+
+        supervisor_config = self.config.supervisor
+        if (
+            supervisor_config.trial_deadline is None
+            and self.config.trial_wall_deadline is not None
+        ):
+            # Hang detection defaults to the trial wall deadline the
+            # workers already enforce cooperatively — the supervisor's
+            # copy catches trials hung somewhere the watchdog can't see.
+            supervisor_config = replace(
+                supervisor_config, trial_deadline=self.config.trial_wall_deadline
+            )
+        pool = SupervisedPool(
+            workers, task, merge, config=supervisor_config
+        )
+        supervisor_report = pool.run(chunks)
+        for quarantined in supervisor_report.quarantined:
+            label, _site_index, sample = quarantined.item
+            report.failures.append(
+                TrialFailure(
+                    label=label,
+                    index=sample,
+                    attempts=quarantined.crashes,
+                    error="WorkerCrashError",
+                    message=(
+                        f"quarantined after killing a worker "
+                        f"{quarantined.crashes} times"
+                    ),
                 )
-                for chunk in chunks
-            }
-            try:
-                while futures:
-                    done, futures = wait(futures, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        for outcome in _obs_runtime.absorb(future.result()):
-                            complete(outcome)
-            except BaseException:
-                for future in futures:
-                    future.cancel()
-                raise
+            )
 
 
 def resilient_capture_key(
@@ -672,7 +806,7 @@ def collect_resilient(
         if data is not None:
             try:
                 dataset = loads_dataset(data)
-            except (ValueError, KeyError, OSError):
+            except ARTIFACT_DECODE_ERRORS:
                 cache._count("corruptions")
             else:
                 report = CollectionReport(
@@ -687,7 +821,7 @@ def collect_resilient(
                         report.failures = [
                             TrialFailure(**f) for f in meta.get("failures", [])
                         ]
-                    except (ValueError, TypeError, UnicodeDecodeError):
+                    except ARTIFACT_DECODE_ERRORS + (TypeError,):
                         cache._count("corruptions")
                 return dataset, report
     runner = ResilientRunner(runner_config)

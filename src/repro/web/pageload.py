@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.capture.dataset import Dataset
 from repro.capture.trace import Trace, TraceObserver
+from repro.errors import TrialError
 from repro.obs import runtime as _obs_runtime
 from repro.simnet.engine import Simulator
 from repro.simnet.faults import FaultSpec
@@ -119,12 +120,14 @@ class PageLoadResult:
         )
 
 
-class PageLoadStalled(RuntimeError):
+class PageLoadStalled(TrialError):
     """A page load hit its deadline without completing.
 
     Carries the partial :class:`PageLoadResult` so callers can log
     structured diagnostics without ever treating the truncated trace
-    as a valid sample.
+    as a valid sample.  A :class:`~repro.errors.TrialError`: stalls
+    are trial-intrinsic and worth a reseeded retry (still a
+    ``RuntimeError`` subclass through that base, for old callers).
     """
 
     def __init__(self, site: str, result: PageLoadResult) -> None:
@@ -416,6 +419,7 @@ def collect_dataset(
     stall_log: Optional[List[PageLoadStalled]] = None,
     workers: int = 1,
     cache=None,
+    supervisor=None,
 ) -> Dataset:
     """Collect ``n_samples`` visits of each site (the paper's 100).
 
@@ -438,7 +442,16 @@ def collect_dataset(
     n_samples, seed); ``workers`` stays out of the key because output
     is worker-count invariant.  On a warm hit no visit is simulated, so
     ``progress``/``stall_log`` see nothing.
+
+    The parallel fan-out runs under a
+    :class:`~repro.supervise.SupervisedPool` (``supervisor`` overrides
+    its :class:`~repro.supervise.SupervisorConfig`): worker death
+    rebuilds the pool and replays the lost chunks to identical bytes,
+    and a visit that repeatedly kills workers is quarantined — dropped
+    from the dataset with a loud log line — instead of sinking the run.
     """
+    import functools
+
     from repro.parallel import chunked, default_chunk_size, resolve_workers
 
     config = config or PageLoadConfig()
@@ -457,6 +470,7 @@ def collect_dataset(
                 progress=progress,
                 stall_log=stall_log,
                 workers=workers,
+                supervisor=supervisor,
             ),
         )
     dataset = Dataset()
@@ -465,31 +479,43 @@ def collect_dataset(
     if workers <= 1 or len(grid) <= 1:
         outcomes = _collect_visit_chunk(config, seed, grid)
     else:
-        from concurrent.futures import ProcessPoolExecutor
+        from repro.supervise import SupervisedPool
 
         # Worker metrics (when observability is on) come home as
         # per-chunk snapshots and merge into this process's registry;
-        # chunk order is fixed, so the merged totals are deterministic.
+        # a chunk lost to a crash never ships its snapshot, so the
+        # merged totals stay equal to a serial run's.
         chunk_fn = _collect_visit_chunk
         if _obs_runtime.session() is not None:
             chunk_fn = _obs_runtime.WorkerTask(_collect_visit_chunk)
         chunks = chunked(grid, default_chunk_size(len(grid), workers))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            parts = [
-                _obs_runtime.absorb(part)
-                for part in pool.map(
-                    chunk_fn,
-                    [config] * len(chunks),
-                    [seed] * len(chunks),
-                    chunks,
-                )
-            ]
-            merged = {
-                (label, sample): result
-                for part in parts
-                for label, sample, result in part
-            }
-        outcomes = [(label, s, merged[(label, s)]) for label, s in grid]
+        merged = {}
+
+        def merge(payload) -> None:
+            for label, sample, result in _obs_runtime.absorb(payload):
+                merged[(label, sample)] = result
+
+        pool = SupervisedPool(
+            workers,
+            functools.partial(chunk_fn, config, seed),
+            merge,
+            config=supervisor,
+        )
+        report = pool.run(chunks)
+        # Quarantined visits are simply absent from `merged`; every
+        # other coordinate must be present.
+        outcomes = [
+            (label, s, merged[(label, s)])
+            for label, s in grid
+            if (label, s) in merged
+        ]
+        dropped = sorted(q.item for q in report.quarantined)
+        missing = sorted(c for c in grid if c not in merged)
+        if missing != dropped:
+            raise RuntimeError(
+                f"supervised collection lost {missing} but only "
+                f"quarantined {dropped}"
+            )
     for label, index, result in outcomes:
         if not result.completed:
             if stall_log is not None:

@@ -5,6 +5,7 @@ import pytest
 
 from repro.capture.serialize import save_dataset
 from repro.capture.trace import Trace
+from repro.errors import TrialError
 from repro.experiments.runner import (
     CollectionReport,
     ResilientRunner,
@@ -77,7 +78,7 @@ def test_flaky_trial_is_retried_with_fresh_seed_and_backoff():
     def flaky(label, index, rng, watchdog):
         attempts.append(int(rng.integers(0, 2**31)))  # proves reseeding
         if len(attempts) < 3:
-            raise RuntimeError("transient")
+            raise TrialError("transient")
         return synthetic_trial_fn(label, index, rng, watchdog)
 
     runner = ResilientRunner(
@@ -248,7 +249,7 @@ def test_failures_survive_resume(tmp_path):
 
     def failing(label, index, rng, watchdog):
         if label == "bing.com" and index == 0:
-            raise RuntimeError("permanent")
+            raise TrialError("permanent")
         return synthetic_trial_fn(label, index, rng, watchdog)
 
     config = RunnerConfig(

@@ -10,6 +10,7 @@ import numpy as np
 import pytest
 
 from repro.capture.serialize import save_dataset
+from repro.errors import TrialError
 from repro.experiments.runner import (
     ResilientRunner,
     RetryPolicy,
@@ -29,7 +30,7 @@ SITES = ["bing.com", "github.com"]
 
 def permanently_failing_trial(label, index, rng, watchdog):
     if label == "github.com" and index == 1:
-        raise RuntimeError("permanent")
+        raise TrialError("permanent")
     return synthetic_trial_fn(label, index, rng, watchdog)
 
 
@@ -37,7 +38,7 @@ def coin_flip_trial(label, index, rng, watchdog):
     """Fails or succeeds deterministically per (coordinate, attempt):
     the retry/stall accounting must match serial bit for bit."""
     if int(rng.integers(0, 3)) == 0:
-        raise RuntimeError("transient")
+        raise TrialError("transient")
     return synthetic_trial_fn(label, index, rng, watchdog)
 
 
@@ -148,7 +149,7 @@ def test_execute_trial_reseeds_per_attempt():
 
     def failing(label, index, rng, watchdog):
         seen.append(int(rng.integers(0, 2**31)))
-        raise RuntimeError("always")
+        raise TrialError("always")
 
     outcome = execute_trial(
         failing, "bing.com", 0, 0, 5, RetryPolicy(max_attempts=3),

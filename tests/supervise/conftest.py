@@ -1,0 +1,24 @@
+"""Chaos-suite fixtures: never leak an obs session or a chaos env var."""
+
+import os
+
+import pytest
+
+from repro.obs import runtime
+from repro.supervise import CHAOS_ENV
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    runtime.disable()
+    os.environ.pop(CHAOS_ENV, None)
+    yield
+    runtime.disable()
+    os.environ.pop(CHAOS_ENV, None)
+
+
+@pytest.fixture
+def obs_session():
+    session = runtime.enable()
+    yield session
+    runtime.disable()

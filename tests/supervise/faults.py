@@ -1,0 +1,102 @@
+"""Picklable fault-injecting tasks and trial functions.
+
+Everything here is module-level (pools pickle tasks by reference) and
+guarded so a fault only ever fires inside a *worker* process — the
+supervisor's serial-degradation path runs tasks in the coordinating
+process, and killing that would kill the test run itself.
+
+"Once" semantics use a sentinel file claimed with O_CREAT|O_EXCL, the
+same mechanism as :func:`repro.supervise.chaos_maybe_fault`: exactly
+one claimant faults, every retry after it runs normally — which is
+what lets recovery tests assert byte-identity with an unfaulted run.
+"""
+
+import multiprocessing
+import os
+import time
+
+from tests.experiments.test_runner import synthetic_trial_fn
+
+
+def _in_worker() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def _claim(sentinel: str) -> bool:
+    try:
+        fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+# -- SupervisedPool tasks: task(items) -> payload -------------------------
+
+
+def echo_chunk(items):
+    """The well-behaved baseline task."""
+    return list(items)
+
+
+def crash_once_chunk(sentinel, items):
+    """Kill the hosting worker exactly once, then behave."""
+    if _in_worker() and _claim(sentinel):
+        os._exit(32)
+    return list(items)
+
+
+def poison_chunk(poison, items):
+    """Kill the worker whenever the poison item is in the chunk."""
+    if _in_worker() and poison in items:
+        os._exit(33)
+    return list(items)
+
+
+def always_crash_chunk(items):
+    """Kill the worker on every run (drives the circuit breaker); in
+    the coordinating process — the serial drain — it behaves."""
+    if _in_worker():
+        os._exit(34)
+    return list(items)
+
+
+def hang_once_chunk(sentinel, items):
+    """Hang far past any deadline exactly once, then behave."""
+    if _in_worker() and _claim(sentinel):
+        time.sleep(600)
+    return list(items)
+
+
+def raising_chunk(items):
+    raise ValueError("task raised, not crashed")
+
+
+# -- runner trial functions: (label, index, rng, watchdog) -> Trace -------
+
+#: The coordinate whose trial misbehaves in the runner-level tests.
+TARGET = ("github.com", 1)
+
+
+def crash_once_trial(sentinel, label, index, rng, watchdog):
+    """Kill the worker the first time the target trial runs."""
+    if (label, index) == TARGET and _in_worker() and _claim(sentinel):
+        os._exit(32)
+    return synthetic_trial_fn(label, index, rng, watchdog)
+
+
+def poison_trial(label, index, rng, watchdog):
+    """The target trial always kills its worker."""
+    if (label, index) == TARGET and _in_worker():
+        os._exit(33)
+    return synthetic_trial_fn(label, index, rng, watchdog)
+
+
+def sigterm_once_trial(sentinel, label, index, rng, watchdog):
+    """Deliver SIGTERM to the collecting process at the target trial,
+    exactly once — simulates a batch scheduler preempting the run."""
+    import signal
+
+    if (label, index) == TARGET and _claim(sentinel):
+        os.kill(os.getpid(), signal.SIGTERM)
+    return synthetic_trial_fn(label, index, rng, watchdog)

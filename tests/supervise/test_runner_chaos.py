@@ -1,0 +1,195 @@
+"""End-to-end chaos through the ResilientRunner.
+
+The acceptance bar: a collection that loses workers mid-run must
+produce the *same bytes* as an undisturbed serial run, poison trials
+must land in the report instead of sinking the run, and interruption
+(SIGTERM, SIGKILL-torn checkpoints) must stay resumable.
+"""
+
+import functools
+import json
+import os
+import signal
+
+import pytest
+
+from repro.capture.serialize import save_dataset
+from repro.errors import RunTerminated, WorkerCrashError
+from repro.experiments.runner import ResilientRunner, RunnerConfig
+from repro.supervise import SupervisorConfig
+from tests.experiments.test_runner import datasets_equal, synthetic_trial_fn
+from tests.supervise.faults import (
+    TARGET,
+    crash_once_trial,
+    poison_trial,
+    sigterm_once_trial,
+)
+
+SITES = ["bing.com", "github.com"]
+N_SAMPLES = 4
+
+
+def no_sleep_runner(config=None):
+    return ResilientRunner(config, sleep=lambda s: None)
+
+
+def npz_bytes(dataset, path) -> bytes:
+    save_dataset(dataset, str(path))
+    return path.read_bytes()
+
+
+def test_worker_crash_recovery_is_byte_identical(tmp_path):
+    serial, _ = no_sleep_runner(RunnerConfig(workers=1)).collect(
+        SITES, N_SAMPLES, synthetic_trial_fn, master_seed=7
+    )
+    trial_fn = functools.partial(crash_once_trial, str(tmp_path / "sentinel"))
+    crashed, report = no_sleep_runner(RunnerConfig(workers=2)).collect(
+        SITES, N_SAMPLES, trial_fn, master_seed=7
+    )
+    assert (tmp_path / "sentinel").exists(), "fault never fired"
+    assert datasets_equal(serial, crashed)
+    assert npz_bytes(serial, tmp_path / "a.npz") == npz_bytes(
+        crashed, tmp_path / "b.npz"
+    )
+    assert not report.failures
+
+
+def test_worker_crash_metrics_with_no_double_counting(tmp_path, obs_session):
+    trial_fn = functools.partial(crash_once_trial, str(tmp_path / "sentinel"))
+    _, report = no_sleep_runner(RunnerConfig(workers=2)).collect(
+        SITES, N_SAMPLES, trial_fn, master_seed=7
+    )
+    registry = obs_session.registry
+    assert registry.counter("supervisor.worker_restarts").value >= 1
+    assert registry.counter("supervisor.chunks_rescheduled").value >= 1
+    # The crashed chunk never ships its metric snapshot; only its
+    # replay does — so trial counters match the grid exactly.
+    assert registry.counter("runner.trials").value == len(SITES) * N_SAMPLES
+    assert (
+        registry.counter("runner.trials_completed").value
+        == len(SITES) * N_SAMPLES
+    )
+
+
+def test_poison_trial_is_quarantined_not_fatal(tmp_path):
+    config = RunnerConfig(
+        workers=2, supervisor=SupervisorConfig(max_worker_restarts=20)
+    )
+    dataset, report = no_sleep_runner(config).collect(
+        SITES, N_SAMPLES, poison_trial, master_seed=7
+    )
+    label, sample = TARGET
+    assert report.quarantined_trials == 1
+    assert "quarantined" in report.summary()
+    [failure] = [f for f in report.failures if f.error == "WorkerCrashError"]
+    assert (failure.label, failure.index) == TARGET
+    assert failure.attempts >= 2
+    # Every other trial matches the serial run of the same grid.
+    serial, _ = no_sleep_runner(RunnerConfig(workers=1)).collect(
+        SITES, N_SAMPLES, synthetic_trial_fn, master_seed=7
+    )
+    assert len(dataset.traces[label]) == N_SAMPLES - 1
+    others = [s for s in range(N_SAMPLES) if s != sample]
+    for got, want in zip(
+        dataset.traces[label], [serial.traces[label][s] for s in others]
+    ):
+        assert datasets_equal_traces(got, want)
+
+
+def datasets_equal_traces(a, b) -> bool:
+    import numpy as np
+
+    return (
+        np.array_equal(a.times, b.times)
+        and np.array_equal(a.directions, b.directions)
+        and np.array_equal(a.sizes, b.sizes)
+    )
+
+
+def test_poison_trial_fails_run_when_quarantine_disabled():
+    config = RunnerConfig(
+        workers=2,
+        supervisor=SupervisorConfig(max_worker_restarts=20, quarantine=False),
+    )
+    with pytest.raises(WorkerCrashError):
+        no_sleep_runner(config).collect(
+            SITES, N_SAMPLES, poison_trial, master_seed=7
+        )
+
+
+def test_sigterm_checkpoints_and_is_resumable(tmp_path):
+    checkpoint = str(tmp_path / "ckpt.npz")
+    config = RunnerConfig(checkpoint_path=checkpoint, checkpoint_every=1)
+    trial_fn = functools.partial(sigterm_once_trial, str(tmp_path / "sentinel"))
+
+    with pytest.raises(RunTerminated):
+        no_sleep_runner(config).collect(
+            SITES, N_SAMPLES, trial_fn, master_seed=7
+        )
+    # The final checkpoint was written on the way out...
+    assert os.path.exists(checkpoint)
+    assert os.path.exists(checkpoint + ".manifest.json")
+    # ...the original handler was restored...
+    assert signal.getsignal(signal.SIGTERM) == signal.SIG_DFL
+    # ...and the run resumes to a dataset identical to an undisturbed one.
+    resumed, report = no_sleep_runner(config).collect(
+        SITES, N_SAMPLES, trial_fn, master_seed=7, resume=True
+    )
+    assert report.resumed_trials > 0
+    serial, _ = no_sleep_runner().collect(
+        SITES, N_SAMPLES, synthetic_trial_fn, master_seed=7
+    )
+    assert datasets_equal(serial, resumed)
+
+
+def test_truncated_checkpoint_is_evicted_on_resume(tmp_path, obs_session):
+    checkpoint = str(tmp_path / "ckpt.npz")
+    config = RunnerConfig(checkpoint_path=checkpoint, checkpoint_every=1)
+    full, _ = no_sleep_runner(config).collect(
+        SITES, N_SAMPLES, synthetic_trial_fn, master_seed=7
+    )
+    # Simulate SIGKILL mid-write on a filesystem without atomic
+    # guarantees: the archive is torn in half.
+    blob = open(checkpoint, "rb").read()
+    with open(checkpoint, "wb") as handle:
+        handle.write(blob[: len(blob) // 2])
+
+    resumed, report = no_sleep_runner(config).collect(
+        SITES, N_SAMPLES, synthetic_trial_fn, master_seed=7, resume=True
+    )
+    assert report.resumed_trials == 0  # evicted, recollected from scratch
+    assert datasets_equal(full, resumed)
+    assert obs_session.registry.counter("runner.checkpoint_corrupt").value == 1
+
+
+def test_garbage_manifest_is_evicted_on_resume(tmp_path):
+    checkpoint = str(tmp_path / "ckpt.npz")
+    config = RunnerConfig(checkpoint_path=checkpoint, checkpoint_every=1)
+    full, _ = no_sleep_runner(config).collect(
+        SITES, N_SAMPLES, synthetic_trial_fn, master_seed=7
+    )
+    with open(checkpoint + ".manifest.json", "w") as handle:
+        handle.write("{ not json")
+
+    resumed, report = no_sleep_runner(config).collect(
+        SITES, N_SAMPLES, synthetic_trial_fn, master_seed=7, resume=True
+    )
+    assert report.resumed_trials == 0
+    assert datasets_equal(full, resumed)
+    # Both halves of the pair were removed before the rerun rewrote them.
+    manifest = json.load(open(checkpoint + ".manifest.json"))
+    assert manifest["fingerprint"]
+
+
+def test_checkpoint_fingerprint_mismatch_still_loud(tmp_path):
+    """Corruption eviction must not swallow the config-mismatch guard:
+    resuming someone else's checkpoint is an error, not an eviction."""
+    checkpoint = str(tmp_path / "ckpt.npz")
+    config = RunnerConfig(checkpoint_path=checkpoint, checkpoint_every=1)
+    no_sleep_runner(config).collect(
+        SITES, N_SAMPLES, synthetic_trial_fn, master_seed=7
+    )
+    with pytest.raises(ValueError, match="different run configuration"):
+        no_sleep_runner(config).collect(
+            SITES, N_SAMPLES, synthetic_trial_fn, master_seed=8, resume=True
+        )

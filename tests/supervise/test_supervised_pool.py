@@ -1,0 +1,162 @@
+"""SupervisedPool chaos tests: worker death, poison, breaker, hangs.
+
+Faults are real — workers genuinely ``os._exit`` or hang — so these
+tests exercise the actual ``BrokenProcessPool`` recovery machinery,
+not a simulation of it.
+"""
+
+import functools
+
+import pytest
+
+from repro.errors import WorkerCrashError
+from repro.supervise import (
+    QuarantinedTrial,
+    SupervisedPool,
+    SupervisorConfig,
+    SupervisorReport,
+)
+
+CHUNKS = [[0, 1], [2, 3], [4, 5], [6, 7]]
+
+
+def collect_into(sink):
+    def complete(payload):
+        sink.extend(payload)
+
+    return complete
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="max_worker_restarts"):
+        SupervisorConfig(max_worker_restarts=-1)
+    with pytest.raises(ValueError, match="max_chunk_crashes"):
+        SupervisorConfig(max_chunk_crashes=0)
+    with pytest.raises(ValueError, match="trial_deadline"):
+        SupervisorConfig(trial_deadline=0)
+    with pytest.raises(ValueError, match="soft_deadline_factor"):
+        SupervisorConfig(soft_deadline_factor=5.0, hard_deadline_factor=4.0)
+    with pytest.raises(ValueError, match="workers"):
+        SupervisedPool(0, print, print)
+
+
+def test_healthy_run_completes_everything():
+    from tests.supervise.faults import echo_chunk
+
+    got = []
+    report = SupervisedPool(2, echo_chunk, collect_into(got)).run(CHUNKS)
+    assert sorted(got) == list(range(8))
+    assert report == SupervisorReport()
+
+
+def test_worker_death_recovers_and_loses_nothing(tmp_path):
+    from tests.supervise.faults import crash_once_chunk
+
+    task = functools.partial(crash_once_chunk, str(tmp_path / "sentinel"))
+    got = []
+    report = SupervisedPool(2, task, collect_into(got)).run(CHUNKS)
+    assert sorted(got) == list(range(8))
+    assert report.worker_restarts >= 1
+    assert report.chunks_rescheduled >= 1
+    assert not report.quarantined
+    assert not report.breaker_tripped
+
+
+def test_poison_item_is_cornered_and_quarantined():
+    from tests.supervise.faults import poison_chunk
+
+    task = functools.partial(poison_chunk, 5)
+    got = []
+    config = SupervisorConfig(max_worker_restarts=20)
+    report = SupervisedPool(2, task, collect_into(got), config=config).run(CHUNKS)
+    # Everything except the poison item completes; bisection plus the
+    # isolation probe corner exactly item 5.
+    assert sorted(got) == [0, 1, 2, 3, 4, 6, 7]
+    assert [q.item for q in report.quarantined] == [5]
+    assert isinstance(report.quarantined[0], QuarantinedTrial)
+    assert report.quarantined[0].crashes >= 2
+    assert not report.breaker_tripped
+
+
+def test_quarantine_disabled_raises_worker_crash_error():
+    from tests.supervise.faults import poison_chunk
+
+    task = functools.partial(poison_chunk, 5)
+    config = SupervisorConfig(max_worker_restarts=20, quarantine=False)
+    with pytest.raises(WorkerCrashError, match="killed a worker"):
+        SupervisedPool(2, task, lambda payload: None, config=config).run(CHUNKS)
+
+
+def test_breaker_trips_and_degrades_to_serial():
+    from tests.supervise.faults import always_crash_chunk
+
+    got = []
+    config = SupervisorConfig(max_worker_restarts=1, max_chunk_crashes=50)
+    report = SupervisedPool(
+        2, always_crash_chunk, collect_into(got), config=config
+    ).run(CHUNKS)
+    # Workers always die, so the budget of 1 restart is blown quickly;
+    # the serial in-process drain (where the fault is inert) finishes.
+    assert report.breaker_tripped
+    assert report.worker_restarts == 2
+    assert report.serial_chunks >= 1
+    assert sorted(got) == list(range(8))
+
+
+def test_task_exceptions_propagate_not_supervised():
+    from tests.supervise.faults import raising_chunk
+
+    with pytest.raises(ValueError, match="task raised"):
+        SupervisedPool(2, raising_chunk, lambda payload: None).run(CHUNKS)
+
+
+def test_hung_worker_is_hard_killed_and_work_rescheduled(tmp_path):
+    from tests.supervise.faults import hang_once_chunk
+
+    task = functools.partial(hang_once_chunk, str(tmp_path / "sentinel"))
+    got = []
+    config = SupervisorConfig(
+        trial_deadline=0.1,
+        soft_deadline_factor=1.0,
+        hard_deadline_factor=2.0,
+        poll_interval=0.02,
+    )
+    report = SupervisedPool(2, task, collect_into(got), config=config).run(CHUNKS)
+    assert sorted(got) == list(range(8))
+    assert report.hard_kills >= 1
+    assert report.soft_deadline_warnings >= 1
+    assert report.worker_restarts >= 1
+    assert not report.quarantined
+
+
+def test_empty_and_trivial_inputs():
+    from tests.supervise.faults import echo_chunk
+
+    got = []
+    report = SupervisedPool(2, echo_chunk, collect_into(got)).run([])
+    assert got == [] and report == SupervisorReport()
+    report = SupervisedPool(2, echo_chunk, collect_into(got)).run([[], [9]])
+    assert got == [9]
+
+
+def test_obs_metrics_recorded(tmp_path, obs_session):
+    from tests.supervise.faults import crash_once_chunk
+
+    task = functools.partial(crash_once_chunk, str(tmp_path / "sentinel"))
+    SupervisedPool(2, task, lambda payload: None).run(CHUNKS)
+    registry = obs_session.registry
+    assert registry.counter("supervisor.worker_restarts").value >= 1
+    assert registry.counter("supervisor.chunks_rescheduled").value >= 1
+    assert registry.gauge("supervisor.breaker_state").last == 0
+
+
+def test_breaker_gauge_flips_open(obs_session):
+    from tests.supervise.faults import always_crash_chunk
+
+    config = SupervisorConfig(max_worker_restarts=0, max_chunk_crashes=50)
+    report = SupervisedPool(
+        2, always_crash_chunk, lambda payload: None, config=config
+    ).run([[1]])
+    assert report.breaker_tripped
+    assert obs_session.registry.gauge("supervisor.breaker_state").last == 1
+    assert obs_session.registry.counter("supervisor.serial_chunks").value >= 1

@@ -41,7 +41,22 @@ STAGE_VERSIONS = {
     "features": 1,  # k-FP feature extraction
     "eval": 1,      # model fit + k-fold evaluation
     "overhead": 1,  # bandwidth/latency overhead summaries
+    "campaign": 1,  # sharded campaign shard payloads (repro.campaign)
 }
+
+
+def campaign_shard_key(config_digest: str, shard_id: int) -> CacheKey:
+    """The cache key of one campaign shard's payload.
+
+    Reuses the canonical key machinery so campaign shards live in the
+    same content-addressed store as every other pipeline artifact: the
+    campaign's config digest is the upstream, the shard id the config.
+    Derivation-over-position means equal shards of equal campaigns —
+    run, resumed, or repaired — always land on the same key.
+    """
+    return CacheKey.derive(
+        "campaign", {"shard_id": int(shard_id)}, upstream=[config_digest]
+    )
 
 
 @dataclass(frozen=True)

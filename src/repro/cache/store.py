@@ -38,6 +38,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.cache.keys import CacheKey
 from repro.errors import ARTIFACT_DECODE_ERRORS
+from repro.ioutil import atomic_write_bytes
 from repro.obs import runtime as _obs_runtime
 
 #: Store format version, recorded in every metadata sidecar.
@@ -110,10 +111,10 @@ class ArtifactStore:
     # -- write path --------------------------------------------------------
 
     def _atomic_write(self, path: str, data: bytes) -> None:
-        tmp = f"{path}.{os.getpid()}.{next(self._tmp_seq)}.tmp"
-        with open(tmp, "wb") as handle:
-            handle.write(data)
-        os.replace(tmp, path)
+        # Cache entries are recomputable by construction, so the
+        # durability fsync is skipped: atomicity (no torn files) is the
+        # property readers rely on, not power-failure persistence.
+        atomic_write_bytes(path, data, fsync=False)
 
     def put_bytes(self, key: CacheKey, data: bytes, kind: str = "bytes") -> None:
         """Publish ``data`` under ``key`` (atomic; last writer wins)."""

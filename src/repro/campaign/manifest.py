@@ -1,0 +1,363 @@
+"""The campaign's durable metadata: signed manifest + shard sidecars.
+
+On-disk layout of a campaign directory::
+
+    dir/
+      campaign.json            immutable identity: config + its digest
+      MANIFEST.json            signed progress/integrity manifest
+      shards/
+        shard-00000.npz        one shard's traces (atomic, deterministic)
+        shard-00000.json       sidecar: the shard's record, signed
+
+Three files, three jobs:
+
+* ``campaign.json`` is written once, before any shard, and never
+  rewritten — it is the root of trust that survives anything short of
+  losing the directory;
+* ``MANIFEST.json`` is rewritten (atomically) after every published
+  shard.  It carries a **self-signature**: the SHA-256 of its own
+  canonical body.  A truncated, bit-flipped or hand-edited manifest
+  fails the signature check and is rejected as
+  :class:`~repro.errors.ManifestCorruptError` instead of being
+  trusted;
+* each sidecar duplicates its shard's manifest record (also signed,
+  also carrying the campaign digest).  Sidecars are what make manifest
+  loss a non-event: recovery re-adopts every shard whose sidecar and
+  payload digest agree, so **verified-clean shards are never discarded
+  or recomputed** just because the manifest died.
+
+Trust order: payload sha256 (in record) > sidecar > manifest — each
+level validates the one below before believing it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cache.canonical import digest
+from repro.campaign.config import (
+    CAMPAIGN_SCHEMA,
+    CAMPAIGN_VERSION,
+    CampaignConfig,
+    campaign_digest,
+)
+from repro.campaign.sharding import shard_name
+from repro.errors import ARTIFACT_DECODE_ERRORS, ManifestCorruptError
+from repro.ioutil import atomic_write_json
+from repro.web.generator import GENERATOR_VERSION
+from repro.web.pageload import PageLoadConfig
+
+#: Shard states a manifest may record.
+SHARD_DONE = "done"
+SHARD_QUARANTINED = "quarantined"
+_STATUSES = (SHARD_DONE, SHARD_QUARANTINED)
+
+
+# -- paths -----------------------------------------------------------------
+
+
+def config_path(directory: str) -> str:
+    return os.path.join(directory, "campaign.json")
+
+
+def manifest_path(directory: str) -> str:
+    return os.path.join(directory, "MANIFEST.json")
+
+
+def shards_dir(directory: str) -> str:
+    return os.path.join(directory, "shards")
+
+
+def shard_payload_path(directory: str, shard_id: int) -> str:
+    return os.path.join(shards_dir(directory), shard_name(shard_id) + ".npz")
+
+
+def shard_sidecar_path(directory: str, shard_id: int) -> str:
+    return os.path.join(shards_dir(directory), shard_name(shard_id) + ".json")
+
+
+# -- records ---------------------------------------------------------------
+
+
+@dataclass
+class TrialFailureRecord:
+    """One trial deterministically dropped inside a shard (e.g. a page
+    load that stalled through every retry attempt)."""
+
+    site_index: int
+    sample: int
+    error: str
+    message: str
+
+
+@dataclass
+class ShardRecord:
+    """One shard's durable state, as the manifest (and sidecar) see it."""
+
+    shard_id: int
+    start: int
+    stop: int
+    status: str
+    rows: int = 0
+    payload_sha256: str = ""
+    payload_bytes: int = 0
+    #: Trials dropped inside the shard (deterministic quarantines).
+    failures: List[TrialFailureRecord] = field(default_factory=list)
+    #: Shard-level quarantine reason ("" for done shards).
+    error: str = ""
+    error_class: str = ""
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardRecord":
+        try:
+            failures = [TrialFailureRecord(**f) for f in data.get("failures", [])]
+            record = cls(
+                shard_id=int(data["shard_id"]),
+                start=int(data["start"]),
+                stop=int(data["stop"]),
+                status=str(data["status"]),
+                rows=int(data.get("rows", 0)),
+                payload_sha256=str(data.get("payload_sha256", "")),
+                payload_bytes=int(data.get("payload_bytes", 0)),
+                failures=failures,
+                error=str(data.get("error", "")),
+                error_class=str(data.get("error_class", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ManifestCorruptError(f"malformed shard record: {exc}") from None
+        if record.status not in _STATUSES:
+            raise ManifestCorruptError(
+                f"shard {record.shard_id}: unknown status {record.status!r}"
+            )
+        return record
+
+
+@dataclass
+class CampaignManifest:
+    """The in-memory manifest: config digest + shard records by id."""
+
+    config_digest: str
+    n_shards: int
+    shards: Dict[int, ShardRecord] = field(default_factory=dict)
+
+    def record(self, record: ShardRecord) -> None:
+        self.shards[record.shard_id] = record
+
+    def done_ids(self) -> List[int]:
+        return sorted(
+            i for i, r in self.shards.items() if r.status == SHARD_DONE
+        )
+
+    def quarantined_ids(self) -> List[int]:
+        return sorted(
+            i for i, r in self.shards.items() if r.status == SHARD_QUARANTINED
+        )
+
+    def missing_ids(self) -> List[int]:
+        """Planned shards with no record at all (not yet executed)."""
+        return sorted(set(range(self.n_shards)) - set(self.shards))
+
+    def to_body(self) -> dict:
+        """The canonical (signable) dict form."""
+        return {
+            "schema": CAMPAIGN_SCHEMA,
+            "version": CAMPAIGN_VERSION,
+            "config_digest": self.config_digest,
+            "n_shards": self.n_shards,
+            "shards": [
+                self.shards[i].to_dict() for i in sorted(self.shards)
+            ],
+        }
+
+
+def _signed(body: dict) -> dict:
+    return {**body, "signature": digest(body)}
+
+
+def _verify_signature(data: dict, what: str) -> dict:
+    """Strip and check the self-signature; the unsigned body remains."""
+    if not isinstance(data, dict) or "signature" not in data:
+        raise ManifestCorruptError(f"{what}: missing signature")
+    body = {k: v for k, v in data.items() if k != "signature"}
+    if digest(body) != data["signature"]:
+        raise ManifestCorruptError(
+            f"{what}: signature mismatch (truncated or tampered)"
+        )
+    return body
+
+
+def _read_json(path: str, what: str) -> dict:
+    try:
+        with open(path, "rb") as handle:
+            return json.loads(handle.read().decode("utf-8"))
+    except FileNotFoundError:
+        raise
+    except ARTIFACT_DECODE_ERRORS as exc:
+        raise ManifestCorruptError(f"{what}: unreadable ({exc})") from None
+
+
+# -- campaign.json ---------------------------------------------------------
+
+
+def write_config(directory: str, config: CampaignConfig) -> str:
+    """Publish the immutable identity file; returns its digest."""
+    cfg_digest = campaign_digest(config)
+    atomic_write_json(
+        config_path(directory),
+        _signed(
+            {
+                "schema": CAMPAIGN_SCHEMA,
+                "version": CAMPAIGN_VERSION,
+                "generator_version": GENERATOR_VERSION,
+                "config": config.to_dict(),
+                "config_digest": cfg_digest,
+            }
+        ),
+    )
+    return cfg_digest
+
+
+def load_config(directory: str) -> CampaignConfig:
+    """Rebuild the :class:`CampaignConfig` from ``campaign.json``.
+
+    Raises :class:`~repro.errors.ManifestCorruptError` when the file is
+    unreadable, mis-signed, or its recorded digest does not match the
+    config it contains (any of which means the root of trust is gone
+    and repair needs the config re-supplied).
+    """
+    body = _verify_signature(
+        _read_json(config_path(directory), "campaign.json"), "campaign.json"
+    )
+    if body.get("schema") != CAMPAIGN_SCHEMA:
+        raise ManifestCorruptError(
+            f"campaign.json: schema {body.get('schema')!r} is not "
+            f"{CAMPAIGN_SCHEMA!r}"
+        )
+    if body.get("version") != CAMPAIGN_VERSION:
+        raise ManifestCorruptError(
+            f"campaign.json: version {body.get('version')!r}, this build "
+            f"reads {CAMPAIGN_VERSION}"
+        )
+    raw = dict(body.get("config") or {})
+    try:
+        pageload = PageLoadConfig(**raw.pop("pageload", {}))
+        config = CampaignConfig(pageload=pageload, **raw)
+    except (TypeError, ValueError) as exc:
+        raise ManifestCorruptError(f"campaign.json: bad config: {exc}") from None
+    if campaign_digest(config) != body.get("config_digest"):
+        raise ManifestCorruptError(
+            "campaign.json: config digest mismatch (written by a "
+            "different code version?)"
+        )
+    return config
+
+
+# -- MANIFEST.json ---------------------------------------------------------
+
+
+def write_manifest(directory: str, manifest: CampaignManifest) -> None:
+    """Atomically publish the signed manifest."""
+    atomic_write_json(manifest_path(directory), _signed(manifest.to_body()))
+
+
+def load_manifest(
+    directory: str, expect_digest: Optional[str] = None
+) -> CampaignManifest:
+    """Read and fully validate ``MANIFEST.json``.
+
+    Every way a manifest can lie is rejected here as
+    :class:`~repro.errors.ManifestCorruptError`: truncation/bit-flips
+    (signature), schema drift, a digest naming a different campaign,
+    duplicate shard entries, and out-of-range or malformed records.
+    """
+    body = _verify_signature(
+        _read_json(manifest_path(directory), "manifest"), "manifest"
+    )
+    if body.get("schema") != CAMPAIGN_SCHEMA or body.get("version") != CAMPAIGN_VERSION:
+        raise ManifestCorruptError(
+            f"manifest: schema/version {body.get('schema')!r}/"
+            f"{body.get('version')!r} not supported"
+        )
+    config_digest = str(body.get("config_digest", ""))
+    if expect_digest is not None and config_digest != expect_digest:
+        raise ManifestCorruptError(
+            "manifest belongs to a different campaign config "
+            f"({config_digest[:12]}… != {expect_digest[:12]}…)"
+        )
+    try:
+        n_shards = int(body["n_shards"])
+        raw_shards = list(body["shards"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ManifestCorruptError(f"manifest: malformed body: {exc}") from None
+    manifest = CampaignManifest(config_digest=config_digest, n_shards=n_shards)
+    for raw in raw_shards:
+        record = ShardRecord.from_dict(raw)
+        if record.shard_id in manifest.shards:
+            raise ManifestCorruptError(
+                f"manifest: duplicate entry for shard {record.shard_id}"
+            )
+        if not 0 <= record.shard_id < n_shards:
+            raise ManifestCorruptError(
+                f"manifest: shard {record.shard_id} out of range "
+                f"[0, {n_shards})"
+            )
+        manifest.record(record)
+    return manifest
+
+
+# -- sidecars --------------------------------------------------------------
+
+
+def write_sidecar(directory: str, config_digest: str, record: ShardRecord) -> None:
+    """Publish the shard's signed sidecar (after its payload)."""
+    atomic_write_json(
+        shard_sidecar_path(directory, record.shard_id),
+        _signed(
+            {
+                "schema": CAMPAIGN_SCHEMA,
+                "version": CAMPAIGN_VERSION,
+                "config_digest": config_digest,
+                "record": record.to_dict(),
+            }
+        ),
+    )
+
+
+def load_sidecar(
+    directory: str, shard_id: int, expect_digest: str
+) -> ShardRecord:
+    """Read and validate one shard sidecar.
+
+    Raises ``FileNotFoundError`` when absent and
+    :class:`~repro.errors.ManifestCorruptError` when present but
+    unreadable, mis-signed, for a different campaign, or naming a
+    different shard id than its filename.
+    """
+    what = f"sidecar {shard_name(shard_id)}"
+    body = _verify_signature(
+        _read_json(shard_sidecar_path(directory, shard_id), what), what
+    )
+    if body.get("config_digest") != expect_digest:
+        raise ManifestCorruptError(f"{what}: belongs to a different campaign")
+    record = ShardRecord.from_dict(dict(body.get("record") or {}))
+    if record.shard_id != shard_id:
+        raise ManifestCorruptError(
+            f"{what}: names shard {record.shard_id}, not {shard_id}"
+        )
+    return record
+
+
+def payload_sha256(path: str) -> str:
+    """Streaming SHA-256 of a shard payload file."""
+    h = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            h.update(block)
+    return h.hexdigest()

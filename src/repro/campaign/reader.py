@@ -1,0 +1,163 @@
+"""Streaming campaign access: one shard in memory at a time.
+
+A 1,000-site × 100-sample campaign is ~10⁵ traces — materialising it
+as one :class:`~repro.capture.dataset.Dataset` defeats the point of
+sharding.  :class:`CampaignReader` iterates shards in id order,
+holding exactly one decoded shard at a time, and (by default) verifies
+each payload's digest as it streams — a reader never silently consumes
+a bit-flipped shard, it raises :class:`~repro.errors.ShardCorruptError`
+naming it.
+
+:func:`stream_feature_matrix` is the canonical consumer: it folds each
+shard through k-FP feature extraction as it streams, so peak memory is
+one shard of traces plus the (orders-of-magnitude smaller) accumulated
+feature rows — constant in campaign size for the trace side.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.capture.dataset import Dataset
+from repro.capture.serialize import load_dataset
+from repro.capture.trace import Trace
+from repro.campaign.config import CampaignConfig, campaign_digest
+from repro.campaign.manifest import (
+    SHARD_DONE,
+    CampaignManifest,
+    ShardRecord,
+    load_config,
+    load_manifest,
+    payload_sha256,
+    shard_payload_path,
+)
+from repro.errors import ARTIFACT_DECODE_ERRORS, ShardCorruptError
+
+
+class CampaignReader:
+    """Read-only, shard-streaming access to a campaign directory.
+
+    ``verify=True`` (default) checks each payload's recorded SHA-256
+    before decoding it; the cost is one extra sequential read per
+    shard, and the payoff is that corruption surfaces at the shard that
+    carries it instead of as downstream NaNs.
+    """
+
+    def __init__(self, directory: str, verify: bool = True) -> None:
+        self.directory = directory
+        self.verify = verify
+        self.config: CampaignConfig = load_config(directory)
+        self.config_digest = campaign_digest(self.config)
+        self.manifest: CampaignManifest = load_manifest(
+            directory, expect_digest=self.config_digest
+        )
+
+    # -- shard-level --------------------------------------------------------
+
+    def done_records(self) -> List[ShardRecord]:
+        """Records of done shards, in shard-id order."""
+        return [self.manifest.shards[i] for i in self.manifest.done_ids()]
+
+    def load_shard(self, shard_id: int) -> Dataset:
+        """Decode one shard (digest-checked when ``verify``)."""
+        record = self.manifest.shards.get(shard_id)
+        if record is None or record.status != SHARD_DONE:
+            raise ShardCorruptError(
+                f"shard {shard_id} is not recorded done in the manifest"
+            )
+        path = shard_payload_path(self.directory, shard_id)
+        if not os.path.exists(path):
+            raise ShardCorruptError(f"shard {shard_id}: {path} is missing")
+        if self.verify:
+            actual = payload_sha256(path)
+            if actual != record.payload_sha256:
+                raise ShardCorruptError(
+                    f"shard {shard_id}: sha256 {actual[:12]}… != recorded "
+                    f"{record.payload_sha256[:12]}… — run `repro campaign "
+                    "repair`"
+                )
+        try:
+            return load_dataset(path)
+        except ARTIFACT_DECODE_ERRORS as exc:
+            raise ShardCorruptError(
+                f"shard {shard_id}: undecodable archive: {exc}"
+            ) from None
+
+    def iter_shards(self) -> Iterator[Tuple[ShardRecord, Dataset]]:
+        """Yield ``(record, dataset)`` per done shard, one at a time."""
+        for record in self.done_records():
+            yield record, self.load_shard(record.shard_id)
+
+    def iter_traces(self) -> Iterator[Tuple[str, Trace]]:
+        """Yield every ``(label, trace)`` in shard order, constant
+        memory in campaign size."""
+        for _, dataset in self.iter_shards():
+            for label in dataset.labels:
+                for trace in dataset.traces[label]:
+                    yield label, trace
+
+    # -- summaries ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """The ``repro campaign stats`` summary (cheap: records only)."""
+        records = list(self.manifest.shards.values())
+        done = [r for r in records if r.status == SHARD_DONE]
+        return {
+            "directory": self.directory,
+            "config_digest": self.config_digest,
+            "n_sites": self.config.n_sites,
+            "n_samples": self.config.n_samples,
+            "defense": self.config.defense,
+            "shards_planned": self.config.n_shards,
+            "shards_done": len(done),
+            "shards_quarantined": len(self.manifest.quarantined_ids()),
+            "shards_missing": len(self.manifest.missing_ids()),
+            "rows": sum(r.rows for r in done),
+            "trial_failures": sum(len(r.failures) for r in records),
+            "payload_bytes": sum(r.payload_bytes for r in done),
+        }
+
+
+def stream_feature_matrix(
+    directory: str,
+    workers: int = 1,
+    verify: bool = True,
+    extractor=None,
+) -> Tuple[np.ndarray, np.ndarray, List[str]]:
+    """k-FP features for a whole campaign without loading it at once.
+
+    Streams shard by shard, extracting features per shard (optionally
+    fanned out over ``workers`` processes) and accumulating only the
+    feature rows.  Returns ``(X, y, class_names)`` with ``y`` indexing
+    into ``class_names`` — the exact shapes
+    :mod:`repro.attacks` classifiers consume.  Row order is shard-major
+    then label-major within a shard: deterministic for a given
+    campaign, independent of worker count.
+    """
+    if extractor is None:
+        from repro.attacks.features.kfp import KfpFeatureExtractor
+
+        extractor = KfpFeatureExtractor()
+
+    reader = CampaignReader(directory, verify=verify)
+    blocks: List[np.ndarray] = []
+    label_runs: List[Tuple[str, int]] = []
+    for _, dataset in reader.iter_shards():
+        traces: List[Trace] = []
+        for label in dataset.labels:
+            shard_traces = dataset.traces[label]
+            traces.extend(shard_traces)
+            label_runs.append((label, len(shard_traces)))
+        if traces:
+            blocks.append(extractor.extract_many(traces, workers=workers))
+
+    class_names = sorted({label for label, _ in label_runs})
+    index = {label: i for i, label in enumerate(class_names)}
+    y = np.concatenate(
+        [np.full(count, index[label], dtype=np.int64) for label, count in label_runs]
+    ) if label_runs else np.empty(0, dtype=np.int64)
+    X = np.vstack(blocks) if blocks else np.empty((0, 0))
+    return X, y, class_names

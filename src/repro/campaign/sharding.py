@@ -1,0 +1,71 @@
+"""Shard planning: cutting the trial grid into durable units.
+
+The campaign's trial grid is flat and site-major: trial ``k`` is
+``(site_index, sample) = divmod(k, n_samples)``.  Shards are
+contiguous ``[start, stop)`` slices of that flat order, so a shard is
+identified entirely by its position — no shard list needs to be stored
+to know what shard 17 *should* contain, which is what makes repair and
+manifest recovery possible from nothing but the config.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.campaign.config import CampaignConfig
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's coordinates: ``[start, stop)`` of the flat grid."""
+
+    shard_id: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.shard_id < 0:
+            raise ValueError(f"shard_id must be >= 0, got {self.shard_id}")
+        if not 0 <= self.start < self.stop:
+            raise ValueError(
+                f"need 0 <= start < stop, got [{self.start}, {self.stop})"
+            )
+
+    @property
+    def n_trials(self) -> int:
+        return self.stop - self.start
+
+
+def shard_name(shard_id: int) -> str:
+    """Canonical shard file stem (``shard-00042``)."""
+    return f"shard-{shard_id:05d}"
+
+
+def shard_spec(config: CampaignConfig, shard_id: int) -> ShardSpec:
+    """The spec of shard ``shard_id`` under ``config`` (pure)."""
+    if not 0 <= shard_id < config.n_shards:
+        raise ValueError(
+            f"shard_id {shard_id} out of range [0, {config.n_shards})"
+        )
+    start = shard_id * config.shard_size
+    return ShardSpec(
+        shard_id=shard_id,
+        start=start,
+        stop=min(start + config.shard_size, config.n_trials),
+    )
+
+
+def plan_shards(config: CampaignConfig) -> List[ShardSpec]:
+    """Every shard of the campaign, in id order."""
+    return [shard_spec(config, i) for i in range(config.n_shards)]
+
+
+def shard_trials(config: CampaignConfig, spec: ShardSpec) -> List[Tuple[int, int]]:
+    """The ``(site_index, sample)`` coordinates covered by ``spec``."""
+    if spec.stop > config.n_trials:
+        raise ValueError(
+            f"shard [{spec.start}, {spec.stop}) exceeds the "
+            f"{config.n_trials}-trial grid"
+        )
+    return [divmod(k, config.n_samples) for k in range(spec.start, spec.stop)]

@@ -1,0 +1,391 @@
+"""End-to-end campaign integrity: detect everything, re-derive only
+what is bad, and prove the fix byte-for-byte.
+
+:func:`verify_campaign` is read-only and exhaustive: it walks every
+*planned* shard (the plan comes from the config, so a deleted file
+cannot hide by being absent) and checks the full trust chain —
+manifest signature, per-shard record/sidecar agreement, payload
+presence, size, streaming SHA-256, and (in deep mode) that the archive
+actually parses to the recorded row count.  Every deviation becomes a
+structured :class:`Finding`; a truncated byte, a flipped bit, a
+missing file and a duplicated record are all distinct findings, never
+silent.
+
+:func:`repair_campaign` is the write path and is deliberately boring:
+for each damaged shard it re-runs the *same* pure derivation the
+original run used and refuses — :class:`~repro.errors
+.RepairMismatchError`, fatal — unless the re-derived bytes hash to
+exactly the digest the manifest recorded.  Repair therefore cannot
+paper over code or config drift by quietly regenerating different
+data; byte-identity is checked, not assumed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.campaign.config import CampaignConfig, campaign_digest
+from repro.campaign.manifest import (
+    SHARD_DONE,
+    SHARD_QUARANTINED,
+    ShardRecord,
+    load_config,
+    load_manifest,
+    load_sidecar,
+    payload_sha256,
+    shard_payload_path,
+    write_manifest,
+    write_sidecar,
+)
+from repro.campaign.orchestrator import recover_manifest
+from repro.campaign.sharding import shard_spec
+from repro.campaign.worker import run_shard
+from repro.errors import (
+    ManifestCorruptError,
+    RepairMismatchError,
+)
+from repro.ioutil import atomic_write_bytes
+from repro.obs import runtime as _obs_runtime
+
+#: Finding kinds, for callers that dispatch on them.
+MANIFEST_CORRUPT = "manifest-corrupt"
+PAYLOAD_MISSING = "payload-missing"
+PAYLOAD_DIGEST = "payload-digest"
+PAYLOAD_ROWS = "payload-rows"
+SIDECAR_MISSING = "sidecar-missing"
+SIDECAR_CORRUPT = "sidecar-corrupt"
+SIDECAR_MISMATCH = "sidecar-mismatch"
+
+
+@dataclass
+class Finding:
+    """One detected integrity violation (``shard_id`` is ``-1`` for
+    campaign-level findings like a corrupt manifest)."""
+
+    kind: str
+    shard_id: int
+    detail: str
+
+    def __str__(self) -> str:
+        where = "manifest" if self.shard_id < 0 else f"shard {self.shard_id}"
+        return f"{self.kind} [{where}]: {self.detail}"
+
+
+@dataclass
+class VerifyReport:
+    """Everything :func:`verify_campaign` established."""
+
+    directory: str
+    config_digest: str
+    n_shards: int
+    findings: List[Finding] = field(default_factory=list)
+    #: Shards verified clean end-to-end.
+    clean: List[int] = field(default_factory=list)
+    #: Shards recorded quarantined (reported, not a corruption).
+    quarantined: List[int] = field(default_factory=list)
+    #: Planned shards with no record (campaign incomplete, not corrupt).
+    unexecuted: List[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no integrity violation was found (an *incomplete*
+        campaign can still be ok — completeness is a separate axis)."""
+        return not self.findings
+
+    @property
+    def complete(self) -> bool:
+        return not self.unexecuted and not self.quarantined
+
+    def damaged_shards(self) -> List[int]:
+        return sorted({f.shard_id for f in self.findings if f.shard_id >= 0})
+
+
+def _records_under_test(
+    directory: str, config: CampaignConfig, digest: str, report: VerifyReport
+) -> Dict[int, ShardRecord]:
+    """The per-shard records to verify against, preferring the manifest
+    and falling back to sidecars when the manifest itself is bad."""
+    try:
+        manifest = load_manifest(directory, expect_digest=digest)
+        return dict(manifest.shards)
+    except FileNotFoundError:
+        report.findings.append(
+            Finding(MANIFEST_CORRUPT, -1, "MANIFEST.json is missing")
+        )
+    except ManifestCorruptError as exc:
+        report.findings.append(Finding(MANIFEST_CORRUPT, -1, str(exc)))
+    # Fall back to sidecar records so shard-level damage is still
+    # enumerated precisely even with the manifest gone.
+    records: Dict[int, ShardRecord] = {}
+    for shard_id in range(config.n_shards):
+        try:
+            records[shard_id] = load_sidecar(directory, shard_id, digest)
+        except (FileNotFoundError, ManifestCorruptError):
+            continue
+    return records
+
+
+def verify_campaign(directory: str, deep: bool = True) -> VerifyReport:
+    """Check every planned shard of the campaign at ``directory``.
+
+    Read-only.  ``deep=True`` (default) additionally parses each
+    payload archive and checks its row count against the record —
+    catching archives that hash correctly but were recorded wrongly.
+    Raises :class:`~repro.errors.ManifestCorruptError` only when
+    ``campaign.json`` itself is unusable (without the config there is
+    no plan to verify against).
+    """
+    config = load_config(directory)
+    digest = campaign_digest(config)
+    report = VerifyReport(
+        directory=directory, config_digest=digest, n_shards=config.n_shards
+    )
+    records = _records_under_test(directory, config, digest, report)
+
+    for shard_id in range(config.n_shards):
+        record = records.get(shard_id)
+        if record is None:
+            report.unexecuted.append(shard_id)
+            continue
+        findings_before = len(report.findings)
+        spec = shard_spec(config, shard_id)
+        if (record.start, record.stop) != (spec.start, spec.stop):
+            report.findings.append(
+                Finding(
+                    SIDECAR_MISMATCH,
+                    shard_id,
+                    f"record spans [{record.start}, {record.stop}), plan "
+                    f"says [{spec.start}, {spec.stop})",
+                )
+            )
+        if record.status == SHARD_QUARANTINED:
+            report.quarantined.append(shard_id)
+            continue
+        _verify_payload(directory, shard_id, record, deep, report)
+        _verify_sidecar(directory, shard_id, record, digest, report)
+        if len(report.findings) == findings_before:
+            report.clean.append(shard_id)
+
+    obs = _obs_runtime.session()
+    if obs is not None:
+        obs.registry.counter("campaign.verify.shards_checked").add(
+            len(records)
+        )
+        obs.registry.counter("campaign.verify.findings").add(
+            len(report.findings)
+        )
+        obs.emit(
+            "campaign.verify",
+            "campaign",
+            findings=len(report.findings),
+            clean=len(report.clean),
+        )
+    return report
+
+
+def _verify_payload(
+    directory: str,
+    shard_id: int,
+    record: ShardRecord,
+    deep: bool,
+    report: VerifyReport,
+) -> None:
+    path = shard_payload_path(directory, shard_id)
+    if not os.path.exists(path):
+        report.findings.append(
+            Finding(PAYLOAD_MISSING, shard_id, f"{path} does not exist")
+        )
+        return
+    size = os.path.getsize(path)
+    if size != record.payload_bytes:
+        report.findings.append(
+            Finding(
+                PAYLOAD_DIGEST,
+                shard_id,
+                f"size {size} != recorded {record.payload_bytes} "
+                "(truncated or grown)",
+            )
+        )
+        return
+    actual = payload_sha256(path)
+    if actual != record.payload_sha256:
+        report.findings.append(
+            Finding(
+                PAYLOAD_DIGEST,
+                shard_id,
+                f"sha256 {actual[:12]}… != recorded "
+                f"{record.payload_sha256[:12]}…",
+            )
+        )
+        return
+    if deep:
+        from repro.capture.serialize import load_dataset
+
+        try:
+            dataset = load_dataset(path)
+        except Exception as exc:
+            report.findings.append(
+                Finding(PAYLOAD_ROWS, shard_id, f"archive unreadable: {exc}")
+            )
+            return
+        rows = sum(len(dataset.traces[label]) for label in dataset.labels)
+        if rows != record.rows:
+            report.findings.append(
+                Finding(
+                    PAYLOAD_ROWS,
+                    shard_id,
+                    f"{rows} rows in archive, record says {record.rows}",
+                )
+            )
+
+
+def _verify_sidecar(
+    directory: str,
+    shard_id: int,
+    record: ShardRecord,
+    digest: str,
+    report: VerifyReport,
+) -> None:
+    try:
+        sidecar = load_sidecar(directory, shard_id, digest)
+    except FileNotFoundError:
+        report.findings.append(
+            Finding(SIDECAR_MISSING, shard_id, "sidecar file does not exist")
+        )
+        return
+    except ManifestCorruptError as exc:
+        report.findings.append(Finding(SIDECAR_CORRUPT, shard_id, str(exc)))
+        return
+    if sidecar.to_dict() != record.to_dict():
+        report.findings.append(
+            Finding(
+                SIDECAR_MISMATCH,
+                shard_id,
+                "sidecar record disagrees with manifest record",
+            )
+        )
+
+
+@dataclass
+class RepairReport:
+    """What :func:`repair_campaign` changed."""
+
+    directory: str
+    #: Shards whose payloads were re-derived (byte-identical, proven).
+    rederived: List[int] = field(default_factory=list)
+    #: Shards whose sidecar was rewritten from the manifest record.
+    sidecars_rewritten: List[int] = field(default_factory=list)
+    #: Quarantined shards retried (only with ``retry_quarantined``).
+    retried: List[int] = field(default_factory=list)
+    manifest_recovered: bool = False
+    #: Damaged shards with no recorded digest anywhere — cannot be
+    #: repaired in place; ``run_campaign(resume=True)`` re-executes.
+    unrepairable: List[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.unrepairable
+
+
+def repair_campaign(
+    directory: str, retry_quarantined: bool = False
+) -> RepairReport:
+    """Re-derive exactly the damaged shards, byte-identically.
+
+    The repair loop is the same pure derivation as the original run:
+    :func:`~repro.campaign.worker.run_shard` from the stored config.
+    The re-derived bytes must hash to the digest the record holds —
+    a mismatch raises :class:`~repro.errors.RepairMismatchError`
+    (fatal: the code or config drifted under the campaign; regenerating
+    different bytes and calling it "repaired" would corrupt the dataset
+    semantically while making it look whole).
+
+    With ``retry_quarantined``, shards recorded quarantined are also
+    re-executed (their failure may have been infrastructure); success
+    replaces the quarantine record, failure keeps it.
+    """
+    config = load_config(directory)
+    digest = campaign_digest(config)
+    report = RepairReport(directory=directory)
+
+    # A corrupt/missing manifest is repaired first, from sidecars, so
+    # the per-shard pass below works against recovered records.
+    try:
+        manifest = load_manifest(directory, expect_digest=digest)
+    except (FileNotFoundError, ManifestCorruptError):
+        manifest = recover_manifest(directory, config, digest)
+        report.manifest_recovered = True
+
+    pre = verify_campaign(directory, deep=True)
+    by_shard: Dict[int, List[Finding]] = {}
+    for finding in pre.findings:
+        if finding.shard_id >= 0:
+            by_shard.setdefault(finding.shard_id, []).append(finding)
+
+    for shard_id, findings in sorted(by_shard.items()):
+        record = manifest.shards.get(shard_id)
+        if record is None or not record.payload_sha256:
+            report.unrepairable.append(shard_id)
+            continue
+        kinds = {f.kind for f in findings}
+        if kinds <= {SIDECAR_MISSING, SIDECAR_CORRUPT, SIDECAR_MISMATCH}:
+            # Payload proved clean; only the sidecar needs rewriting.
+            write_sidecar(directory, digest, record)
+            report.sidecars_rewritten.append(shard_id)
+            continue
+        _rederive(directory, config, digest, record)
+        report.rederived.append(shard_id)
+
+    if retry_quarantined:
+        for shard_id in manifest.quarantined_ids():
+            outcome = run_shard(config, shard_spec(config, shard_id))
+            if outcome.status != SHARD_DONE or outcome.payload is None:
+                continue
+            path = shard_payload_path(directory, shard_id)
+            atomic_write_bytes(path, outcome.payload)
+            record = outcome.to_record(
+                payload_sha256=hashlib.sha256(outcome.payload).hexdigest(),
+                payload_bytes=len(outcome.payload),
+            )
+            write_sidecar(directory, digest, record)
+            manifest.record(record)
+            report.retried.append(shard_id)
+
+    if report.manifest_recovered or report.retried:
+        write_manifest(directory, manifest)
+
+    obs = _obs_runtime.session()
+    if obs is not None:
+        obs.registry.counter("campaign.repair.rederived").add(
+            len(report.rederived)
+        )
+        obs.emit(
+            "campaign.repair",
+            "campaign",
+            rederived=len(report.rederived),
+            sidecars=len(report.sidecars_rewritten),
+            unrepairable=len(report.unrepairable),
+        )
+    return report
+
+
+def _rederive(
+    directory: str, config: CampaignConfig, digest: str, record: ShardRecord
+) -> None:
+    """Recompute one shard and prove byte-identity before publishing."""
+    spec = shard_spec(config, record.shard_id)
+    outcome = run_shard(config, spec)
+    payload = outcome.payload or b""
+    actual = hashlib.sha256(payload).hexdigest()
+    if actual != record.payload_sha256 or len(payload) != record.payload_bytes:
+        raise RepairMismatchError(
+            f"shard {record.shard_id}: re-derivation produced "
+            f"{actual[:12]}… ({len(payload)} B) but the manifest records "
+            f"{record.payload_sha256[:12]}… ({record.payload_bytes} B); "
+            "the code or config has drifted under this campaign"
+        )
+    atomic_write_bytes(shard_payload_path(directory, record.shard_id), payload)
+    write_sidecar(directory, digest, record)

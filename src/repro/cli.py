@@ -36,6 +36,15 @@ and reuses cached artifacts, so re-runs and partially-changed runs
 skip whatever already exists; ``--no-cache`` disables it for one run.
 ``repro cache stats|gc|verify`` inspects and maintains the store.
 
+``repro campaign run DIR`` collects a generated closed world
+(``--sites`` synthetic profiles × ``--samples`` visits, optionally
+under ``--defense``) in fixed-size shards, each published atomically
+with a signed sidecar and manifest; ``--resume`` re-derives only
+missing shards, byte-identically.  ``repro campaign verify|repair``
+detect and heal corrupt shards (exit non-zero iff corruption found —
+the same convention as ``repro cache verify``); ``repro campaign
+stats`` summarises a campaign directory.
+
 ``--metrics PATH`` / ``--trace PATH`` (collect/table2/adverse/sweep)
 turn on the :mod:`repro.obs` observability layer: counters, gauges and
 histograms from the simulator, TCP stack, Stob controller and runner
@@ -161,8 +170,11 @@ def _validate_common(parser: argparse.ArgumentParser, args) -> None:
     dataset = getattr(args, "dataset", None)
     if dataset is not None and not os.path.exists(dataset):
         parser.error(f"--dataset file not found: {dataset}")
-    if getattr(args, "resume", False):
-        if getattr(args, "checkpoint", None) is None:
+    if getattr(args, "resume", False) and hasattr(args, "checkpoint"):
+        # Campaign resume needs no checkpoint path — the campaign
+        # directory is the durable state; this pairing applies only to
+        # subcommands that expose --checkpoint.
+        if args.checkpoint is None:
             parser.error("--resume requires --checkpoint")
         if dataset is not None:
             parser.error("--resume collects traces; incompatible with --dataset")
@@ -175,6 +187,15 @@ def _validate_common(parser: argparse.ArgumentParser, args) -> None:
     cache = getattr(args, "cache", None)
     if cache is not None and os.path.isfile(cache):
         parser.error(f"--cache must be a directory, not a file: {cache}")
+    sites = getattr(args, "sites", None)
+    if sites is not None and sites < 1:
+        parser.error(f"--sites must be >= 1, got {sites}")
+    shard_size = getattr(args, "shard_size", None)
+    if shard_size is not None and shard_size < 1:
+        parser.error(f"--shard-size must be >= 1, got {shard_size}")
+    retries = getattr(args, "retries", None)
+    if retries is not None and retries < 1:
+        parser.error(f"--retries must be >= 1, got {retries}")
 
 
 def _store(args):
@@ -238,13 +259,17 @@ def _config(args):
 
 
 def _emit(text: str, out: Optional[str]) -> None:
-    """Print rendered results; also persist them when --out is given."""
+    """Print rendered results; also persist them when --out is given.
+
+    Written atomically (:mod:`repro.ioutil`): ``--out`` often points at
+    a tracked ``results/`` file, and an interrupt mid-write must not
+    replace a good previous result with a truncated one.
+    """
     print(text)
     if out:
-        directory = os.path.dirname(os.path.abspath(out))
-        os.makedirs(directory, exist_ok=True)
-        with open(out, "w") as handle:
-            handle.write(text + "\n")
+        from repro.ioutil import atomic_write_text
+
+        atomic_write_text(out, text + "\n")
 
 
 def cmd_collect(args) -> int:
@@ -477,15 +502,113 @@ def cmd_cache(args) -> int:
         )
         return 0
     if args.cache_command == "verify":
-        result = store.verify(delete=args.delete)
+        delete = args.delete_corrupt or args.delete
+        result = store.verify(delete=delete)
         print(
             f"verify: {result.ok} ok, {len(result.corrupt)} corrupt"
-            + (f", {result.deleted} deleted" if args.delete else "")
+            + (f", {result.deleted} deleted" if delete else "")
         )
         for relpath in result.corrupt:
             print(f"  corrupt: {relpath}")
-        return 0 if not result.corrupt or args.delete else 1
+        # Exit-code convention shared by every verify-style subcommand
+        # (`repro cache verify`, `repro campaign verify`): non-zero iff
+        # corruption was *found* — deleting/repairing it in the same
+        # invocation does not launder the signal, so CI and scripts
+        # always notice that corruption existed.
+        return 1 if result.corrupt else 0
     args._parser.error(f"unknown cache command {args.cache_command!r}")
+    return 2
+
+
+def cmd_campaign(args) -> int:
+    from repro.campaign import (
+        CampaignConfig,
+        CampaignReader,
+        repair_campaign,
+        run_campaign,
+        verify_campaign,
+    )
+    from repro.campaign.manifest import config_path
+
+    if args.campaign_command == "run":
+        config = None
+        if not (args.resume and os.path.exists(config_path(args.dir))):
+            config = CampaignConfig(
+                n_sites=args.sites,
+                n_samples=args.samples,
+                shard_size=args.shard_size,
+                seed=args.seed,
+                defense=args.defense,
+                retries=args.retries,
+            )
+        report = run_campaign(
+            args.dir,
+            config=config,
+            workers=args.workers,
+            resume=args.resume,
+            supervisor=_supervisor_config(args),
+            progress=lambda record: print(
+                f"  shard {record.shard_id:05d}: {record.status} "
+                f"({record.rows} rows, {len(record.failures)} failed trials)",
+                file=sys.stderr,
+            ),
+        )
+        print(
+            f"campaign {args.dir}: {len(report.executed)} shards executed, "
+            f"{len(report.resumed)} resumed, "
+            f"{len(report.adopted_orphans)} orphans adopted, "
+            f"{len(report.quarantined)} quarantined, "
+            f"{report.trial_failures} trial failures "
+            f"[{report.config_digest[:12]}]"
+        )
+        for shard_id in report.quarantined:
+            print(f"  quarantined: shard {shard_id:05d}")
+        return 0
+    if not os.path.exists(config_path(args.dir)):
+        # verify/repair/stats need an existing campaign (`run` returned
+        # above); a bad path is an argument error, not a crash.
+        args._parser.error(
+            f"no campaign at {args.dir!r} (campaign.json not found); "
+            "create one with `repro campaign run`"
+        )
+    if args.campaign_command == "verify":
+        report = verify_campaign(args.dir, deep=not args.shallow)
+        print(
+            f"verify {args.dir}: {len(report.clean)} clean, "
+            f"{len(report.findings)} findings, "
+            f"{len(report.quarantined)} quarantined, "
+            f"{len(report.unexecuted)} unexecuted "
+            f"of {report.n_shards} shards"
+        )
+        for finding in report.findings:
+            print(f"  {finding}")
+        # Same convention as `repro cache verify`: non-zero iff
+        # integrity findings.  Incompleteness (unexecuted/quarantined
+        # shards) is reported but is a resume/run concern, not
+        # corruption.
+        return 1 if report.findings else 0
+    if args.campaign_command == "repair":
+        report = repair_campaign(
+            args.dir, retry_quarantined=args.retry_quarantined
+        )
+        print(
+            f"repair {args.dir}: {len(report.rederived)} shards re-derived "
+            f"byte-identically, {len(report.sidecars_rewritten)} sidecars "
+            f"rewritten, {len(report.retried)} quarantined retried"
+            + (", manifest recovered" if report.manifest_recovered else "")
+        )
+        for shard_id in report.unrepairable:
+            print(
+                f"  unrepairable: shard {shard_id:05d} has no recorded "
+                "digest; re-execute with `repro campaign run --resume`"
+            )
+        return 0 if report.ok else 1
+    if args.campaign_command == "stats":
+        stats = CampaignReader(args.dir, verify=False).stats()
+        width = max(len(k) for k in stats)
+        print("\n".join(f"  {k:>{width}}: {v}" for k, v in stats.items()))
+        return 0
+    args._parser.error(f"unknown campaign command {args.campaign_command!r}")
     return 2
 
 
@@ -627,10 +750,84 @@ def build_parser() -> argparse.ArgumentParser:
             )
         if name == "verify":
             cp.add_argument(
-                "--delete", action="store_true",
-                help="delete corrupt entries (they will recompute on demand)",
+                "--delete-corrupt", action="store_true",
+                help="delete corrupt entries (they recompute on demand); "
+                "the exit code still reports that corruption was found",
+            )
+            cp.add_argument(
+                "--delete", action="store_true", help=argparse.SUPPRESS,
             )
         cp.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser(
+        "campaign",
+        help="sharded large-scale collection with integrity + repair",
+    )
+    campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
+
+    cp = campaign_sub.add_parser(
+        "run", help="run (or --resume) a sharded campaign into DIR"
+    )
+    cp.add_argument("dir", help="campaign directory")
+    cp.add_argument(
+        "--sites", type=int, default=1000,
+        help="generated sites (repro.web.generator profiles)",
+    )
+    cp.add_argument("--samples", type=int, default=10, help="visits per site")
+    cp.add_argument(
+        "--shard-size", type=int, default=100,
+        help="trials per shard (the unit of durability and repair)",
+    )
+    cp.add_argument("--seed", type=int, default=2025, help="master seed")
+    cp.add_argument(
+        "--defense", type=str, default=None,
+        help="registered defense applied to every trace (default: none)",
+    )
+    cp.add_argument(
+        "--retries", type=int, default=2,
+        help="attempts per trial before it is recorded failed",
+    )
+    cp.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted campaign from its last durable "
+        "shard (config flags are ignored; campaign.json is authoritative)",
+    )
+    _add_workers(cp)
+    _add_supervise(cp)
+    _add_obs(cp)
+    cp.set_defaults(func=cmd_campaign)
+
+    cp = campaign_sub.add_parser(
+        "verify",
+        help="check every shard's digests/records; exit 1 iff corrupt",
+    )
+    cp.add_argument("dir", help="campaign directory")
+    cp.add_argument(
+        "--shallow", action="store_true",
+        help="skip decoding archives (digest and record checks only)",
+    )
+    _add_obs(cp)
+    cp.set_defaults(func=cmd_campaign)
+
+    cp = campaign_sub.add_parser(
+        "repair",
+        help="re-derive damaged shards byte-identically; rebuild the "
+        "manifest from sidecars if needed",
+    )
+    cp.add_argument("dir", help="campaign directory")
+    cp.add_argument(
+        "--retry-quarantined", action="store_true",
+        help="also re-execute quarantined shards (success replaces the "
+        "quarantine record)",
+    )
+    _add_obs(cp)
+    cp.set_defaults(func=cmd_campaign)
+
+    cp = campaign_sub.add_parser(
+        "stats", help="summarise a campaign directory (records only)"
+    )
+    cp.add_argument("dir", help="campaign directory")
+    cp.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser(
         "report",

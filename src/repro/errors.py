@@ -34,6 +34,9 @@ nothing from the repo), so any layer may import it without cycles.
 
 from __future__ import annotations
 
+import contextlib
+import signal
+import threading
 import zipfile
 from typing import Tuple, Type
 
@@ -68,8 +71,30 @@ class CorruptArtifactError(InfrastructureError):
     file, digest mismatch, undecodable payload)."""
 
 
+class ManifestCorruptError(CorruptArtifactError):
+    """A campaign manifest failed validation (truncated JSON, bad
+    self-signature, schema mismatch, duplicate shard entries).  The
+    *shard data* is presumed fine: recovery rebuilds the manifest from
+    per-shard sidecars instead of discarding anything
+    (:func:`repro.campaign.orchestrator.recover_manifest`)."""
+
+
+class ShardCorruptError(CorruptArtifactError):
+    """One campaign shard failed validation (missing file, payload
+    digest mismatch, row-count drift).  Recovery is shard-scoped:
+    ``repro campaign repair`` re-derives exactly the bad shards from
+    their position-derived seeds."""
+
+
 class FatalError(ReproError):
     """A programming or configuration error.  Never retried."""
+
+
+class RepairMismatchError(FatalError):
+    """A deterministic re-derivation produced different bytes than the
+    manifest recorded.  That can only mean the code or config changed
+    under the campaign (or the manifest lies) — retrying cannot fix
+    it, so it is fatal and surfaces immediately."""
 
 
 class RunTerminated(BaseException):
@@ -80,6 +105,35 @@ class RunTerminated(BaseException):
     it must reach :meth:`ResilientRunner.collect`, which writes a final
     checkpoint and re-raises so the scheduler sees a clean shutdown.
     """
+
+
+@contextlib.contextmanager
+def sigterm_translated():
+    """Translate SIGTERM into :class:`RunTerminated` inside the block.
+
+    Container and batch schedulers signal shutdown with SIGTERM;
+    raising it as an exception lets long-running loops (the resilient
+    runner, the campaign orchestrator) unwind through their normal
+    finalisation — last durable checkpoint/manifest stays consistent —
+    and exit with the conventional 143.  Signal handlers can only be
+    installed from the main thread; elsewhere this is a no-op and the
+    caller relies on the surrounding process's handling.
+    """
+    if (
+        threading.current_thread() is not threading.main_thread()
+        or not hasattr(signal, "SIGTERM")
+    ):
+        yield
+        return
+
+    def _on_sigterm(signum, frame):
+        raise RunTerminated("SIGTERM received; finalising and exiting")
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 #: What the runner's retry loop catches.  Deliberately narrow: a trial

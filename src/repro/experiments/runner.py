@@ -34,8 +34,6 @@ import functools
 import json
 import logging
 import os
-import signal
-import threading
 import time
 import warnings
 from dataclasses import asdict, dataclass, field, replace
@@ -48,7 +46,9 @@ from repro.errors import (
     RETRYABLE_ERRORS,
     RunTerminated,
     TrialError,
+    sigterm_translated,
 )
+from repro.ioutil import atomic_write_json
 from repro.obs import runtime as _obs_runtime
 from repro.parallel import chunked, default_chunk_size, resolve_workers
 from repro.supervise import SupervisedPool, SupervisorConfig
@@ -408,12 +408,7 @@ class ResilientRunner:
             "indices": indices,
             "failures": [asdict(f) for f in failures],
         }
-        tmp = self._manifest_path(checkpoint_path) + ".tmp"
-        with open(tmp, "w") as handle:
-            json.dump(manifest, handle, indent=1, sort_keys=True)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, self._manifest_path(checkpoint_path))
+        atomic_write_json(self._manifest_path(checkpoint_path), manifest)
         obs = _obs_runtime.session()
         if obs is not None:
             obs.registry.counter("runner.checkpoint_writes").add(1)
@@ -600,31 +595,29 @@ class ResilientRunner:
             maybe_checkpoint()
 
         workers = resolve_workers(self.config.workers)
-        previous_sigterm = self._install_sigterm_handler()
-        try:
-            if workers > 1 and len(pending) > 1:
-                self._collect_parallel(
-                    pending, trial_fn, master_seed, workers, complete, report
-                )
-            else:
-                for label, site_index, sample in pending:
-                    if obs is not None:
-                        obs.emit(
-                            "trial.start", "runner", label=label, sample=sample
-                        )
-                    outcome = execute_trial(
-                        trial_fn, label, site_index, sample, master_seed,
-                        self.config.retry,
-                        wall_deadline=self.config.trial_wall_deadline,
-                        sleep=self._sleep,
-                        clock=self._clock,
+        with sigterm_translated():
+            try:
+                if workers > 1 and len(pending) > 1:
+                    self._collect_parallel(
+                        pending, trial_fn, master_seed, workers, complete, report
                     )
-                    complete(outcome)
-        except (KeyboardInterrupt, RunTerminated):
-            maybe_checkpoint(force=True)
-            raise
-        finally:
-            self._restore_sigterm_handler(previous_sigterm)
+                else:
+                    for label, site_index, sample in pending:
+                        if obs is not None:
+                            obs.emit(
+                                "trial.start", "runner", label=label, sample=sample
+                            )
+                        outcome = execute_trial(
+                            trial_fn, label, site_index, sample, master_seed,
+                            self.config.retry,
+                            wall_deadline=self.config.trial_wall_deadline,
+                            sleep=self._sleep,
+                            clock=self._clock,
+                        )
+                        complete(outcome)
+            except (KeyboardInterrupt, RunTerminated):
+                maybe_checkpoint(force=True)
+                raise
         # Failure order must not depend on completion order (the
         # checkpoint manifest and report are part of the deterministic
         # output surface).
@@ -638,31 +631,6 @@ class ResilientRunner:
                     results[label][i] for i in sorted(results[label])
                 ]
         return dataset, report
-
-    @staticmethod
-    def _install_sigterm_handler() -> Optional[object]:
-        """Translate SIGTERM into :class:`repro.errors.RunTerminated`.
-
-        Container and batch schedulers signal shutdown with SIGTERM;
-        handling it exactly like KeyboardInterrupt (final checkpoint,
-        then propagate) makes preempted runs resumable.  Signals can
-        only be installed from the main thread — elsewhere the runner
-        just relies on the caller's handling.
-        """
-        if threading.current_thread() is not threading.main_thread():
-            return None
-        if not hasattr(signal, "SIGTERM"):
-            return None
-
-        def _on_sigterm(signum, frame):
-            raise RunTerminated("SIGTERM received; checkpointing and exiting")
-
-        return signal.signal(signal.SIGTERM, _on_sigterm)
-
-    @staticmethod
-    def _restore_sigterm_handler(previous: Optional[object]) -> None:
-        if previous is not None:
-            signal.signal(signal.SIGTERM, previous)
 
     def _collect_parallel(
         self,

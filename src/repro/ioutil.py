@@ -1,0 +1,75 @@
+"""Atomic file publication — the one place crash-safe writes live.
+
+Every durable artifact this repo produces (cache payloads, checkpoint
+manifests, campaign shards, metrics snapshots, rendered results) must
+survive the same three accidents: a process killed mid-write, a disk
+that fills halfway through, and two processes publishing the same path
+concurrently.  The answer is always the same dance — stage the bytes
+in a uniquely named temporary file next to the destination, fsync,
+``os.replace`` — so it lives here once instead of being re-implemented
+(subtly differently) at every write site.
+
+Guarantees:
+
+* **all-or-nothing** — a reader of ``path`` sees either the previous
+  complete file or the new complete file, never a truncation;
+* **ENOSPC-clean** — when the write or fsync fails (disk full), the
+  temporary file is removed and ``path`` is untouched, so integrity
+  checks downstream (manifest digests, cache verification) keep
+  passing on everything already durable;
+* **last-writer-wins** — concurrent writers each stage a unique tmp
+  file; both renames land a complete file.
+
+``fsync=False`` trades the durability barrier for speed where the
+caller's protocol already tolerates losing the *newest* write on power
+failure (e.g. per-run stat snapshots); atomicity is kept either way.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from typing import Any
+
+_TMP_SEQ = itertools.count()
+
+
+def _tmp_path(path: str) -> str:
+    """A collision-free staging path next to ``path`` (same filesystem,
+    so the final ``os.replace`` is atomic)."""
+    return f"{path}.{os.getpid()}.{next(_TMP_SEQ)}.tmp"
+
+
+def atomic_write_bytes(path: str, data: bytes, fsync: bool = True) -> None:
+    """Publish ``data`` at ``path`` atomically (see module docstring)."""
+    path = os.path.abspath(path)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    tmp = _tmp_path(path)
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+
+
+def atomic_write_text(path: str, text: str, fsync: bool = True) -> None:
+    """Publish ``text`` (UTF-8) at ``path`` atomically."""
+    atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
+
+
+def atomic_write_json(
+    path: str, obj: Any, fsync: bool = True, indent: int = 1
+) -> None:
+    """Publish ``obj`` as deterministic JSON (sorted keys, trailing
+    newline) at ``path`` atomically."""
+    atomic_write_text(
+        path, json.dumps(obj, indent=indent, sort_keys=True) + "\n", fsync=fsync
+    )

@@ -339,14 +339,15 @@ class Registry:
     # -- persistence -------------------------------------------------------
 
     def dump(self, path: str) -> None:
-        """Write the snapshot as deterministic, sorted-key JSON."""
-        import os
+        """Write the snapshot as deterministic, sorted-key JSON.
 
-        directory = os.path.dirname(os.path.abspath(path))
-        os.makedirs(directory, exist_ok=True)
-        with open(path, "w") as handle:
-            json.dump(self.snapshot(), handle, indent=1, sort_keys=True)
-            handle.write("\n")
+        Published atomically: a metrics file is the last thing a run
+        writes, and a crash during finalisation must not leave a
+        truncated JSON where a complete previous snapshot stood.
+        """
+        from repro.ioutil import atomic_write_json
+
+        atomic_write_json(path, self.snapshot())
 
 
 def load_snapshot(path: str) -> Dict[str, object]:

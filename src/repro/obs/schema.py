@@ -30,7 +30,17 @@ Event kinds (v1)
 * ``tcp.rto`` — a retransmission timeout fired (``sim_time``,
   ``backoff``);
 * ``worker.merge`` — a worker metrics snapshot was folded into the
-  parent registry (``instruments``).
+  parent registry (``instruments``);
+* ``campaign.run.start`` / ``campaign.run.end`` — one sharded
+  campaign invocation (``shards``, ``resumed`` / ``executed``,
+  ``quarantined``);
+* ``campaign.shard.done`` / ``campaign.shard.quarantined`` — one
+  shard published durably (``shard``, ``rows``, ``failures``);
+* ``campaign.manifest.recovered`` — a corrupt/missing manifest was
+  rebuilt from shard sidecars (``adopted``, ``planned``);
+* ``campaign.verify`` / ``campaign.repair`` — integrity passes
+  (``findings``, ``clean`` / ``rederived``, ``sidecars``,
+  ``unrepairable``).
 
 The schema is append-only: v1 consumers must ignore unknown *detail*
 fields, and any change to required keys or their meaning bumps ``v``.
@@ -60,6 +70,13 @@ KNOWN_KINDS = frozenset(
         "pageload.stall",
         "tcp.rto",
         "worker.merge",
+        "campaign.run.start",
+        "campaign.run.end",
+        "campaign.shard.done",
+        "campaign.shard.quarantined",
+        "campaign.manifest.recovered",
+        "campaign.verify",
+        "campaign.repair",
     }
 )
 

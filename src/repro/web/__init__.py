@@ -14,6 +14,7 @@ transforms the paper emulates.
 """
 
 from repro.web.objects import PageSample, SiteProfile
+from repro.web.generator import generate_catalog, generate_profile, site_name
 from repro.web.sites import SITE_CATALOG, site_names
 from repro.web.pageload import (
     PageLoadConfig,
@@ -31,6 +32,9 @@ __all__ = [
     "PageSample",
     "SITE_CATALOG",
     "site_names",
+    "generate_catalog",
+    "generate_profile",
+    "site_name",
     "PageLoadConfig",
     "PageLoadResult",
     "PageLoadStalled",

@@ -1,0 +1,217 @@
+"""Parametric site-profile generator: thousands of seed-stable sites.
+
+The paper's world is the nine hand-tuned profiles of
+:mod:`repro.web.sites`; campaign-scale experiments (Tranco-like site
+lists, millions of traces) need thousands of *distinct, stable*
+profiles.  This module synthesises them:
+
+* **seed-stable and position-derived** — ``generate_profile(seed, i)``
+  is a pure function of ``(seed, i)``: it does not depend on how many
+  sites a campaign has, which shard asked, or what was generated
+  before.  That is what lets a campaign shard (or a repair run years
+  later) regenerate exactly the site it needs, byte-identically,
+  without materialising a catalogue;
+* **Zipf-shaped composition** — object counts and typical object sizes
+  follow bounded Zipf draws, matching the heavy-tailed page-weight
+  distributions of real crawls: most generated sites are light, a few
+  are image- or script-monsters;
+* **content families + CDN mixes** — each site draws a content family
+  (text / media / app-shell / commerce / social) fixing its object-kind
+  mixture, and a serving mix (CDN-heavy, origin, mixed) fixing its
+  think-time family and certificate-chain size range, so inter-site
+  variance has realistic *structure* rather than being i.i.d. noise.
+
+Generated names are ``site-000042.gen`` — disjoint from the nine real
+labels, so mixed datasets remain unambiguous.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.web.objects import ObjectClass, SiteProfile
+
+#: Domain-separation salt so profile randomness never collides with
+#: trial/visit seed streams derived from the same campaign seed.
+GENERATOR_SALT = 0x517E6E
+#: Bump when the generator's output changes for the same (seed, index)
+#: — folded into campaign config digests, so old manifests refuse to
+#: silently mix with differently generated sites.
+GENERATOR_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ContentFamily:
+    """One content archetype: what kinds of objects a page embeds."""
+
+    name: str
+    #: (kind name, count Zipf cap, log-size range in KB) per class.
+    classes: Tuple[Tuple[str, int, Tuple[float, float]], ...]
+    #: Range of dependency-round counts.
+    rounds: Tuple[int, int]
+    #: HTML size range (KB) the log-normal mean is drawn from.
+    html_kb: Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class ServingMix:
+    """How a site is served: think-time family + certificate range."""
+
+    name: str
+    #: Server think-time upper bound range (seconds); lower bound is
+    #: fixed at 4 ms like the hand-tuned catalogue.
+    think_hi: Tuple[float, float]
+    #: Certificate-flight size range the low edge is drawn from.
+    cert_low: Tuple[int, int]
+
+
+#: Content families, in a fixed order (indices are part of the stable
+#: derivation — append, never reorder).
+CONTENT_FAMILIES: Tuple[ContentFamily, ...] = (
+    ContentFamily(
+        "text",
+        classes=(
+            ("images", 12, (4.0, 60.0)),
+            ("css", 4, (20.0, 90.0)),
+            ("scripts", 8, (30.0, 120.0)),
+        ),
+        rounds=(1, 2),
+        html_kb=(30.0, 200.0),
+    ),
+    ContentFamily(
+        "media",
+        classes=(
+            ("photos", 40, (20.0, 300.0)),
+            ("scripts", 12, (80.0, 350.0)),
+            ("api", 10, (2.0, 12.0)),
+        ),
+        rounds=(2, 3),
+        html_kb=(40.0, 500.0),
+    ),
+    ContentFamily(
+        "app",
+        classes=(
+            ("scripts", 20, (80.0, 400.0)),
+            ("icons", 12, (1.5, 8.0)),
+            ("telemetry", 10, (1.0, 4.0)),
+        ),
+        rounds=(2, 3),
+        html_kb=(20.0, 120.0),
+    ),
+    ContentFamily(
+        "commerce",
+        classes=(
+            ("thumbnails", 30, (8.0, 60.0)),
+            ("scripts", 14, (60.0, 250.0)),
+            ("beacons", 12, (1.0, 3.0)),
+        ),
+        rounds=(2, 3),
+        html_kb=(50.0, 300.0),
+    ),
+    ContentFamily(
+        "social",
+        classes=(
+            ("photos", 24, (30.0, 200.0)),
+            ("scripts", 14, (100.0, 300.0)),
+            ("api", 12, (2.0, 10.0)),
+        ),
+        rounds=(2, 3),
+        html_kb=(30.0, 150.0),
+    ),
+)
+
+#: Serving mixes ("CDN mixes"): how fast responses come back and how
+#: heavy the certificate flight is.
+SERVING_MIXES: Tuple[ServingMix, ...] = (
+    ServingMix("cdn", think_hi=(0.010, 0.020), cert_low=(3400, 5000)),
+    ServingMix("origin", think_hi=(0.025, 0.045), cert_low=(2000, 3200)),
+    ServingMix("mixed", think_hi=(0.015, 0.035), cert_low=(2600, 4200)),
+)
+
+#: Zipf exponent for object-count draws (heavier tail than the uniform
+#: draws of :func:`repro.web.sites.random_profile`).
+ZIPF_EXPONENT = 1.6
+
+
+def site_name(index: int) -> str:
+    """The canonical label of generated site ``index``."""
+    if index < 0:
+        raise ValueError(f"site index must be >= 0, got {index}")
+    return f"site-{index:06d}.gen"
+
+
+def profile_rng(seed: int, index: int) -> np.random.Generator:
+    """The position-derived generator for site ``index``'s profile."""
+    return np.random.default_rng([GENERATOR_SALT, seed, index])
+
+
+def _zipf_bounded(rng: np.random.Generator, cap: int) -> int:
+    """A Zipf(:data:`ZIPF_EXPONENT`) draw folded into ``[1, cap]``.
+
+    Folding (modulo) rather than rejection keeps the draw a single rng
+    consumption, so profile derivation stays O(1) and reproducible
+    independent of the cap.
+    """
+    draw = int(rng.zipf(ZIPF_EXPONENT))
+    return 1 + (draw - 1) % max(1, cap)
+
+
+def generate_profile(seed: int, index: int) -> SiteProfile:
+    """Synthesise the stable profile of generated site ``index``.
+
+    A pure function of ``(seed, index)`` — see the module docstring for
+    why that is the load-bearing property.
+    """
+    rng = profile_rng(seed, index)
+    family = CONTENT_FAMILIES[int(rng.integers(0, len(CONTENT_FAMILIES)))]
+    serving = SERVING_MIXES[int(rng.integers(0, len(SERVING_MIXES)))]
+
+    classes = []
+    for kind, count_cap, (kb_lo, kb_hi) in family.classes:
+        count = _zipf_bounded(rng, count_cap)
+        # Typical size: log-uniform across the family's range, itself
+        # Zipf-tilted so most classes sit near the light end.
+        tilt = _zipf_bounded(rng, 8) / 8.0
+        log_kb = math.log(kb_lo) + tilt * (math.log(kb_hi) - math.log(kb_lo))
+        classes.append(
+            ObjectClass(
+                name=kind,
+                count_mean=float(count),
+                count_jitter=float(rng.uniform(0.10, 0.30)),
+                log_mean=log_kb + math.log(1024.0),
+                log_sigma=float(rng.uniform(0.3, 0.7)),
+            )
+        )
+    html_kb = math.exp(
+        rng.uniform(math.log(family.html_kb[0]), math.log(family.html_kb[1]))
+    )
+    cert_low = int(rng.integers(*serving.cert_low))
+    return SiteProfile(
+        name=site_name(index),
+        html_log_mean=math.log(html_kb * 1024.0),
+        html_log_sigma=float(rng.uniform(0.2, 0.35)),
+        object_classes=classes,
+        dependency_rounds=int(rng.integers(family.rounds[0], family.rounds[1] + 1)),
+        think_time=(0.004, float(rng.uniform(*serving.think_hi))),
+        cert_size=(cert_low, cert_low + int(rng.integers(300, 700))),
+    )
+
+
+def generate_catalog(
+    n_sites: int, seed: int, start: int = 0
+) -> Dict[str, SiteProfile]:
+    """``{name: profile}`` for sites ``start .. start + n_sites``.
+
+    Each entry equals an individual :func:`generate_profile` call —
+    the catalogue is a convenience view, not a unit of derivation.
+    """
+    if n_sites < 1:
+        raise ValueError(f"n_sites must be >= 1, got {n_sites}")
+    return {
+        site_name(i): generate_profile(seed, i)
+        for i in range(start, start + n_sites)
+    }

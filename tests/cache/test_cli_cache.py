@@ -43,7 +43,20 @@ def test_cache_verify_clean_then_corrupt(populated, capsys):
         f.write(b"tornX")
     assert main(["cache", "verify", "--cache", populated]) == 1
     assert "1 ok, 1 corrupt" in capsys.readouterr().out
-    assert main(["cache", "verify", "--cache", populated, "--delete"]) == 0
+    # Deleting the corruption does not launder the exit code: the
+    # invocation that *found* corruption reports it, and only a
+    # subsequent clean pass exits 0 (the convention `repro campaign
+    # verify` shares).
+    assert main(["cache", "verify", "--cache", populated, "--delete-corrupt"]) == 1
+    assert "1 deleted" in capsys.readouterr().out
+    assert main(["cache", "verify", "--cache", populated]) == 0
+
+
+def test_cache_verify_legacy_delete_alias(populated, capsys):
+    store = ArtifactStore(populated)
+    with open(store.payload_path(CacheKey.derive("eval", {"n": 1})), "wb") as f:
+        f.write(b"tornX")
+    assert main(["cache", "verify", "--cache", populated, "--delete"]) == 1
     assert "1 deleted" in capsys.readouterr().out
     assert main(["cache", "verify", "--cache", populated]) == 0
 

@@ -1,0 +1,27 @@
+"""Shared campaign fixtures: a tiny, fast campaign config."""
+
+import pytest
+
+from repro.campaign import CampaignConfig, run_campaign
+from repro.web.pageload import PageLoadConfig
+
+
+@pytest.fixture
+def tiny_config():
+    """6 sites x 2 samples in 4-trial shards: 3 shards, sub-second."""
+    return CampaignConfig(
+        n_sites=6,
+        n_samples=2,
+        shard_size=4,
+        seed=7,
+        pageload=PageLoadConfig(max_duration=30.0),
+    )
+
+
+@pytest.fixture
+def campaign_dir(tmp_path, tiny_config):
+    """A completed tiny campaign."""
+    directory = str(tmp_path / "campaign")
+    report = run_campaign(directory, tiny_config)
+    assert report.complete
+    return directory

@@ -1,0 +1,112 @@
+"""Regression: recovery from corrupt durable state must never discard
+shards that already verified clean.
+
+The resilient runner's checkpoint loader (PR 5) *evicts* a corrupt
+checkpoint and restarts collection from scratch — correct there,
+because a checkpoint is one monolithic artifact.  A campaign is not:
+its durable state is per-shard, each shard independently signed and
+digest-verified.  These tests pin down that every recovery path in
+:mod:`repro.campaign` (corrupt manifest on resume, deleted manifest,
+corrupt single shard) re-derives *only* what is actually bad and
+adopts everything that proves clean — eviction-style recovery would
+throw away hours of verified work.
+"""
+
+import os
+
+from repro.campaign import (
+    load_manifest,
+    recover_manifest,
+    repair_campaign,
+    run_campaign,
+    verify_campaign,
+)
+from repro.campaign.config import campaign_digest
+from repro.campaign.manifest import (
+    load_config,
+    manifest_path,
+    shard_payload_path,
+)
+
+
+def _payload_mtimes(directory, shard_ids):
+    return {
+        i: os.path.getmtime(shard_payload_path(directory, i))
+        for i in shard_ids
+    }
+
+
+def test_corrupt_manifest_resume_keeps_clean_shards(campaign_dir, tiny_config):
+    """Resuming over a corrupt manifest adopts every clean shard from
+    its sidecar instead of re-executing (or deleting) it."""
+    before = _payload_mtimes(campaign_dir, range(tiny_config.n_shards))
+    reference = {
+        i: r.payload_sha256
+        for i, r in load_manifest(campaign_dir).shards.items()
+    }
+    with open(manifest_path(campaign_dir), "w") as handle:
+        handle.write('{"torn": ')  # corrupt, undecodable
+    report = run_campaign(campaign_dir, resume=True)
+    assert report.executed == []  # nothing re-derived
+    assert sorted(report.resumed) == list(range(tiny_config.n_shards))
+    assert _payload_mtimes(campaign_dir, range(tiny_config.n_shards)) == before
+    assert {
+        i: r.payload_sha256
+        for i, r in load_manifest(campaign_dir).shards.items()
+    } == reference
+
+
+def test_recover_manifest_is_selective_not_evicting(campaign_dir, tiny_config):
+    """recover_manifest adopts exactly the shards whose sidecar and
+    payload digest agree; a damaged shard is dropped from the record,
+    the clean ones never are."""
+    with open(shard_payload_path(campaign_dir, 1), "r+b") as handle:
+        handle.seek(90)
+        handle.write(b"\x00\x00\x00")
+    os.remove(manifest_path(campaign_dir))
+    config = load_config(campaign_dir)
+    manifest = recover_manifest(
+        campaign_dir, config, campaign_digest(config)
+    )
+    assert sorted(manifest.shards) == [0, 2]  # shard 1 not adopted
+    # The clean shards are adopted with their original digests intact.
+    assert all(r.payload_sha256 for r in manifest.shards.values())
+
+
+def test_repair_touches_only_the_damaged_shard(campaign_dir, tiny_config):
+    """After single-shard corruption, repair re-derives that shard and
+    leaves every clean payload file physically untouched."""
+    clean_ids = [0, 2]
+    before = _payload_mtimes(campaign_dir, clean_ids)
+    with open(shard_payload_path(campaign_dir, 1), "r+b") as handle:
+        handle.truncate(32)
+    report = repair_campaign(campaign_dir)
+    assert report.rederived == [1]
+    assert _payload_mtimes(campaign_dir, clean_ids) == before
+    assert verify_campaign(campaign_dir).ok
+
+
+def test_runner_checkpoint_eviction_does_not_touch_campaign_dirs(
+    tmp_path, campaign_dir
+):
+    """A corrupt *runner* checkpoint living next to a campaign evicts
+    itself (monolithic artifact → restart from scratch) without any
+    collateral damage to the campaign's per-shard state — the two
+    recovery models coexist."""
+    from repro.experiments.runner import ResilientRunner
+
+    runner = ResilientRunner()
+    checkpoint = str(tmp_path / "checkpoint.npz")
+    with open(checkpoint, "wb") as handle:
+        handle.write(b"PK\x03\x04 torn")
+    with open(runner._manifest_path(checkpoint), "w") as handle:
+        handle.write('{"version": 1, "fingerprint')  # torn manifest
+    manifest_bytes = open(manifest_path(campaign_dir), "rb").read()
+
+    results, failures = runner._load_checkpoint(checkpoint, "fp")
+    assert (results, failures) == ({}, [])  # evicted, not crashed
+    assert not os.path.exists(checkpoint)
+    assert not os.path.exists(runner._manifest_path(checkpoint))
+    # The campaign next door is byte-for-byte untouched and clean.
+    assert open(manifest_path(campaign_dir), "rb").read() == manifest_bytes
+    assert verify_campaign(campaign_dir).ok

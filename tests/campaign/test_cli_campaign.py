@@ -1,0 +1,39 @@
+"""The `repro campaign` CLI surface: exit codes and argument probes."""
+
+import pytest
+
+from repro.campaign.manifest import shard_payload_path
+from repro.cli import main
+
+
+def test_cli_verify_repair_exit_codes(campaign_dir):
+    assert main(["campaign", "verify", campaign_dir]) == 0
+    with open(shard_payload_path(campaign_dir, 0), "r+b") as handle:
+        handle.truncate(16)
+    # Convention shared with `repro cache verify`: non-zero iff
+    # corruption was found; repair exits 0 once everything heals.
+    assert main(["campaign", "verify", campaign_dir]) == 1
+    assert main(["campaign", "repair", campaign_dir]) == 0
+    assert main(["campaign", "verify", campaign_dir]) == 0
+    assert main(["campaign", "stats", campaign_dir]) == 0
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["campaign", "run", "d", "--sites", "0"],
+        ["campaign", "run", "d", "--samples", "0"],
+        ["campaign", "run", "d", "--shard-size", "0"],
+        ["campaign", "run", "d", "--retries", "0"],
+        ["campaign", "run", "d", "--seed", "-3"],
+        ["campaign", "run", "d", "--workers", "-2"],
+        ["campaign", "verify", "/nonexistent-campaign"],
+        ["campaign", "repair", "/nonexistent-campaign"],
+        ["campaign", "stats", "/nonexistent-campaign"],
+    ],
+)
+def test_cli_rejects_bad_arguments_with_named_error(argv, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    assert "error:" in capsys.readouterr().err

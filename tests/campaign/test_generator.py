@@ -1,0 +1,91 @@
+"""The parametric site-profile generator: seed-stable, distinct,
+position-derived."""
+
+import numpy as np
+import pytest
+
+from repro.web.generator import (
+    CONTENT_FAMILIES,
+    SERVING_MIXES,
+    generate_catalog,
+    generate_profile,
+    site_name,
+)
+from repro.web.objects import SiteProfile
+from repro.web.pageload import load_page_result, PageLoadConfig
+from repro.web.sites import SITE_CATALOG
+
+
+def test_site_name_format_and_disjoint_from_handtuned():
+    assert site_name(0) == "site-000000.gen"
+    assert site_name(123456) == "site-123456.gen"
+    assert not set(site_name(i) for i in range(50)) & set(SITE_CATALOG)
+
+
+def test_site_name_rejects_negative():
+    with pytest.raises(ValueError):
+        site_name(-1)
+
+
+def test_profile_is_pure_function_of_seed_and_index():
+    a = generate_profile(3, 41)
+    b = generate_profile(3, 41)
+    assert a == b
+
+
+def test_profile_independent_of_generation_order():
+    """Site 41's profile does not depend on which sites were generated
+    before it — the property shard-scoped repair relies on."""
+    alone = generate_profile(3, 41)
+    catalog = generate_catalog(100, seed=3)
+    assert catalog[site_name(41)] == alone
+
+
+def test_different_indices_and_seeds_differ():
+    profiles = [generate_profile(0, i) for i in range(40)]
+    # Any two distinct sites must be distinguishable as profiles.
+    assert len({repr(p) for p in profiles}) == 40
+    assert generate_profile(1, 5) != generate_profile(2, 5)
+
+
+def test_profiles_are_structurally_valid():
+    for i in range(30):
+        profile = generate_profile(11, i)
+        assert isinstance(profile, SiteProfile)
+        assert profile.name == site_name(i)
+        assert 1 <= profile.dependency_rounds <= 3
+        assert profile.think_time[0] < profile.think_time[1]
+        assert profile.cert_size[0] < profile.cert_size[1]
+        assert len(profile.object_classes) >= 3
+        for cls in profile.object_classes:
+            assert cls.count_mean >= 1.0
+            assert cls.log_sigma > 0
+
+
+def test_family_and_mix_coverage():
+    """With enough sites every content family and serving mix occurs."""
+    profiles = [generate_profile(0, i) for i in range(200)]
+    think_his = {round(p.think_time[1], 6) for p in profiles}
+    assert len(CONTENT_FAMILIES) == 5 and len(SERVING_MIXES) == 3
+    # Think-time upper bounds span the full cdn..origin range.
+    assert min(think_his) < 0.020 and max(think_his) > 0.025
+
+
+def test_generated_profile_drives_a_page_load():
+    profile = generate_profile(7, 0)
+    result = load_page_result(
+        profile, PageLoadConfig(max_duration=30.0), np.random.default_rng(1)
+    )
+    assert result.completed
+    assert len(result.trace) > 10
+
+
+def test_generate_catalog_start_offset():
+    catalog = generate_catalog(5, seed=9, start=100)
+    assert sorted(catalog) == [site_name(i) for i in range(100, 105)]
+    assert catalog[site_name(102)] == generate_profile(9, 102)
+
+
+def test_generate_catalog_rejects_empty():
+    with pytest.raises(ValueError):
+        generate_catalog(0, seed=1)

@@ -1,0 +1,224 @@
+"""The injected-corruption checklist: every fault class is detected by
+verify and healed by repair, byte-identically."""
+
+import dataclasses
+import errno
+import json
+import os
+
+import pytest
+
+from repro.campaign import (
+    load_manifest,
+    repair_campaign,
+    run_campaign,
+    verify_campaign,
+)
+from repro.campaign.manifest import (
+    manifest_path,
+    payload_sha256,
+    shard_payload_path,
+    shard_sidecar_path,
+)
+from repro.campaign.verify import (
+    MANIFEST_CORRUPT,
+    PAYLOAD_DIGEST,
+    PAYLOAD_MISSING,
+    SIDECAR_CORRUPT,
+    SIDECAR_MISSING,
+)
+from repro.errors import RepairMismatchError
+
+
+def _digests(directory):
+    return {
+        i: r.payload_sha256
+        for i, r in load_manifest(directory).shards.items()
+    }
+
+
+def _assert_detected_and_healed(directory, reference, kinds):
+    """The shared arc: verify finds exactly `kinds`, repair heals,
+    re-verify is clean, digests match the pre-corruption reference."""
+    report = verify_campaign(directory)
+    assert not report.ok
+    assert {f.kind for f in report.findings} == kinds
+    repair = repair_campaign(directory)
+    assert repair.ok
+    healed = verify_campaign(directory)
+    assert healed.ok, [str(f) for f in healed.findings]
+    assert _digests(directory) == reference
+
+
+def test_bitflipped_shard_payload(campaign_dir):
+    reference = _digests(campaign_dir)
+    path = shard_payload_path(campaign_dir, 1)
+    with open(path, "r+b") as handle:
+        handle.seek(80)
+        byte = handle.read(1)
+        handle.seek(80)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+    _assert_detected_and_healed(campaign_dir, reference, {PAYLOAD_DIGEST})
+    # Healed payload is byte-identical, not merely digest-colliding in
+    # metadata: the file itself re-hashes to the recorded digest.
+    assert payload_sha256(path) == reference[1]
+
+
+def test_truncated_shard_payload(campaign_dir):
+    reference = _digests(campaign_dir)
+    path = shard_payload_path(campaign_dir, 0)
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(size // 2)
+    _assert_detected_and_healed(campaign_dir, reference, {PAYLOAD_DIGEST})
+
+
+def test_missing_shard_payload(campaign_dir):
+    reference = _digests(campaign_dir)
+    os.remove(shard_payload_path(campaign_dir, 2))
+    _assert_detected_and_healed(campaign_dir, reference, {PAYLOAD_MISSING})
+
+
+def test_truncated_manifest(campaign_dir):
+    reference = _digests(campaign_dir)
+    path = manifest_path(campaign_dir)
+    with open(path, "r+b") as handle:
+        handle.truncate(os.path.getsize(path) // 3)
+    _assert_detected_and_healed(campaign_dir, reference, {MANIFEST_CORRUPT})
+
+
+def test_missing_manifest(campaign_dir):
+    reference = _digests(campaign_dir)
+    os.remove(manifest_path(campaign_dir))
+    _assert_detected_and_healed(campaign_dir, reference, {MANIFEST_CORRUPT})
+
+
+def test_duplicate_shard_entry(campaign_dir):
+    """A manifest re-signed with a duplicated record is rejected for
+    the duplication itself, and repair rebuilds it from sidecars."""
+    from repro.cache.canonical import digest as canonical_digest
+
+    reference = _digests(campaign_dir)
+    path = manifest_path(campaign_dir)
+    data = json.loads(open(path).read())
+    del data["signature"]
+    data["shards"].append(dict(data["shards"][0]))
+    data["signature"] = canonical_digest(data)
+    with open(path, "w") as handle:
+        json.dump(data, handle)
+    _assert_detected_and_healed(campaign_dir, reference, {MANIFEST_CORRUPT})
+
+
+def test_corrupt_sidecar_is_rewritten_not_rederived(campaign_dir):
+    """Sidecar-only damage heals without touching the (clean) payload."""
+    reference = _digests(campaign_dir)
+    payload = shard_payload_path(campaign_dir, 1)
+    mtime = os.path.getmtime(payload)
+    with open(shard_sidecar_path(campaign_dir, 1), "w") as handle:
+        handle.write("{ not json")
+    report = verify_campaign(campaign_dir)
+    assert {f.kind for f in report.findings} == {SIDECAR_CORRUPT}
+    repair = repair_campaign(campaign_dir)
+    assert repair.sidecars_rewritten == [1]
+    assert repair.rederived == []
+    assert os.path.getmtime(payload) == mtime
+    assert verify_campaign(campaign_dir).ok
+    assert _digests(campaign_dir) == reference
+
+
+def test_missing_sidecar_detected(campaign_dir):
+    os.remove(shard_sidecar_path(campaign_dir, 0))
+    report = verify_campaign(campaign_dir)
+    assert {f.kind for f in report.findings} == {SIDECAR_MISSING}
+    assert repair_campaign(campaign_dir).sidecars_rewritten == [0]
+    assert verify_campaign(campaign_dir).ok
+
+
+def test_compound_corruption_one_pass(campaign_dir):
+    """Several fault classes at once: one repair pass heals them all."""
+    reference = _digests(campaign_dir)
+    os.remove(shard_payload_path(campaign_dir, 0))
+    with open(shard_payload_path(campaign_dir, 1), "r+b") as handle:
+        handle.seek(60)
+        handle.write(b"\x00\x00\x00\x00")
+    os.remove(shard_sidecar_path(campaign_dir, 2))
+    report = verify_campaign(campaign_dir)
+    assert {f.kind for f in report.findings} == {
+        PAYLOAD_MISSING,
+        PAYLOAD_DIGEST,
+        SIDECAR_MISSING,
+    }
+    repair = repair_campaign(campaign_dir)
+    assert repair.ok
+    assert sorted(repair.rederived) == [0, 1]
+    assert repair.sidecars_rewritten == [2]
+    assert verify_campaign(campaign_dir).ok
+    assert _digests(campaign_dir) == reference
+
+
+def test_repair_refuses_drifted_config(campaign_dir, tiny_config):
+    """If the recorded digest can no longer be reproduced (here: the
+    manifest lies about a shard's digest), repair raises instead of
+    silently regenerating different data."""
+    manifest = load_manifest(campaign_dir)
+    record = manifest.shards[1]
+    record.payload_sha256 = "0" * 64
+    record.payload_bytes = record.payload_bytes + 1
+    from repro.campaign.manifest import write_manifest, write_sidecar
+
+    write_manifest(campaign_dir, manifest)
+    write_sidecar(campaign_dir, manifest.config_digest, record)
+    with pytest.raises(RepairMismatchError, match="drifted"):
+        repair_campaign(campaign_dir)
+
+
+def test_enospc_mid_campaign_leaves_manifest_consistent(
+    tmp_path, tiny_config, monkeypatch
+):
+    """Disk full during the second shard's publish: the run aborts, but
+    the manifest stays consistent at the last durable shard and resume
+    completes to the same digests as an uninterrupted run."""
+    import repro.campaign.orchestrator as orchestrator
+
+    reference_dir = str(tmp_path / "reference")
+    run_campaign(reference_dir, tiny_config)
+    reference = _digests(reference_dir)
+
+    directory = str(tmp_path / "enospc")
+    real_write = orchestrator.atomic_write_bytes
+    published = []
+
+    def failing_write(path, data, **kw):
+        if path.endswith(".npz") and len(published) >= 1:
+            raise OSError(errno.ENOSPC, "No space left on device")
+        published.append(path)
+        return real_write(path, data, **kw)
+
+    monkeypatch.setattr(orchestrator, "atomic_write_bytes", failing_write)
+    with pytest.raises(OSError, match="No space left"):
+        run_campaign(directory, tiny_config)
+    monkeypatch.setattr(orchestrator, "atomic_write_bytes", real_write)
+
+    partial = verify_campaign(directory)
+    assert partial.ok  # nothing half-written
+    assert len(partial.clean) == 1
+    report = run_campaign(directory, resume=True)
+    assert report.complete
+    assert _digests(directory) == reference
+
+
+def test_verify_detects_all_injected_corruptions(campaign_dir):
+    """Acceptance sweep: inject N distinct corruptions, verify reports
+    every single one (100% detection)."""
+    injected = set()
+    with open(shard_payload_path(campaign_dir, 0), "r+b") as handle:
+        handle.seek(40)
+        handle.write(b"\xde\xad")
+    injected.add(0)
+    os.remove(shard_payload_path(campaign_dir, 1))
+    injected.add(1)
+    with open(shard_payload_path(campaign_dir, 2), "r+b") as handle:
+        handle.truncate(16)
+    injected.add(2)
+    report = verify_campaign(campaign_dir)
+    assert set(report.damaged_shards()) == injected

@@ -1,0 +1,181 @@
+"""Signed manifest + sidecar round-trips and every way they can lie."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignConfig, campaign_digest
+from repro.campaign.manifest import (
+    CampaignManifest,
+    ShardRecord,
+    TrialFailureRecord,
+    load_config,
+    load_manifest,
+    load_sidecar,
+    manifest_path,
+    write_config,
+    write_manifest,
+    write_sidecar,
+)
+from repro.errors import ManifestCorruptError
+
+
+@pytest.fixture
+def config():
+    return CampaignConfig(n_sites=4, n_samples=2, shard_size=4, seed=5)
+
+
+def _record(shard_id=0, **kw):
+    defaults = dict(
+        shard_id=shard_id,
+        start=shard_id * 4,
+        stop=shard_id * 4 + 4,
+        status="done",
+        rows=4,
+        payload_sha256="ab" * 32,
+        payload_bytes=123,
+    )
+    defaults.update(kw)
+    return ShardRecord(**defaults)
+
+
+def test_config_round_trip(tmp_path, config):
+    directory = str(tmp_path)
+    digest = write_config(directory, config)
+    assert load_config(directory) == config
+    assert digest == campaign_digest(config)
+
+
+def test_config_tamper_detected(tmp_path, config):
+    directory = str(tmp_path)
+    write_config(directory, config)
+    path = tmp_path / "campaign.json"
+    body = json.loads(path.read_text())
+    body["config"]["n_sites"] = 999
+    path.write_text(json.dumps(body))
+    with pytest.raises(ManifestCorruptError, match="signature"):
+        load_config(directory)
+
+
+def test_manifest_round_trip(tmp_path, config):
+    directory = str(tmp_path)
+    digest = write_config(directory, config)
+    manifest = CampaignManifest(config_digest=digest, n_shards=2)
+    manifest.record(
+        _record(
+            0,
+            failures=[
+                TrialFailureRecord(
+                    site_index=1, sample=0, error="PageLoadStalled", message="x"
+                )
+            ],
+        )
+    )
+    manifest.record(_record(1, status="quarantined", rows=0, payload_sha256=""))
+    write_manifest(directory, manifest)
+    loaded = load_manifest(directory, expect_digest=digest)
+    assert loaded.to_body() == manifest.to_body()
+    assert loaded.done_ids() == [0]
+    assert loaded.quarantined_ids() == [1]
+    assert loaded.missing_ids() == []
+    assert loaded.shards[0].failures[0].site_index == 1
+
+
+def test_manifest_truncation_detected(tmp_path, config):
+    directory = str(tmp_path)
+    manifest = CampaignManifest(config_digest="d" * 64, n_shards=1)
+    manifest.record(_record(0))
+    write_manifest(directory, manifest)
+    path = manifest_path(directory)
+    with open(path, "rb") as handle:
+        data = handle.read()
+    with open(path, "wb") as handle:
+        handle.write(data[: len(data) // 2])
+    with pytest.raises(ManifestCorruptError, match="unreadable"):
+        load_manifest(directory)
+
+
+def test_manifest_bitflip_detected(tmp_path):
+    directory = str(tmp_path)
+    manifest = CampaignManifest(config_digest="d" * 64, n_shards=1)
+    manifest.record(_record(0))
+    write_manifest(directory, manifest)
+    path = manifest_path(directory)
+    body = json.loads(open(path).read())
+    body["shards"][0]["rows"] = 999  # forged record, stale signature
+    with open(path, "w") as handle:
+        json.dump(body, handle)
+    with pytest.raises(ManifestCorruptError, match="signature"):
+        load_manifest(directory)
+
+
+def test_manifest_duplicate_shard_entry_detected(tmp_path):
+    """A duplicated record cannot hide even behind a valid signature."""
+    directory = str(tmp_path)
+    manifest = CampaignManifest(config_digest="d" * 64, n_shards=2)
+    manifest.record(_record(0))
+    body = manifest.to_body()
+    body["shards"].append(body["shards"][0])  # duplicate entry
+    from repro.cache.canonical import digest as canonical_digest
+    from repro.ioutil import atomic_write_json
+
+    atomic_write_json(
+        manifest_path(directory), {**body, "signature": canonical_digest(body)}
+    )
+    with pytest.raises(ManifestCorruptError, match="duplicate"):
+        load_manifest(directory)
+
+
+def test_manifest_wrong_campaign_detected(tmp_path):
+    directory = str(tmp_path)
+    write_manifest(
+        directory, CampaignManifest(config_digest="a" * 64, n_shards=1)
+    )
+    with pytest.raises(ManifestCorruptError, match="different campaign"):
+        load_manifest(directory, expect_digest="b" * 64)
+
+
+def test_manifest_out_of_range_shard_detected(tmp_path):
+    directory = str(tmp_path)
+    manifest = CampaignManifest(config_digest="d" * 64, n_shards=1)
+    manifest.record(_record(5))
+    write_manifest(directory, manifest)
+    with pytest.raises(ManifestCorruptError, match="out of range"):
+        load_manifest(directory)
+
+
+def test_manifest_unknown_status_detected(tmp_path):
+    directory = str(tmp_path)
+    manifest = CampaignManifest(config_digest="d" * 64, n_shards=1)
+    record = _record(0)
+    record.status = "maybe"
+    manifest.record(record)
+    write_manifest(directory, manifest)
+    with pytest.raises(ManifestCorruptError, match="unknown status"):
+        load_manifest(directory)
+
+
+def test_sidecar_round_trip_and_mismatches(tmp_path):
+    directory = str(tmp_path)
+    record = _record(0)
+    write_sidecar(directory, "d" * 64, record)
+    assert load_sidecar(directory, 0, "d" * 64) == record
+    with pytest.raises(ManifestCorruptError, match="different campaign"):
+        load_sidecar(directory, 0, "e" * 64)
+    with pytest.raises(FileNotFoundError):
+        load_sidecar(directory, 1, "d" * 64)
+
+
+def test_sidecar_naming_mismatch_detected(tmp_path):
+    """A sidecar renamed to another shard's slot is rejected."""
+    import shutil
+
+    from repro.campaign.manifest import shard_sidecar_path
+
+    directory = str(tmp_path)
+    write_sidecar(directory, "d" * 64, _record(0))
+    shutil.copy(
+        shard_sidecar_path(directory, 0), shard_sidecar_path(directory, 1)
+    )
+    with pytest.raises(ManifestCorruptError, match="names shard"):
+        load_sidecar(directory, 1, "d" * 64)

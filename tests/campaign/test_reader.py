@@ -1,0 +1,80 @@
+"""Streaming campaign consumption: constant-memory, digest-checked."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignReader, load_manifest, stream_feature_matrix
+from repro.campaign.manifest import shard_payload_path
+from repro.capture.serialize import load_dataset
+from repro.errors import ShardCorruptError
+
+
+def test_iter_shards_covers_every_row(campaign_dir, tiny_config):
+    reader = CampaignReader(campaign_dir)
+    rows = 0
+    seen_shards = []
+    for record, dataset in reader.iter_shards():
+        seen_shards.append(record.shard_id)
+        rows += dataset.num_traces
+    assert seen_shards == list(range(tiny_config.n_shards))
+    assert rows == tiny_config.n_trials
+
+
+def test_iter_traces_matches_full_load(campaign_dir, tiny_config):
+    reader = CampaignReader(campaign_dir)
+    streamed = [(label, len(trace)) for label, trace in reader.iter_traces()]
+    assert len(streamed) == tiny_config.n_trials
+    full = []
+    for shard_id in range(tiny_config.n_shards):
+        dataset = load_dataset(shard_payload_path(campaign_dir, shard_id))
+        for label in dataset.labels:
+            full.extend((label, len(t)) for t in dataset.traces[label])
+    assert streamed == full
+
+
+def test_reader_detects_corruption_at_the_shard(campaign_dir):
+    with open(shard_payload_path(campaign_dir, 1), "r+b") as handle:
+        handle.seek(70)
+        handle.write(b"\xff\xff")
+    reader = CampaignReader(campaign_dir)
+    reader.load_shard(0)  # clean shards still stream
+    with pytest.raises(ShardCorruptError, match="shard 1"):
+        reader.load_shard(1)
+
+
+def test_reader_verify_off_skips_digest_check(campaign_dir):
+    reader = CampaignReader(campaign_dir, verify=False)
+    assert reader.load_shard(0).num_traces > 0
+
+
+def test_reader_rejects_unknown_shard(campaign_dir):
+    reader = CampaignReader(campaign_dir)
+    with pytest.raises(ShardCorruptError, match="not recorded"):
+        reader.load_shard(99)
+
+
+def test_stream_feature_matrix_shapes_and_determinism(campaign_dir, tiny_config):
+    X, y, names = stream_feature_matrix(campaign_dir)
+    assert X.shape[0] == tiny_config.n_trials
+    assert y.shape == (tiny_config.n_trials,)
+    assert len(names) == tiny_config.n_sites
+    assert y.min() >= 0 and y.max() < len(names)
+    # Every site contributes exactly n_samples rows.
+    counts = np.bincount(y, minlength=len(names))
+    assert (counts == tiny_config.n_samples).all()
+    X2, y2, names2 = stream_feature_matrix(campaign_dir)
+    assert np.array_equal(X, X2) and np.array_equal(y, y2) and names == names2
+
+
+def test_stats_reflects_manifest(campaign_dir, tiny_config):
+    stats = CampaignReader(campaign_dir, verify=False).stats()
+    manifest = load_manifest(campaign_dir)
+    assert stats["shards_done"] == len(manifest.done_ids())
+    assert stats["rows"] == tiny_config.n_trials
+    assert stats["trial_failures"] == 0
+    assert stats["payload_bytes"] == sum(
+        os.path.getsize(shard_payload_path(campaign_dir, i))
+        for i in manifest.done_ids()
+    )

@@ -1,0 +1,85 @@
+"""Shard planning and the campaign config's identity digest."""
+
+import dataclasses
+
+import pytest
+
+from repro.campaign import CampaignConfig, campaign_digest, plan_shards, shard_spec
+from repro.campaign.sharding import ShardSpec, shard_name, shard_trials
+
+
+def _config(**kw):
+    defaults = dict(n_sites=7, n_samples=3, shard_size=5, seed=1)
+    defaults.update(kw)
+    return CampaignConfig(**defaults)
+
+
+def test_plan_covers_the_grid_exactly_once():
+    config = _config()
+    specs = plan_shards(config)
+    assert config.n_trials == 21 and config.n_shards == 5
+    covered = [k for s in specs for k in range(s.start, s.stop)]
+    assert covered == list(range(config.n_trials))
+
+
+def test_last_shard_is_short():
+    config = _config()
+    last = plan_shards(config)[-1]
+    assert last.n_trials == 1 and last.stop == config.n_trials
+
+
+def test_shard_trials_are_site_major():
+    config = _config()
+    trials = shard_trials(config, shard_spec(config, 1))
+    assert trials == [(1, 2), (2, 0), (2, 1), (2, 2), (3, 0)]
+
+
+def test_shard_spec_out_of_range():
+    config = _config()
+    with pytest.raises(ValueError):
+        shard_spec(config, config.n_shards)
+    with pytest.raises(ValueError):
+        shard_spec(config, -1)
+
+
+def test_shard_spec_validation():
+    with pytest.raises(ValueError):
+        ShardSpec(shard_id=0, start=5, stop=5)
+    with pytest.raises(ValueError):
+        ShardSpec(shard_id=-1, start=0, stop=1)
+
+
+def test_shard_name_is_zero_padded():
+    assert shard_name(3) == "shard-00003"
+
+
+def test_config_validation():
+    for bad in (
+        dict(n_sites=0),
+        dict(n_samples=0),
+        dict(shard_size=0),
+        dict(seed=-1),
+        dict(retries=0),
+        dict(defense="nonexistent-defense"),
+    ):
+        with pytest.raises(ValueError):
+            _config(**bad)
+
+
+def test_digest_moves_with_every_identity_field():
+    base = _config()
+    seen = {campaign_digest(base)}
+    for change in (
+        dict(n_sites=8),
+        dict(n_samples=4),
+        dict(shard_size=4),
+        dict(seed=2),
+        dict(defense="front"),
+        dict(retries=3),
+    ):
+        seen.add(campaign_digest(dataclasses.replace(base, **change)))
+    assert len(seen) == 7
+
+
+def test_digest_is_stable_across_equal_configs():
+    assert campaign_digest(_config()) == campaign_digest(_config())

@@ -1,0 +1,96 @@
+"""Atomic publication guarantees: all-or-nothing, ENOSPC-clean, no
+staging residue."""
+
+import errno
+import json
+import os
+
+import pytest
+
+from repro import ioutil
+from repro.ioutil import atomic_write_bytes, atomic_write_json, atomic_write_text
+
+
+def _listdir(path):
+    return sorted(os.listdir(path))
+
+
+def test_bytes_round_trip_and_no_tmp_residue(tmp_path):
+    target = str(tmp_path / "artifact.bin")
+    atomic_write_bytes(target, b"\x00\x01payload")
+    assert open(target, "rb").read() == b"\x00\x01payload"
+    assert _listdir(tmp_path) == ["artifact.bin"]
+
+
+def test_overwrite_replaces_completely(tmp_path):
+    target = str(tmp_path / "artifact.bin")
+    atomic_write_bytes(target, b"a much longer original payload")
+    atomic_write_bytes(target, b"short")
+    assert open(target, "rb").read() == b"short"
+
+
+def test_creates_missing_parent_directories(tmp_path):
+    target = str(tmp_path / "deep" / "nested" / "artifact.bin")
+    atomic_write_bytes(target, b"x")
+    assert open(target, "rb").read() == b"x"
+
+
+def test_text_round_trip_utf8(tmp_path):
+    target = str(tmp_path / "note.txt")
+    atomic_write_text(target, "tête-à-tête\n")
+    assert open(target, encoding="utf-8").read() == "tête-à-tête\n"
+
+
+def test_json_is_deterministic_sorted_with_newline(tmp_path):
+    target = str(tmp_path / "meta.json")
+    atomic_write_json(target, {"b": 2, "a": [1, {"z": 0, "y": 1}]})
+    text = open(target).read()
+    assert text.endswith("\n")
+    assert text.index('"a"') < text.index('"b"')
+    assert json.loads(text) == {"b": 2, "a": [1, {"z": 0, "y": 1}]}
+    atomic_write_json(str(tmp_path / "again.json"), {"a": [1, {"y": 1, "z": 0}], "b": 2})
+    assert open(str(tmp_path / "again.json")).read() == text
+
+
+def test_failed_write_leaves_previous_file_and_no_tmp(tmp_path, monkeypatch):
+    """Disk full mid-write: the destination keeps its previous complete
+    content and the staging file is cleaned up."""
+    target = str(tmp_path / "artifact.bin")
+    atomic_write_bytes(target, b"previous complete content")
+
+    def full_disk(fd):
+        raise OSError(errno.ENOSPC, "No space left on device")
+
+    monkeypatch.setattr(ioutil.os, "fsync", full_disk)
+    with pytest.raises(OSError, match="No space left"):
+        atomic_write_bytes(target, b"half-written garbage")
+    monkeypatch.undo()
+    assert open(target, "rb").read() == b"previous complete content"
+    assert _listdir(tmp_path) == ["artifact.bin"]
+
+
+def test_failed_first_write_leaves_nothing(tmp_path, monkeypatch):
+    """ENOSPC on a brand-new path must not leave a partial or empty
+    destination behind."""
+    target = str(tmp_path / "artifact.bin")
+
+    def full_disk(fd):
+        raise OSError(errno.ENOSPC, "No space left on device")
+
+    monkeypatch.setattr(ioutil.os, "fsync", full_disk)
+    with pytest.raises(OSError):
+        atomic_write_bytes(target, b"doomed")
+    assert _listdir(tmp_path) == []
+
+
+def test_staging_paths_are_unique_within_process(tmp_path):
+    target = str(tmp_path / "artifact.bin")
+    names = {ioutil._tmp_path(target) for _ in range(64)}
+    assert len(names) == 64
+
+
+def test_fsync_false_still_atomic(tmp_path):
+    target = str(tmp_path / "artifact.bin")
+    atomic_write_bytes(target, b"fast path", fsync=False)
+    assert open(target, "rb").read() == b"fast path"
+    assert _listdir(tmp_path) == ["artifact.bin"]

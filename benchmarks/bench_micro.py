@@ -134,6 +134,60 @@ def test_event_churn_vs_baseline(benchmark):
     assert run_event_churn(BaselineEventLoop(), 20_000) == executed
 
 
+class _BenchPacket:
+    """Minimal wire packet for link-layer benchmarks."""
+
+    __slots__ = ("wire_size",)
+
+    def __init__(self, wire_size):
+        self.wire_size = wire_size
+
+
+def run_link_bursts(link_factory=None, n_bursts=200, burst=32):
+    """Push TSO-sized bursts through one clean link; returns packets
+    delivered.  This isolates the vectorized transit path (cumsum
+    service schedule + batched delivery events) from TCP processing."""
+    from repro.simnet.engine import Simulator
+    from repro.simnet.entities import Link
+
+    sim = Simulator()
+    delivered = [0]
+
+    def receiver(_packet):
+        delivered[0] += 1
+
+    factory = link_factory or Link
+    link = factory(sim, 1.25e9, 0.01, receiver)
+    send_burst = getattr(link, "send_burst", None)
+    for _ in range(n_bursts):
+        packets = [_BenchPacket(1500) for _ in range(burst)]
+        if send_burst is not None:
+            send_burst(packets)
+        else:
+            for packet in packets:
+                link.send(packet)
+    sim.run()
+    assert delivered[0] == n_bursts * burst
+    return delivered[0]
+
+
+def link_burst_throughput(link_factory=None, repeats=5):
+    """Best-of-``repeats`` packets/second for :func:`run_link_bursts`."""
+    best = float("inf")
+    packets = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        packets = run_link_bursts(link_factory)
+        best = min(best, time.perf_counter() - started)
+    return packets / best
+
+
+def test_link_burst_transit(benchmark):
+    """Track the vectorized link transit path in isolation."""
+    packets = benchmark(run_link_bursts)
+    assert packets == 200 * 32
+
+
 def run_bulk_transfer():
     sim = Simulator()
     path = NetworkPath(rate=mbps(100), rtt=msec(20))

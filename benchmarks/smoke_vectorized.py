@@ -1,0 +1,182 @@
+"""Perf regression gate for the vectorized hot path (DESIGN §13).
+
+Measures the live simulator against the frozen pre-vectorization
+reference stack (``tests/differential/reference_stack.py``) **in the
+same process**, so the gate compares a machine-independent *ratio*
+rather than absolute wall-clock numbers — the same trick the obs
+overhead guard uses with :class:`benchmarks.bench_micro.BaselineEventLoop`.
+
+Two workloads:
+
+* **page loads** — fixed (site, seed) page-load simulations, the cost
+  center of every experiment (loads/second);
+* **event churn** — the raw event-loop workload from
+  :func:`benchmarks.bench_micro.run_event_churn` (events/second),
+  comparing the live loop against ``BaselineEventLoop``.
+
+Modes::
+
+    PYTHONPATH=src:. python benchmarks/smoke_vectorized.py            # gate
+    PYTHONPATH=src:. python benchmarks/smoke_vectorized.py --record   # rebaseline
+
+The gate (CI job ``vectorized-smoke``) recomputes both speedup ratios
+and fails if either has regressed more than :data:`TOLERANCE` (20 %)
+against the committed ``results/bench_baseline.json``.  ``--record``
+rewrites the baseline — only do that deliberately, with a perf change
+you intend to commit.  Absolute numbers are recorded informationally
+(they vary by machine); only the ratios gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+sys.path.insert(0, REPO)
+
+BASELINE_PATH = os.path.join(REPO, "results", "bench_baseline.json")
+
+#: Allowed regression of either speedup ratio against the baseline.
+TOLERANCE = 0.20
+
+#: The fixed page-load workload: (site, visit seed) pairs.
+PAGE_WORKLOAD = [
+    ("wikipedia.org", 0),
+    ("bing.com", 1),
+    ("github.com", 2),
+    ("wikipedia.org", 3),
+    ("bing.com", 4),
+]
+
+
+def _run_page_workload() -> int:
+    """Simulate the fixed workload once; returns total packets (sanity)."""
+    from repro.web.pageload import PageLoadConfig, load_page, visit_seed_rng
+    from repro.web.sites import SITE_CATALOG
+
+    config = PageLoadConfig()
+    packets = 0
+    for label, seed in PAGE_WORKLOAD:
+        rng = visit_seed_rng(seed, label, 0)
+        packets += len(load_page(SITE_CATALOG[label], config, rng))
+    return packets
+
+
+def page_load_rate(repeats: int = 3) -> float:
+    """Best-of-``repeats`` page loads per second on the live stack."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        packets = _run_page_workload()
+        best = min(best, time.perf_counter() - started)
+    assert packets > 1000, f"workload suspiciously small: {packets} packets"
+    return len(PAGE_WORKLOAD) / best
+
+
+def reference_page_load_rate(repeats: int = 3) -> float:
+    """Same workload through the frozen pre-vectorization stack."""
+    from tests.differential.reference_stack import reference_stack
+
+    with reference_stack():
+        return page_load_rate(repeats)
+
+
+def event_throughput() -> float:
+    """Live event-loop churn (events/second)."""
+    from benchmarks.bench_micro import event_churn_throughput
+    from repro.simnet.engine import EventLoop
+
+    return event_churn_throughput(EventLoop)
+
+
+def link_burst_rate() -> float:
+    """Vectorized link transit throughput (packets/second)."""
+    from benchmarks.bench_micro import link_burst_throughput
+
+    return link_burst_throughput()
+
+
+def reference_link_burst_rate() -> float:
+    """Same burst workload through the frozen reference link."""
+    from benchmarks.bench_micro import link_burst_throughput
+    from tests.differential.reference_stack import RefLink
+
+    return link_burst_throughput(RefLink)
+
+
+def baseline_event_throughput() -> float:
+    """Pre-observability baseline loop churn (events/second)."""
+    from benchmarks.bench_micro import BaselineEventLoop, event_churn_throughput
+
+    return event_churn_throughput(BaselineEventLoop)
+
+
+def measure() -> dict:
+    live_loads = page_load_rate()
+    ref_loads = reference_page_load_rate()
+    live_events = event_throughput()
+    base_events = baseline_event_throughput()
+    live_burst = link_burst_rate()
+    ref_burst = reference_link_burst_rate()
+    return {
+        "workload": [list(pair) for pair in PAGE_WORKLOAD],
+        "page_loads_per_sec": round(live_loads, 2),
+        "reference_page_loads_per_sec": round(ref_loads, 2),
+        "page_load_speedup": round(live_loads / ref_loads, 3),
+        "events_per_sec": round(live_events),
+        "baseline_events_per_sec": round(base_events),
+        "event_churn_speedup": round(live_events / base_events, 3),
+        "link_burst_packets_per_sec": round(live_burst),
+        "reference_link_burst_packets_per_sec": round(ref_burst),
+        "link_burst_speedup": round(live_burst / ref_burst, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--record", action="store_true",
+        help="rewrite results/bench_baseline.json from this run",
+    )
+    args = parser.parse_args(argv)
+
+    current = measure()
+    print(json.dumps(current, indent=1))
+
+    if args.record:
+        with open(BASELINE_PATH, "w") as handle:
+            json.dump(current, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline recorded -> {BASELINE_PATH}")
+        return 0
+
+    with open(BASELINE_PATH) as handle:
+        baseline = json.load(handle)
+
+    failures = []
+    for key in ("page_load_speedup", "event_churn_speedup",
+                "link_burst_speedup"):
+        floor = baseline[key] * (1.0 - TOLERANCE)
+        status = "ok" if current[key] >= floor else "REGRESSED"
+        print(
+            f"{key}: {current[key]:.3f} "
+            f"(baseline {baseline[key]:.3f}, floor {floor:.3f}) {status}"
+        )
+        if current[key] < floor:
+            failures.append(key)
+    if failures:
+        print(f"FAIL: {', '.join(failures)} regressed >{TOLERANCE:.0%}")
+        return 1
+    print("PASS: vectorized hot path within tolerance of committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

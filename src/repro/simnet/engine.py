@@ -1,9 +1,25 @@
 """Event loop for the discrete-event simulator.
 
-The core abstraction is :class:`Simulator`: a priority queue of
-:class:`Event` objects ordered by ``(time, sequence)``.  The sequence
-number makes event ordering fully deterministic when several events are
-scheduled for the same instant — crucial for reproducible experiments.
+The core abstraction is :class:`Simulator`: a priority queue of heap
+entries ordered by ``(time, sequence)``.  The sequence number makes
+event ordering fully deterministic when several events are scheduled
+for the same instant — crucial for reproducible experiments.
+
+The hot path is tuple-keyed (DESIGN §13): each heap entry is a plain
+``(time, seq, event, action)`` tuple, so ``heapq`` compares machine
+floats and ints in C instead of calling a dataclass ``__lt__`` per
+comparison (``Event.__lt__`` was ~13 % of page-load simulation time).
+Two scheduling tiers share the heap and one sequence counter:
+
+* :meth:`schedule` / :meth:`schedule_at` — allocate an :class:`Event`
+  handle supporting O(1) lazy cancellation (timers: RTO, delayed ACK);
+* :meth:`call_later` / :meth:`call_at` / :meth:`schedule_batch` — no
+  handle, no cancellation, no allocation beyond the tuple; the bulk of
+  simulation events (link transits, qdisc releases) never need to be
+  cancelled and take this path.
+
+Because both tiers draw from the same counter, ties still fire in
+exact scheduling order regardless of which API scheduled them.
 
 Example
 -------
@@ -22,7 +38,7 @@ import heapq
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.obs import runtime as _obs_runtime
 from repro.obs.metrics import pow2_edges
@@ -56,7 +72,10 @@ class EventLoop:
     """A deterministic min-heap event loop with a simulated clock."""
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        # Heap entries are (time, seq, event, action): `event` is an
+        # Event handle for cancellable entries, None for the fast path.
+        # seq is unique, so tuple comparison never reaches element 2.
+        self._heap: List[Tuple[float, int, Optional[Event], Callable[[], None]]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._processed = 0
@@ -90,6 +109,8 @@ class EventLoop:
         """Number of events still in the heap (including cancelled ones)."""
         return len(self._heap)
 
+    # -- cancellable tier --------------------------------------------------
+
     def schedule(self, delay: float, action: Callable[[], None]) -> Event:
         """Schedule ``action`` to run ``delay`` seconds from now.
 
@@ -107,18 +128,64 @@ class EventLoop:
                 f"cannot schedule at {when} before current time {self._now}"
             )
         event = Event(time=when, seq=next(self._seq), action=action)
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (when, event.seq, event, action))
         return event
+
+    # -- fast (non-cancellable) tier ---------------------------------------
+
+    def call_later(self, delay: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` after ``delay`` seconds, with no
+        cancellation handle (and no per-event allocation)."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        when = self._now + delay
+        heapq.heappush(self._heap, (when, next(self._seq), None, action))
+
+    def call_at(self, when: float, action: Callable[[], None]) -> None:
+        """Schedule ``action`` at absolute time ``when``, with no
+        cancellation handle."""
+        if when < self._now:
+            raise ValueError(
+                f"cannot schedule at {when} before current time {self._now}"
+            )
+        heapq.heappush(self._heap, (when, next(self._seq), None, action))
+
+    def schedule_batch(
+        self,
+        times: Iterable[float],
+        action: Callable[[], None],
+    ) -> None:
+        """Schedule ``action`` once per entry of ``times`` (absolute).
+
+        Sequence numbers are assigned in iteration order, so ties fire
+        in the order given — the batched equivalent of repeated
+        :meth:`call_at` calls.  Used by the link layer to post a whole
+        transit burst (service completion times come from one vectorized
+        cumulative sum) in a single call.
+        """
+        heap = self._heap
+        seq = self._seq
+        now = self._now
+        push = heapq.heappush
+        for when in times:
+            if when < now:
+                raise ValueError(
+                    f"cannot schedule at {when} before current time {now}"
+                )
+            push(heap, (when, next(seq), None, action))
+
+    # -- execution ---------------------------------------------------------
 
     def step(self) -> bool:
         """Run the next non-cancelled event.  Return False when empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            when, _seq, event, action = heapq.heappop(heap)
+            if event is not None and event.cancelled:
                 continue
             # The clock never goes backwards; schedule() guards the heap.
-            self._now = event.time
-            event.action()
+            self._now = when
+            action()
             self._processed += 1
             return True
         return False
@@ -162,21 +229,29 @@ class EventLoop:
         max_events: Optional[int],
     ) -> None:
         """The uninstrumented core of :meth:`run`."""
+        heap = self._heap
+        pop = heapq.heappop
         executed = 0
-        while self._heap:
+        while heap:
             if max_events is not None and executed >= max_events:
                 return
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
+            head = heap[0]
+            event = head[2]
+            if event is not None and event.cancelled:
+                pop(heap)
                 continue
-            if until is not None and head.time > until:
-                self._now = max(self._now, until)
+            when = head[0]
+            if until is not None and when > until:
+                if self._now < until:
+                    self._now = until
                 return
-            if self.step():
-                executed += 1
-        if until is not None:
-            self._now = max(self._now, until)
+            pop(heap)
+            self._now = when
+            head[3]()
+            self._processed += 1
+            executed += 1
+        if until is not None and self._now < until:
+            self._now = until
 
 
 class Simulator(EventLoop):

@@ -100,12 +100,13 @@ class SendBuffer:
         self.una = ack
         if self.nxt < self.una:
             self.nxt = self.una
-        fired, pending = [], []
-        for offset, callback in self._marks:
-            (fired if offset <= self.una else pending).append((offset, callback))
-        self._marks = pending
-        for _offset, callback in fired:
-            callback()
+        if self._marks:
+            fired, pending = [], []
+            for offset, callback in self._marks:
+                (fired if offset <= self.una else pending).append((offset, callback))
+            self._marks = pending
+            for _offset, callback in fired:
+                callback()
         return newly
 
     def rewind_for_retransmit(self) -> None:

@@ -28,7 +28,7 @@ class CcPhase(enum.Enum):
     PROBE_RTT = "probe_rtt"
 
 
-@dataclass
+@dataclass(slots=True)
 class AckSample:
     """Measurements delivered to the CCA on every ACK.
 

@@ -153,6 +153,34 @@ class RangeSet:
         self.version += 1
         return added
 
+    def add_many(self, ranges) -> int:
+        """Merge a batch of ``(start, end)`` ranges; return newly
+        covered bytes.
+
+        The resulting set and return value equal a fold of :meth:`add`
+        over ``ranges`` (a property test pins this), but the batch is
+        sorted and pre-merged first so overlapping input ranges cost one
+        splice instead of one each — the bulk-ACK path hands whole SACK
+        option arrays here.
+        """
+        batch = [(start, end) for start, end in ranges if end > start]
+        if not batch:
+            return 0
+        if len(batch) == 1:
+            return self.add(*batch[0])
+        batch.sort()
+        merged: List[Range] = []
+        for start, end in batch:
+            if merged and start <= merged[-1][1]:
+                if end > merged[-1][1]:
+                    merged[-1] = (merged[-1][0], end)
+            else:
+                merged.append((start, end))
+        before = self.total
+        for start, end in merged:
+            self.add(start, end)
+        return self.total - before
+
     def remove(self, start: int, end: int) -> int:
         """Erase ``[start, end)``; return bytes removed."""
         if end <= start or not self._ranges:

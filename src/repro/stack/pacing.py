@@ -60,6 +60,45 @@ class FlowPacer:
         self.total_extra_gap += extra_gap
         return departure
 
+    def schedule_batch(
+        self,
+        now: float,
+        wire_bytes_list,
+        pacing_rate: Optional[float],
+        extra_gap: float = 0.0,
+    ) -> list:
+        """Departure times for a run of segments released in one instant.
+
+        Equivalent to folding :meth:`schedule` over ``wire_bytes_list``
+        with the same ``now``/``pacing_rate``/``extra_gap`` — the same
+        left-to-right float additions, so the results are bit-identical
+        to the sequential calls (a property test pins this).
+        """
+        if extra_gap < 0:
+            raise ValueError(
+                f"extra_gap must be >= 0 (Stob may only delay), got {extra_gap}"
+            )
+        departures = []
+        next_allowed = self._next_allowed
+        paced = pacing_rate is not None and pacing_rate > 0
+        total_gap = self.total_extra_gap
+        for wire_bytes in wire_bytes_list:
+            if wire_bytes < 0:
+                raise ValueError(f"wire_bytes must be >= 0, got {wire_bytes}")
+            departure = (now if now > next_allowed else next_allowed) + extra_gap
+            if paced:
+                next_allowed = departure + wire_bytes / pacing_rate
+            else:
+                next_allowed = departure
+            # Accumulate by repeated addition (not gap * n) so the stat
+            # matches a sequential fold bit-for-bit.
+            total_gap += extra_gap
+            departures.append(departure)
+        self._next_allowed = next_allowed
+        self.scheduled_segments += len(departures)
+        self.total_extra_gap = total_gap
+        return departures
+
     def reset(self) -> None:
         """Forget pacing history (connection restart)."""
         self._next_allowed = 0.0

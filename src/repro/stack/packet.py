@@ -23,7 +23,7 @@ from repro.units import IPV4_HEADER, TCP_HEADER_TS
 HEADER_BYTES = IPV4_HEADER + TCP_HEADER_TS
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A TCP/IP wire packet.
 
@@ -69,12 +69,18 @@ class Packet:
     #: SACK blocks: up to three ``(start, end)`` received-out-of-order
     #: ranges, as in the TCP SACK option.
     sack: tuple = ()
+    #: Bytes on the wire, headers included.  Derived from payload_len
+    #: at construction (links and taps read it per packet — an
+    #: attribute, not a property, keeps the hot path free of descriptor
+    #: calls).
+    wire_size: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
         if self.direction not in (1, -1):
             raise ValueError(f"direction must be +1 or -1, got {self.direction}")
         if self.payload_len < 0:
             raise ValueError(f"payload_len must be >= 0, got {self.payload_len}")
+        self.wire_size = self.payload_len + HEADER_BYTES
 
     @property
     def end_seq(self) -> int:
@@ -82,17 +88,12 @@ class Packet:
         return self.seq + self.payload_len + (1 if (self.is_syn or self.is_fin) else 0)
 
     @property
-    def wire_size(self) -> int:
-        """Bytes on the wire, headers included."""
-        return self.payload_len + HEADER_BYTES
-
-    @property
     def is_data(self) -> bool:
         """True when the packet carries payload (real or dummy)."""
         return self.payload_len > 0
 
 
-@dataclass
+@dataclass(slots=True)
 class TsoSegment:
     """A transport-level super-segment handed to the lower stack layers.
 
@@ -117,30 +118,25 @@ class TsoSegment:
     #: holds the segment until this instant.  -1 means "now".
     not_before: float = -1.0
     dummy: bool = False
+    #: Geometry derived from ``packet_sizes`` at construction.  Segments
+    #: are never resized after being built (packetization decisions are
+    #: final once TCP hands the segment down), so these are plain
+    #: attributes rather than properties — the qdisc, pacer, NIC and CPU
+    #: model all read them on the per-segment hot path.
+    payload_len: int = field(default=0, compare=False)
+    num_packets: int = field(default=1, compare=False)
+    wire_size: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
         if any(size <= 0 for size in self.packet_sizes):
             raise ValueError(f"packet sizes must be positive: {self.packet_sizes}")
-
-    @property
-    def payload_len(self) -> int:
-        """Total payload bytes across all packets of the segment."""
-        return sum(self.packet_sizes)
+        self.payload_len = sum(self.packet_sizes)
+        self.num_packets = max(1, len(self.packet_sizes))
+        self.wire_size = self.payload_len + self.num_packets * HEADER_BYTES
 
     @property
     def end_seq(self) -> int:
         return self.seq + self.payload_len + (1 if (self.is_syn or self.is_fin) else 0)
-
-    @property
-    def num_packets(self) -> int:
-        """Number of wire packets this segment will become (>= 1; a
-        pure-ACK segment still emits one header-only packet)."""
-        return max(1, len(self.packet_sizes))
-
-    @property
-    def wire_size(self) -> int:
-        """Total bytes the segment will occupy on the wire."""
-        return self.payload_len + self.num_packets * HEADER_BYTES
 
     def split_packets(self, next_packet_id) -> list:
         """Materialise the wire packets (TSO split).

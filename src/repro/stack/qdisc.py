@@ -108,7 +108,7 @@ class FifoQdisc(Qdisc):
         self._queue.append(segment)
         if not self._draining:
             self._draining = True
-            self._sim.schedule(0.0, self._drain)
+            self._sim.call_later(0.0, self._drain)
 
     def _drain(self) -> None:
         while self._queue:
@@ -127,7 +127,13 @@ class FqQdisc(Qdisc):
         super().__init__(sim, sink, tsq_bytes)
         self._heap: List[Tuple[float, int, TsoSegment]] = []
         self._seq = itertools.count()
-        self._timer = None
+        # Softirq timer, deadline style (DESIGN §13): ``_armed`` is the
+        # earliest pending wakeup.  Wakeups are plain non-cancellable
+        # events; a wakeup that arrives before the head is due simply
+        # re-arms.  This trades the legacy cancel/reallocate churn (one
+        # Event per enqueue in the worst case) for the occasional
+        # harmless stale wakeup.
+        self._armed = float("inf")
         #: Last assigned departure per flow: fq keeps each flow FIFO,
         #: so a later segment (e.g. an unpaced retransmission) must not
         #: overtake already-queued segments of the same flow — doing so
@@ -149,18 +155,18 @@ class FqQdisc(Qdisc):
         if not self._heap:
             return
         head_time = self._heap[0][0]
-        if self._timer is not None and not self._timer.cancelled:
-            if self._timer.time <= head_time:
-                return
-            self._timer.cancel()
-        self._timer = self._sim.schedule_at(max(head_time, self._sim.now), self._fire)
+        now = self._sim.now
+        due = head_time if head_time > now else now
+        if self._armed > due:
+            self._armed = due
+            self._sim.call_at(due, self._fire)
 
     def _fire(self) -> None:
         now = self._sim.now
+        self._armed = float("inf")
         while self._heap and self._heap[0][0] <= now:
             _when, _seq, segment = heapq.heappop(self._heap)
             self._release(segment)
-        self._timer = None
         self._arm_timer()
 
     @property

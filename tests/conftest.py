@@ -1,7 +1,24 @@
-"""Shared fixtures."""
+"""Shared fixtures and test-session hygiene.
+
+Hypothesis profiles: the per-example deadline is disabled everywhere
+(a loaded CI runner trips the default 200 ms deadline on properties
+that are nowhere near quadratic), and under ``CI=...`` examples are
+derandomized so a red run reproduces locally from the printed seed.
+"""
+
+import os
 
 import numpy as np
 import pytest
+
+try:
+    from hypothesis import settings as _hyp_settings
+except ImportError:  # pragma: no cover - hypothesis is a test dep
+    pass
+else:
+    _hyp_settings.register_profile("dev", deadline=None)
+    _hyp_settings.register_profile("ci", deadline=None, derandomize=True)
+    _hyp_settings.load_profile("ci" if os.environ.get("CI") else "dev")
 
 from repro.capture.trace import IN, OUT, Trace
 

@@ -1,0 +1,1 @@
+"""Differential harness: live stack vs frozen reference."""

@@ -1,0 +1,17 @@
+"""Differential-suite fixtures: ordering safety.
+
+The metrics test enables the obs runtime; an autouse clean slate makes
+every test here independent of which test (in any suite) ran before it
+and guarantees no session leaks out, even on assertion failure.
+"""
+
+import pytest
+
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def _obs_clean_slate():
+    runtime.disable()
+    yield
+    runtime.disable()

@@ -1,98 +1,581 @@
-"""TCP endpoint: the transport half of the stack model.
+"""Frozen pre-vectorization reference stack (differential oracle).
 
-A :class:`TcpEndpoint` owns one side of a connection.  It implements
-the behaviours §2.3 identifies as the reason application-level WF
-defenses cannot control packet sequences:
+Verbatim copies -- extracted mechanically, renamed ``Ref*`` -- of the
+hot-path classes as they stood *before* the vectorized hot path
+(DESIGN §13) landed:
 
-* window-gated, *deferred* transmission — ``write()`` returns and the
-  stack transmits when cwnd/rwnd open on ACK arrival;
-* TSO segment construction with Linux-style autosizing;
-* fq pacing via earliest departure times;
-* TCP-Small-Queues backpressure from the qdisc (dynamic: ~2 ms of the
-  pacing rate, never below two segments);
-* SACK loss recovery: an RFC 6675-style scoreboard with pipe-limited,
-  dup-ACK-paced hole retransmission, an IsLost marking rule, and a
-  RACK-style knowledge horizon (holes younger than 1.5 sRTT are
-  presumed merely unreported, not lost);
-* retransmission timeout with exponential backoff; an RTO performs a
-  go-back-N rewind through the normal send path.
+* :class:`RefEventLoop` / :class:`RefSimulator` -- the per-event
+  dataclass-heap loop (``repro.simnet.engine``),
+* :class:`RefLink` -- the two-events-per-packet link transit
+  (``repro.simnet.entities``),
+* :class:`RefQdisc` / :class:`RefFifoQdisc` / :class:`RefFqQdisc` --
+  the timer-heap fq qdisc (``repro.stack.qdisc``),
+* :class:`RefNic` -- the per-packet TSO split loop
+  (``repro.stack.nic``),
+* :class:`RefTcpEndpoint` -- the TCP endpoint (``repro.stack.tcp``).
 
-Simplifications (documented, none affect the experiments):
+Like :class:`benchmarks.bench_micro.BaselineEventLoop`, these are
+FROZEN on purpose: they are the reference half of the differential
+golden-trace harness (``tests/differential/test_differential.py``),
+which replays identical page-load scenarios through this stack and the
+vectorized one and asserts byte-identical traces.  Do not "improve"
+or de-duplicate them against the live modules -- any change here
+silently weakens the oracle.
 
-* The three-way handshake uses flag packets that do not consume
-  sequence space; data stream offsets start at 0.
-* Pure ACKs bypass the qdisc and carry no CPU cost (the paper's
-  Figure 3 measures the *sender's* CPU efficiency).
-
-The Stob hook is ``segment_controller``: an object (see
-:class:`repro.stob.controller.StobController`) consulted for packet
-sizes, TSO sizing and extra departure gaps for every segment built.
+:func:`reference_stack` is the injection point: a context manager that
+patches the construction sites (``repro.web.pageload.Simulator``,
+``repro.simnet.path.Link``, ``repro.stack.host.{Nic,FqQdisc,FifoQdisc,
+TcpEndpoint}``) so everything built inside the ``with`` block uses the
+frozen classes.
 """
 
 from __future__ import annotations
 
+import abc
+import heapq
+import itertools
+import time
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Deque, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.obs import runtime as _obs_runtime
 from repro.obs.metrics import pow2_edges
-from repro.simnet.engine import Simulator
+from repro.simnet.entities import DropTailQueue, LinkStats
+from repro.simnet.faults import FaultPlan
 from repro.stack import intervals
 from repro.stack.buffers import ReceiveBuffer, SendBuffer
 from repro.stack.cc import make_cca
 from repro.stack.cc.base import AckSample
-from repro.stack.nic import Cpu
+from repro.stack.nic import Cpu, PacketTap
 from repro.stack.packet import Packet, TsoSegment
-from repro.stack.qdisc import Qdisc
 from repro.stack.pacing import FlowPacer
+from repro.stack.qdisc import DEFAULT_TSQ_BYTES, SegmentSink
+from repro.stack.tcp import CWND_EDGES, DUPACK_THRESHOLD, TcpConfig
 from repro.stack.tso import TsoPolicy
+from repro.units import serialization_delay
 
-#: Dup-ACK threshold for fast retransmit (RFC 5681).
-DUPACK_THRESHOLD = 3
-
-#: Fixed cwnd-sample bucket edges: 4 KiB .. 64 MiB, powers of two.
-CWND_EDGES = pow2_edges(1 << 12, 1 << 26)
+Receiver = Callable[[Any], None]
 
 
-@dataclass
-class TcpConfig:
-    """Tunables of a TCP endpoint (sysctl-ish defaults)."""
+#: Fixed bucket edges for the queue-depth histogram (deterministic
+#: output requires edges that never depend on the data).
+REF_QUEUE_DEPTH_EDGES = pow2_edges(1, 1 << 16)
 
-    mss: int = 1448
-    cc: str = "cubic"
-    receive_window: int = 1 << 24
-    send_buffer: Optional[int] = None
-    pacing: bool = True
-    tso: TsoPolicy = field(default_factory=TsoPolicy)
-    min_rto: float = 0.2
-    max_rto: float = 60.0
-    initial_rto: float = 1.0
-    delayed_ack_packets: int = 2
-    delayed_ack_timeout: float = 0.04
-    #: Number of quick-ACK packets at connection start (Linux acks the
-    #: slow-start burst immediately to grow the peer's window fast).
-    quickack_packets: int = 16
 
-    def __post_init__(self) -> None:
-        if self.mss <= 0:
-            raise ValueError(f"mss must be positive, got {self.mss}")
-        if self.delayed_ack_packets < 1:
-            raise ValueError(
-                f"delayed_ack_packets must be >= 1, got {self.delayed_ack_packets}"
+@dataclass(order=True)
+class RefEvent:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)`` so that simultaneous events fire
+    in the order they were scheduled.  ``cancelled`` events stay in the
+    heap but are skipped when popped (lazy deletion), which keeps
+    cancellation O(1).
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the loop skips it."""
+        self.cancelled = True
+
+
+class RefEventLoop:
+    """A deterministic min-heap event loop with a simulated clock."""
+
+    def __init__(self) -> None:
+        self._heap: List[RefEvent] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+        # Observability: instrument handles are resolved once here so
+        # the disabled path costs the loop a single `is not None` check
+        # per run() call — never per event.
+        obs = _obs_runtime.session()
+        self._obs = obs
+        if obs is not None:
+            registry = obs.registry
+            self._obs_events = registry.counter("simnet.events_processed")
+            self._obs_sim_seconds = registry.counter("simnet.sim_seconds")
+            self._obs_wall = registry.timer("simnet.wall")
+            self._obs_depth = registry.histogram(
+                "simnet.queue_depth", REF_QUEUE_DEPTH_EDGES
             )
+            self._obs_depth_max = registry.gauge("simnet.queue_depth.max")
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> RefEvent:
+        """Schedule ``action`` to run ``delay`` seconds from now.
+
+        A negative delay is a programming error: the simulated past is
+        immutable.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, action)
+
+    def schedule_at(self, when: float, action: Callable[[], None]) -> RefEvent:
+        """Schedule ``action`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise ValueError(
+                f"cannot schedule at {when} before current time {self._now}"
+            )
+        event = RefEvent(time=when, seq=next(self._seq), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def step(self) -> bool:
+        """Run the next non-cancelled event.  Return False when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            # The clock never goes backwards; schedule() guards the heap.
+            self._now = event.time
+            event.action()
+            self._processed += 1
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run events until the heap drains, ``until`` passes, or
+        ``max_events`` more events have been executed.
+
+        ``until`` is an absolute simulated time; events scheduled later
+        than it remain in the heap and the clock is advanced to exactly
+        ``until`` (so a subsequent ``run`` continues seamlessly).
+        """
+        if self._obs is None:
+            self._run_loop(until, max_events)
+            return
+        # Instrumented path: aggregate per run() slice, not per event,
+        # so the event loop itself stays untouched.
+        depth = len(self._heap)
+        processed_before = self._processed
+        sim_before = self._now
+        wall_before = time.perf_counter()
+        try:
+            self._run_loop(until, max_events)
+        finally:
+            self._obs_wall.record(time.perf_counter() - wall_before)
+            self._obs_events.add(self._processed - processed_before)
+            self._obs_sim_seconds.add(self._now - sim_before)
+            if depth:
+                self._obs_depth.observe(depth)
+                gauge = self._obs_depth_max
+                if gauge.max is None or depth > gauge.max:
+                    gauge.set(depth)
+
+    def _run_loop(
+        self,
+        until: Optional[float],
+        max_events: Optional[int],
+    ) -> None:
+        """The uninstrumented core of :meth:`run`."""
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                return
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                self._now = max(self._now, until)
+                return
+            if self.step():
+                executed += 1
+        if until is not None:
+            self._now = max(self._now, until)
 
 
-class TcpEndpoint:
+class RefSimulator(RefEventLoop):
+    """The top-level simulation object handed to every component.
+
+    It is exactly an :class:`RefEventLoop` plus a tiny bit of shared
+    state: a monotonically increasing packet-id counter used by the
+    stack layers to tag packets for tracing.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._packet_ids = itertools.count(1)
+
+    def next_packet_id(self) -> int:
+        """Return a fresh unique packet identifier."""
+        return next(self._packet_ids)
+
+
+class RefLink:
+    """A rate-limited link with a drop-tail buffer and propagation delay.
+
+    Optionally applies independent random loss (``loss_rate``) and
+    per-packet propagation jitter, both driven by a caller-supplied
+    ``numpy.random.Generator`` so runs are reproducible.  A
+    :class:`~repro.simnet.faults.FaultPlan` composes richer fault
+    processes on top: bursty loss, flaps, reordering, duplication and
+    time-varying bandwidth degradation.
+    """
+
+    def __init__(
+        self,
+        sim: RefSimulator,
+        rate_bytes_per_sec: float,
+        propagation_delay: float,
+        receiver: Receiver,
+        queue_capacity_bytes: Optional[int] = None,
+        loss_rate: float = 0.0,
+        jitter: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        faults: Optional[FaultPlan] = None,
+    ) -> None:
+        if rate_bytes_per_sec <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bytes_per_sec}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {loss_rate}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        if (loss_rate > 0 or jitter > 0) and rng is None:
+            raise ValueError("loss_rate/jitter require an rng for determinism")
+        self._sim = sim
+        self.rate = rate_bytes_per_sec
+        self.propagation_delay = propagation_delay
+        self._receiver = receiver
+        self.queue = DropTailQueue(queue_capacity_bytes)
+        self.loss_rate = loss_rate
+        self.jitter = jitter
+        self._rng = rng
+        self.faults = faults
+        self._busy = False
+        self.sent_packets = 0
+        self.sent_bytes = 0
+        self.random_losses = 0
+        self.delivered = 0
+        self.in_flight = 0
+        #: Simulated time at which the transmitter last went idle; used
+        #: to compute utilisation.
+        self.busy_time = 0.0
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, packet: Any) -> bool:
+        """Offer ``packet`` to the link.
+
+        Returns False when the packet was dropped at the queue tail.
+        """
+        if not self.queue.try_push(packet):
+            return False
+        if not self._busy:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        packet = self.queue.pop()
+        self._busy = True
+        rate = self.rate
+        if self.faults is not None:
+            rate *= self.faults.rate_factor(self._sim.now)
+        tx_time = serialization_delay(packet.wire_size, rate)
+        self.busy_time += tx_time
+        self._sim.schedule(tx_time, lambda: self._tx_done(packet))
+
+    def _tx_done(self, packet: Any) -> None:
+        self.sent_packets += 1
+        self.sent_bytes += packet.wire_size
+        now = self._sim.now
+        delay = self.propagation_delay
+        if self.jitter > 0:
+            delay += float(self._rng.uniform(0.0, self.jitter))
+        dropped = self.loss_rate > 0 and float(self._rng.random()) < self.loss_rate
+        if dropped:
+            self.random_losses += 1
+        elif self.faults is not None and self.faults.drops(now):
+            dropped = True
+        if not dropped:
+            if self.faults is not None:
+                delay += self.faults.extra_delay(now)
+                if self.faults.duplicate(now):
+                    self._sim.schedule(delay, lambda: self._receiver(packet))
+            self.in_flight += 1
+            self._sim.schedule(delay, lambda: self._deliver(packet))
+        if len(self.queue):
+            self._start_next()
+        else:
+            self._busy = False
+
+    def _deliver(self, packet: Any) -> None:
+        self.in_flight -= 1
+        self.delivered += 1
+        self._receiver(packet)
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> LinkStats:
+        """A conservation-checked accounting snapshot (see
+        :class:`LinkStats`)."""
+        faults = self.faults
+        return LinkStats(
+            offered=self.queue.enqueued + self.queue.dropped,
+            queue_drops=self.queue.dropped,
+            enqueued=self.queue.enqueued,
+            queued=len(self.queue),
+            in_service=1 if self._busy else 0,
+            transmitted=self.sent_packets,
+            random_losses=self.random_losses,
+            fault_losses=faults.fault_losses if faults else 0,
+            in_flight=self.in_flight,
+            delivered=self.delivered,
+            duplicates=faults.duplicated if faults else 0,
+            reordered=faults.reordered if faults else 0,
+        )
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds the transmitter was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+
+class RefQdisc(abc.ABC):
+    """Base qdisc: accepts TSO segments, releases them to a sink."""
+
+    def __init__(
+        self,
+        sim: RefSimulator,
+        sink: SegmentSink,
+        tsq_bytes: int = DEFAULT_TSQ_BYTES,
+    ) -> None:
+        if tsq_bytes <= 0:
+            raise ValueError(f"tsq_bytes must be positive, got {tsq_bytes}")
+        self._sim = sim
+        self._sink = sink
+        self.tsq_bytes = tsq_bytes
+        self._flow_bytes: Dict[int, int] = {}
+        self._drain_callbacks: Dict[int, Callable[[], None]] = {}
+        self.enqueued_segments = 0
+        self.released_segments = 0
+
+    # -- TSQ backpressure ------------------------------------------------------
+
+    def budget(self, flow_id: int) -> int:
+        """Bytes flow ``flow_id`` may still enqueue before TSQ blocks it."""
+        return max(0, self.tsq_bytes - self._flow_bytes.get(flow_id, 0))
+
+    def queued_bytes(self, flow_id: int) -> int:
+        """Bytes of ``flow_id`` currently below the transport layer."""
+        return self._flow_bytes.get(flow_id, 0)
+
+    def on_drain(self, flow_id: int, callback: Callable[[], None]) -> None:
+        """Register the TSQ wakeup for a flow (called after each release)."""
+        self._drain_callbacks[flow_id] = callback
+
+    def _account_enqueue(self, segment: TsoSegment) -> None:
+        self._flow_bytes[segment.flow_id] = (
+            self._flow_bytes.get(segment.flow_id, 0) + segment.wire_size
+        )
+        self.enqueued_segments += 1
+
+    def _release(self, segment: TsoSegment) -> None:
+        self._flow_bytes[segment.flow_id] -= segment.wire_size
+        self.released_segments += 1
+        self._sink(segment)
+        callback = self._drain_callbacks.get(segment.flow_id)
+        if callback is not None:
+            callback()
+
+    # -- interface ----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def enqueue(self, segment: TsoSegment) -> None:
+        """Accept a segment from the transport layer."""
+
+    @property
+    @abc.abstractmethod
+    def backlog(self) -> int:
+        """Number of segments currently held."""
+
+
+class RefFifoQdisc(RefQdisc):
+    """A FIFO qdisc: releases segments in arrival order, asynchronously
+    (next event-loop instant), ignoring pacing departure times."""
+
+    def __init__(self, sim, sink, tsq_bytes: int = DEFAULT_TSQ_BYTES) -> None:
+        super().__init__(sim, sink, tsq_bytes)
+        self._queue: Deque[TsoSegment] = deque()
+        self._draining = False
+
+    def enqueue(self, segment: TsoSegment) -> None:
+        self._account_enqueue(segment)
+        self._queue.append(segment)
+        if not self._draining:
+            self._draining = True
+            self._sim.schedule(0.0, self._drain)
+
+    def _drain(self) -> None:
+        while self._queue:
+            self._release(self._queue.popleft())
+        self._draining = False
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)
+
+
+class RefFqQdisc(RefQdisc):
+    """An fq-like qdisc honouring per-segment earliest departure times."""
+
+    def __init__(self, sim, sink, tsq_bytes: int = DEFAULT_TSQ_BYTES) -> None:
+        super().__init__(sim, sink, tsq_bytes)
+        self._heap: List[Tuple[float, int, TsoSegment]] = []
+        self._seq = itertools.count()
+        self._timer = None
+        #: Last assigned departure per flow: fq keeps each flow FIFO,
+        #: so a later segment (e.g. an unpaced retransmission) must not
+        #: overtake already-queued segments of the same flow — doing so
+        #: manufactures reordering the sender then misreads as loss.
+        self._flow_last_departure: Dict[int, float] = {}
+
+    def enqueue(self, segment: TsoSegment) -> None:
+        self._account_enqueue(segment)
+        when = max(
+            segment.not_before,
+            self._sim.now,
+            self._flow_last_departure.get(segment.flow_id, 0.0),
+        )
+        self._flow_last_departure[segment.flow_id] = when
+        heapq.heappush(self._heap, (when, next(self._seq), segment))
+        self._arm_timer()
+
+    def _arm_timer(self) -> None:
+        if not self._heap:
+            return
+        head_time = self._heap[0][0]
+        if self._timer is not None and not self._timer.cancelled:
+            if self._timer.time <= head_time:
+                return
+            self._timer.cancel()
+        self._timer = self._sim.schedule_at(max(head_time, self._sim.now), self._fire)
+
+    def _fire(self) -> None:
+        now = self._sim.now
+        while self._heap and self._heap[0][0] <= now:
+            _when, _seq, segment = heapq.heappop(self._heap)
+            self._release(segment)
+        self._timer = None
+        self._arm_timer()
+
+    @property
+    def backlog(self) -> int:
+        return len(self._heap)
+
+    def next_departure(self) -> Optional[float]:
+        """Departure time of the head segment, or None when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+
+class RefNic:
+    """Network interface: TSO split + transmission onto a link.
+
+    ``taps`` observe every transmitted packet with its handoff time —
+    the vantage point used to capture WF traces.
+    """
+
+    def __init__(self, sim: RefSimulator, link_send: Callable[[Any], bool]) -> None:
+        self._sim = sim
+        self._link_send = link_send
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.tx_payload_bytes = 0
+        self.tx_segments = 0
+        self.dropped = 0
+        self._taps: List[PacketTap] = []
+
+    def add_tap(self, tap: PacketTap) -> None:
+        """Observe every packet leaving this NIC."""
+        self._taps.append(tap)
+
+    def send_packet(self, packet: Packet) -> bool:
+        """Transmit a single pre-built packet (pure ACKs, SYNs).
+
+        These bypass the qdisc, mirroring how small control packets
+        avoid fq pacing in Linux.
+        """
+        now = self._sim.now
+        packet.sent_at = now
+        if packet.packet_id == 0:
+            packet.packet_id = self._sim.next_packet_id()
+        for tap in self._taps:
+            tap(packet, now)
+        if self._link_send(packet):
+            self.tx_packets += 1
+            self.tx_bytes += packet.wire_size
+            return True
+        self.dropped += 1
+        return False
+
+    def transmit(self, segment: TsoSegment) -> List[Packet]:
+        """TSO-split ``segment`` and push the packets to the link.
+
+        Returns the packet list (useful to tests).  Packets the link's
+        drop-tail queue rejects are counted in ``dropped``; loss
+        recovery is the transport's job.
+        """
+        packets = segment.split_packets(self._sim.next_packet_id)
+        self.tx_segments += 1
+        now = self._sim.now
+        for packet in packets:
+            packet.sent_at = now
+            # Timestamp at transmission (as Linux does), so RTT samples
+            # exclude qdisc/pacing wait — otherwise pacing feeds back
+            # into srtt and the rate estimate spirals down.
+            packet.ts_val = now
+            for tap in self._taps:
+                tap(packet, now)
+            if self._link_send(packet):
+                self.tx_packets += 1
+                self.tx_bytes += packet.wire_size
+                self.tx_payload_bytes += packet.payload_len
+            else:
+                self.dropped += 1
+        return packets
+
+
+class RefTcpEndpoint:
     """One side of a TCP connection."""
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: RefSimulator,
         flow_id: int,
         direction: int,
         cpu: Cpu,
-        qdisc: Qdisc,
+        qdisc: RefQdisc,
         ack_sender: Callable[[Packet], None],
         config: Optional[TcpConfig] = None,
     ) -> None:
@@ -107,9 +590,6 @@ class TcpEndpoint:
         self.send_buffer = SendBuffer(limit=self.config.send_buffer)
         self.receive_buffer = ReceiveBuffer(window=self.config.receive_window)
         self.cca = make_cca(self.config.cc, self.config.mss)
-        # BBR-style CCAs expose a drain-exit probe; resolve it once so
-        # the per-ACK path pays an attribute load, not a getattr.
-        self._cca_check_drain = getattr(self.cca, "check_drain_exit", None)
         self.pacer = FlowPacer()
         #: Hook consulted for every segment built (Stob).  None means
         #: stock stack behaviour.
@@ -133,13 +613,7 @@ class TcpEndpoint:
         #: Sequence below which holes were already retransmitted this
         #: recovery round (avoids re-walking the scoreboard per ACK).
         self._retx_cursor = 0
-        # RTO timer, deadline style (DESIGN §13): the deadline is a
-        # float (inf = disarmed) and wakeups are cheap non-cancellable
-        # events.  A wakeup finding the deadline deferred re-arms; one
-        # finding it disarmed returns.  This removes the cancel +
-        # reallocate churn the legacy Event timer paid on every ACK.
-        self._rto_deadline = float("inf")
-        self._rto_armed = float("inf")
+        self._rto_timer: Optional[RefEvent] = None
         self._rto_backoff = 1
         self._srtt = -1.0
         self._rttvar = 0.0
@@ -150,9 +624,7 @@ class TcpEndpoint:
 
         # Receiver state.
         self._ack_pending_packets = 0
-        # Delayed-ACK timer, same deadline scheme as the RTO above.
-        self._ack_deadline = float("inf")
-        self._ack_armed = float("inf")
+        self._ack_timer: Optional[RefEvent] = None
         self._last_ts_val = -1.0
         self._packets_received = 0
         self.fin_received = False
@@ -214,9 +686,10 @@ class TcpEndpoint:
         )
         self._send_ack_packet(syn)
         # Retry if no SYN-ACK within the initial RTO.
-        self._sim.call_later(self.config.initial_rto, self._syn_retry)
+        self._rto_timer = self._sim.schedule(self.config.initial_rto, self._syn_retry)
 
     def _syn_retry(self) -> None:
+        self._rto_timer = None
         if not self.established:
             self.timeouts += 1
             self.connect()
@@ -249,15 +722,6 @@ class TcpEndpoint:
         """Transmit as much as cwnd, rwnd, TSQ and the send buffer allow."""
         if not self.established:
             return
-        # Fast fail: try_send is called on every ACK and TSQ drain, and
-        # usually has nothing to do.  These two checks mirror (and thus
-        # cannot disagree with) the first two side-effect-free rejects
-        # in _build_one_segment.
-        if self.send_buffer.sendable() <= 0:
-            if not self.fin_sent or self._fin_dispatched:
-                return
-        elif self._window_budget() <= 0:
-            return
         while True:
             built = self._build_one_segment()
             if not built:
@@ -275,17 +739,14 @@ class TcpEndpoint:
         queried on every transmission opportunity, which would otherwise
         make interval arithmetic the simulation's hot path.
         """
-        buffer = self.send_buffer
-        nxt, una = buffer.nxt, buffer.una
-        memo = self._pipe_memo
-        if (
-            memo[0] == nxt
-            and memo[1] == una
-            and memo[2] == self._scoreboard.version
-            and memo[3] == self._retx_ranges.version
-        ):
-            return memo[4]
-        memo_key = (nxt, una, self._scoreboard.version, self._retx_ranges.version)
+        memo_key = (
+            self.send_buffer.nxt,
+            self.snd_una,
+            self._scoreboard.version,
+            self._retx_ranges.version,
+        )
+        if self._pipe_memo[:4] == memo_key:
+            return self._pipe_memo[4]
         sacked = self._scoreboard.total
         retx_out = self._retx_ranges.total
         lost = 0
@@ -514,7 +975,9 @@ class TcpEndpoint:
             # SYN-ACK received (active open): take the RTT sample, ack it.
             if packet.ts_ecr >= 0:
                 self._rtt_sample(self._sim.now - packet.ts_ecr)
-            self._cancel_rto()
+            if self._rto_timer is not None:
+                self._rto_timer.cancel()
+                self._rto_timer = None
             self._send_pure_ack()
         if became_established:
             if self.on_established is not None:
@@ -540,30 +1003,21 @@ class TcpEndpoint:
         )
         if quick or self._ack_pending_packets >= self.config.delayed_ack_packets:
             self._send_pure_ack()
-        elif self._ack_deadline == float("inf"):
-            deadline = self._sim.now + self.config.delayed_ack_timeout
-            self._ack_deadline = deadline
-            if self._ack_armed > deadline:
-                self._ack_armed = deadline
-                self._sim.call_at(deadline, self._ack_check)
+        elif self._ack_timer is None or self._ack_timer.cancelled:
+            self._ack_timer = self._sim.schedule(
+                self.config.delayed_ack_timeout, self._ack_timer_fire
+            )
 
-    def _ack_check(self) -> None:
-        now = self._sim.now
-        if now >= self._ack_armed:
-            self._ack_armed = float("inf")
-        deadline = self._ack_deadline
-        if now < deadline:
-            if deadline != float("inf") and self._ack_armed > deadline:
-                self._ack_armed = deadline
-                self._sim.call_at(deadline, self._ack_check)
-            return
-        self._ack_deadline = float("inf")
+    def _ack_timer_fire(self) -> None:
+        self._ack_timer = None
         if self._ack_pending_packets > 0:
             self._send_pure_ack()
 
     def _send_pure_ack(self) -> None:
         self._ack_pending_packets = 0
-        self._ack_deadline = float("inf")
+        if self._ack_timer is not None:
+            self._ack_timer.cancel()
+            self._ack_timer = None
         ack = Packet(
             flow_id=self.flow_id,
             direction=self.direction,
@@ -630,7 +1084,7 @@ class TcpEndpoint:
         self.cca.on_ack(sample)
         if self._obs is not None:
             self._obs_cwnd.observe(self.cca.cwnd)
-        check_drain = self._cca_check_drain
+        check_drain = getattr(self.cca, "check_drain_exit", None)
         if check_drain is not None:
             check_drain(self.bytes_in_flight, self._sim.now)
 
@@ -784,33 +1238,19 @@ class TcpEndpoint:
         return min(max(rto, self.config.min_rto), self.config.max_rto)
 
     def _arm_rto(self, restart: bool = False) -> None:
-        if self._rto_deadline != float("inf") and not restart:
-            return
-        deadline = self._sim.now + self._rto_interval()
-        self._rto_deadline = deadline
-        # Invariant: whenever a deadline is set, a wakeup at or before
-        # it is pending (an earlier wakeup re-arms itself on arrival).
-        if self._rto_armed > deadline:
-            self._rto_armed = deadline
-            self._sim.call_at(deadline, self._rto_check)
+        if self._rto_timer is not None and not self._rto_timer.cancelled:
+            if not restart:
+                return
+            self._rto_timer.cancel()
+        self._rto_timer = self._sim.schedule(self._rto_interval(), self._rto_fire)
 
     def _cancel_rto(self) -> None:
-        self._rto_deadline = float("inf")
-
-    def _rto_check(self) -> None:
-        now = self._sim.now
-        if now >= self._rto_armed:
-            self._rto_armed = float("inf")
-        deadline = self._rto_deadline
-        if now < deadline:
-            if deadline != float("inf") and self._rto_armed > deadline:
-                self._rto_armed = deadline
-                self._sim.call_at(deadline, self._rto_check)
-            return
-        self._rto_deadline = float("inf")
-        self._rto_fire()
+        if self._rto_timer is not None:
+            self._rto_timer.cancel()
+            self._rto_timer = None
 
     def _rto_fire(self) -> None:
+        self._rto_timer = None
         if self.bytes_in_flight <= 0:
             return
         self.timeouts += 1
@@ -835,3 +1275,33 @@ class TcpEndpoint:
         self._rate_samples.clear()
         self._arm_rto(restart=True)
         self.try_send()
+
+
+@contextmanager
+def reference_stack():
+    """Patch the stack construction sites to the frozen classes.
+
+    Everything assembled inside the ``with`` block (``make_flow``,
+    ``load_page`` and friends) runs on the pre-vectorization reference
+    implementation; the construction sites are restored on exit.
+    """
+    import repro.simnet.path as path_mod
+    import repro.stack.host as host_mod
+    import repro.web.pageload as pageload_mod
+
+    patches = [
+        (pageload_mod, "Simulator", RefSimulator),
+        (path_mod, "Link", RefLink),
+        (host_mod, "Nic", RefNic),
+        (host_mod, "FqQdisc", RefFqQdisc),
+        (host_mod, "FifoQdisc", RefFifoQdisc),
+        (host_mod, "TcpEndpoint", RefTcpEndpoint),
+    ]
+    saved = [(mod, name, getattr(mod, name)) for mod, name, _new in patches]
+    try:
+        for mod, name, new in patches:
+            setattr(mod, name, new)
+        yield
+    finally:
+        for mod, name, old in saved:
+            setattr(mod, name, old)

@@ -1,0 +1,205 @@
+"""Differential harness: vectorized stack vs the frozen reference.
+
+``reference_stack.py`` holds verbatim pre-vectorization copies of every
+refactored component (event loop, link, qdisc, NIC, TCP endpoint).  The
+tests here run the *same* seeded visit through both stacks over a grid
+of (site × defense × fault profile × seed) and assert, pairwise:
+
+* **byte-identical traces** — times, directions and sizes hash equal;
+* **identical link accounting** — the :class:`LinkStats` snapshots of
+  both directions are equal field by field;
+* **identical invariant obs metrics** — every ``tcp.*``, ``stob.*`` and
+  ``pageload.*`` counter/histogram matches.  ``simnet.*`` metrics are
+  deliberately excluded: the vectorized link posts one delivery event
+  per packet where the reference posts a tx-done + deliver pair, so
+  event *counts* legitimately differ while wire behaviour does not.
+
+Golden digests (``tests/experiments/test_golden_trace*.py``) pin the
+absolute bytes; this harness pins the live stack against the reference
+*implementation*, so a regression pinpoints which behaviour diverged
+rather than just "the digest changed".
+"""
+
+import hashlib
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.experiments.adverse_network import default_conditions
+from repro.obs import runtime as obs_runtime
+from repro.stob.actions import DelayAction, SplitAction
+from repro.stob.controller import StobController
+from repro.web import pageload as pageload_mod
+from repro.web.pageload import PageLoadConfig, load_page, visit_seed_rng
+from repro.web.sites import SITE_CATALOG
+
+from tests.differential.reference_stack import reference_stack
+
+#: The differential grid.  Every entry is one seeded visit simulated by
+#: both stacks; defenses exercise the Stob hooks inside the refactored
+#: segment-build path, the bursty fault profile exercises the legacy
+#: per-packet link path plus loss recovery (SACK, RTO).
+SITES = ["bing.com", "wikipedia.org"]
+DEFENSES = ["none", "split", "delay"]
+FAULTS = ["clean", "bursty"]
+SEEDS = [0, 5]
+
+GRID = [
+    (site, defense, fault, seed)
+    for site in SITES
+    for defense in DEFENSES
+    for fault in FAULTS
+    for seed in SEEDS
+]
+
+#: Metric namespaces that must be invariant under the refactor.
+INVARIANT_PREFIXES = ("tcp.", "stob.", "pageload.")
+
+
+def _controller(defense, seed):
+    if defense == "none":
+        return None
+    if defense == "split":
+        return StobController(action=SplitAction(1200, 2))
+    if defense == "delay":
+        return StobController(
+            action=DelayAction(0.02, 0.08, rng=np.random.default_rng(seed))
+        )
+    raise ValueError(defense)
+
+
+def _config(fault):
+    if fault == "bursty":
+        return PageLoadConfig(fault_spec=default_conditions()["bursty"])
+    return PageLoadConfig()
+
+
+@contextmanager
+def _capture_flow():
+    """Intercept the flow ``load_page`` builds, to read link stats."""
+    captured = []
+    original = pageload_mod.make_flow
+
+    def wrapper(*args, **kwargs):
+        flow = original(*args, **kwargs)
+        captured.append(flow)
+        return flow
+
+    pageload_mod.make_flow = wrapper
+    try:
+        yield captured
+    finally:
+        pageload_mod.make_flow = original
+
+
+def _run_visit(site, defense, fault, seed):
+    """One seeded visit; returns (trace, {direction: LinkStats})."""
+    rng = visit_seed_rng(seed, site, 0)
+    with _capture_flow() as captured:
+        trace = load_page(
+            SITE_CATALOG[site],
+            _config(fault),
+            rng,
+            server_controller=_controller(defense, seed),
+        )
+    assert len(captured) == 1
+    return trace, captured[0].link_stats()
+
+
+def _digest(trace):
+    digest = hashlib.sha256()
+    digest.update(trace.times.tobytes())
+    digest.update(trace.directions.tobytes())
+    digest.update(trace.sizes.tobytes())
+    return digest.hexdigest()
+
+
+def _invariant_metrics(snapshot):
+    """The refactor-invariant slice of a metrics snapshot."""
+    kept = {}
+    for section in ("counters", "histograms"):
+        for name, state in snapshot[section].items():
+            if name.startswith(INVARIANT_PREFIXES):
+                kept[name] = state
+    return kept
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("site,defense,fault,seed", GRID)
+def test_trace_and_link_stats_identical(site, defense, fault, seed):
+    """The vectorized stack reproduces the reference byte for byte."""
+    live_trace, live_stats = _run_visit(site, defense, fault, seed)
+    with reference_stack():
+        ref_trace, ref_stats = _run_visit(site, defense, fault, seed)
+
+    label = f"{site}/{defense}/{fault}/seed={seed}"
+    assert _digest(live_trace) == _digest(ref_trace), (
+        f"{label}: trace bytes diverged from the frozen reference stack"
+    )
+    assert set(live_stats) == set(ref_stats)
+    for direction in live_stats:
+        assert live_stats[direction] == ref_stats[direction], (
+            f"{label}: {direction} LinkStats diverged "
+            f"(live={live_stats[direction]}, ref={ref_stats[direction]})"
+        )
+        assert live_stats[direction].conserved()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "site,defense,fault,seed",
+    # Metrics are aggregated per session; one representative visit per
+    # (defense, fault) corner keeps the obs pass affordable.
+    [(SITES[0], d, f, SEEDS[0]) for d in DEFENSES for f in FAULTS],
+)
+def test_invariant_obs_metrics_identical(site, defense, fault, seed):
+    """tcp.* / stob.* / pageload.* metrics are refactor-invariant."""
+
+    def metrics_for(run_reference):
+        obs_runtime.disable()
+        session = obs_runtime.enable()
+        try:
+            if run_reference:
+                with reference_stack():
+                    trace, _ = _run_visit(site, defense, fault, seed)
+            else:
+                trace, _ = _run_visit(site, defense, fault, seed)
+            return _digest(trace), _invariant_metrics(
+                session.registry.snapshot()
+            )
+        finally:
+            obs_runtime.disable()
+
+    live_digest, live_metrics = metrics_for(run_reference=False)
+    ref_digest, ref_metrics = metrics_for(run_reference=True)
+    label = f"{site}/{defense}/{fault}/seed={seed}"
+    assert live_digest == ref_digest, f"{label}: traces diverged under obs"
+    assert live_metrics, "instrumented run recorded no invariant metrics"
+    assert live_metrics == ref_metrics, (
+        f"{label}: invariant obs metrics diverged from the reference"
+    )
+
+
+def test_reference_stack_restores_patches():
+    """The context manager must leave the live classes in place."""
+    from repro.simnet.entities import Link
+    from repro.stack import host as host_mod
+    from repro.stack.nic import Nic
+    from repro.stack.tcp import TcpEndpoint
+
+    with reference_stack():
+        assert host_mod.Nic is not Nic
+        assert host_mod.TcpEndpoint is not TcpEndpoint
+    assert host_mod.Nic is Nic
+    assert host_mod.TcpEndpoint is TcpEndpoint
+    assert pageload_mod.make_flow.__module__ == "repro.stack.host"
+
+
+def test_grid_covers_every_axis():
+    """The grid exercises each defense and fault kind at least twice."""
+    assert len(GRID) == len(SITES) * len(DEFENSES) * len(FAULTS) * len(SEEDS)
+    for defense in DEFENSES:
+        assert sum(1 for g in GRID if g[1] == defense) >= 2
+    for fault in FAULTS:
+        assert sum(1 for g in GRID if g[2] == fault) >= 2

@@ -1,0 +1,220 @@
+"""Extended golden-trace digests: every trace-producing surface.
+
+``tests/experiments/test_golden_trace.py`` pins the Table-2 collection
+path (clean TCP page loads).  The vectorized hot path (DESIGN §13)
+touches the engine, the TCP stack, the qdisc and the NIC, so this
+module extends the digest net to the remaining trace-producing
+surfaces:
+
+* **adverse** — page loads under a Gilbert–Elliott bursty-loss fault
+  profile (exercises the legacy per-packet link path, retransmission
+  and RTO machinery);
+* **adverse + workers=2** — the same collection through the parallel
+  executor (bit-identity for any worker count must hold on the faulty
+  path too, not just the clean Table-2 path);
+* **quic** — QUIC page loads (the second transport implementation
+  shares the engine/link/pacing substrate);
+* **generated** — campaign-generated synthetic sites from
+  :mod:`repro.web.generator` (the million-trace workload's site
+  source);
+* **defended_split / defended_delay** — Stob-defended loads (the
+  segment-controller hooks sit inside the refactored segment build
+  path).
+
+All digests were generated from the pre-vectorization stack, so they
+are an exact byte-identity oracle for the refactor.  Regenerate (only
+for *intended* trace changes) with::
+
+    PYTHONPATH=src:. python -m tests.experiments.test_golden_trace_extended
+
+which rewrites ``tests/data/golden_extended.json``.
+"""
+
+import hashlib
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.adverse_network import default_conditions
+from repro.quic.pageload import collect_quic_dataset
+from repro.stob.actions import DelayAction, SplitAction
+from repro.stob.controller import StobController
+from repro.web.generator import generate_profile, site_name
+from repro.web.pageload import (
+    PageLoadConfig,
+    collect_dataset,
+    load_page,
+    visit_seed_rng,
+)
+from repro.web.sites import SITE_CATALOG
+
+from tests.experiments.test_golden_trace import dataset_digest
+
+GOLDEN_EXT_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "data", "golden_extended.json"
+)
+
+#: The fixed grid every digest below derives from.  Changing any of
+#: these invalidates the committed digests — regenerate deliberately.
+SITES = ["bing.com", "wikipedia.org"]
+N_SAMPLES = 2
+SEED = 7
+GEN_SEED = 11
+GEN_INDICES = (0, 1, 2)
+
+
+def load_golden_ext():
+    with open(GOLDEN_EXT_PATH) as handle:
+        return json.load(handle)
+
+
+def trace_digest(labelled_traces):
+    """SHA-256 over (label, times, directions, sizes) tuples in order."""
+    digest = hashlib.sha256()
+    for label, trace in labelled_traces:
+        digest.update(label.encode())
+        digest.update(trace.times.tobytes())
+        digest.update(trace.directions.tobytes())
+        digest.update(trace.sizes.tobytes())
+    return digest.hexdigest()
+
+
+def collect_adverse(workers=1):
+    config = PageLoadConfig(fault_spec=default_conditions()["bursty"])
+    return collect_dataset(
+        n_samples=N_SAMPLES, sites=SITES, config=config, seed=SEED,
+        workers=workers,
+    )
+
+
+def collect_quic():
+    return collect_quic_dataset(n_samples=N_SAMPLES, sites=SITES, seed=SEED)
+
+
+def collect_generated():
+    traces = []
+    for index in GEN_INDICES:
+        profile = generate_profile(GEN_SEED, index)
+        label = site_name(index)
+        rng = visit_seed_rng(GEN_SEED, label, 0)
+        traces.append((label, load_page(profile, PageLoadConfig(), rng)))
+    return traces
+
+
+def collect_defended(kind):
+    traces = []
+    for label in SITES:
+        rng = visit_seed_rng(SEED, label, 0)
+        if kind == "split":
+            controller = StobController(action=SplitAction(1200, 2))
+        elif kind == "delay":
+            controller = StobController(
+                action=DelayAction(0.02, 0.08, rng=np.random.default_rng(SEED))
+            )
+        else:
+            raise ValueError(kind)
+        traces.append(
+            (
+                label,
+                load_page(
+                    SITE_CATALOG[label],
+                    PageLoadConfig(),
+                    rng,
+                    server_controller=controller,
+                ),
+            )
+        )
+    return traces
+
+
+def test_golden_ext_file_shape():
+    golden = load_golden_ext()
+    for key in ("adverse", "quic", "generated", "defended_split",
+                "defended_delay"):
+        assert key in golden, f"missing digest entry {key!r}"
+        assert len(golden[key]) == 64
+    assert set(golden["sites"]) <= set(SITE_CATALOG)
+
+
+@pytest.mark.slow
+def test_adverse_matches_golden_digest():
+    golden = load_golden_ext()
+    assert dataset_digest(collect_adverse(workers=1)) == golden["adverse"], (
+        "adverse-network (bursty-loss) collection changed; the faulty "
+        "per-packet link path or TCP loss recovery is no longer "
+        "byte-identical (regeneration procedure in the module docstring)"
+    )
+
+
+@pytest.mark.slow
+def test_adverse_parallel_matches_golden_digest():
+    golden = load_golden_ext()
+    assert dataset_digest(collect_adverse(workers=2)) == golden["adverse"], (
+        "workers=2 adverse collection diverged from the serial digest — "
+        "parallel determinism is broken on the fault-injected path"
+    )
+
+
+@pytest.mark.slow
+def test_quic_matches_golden_digest():
+    golden = load_golden_ext()
+    assert dataset_digest(collect_quic()) == golden["quic"], (
+        "QUIC collection changed; the QUIC endpoint shares the "
+        "engine/link/pacing substrate with TCP — check the vectorized "
+        "hot path (regeneration procedure in the module docstring)"
+    )
+
+
+@pytest.mark.slow
+def test_generated_sites_match_golden_digest():
+    golden = load_golden_ext()
+    assert trace_digest(collect_generated()) == golden["generated"], (
+        "campaign-generated synthetic site traces changed (generator "
+        "derivation or simulator bytes)"
+    )
+
+
+@pytest.mark.slow
+def test_defended_split_matches_golden_digest():
+    golden = load_golden_ext()
+    assert trace_digest(collect_defended("split")) == golden["defended_split"], (
+        "Stob split-defended traces changed; the segment-controller "
+        "hooks inside the segment build path are no longer byte-stable"
+    )
+
+
+@pytest.mark.slow
+def test_defended_delay_matches_golden_digest():
+    golden = load_golden_ext()
+    assert trace_digest(collect_defended("delay")) == golden["defended_delay"], (
+        "Stob delay-defended traces changed; departure-gap handling in "
+        "pacing/qdisc is no longer byte-stable"
+    )
+
+
+def regenerate():
+    """Recompute every digest and rewrite the golden file."""
+    golden = {
+        "sites": SITES,
+        "n_samples": N_SAMPLES,
+        "seed": SEED,
+        "generator_seed": GEN_SEED,
+        "generator_indices": list(GEN_INDICES),
+        "adverse": dataset_digest(collect_adverse(workers=1)),
+        "quic": dataset_digest(collect_quic()),
+        "generated": trace_digest(collect_generated()),
+        "defended_split": trace_digest(collect_defended("split")),
+        "defended_delay": trace_digest(collect_defended("delay")),
+    }
+    assert dataset_digest(collect_adverse(workers=2)) == golden["adverse"]
+    with open(GOLDEN_EXT_PATH, "w") as handle:
+        json.dump(golden, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return golden
+
+
+if __name__ == "__main__":
+    for key, value in sorted(regenerate().items()):
+        print(f"{key}: {value}")

@@ -1,9 +1,21 @@
-"""Cross-cutting hypothesis properties of stack primitives."""
+"""Cross-cutting hypothesis properties of stack primitives.
+
+The batch/vectorized primitives of DESIGN §13 are pinned against their
+sequential folds here: any divergence between ``add_many`` and repeated
+``add``, ``schedule_batch`` and repeated ``schedule``, or the event
+batch API and repeated ``call_at`` would silently break the
+byte-identity guarantee the differential harness enforces end to end.
+"""
+
+import itertools
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.simnet.engine import EventLoop
+from repro.stack.intervals import RangeSet
+from repro.stack.packet import HEADER_BYTES, TsoSegment
 from repro.stack.pacing import FlowPacer
 from repro.stack.tso import TsoPolicy
 from repro.stob.actions import SizeSweepAction, SplitAction
@@ -84,6 +96,128 @@ def test_constraint_clamp_output_always_legal(sizes, nbytes, mss):
     if cleaned is not None:
         assert all(0 < s <= mss for s in cleaned)
         assert sum(cleaned) <= nbytes
+
+
+_range_strategy = st.tuples(
+    st.integers(0, 100_000), st.integers(-500, 5_000)
+).map(lambda t: (t[0], t[0] + t[1]))
+
+
+@given(st.lists(_range_strategy, min_size=0, max_size=40))
+@settings(max_examples=200)
+def test_add_many_equals_per_range_fold(ranges):
+    """Bulk SACK arithmetic: ``add_many`` produces the same set, byte
+    total and newly-covered count as folding ``add`` range by range."""
+    folded = RangeSet()
+    newly_folded = 0
+    for start, end in ranges:
+        newly_folded += folded.add(start, end)
+    batched = RangeSet()
+    newly_batched = batched.add_many(ranges)
+    assert batched.ranges == folded.ranges
+    assert batched.total == folded.total
+    assert newly_batched == newly_folded
+
+
+@given(
+    st.floats(0, 100, allow_nan=False),
+    st.lists(st.integers(0, 65_000), min_size=1, max_size=50),
+    st.one_of(st.none(), st.floats(1e3, 1e9)),
+    st.floats(0, 0.05, allow_nan=False),
+)
+@settings(max_examples=200)
+def test_pacer_batch_equals_per_segment_fold(now, sizes, rate, gap):
+    """``schedule_batch`` release times are bit-identical to the
+    per-segment ``schedule`` fold (same left-to-right float additions),
+    including the pacer's carried state and stats."""
+    sequential = FlowPacer()
+    expected = [sequential.schedule(now, nbytes, rate, gap) for nbytes in sizes]
+    batched = FlowPacer()
+    departures = batched.schedule_batch(now, sizes, rate, gap)
+    assert departures == expected  # exact float equality, no tolerance
+    assert batched.next_allowed == sequential.next_allowed
+    assert batched.scheduled_segments == sequential.scheduled_segments
+    assert batched.total_extra_gap == sequential.total_extra_gap
+
+
+@given(
+    st.lists(st.integers(1, 1448), min_size=1, max_size=45),
+    st.integers(0, 1 << 20),
+    # SYN+FIN on one data segment cannot occur (handshake packets are
+    # flag-only), so the roundtrip is only pinned for real combinations.
+    st.sampled_from([(False, False), (True, False), (False, True)]),
+)
+@settings(max_examples=200)
+def test_tso_split_merge_roundtrip(sizes, seq, flags):
+    """A TSO split reassembles into exactly the segment that produced
+    it: contiguous sequence space, per-packet sizes, flag placement."""
+    syn, fin = flags
+    segment = TsoSegment(
+        flow_id=7, direction=1, seq=seq, ack=3, packet_sizes=sizes,
+        is_syn=syn, is_fin=fin, ts_val=1.5, ts_ecr=0.5,
+    )
+    ids = itertools.count(1)
+    packets = segment.split_packets(lambda: next(ids))
+    assert [p.payload_len for p in packets] == sizes
+    assert packets[0].seq == seq
+    for prev, cur in zip(packets, packets[1:]):
+        assert cur.seq == prev.end_seq  # contiguous, no gaps or overlap
+    assert packets[-1].end_seq == segment.end_seq
+    assert [p.is_syn for p in packets] == [syn] + [False] * (len(sizes) - 1)
+    assert [p.is_fin for p in packets] == [False] * (len(sizes) - 1) + [fin]
+    assert sum(p.payload_len for p in packets) == segment.payload_len
+    assert sum(p.wire_size for p in packets) == (
+        segment.payload_len + len(sizes) * HEADER_BYTES
+    )
+    assert all(p.ts_val == segment.ts_val and p.ts_ecr == segment.ts_ecr
+               for p in packets)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from([0.0, 0.5, 1.0, 1.5]),  # deliberate time ties
+            st.booleans(),                           # batch vs call_at
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=200)
+def test_event_batch_ordering_preserves_time_seq(entries):
+    """Mixed ``schedule_batch``/``call_at`` scheduling fires in exact
+    (time, insertion) order — ties break by scheduling order, whichever
+    API scheduled them."""
+    loop = EventLoop()
+    fired = []
+    expected = sorted(
+        range(len(entries)), key=lambda i: (entries[i][0], i)
+    )
+
+    def make(index):
+        return lambda: fired.append(index)
+
+    for index, (when, use_batch) in enumerate(entries):
+        if use_batch:
+            loop.schedule_batch([when], make(index))
+        else:
+            loop.call_at(when, make(index))
+    loop.run()
+    assert fired == expected
+
+
+def test_event_batch_interleaves_with_heap_by_seq():
+    """A batch posted before singleton events at the same instant fires
+    first; one posted after fires last — the shared sequence counter is
+    the only tie-breaker."""
+    loop = EventLoop()
+    fired = []
+    loop.schedule_batch([1.0, 1.0], lambda: fired.append("early-batch"))
+    loop.call_at(1.0, lambda: fired.append("single"))
+    loop.schedule(1.0, lambda: fired.append("cancellable")).cancel()
+    loop.schedule_batch([1.0], lambda: fired.append("late-batch"))
+    loop.run()
+    assert fired == ["early-batch", "early-batch", "single", "late-batch"]
 
 
 @given(st.lists(st.integers(0, 400), min_size=1, max_size=60, unique=True))

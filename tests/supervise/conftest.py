@@ -1,4 +1,5 @@
-"""Chaos-suite fixtures: never leak an obs session or a chaos env var."""
+"""Chaos-suite fixtures: never leak an obs session or a chaos env var,
+and keep deadline timing off the wall clock."""
 
 import os
 
@@ -6,6 +7,24 @@ import pytest
 
 from repro.obs import runtime
 from repro.supervise import CHAOS_ENV
+
+
+class SteppingClock:
+    """Deterministic stand-in for ``time.monotonic``.
+
+    Advances by ``step`` on every call, so when injected as
+    ``SupervisedPool(clock=...)`` a chunk's age is a function of how
+    many times the supervisor *polled*, not of machine load.  With
+    ``step=0`` it only moves when the test sets ``now`` directly.
+    """
+
+    def __init__(self, step=1.0, start=0.0):
+        self.step = step
+        self.now = start
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
 
 
 @pytest.fixture(autouse=True)
@@ -22,3 +41,8 @@ def obs_session():
     session = runtime.enable()
     yield session
     runtime.disable()
+
+
+@pytest.fixture
+def stepping_clock():
+    return SteppingClock()

@@ -110,23 +110,68 @@ def test_task_exceptions_propagate_not_supervised():
         SupervisedPool(2, raising_chunk, lambda payload: None).run(CHUNKS)
 
 
-def test_hung_worker_is_hard_killed_and_work_rescheduled(tmp_path):
+def test_hung_worker_is_hard_killed_and_work_rescheduled(
+    tmp_path, stepping_clock
+):
     from tests.supervise.faults import hang_once_chunk
 
     task = functools.partial(hang_once_chunk, str(tmp_path / "sentinel"))
     got = []
+    # Deadlines are in *fake* seconds (one per supervisor poll): healthy
+    # chunks finish in a couple of polls while the hung one accrues fake
+    # age every poll until the hard kill fires — load-independent.
     config = SupervisorConfig(
-        trial_deadline=0.1,
+        trial_deadline=4.0,
         soft_deadline_factor=1.0,
         hard_deadline_factor=2.0,
         poll_interval=0.02,
     )
-    report = SupervisedPool(2, task, collect_into(got), config=config).run(CHUNKS)
+    report = SupervisedPool(
+        2, task, collect_into(got), config=config, clock=stepping_clock
+    ).run(CHUNKS)
     assert sorted(got) == list(range(8))
     assert report.hard_kills >= 1
     assert report.soft_deadline_warnings >= 1
     assert report.worker_restarts >= 1
     assert not report.quarantined
+
+
+def test_deadline_bookkeeping_with_fake_clock():
+    """Soft warn then hard kill, each exactly once, pinned step by step
+    by a manual clock — no subprocesses, no real waits."""
+    from repro.supervise import _Chunk
+    from tests.supervise.conftest import SteppingClock
+
+    clock = SteppingClock(step=0.0)  # only moves when the test says so
+    config = SupervisorConfig(
+        trial_deadline=10.0, soft_deadline_factor=1.0, hard_deadline_factor=3.0
+    )
+    pool = SupervisedPool(
+        1, lambda items: items, lambda payload: None,
+        config=config, clock=clock,
+    )
+
+    class StubPool:  # _kill_workers sees no processes -> no-op
+        _processes = {}
+
+    chunk = _Chunk(items=[0])  # soft deadline 10, hard deadline 30
+    future = object()
+    in_flight = {future: chunk}
+    submitted_at = {future: 0.0}
+    report = SupervisorReport()
+
+    for now, warnings, kills in [
+        (5.0, 0, 0),    # under the soft deadline: nothing
+        (11.0, 1, 0),   # past soft: warned
+        (12.0, 1, 0),   # still past soft: warned only once
+        (31.0, 1, 1),   # past hard: killed
+        (32.0, 1, 1),   # already killed: not killed again
+    ]:
+        clock.now = now
+        pool._check_deadlines(StubPool(), in_flight, submitted_at, report)
+        assert report.soft_deadline_warnings == warnings, f"at t={now}"
+        assert report.hard_kills == kills, f"at t={now}"
+    assert chunk.soft_warned and chunk.hard_killed
 
 
 def test_empty_and_trivial_inputs():

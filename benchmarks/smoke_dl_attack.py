@@ -1,0 +1,80 @@
+"""CI smoke test: the deep-learning-class attack (TAM + numpy MLP)
+trains deterministically and learns.
+
+Three properties on a tiny generated closed world:
+
+1. **Above chance** — TamMlpAttack clearly beats 9-class chance on
+   held-out undefended traces (the MLP really learns from the TAM).
+2. **Bit-identical re-train** — two equal-spec attacks trained on the
+   same data agree on every weight and every prediction.
+3. **Worker-count invariance** — parallel TAM extraction (workers=2)
+   trains the exact same model as serial extraction.
+
+Exits non-zero on any violation.
+
+Usage:  PYTHONPATH=src python benchmarks/smoke_dl_attack.py
+"""
+
+import sys
+
+import numpy as np
+
+from repro.attacks.registry import attack_from_spec, build_attack
+from repro.web.tracegen import StatisticalTraceGenerator
+
+
+def run() -> int:
+    generator = StatisticalTraceGenerator(seed=17)
+    dataset = generator.generate_dataset(n_samples=10, seed=17)
+    traces, y = dataset.to_arrays()
+    traces = list(traces)
+    rng = np.random.default_rng(0)
+    order = rng.permutation(len(y))
+    split = int(len(y) * 0.7)
+    train_x = [traces[i] for i in order[:split]]
+    train_y = y[order[:split]]
+    test_x = [traces[i] for i in order[split:]]
+    test_y = y[order[split:]]
+
+    spec_kwargs = dict(n_bins=32, hidden=(32,), epochs=40, seed=5)
+    attack = build_attack("tam-mlp", **spec_kwargs).fit(train_x, train_y)
+    accuracy = float(np.mean(attack.predict(test_x) == test_y))
+    n_classes = int(y.max()) + 1
+    chance = 1.0 / n_classes
+    if accuracy <= 2 * chance:
+        print(
+            f"smoke: tam-mlp accuracy {accuracy:.3f} not above "
+            f"2x chance ({2 * chance:.3f})",
+            file=sys.stderr,
+        )
+        return 1
+
+    retrained = attack_from_spec(attack.spec()).fit(train_x, train_y)
+    for a, b in zip(attack.mlp.weights_, retrained.mlp.weights_):
+        if not np.array_equal(a, b):
+            print("smoke: re-trained weights differ", file=sys.stderr)
+            return 1
+    if not np.array_equal(attack.predict(test_x), retrained.predict(test_x)):
+        print("smoke: re-trained predictions differ", file=sys.stderr)
+        return 1
+
+    fanned = build_attack("tam-mlp", workers=2, **spec_kwargs).fit(
+        train_x, train_y
+    )
+    for a, b in zip(attack.mlp.weights_, fanned.mlp.weights_):
+        if not np.array_equal(a, b):
+            print(
+                "smoke: workers=2 trained different weights than serial",
+                file=sys.stderr,
+            )
+            return 1
+
+    print(
+        f"smoke: tam-mlp accuracy {accuracy:.3f} "
+        f"(chance {chance:.3f}); re-train and workers=2 bit-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -1,25 +1,61 @@
 """Website-fingerprinting attacks and other passive traffic analysis.
 
+* :mod:`repro.attacks.base` — the Attack contract every attack
+  implements (``name`` / ``params()`` / ``fit`` / ``predict`` /
+  ``spec()``), mirroring the Defense contract.
+* :mod:`repro.attacks.registry` — taxonomy + factory:
+  ``build_attack(name, seed, **kwargs)`` and spec round-trips.
 * :mod:`repro.attacks.features` — the k-FP feature set (timing,
   direction, ordering, concentration, burst and size statistics).
 * :mod:`repro.attacks.kfp` — the k-FP attack (Hayes & Danezis) used in
   the paper's Table 2, in classic random-forest mode and in
   leaf-vector k-NN mode.
 * :mod:`repro.attacks.knn_attack` — a simple feature k-NN baseline.
+* :mod:`repro.attacks.cumul` — the CUMUL attack (timing-blind
+  cumulative size curves).
+* :mod:`repro.attacks.tam` — the coarse-grained time x direction
+  traffic aggregation matrix representation.
+* :mod:`repro.attacks.dl` — the deep-learning-class attack
+  (TAM + from-scratch numpy MLP).
 * :mod:`repro.attacks.cca_id` — passive congestion-control
   identification (the paper's §5.2 CCAnalyzer discussion).
 """
 
+from repro.attacks.base import Attack, TraceAttack
+from repro.attacks.cca_id import CcaIdentifier
+from repro.attacks.cumul import CumulAttack, cumulative_features
+from repro.attacks.dl import TamMlpAttack
 from repro.attacks.features.kfp import KfpFeatureExtractor, extract_features
 from repro.attacks.kfp import KFingerprinting
 from repro.attacks.knn_attack import FeatureKnnAttack
-from repro.attacks.cumul import CumulAttack, cumulative_features
+from repro.attacks.registry import (
+    ATTACK_REGISTRY,
+    ATTACK_TAXONOMY,
+    AttackInfo,
+    attack_from_spec,
+    build_attack,
+    implemented_attacks,
+)
+from repro.attacks.tam import TamExtractor
 
 __all__ = [
+    # contract + registry
+    "Attack",
+    "TraceAttack",
+    "AttackInfo",
+    "ATTACK_REGISTRY",
+    "ATTACK_TAXONOMY",
+    "attack_from_spec",
+    "build_attack",
+    "implemented_attacks",
+    # attacks
     "KfpFeatureExtractor",
     "extract_features",
     "KFingerprinting",
     "FeatureKnnAttack",
     "CumulAttack",
     "cumulative_features",
+    "TamExtractor",
+    "TamMlpAttack",
+    "CcaIdentifier",
 ]

@@ -14,14 +14,13 @@ size-changing defenses (splitting) should.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.capture.dataset import Dataset
+from repro.attacks.base import TraceAttack
 from repro.capture.trace import Trace
 from repro.ml.linear import LinearSVC
-from repro.ml.metrics import accuracy_score
 
 
 def cumulative_features(trace: Trace, n_interp: int = 100) -> np.ndarray:
@@ -43,8 +42,11 @@ def cumulative_features(trace: Trace, n_interp: int = 100) -> np.ndarray:
     return np.concatenate([header, samples])
 
 
-class CumulAttack:
+class CumulAttack(TraceAttack):
     """Linear-SVM CUMUL."""
+
+    name = "cumul"
+    seed_kwarg = "random_state"
 
     def __init__(
         self,
@@ -55,22 +57,21 @@ class CumulAttack:
         self.n_interp = n_interp
         self.svm = LinearSVC(epochs=epochs, random_state=random_state)
 
+    def params(self) -> Dict[str, object]:
+        return {
+            "n_interp": self.n_interp,
+            "epochs": self.svm.epochs,
+            "random_state": self.svm.random_state,
+        }
+
     def _features(self, traces: Sequence[Trace]) -> np.ndarray:
         return np.vstack(
             [cumulative_features(t, self.n_interp) for t in traces]
         )
 
-    def fit_traces(self, traces: Sequence[Trace], y: np.ndarray) -> "CumulAttack":
+    def fit(self, traces: Sequence[Trace], y: np.ndarray) -> "CumulAttack":
         self.svm.fit(self._features(traces), y)
         return self
 
-    def fit_dataset(self, dataset: Dataset) -> "CumulAttack":
-        traces, y = dataset.to_arrays()
-        return self.fit_traces(traces, y)
-
-    def predict_traces(self, traces: Sequence[Trace]) -> np.ndarray:
+    def predict(self, traces: Sequence[Trace]) -> np.ndarray:
         return self.svm.predict(self._features(traces))
-
-    def score_dataset(self, dataset: Dataset) -> float:
-        traces, y = dataset.to_arrays()
-        return accuracy_score(y, self.predict_traces(traces))

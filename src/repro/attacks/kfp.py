@@ -13,19 +13,19 @@ k-FP proceeds in two stages:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.attacks.base import TraceAttack
 from repro.attacks.features.kfp import KfpFeatureExtractor
 from repro.capture.dataset import Dataset
 from repro.capture.trace import Trace
 from repro.ml.forest import RandomForest
 from repro.ml.knn import KNeighborsClassifier
-from repro.ml.metrics import accuracy_score
 
 
-class KFingerprinting:
+class KFingerprinting(TraceAttack):
     """The k-FP attack.
 
     Parameters
@@ -43,8 +43,11 @@ class KFingerprinting:
     n_jobs:
         Processes for feature extraction and forest fit/predict
         (1 = in-process, 0 = one per core; results are bit-identical
-        for any value).
+        for any value — wall-clock only, so excluded from ``params()``).
     """
+
+    name = "kfp"
+    seed_kwarg = "random_state"
 
     def __init__(
         self,
@@ -71,9 +74,18 @@ class KFingerprinting:
         self._leaf_knn: Optional[KNeighborsClassifier] = None
         self.labels_: List[str] = []
 
+    def params(self) -> Dict[str, object]:
+        return {
+            "n_estimators": self.forest.n_estimators,
+            "mode": self.mode,
+            "k_neighbors": self.k_neighbors,
+            "max_depth": self.forest.max_depth,
+            "random_state": self.forest.random_state,
+        }
+
     # -- fitting -------------------------------------------------------------------
 
-    def fit_traces(self, traces: Sequence[Trace], y: np.ndarray) -> "KFingerprinting":
+    def fit(self, traces: Sequence[Trace], y: np.ndarray) -> "KFingerprinting":
         """Fit on raw traces with integer labels."""
         X = self.extractor.extract_many(traces, workers=self.n_jobs)
         return self.fit_features(X, y)
@@ -93,11 +105,11 @@ class KFingerprinting:
         """Fit on a labelled dataset (labels recorded for reporting)."""
         traces, y = dataset.to_arrays()
         self.labels_ = dataset.labels
-        return self.fit_traces(traces, y)
+        return self.fit(traces, y)
 
     # -- prediction ------------------------------------------------------------------
 
-    def predict_traces(self, traces: Sequence[Trace]) -> np.ndarray:
+    def predict(self, traces: Sequence[Trace]) -> np.ndarray:
         X = self.extractor.extract_many(traces, workers=self.n_jobs)
         return self.predict_features(X)
 
@@ -107,11 +119,6 @@ class KFingerprinting:
         if self._leaf_knn is None:
             raise RuntimeError("attack is not fitted")
         return self._leaf_knn.predict(self.forest.apply(X))
-
-    def score_dataset(self, dataset: Dataset) -> float:
-        """Closed-world accuracy on a labelled dataset."""
-        traces, y = dataset.to_arrays()
-        return accuracy_score(y, self.predict_traces(traces))
 
     def feature_importances(self) -> np.ndarray:
         """Mean decrease-in-impurity proxy: how often each feature is

@@ -8,19 +8,21 @@ the defense results.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.attacks.base import TraceAttack
 from repro.attacks.features.kfp import KfpFeatureExtractor
-from repro.capture.dataset import Dataset
 from repro.capture.trace import Trace
 from repro.ml.knn import KNeighborsClassifier
-from repro.ml.metrics import accuracy_score
 
 
-class FeatureKnnAttack:
+class FeatureKnnAttack(TraceAttack):
     """k-NN over normalised k-FP features."""
+
+    name = "knn"
+    seed_kwarg = None  # brute-force k-NN has no randomness to seed
 
     def __init__(self, n_neighbors: int = 5) -> None:
         self.extractor = KfpFeatureExtractor()
@@ -28,11 +30,18 @@ class FeatureKnnAttack:
         self._mean: Optional[np.ndarray] = None
         self._std: Optional[np.ndarray] = None
 
+    def params(self) -> Dict[str, object]:
+        return {"n_neighbors": self.knn.n_neighbors}
+
     def _normalise(self, X: np.ndarray) -> np.ndarray:
         return (X - self._mean) / self._std
 
-    def fit_traces(self, traces: Sequence[Trace], y: np.ndarray) -> "FeatureKnnAttack":
+    def fit(self, traces: Sequence[Trace], y: np.ndarray) -> "FeatureKnnAttack":
         X = self.extractor.extract_many(traces)
+        return self.fit_features(X, y)
+
+    def fit_features(self, X: np.ndarray, y: np.ndarray) -> "FeatureKnnAttack":
+        """Fit on pre-extracted k-FP feature matrices."""
         self._mean = X.mean(axis=0)
         std = X.std(axis=0)
         # Constant features carry no information; avoid dividing by 0.
@@ -40,16 +49,11 @@ class FeatureKnnAttack:
         self.knn.fit(self._normalise(X), y)
         return self
 
-    def fit_dataset(self, dataset: Dataset) -> "FeatureKnnAttack":
-        traces, y = dataset.to_arrays()
-        return self.fit_traces(traces, y)
+    def predict(self, traces: Sequence[Trace]) -> np.ndarray:
+        X = self.extractor.extract_many(traces)
+        return self.predict_features(X)
 
-    def predict_traces(self, traces: Sequence[Trace]) -> np.ndarray:
+    def predict_features(self, X: np.ndarray) -> np.ndarray:
         if self._mean is None:
             raise RuntimeError("attack is not fitted")
-        X = self.extractor.extract_many(traces)
         return self.knn.predict(self._normalise(X))
-
-    def score_dataset(self, dataset: Dataset) -> float:
-        traces, y = dataset.to_arrays()
-        return accuracy_score(y, self.predict_traces(traces))

@@ -1,0 +1,101 @@
+"""The attack taxonomy and factory — the attacker-side mirror of
+:mod:`repro.defenses.registry`.
+
+Every registered attack implements the full Attack contract
+(:mod:`repro.attacks.base`): ``name``, total ``params()``,
+deterministic ``fit``/``predict`` and a ``spec()`` that round-trips
+through :func:`attack_from_spec`.  Experiments look attacks up here by
+short name instead of hardcoding constructors, so adding an attacker
+is one registry entry — every experiment (Table 2, attack robustness,
+open world) and the CLI pick it up automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.attacks.base import TraceAttack
+from repro.attacks.cumul import CumulAttack
+from repro.attacks.dl import TamMlpAttack
+from repro.attacks.kfp import KFingerprinting
+from repro.attacks.knn_attack import FeatureKnnAttack
+
+
+@dataclass(frozen=True)
+class AttackInfo:
+    """One row of the attack taxonomy."""
+
+    attack: str
+    family: str  # classical | deep-learning-class
+    features: str  # what the attack keys on
+    implemented_as: str  # class name in repro.attacks
+    notes: str = ""
+
+
+#: The attacker families the reproduction evaluates, by short name.
+ATTACK_TAXONOMY: Tuple[AttackInfo, ...] = (
+    AttackInfo(
+        "kfp", "classical", "timing + size/direction statistics",
+        "KFingerprinting",
+        "Hayes & Danezis random forest (the paper's Table 2 attacker)",
+    ),
+    AttackInfo(
+        "cumul", "classical", "cumulative size curves (timing-blind)",
+        "CumulAttack",
+        "Panchenko et al.; linear-SVM variant",
+    ),
+    AttackInfo(
+        "knn", "classical", "k-FP features, euclidean k-NN",
+        "FeatureKnnAttack",
+        "Wang-style baseline; weaker consumer of the k-FP features",
+    ),
+    AttackInfo(
+        "tam-mlp", "deep-learning-class", "learned over time x direction matrices",
+        "TamMlpAttack",
+        "TAM representation + from-scratch numpy MLP (DF-style attacker)",
+    ),
+)
+
+#: The attack registry: short name -> class.  ``build_attack(name,
+#: seed, **kwargs)`` round-trips for any configured instance.
+#: (:class:`repro.attacks.cca_id.CcaIdentifier` also implements the
+#: contract but classifies congestion controllers, not sites, so it
+#: stays out of the WF registry.)
+ATTACK_REGISTRY: Dict[str, type] = {
+    "kfp": KFingerprinting,
+    "cumul": CumulAttack,
+    "knn": FeatureKnnAttack,
+    "tam-mlp": TamMlpAttack,
+}
+
+
+def build_attack(name: str, seed: int = 0, **kwargs) -> TraceAttack:
+    """Instantiate an attack by its short name.
+
+    ``kwargs`` are the class's constructor parameters; passing an
+    attack's own ``params()`` dict reconstructs it exactly.  ``seed``
+    lands on the class's declared ``seed_kwarg`` (``random_state`` for
+    the classical attacks, ``seed`` for the DL attack) unless that
+    kwarg already arrived explicitly; seedless attacks ignore it.
+    """
+    try:
+        cls = ATTACK_REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown attack {name!r}; choose from {sorted(ATTACK_REGISTRY)}"
+        ) from None
+    if cls.seed_kwarg is not None:
+        kwargs.setdefault(cls.seed_kwarg, seed)
+    return cls(**kwargs)
+
+
+def attack_from_spec(spec: Dict[str, object]) -> TraceAttack:
+    """Rebuild an attack from a ``{"name": ..., "params": {...}}`` spec
+    (the cache's canonical attack identity)."""
+    return build_attack(str(spec["name"]), **dict(spec["params"]))
+
+
+def implemented_attacks() -> Tuple[str, ...]:
+    """Short names of every registered attack, sorted."""
+    return tuple(sorted(ATTACK_REGISTRY))

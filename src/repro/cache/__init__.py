@@ -28,6 +28,7 @@ from repro.cache.canonical import canonical_json, digest, jsonable
 from repro.cache.keys import CODE_VERSION, STAGE_VERSIONS, CacheKey
 from repro.cache.store import ArtifactStore, StoreStats, aggregate_run_stats
 from repro.cache.pipeline import (
+    attack_eval_key,
     cached_array,
     cached_arrays,
     cached_dataset,
@@ -49,6 +50,7 @@ __all__ = [
     "STAGE_VERSIONS",
     "StoreStats",
     "aggregate_run_stats",
+    "attack_eval_key",
     "cached_array",
     "cached_arrays",
     "cached_dataset",

@@ -109,14 +109,17 @@ def defend_key(
 
 
 def features_key(upstream: CacheKey, extractor: Any) -> CacheKey:
-    return CacheKey.derive(
-        "features",
-        {
-            "extractor": getattr(extractor, "name", type(extractor).__name__),
-            "extractor_version": getattr(extractor, "version", 0),
-        },
-        upstream=(upstream,),
-    )
+    config = {
+        "extractor": getattr(extractor, "name", type(extractor).__name__),
+        "extractor_version": getattr(extractor, "version", 0),
+    }
+    # Parameterised extractors (e.g. the TAM matrix geometry) fold their
+    # params into the key; the kfp extractor has none, so its historical
+    # digests are unchanged.
+    params = getattr(extractor, "params", None)
+    if callable(params):
+        config["params"] = params()
+    return CacheKey.derive("features", config, upstream=(upstream,))
 
 
 def eval_key(
@@ -125,6 +128,23 @@ def eval_key(
     return CacheKey.derive(
         "eval",
         {"n_folds": n_folds, "n_estimators": n_estimators, "seed": seed},
+        upstream=(upstream,),
+    )
+
+
+def attack_eval_key(
+    upstream: CacheKey, attack_spec: dict, n_folds: int, seed: int
+) -> CacheKey:
+    """Key of a cross-validated evaluation of one configured attack.
+
+    The attack's full spec (registry name + total ``params()``) is the
+    config, so changing any attack hyperparameter — forest size, MLP
+    width, TAM geometry — recomputes exactly that attack's cells while
+    every other attack's fold scores stay cached.
+    """
+    return CacheKey.derive(
+        "eval",
+        {"attack": attack_spec, "n_folds": n_folds, "seed": seed},
         upstream=(upstream,),
     )
 

@@ -10,7 +10,14 @@ Each subcommand regenerates one table/figure of the paper:
 * ``repro cca-id`` — §5.2 CCA identification;
 * ``repro adverse`` — k-FP grid under adverse network conditions;
 * ``repro sweep`` — split-threshold x delay-intensity parameter grid;
+* ``repro robustness`` — attacker x defense grid over every
+  registered attack (``repro attacks`` lists them);
 * ``repro collect`` — collect and save the 9-site dataset for reuse.
+
+``table2``, ``open-world`` and ``robustness`` accept ``--attack NAME``
+to swap the attacker (k-FP, CUMUL, feature k-NN, or the
+deep-learning-class TAM+MLP); attack specs are folded into cache keys
+so per-attack grids coexist in one ``--cache`` store.
 
 Every dataset-producing subcommand accepts ``--seed``, ``--out`` and
 ``--resume``; ``--checkpoint PATH`` enables the resilient runner's
@@ -123,6 +130,18 @@ def _add_obs(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_attack(
+    parser: argparse.ArgumentParser, default: Optional[str] = "kfp"
+) -> None:
+    parser.add_argument(
+        "--attack", type=str, default=default,
+        help="registered attacker to evaluate (list them with "
+        "`repro attacks`; default: "
+        + ("%(default)s" if default else "all of them")
+        + ")",
+    )
+
+
 def _add_workers(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=1,
@@ -196,6 +215,15 @@ def _validate_common(parser: argparse.ArgumentParser, args) -> None:
     retries = getattr(args, "retries", None)
     if retries is not None and retries < 1:
         parser.error(f"--retries must be >= 1, got {retries}")
+    attack = getattr(args, "attack", None)
+    if attack is not None:
+        from repro.attacks.registry import implemented_attacks
+
+        if attack.lower() not in implemented_attacks():
+            parser.error(
+                f"unknown attack {attack!r}; choose from "
+                f"{', '.join(implemented_attacks())}"
+            )
 
 
 def _store(args):
@@ -306,8 +334,8 @@ def cmd_table2(args) -> int:
     dataset = None
     if args.dataset or getattr(args, "checkpoint", None):
         dataset = _load_or_collect(args, config, store)
-    table = run_table2(config, dataset=dataset, cache=store)
-    _emit(format_table2(table), args.out)
+    table = run_table2(config, dataset=dataset, cache=store, attack=args.attack)
+    _emit(format_table2(table, attack=args.attack), args.out)
     return 0
 
 
@@ -377,8 +405,45 @@ def cmd_work_conservation(args) -> int:
 def cmd_open_world(args) -> int:
     from repro.experiments.open_world import format_open_world, run_open_world
 
-    results = run_open_world(seed=args.seed)
-    print(format_open_world(results))
+    results = run_open_world(seed=args.seed, attack=args.attack)
+    print(format_open_world(results, attack=args.attack))
+    return 0
+
+
+def cmd_robustness(args) -> int:
+    from repro.experiments.attack_robustness import (
+        format_attack_robustness,
+        run_attack_robustness,
+    )
+
+    config = _config(args)
+    dataset = None
+    if args.dataset or getattr(args, "checkpoint", None):
+        dataset = _load_or_collect(args, config, _store(args))
+    attacks = [args.attack] if args.attack else None
+    cells = run_attack_robustness(config, dataset=dataset, attacks=attacks)
+    _emit(format_attack_robustness(cells), args.out)
+    return 0
+
+
+def cmd_attacks(args) -> int:
+    from repro.attacks.registry import ATTACK_TAXONOMY, implemented_attacks
+
+    lines = [
+        "Registered website-fingerprinting attacks "
+        "(usable as --attack NAME):",
+        f"{'attack':<8} {'family':<20} {'class':<18} features",
+    ]
+    for info in ATTACK_TAXONOMY:
+        lines.append(
+            f"{info.attack:<8} {info.family:<20} "
+            f"{info.implemented_as:<18} {info.features}"
+        )
+        if info.notes:
+            lines.append(f"{'':8} {info.notes}")
+    lines.append("")
+    lines.append(f"implemented: {', '.join(implemented_attacks())}")
+    print("\n".join(lines))
     return 0
 
 
@@ -634,9 +699,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.set_defaults(func=cmd_table1)
 
-    p = sub.add_parser("table2", help="k-FP accuracy grid")
+    p = sub.add_parser("table2", help="attack accuracy grid (default k-FP)")
     _add_common(p)
     _add_dataset_opts(p)
+    _add_attack(p)
     _add_workers(p)
     _add_supervise(p)
     _add_cache(p)
@@ -680,9 +746,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.set_defaults(func=cmd_work_conservation)
 
-    p = sub.add_parser("open-world", help="open-world k-FP evaluation")
+    p = sub.add_parser("open-world", help="open-world attack evaluation")
     _add_common(p)
+    _add_attack(p)
     p.set_defaults(func=cmd_open_world)
+
+    p = sub.add_parser(
+        "robustness",
+        help="attacker x defense accuracy grid (full traces)",
+    )
+    _add_common(p)
+    _add_dataset_opts(p)
+    _add_attack(p, default=None)
+    _add_workers(p)
+    _add_supervise(p)
+    _add_cache(p)
+    _add_obs(p)
+    p.set_defaults(func=cmd_robustness)
+
+    p = sub.add_parser(
+        "attacks",
+        help="list registered attacks (the --attack choices)",
+    )
+    p.set_defaults(func=cmd_attacks)
 
     p = sub.add_parser("quic-vs-tcp", help="fingerprintability across transports")
     _add_common(p)

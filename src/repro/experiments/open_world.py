@@ -24,6 +24,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.attacks.kfp import KFingerprinting
+from repro.attacks.registry import build_attack
 from repro.capture.dataset import Dataset
 from repro.defenses.base import NoDefense, TraceDefense
 from repro.defenses.combined import CombinedDefense
@@ -81,8 +82,17 @@ def evaluate_open_world(
     n_estimators: int = 80,
     test_fraction: float = 0.3,
     seed: int = 0,
+    attack: str = "kfp",
 ) -> OpenWorldResult:
-    """One open-world evaluation round."""
+    """One open-world evaluation round.
+
+    ``attack`` names any registered attacker.  k-FP (the default) uses
+    its leaf-vector k-NN with the unanimity rule — the original
+    paper's open-world matcher.  Every other attack trains with an
+    explicit UNMONITORED background class and rejects by predicting
+    it: weaker than a calibrated rejector, but the standard closed-set
+    adaptation, and enough to compare attackers' base-rate behaviour.
+    """
     defense = defense or NoDefense()
     monitored = monitored.map(defense.apply)
     background = background.map(defense.apply)
@@ -95,30 +105,43 @@ def evaluate_open_world(
     train_bg = background.subset(labels[:split])
     test_bg = background.subset(labels[split:])
 
-    attack = KFingerprinting(
-        n_estimators=n_estimators,
-        mode="leaf-knn",
-        k_neighbors=k_neighbors,
-        random_state=seed,
-    )
     train_traces, train_y = train_mon.to_arrays()
     bg_traces, _ = train_bg.to_arrays()
-    # Background training data gets the UNMONITORED label so the
-    # unanimity rule has negative neighbours to disagree with.
-    X = attack.extractor.extract_many(list(train_traces) + list(bg_traces))
-    y = np.concatenate(
-        [train_y, np.full(len(bg_traces), len(train_mon.labels))]
-    )
-    attack.fit_features(X, y)
     unmon_class = len(train_mon.labels)
+    # Background training data gets the UNMONITORED label so the
+    # unanimity rule (or the generic attack's classifier) has negative
+    # neighbours to disagree with.
+    y = np.concatenate(
+        [train_y, np.full(len(bg_traces), unmon_class)]
+    )
 
-    def predict(dataset: Dataset) -> np.ndarray:
-        traces, _ = dataset.to_arrays()
-        features = attack.extractor.extract_many(traces)
-        leaves = attack.forest.apply(features)
-        votes = attack._leaf_knn.predict_unanimous(leaves, fallback=UNMONITORED)
-        votes[votes == unmon_class] = UNMONITORED
-        return votes
+    if attack == "kfp":
+        kfp = KFingerprinting(
+            n_estimators=n_estimators,
+            mode="leaf-knn",
+            k_neighbors=k_neighbors,
+            random_state=seed,
+        )
+        X = kfp.extractor.extract_many(list(train_traces) + list(bg_traces))
+        kfp.fit_features(X, y)
+
+        def predict(dataset: Dataset) -> np.ndarray:
+            traces, _ = dataset.to_arrays()
+            features = kfp.extractor.extract_many(traces)
+            leaves = kfp.forest.apply(features)
+            votes = kfp._leaf_knn.predict_unanimous(leaves, fallback=UNMONITORED)
+            votes[votes == unmon_class] = UNMONITORED
+            return votes
+
+    else:
+        model = build_attack(attack, seed=seed)
+        model.fit(list(train_traces) + list(bg_traces), y)
+
+        def predict(dataset: Dataset) -> np.ndarray:
+            traces, _ = dataset.to_arrays()
+            votes = np.asarray(model.predict(list(traces)))
+            votes[votes == unmon_class] = UNMONITORED
+            return votes
 
     mon_pred = predict(test_mon)
     _traces, mon_true = test_mon.to_arrays()
@@ -145,6 +168,7 @@ def run_open_world(
     seed: int = 0,
     n_monitored_samples: int = 20,
     n_background_sites: int = 40,
+    attack: str = "kfp",
 ) -> List[OpenWorldResult]:
     """Open-world precision/recall, undefended vs combined defense."""
     monitored, background = build_open_world(
@@ -153,16 +177,24 @@ def run_open_world(
         seed=seed,
     )
     return [
-        evaluate_open_world(monitored, background, NoDefense(), seed=seed),
         evaluate_open_world(
-            monitored, background, CombinedDefense(seed=seed), seed=seed
+            monitored, background, NoDefense(), seed=seed, attack=attack
+        ),
+        evaluate_open_world(
+            monitored, background, CombinedDefense(seed=seed), seed=seed,
+            attack=attack,
         ),
     ]
 
 
-def format_open_world(results: List[OpenWorldResult]) -> str:
+def format_open_world(results: List[OpenWorldResult], attack: str = "kfp") -> str:
+    matcher = (
+        "k-FP (unanimous leaf-kNN)"
+        if attack == "kfp"
+        else f"{attack} (background-class rejection)"
+    )
     lines = [
-        "Open-world k-FP (unanimous leaf-kNN): monitored 9 sites vs "
+        f"Open-world {matcher}: monitored 9 sites vs "
         "unseen background sites",
         f"{'defense':<10} {'precision':>10} {'recall':>8} {'FPR':>7} "
         f"{'mon/bg test':>12}",

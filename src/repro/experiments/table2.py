@@ -22,14 +22,17 @@ of a network trace".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.attacks.base import TraceAttack
 from repro.attacks.features.kfp import KfpFeatureExtractor
+from repro.attacks.registry import build_attack
 from repro.cache import (
     ArtifactStore,
     CacheKey,
+    attack_eval_key,
     cached_arrays,
     cached_dataset,
     cached_json,
@@ -42,10 +45,8 @@ from repro.cache import (
 )
 from repro.capture.dataset import Dataset
 from repro.capture.sanitize import sanitize_dataset
-from repro.defenses.base import NoDefense, TraceDefense
-from repro.defenses.combined import CombinedDefense
-from repro.defenses.delay import DelayDefense
-from repro.defenses.split import SplitDefense
+from repro.defenses.base import TraceDefense
+from repro.defenses.registry import build_defense
 from repro.experiments.config import ExperimentConfig
 from repro.ml.forest import RandomForest
 from repro.ml.metrics import accuracy_score, mean_std
@@ -60,13 +61,37 @@ N_VALUES = (15, 30, 45)
 
 
 def make_defenses(seed: int) -> Dict[str, TraceDefense]:
-    """The four Table-2 conditions with the paper's parameters."""
+    """The four Table-2 conditions with the paper's parameters,
+    resolved through the defense registry (same instances as ever:
+    ``build_defense`` round-trips the exact constructor calls)."""
     return {
-        "original": NoDefense(),
-        "split": SplitDefense(threshold=1200, factor=2, seed=seed),
-        "delayed": DelayDefense(low=0.10, high=0.30, seed=seed + 1),
-        "combined": CombinedDefense(seed=seed + 2),
+        "original": build_defense("original"),
+        "split": build_defense("split", seed=seed, threshold=1200, factor=2),
+        "delayed": build_defense("delayed", seed=seed + 1, low=0.10, high=0.30),
+        "combined": build_defense("combined", seed=seed + 2),
     }
+
+
+def make_attack(
+    config: ExperimentConfig, name: str = "kfp", seed: Optional[int] = None
+) -> TraceAttack:
+    """The experiment-standard configuration of a registered attack.
+
+    Maps the experiment config onto each attack's own hyperparameters
+    (the same values the attack-robustness experiment always used) and
+    routes ``seed`` through the registry's ``seed_kwarg`` plumbing.
+    Worker counts ride along where they are wall-clock-only.
+    """
+    kwargs: Dict[str, object] = {}
+    if name == "kfp":
+        kwargs = {"n_estimators": config.n_estimators, "n_jobs": config.workers}
+    elif name == "cumul":
+        kwargs = {"epochs": 20}
+    elif name == "knn":
+        kwargs = {"n_neighbors": 3}
+    elif name == "tam-mlp":
+        kwargs = {"workers": config.workers}
+    return build_attack(name, seed=config.seed if seed is None else seed, **kwargs)
 
 
 def build_datasets(
@@ -174,6 +199,88 @@ def evaluate_cached(
     return cached_json(cache, ekey, scores)
 
 
+def attack_fold_scores(
+    name: str,
+    config: ExperimentConfig,
+    y: np.ndarray,
+    X: Optional[np.ndarray] = None,
+    traces: Optional[Sequence] = None,
+) -> List[float]:
+    """k-fold accuracies of one registered attack.
+
+    Uses the same fold generator and the same per-fold seed schedule
+    (``config.seed + fold_index``) as the historical k-FP path, so
+    ``attack_fold_scores("kfp", ...)`` on kfp features is bit-identical
+    to :func:`_fold_scores`.  ``X`` is the pre-extracted feature matrix
+    for attacks with a feature extractor; attacks without one (CUMUL)
+    fit on ``traces`` directly.
+    """
+    rng = np.random.default_rng(config.seed)
+    scores: List[float] = []
+    for fold_index, (train_idx, test_idx) in enumerate(
+        stratified_kfold_indices(y, config.n_folds, rng)
+    ):
+        attack = make_attack(config, name, seed=config.seed + fold_index)
+        if X is not None:
+            attack.fit_features(X[train_idx], y[train_idx])
+            predicted = attack.predict_features(X[test_idx])
+        else:
+            if traces is None:
+                raise ValueError("attack_fold_scores needs X or traces")
+            attack.fit([traces[i] for i in train_idx], y[train_idx])
+            predicted = attack.predict([traces[i] for i in test_idx])
+        scores.append(float(accuracy_score(y[test_idx], predicted)))
+    return scores
+
+
+def evaluate_cached_attack(
+    config: ExperimentConfig,
+    build: Callable[[], Dataset],
+    attack: str = "kfp",
+    cache: Optional[ArtifactStore] = None,
+    upstream: Optional[CacheKey] = None,
+) -> List[float]:
+    """Fold scores of any registered attack, with per-attack caching.
+
+    The generic sibling of :func:`evaluate_cached`: the eval key folds
+    in the attack's full spec (:func:`repro.cache.attack_eval_key`), so
+    changing one attack's hyperparameters — or adding a new attacker —
+    recomputes only that attack's cells while every other attack's fold
+    scores (and the shared cached feature matrices) stay warm.
+    Attacks that declare a feature ``extractor`` chain a features stage
+    onto ``upstream`` and share it across folds; extractor-less attacks
+    (CUMUL) fit on the defended traces directly.
+    """
+    template = make_attack(config, attack)
+    extractor = template.extractor
+
+    def scores() -> List[float]:
+        if extractor is None:
+            traces, y = build().to_arrays()
+            return attack_fold_scores(attack, config, y, traces=list(traces))
+
+        def features() -> dict:
+            traces, y = build().to_arrays()
+            workers = getattr(config, "workers", 1)
+            return {"X": extractor.extract_many(traces, workers=workers), "y": y}
+
+        fkey = (
+            features_key(upstream, extractor)
+            if cache is not None and upstream is not None
+            else None
+        )
+        arrays = cached_arrays(cache, fkey, features)
+        return attack_fold_scores(attack, config, arrays["y"], X=arrays["X"])
+
+    if cache is None or upstream is None:
+        return scores()
+    base = (
+        features_key(upstream, extractor) if extractor is not None else upstream
+    )
+    ekey = attack_eval_key(base, template.spec(), config.n_folds, config.seed)
+    return cached_json(cache, ekey, scores)
+
+
 def dataset_chain(
     config: ExperimentConfig,
     dataset: Optional[Dataset] = None,
@@ -237,6 +344,7 @@ def run_table2(
     config: Optional[ExperimentConfig] = None,
     dataset: Optional[Dataset] = None,
     cache: Optional[ArtifactStore] = None,
+    attack: str = "kfp",
 ) -> Dict[Tuple[str, object], Table2Cell]:
     """The full Table 2.  ``dataset`` may be supplied to reuse a
     previously collected raw dataset (it is sanitised here).
@@ -245,6 +353,11 @@ def run_table2(
     a warm re-run touches no simulator, defense or forest code, and a
     partial change (say, a defense parameter) recomputes only the
     stages downstream of it.  Results are identical either way.
+
+    ``attack`` selects any registered attacker.  The default k-FP run
+    keeps its historical cache keys and bit-identical numbers; other
+    attacks go through :func:`evaluate_cached_attack`, whose keys fold
+    in the attack spec so the grids coexist in one store.
     """
     config = config or ExperimentConfig()
     get_clean, clean_key = dataset_chain(config, dataset, cache)
@@ -264,18 +377,35 @@ def run_table2(
                 base = clean if prefix is None else clean.truncate(prefix)
                 return base.map(defense.apply)
 
-            scores = evaluate_cached(
-                config, build, extractor, cache=cache, upstream=dkey
-            )
+            if attack == "kfp":
+                scores = evaluate_cached(
+                    config, build, extractor, cache=cache, upstream=dkey
+                )
+            else:
+                scores = evaluate_cached_attack(
+                    config, build, attack, cache=cache, upstream=dkey
+                )
             mean, std = mean_std(scores)
             table[(name, n)] = Table2Cell(name, n, mean, std, scores)
     return table
 
 
-def format_table2(table: Dict[Tuple[str, object], Table2Cell]) -> str:
+#: Table-header spelling of each registered attack.
+ATTACK_TITLES = {
+    "kfp": "k-FP Random Forest",
+    "cumul": "CUMUL linear-SVM",
+    "knn": "feature k-NN",
+    "tam-mlp": "TAM + MLP (deep-learning-class)",
+}
+
+
+def format_table2(
+    table: Dict[Tuple[str, object], Table2Cell], attack: str = "kfp"
+) -> str:
     """Render in the paper's layout."""
+    title = ATTACK_TITLES.get(attack, attack)
     lines = [
-        "Table 2: k-FP Random Forest accuracy rates (closed world, 9 sites)",
+        f"Table 2: {title} accuracy rates (closed world, 9 sites)",
         f"{'N':>4} | " + " | ".join(f"{d.capitalize():>15}" for d in DEFENSE_ORDER),
     ]
     for n in list(N_VALUES) + ["all"]:
@@ -283,3 +413,32 @@ def format_table2(table: Dict[Tuple[str, object], Table2Cell]) -> str:
         row += " | ".join(f"{str(table[(d, n)]):>15}" for d in DEFENSE_ORDER)
         lines.append(row)
     return "\n".join(lines)
+
+
+def table2_json(
+    table: Dict[Tuple[str, object], Table2Cell],
+    attack: str,
+    config: ExperimentConfig,
+) -> Dict[str, object]:
+    """A JSON-safe dump of one attack's grid (``results/`` artifacts)."""
+    return {
+        "experiment": "table2",
+        "attack": attack,
+        "config": {
+            "n_samples": config.n_samples,
+            "n_folds": config.n_folds,
+            "n_estimators": config.n_estimators,
+            "balance_to": config.balance_to,
+            "seed": config.seed,
+        },
+        "cells": [
+            {
+                "defense": cell.defense,
+                "n": cell.n,
+                "mean": cell.mean,
+                "std": cell.std,
+                "fold_scores": [float(s) for s in cell.fold_scores],
+            }
+            for cell in table.values()
+        ],
+    }

@@ -9,12 +9,16 @@ pieces k-FP needs from first principles, vectorised with numpy:
   fingerprint vectors),
 * :class:`~repro.ml.knn.KNeighborsClassifier` — brute-force k-NN with
   euclidean or hamming distance,
+* :class:`~repro.ml.mlp.MlpClassifier` — ReLU MLP with a minimal
+  backprop core (minibatch SGD + momentum, softmax cross-entropy),
+  the classifier behind the deep-learning-class TAM attack,
 * metrics and stratified cross-validation helpers.
 """
 
 from repro.ml.tree import DecisionTree
 from repro.ml.forest import RandomForest
 from repro.ml.knn import KNeighborsClassifier
+from repro.ml.mlp import MlpClassifier
 from repro.ml.metrics import (
     accuracy_score,
     confusion_matrix,
@@ -26,6 +30,7 @@ __all__ = [
     "DecisionTree",
     "RandomForest",
     "KNeighborsClassifier",
+    "MlpClassifier",
     "accuracy_score",
     "confusion_matrix",
     "precision_recall_f1",

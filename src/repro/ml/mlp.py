@@ -1,0 +1,236 @@
+"""A from-scratch multilayer perceptron (no torch available).
+
+Minibatch SGD with classical momentum over ReLU hidden layers and a
+softmax cross-entropy head — the minimal backprop core behind the
+deep-learning-class WF attack, built in the same spirit as the
+from-scratch :mod:`repro.ml.forest`: pure numpy, seed-stable, and
+bit-identical across runs (initialisation, shuffling and update order
+are all fixed by ``seed``; no threading enters the math).
+
+Inputs are z-score normalised inside :meth:`MlpClassifier.fit` (the
+statistics are stored, so prediction normalises identically).  Layer
+weights use He initialisation, the standard scale for ReLU nets.
+
+Training curves flow through :mod:`repro.obs` when a session is live:
+``mlp.epochs`` / ``mlp.steps`` counters, an ``mlp.train_loss`` gauge
+(min/max envelope = the curve's range) and one ``mlp.epoch`` trace
+event per epoch.  ``history_`` always records the per-epoch mean batch
+loss in-process.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs import runtime as _obs_runtime
+
+
+def _relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def _log_softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+
+
+class MlpClassifier:
+    """ReLU MLP trained by minibatch SGD with momentum.
+
+    Parameters
+    ----------
+    hidden:
+        Hidden layer widths, e.g. ``(128,)`` or ``(256, 128)``.
+    epochs:
+        Full passes over the training set.
+    batch_size:
+        Minibatch size (the final batch of an epoch may be smaller).
+    learning_rate:
+        Constant SGD step size.
+    momentum:
+        Classical momentum coefficient (0 disables).
+    l2:
+        L2 weight decay on the weight matrices (never the biases).
+    seed:
+        Fixes initialisation and epoch shuffling; equal seeds train
+        bit-identical models on equal data.
+    """
+
+    def __init__(
+        self,
+        hidden: Sequence[int] = (128,),
+        epochs: int = 40,
+        batch_size: int = 32,
+        learning_rate: float = 0.05,
+        momentum: float = 0.9,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        hidden = tuple(int(h) for h in hidden)
+        if any(h < 1 for h in hidden):
+            raise ValueError(f"hidden widths must be >= 1, got {hidden}")
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if l2 < 0:
+            raise ValueError(f"l2 must be >= 0, got {l2}")
+        self.hidden = hidden
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.l2 = l2
+        self.seed = seed
+        self.weights_: List[np.ndarray] = []
+        self.biases_: List[np.ndarray] = []
+        self.n_classes_: int = 0
+        self.history_: List[float] = []  # mean batch loss per epoch
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+
+    # -- normalisation ------------------------------------------------------
+
+    def _normalise(self, X: np.ndarray) -> np.ndarray:
+        return (X - self._mean) / self._std
+
+    # -- the backprop core --------------------------------------------------
+
+    def _init_params(self, n_features: int, rng: np.random.Generator) -> None:
+        """He-initialised weights, zero biases, zero velocities."""
+        widths = (n_features,) + self.hidden + (self.n_classes_,)
+        self.weights_ = [
+            rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_in, fan_out))
+            for fan_in, fan_out in zip(widths[:-1], widths[1:])
+        ]
+        self.biases_ = [np.zeros(fan_out) for fan_out in widths[1:]]
+
+    def _forward(self, Xn: np.ndarray) -> List[np.ndarray]:
+        """Layer activations: ``[input, hidden..., logits]``."""
+        activations = [Xn]
+        for index, (W, b) in enumerate(zip(self.weights_, self.biases_)):
+            z = activations[-1] @ W + b
+            is_output = index == len(self.weights_) - 1
+            activations.append(z if is_output else _relu(z))
+        return activations
+
+    def _loss(self, Xn: np.ndarray, y: np.ndarray) -> float:
+        """Mean cross-entropy plus the L2 penalty (the exact quantity
+        :meth:`_loss_and_grads` differentiates — finite-difference
+        checkable)."""
+        logits = self._forward(Xn)[-1]
+        nll = -_log_softmax(logits)[np.arange(len(y)), y].mean()
+        penalty = 0.5 * self.l2 * sum(float((W * W).sum()) for W in self.weights_)
+        return float(nll + penalty)
+
+    def _loss_and_grads(
+        self, Xn: np.ndarray, y: np.ndarray
+    ) -> Tuple[float, List[np.ndarray], List[np.ndarray]]:
+        """One forward/backward pass over a (normalised) batch."""
+        m = len(y)
+        activations = self._forward(Xn)
+        logits = activations[-1]
+        proba = _softmax(logits)
+        nll = -_log_softmax(logits)[np.arange(m), y].mean()
+        penalty = 0.5 * self.l2 * sum(float((W * W).sum()) for W in self.weights_)
+
+        delta = proba.copy()
+        delta[np.arange(m), y] -= 1.0
+        delta /= m
+        grads_W: List[np.ndarray] = [None] * len(self.weights_)
+        grads_b: List[np.ndarray] = [None] * len(self.weights_)
+        for index in range(len(self.weights_) - 1, -1, -1):
+            grads_W[index] = activations[index].T @ delta + self.l2 * self.weights_[index]
+            grads_b[index] = delta.sum(axis=0)
+            if index > 0:
+                # ReLU derivative: the stored activation is already
+                # max(z, 0), so "> 0" recovers the mask exactly.
+                delta = (delta @ self.weights_[index].T) * (activations[index] > 0)
+        return float(nll + penalty), grads_W, grads_b
+
+    # -- training -----------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MlpClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if len(X) != len(y):
+            raise ValueError(f"X has {len(X)} rows but y has {len(y)}")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        self._std = np.where(std > 0, std, 1.0)
+        Xn = self._normalise(X)
+        n, n_features = Xn.shape
+        self.n_classes_ = int(y.max()) + 1
+
+        rng = np.random.default_rng(self.seed)
+        self._init_params(n_features, rng)
+        velocity_W = [np.zeros_like(W) for W in self.weights_]
+        velocity_b = [np.zeros_like(b) for b in self.biases_]
+
+        obs = _obs_runtime.session()
+        if obs is not None:
+            obs_epochs = obs.registry.counter("mlp.epochs")
+            obs_steps = obs.registry.counter("mlp.steps")
+            obs_loss = obs.registry.gauge("mlp.train_loss")
+
+        self.history_ = []
+        for epoch in range(self.epochs):
+            order = rng.permutation(n)
+            batch_losses: List[float] = []
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                loss, grads_W, grads_b = self._loss_and_grads(Xn[batch], y[batch])
+                batch_losses.append(loss)
+                for index in range(len(self.weights_)):
+                    velocity_W[index] = (
+                        self.momentum * velocity_W[index]
+                        - self.learning_rate * grads_W[index]
+                    )
+                    velocity_b[index] = (
+                        self.momentum * velocity_b[index]
+                        - self.learning_rate * grads_b[index]
+                    )
+                    self.weights_[index] += velocity_W[index]
+                    self.biases_[index] += velocity_b[index]
+            epoch_loss = float(np.mean(batch_losses))
+            self.history_.append(epoch_loss)
+            if obs is not None:
+                obs_epochs.inc()
+                obs_steps.add(len(batch_losses))
+                obs_loss.set(epoch_loss)
+                obs.emit("mlp.epoch", "ml", epoch=epoch, loss=epoch_loss)
+        return self
+
+    # -- prediction ---------------------------------------------------------
+
+    def _check_fitted(self) -> None:
+        if not self.weights_:
+            raise RuntimeError("classifier is not fitted")
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Softmax class probabilities."""
+        self._check_fitted()
+        Xn = self._normalise(np.asarray(X, dtype=np.float64))
+        return _softmax(self._forward(Xn)[-1])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy on (X, y)."""
+        y = np.asarray(y, dtype=np.int64)
+        return float(np.mean(self.predict(X) == y))

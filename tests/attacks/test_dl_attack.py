@@ -1,0 +1,88 @@
+"""TamMlpAttack: seed stability, serial-vs-parallel bit-identity, and
+closed-world accuracy on generated traffic."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.dl import TamMlpAttack
+from repro.web.tracegen import StatisticalTraceGenerator
+
+
+@pytest.fixture(scope="module")
+def tiny_world():
+    """A small labelled closed world from the statistical generator."""
+    generator = StatisticalTraceGenerator(seed=3)
+    dataset = generator.generate_dataset(n_samples=8, seed=3)
+    traces, y = dataset.to_arrays()
+    rng = np.random.default_rng(0)
+    order = rng.permutation(len(y))
+    split = int(len(y) * 0.75)
+    train_idx, test_idx = order[:split], order[split:]
+    traces = list(traces)
+    return (
+        [traces[i] for i in train_idx],
+        y[train_idx],
+        [traces[i] for i in test_idx],
+        y[test_idx],
+    )
+
+
+def _attack(**kwargs):
+    defaults = dict(n_bins=32, hidden=(32,), epochs=30, seed=7)
+    defaults.update(kwargs)
+    return TamMlpAttack(**defaults)
+
+
+def test_beats_chance_on_generated_world(tiny_world):
+    train_x, train_y, test_x, test_y = tiny_world
+    attack = _attack().fit(train_x, train_y)
+    accuracy = float(np.mean(attack.predict(test_x) == test_y))
+    n_classes = int(train_y.max()) + 1
+    assert accuracy > 2.0 / n_classes  # well above the 1/9 chance rate
+
+
+def test_equal_seeds_predict_bit_identically(tiny_world):
+    train_x, train_y, test_x, _ = tiny_world
+    first = _attack().fit(train_x, train_y)
+    second = _attack().fit(train_x, train_y)
+    assert np.array_equal(first.predict(test_x), second.predict(test_x))
+    for a, b in zip(first.mlp.weights_, second.mlp.weights_):
+        assert np.array_equal(a, b)
+
+
+def test_serial_vs_parallel_workers_bit_identical(tiny_world):
+    train_x, train_y, test_x, _ = tiny_world
+    serial = _attack(workers=1).fit(train_x, train_y)
+    parallel = _attack(workers=2).fit(train_x, train_y)
+    assert np.array_equal(serial.predict(test_x), parallel.predict(test_x))
+    for a, b in zip(serial.mlp.weights_, parallel.mlp.weights_):
+        assert np.array_equal(a, b)
+
+
+def test_workers_excluded_from_params(tiny_world):
+    assert "workers" not in _attack(workers=4).params()
+    # ... so serial and parallel instances share one spec (cache key).
+    assert _attack(workers=1).spec() == _attack(workers=2).spec()
+
+
+def test_history_exposes_training_curve(tiny_world):
+    train_x, train_y, _, _ = tiny_world
+    attack = _attack(epochs=5).fit(train_x, train_y)
+    assert len(attack.history_) == 5
+    assert all(np.isfinite(loss) for loss in attack.history_)
+
+
+def test_predict_proba_shape(tiny_world):
+    train_x, train_y, test_x, _ = tiny_world
+    attack = _attack().fit(train_x, train_y)
+    proba = attack.predict_proba(test_x)
+    assert proba.shape == (len(test_x), int(train_y.max()) + 1)
+    assert proba.sum(axis=1) == pytest.approx(np.ones(len(test_x)))
+
+
+def test_fit_dataset_records_labels():
+    generator = StatisticalTraceGenerator(seed=1)
+    dataset = generator.generate_dataset(n_samples=2, seed=1)
+    attack = _attack(epochs=2).fit_dataset(dataset)
+    assert attack.labels_ == dataset.labels
+    assert attack.score_dataset(dataset) >= 0.0

@@ -1,0 +1,122 @@
+"""TAM extractor invariants: bin conservation, channel symmetry,
+clipping, and parallel bit-identity."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.tam import CHANNELS, TamExtractor, _extract_tam_chunk
+from repro.capture.trace import IN, OUT, Trace
+from repro.web.tracegen import StatisticalTraceGenerator
+
+
+def _random_traces(n=12, seed=7):
+    generator = StatisticalTraceGenerator(seed=seed)
+    dataset = generator.generate_dataset(n_samples=max(1, n // 9 + 1), seed=seed)
+    traces, _ = dataset.to_arrays()
+    return list(traces)[:n]
+
+
+def test_matrix_shape_and_channel_order(simple_trace):
+    extractor = TamExtractor(n_bins=16, max_duration=1.0)
+    matrix = extractor.matrix(simple_trace)
+    assert matrix.shape == (2, 16)
+    assert CHANNELS == (OUT, IN)
+    # Channel 0 counts outgoing packets, channel 1 incoming.
+    assert matrix[0].sum() == (simple_trace.directions == OUT).sum()
+    assert matrix[1].sum() == (simple_trace.directions == IN).sum()
+
+
+def test_bin_conservation(random_trace):
+    """Every packet lands in exactly one bin — even past max_duration."""
+    extractor = TamExtractor(n_bins=32, max_duration=0.25)
+    assert random_trace.times[-1] > 0.25  # some packets overflow the window
+    matrix = extractor.matrix(random_trace)
+    assert matrix.sum() == len(random_trace)
+
+
+def test_late_packets_clip_into_final_bin():
+    trace = Trace.from_records(
+        [(0.0, OUT, 100), (99.0, IN, 100), (500.0, IN, 100)]
+    )
+    extractor = TamExtractor(n_bins=4, max_duration=1.0)
+    matrix = extractor.matrix(trace)
+    assert matrix[0, 0] == 1  # the outgoing packet at t=0
+    assert matrix[1, -1] == 2  # both late incoming packets clip
+
+
+def test_direction_flip_swaps_channels(random_trace):
+    """Reversing every packet's direction must exactly swap channels."""
+    extractor = TamExtractor(n_bins=24, max_duration=2.0)
+    flipped = Trace(
+        random_trace.times.copy(),
+        (-random_trace.directions).astype(np.int8),
+        random_trace.sizes.copy(),
+    )
+    original = extractor.matrix(random_trace)
+    mirrored = extractor.matrix(flipped)
+    assert np.array_equal(original[0], mirrored[1])
+    assert np.array_equal(original[1], mirrored[0])
+
+
+def test_time_origin_invariance(random_trace):
+    """The matrix depends on relative times only."""
+    extractor = TamExtractor(n_bins=16, max_duration=2.0)
+    shifted = Trace(
+        random_trace.times + 123.0,
+        random_trace.directions.copy(),
+        random_trace.sizes.copy(),
+    )
+    assert np.array_equal(
+        extractor.matrix(random_trace), extractor.matrix(shifted)
+    )
+
+
+def test_empty_trace_gives_zero_matrix():
+    extractor = TamExtractor(n_bins=8)
+    empty = Trace(np.array([]), np.array([], dtype=np.int8), np.array([]))
+    assert extractor.matrix(empty).sum() == 0
+    assert extractor.extract(empty).shape == (16,)
+
+
+def test_extract_flattens_matrix(simple_trace):
+    extractor = TamExtractor(n_bins=10, max_duration=1.0)
+    assert np.array_equal(
+        extractor.extract(simple_trace),
+        extractor.matrix(simple_trace).reshape(-1),
+    )
+    assert extractor.n_features == 20
+    assert len(extractor.names()) == 20
+
+
+def test_params_and_validation():
+    extractor = TamExtractor(n_bins=48, max_duration=5.0)
+    assert extractor.params() == {"n_bins": 48, "max_duration": 5.0}
+    with pytest.raises(ValueError):
+        TamExtractor(n_bins=0)
+    with pytest.raises(ValueError):
+        TamExtractor(max_duration=0)
+
+
+def test_extract_many_matches_serial_rows():
+    traces = _random_traces(n=10)
+    extractor = TamExtractor(n_bins=32)
+    X = extractor.extract_many(traces)
+    assert X.shape == (10, 64)
+    for row, trace in zip(X, traces):
+        assert np.array_equal(row, extractor.extract(trace))
+
+
+def test_extract_many_parallel_bit_identical():
+    traces = _random_traces(n=14)
+    extractor = TamExtractor(n_bins=32)
+    serial = extractor.extract_many(traces, workers=1)
+    parallel = extractor.extract_many(traces, workers=2)
+    assert np.array_equal(serial, parallel)
+
+
+def test_chunk_worker_matches_extractor():
+    traces = _random_traces(n=5)
+    extractor = TamExtractor(n_bins=16, max_duration=4.0)
+    assert np.array_equal(
+        _extract_tam_chunk(traces, 16, 4.0), extractor.extract_many(traces)
+    )

@@ -1,0 +1,62 @@
+"""Attack-aware cache keys: specs move eval keys, extractor params
+move feature keys, and kfp's historical digests stay put."""
+
+from repro.attacks.features.kfp import KfpFeatureExtractor
+from repro.attacks.registry import build_attack
+from repro.attacks.tam import TamExtractor
+from repro.cache import CacheKey, attack_eval_key, features_key
+
+
+def _upstream():
+    return CacheKey.derive("defend", {"x": 1})
+
+
+def test_attack_eval_key_moves_with_spec():
+    upstream = _upstream()
+    kfp = build_attack("kfp", seed=3, n_estimators=50)
+    kfp_bigger = build_attack("kfp", seed=3, n_estimators=80)
+    tam = build_attack("tam-mlp", seed=3)
+    keys = {
+        attack_eval_key(upstream, a.spec(), 5, 3).digest
+        for a in (kfp, kfp_bigger, tam)
+    }
+    assert len(keys) == 3  # every spec gets its own eval cell
+
+
+def test_attack_eval_key_stable_for_equal_specs():
+    upstream = _upstream()
+    a = build_attack("tam-mlp", seed=5)
+    b = build_attack("tam-mlp", seed=5)
+    assert (
+        attack_eval_key(upstream, a.spec(), 5, 5).digest
+        == attack_eval_key(upstream, b.spec(), 5, 5).digest
+    )
+    # Worker counts are wall-clock-only and never enter the spec.
+    c = build_attack("tam-mlp", seed=5, workers=4)
+    assert (
+        attack_eval_key(upstream, c.spec(), 5, 5).digest
+        == attack_eval_key(upstream, a.spec(), 5, 5).digest
+    )
+
+
+def test_features_key_folds_in_extractor_params():
+    upstream = _upstream()
+    coarse = features_key(upstream, TamExtractor(n_bins=32))
+    fine = features_key(upstream, TamExtractor(n_bins=64))
+    same = features_key(upstream, TamExtractor(n_bins=32))
+    assert coarse.digest == same.digest
+    assert coarse.digest != fine.digest
+
+
+def test_kfp_features_key_unchanged_by_params_support():
+    """The kfp extractor has no params() — its feature digests must not
+    move just because parameterised extractors now fold theirs in."""
+    upstream = _upstream()
+    key = features_key(upstream, KfpFeatureExtractor())
+    config = {
+        "extractor": KfpFeatureExtractor.name,
+        "extractor_version": KfpFeatureExtractor.version,
+    }
+    assert key.digest == CacheKey.derive(
+        "features", config, upstream=(upstream,)
+    ).digest

@@ -150,3 +150,62 @@ def test_table2_eval_perturbation_recomputes_only_eval(tmp_path):
     # Features were reused: only new eval entries appeared.
     assert after.by_stage["features"] == stats.by_stage["features"]
     assert after.by_stage["eval"][0] == 2 * stats.by_stage["eval"][0]
+
+
+def test_table2_generic_attack_path_matches_kfp(tmp_path):
+    """The registry path on kfp features reproduces the historical
+    k-FP numbers bit-identically (same folds, same per-fold seeds)."""
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.table2 import run_table2
+
+    config = ExperimentConfig(
+        n_samples=6, n_folds=2, n_estimators=10, balance_to=6, seed=11
+    )
+    dataset = _tiny_dataset(seed=11, n_samples=6)
+    from repro.capture.sanitize import sanitize_dataset
+    from repro.experiments.table2 import (
+        _fold_scores,
+        attack_fold_scores,
+        make_attack,
+    )
+
+    clean, _ = sanitize_dataset(dataset, balance_to=config.balance_to)
+    traces, y = clean.to_arrays()
+    X = make_attack(config, "kfp").extractor.extract_many(traces)
+    assert attack_fold_scores("kfp", config, y, X=X) == [
+        float(s) for s in _fold_scores(X, y, config)
+    ]
+
+
+def test_table2_per_attack_cells_cache_independently(tmp_path):
+    """Two attacks on one store: the second run reuses the collected /
+    defended datasets, each attack owns its eval cells, and warm
+    re-runs of either are hit-only and value-identical."""
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.table2 import run_table2
+
+    config = ExperimentConfig(
+        n_samples=6, n_folds=2, n_estimators=10, balance_to=6, seed=11
+    )
+    dataset = _tiny_dataset(seed=11, n_samples=6)
+    store = ArtifactStore(str(tmp_path / "store"))
+    kfp_cold = run_table2(config, dataset=dataset, cache=store)
+    kfp_stats = store.stats()
+
+    knn_cold = run_table2(config, dataset=dataset, cache=store, attack="knn")
+    after = store.stats()
+    # knn shares kfp's feature matrices; only eval cells were added.
+    assert after.by_stage["features"] == kfp_stats.by_stage["features"]
+    assert after.by_stage["eval"][0] == 2 * kfp_stats.by_stage["eval"][0]
+
+    kfp_warm = run_table2(config, dataset=dataset, cache=store)
+    knn_warm = run_table2(config, dataset=dataset, cache=store, attack="knn")
+    assert store.stats().entries == after.entries  # no new writes
+    for key in kfp_cold:
+        assert kfp_warm[key].fold_scores == kfp_cold[key].fold_scores
+        assert knn_warm[key].fold_scores == knn_cold[key].fold_scores
+    # Different attacks really produced different grids.
+    assert any(
+        kfp_cold[key].fold_scores != knn_cold[key].fold_scores
+        for key in kfp_cold
+    )

@@ -64,6 +64,9 @@ def test_shared_flags_have_identical_defaults(command):
         ["table2", "--resume", "--checkpoint", "x.npz", "--dataset", "d.npz"],
         ["figure3", "--alphas", "ten,20"],
         ["adverse", "--conditions", "clean,marsquake"],
+        ["table2", "--attack", "deepcorr"],
+        ["open-world", "--attack", "nope"],
+        ["robustness", "--attack", "bogus"],
     ],
 )
 def test_bad_arguments_exit_via_parser_error(argv, capsys):
@@ -72,6 +75,46 @@ def test_bad_arguments_exit_via_parser_error(argv, capsys):
     assert excinfo.value.code == 2  # argparse error exit, not a traceback
     err = capsys.readouterr().err
     assert "usage:" in err or "error:" in err
+
+
+def test_attacks_subcommand_lists_registry(capsys):
+    from repro.attacks.registry import implemented_attacks
+
+    assert main(["attacks"]) == 0
+    out = capsys.readouterr().out
+    for name in implemented_attacks():
+        assert name in out
+    assert "deep-learning-class" in out
+
+
+def test_attack_flag_present_on_attack_subcommands():
+    parser = build_parser()
+    choices = parser._subparsers._group_actions[0].choices
+    for command in ("table2", "open-world", "robustness"):
+        assert "--attack" in choices[command].format_help()
+    # table2/open-world default to the paper's k-FP; robustness runs all.
+    assert _flag_defaults("table2")["--attack"] == "kfp"
+    assert _flag_defaults("open-world")["--attack"] == "kfp"
+    assert _flag_defaults("robustness")["--attack"] is None
+
+
+def test_robustness_cli_runs_stubbed_grid(tmp_path, monkeypatch):
+    import repro.experiments.attack_robustness as rob
+
+    def fake_run(config, dataset=None, test_fraction=0.3, attacks=None):
+        from repro.experiments.attack_robustness import RobustnessCell
+
+        names = attacks or ("kfp", "tam-mlp")
+        return [
+            RobustnessCell(attack=a, defense="original", accuracy=0.5)
+            for a in names
+        ]
+
+    monkeypatch.setattr(rob, "run_attack_robustness", fake_run)
+    out = str(tmp_path / "robustness.txt")
+    assert main(["robustness", "--attack", "tam-mlp", "--out", out]) == 0
+    text = (tmp_path / "robustness.txt").read_text()
+    assert "tam-mlp" in text and "kfp" not in text
 
 
 def test_collect_with_checkpoint_then_resume(tmp_path, capsys):
@@ -115,9 +158,11 @@ def test_out_writes_results_file(tmp_path, monkeypatch):
     import repro.experiments.table2 as t2
 
     monkeypatch.setattr(
-        t2, "run_table2", lambda config, dataset=None, cache=None: {}
+        t2, "run_table2", lambda config, dataset=None, cache=None, attack="kfp": {}
     )
-    monkeypatch.setattr(t2, "format_table2", lambda table: "TABLE2 RENDERED")
+    monkeypatch.setattr(
+        t2, "format_table2", lambda table, attack="kfp": "TABLE2 RENDERED"
+    )
     monkeypatch.setattr(
         "repro.cli._load_or_collect", lambda args, config, cache=None: object()
     )

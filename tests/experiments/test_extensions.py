@@ -92,9 +92,9 @@ def test_attack_robustness_tiny():
         n_samples=10, seed=6
     )
     cells = run_attack_robustness(config, dataset=dataset)
-    assert len(cells) == 12  # 3 attacks x 4 defenses
+    assert len(cells) == 16  # 4 attacks x 4 defenses
     rendered = format_attack_robustness(cells)
-    assert "cumul" in rendered
+    assert "cumul" in rendered and "tam-mlp" in rendered
     grid = {(c.attack, c.defense): c.accuracy for c in cells}
     # Delaying leaves CUMUL's features untouched.
     assert abs(grid[("cumul", "delayed")] - grid[("cumul", "original")]) < 0.25

@@ -1,0 +1,140 @@
+"""MLP backprop correctness (finite differences), determinism, and
+training behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.ml.mlp import MlpClassifier, _log_softmax, _softmax
+
+
+def _prepared(clf, X, y):
+    """Set up normalisation + parameters without training (so the
+    loss surface is fixed for gradient checking)."""
+    X = np.asarray(X, dtype=np.float64)
+    clf._mean = X.mean(axis=0)
+    std = X.std(axis=0)
+    clf._std = np.where(std > 0, std, 1.0)
+    clf.n_classes_ = int(y.max()) + 1
+    clf._init_params(X.shape[1], np.random.default_rng(clf.seed + 1))
+    return clf._normalise(X)
+
+
+def _finite_difference_check(clf, Xn, y, eps=1e-6, tol=1e-7):
+    _, grads_W, grads_b = clf._loss_and_grads(Xn, y)
+    worst = 0.0
+    for params, grads in ((clf.weights_, grads_W), (clf.biases_, grads_b)):
+        for layer, grad in zip(params, grads):
+            flat = layer.reshape(-1)
+            # Probe a spread of coordinates in every layer.
+            for index in range(0, flat.size, max(1, flat.size // 7)):
+                original = flat[index]
+                flat[index] = original + eps
+                up = clf._loss(Xn, y)
+                flat[index] = original - eps
+                down = clf._loss(Xn, y)
+                flat[index] = original
+                numeric = (up - down) / (2 * eps)
+                worst = max(worst, abs(numeric - grad.reshape(-1)[index]))
+    assert worst < tol, f"max |analytic - numeric| = {worst}"
+
+
+def test_gradients_match_finite_differences_single_hidden(rng):
+    X = rng.normal(size=(16, 6))
+    y = rng.integers(0, 3, size=16)
+    clf = MlpClassifier(hidden=(9,), seed=3, l2=1e-3)
+    Xn = _prepared(clf, X, y)
+    _finite_difference_check(clf, Xn, y)
+
+
+def test_gradients_match_finite_differences_two_hidden(rng):
+    X = rng.normal(size=(10, 4))
+    y = rng.integers(0, 4, size=10)
+    clf = MlpClassifier(hidden=(8, 5), seed=11, l2=0.0)
+    Xn = _prepared(clf, X, y)
+    _finite_difference_check(clf, Xn, y)
+
+
+def test_loss_and_grads_loss_equals_loss(rng):
+    X = rng.normal(size=(12, 5))
+    y = rng.integers(0, 3, size=12)
+    clf = MlpClassifier(hidden=(7,), seed=2, l2=1e-2)
+    Xn = _prepared(clf, X, y)
+    loss, _, _ = clf._loss_and_grads(Xn, y)
+    assert loss == pytest.approx(clf._loss(Xn, y), abs=1e-12)
+
+
+def test_softmax_helpers_are_stable():
+    logits = np.array([[1e4, 1e4 - 1.0], [-1e4, 0.0]])
+    proba = _softmax(logits)
+    assert np.all(np.isfinite(proba))
+    assert proba.sum(axis=1) == pytest.approx([1.0, 1.0])
+    assert np.all(np.isfinite(_log_softmax(logits)))
+
+
+def test_fit_separable_blobs_overfits(rng):
+    X = np.vstack([rng.normal(loc=c, size=(30, 8)) for c in (0.0, 4.0, -4.0)])
+    y = np.repeat([0, 1, 2], 30)
+    clf = MlpClassifier(hidden=(16,), epochs=25, seed=5).fit(X, y)
+    assert clf.score(X, y) == 1.0
+    assert len(clf.history_) == 25
+    assert clf.history_[-1] < clf.history_[0]
+
+
+def test_equal_seeds_train_bit_identical_models(rng):
+    X = rng.normal(size=(40, 10))
+    y = rng.integers(0, 4, size=40)
+    first = MlpClassifier(hidden=(12,), epochs=8, seed=9).fit(X, y)
+    second = MlpClassifier(hidden=(12,), epochs=8, seed=9).fit(X, y)
+    for a, b in zip(first.weights_, second.weights_):
+        assert np.array_equal(a, b)
+    for a, b in zip(first.biases_, second.biases_):
+        assert np.array_equal(a, b)
+    assert first.history_ == second.history_
+
+
+def test_different_seeds_differ(rng):
+    X = rng.normal(size=(30, 6))
+    y = rng.integers(0, 3, size=30)
+    first = MlpClassifier(epochs=2, seed=0).fit(X, y)
+    second = MlpClassifier(epochs=2, seed=1).fit(X, y)
+    assert not np.array_equal(first.weights_[0], second.weights_[0])
+
+
+def test_predict_proba_rows_sum_to_one(rng):
+    X = rng.normal(size=(20, 5))
+    y = rng.integers(0, 2, size=20)
+    clf = MlpClassifier(hidden=(6,), epochs=3, seed=1).fit(X, y)
+    proba = clf.predict_proba(X)
+    assert proba.shape == (20, 2)
+    assert proba.sum(axis=1) == pytest.approx(np.ones(20))
+
+
+def test_constant_feature_does_not_nan(rng):
+    X = rng.normal(size=(18, 4))
+    X[:, 2] = 7.0  # zero-variance column
+    y = rng.integers(0, 2, size=18)
+    clf = MlpClassifier(hidden=(5,), epochs=3, seed=0).fit(X, y)
+    assert np.all(np.isfinite(clf.predict_proba(X)))
+
+
+def test_constructor_validation():
+    for bad in (
+        dict(hidden=(0,)),
+        dict(epochs=0),
+        dict(batch_size=0),
+        dict(learning_rate=0),
+        dict(momentum=1.0),
+        dict(momentum=-0.1),
+        dict(l2=-1e-3),
+    ):
+        with pytest.raises(ValueError):
+            MlpClassifier(**bad)
+
+
+def test_unfitted_and_empty_errors():
+    with pytest.raises(RuntimeError):
+        MlpClassifier().predict(np.zeros((1, 3)))
+    with pytest.raises(ValueError):
+        MlpClassifier().fit(np.zeros((0, 3)), np.zeros(0, dtype=int))
+    with pytest.raises(ValueError):
+        MlpClassifier().fit(np.zeros((3, 2)), np.zeros(2, dtype=int))

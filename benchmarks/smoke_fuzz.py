@@ -1,0 +1,78 @@
+"""CI fuzz smoke gate: a short scenario campaign must come back clean
+and bit-reproducible.
+
+Runs the same ``repro fuzz run`` campaign twice into two fresh corpora
+through the real CLI entry point — argument parsing, position-derived
+scenario sampling, the capture -> sanitize -> defend -> features ->
+eval pipeline under the invariant oracle, shrinking and quarantine all
+exercised.  Fails (exit 1) iff
+
+  * either run quarantines a finding — the exit-1-iff-finding
+    convention: a reproducer JSON in the job log is the bug report, or
+  * the two campaign digests differ — the fuzzer itself lost
+    determinism, which would make every future reproducer worthless.
+
+Usage:  PYTHONPATH=src python benchmarks/smoke_fuzz.py
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cli import main
+from repro.fuzz import QuarantineCorpus, run_fuzz
+
+SEED = 0
+BUDGET = 25
+
+
+def fail(message: str) -> int:
+    print(f"fuzz-smoke: {message}", file=sys.stderr)
+    return 1
+
+
+def run() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        first_dir = Path(tmp) / "corpus-a"
+        second_dir = Path(tmp) / "corpus-b"
+
+        # First pass through the CLI: the user-facing contract,
+        # including the exit-1-iff-finding convention.
+        code = main(
+            [
+                "fuzz", "run",
+                "--seed", str(SEED),
+                "--budget", str(BUDGET),
+                "--corpus", str(first_dir),
+            ]
+        )
+        if code != 0:
+            for path in QuarantineCorpus(first_dir).entries():
+                print(f"fuzz-smoke: reproducer {path}:", file=sys.stderr)
+                print(path.read_text(), file=sys.stderr)
+            return fail(f"campaign quarantined findings (exit {code})")
+
+        # Second pass through the library: same campaign, fresh corpus.
+        report = run_fuzz(seed=SEED, budget=BUDGET, corpus_dir=second_dir)
+        if report.findings:
+            return fail(f"second run found {len(report.findings)} findings")
+
+        first = run_fuzz(seed=SEED, budget=BUDGET, corpus_dir=first_dir)
+        if first.campaign_digest != report.campaign_digest:
+            return fail(
+                "campaign digest not reproducible: "
+                f"{first.campaign_digest[:16]} != {report.campaign_digest[:16]}"
+            )
+        if first.corpus_digest != report.corpus_digest:
+            return fail("corpus digest not reproducible")
+
+    print(
+        f"fuzz-smoke: seed {SEED} x {BUDGET} scenarios clean twice, "
+        f"campaign digest {report.campaign_digest[:16]} reproducible "
+        f"({report.stalls} stalled visits, {report.eval_skipped} eval skips)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -19,12 +19,19 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.attacks.base import TraceAttack
-from repro.capture.trace import Trace
+from repro.capture.trace import Trace, ensure_finite
 from repro.ml.linear import LinearSVC
 
 
 def cumulative_features(trace: Trace, n_interp: int = 100) -> np.ndarray:
-    """The CUMUL feature vector of one trace."""
+    """The CUMUL feature vector of one trace.
+
+    Total for degenerate traces: an empty trace yields the documented
+    all-zero vector, a single packet a constant curve, and
+    one-directional traces a monotone curve.  Malformed arrays
+    (non-positive sizes) raise :class:`repro.errors.TraceError`.
+    """
+    ensure_finite(trace, "cumul")
     n = len(trace)
     header = np.zeros(4)
     if n == 0:
@@ -65,6 +72,8 @@ class CumulAttack(TraceAttack):
         }
 
     def _features(self, traces: Sequence[Trace]) -> np.ndarray:
+        if len(traces) == 0:
+            return np.empty((0, 4 + self.n_interp), dtype=np.float64)
         return np.vstack(
             [cumulative_features(t, self.n_interp) for t in traces]
         )

@@ -27,7 +27,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.capture.trace import IN, OUT, Trace
+from repro.capture.trace import IN, OUT, Trace, ensure_finite
 
 #: Window sizes for the two concentration feature families.
 CONCENTRATION_CHUNK = 20
@@ -110,7 +110,15 @@ class KfpFeatureExtractor:
         return len(self._names)
 
     def extract(self, trace: Trace) -> np.ndarray:
-        """The k-FP feature vector of one trace."""
+        """The k-FP feature vector of one trace.
+
+        Degenerate traces are total: zero-length, single-packet and
+        all-one-direction traces yield finite vectors (absent feature
+        families report 0.0).  A trace with non-finite timestamps —
+        only reachable by mutating arrays after construction — raises
+        :class:`repro.errors.TraceError` rather than emitting NaNs.
+        """
+        ensure_finite(trace, "kfp")
         return np.asarray(self._extract(trace), dtype=np.float64)
 
     def extract_many(self, traces: Sequence[Trace], workers: int = 1) -> np.ndarray:
@@ -128,6 +136,8 @@ class KfpFeatureExtractor:
             shared_pool,
         )
 
+        if len(traces) == 0:
+            return np.empty((0, self.n_features), dtype=np.float64)
         workers = resolve_workers(workers)
         if workers <= 1 or len(traces) <= 1:
             return np.vstack([self.extract(t) for t in traces])

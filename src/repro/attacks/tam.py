@@ -21,7 +21,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.capture.trace import IN, OUT, Trace
+from repro.capture.trace import IN, OUT, Trace, ensure_finite
 
 #: Channel order of the flattened vector.
 CHANNELS = (OUT, IN)
@@ -78,7 +78,16 @@ class TamExtractor:
         ]
 
     def matrix(self, trace: Trace) -> np.ndarray:
-        """The ``(2, n_bins)`` count matrix of one trace."""
+        """The ``(2, n_bins)`` count matrix of one trace.
+
+        Total for degenerate inputs: an empty trace yields the all-zero
+        matrix (documented zero-feature behaviour), and single-packet
+        or one-directional traces bin normally.  Non-finite timestamps
+        raise :class:`repro.errors.TraceError` — an inf/NaN time would
+        otherwise cast to a garbage bin index and silently corrupt the
+        count-conservation property.
+        """
+        ensure_finite(trace, "tam")
         counts = np.zeros((2, self.n_bins), dtype=np.float64)
         n = len(trace)
         if n == 0:
@@ -112,6 +121,8 @@ class TamExtractor:
             shared_pool,
         )
 
+        if len(traces) == 0:
+            return np.empty((0, self.n_features), dtype=np.float64)
         workers = resolve_workers(workers)
         if workers <= 1 or len(traces) <= 1:
             return np.vstack([self.extract(t) for t in traces])

@@ -70,7 +70,9 @@ def sanitize_dataset(
         clean.traces[label] = kept
         report[label] = (len(kept), dropped_error, dropped_iqr)
     if balance_to is not None:
-        minimum = min(len(v) for v in clean.traces.values())
+        # ``default=0`` keeps a fully-filtered (or empty) dataset total:
+        # balancing to zero yields an empty dataset, not a ValueError.
+        minimum = min((len(v) for v in clean.traces.values()), default=0)
         target = min(balance_to, minimum)
         clean = clean.balanced(target)
         report["_balanced_to"] = target

@@ -14,8 +14,41 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.errors import TraceError
+
 OUT = 1
 IN = -1
+
+
+def _exact_byte_sum(sizes: np.ndarray) -> int:
+    """Sum packet sizes without silent int64 wraparound.
+
+    The int64 fast path covers every realistic trace; a sum that
+    disagrees with the float64 approximation by more than rounding can
+    only mean the accumulator wrapped, so it falls back to Python's
+    arbitrary-precision integers.
+    """
+    total = int(sizes.sum())
+    approx = float(sizes.sum(dtype=np.float64))
+    if abs(float(total) - approx) > max(1.0, 1e-6 * abs(approx)):
+        return int(sizes.astype(object).sum())
+    return total
+
+
+def ensure_finite(trace: "Trace", context: str = "trace") -> "Trace":
+    """Typed validation gate for trace consumers.
+
+    :class:`Trace` rejects non-finite timestamps at construction, but
+    arrays mutated after the fact (or decoded through a path that
+    bypasses ``__post_init__``) can still reach feature extractors.
+    Raises :class:`repro.errors.TraceError` instead of letting NaN/inf
+    propagate into silently garbage features.
+    """
+    if len(trace.times) and not np.isfinite(trace.times).all():
+        raise TraceError(f"{context}: trace has non-finite timestamps")
+    if len(trace.sizes) and np.any(trace.sizes <= 0):
+        raise TraceError(f"{context}: trace has non-positive sizes")
+    return trace
 
 
 @dataclass
@@ -41,6 +74,8 @@ class Trace:
                 f"directions={len(self.directions)} sizes={len(self.sizes)}"
             )
         if n > 0:
+            if not np.isfinite(self.times).all():
+                raise ValueError("times must be finite")
             if np.any(np.diff(self.times) < -1e-12):
                 raise ValueError("times must be non-decreasing")
             if not np.all(np.isin(self.directions, (OUT, IN))):
@@ -108,18 +143,19 @@ class Trace:
 
     @property
     def total_bytes(self) -> int:
-        """Total wire bytes in both directions."""
-        return int(self.sizes.sum())
+        """Total wire bytes in both directions (exact: giant synthetic
+        packets cannot wrap the accumulator)."""
+        return _exact_byte_sum(self.sizes)
 
     @property
     def incoming_bytes(self) -> int:
         """Wire bytes from server to client (the download size the
         paper's sanitisation step filters on)."""
-        return int(self.sizes[self.directions == IN].sum())
+        return _exact_byte_sum(self.sizes[self.directions == IN])
 
     @property
     def outgoing_bytes(self) -> int:
-        return int(self.sizes[self.directions == OUT].sum())
+        return _exact_byte_sum(self.sizes[self.directions == OUT])
 
     def interarrival_times(self) -> np.ndarray:
         """Gaps between consecutive packets (length ``len - 1``)."""

@@ -677,6 +677,72 @@ def cmd_campaign(args) -> int:
     return 2
 
 
+def cmd_fuzz(args) -> int:
+    from repro.fuzz import QuarantineCorpus, replay_reproducer, run_fuzz
+    from repro.fuzz.oracle import DEFAULT_DEADLINE
+
+    deadline = getattr(args, "deadline", None)
+    if deadline is None:
+        deadline = DEFAULT_DEADLINE
+    if args.fuzz_command == "run":
+        if args.budget < 1:
+            args._parser.error(f"--budget must be >= 1, got {args.budget}")
+        report = run_fuzz(
+            seed=args.seed,
+            budget=args.budget,
+            corpus_dir=args.corpus,
+            shrink=not args.no_shrink,
+            deadline=deadline,
+            progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+        )
+        print(
+            f"fuzz seed={args.seed}: {report.scenarios} scenarios, "
+            f"{len(report.findings)} findings "
+            f"({report.new_entries} new), {report.stalls} stalled visits, "
+            f"{report.eval_skipped} eval skips"
+        )
+        print(f"  campaign digest {report.campaign_digest[:16]}")
+        print(f"  corpus digest   {report.corpus_digest[:16]}")
+        for bucket, count in sorted(report.bucket_counts().items()):
+            print(f"  bucket {bucket}: {count} scenario(s)")
+        # Exit-1-iff-finding (the cache/campaign verify convention):
+        # new quarantine entries mean a live bug, known ones included —
+        # pre-existing corpus entries alone don't re-fail the run.
+        return 1 if report.new_entries else 0
+    if args.fuzz_command == "replay":
+        if not os.path.exists(args.reproducer):
+            args._parser.error(f"no reproducer at {args.reproducer!r}")
+        result = replay_reproducer(args.reproducer, deadline=deadline)
+        if result.reproduced:
+            print(
+                f"reproduced {result.recorded_bucket}: {result.message}"
+            )
+            return 1
+        if result.observed_bucket is not None:
+            print(
+                f"bucket changed: recorded {result.recorded_bucket}, "
+                f"observed {result.observed_bucket}: {result.message}"
+            )
+        else:
+            print(f"fixed: {result.recorded_bucket} no longer reproduces")
+        return 0
+    if args.fuzz_command == "corpus":
+        corpus = QuarantineCorpus(args.corpus)
+        buckets = corpus.buckets()
+        entries = corpus.entries()
+        print(
+            f"corpus {args.corpus}: {len(entries)} reproducers in "
+            f"{len(buckets)} buckets [{corpus.digest()[:16]}]"
+        )
+        for bucket, paths in sorted(buckets.items()):
+            print(f"  {bucket}: {len(paths)}")
+            for path in paths:
+                print(f"    {path}")
+        return 0
+    args._parser.error(f"unknown fuzz command {args.fuzz_command!r}")
+    return 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -914,6 +980,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cp.add_argument("dir", help="campaign directory")
     cp.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="deterministic pipeline fuzzing with an invariant oracle",
+    )
+    fuzz_sub = p.add_subparsers(dest="fuzz_command", required=True)
+
+    cp = fuzz_sub.add_parser(
+        "run",
+        help="fuzz BUDGET scenarios of campaign SEED; exit 1 iff a new "
+        "reproducer was quarantined",
+    )
+    cp.add_argument("--seed", type=int, default=0, help="campaign seed")
+    cp.add_argument(
+        "--budget", type=int, default=200,
+        help="scenarios to run (indices 0..budget-1)",
+    )
+    cp.add_argument(
+        "--corpus", type=str, default="fuzz-corpus",
+        help="quarantine corpus directory (created on first finding)",
+    )
+    cp.add_argument(
+        "--no-shrink", action="store_true",
+        help="quarantine findings as sampled, without minimisation",
+    )
+    cp.add_argument(
+        "--deadline", type=float, default=None,
+        help="wall-clock seconds per scenario before a hang becomes a "
+        "finding (default: the oracle's built-in budget)",
+    )
+    _add_obs(cp)
+    cp.set_defaults(func=cmd_fuzz)
+
+    cp = fuzz_sub.add_parser(
+        "replay",
+        help="re-run one quarantined reproducer; exit 1 iff its bug "
+        "still fires",
+    )
+    cp.add_argument("reproducer", help="reproducer JSON file")
+    cp.add_argument(
+        "--deadline", type=float, default=None,
+        help="wall-clock seconds before a hang counts as reproduced",
+    )
+    _add_obs(cp)
+    cp.set_defaults(func=cmd_fuzz)
+
+    cp = fuzz_sub.add_parser(
+        "corpus", help="list a quarantine corpus by crash bucket"
+    )
+    cp.add_argument("corpus", help="corpus directory")
+    cp.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
         "report",

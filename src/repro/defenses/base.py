@@ -8,6 +8,32 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.capture.trace import Trace
+from repro.errors import TraceError
+
+#: Upper bound on the packet records a trace-emulated defense may
+#: materialise for one trace.  Byte-materialising defenses (HTTPOS
+#: re-chunking, morphing, BuFLO/Tamaraw CBR trains) emit O(bytes/MTU)
+#: records; an adversarially huge packet size would otherwise turn
+#: ``apply`` into an unbounded loop (the fuzzer found HTTPOS hanging
+#: on a 2**61-byte packet).  Honest traces sit orders of magnitude
+#: below this bound.
+MAX_EMULATED_RECORDS = 2_000_000
+
+
+def check_emulation_budget(n_records: float, defense: str) -> None:
+    """Raise :class:`~repro.errors.TraceError` when a defense would
+    materialise more than :data:`MAX_EMULATED_RECORDS` packet records.
+
+    Callers pass an arithmetic (possibly float) upper bound computed
+    *before* building anything, so absurd inputs fail in O(1) instead
+    of hanging.
+    """
+    if n_records > MAX_EMULATED_RECORDS:
+        raise TraceError(
+            f"{defense}: trace would emulate ~{n_records:.3g} packet "
+            f"records (> {MAX_EMULATED_RECORDS}); input packet sizes "
+            "are beyond what trace emulation supports"
+        )
 
 
 class TraceDefense(abc.ABC):

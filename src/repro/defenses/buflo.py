@@ -21,7 +21,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.capture.trace import IN, OUT, Trace
-from repro.defenses.base import TraceDefense
+from repro.defenses.base import TraceDefense, check_emulation_budget
 
 
 class BufloDefense(TraceDefense):
@@ -58,10 +58,12 @@ class BufloDefense(TraceDefense):
     def _direction_train(self, trace: Trace, direction: int) -> List[tuple]:
         """The CBR packet train carrying one direction's bytes."""
         side = trace.filter_direction(direction)
-        total_bytes = int(side.sizes.sum())
+        # total_bytes (not sizes.sum()): exact past int64 wraparound.
+        total_bytes = side.total_bytes
         needed = math.ceil(total_bytes / self.ell) if total_bytes else 0
         # Run until data fits AND tau has elapsed.
         slots = max(needed, math.ceil(self.tau / self.rho))
+        check_emulation_budget(slots, self.name)
         start = float(trace.times[0]) if len(trace) else 0.0
         return [
             (start + k * self.rho, direction, self.ell) for k in range(slots)

@@ -20,7 +20,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.capture.trace import IN, OUT, Trace
-from repro.defenses.base import TraceDefense
+from repro.defenses.base import TraceDefense, check_emulation_budget
 
 
 class HttposLiteDefense(TraceDefense):
@@ -60,6 +60,19 @@ class HttposLiteDefense(TraceDefense):
         # Accumulated delay from window clocking shifts later packets.
         shift = 0.0
         header = 52
+        if len(trace):
+            # Bound the output before chunking anything: re-chunking is
+            # O(bytes/MSS), so an absurd packet size must fail fast
+            # instead of looping for ever (float64 keeps the estimate
+            # exact enough at any magnitude).
+            split = (trace.directions == IN) & (
+                trace.sizes > self.advertised_mss + header
+            )
+            payloads = trace.sizes[split].astype(np.float64) - header
+            chunk_count = float(np.ceil(payloads / self.advertised_mss).sum())
+            check_emulation_budget(
+                chunk_count + (len(trace) - int(split.sum())), self.name
+            )
         for t, d, s in zip(trace.times, trace.directions, trace.sizes):
             t = float(t) + shift
             if d == IN and s > self.advertised_mss + header:

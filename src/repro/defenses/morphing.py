@@ -20,7 +20,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.capture.trace import IN, Trace
-from repro.defenses.base import TraceDefense
+from repro.defenses.base import TraceDefense, check_emulation_budget
 
 
 class MorphingDefense(TraceDefense):
@@ -75,6 +75,19 @@ class MorphingDefense(TraceDefense):
 
     def apply(self, trace: Trace, rng=None) -> Trace:
         gen = self._rng(rng)
+        if len(trace):
+            # Worst-case emission count: every drawn size at the floor.
+            # Checked up front so an absurd source packet fails in O(1)
+            # instead of splitting for ever.
+            floor = max(int(self.target.min()), self.min_size, 1)
+            morphed_bytes = float(
+                trace.sizes[trace.directions == self.direction]
+                .astype(np.float64)
+                .sum()
+            )
+            check_emulation_budget(
+                morphed_bytes / floor + len(trace), self.name
+            )
         records = []
         for t, d, s in zip(trace.times, trace.directions, trace.sizes):
             if d != self.direction:

@@ -14,7 +14,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.capture.trace import IN, OUT, Trace
-from repro.defenses.base import TraceDefense
+from repro.defenses.base import TraceDefense, check_emulation_budget
 
 
 class TamarawDefense(TraceDefense):
@@ -53,11 +53,13 @@ class TamarawDefense(TraceDefense):
 
     def _train(self, trace: Trace, direction: int, rho: float) -> List[tuple]:
         side = trace.filter_direction(direction)
-        total_bytes = int(side.sizes.sum())
+        # total_bytes (not sizes.sum()): exact past int64 wraparound.
+        total_bytes = side.total_bytes
         needed = math.ceil(total_bytes / self.ell) if total_bytes else 0
         padded = (
             math.ceil(max(needed, 1) / self.pad_multiple) * self.pad_multiple
         )
+        check_emulation_budget(padded, self.name)
         start = float(trace.times[0]) if len(trace) else 0.0
         return [(start + k * rho, direction, self.ell) for k in range(padded)]
 

@@ -54,6 +54,19 @@ class TrialError(ReproError, RuntimeError):
     """
 
 
+class TraceError(TrialError):
+    """A packet trace is malformed for the requested operation —
+    non-finite timestamps, inconsistent arrays, or a degenerate shape
+    the consumer cannot give meaning to.
+
+    Raised by the feature extractors (k-FP, TAM, CUMUL) when handed a
+    trace whose arrays bypass :class:`repro.capture.trace.Trace`
+    validation (e.g. mutated in place, or decoded from a corrupt
+    archive): a typed rejection instead of numpy warnings or silently
+    garbage features.  *Empty* traces are not errors — every extractor
+    documents a zero-filled vector for them."""
+
+
 class InfrastructureError(ReproError, RuntimeError):
     """The execution substrate failed; the work itself is presumed
     fine.  Recover by retrying elsewhere (rebuilt pool, recompute)."""
@@ -88,6 +101,18 @@ class ShardCorruptError(CorruptArtifactError):
 
 class FatalError(ReproError):
     """A programming or configuration error.  Never retried."""
+
+
+class NonFiniteError(FatalError):
+    """A numeric computation produced NaN or infinity where the
+    pipeline guarantees finite values — e.g. MLP training diverged, or
+    a feature matrix carries non-finite entries into a classifier.
+
+    Fatal, not retryable: the same inputs reproduce the same
+    non-finite values, and retrying would only let them poison cached
+    eval artifacts.  Surfaces immediately with the offending stage in
+    the message; the ``ml.nonfinite`` obs counter records occurrences.
+    """
 
 
 class RepairMismatchError(FatalError):

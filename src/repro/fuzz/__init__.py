@@ -1,0 +1,46 @@
+"""Deterministic scenario fuzzing for the whole pipeline.
+
+``repro.fuzz`` samples composite scenarios (site profile × defense ×
+attack × fault schedule × link parameters, biased toward pathological
+corners), runs each through capture → sanitize → defend → features →
+eval under a runtime invariant oracle, shrinks failures to minimal
+JSON reproducers and quarantines them in a crash-bucketed corpus.
+
+Entry points: :func:`repro.fuzz.runner.run_fuzz` (a campaign),
+:func:`repro.fuzz.runner.replay_reproducer` (one stored finding), and
+the ``repro fuzz run / replay / corpus`` CLI.
+"""
+
+from repro.fuzz.corpus import QuarantineCorpus, bucket_for, load_reproducer
+from repro.fuzz.oracle import (
+    HangDetected,
+    InvariantViolation,
+    ScenarioOutcome,
+    run_scenario,
+)
+from repro.fuzz.runner import FuzzReport, replay_reproducer, run_fuzz
+from repro.fuzz.scenario import (
+    ScenarioSpec,
+    sample_scenario,
+    scenario_from_jsonable,
+    scenario_to_jsonable,
+)
+from repro.fuzz.shrink import shrink_scenario
+
+__all__ = [
+    "FuzzReport",
+    "HangDetected",
+    "InvariantViolation",
+    "QuarantineCorpus",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "bucket_for",
+    "load_reproducer",
+    "replay_reproducer",
+    "run_fuzz",
+    "run_scenario",
+    "sample_scenario",
+    "scenario_from_jsonable",
+    "scenario_to_jsonable",
+    "shrink_scenario",
+]

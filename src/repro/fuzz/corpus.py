@@ -1,0 +1,177 @@
+"""The quarantine corpus: minimal reproducers on disk, bucketed.
+
+Every finding the fuzzer cannot explain away is distilled (via the
+shrinker) into a small JSON reproducer and quarantined under
+``<corpus>/reproducers/``.  Findings are triaged into *crash buckets*
+keyed by ``(exception type, innermost repro frame)`` — the same
+exception raised from the same line of our code is one bug, however
+many scenarios tickle it — so a fuzz campaign reports *distinct* bugs,
+and re-finding a known bug is idempotent (the corpus entry already
+exists; nothing changes).
+
+Reproducer schema (``repro.fuzz.reproducer.v1``)::
+
+    {
+      "schema": "repro.fuzz.reproducer.v1",
+      "bucket": {"etype": ..., "frame": ..., "id": ...},
+      "message": <str>,            # the finding's exception message
+      "invariant": <str | null>,   # InvariantViolation's invariant name
+      "scenario": {...},           # the minimal (shrunk) scenario
+      "original_scenario": {...},  # as sampled, pre-shrink
+      "campaign": {"seed": ..., "index": ...},
+      "shrink": {"rounds": ..., "tried": ..., "accepted": ...}
+    }
+
+``repro fuzz replay <file>`` re-runs ``scenario`` and reports whether
+the recorded bucket still reproduces — the regression-test contract
+for every hardening fix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.fuzz.scenario import ScenarioSpec, scenario_to_jsonable
+
+SCHEMA = "repro.fuzz.reproducer.v1"
+
+
+@dataclass(frozen=True)
+class CrashBucket:
+    """Triage identity of a finding."""
+
+    etype: str
+    frame: str
+
+    @property
+    def id(self) -> str:
+        return f"{self.etype}@{self.frame}"
+
+
+def bucket_for(exc: BaseException) -> CrashBucket:
+    """Bucket an exception by type and innermost frame in our code.
+
+    The innermost traceback frame whose file lives under ``repro``
+    pins the bug to our source (not numpy's or the stdlib's); findings
+    raised outside any repro frame fall back to the innermost frame.
+    """
+    frames = traceback.extract_tb(exc.__traceback__)
+    chosen = None
+    for frame in frames:
+        path = frame.filename.replace("\\", "/")
+        if "/repro/" in path or path.endswith("repro"):
+            chosen = frame
+    if chosen is None and frames:
+        chosen = frames[-1]
+    if chosen is None:
+        location = "no-traceback:?"
+    else:
+        location = f"{Path(chosen.filename).name}:{chosen.name}"
+    return CrashBucket(etype=type(exc).__name__, frame=location)
+
+
+def scenario_digest(spec: ScenarioSpec) -> str:
+    """Content digest of a scenario's canonical JSON form."""
+    encoded = json.dumps(
+        scenario_to_jsonable(spec), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def _sanitize_name(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", name)
+
+
+class QuarantineCorpus:
+    """A directory of minimal reproducers, one JSON file per finding."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    @property
+    def reproducer_dir(self) -> Path:
+        return self.root / "reproducers"
+
+    def entry_path(self, bucket: CrashBucket, spec: ScenarioSpec) -> Path:
+        digest = scenario_digest(spec)[:12]
+        return self.reproducer_dir / f"{_sanitize_name(bucket.id)}__{digest}.json"
+
+    def add(
+        self,
+        exc: BaseException,
+        spec: ScenarioSpec,
+        original: ScenarioSpec,
+        shrink_audit: Dict[str, int],
+    ) -> "CorpusEntry":
+        """Quarantine one finding; idempotent per (bucket, scenario)."""
+        from repro.ioutil import atomic_write_text
+
+        bucket = bucket_for(exc)
+        path = self.entry_path(bucket, spec)
+        if path.exists():
+            return CorpusEntry(path=path, bucket=bucket, new=False)
+        payload = {
+            "schema": SCHEMA,
+            "bucket": {"etype": bucket.etype, "frame": bucket.frame, "id": bucket.id},
+            "message": str(exc),
+            "invariant": getattr(exc, "invariant", None),
+            "scenario": scenario_to_jsonable(spec),
+            "original_scenario": scenario_to_jsonable(original),
+            "campaign": {"seed": original.seed, "index": original.index},
+            "shrink": shrink_audit,
+        }
+        self.reproducer_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return CorpusEntry(path=path, bucket=bucket, new=True)
+
+    def entries(self) -> List[Path]:
+        """Reproducer files, sorted for stable iteration."""
+        if not self.reproducer_dir.is_dir():
+            return []
+        return sorted(self.reproducer_dir.glob("*.json"))
+
+    def buckets(self) -> Dict[str, List[Path]]:
+        """``{bucket id: [reproducer files]}`` across the corpus."""
+        out: Dict[str, List[Path]] = {}
+        for path in self.entries():
+            data = json.loads(path.read_text())
+            out.setdefault(data["bucket"]["id"], []).append(path)
+        return out
+
+    def digest(self) -> str:
+        """Order-independent content digest of the whole corpus."""
+        h = hashlib.sha256()
+        for path in self.entries():
+            data = json.loads(path.read_text())
+            h.update(data["bucket"]["id"].encode("utf-8"))
+            h.update(
+                json.dumps(
+                    data["scenario"], sort_keys=True, separators=(",", ":")
+                ).encode("utf-8")
+            )
+        return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """Result of quarantining one finding."""
+
+    path: Path
+    bucket: CrashBucket
+    new: bool
+
+
+def load_reproducer(path) -> Dict[str, object]:
+    """Parse and schema-check one reproducer file."""
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: not a fuzz reproducer (schema {data.get('schema')!r})"
+        )
+    return data

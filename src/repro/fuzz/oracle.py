@@ -1,0 +1,521 @@
+"""The runtime invariant oracle: execute one scenario, check everything.
+
+:func:`run_scenario` drives a :class:`~repro.fuzz.scenario.ScenarioSpec`
+through the full pipeline — capture → sanitize → defend → features →
+eval — with invariant checks at every stage boundary:
+
+* **Conservation** — every link's :class:`LinkStats` accounting
+  balances (offered = drops + queued + in-service + in-flight +
+  delivered), through faults, duplication and reordering alike.
+* **Stack sanity** — TCP sequence space (``snd_una <= snd_nxt``,
+  non-negative bytes in flight) and pacer state (non-negative extra
+  gap, finite next-allowed time) on both endpoints after every visit.
+* **Trace well-formedness** — finite, non-negative, non-decreasing
+  timestamps; ±1 directions; positive sizes.
+* **Stage accounting** — the sanitizer's kept/dropped counts sum to
+  the input count; defenses only add overhead (bandwidth overhead
+  ≥ -100 %) and stay deterministic across equal-seed instances; the
+  ``original`` defense is the identity.
+* **Numeric hygiene** — finite feature matrices and scores in [0, 1];
+  TAM's count-conservation (bins sum to the packet count); serial vs
+  worker-pool feature extraction digests match.
+
+A violated invariant raises :class:`InvariantViolation`; a wall-clock
+deadline turns silent hangs into :class:`HangDetected` findings.  The
+oracle deliberately catches nothing — the runner owns triage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.capture.dataset import Dataset
+from repro.capture.serialize import dataset_content_digest
+from repro.capture.trace import Trace
+from repro.errors import ReproError
+from repro.fuzz.scenario import (
+    SOURCE_SIMULATED,
+    ScenarioSpec,
+    FUZZ_SALT,
+)
+from repro.ml.metrics import accuracy_score
+
+#: Default wall-clock budget for one scenario, seconds.  Generous —
+#: honest scenarios finish in well under a second; only a genuine hang
+#: (an event-loop livelock, a diverging retransmit storm) hits it, so
+#: campaign results stay effectively deterministic.
+DEFAULT_DEADLINE = 120.0
+
+#: Deliberately tiny attack configurations: the oracle checks numeric
+#: hygiene and contract conformance, not accuracy, so classifiers run
+#: at the smallest size that still exercises their full code path.
+TINY_ATTACK_KWARGS: Dict[str, Dict[str, object]] = {
+    "kfp": {"n_estimators": 6},
+    "cumul": {"n_interp": 20, "epochs": 4},
+    "knn": {"n_neighbors": 1},
+    "tam-mlp": {"n_bins": 16, "hidden": (8,), "epochs": 2, "batch_size": 8},
+}
+
+
+class InvariantViolation(ReproError):
+    """A runtime invariant failed during a fuzz scenario."""
+
+    def __init__(self, invariant: str, detail: str) -> None:
+        super().__init__(f"invariant {invariant!r} violated: {detail}")
+        self.invariant = invariant
+        self.detail = detail
+
+
+class HangDetected(ReproError):
+    """A scenario exceeded its wall-clock deadline."""
+
+    def __init__(self, stage: str, deadline: float) -> None:
+        super().__init__(
+            f"scenario exceeded its {deadline:.0f}s wall-clock deadline "
+            f"during {stage!r}"
+        )
+        self.stage = stage
+        self.deadline = deadline
+
+
+@dataclass
+class ScenarioOutcome:
+    """What one oracle-checked scenario produced (no finding raised)."""
+
+    spec: ScenarioSpec
+    digest: str
+    n_traces: int
+    stalls: int
+    eval_skipped: Optional[str]
+    stages: Dict[str, object] = field(default_factory=dict)
+
+
+def _check(condition: bool, invariant: str, detail: str) -> None:
+    if not condition:
+        raise InvariantViolation(invariant, detail)
+
+
+class _Deadline:
+    """Wall-clock watchdog shared across a scenario's stages."""
+
+    def __init__(self, seconds: Optional[float]) -> None:
+        self._seconds = seconds
+        self._start = time.monotonic()
+        self.stage = "setup"
+
+    def check(self) -> None:
+        if self._seconds is None:
+            return
+        if time.monotonic() - self._start > self._seconds:
+            raise HangDetected(self.stage, self._seconds)
+
+
+# -- per-visit stack checks ----------------------------------------------------
+
+
+def check_trace(trace: Trace, context: str) -> None:
+    """Trace well-formedness, checked independently of the Trace
+    constructor (the oracle does not trust producer-side validation)."""
+    times, dirs, sizes = trace.times, trace.directions, trace.sizes
+    _check(
+        len(times) == len(dirs) == len(sizes),
+        "trace.aligned",
+        f"{context}: column lengths differ",
+    )
+    if len(times) == 0:
+        return
+    _check(
+        bool(np.isfinite(times).all()),
+        "trace.finite-times",
+        f"{context}: non-finite timestamp",
+    )
+    _check(
+        float(times[0]) >= 0.0,
+        "trace.nonnegative-times",
+        f"{context}: first timestamp {times[0]!r} < 0",
+    )
+    _check(
+        bool((np.diff(times) >= -1e-12).all()),
+        "trace.monotonic-times",
+        f"{context}: timestamps decrease",
+    )
+    _check(
+        bool(np.isin(dirs, (-1, 1)).all()),
+        "trace.directions",
+        f"{context}: direction outside {{-1, +1}}",
+    )
+    _check(
+        bool((sizes > 0).all()),
+        "trace.positive-sizes",
+        f"{context}: non-positive packet size",
+    )
+
+
+def check_flow(flow, context: str) -> None:
+    """Post-run stack invariants on a finished page-load flow."""
+    for direction, stats in flow.link_stats().items():
+        _check(
+            stats.conserved(),
+            "link.conservation",
+            f"{context}: {direction} link accounting unbalanced: {stats}",
+        )
+    for side in ("client", "server"):
+        ep = getattr(flow, side)
+        _check(
+            ep.snd_una <= ep.snd_nxt,
+            "tcp.sequence-space",
+            f"{context}: {side} snd_una {ep.snd_una} > snd_nxt {ep.snd_nxt}",
+        )
+        _check(
+            ep.bytes_in_flight >= 0,
+            "tcp.bytes-in-flight",
+            f"{context}: {side} bytes_in_flight {ep.bytes_in_flight} < 0",
+        )
+        pacer = ep.pacer
+        _check(
+            pacer.total_extra_gap >= 0.0,
+            "pacer.gap-nonnegative",
+            f"{context}: {side} total_extra_gap {pacer.total_extra_gap}",
+        )
+        _check(
+            np.isfinite(pacer.next_allowed) and pacer.next_allowed >= 0.0,
+            "pacer.next-allowed",
+            f"{context}: {side} next_allowed {pacer.next_allowed!r}",
+        )
+        _check(
+            pacer.scheduled_segments >= 0,
+            "pacer.scheduled-segments",
+            f"{context}: {side} scheduled_segments {pacer.scheduled_segments}",
+        )
+
+
+def check_visit(flow, result, config, context: str) -> None:
+    """All per-visit invariants: stack state, result sanity, trace."""
+    check_flow(flow, context)
+    _check(
+        0.0 <= result.sim_time <= config.max_duration + 10.0,
+        "visit.sim-time",
+        f"{context}: sim_time {result.sim_time!r} outside "
+        f"[0, max_duration + drain]",
+    )
+    _check(
+        result.events_processed >= 0,
+        "visit.events",
+        f"{context}: negative event count",
+    )
+    _check(
+        result.bytes_received >= 0,
+        "visit.bytes",
+        f"{context}: negative bytes_received",
+    )
+    check_trace(result.trace, context)
+
+
+# -- stage helpers -------------------------------------------------------------
+
+
+def _feature_extractor(attack_name: str):
+    """The feature extractor the oracle audits for ``attack_name``
+    (``None`` when the attack has no batch extractor worth checking)."""
+    if attack_name in ("kfp", "knn"):
+        from repro.attacks.features.kfp import KfpFeatureExtractor
+
+        return KfpFeatureExtractor()
+    if attack_name == "tam-mlp":
+        from repro.attacks.tam import TamExtractor
+
+        return TamExtractor(n_bins=16)
+    if attack_name == "cumul":
+        from repro.attacks.cumul import CumulAttack
+
+        return _CumulExtractor(CumulAttack(n_interp=20))
+    return None
+
+
+class _CumulExtractor:
+    """Adapts CUMUL's per-trace features to the extract_many shape."""
+
+    def __init__(self, attack) -> None:
+        self._attack = attack
+
+    def extract_many(self, traces, workers: int = 1) -> np.ndarray:
+        return self._attack._features(list(traces))
+
+
+def _matrix_digest(X: np.ndarray) -> str:
+    return hashlib.sha256(
+        np.ascontiguousarray(X, dtype=np.float64).tobytes()
+    ).hexdigest()
+
+
+def _canonical_digest(payload: object) -> str:
+    from repro.cache.canonical import jsonable
+
+    encoded = json.dumps(jsonable(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def _collect_simulated(
+    spec: ScenarioSpec, deadline: _Deadline
+) -> Tuple[Dataset, int]:
+    """Run the scenario's page loads under per-visit stack checks."""
+    from repro.web.pageload import PageLoadConfig, load_page_result, visit_seed_rng
+
+    config = PageLoadConfig(
+        rate_mbps=spec.rate_mbps,
+        rtt_ms=spec.rtt_ms,
+        loss_rate=spec.loss_rate,
+        buffer_bdp=spec.buffer_bdp,
+        cc=spec.cca,
+        max_duration=spec.max_duration,
+        fault_spec=spec.fault,
+    )
+    # Visit randomness derives from the scenario's campaign coordinates
+    # so shrinking (dropping sites/samples) replays surviving visits
+    # bit-identically.
+    visit_seed = spec.seed * 1_000_003 + spec.index
+    dataset = Dataset()
+    stalls = 0
+    for site in spec.sites:
+        label = site.label()
+        profile = site.profile()
+        for sample in range(spec.n_samples):
+            deadline.check()
+            context = f"visit {label}#{sample}"
+            holder: List[object] = []
+            result = load_page_result(
+                profile,
+                config,
+                visit_seed_rng(visit_seed, label, sample),
+                watchdog=deadline.check,
+                on_flow=holder.append,
+            )
+            check_visit(holder[0], result, config, context)
+            if not result.completed:
+                stalls += 1
+                continue
+            dataset.add(label, result.trace)
+    return dataset, stalls
+
+
+def _collect_synthetic(spec: ScenarioSpec) -> Dataset:
+    """Materialise the adversarial trace families, one label each."""
+    dataset = Dataset()
+    for i, family in enumerate(spec.synthetic):
+        rng = np.random.default_rng([FUZZ_SALT, spec.seed, spec.index, i])
+        label = f"syn-{family.kind}-{i}"
+        for trace in family.build_traces(rng):
+            check_trace(trace, f"synthetic {label}")
+            dataset.add(label, trace)
+    return dataset
+
+
+def _check_sanitize(dataset: Dataset) -> Tuple[Dataset, Dict[str, object]]:
+    from repro.capture.sanitize import sanitize_dataset
+
+    before = {label: len(dataset.traces[label]) for label in dataset.labels}
+    clean, report = sanitize_dataset(dataset)
+    for label, counts in report.items():
+        if label == "_balanced_to":
+            continue
+        kept, dropped_error, dropped_iqr = counts
+        _check(
+            kept + dropped_error + dropped_iqr == before[label],
+            "sanitize.accounting",
+            f"{label}: {kept}+{dropped_error}+{dropped_iqr} "
+            f"!= {before[label]} input traces",
+        )
+        _check(
+            min(kept, dropped_error, dropped_iqr) >= 0,
+            "sanitize.accounting",
+            f"{label}: negative count in {counts}",
+        )
+    return clean, report
+
+
+def _check_defense(
+    spec: ScenarioSpec, dataset: Dataset, deadline: _Deadline
+) -> Dataset:
+    from repro.defenses.overhead import bandwidth_overhead, latency_overhead
+    from repro.defenses.registry import build_defense
+
+    defense = build_defense(spec.defense, seed=spec.seed)
+    twin = build_defense(spec.defense, seed=spec.seed)
+    defended = Dataset()
+    checked_determinism = False
+    for label in dataset.labels:
+        for i, trace in enumerate(dataset.traces[label]):
+            deadline.check()
+            context = f"defense {spec.defense} on {label}[{i}]"
+            out = defense.apply(trace)
+            check_trace(out, context)
+            if spec.defense == "original":
+                _check(
+                    out is trace,
+                    "defense.identity",
+                    f"{context}: 'original' must be the identity",
+                )
+            if trace.total_bytes > 0:
+                bw = bandwidth_overhead(trace, out)
+                _check(
+                    np.isfinite(bw) and bw >= -1.0,
+                    "defense.bandwidth-overhead",
+                    f"{context}: overhead {bw!r}",
+                )
+            lat = latency_overhead(trace, out)
+            _check(
+                np.isfinite(lat),
+                "defense.latency-overhead",
+                f"{context}: overhead {lat!r}",
+            )
+            if not checked_determinism:
+                # Fresh equal-seed instances must agree bit-for-bit.
+                again = twin.apply(trace)
+                _check(
+                    np.array_equal(out.times, again.times)
+                    and np.array_equal(out.directions, again.directions)
+                    and np.array_equal(out.sizes, again.sizes),
+                    "defense.determinism",
+                    f"{context}: equal-seed instances disagree",
+                )
+                checked_determinism = True
+            defended.add(label, out)
+    return defended
+
+
+def _check_features(
+    spec: ScenarioSpec, traces: List[Trace], deadline: _Deadline
+) -> Dict[str, object]:
+    extractor = _feature_extractor(spec.attack)
+    if extractor is None:
+        return {"skipped": f"no extractor for {spec.attack}"}
+    deadline.check()
+    X = extractor.extract_many(traces)
+    _check(
+        X.shape[0] == len(traces),
+        "features.row-count",
+        f"{spec.attack}: {X.shape[0]} rows for {len(traces)} traces",
+    )
+    _check(
+        bool(np.isfinite(X).all()),
+        "features.finite",
+        f"{spec.attack}: non-finite feature values",
+    )
+    if spec.attack == "tam-mlp":
+        # TAM is a histogram: every packet lands in exactly one bin.
+        from repro.attacks.tam import TamExtractor
+
+        tam = TamExtractor(n_bins=16)
+        for i, trace in enumerate(traces):
+            total = float(tam.matrix(trace).sum())
+            _check(
+                total == float(len(trace)),
+                "features.tam-conservation",
+                f"trace[{i}]: {total} binned packets != {len(trace)}",
+            )
+    digest = _matrix_digest(X)
+    if spec.check_workers and len(traces) > 1 and spec.attack != "cumul":
+        deadline.check()
+        X2 = extractor.extract_many(traces, workers=2)
+        _check(
+            _matrix_digest(X2) == digest,
+            "features.worker-digest",
+            f"{spec.attack}: workers=2 matrix differs from serial",
+        )
+    return {"sha": digest, "shape": list(X.shape)}
+
+
+def _check_eval(
+    spec: ScenarioSpec, dataset: Dataset, deadline: _Deadline
+) -> Tuple[Optional[float], Optional[str]]:
+    """Train/score the tiny attack; returns (accuracy, skip reason)."""
+    labels = [l for l in dataset.labels if dataset.traces[l]]
+    if len(labels) < 2:
+        return None, f"needs >= 2 classes, have {len(labels)}"
+    if min(len(dataset.traces[l]) for l in labels) < 2:
+        return None, "every class needs >= 2 traces"
+    from repro.attacks.registry import build_attack
+
+    deadline.check()
+    attack = build_attack(
+        spec.attack, seed=spec.seed, **TINY_ATTACK_KWARGS[spec.attack]
+    )
+    traces, y = dataset.to_arrays()
+    attack.fit(traces, y)
+    deadline.check()
+    predictions = attack.predict(traces)
+    _check(
+        predictions.shape == y.shape,
+        "eval.prediction-shape",
+        f"{spec.attack}: {predictions.shape} predictions for {y.shape} labels",
+    )
+    accuracy = accuracy_score(y, predictions)
+    _check(
+        np.isfinite(accuracy) and 0.0 <= accuracy <= 1.0,
+        "eval.score-range",
+        f"{spec.attack}: accuracy {accuracy!r}",
+    )
+    return float(accuracy), None
+
+
+# -- the oracle entry point ----------------------------------------------------
+
+
+def run_scenario(
+    spec: ScenarioSpec, deadline: Optional[float] = DEFAULT_DEADLINE
+) -> ScenarioOutcome:
+    """Execute one scenario under the full invariant oracle.
+
+    Raises on any finding (:class:`InvariantViolation`,
+    :class:`HangDetected`, or any pipeline exception); returns a
+    :class:`ScenarioOutcome` whose ``digest`` summarises every stage,
+    so two runs of the same spec can be compared bit-for-bit.
+    """
+    clock = _Deadline(deadline)
+    stages: Dict[str, object] = {}
+
+    clock.stage = "capture"
+    if spec.source == SOURCE_SIMULATED:
+        dataset, stalls = _collect_simulated(spec, clock)
+    else:
+        dataset, stalls = _collect_synthetic(spec), 0
+    stages["dataset"] = {
+        "digest": dataset_content_digest(dataset),
+        "n_traces": dataset.num_traces,
+        "stalls": stalls,
+    }
+
+    if spec.sanitize:
+        clock.stage = "sanitize"
+        clock.check()
+        dataset, report = _check_sanitize(dataset)
+        stages["sanitize"] = {"report": report}
+
+    clock.stage = "defend"
+    dataset = _check_defense(spec, dataset, clock)
+    stages["defense"] = {"digest": dataset_content_digest(dataset)}
+
+    clock.stage = "features"
+    all_traces = [t for label in dataset.labels for t in dataset.traces[label]]
+    stages["features"] = _check_features(spec, all_traces, clock)
+
+    clock.stage = "eval"
+    accuracy, skip_reason = _check_eval(spec, dataset, clock)
+    stages["eval"] = (
+        {"accuracy": accuracy} if skip_reason is None else {"skipped": skip_reason}
+    )
+
+    return ScenarioOutcome(
+        spec=spec,
+        digest=_canonical_digest(stages),
+        n_traces=dataset.num_traces,
+        stalls=stalls,
+        eval_skipped=skip_reason,
+        stages=stages,
+    )

@@ -1,0 +1,208 @@
+"""The fuzz campaign driver: sample → run → triage → shrink → quarantine.
+
+:func:`run_fuzz` iterates scenario indices ``0 .. budget-1`` of a
+campaign seed, runs each through the invariant oracle, and turns every
+raised exception into a finding: bucket it, shrink it to a minimal
+spec (re-running the oracle per candidate), and quarantine the
+reproducer.  Scenarios are pure functions of ``(seed, index)``, so two
+runs of the same campaign produce identical findings, identical
+corpora and an identical campaign digest — the determinism the smoke
+gate (``benchmarks/smoke_fuzz.py``) asserts.
+
+:class:`~repro.errors.RunTerminated` (Ctrl-C / SIGTERM) is *not* a
+finding: it propagates immediately so operator aborts never pollute
+the corpus.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import RunTerminated
+from repro.fuzz.corpus import QuarantineCorpus, bucket_for, load_reproducer
+from repro.fuzz.oracle import DEFAULT_DEADLINE, run_scenario
+from repro.fuzz.scenario import (
+    ScenarioSpec,
+    sample_scenario,
+    scenario_from_jsonable,
+)
+from repro.fuzz.shrink import ShrinkResult, shrink_scenario
+from repro.obs import runtime as _obs_runtime
+
+
+@dataclass
+class Finding:
+    """One triaged fuzz finding."""
+
+    index: int
+    bucket_id: str
+    message: str
+    invariant: Optional[str]
+    reproducer: Optional[str]  # corpus file path, None when shrink-only
+    new: bool
+    shrink: Optional[ShrinkResult]
+
+
+@dataclass
+class FuzzReport:
+    """Everything one campaign produced."""
+
+    seed: int
+    budget: int
+    scenarios: int = 0
+    stalls: int = 0
+    eval_skipped: int = 0
+    findings: List[Finding] = field(default_factory=list)
+    campaign_digest: str = ""
+    corpus_digest: str = ""
+
+    @property
+    def new_entries(self) -> int:
+        return sum(1 for f in self.findings if f.new)
+
+    def bucket_counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.bucket_id] = out.get(finding.bucket_id, 0) + 1
+        return out
+
+
+def _count(name: str, n: int = 1) -> None:
+    obs = _obs_runtime.session()
+    if obs is not None:
+        obs.registry.counter(name).add(n)
+
+
+def _still_fails(
+    bucket_id: str, deadline: Optional[float]
+) -> Callable[[ScenarioSpec], bool]:
+    """The shrinker's acceptance oracle: same bucket, or reject."""
+
+    def check(candidate: ScenarioSpec) -> bool:
+        try:
+            run_scenario(candidate, deadline=deadline)
+        except RunTerminated:
+            raise
+        except Exception as exc:  # noqa: BLE001 — triage needs everything
+            return bucket_for(exc).id == bucket_id
+        return False
+
+    return check
+
+
+def run_fuzz(
+    seed: int,
+    budget: int,
+    corpus_dir,
+    shrink: bool = True,
+    deadline: Optional[float] = DEFAULT_DEADLINE,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run scenarios ``0 .. budget-1`` of campaign ``seed``.
+
+    Returns the full :class:`FuzzReport`; new reproducers land under
+    ``corpus_dir`` as a side effect.  The campaign digest hashes every
+    scenario's outcome (stage digests for passes, bucket ids for
+    findings), so determinism is checkable without comparing corpora.
+    """
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    corpus = QuarantineCorpus(corpus_dir)
+    report = FuzzReport(seed=seed, budget=budget)
+    campaign = hashlib.sha256()
+    say = progress or (lambda _msg: None)
+    for index in range(budget):
+        spec = sample_scenario(seed, index)
+        report.scenarios += 1
+        _count("fuzz.scenarios")
+        try:
+            outcome = run_scenario(spec, deadline=deadline)
+        except RunTerminated:
+            raise
+        except Exception as exc:  # noqa: BLE001 — every escape is a finding
+            bucket = bucket_for(exc)
+            _count("fuzz.findings")
+            say(f"[{index}] FINDING {bucket.id}: {exc}")
+            shrink_result: Optional[ShrinkResult] = None
+            minimal = spec
+            if shrink:
+                shrink_result = shrink_scenario(
+                    spec, _still_fails(bucket.id, deadline)
+                )
+                minimal = shrink_result.spec
+            audit = {
+                "rounds": shrink_result.rounds if shrink_result else 0,
+                "tried": shrink_result.tried if shrink_result else 0,
+                "accepted": shrink_result.accepted if shrink_result else 0,
+            }
+            entry = corpus.add(exc, minimal, spec, audit)
+            report.findings.append(
+                Finding(
+                    index=index,
+                    bucket_id=bucket.id,
+                    message=str(exc),
+                    invariant=getattr(exc, "invariant", None),
+                    reproducer=str(entry.path),
+                    new=entry.new,
+                    shrink=shrink_result,
+                )
+            )
+            campaign.update(f"{index}:finding:{bucket.id}".encode("utf-8"))
+            continue
+        report.stalls += outcome.stalls
+        if outcome.eval_skipped is not None:
+            report.eval_skipped += 1
+            _count("fuzz.eval_skipped")
+        if outcome.stalls:
+            _count("fuzz.stalls", outcome.stalls)
+        campaign.update(f"{index}:ok:{outcome.digest}".encode("utf-8"))
+    report.campaign_digest = campaign.hexdigest()
+    report.corpus_digest = corpus.digest()
+    return report
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one stored reproducer."""
+
+    path: str
+    recorded_bucket: str
+    reproduced: bool
+    observed_bucket: Optional[str]
+    message: Optional[str]
+
+
+def replay_reproducer(
+    path, deadline: Optional[float] = DEFAULT_DEADLINE
+) -> ReplayResult:
+    """Re-run a quarantined scenario; report whether its bug is back.
+
+    ``reproduced`` is True when the recorded crash bucket fires again
+    (the bug is still live).  A clean pass — or a *different* failure,
+    which deserves its own fuzz finding — counts as not reproduced.
+    """
+    data = load_reproducer(path)
+    recorded = data["bucket"]["id"]
+    spec = scenario_from_jsonable(data["scenario"])
+    try:
+        run_scenario(spec, deadline=deadline)
+    except RunTerminated:
+        raise
+    except Exception as exc:  # noqa: BLE001 — replay compares buckets
+        observed = bucket_for(exc)
+        return ReplayResult(
+            path=str(path),
+            recorded_bucket=recorded,
+            reproduced=observed.id == recorded,
+            observed_bucket=observed.id,
+            message=str(exc),
+        )
+    return ReplayResult(
+        path=str(path),
+        recorded_bucket=recorded,
+        reproduced=False,
+        observed_bucket=None,
+        message=None,
+    )

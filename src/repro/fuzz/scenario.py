@@ -1,0 +1,512 @@
+"""Composite fuzz scenarios: what one adversarial pipeline run looks like.
+
+A :class:`ScenarioSpec` is a frozen, JSON-round-trippable description
+of one end-to-end pipeline execution — dataset source (simulated page
+loads or synthetic adversarial traces) × defense × attack × fault
+schedule × link/CCA parameters — deliberately biased toward the
+pathological corners the golden grid never visits: zero-object pages,
+1-byte and giant objects, 100 % loss windows, (near-)zero-bandwidth
+intervals, empty and single-packet traces.
+
+:func:`sample_scenario` draws the spec for ``(campaign seed, index)``
+from a position-derived generator, the same determinism discipline as
+:func:`repro.web.pageload.visit_seed_rng`: scenario *i* of seed *s* is
+a pure function of ``(s, i)``, independent of every other scenario, so
+fuzz campaigns shard, resume and replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.capture.trace import IN, OUT, Trace
+from repro.simnet.faults import (
+    BandwidthScheduleSpec,
+    BlackoutSpec,
+    DuplicateSpec,
+    FaultSpec,
+    GilbertElliottSpec,
+    LinkFlapSpec,
+    ReorderSpec,
+)
+from repro.web.objects import ObjectClass, SiteProfile
+from repro.web.sites import SITE_CATALOG
+
+#: Derivation salt for scenario sampling (keeps fuzz randomness
+#: disjoint from visit/trial/profile streams).
+FUZZ_SALT = 0xF0225
+
+#: Dataset source kinds.
+SOURCE_SIMULATED = "simulated"
+SOURCE_SYNTHETIC = "synthetic"
+
+#: Site kinds beyond the catalog/generated families: the pathological
+#: page shapes the paper's pipeline should survive.
+SITE_KINDS = ("catalog", "generated", "zero-object", "one-byte", "giant-object")
+
+#: Synthetic adversarial trace families (degenerate inputs that cannot
+#: come out of a page load, e.g. empty or single-packet traces).
+SYNTHETIC_KINDS = (
+    "empty",
+    "single-packet",
+    "one-direction-out",
+    "one-direction-in",
+    "equal-times",
+    "giant-sizes",
+    "mixed",
+)
+
+_FAULT_SPEC_CLASSES = {
+    cls.__name__: cls
+    for cls in (
+        GilbertElliottSpec,
+        LinkFlapSpec,
+        BlackoutSpec,
+        ReorderSpec,
+        DuplicateSpec,
+        BandwidthScheduleSpec,
+    )
+}
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """One site of a simulated scenario.
+
+    ``kind`` selects the profile family; ``index`` picks the member
+    (catalog position or generator index; unused for the pathological
+    kinds, which are single fixed profiles).
+    """
+
+    kind: str = "catalog"
+    index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SITE_KINDS:
+            raise ValueError(f"unknown site kind {self.kind!r}")
+
+    def label(self) -> str:
+        if self.kind == "catalog":
+            return sorted(SITE_CATALOG)[self.index % len(SITE_CATALOG)]
+        if self.kind == "generated":
+            from repro.web.generator import site_name
+
+            return site_name(self.index)
+        return f"{self.kind}.fuzz"
+
+    def profile(self) -> SiteProfile:
+        """The concrete :class:`SiteProfile` this spec names."""
+        if self.kind == "catalog":
+            return SITE_CATALOG[self.label()]
+        if self.kind == "generated":
+            from repro.web.generator import generate_profile
+
+            return generate_profile(0, self.index)
+        if self.kind == "zero-object":
+            # Handshake + HTML and nothing else: the smallest real page.
+            return SiteProfile(
+                name=self.label(),
+                html_log_mean=np.log(2500.0),
+                html_log_sigma=0.05,
+                object_classes=[],
+                dependency_rounds=0,
+            )
+        if self.kind == "one-byte":
+            # Dozens of 1-byte objects: per-packet overhead dominates.
+            return SiteProfile(
+                name=self.label(),
+                html_log_mean=np.log(2500.0),
+                html_log_sigma=0.05,
+                object_classes=[
+                    ObjectClass(
+                        name="one-byte",
+                        count_mean=40,
+                        count_jitter=0.2,
+                        log_mean=0.0,
+                        log_sigma=0.0,
+                        min_size=1,
+                        max_size=1,
+                    )
+                ],
+                dependency_rounds=2,
+            )
+        # giant-object: one object at the generator's size ceiling.
+        return SiteProfile(
+            name=self.label(),
+            html_log_mean=np.log(4000.0),
+            html_log_sigma=0.05,
+            object_classes=[
+                ObjectClass(
+                    name="giant",
+                    count_mean=1,
+                    count_jitter=0.0,
+                    log_mean=np.log(4 * 1024 * 1024),
+                    log_sigma=0.0,
+                    min_size=4 * 1024 * 1024,
+                    max_size=4 * 1024 * 1024,
+                )
+            ],
+            dependency_rounds=1,
+        )
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """One family of synthetic adversarial traces."""
+
+    kind: str = "empty"
+    n_traces: int = 2
+    n_packets: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SYNTHETIC_KINDS:
+            raise ValueError(f"unknown synthetic kind {self.kind!r}")
+        if self.n_traces < 1:
+            raise ValueError(f"n_traces must be >= 1, got {self.n_traces}")
+        if self.n_packets < 0:
+            raise ValueError(f"n_packets must be >= 0, got {self.n_packets}")
+
+    def build_traces(self, rng: np.random.Generator) -> List[Trace]:
+        """Materialise the family's traces (deterministic per rng)."""
+        return [self._one(rng) for _ in range(self.n_traces)]
+
+    def _one(self, rng: np.random.Generator) -> Trace:
+        if self.kind == "empty":
+            return Trace.empty()
+        if self.kind == "single-packet":
+            return Trace(
+                np.array([float(rng.uniform(0, 0.1))]),
+                np.array([OUT if rng.random() < 0.5 else IN], dtype=np.int8),
+                np.array([int(rng.integers(1, 1501))], dtype=np.int64),
+            )
+        n = max(1, self.n_packets)
+        times = np.sort(rng.uniform(0.0, 2.0, size=n))
+        sizes = rng.integers(1, 1501, size=n).astype(np.int64)
+        if self.kind == "one-direction-out":
+            dirs = np.full(n, OUT, dtype=np.int8)
+        elif self.kind == "one-direction-in":
+            dirs = np.full(n, IN, dtype=np.int8)
+        else:
+            dirs = np.where(rng.random(n) < 0.5, OUT, IN).astype(np.int8)
+        if self.kind == "equal-times":
+            times = np.zeros(n)
+        if self.kind == "giant-sizes":
+            # 1 MiB packets: far beyond any MTU, yet small enough for
+            # byte-materialising defenses to re-chunk within their
+            # emulation budget.  (Near-int64 sizes are rejected by that
+            # budget with a typed TraceError — unit-tested, not fuzzed.)
+            sizes = np.full(n, 2**20, dtype=np.int64)
+        return Trace(times, dirs, sizes)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One composite fuzz scenario (frozen, hashable, JSON-safe).
+
+    ``seed``/``index`` are the campaign coordinates the scenario was
+    sampled at; they also derive every downstream seed (visits,
+    defenses, attacks), so replaying a stored spec reproduces the run
+    bit-identically.
+    """
+
+    seed: int
+    index: int
+    source: str = SOURCE_SIMULATED
+    sites: Tuple[SiteSpec, ...] = ()
+    synthetic: Tuple[SyntheticSpec, ...] = ()
+    n_samples: int = 2
+    # Link / CCA parameters (the PageLoadConfig axis).
+    rate_mbps: float = 50.0
+    rtt_ms: float = 30.0
+    loss_rate: float = 0.0
+    buffer_bdp: float = 1.5
+    cca: str = "cubic"
+    max_duration: float = 8.0
+    fault: Optional[FaultSpec] = None
+    # Pipeline stages.
+    defense: str = "original"
+    attack: str = "kfp"
+    sanitize: bool = True
+    check_workers: bool = False
+
+    def __post_init__(self) -> None:
+        if self.source not in (SOURCE_SIMULATED, SOURCE_SYNTHETIC):
+            raise ValueError(f"unknown source {self.source!r}")
+        if self.source == SOURCE_SIMULATED and not self.sites:
+            raise ValueError("simulated scenarios need at least one site")
+        if self.source == SOURCE_SYNTHETIC and not self.synthetic:
+            raise ValueError("synthetic scenarios need at least one family")
+
+
+# -- JSON round trip -----------------------------------------------------------
+
+
+def _fault_to_jsonable(fault: Optional[FaultSpec]) -> Optional[list]:
+    if fault is None:
+        return None
+    out = []
+    for spec in fault.specs:
+        entry = {"kind": type(spec).__name__}
+        entry.update(dataclasses.asdict(spec))
+        out.append(entry)
+    return out
+
+
+def _fault_from_jsonable(data: Optional[list]) -> Optional[FaultSpec]:
+    if data is None:
+        return None
+    specs = []
+    for entry in data:
+        entry = dict(entry)
+        cls = _FAULT_SPEC_CLASSES[entry.pop("kind")]
+        if cls is BandwidthScheduleSpec:
+            entry["stages"] = tuple(tuple(stage) for stage in entry["stages"])
+        specs.append(cls(**entry))
+    return FaultSpec(tuple(specs))
+
+
+def scenario_to_jsonable(spec: ScenarioSpec) -> Dict[str, object]:
+    """Canonical JSON-safe dict; :func:`scenario_from_jsonable` inverts."""
+    return {
+        "seed": spec.seed,
+        "index": spec.index,
+        "source": spec.source,
+        "sites": [dataclasses.asdict(s) for s in spec.sites],
+        "synthetic": [dataclasses.asdict(s) for s in spec.synthetic],
+        "n_samples": spec.n_samples,
+        "rate_mbps": spec.rate_mbps,
+        "rtt_ms": spec.rtt_ms,
+        "loss_rate": spec.loss_rate,
+        "buffer_bdp": spec.buffer_bdp,
+        "cca": spec.cca,
+        "max_duration": spec.max_duration,
+        "fault": _fault_to_jsonable(spec.fault),
+        "defense": spec.defense,
+        "attack": spec.attack,
+        "sanitize": spec.sanitize,
+        "check_workers": spec.check_workers,
+    }
+
+
+def scenario_from_jsonable(data: Dict[str, object]) -> ScenarioSpec:
+    """Rebuild a :class:`ScenarioSpec` from its canonical dict."""
+    return ScenarioSpec(
+        seed=int(data["seed"]),
+        index=int(data["index"]),
+        source=str(data["source"]),
+        sites=tuple(SiteSpec(**s) for s in data["sites"]),
+        synthetic=tuple(SyntheticSpec(**s) for s in data["synthetic"]),
+        n_samples=int(data["n_samples"]),
+        rate_mbps=float(data["rate_mbps"]),
+        rtt_ms=float(data["rtt_ms"]),
+        loss_rate=float(data["loss_rate"]),
+        buffer_bdp=float(data["buffer_bdp"]),
+        cca=str(data["cca"]),
+        max_duration=float(data["max_duration"]),
+        fault=_fault_from_jsonable(data["fault"]),
+        defense=str(data["defense"]),
+        attack=str(data["attack"]),
+        sanitize=bool(data["sanitize"]),
+        check_workers=bool(data["check_workers"]),
+    )
+
+
+# -- the sampler ---------------------------------------------------------------
+
+
+def scenario_rng(seed: int, index: int) -> np.random.Generator:
+    """The position-derived generator for scenario ``(seed, index)``."""
+    return np.random.default_rng([FUZZ_SALT, seed, index])
+
+
+def _choice(rng: np.random.Generator, options) -> object:
+    return options[int(rng.integers(0, len(options)))]
+
+
+def _sample_fault(rng: np.random.Generator, max_duration: float) -> Optional[FaultSpec]:
+    """Draw a fault schedule, biased toward the hostile corners."""
+    roll = rng.random()
+    if roll < 0.35:
+        return None
+    specs: List[object] = []
+    n_faults = 1 if rng.random() < 0.7 else 2
+    for _ in range(n_faults):
+        kind = _choice(
+            rng,
+            (
+                "bursty",
+                "flap",
+                "flap-degenerate",
+                "blackout",
+                "blackout-total",
+                "schedule",
+                "schedule-crawl",
+                "reorder",
+                "duplicate",
+            ),
+        )
+        if kind == "bursty":
+            specs.append(
+                GilbertElliottSpec(
+                    p_enter_bad=float(rng.uniform(0.005, 0.08)),
+                    p_exit_bad=float(rng.uniform(0.1, 0.5)),
+                    loss_bad=float(rng.uniform(0.2, 1.0)),
+                )
+            )
+        elif kind == "flap":
+            specs.append(
+                LinkFlapSpec(
+                    up_mean=float(rng.uniform(0.2, 4.0)),
+                    down_mean=float(rng.uniform(0.01, 0.5)),
+                )
+            )
+        elif kind == "flap-degenerate":
+            # Zero-duration phases: pinned-up (no-op) or pinned-down
+            # (a 100 % loss window covering the whole load).
+            if rng.random() < 0.5:
+                specs.append(LinkFlapSpec(up_mean=0.0, down_mean=1.0))
+            else:
+                specs.append(LinkFlapSpec(up_mean=1.0, down_mean=0.0))
+        elif kind == "blackout":
+            start = float(rng.uniform(0.0, max_duration * 0.5))
+            specs.append(
+                BlackoutSpec(
+                    start=start,
+                    duration=float(rng.uniform(0.0, max_duration * 0.5)),
+                )
+            )
+        elif kind == "blackout-total":
+            # 100 % loss from t=0 past the deadline: nothing gets through.
+            specs.append(BlackoutSpec(start=0.0, duration=max_duration * 2.0))
+        elif kind == "schedule":
+            t1 = float(rng.uniform(0.0, max_duration * 0.5))
+            # Back-to-back segments: two stages at the same instant
+            # (last declared wins) plus a recovery stage.
+            specs.append(
+                BandwidthScheduleSpec(
+                    stages=(
+                        (t1, float(rng.uniform(0.2, 1.0))),
+                        (t1, float(rng.uniform(0.05, 0.5))),
+                        (t1 + float(rng.uniform(0.1, 2.0)), 1.0),
+                    )
+                )
+            )
+        elif kind == "schedule-crawl":
+            # Effectively zero bandwidth for a window (the fuzzer's
+            # "zero-bandwidth interval": factors must stay positive, so
+            # the corner is a 1e-3 crawl — "fully down" is a flap).
+            t1 = float(rng.uniform(0.0, max_duration * 0.3))
+            specs.append(
+                BandwidthScheduleSpec(
+                    stages=(
+                        (t1, 1e-3),
+                        (t1 + float(rng.uniform(0.5, 2.0)), 1.0),
+                    )
+                )
+            )
+        elif kind == "reorder":
+            specs.append(
+                ReorderSpec(
+                    prob=float(rng.uniform(0.005, 0.05)),
+                    delay_low=0.001,
+                    delay_high=float(rng.uniform(0.005, 0.05)),
+                )
+            )
+        else:
+            specs.append(DuplicateSpec(prob=float(rng.uniform(0.002, 0.03))))
+    return FaultSpec(tuple(specs))
+
+
+def sample_scenario(seed: int, index: int) -> ScenarioSpec:
+    """Scenario ``index`` of campaign ``seed`` — a pure function of its
+    coordinates (the fuzzing analogue of ``visit_seed_rng``)."""
+    rng = scenario_rng(seed, index)
+    from repro.attacks.registry import implemented_attacks
+    from repro.defenses.registry import implemented_defenses
+
+    attack = str(_choice(rng, implemented_attacks()))
+    defense = str(_choice(rng, implemented_defenses()))
+    sanitize = rng.random() < 0.7
+    check_workers = index % 17 == 0
+
+    if rng.random() < 0.55:
+        # Mostly two sites so the eval stage (>= 2 classes) gets real
+        # coverage; single-site scenarios still appear to exercise the
+        # skip path.
+        n_sites = 2 if rng.random() < 0.75 else 1
+        sites = []
+        for _ in range(n_sites):
+            kind = str(
+                _choice(
+                    rng,
+                    (
+                        "catalog",
+                        "catalog",
+                        "generated",
+                        "generated",
+                        "zero-object",
+                        "one-byte",
+                        "giant-object",
+                    ),
+                )
+            )
+            sites.append(SiteSpec(kind=kind, index=int(rng.integers(0, 500))))
+        max_duration = 8.0
+        return ScenarioSpec(
+            seed=seed,
+            index=index,
+            source=SOURCE_SIMULATED,
+            sites=tuple(sites),
+            n_samples=int(rng.integers(2, 5)),
+            rate_mbps=float(_choice(rng, (0.5, 2.0, 20.0, 50.0, 200.0))),
+            rtt_ms=float(_choice(rng, (2.0, 30.0, 120.0, 300.0))),
+            loss_rate=float(_choice(rng, (0.0, 0.0, 0.02, 0.2))),
+            buffer_bdp=float(_choice(rng, (0.25, 1.5, 4.0))),
+            cca=str(_choice(rng, ("cubic", "reno", "bbr"))),
+            max_duration=max_duration,
+            fault=_sample_fault(rng, max_duration),
+            defense=defense,
+            attack=attack,
+            sanitize=sanitize,
+            check_workers=check_workers,
+        )
+
+    # Degenerate families rarely survive the sanitizer (that's what
+    # makes them degenerate), so synthetic scenarios sanitize less
+    # often — otherwise the defend/features/eval stages would almost
+    # never see these trace shapes.
+    sanitize = rng.random() < 0.35
+    n_families = 1 if rng.random() < 0.2 else 2
+    families = []
+    for fam in range(n_families):
+        if fam == 1 and rng.random() < 0.5:
+            # Pair a degenerate family with a substantial mixed one so
+            # synthetic scenarios regularly survive sanitisation with
+            # two classes and reach the eval stage.
+            kind = "mixed"
+            n_packets = int(_choice(rng, (40, 200)))
+        else:
+            kind = str(_choice(rng, SYNTHETIC_KINDS))
+            n_packets = int(_choice(rng, (1, 2, 5, 40, 200)))
+        families.append(
+            SyntheticSpec(
+                kind=kind,
+                n_traces=int(rng.integers(2, 7)),
+                n_packets=n_packets,
+            )
+        )
+    return ScenarioSpec(
+        seed=seed,
+        index=index,
+        source=SOURCE_SYNTHETIC,
+        synthetic=tuple(families),
+        n_samples=1,
+        defense=defense,
+        attack=attack,
+        sanitize=sanitize,
+        check_workers=check_workers,
+    )

@@ -1,0 +1,125 @@
+"""Delta-debugging shrinker: minimise a failing scenario spec.
+
+Given a :class:`~repro.fuzz.scenario.ScenarioSpec` that triggers a
+finding, :func:`shrink_scenario` applies component-wise minimisation —
+drop the fault schedule, neutralise the defense, halve the workload,
+reset link parameters — re-running the oracle after each candidate
+edit and keeping it only if the *same crash bucket* still reproduces.
+Iterating to a fixpoint yields the minimal reproducer stored in the
+quarantine corpus: typically one site (or one synthetic family), one
+sample, no fault, no defense — whatever actually drives the bug.
+
+Everything is deterministic: candidates are tried in a fixed order and
+acceptance depends only on the (replayable) oracle outcome, so
+shrinking the same finding twice yields the same minimal spec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.fuzz.scenario import SOURCE_SIMULATED, ScenarioSpec
+
+#: Shrink rounds before giving up on reaching a fixpoint.  Each round
+#: is one sweep over the current spec's single-edit candidates and each
+#: acceptance starts a new round, so the bound also caps accepted edits;
+#: specs have ~10 shrinkable components, so 12 rounds always converge.
+MAX_ROUNDS = 12
+
+#: The cheapest attack, used when the finding survives an attack swap.
+CHEAPEST_ATTACK = "knn"
+
+
+@dataclass
+class ShrinkResult:
+    """The minimised spec plus an audit trail of the search."""
+
+    spec: ScenarioSpec
+    rounds: int
+    tried: int
+    accepted: int
+
+
+def _candidates(spec: ScenarioSpec) -> List[ScenarioSpec]:
+    """Single-edit simplifications of ``spec``, strongest first."""
+    replace = dataclasses.replace
+    out: List[ScenarioSpec] = []
+    if spec.fault is not None:
+        out.append(replace(spec, fault=None))
+        if len(spec.fault.specs) > 1:
+            for i in range(len(spec.fault.specs)):
+                kept = tuple(
+                    s for j, s in enumerate(spec.fault.specs) if j != i
+                )
+                out.append(
+                    replace(spec, fault=dataclasses.replace(spec.fault, specs=kept))
+                )
+    if spec.defense != "original":
+        out.append(replace(spec, defense="original"))
+    if spec.attack != CHEAPEST_ATTACK:
+        out.append(replace(spec, attack=CHEAPEST_ATTACK))
+    if spec.sanitize:
+        out.append(replace(spec, sanitize=False))
+    if spec.check_workers:
+        out.append(replace(spec, check_workers=False))
+    if spec.source == SOURCE_SIMULATED:
+        if len(spec.sites) > 1:
+            out.append(replace(spec, sites=spec.sites[:1]))
+        if spec.n_samples > 1:
+            out.append(replace(spec, n_samples=max(1, spec.n_samples // 2)))
+        defaults = dict(
+            rate_mbps=50.0, rtt_ms=30.0, loss_rate=0.0, buffer_bdp=1.5, cca="cubic"
+        )
+        if any(getattr(spec, k) != v for k, v in defaults.items()):
+            out.append(replace(spec, **defaults))
+        if spec.max_duration > 4.0:
+            out.append(replace(spec, max_duration=4.0))
+    else:
+        if len(spec.synthetic) > 1:
+            out.append(replace(spec, synthetic=spec.synthetic[:1]))
+        halved = tuple(
+            dataclasses.replace(
+                fam,
+                n_traces=max(1, fam.n_traces // 2),
+                n_packets=fam.n_packets // 2,
+            )
+            for fam in spec.synthetic
+        )
+        if halved != spec.synthetic:
+            out.append(replace(spec, synthetic=halved))
+    return out
+
+
+def shrink_scenario(
+    spec: ScenarioSpec,
+    still_fails: Callable[[ScenarioSpec], bool],
+    max_rounds: int = MAX_ROUNDS,
+) -> ShrinkResult:
+    """Minimise ``spec`` while ``still_fails`` keeps returning True.
+
+    ``still_fails`` re-runs the oracle on a candidate and reports
+    whether the *same* crash bucket reproduces (the runner supplies
+    this closure; a candidate that fails differently — or passes — is
+    rejected).  ``still_fails`` must never raise.
+    """
+    current = spec
+    tried = accepted = rounds = 0
+    # One round = a full sweep over the current spec's candidates.  An
+    # accepted edit restarts the sweep from the simplified spec (its
+    # candidate list differs); a sweep with no acceptance is the
+    # fixpoint.
+    while rounds < max_rounds:
+        rounds += 1
+        improved = False
+        for candidate in _candidates(current):
+            tried += 1
+            if still_fails(candidate):
+                current = candidate
+                accepted += 1
+                improved = True
+                break
+        if not improved:
+            break
+    return ShrinkResult(spec=current, rounds=rounds, tried=tried, accepted=accepted)

@@ -24,7 +24,15 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import NonFiniteError
 from repro.obs import runtime as _obs_runtime
+
+
+def _count_nonfinite() -> None:
+    """Bump the ``ml.nonfinite`` obs counter (no-op without a session)."""
+    obs = _obs_runtime.session()
+    if obs is not None:
+        obs.registry.counter("ml.nonfinite").add(1)
 
 
 def _relu(z: np.ndarray) -> np.ndarray:
@@ -169,6 +177,12 @@ class MlpClassifier:
             raise ValueError(f"X has {len(X)} rows but y has {len(y)}")
         if len(X) == 0:
             raise ValueError("cannot fit on an empty dataset")
+        if not np.isfinite(X).all():
+            _count_nonfinite()
+            raise NonFiniteError(
+                "MLP training input contains NaN/inf feature values; "
+                "refusing to fit — the upstream feature matrix is corrupt"
+            )
         self._mean = X.mean(axis=0)
         std = X.std(axis=0)
         self._std = np.where(std > 0, std, 1.0)
@@ -207,6 +221,20 @@ class MlpClassifier:
                     self.weights_[index] += velocity_W[index]
                     self.biases_[index] += velocity_b[index]
             epoch_loss = float(np.mean(batch_losses))
+            # Divergence guard: a NaN/inf epoch loss (or parameters
+            # poisoned by non-finite gradients) must fail loudly before
+            # the fitted model can reach cached eval artifacts.
+            if not np.isfinite(epoch_loss) or not all(
+                np.isfinite(W).all() for W in self.weights_
+            ):
+                _count_nonfinite()
+                raise NonFiniteError(
+                    f"MLP training diverged at epoch {epoch}: mean batch "
+                    f"loss {epoch_loss!r} "
+                    f"(learning_rate={self.learning_rate}, "
+                    f"hidden={self.hidden}, l2={self.l2}); lower the "
+                    f"learning rate or inspect the feature matrix"
+                )
             self.history_.append(epoch_loss)
             if obs is not None:
                 obs_epochs.inc()

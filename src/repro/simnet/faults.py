@@ -112,6 +112,13 @@ class LinkFlap(Fault):
     discrete-event analogue of pulling the cable for a moment.  The
     schedule is sampled lazily from ``rng`` as simulated time advances,
     so it is deterministic per seed.
+
+    Zero-duration phases collapse analytically instead of being
+    sampled: ``up_mean == 0`` pins the link down (a 100 % loss window
+    for the whole run), ``down_mean == 0`` pins it up (a no-op), and
+    both zero is defined as up.  Sampling them instead would make
+    ``_advance`` spin forever — the schedule's clock could stop
+    moving — so a "zero-duration flap" is a state, not a loop.
     """
 
     def __init__(
@@ -121,20 +128,33 @@ class LinkFlap(Fault):
         down_mean: float,
         start_up: bool = True,
     ) -> None:
-        if up_mean <= 0 or down_mean <= 0:
+        if up_mean < 0 or down_mean < 0:
             raise ValueError(
-                f"up/down means must be positive, got {up_mean}/{down_mean}"
+                f"up/down means must be >= 0, got {up_mean}/{down_mean}"
             )
         self._rng = rng
         self.up_mean = up_mean
         self.down_mean = down_mean
-        self.up = start_up
-        self._until = self._sample_duration()
         self.transitions = 0
+        if down_mean == 0.0:
+            # Down phases are instants: the link is effectively always
+            # up (this also defines the doubly-degenerate 0/0 case).
+            self.up = True
+            self._until = float("inf")
+        elif up_mean == 0.0:
+            # Up phases are instants: a permanent outage window.
+            self.up = False
+            self._until = float("inf")
+        else:
+            self.up = start_up
+            self._until = self._sample_duration()
 
     def _sample_duration(self) -> float:
         mean = self.up_mean if self.up else self.down_mean
-        return float(self._rng.exponential(mean))
+        duration = float(self._rng.exponential(mean))
+        # A measure-zero 0.0 draw must still advance the schedule or
+        # ``_advance`` would never terminate.
+        return duration if duration > 0.0 else mean
 
     def _advance(self, now: float) -> None:
         while now >= self._until:
@@ -210,10 +230,17 @@ class BandwidthSchedule(Fault):
     factor of the latest stage at or before ``now`` multiplies the link
     rate (1.0 before the first stage).  Factors must be positive —
     "link fully down" is a flap/blackout, not a zero rate.
+
+    Back-to-back stages sharing a start time are legal: the sort is
+    stable on time alone, so the *last-declared* stage at that instant
+    wins — a plain ``sorted()`` over the pairs would instead reorder
+    ties by factor and silently promote the largest one.
     """
 
     def __init__(self, stages: Sequence[Tuple[float, float]]) -> None:
-        stages = sorted((float(t), float(f)) for t, f in stages)
+        stages = sorted(
+            ((float(t), float(f)) for t, f in stages), key=lambda s: s[0]
+        )
         for when, factor in stages:
             if when < 0:
                 raise ValueError(f"stage times must be >= 0, got {when}")

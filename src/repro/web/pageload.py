@@ -257,6 +257,7 @@ def load_page_result(
     server_controller: Optional[StobController] = None,
     client_controller: Optional[StobController] = None,
     watchdog: Optional[Callable[[], None]] = None,
+    on_flow: Optional[Callable[[TcpFlow], None]] = None,
 ) -> PageLoadResult:
     """Simulate one visit and return the full :class:`PageLoadResult`.
 
@@ -267,6 +268,12 @@ def load_page_result(
     ``watchdog`` is called between simulation slices; it may raise
     (e.g. a wall-clock deadline in the resilient runner) to abort a
     load that is burning real time.
+
+    ``on_flow`` receives the built :class:`~repro.stack.host.TcpFlow`
+    before the simulation starts; callers that must audit post-run
+    stack state — the fuzzer's invariant oracle checking link
+    conservation, TCP sequence sanity and pacer gaps — keep the
+    reference and inspect it after this function returns.
     """
     config = config or PageLoadConfig()
     rng = rng or np.random.default_rng(0)
@@ -288,6 +295,8 @@ def load_page_result(
     observer = TraceObserver()
     flow.client_host.nic.add_tap(observer.tap_outgoing)
     flow.server_host.nic.add_tap(observer.tap_incoming)
+    if on_flow is not None:
+        on_flow(flow)
 
     page = profile.sample_page(rng)
     done = {"flag": False}

@@ -1,0 +1,101 @@
+"""Extractor hardening against empty and degenerate traces.
+
+Every extractor documents total behaviour on the shapes the fuzzer's
+synthetic families generate: zero-length traces yield the all-zero
+feature vector, single-packet and one-directional traces extract
+finite features without warnings, and traces whose arrays were mutated
+to non-finite values after construction are rejected with the typed
+:class:`repro.errors.TraceError` instead of silently producing
+inf/NaN features (or, for TAM, a garbage bin index).
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.cumul import CumulAttack, cumulative_features
+from repro.attacks.features.kfp import KfpFeatureExtractor
+from repro.attacks.tam import TamExtractor
+from repro.capture.trace import IN, OUT, Trace
+from repro.errors import TraceError
+
+
+def empty_trace():
+    return Trace.empty()
+
+
+def single_packet_trace():
+    return Trace(
+        np.array([0.5]), np.array([IN], dtype=np.int8), np.array([900])
+    )
+
+
+def one_direction_trace(direction):
+    return Trace(
+        np.linspace(0.0, 1.0, 12),
+        np.full(12, direction, dtype=np.int8),
+        np.full(12, 1000),
+    )
+
+
+DEGENERATES = {
+    "empty": empty_trace,
+    "single-packet": single_packet_trace,
+    "all-outgoing": lambda: one_direction_trace(OUT),
+    "all-incoming": lambda: one_direction_trace(IN),
+}
+
+EXTRACTORS = {
+    "kfp": lambda t: KfpFeatureExtractor().extract(t),
+    "tam": lambda t: TamExtractor(n_bins=8).extract(t),
+    "cumul": lambda t: cumulative_features(t, n_interp=20),
+}
+
+
+@pytest.mark.parametrize("shape", sorted(DEGENERATES))
+@pytest.mark.parametrize("extractor", sorted(EXTRACTORS))
+def test_degenerate_traces_extract_finite_without_warnings(extractor, shape):
+    trace = DEGENERATES[shape]()
+    with np.errstate(all="raise"):
+        features = EXTRACTORS[extractor](trace)
+    assert np.isfinite(features).all(), f"{extractor} on {shape}"
+
+
+@pytest.mark.parametrize("extractor", sorted(EXTRACTORS))
+def test_empty_trace_yields_zero_vector(extractor):
+    features = EXTRACTORS[extractor](empty_trace())
+    assert features.shape[0] > 0
+    assert not features.any(), "documented zero-feature behaviour"
+
+
+@pytest.mark.parametrize("extractor", sorted(EXTRACTORS))
+def test_nonfinite_times_raise_typed_error(extractor):
+    """Arrays mutated after construction must be rejected, not binned."""
+    trace = one_direction_trace(IN)
+    trace.times[3] = np.inf
+    with pytest.raises(TraceError):
+        EXTRACTORS[extractor](trace)
+    trace.times[3] = np.nan
+    with pytest.raises(TraceError):
+        EXTRACTORS[extractor](trace)
+
+
+@pytest.mark.parametrize("extractor", sorted(EXTRACTORS))
+def test_nonpositive_sizes_raise_typed_error(extractor):
+    trace = one_direction_trace(OUT)
+    trace.sizes[0] = 0
+    with pytest.raises(TraceError):
+        EXTRACTORS[extractor](trace)
+
+
+def test_batch_extraction_of_empty_list_has_feature_width():
+    kfp = KfpFeatureExtractor().extract_many([])
+    tam = TamExtractor(n_bins=8).extract_many([])
+    cumul = CumulAttack(n_interp=20)._features([])
+    assert kfp.shape == (0, KfpFeatureExtractor().n_features)
+    assert tam.shape == (0, 16)
+    assert cumul.shape == (0, 24)
+
+
+def test_tam_single_packet_conserves_count():
+    matrix = TamExtractor(n_bins=8).matrix(single_packet_trace())
+    assert matrix.sum() == 1.0

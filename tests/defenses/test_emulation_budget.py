@@ -1,0 +1,96 @@
+"""Regression: byte-materialising defenses must reject absurd packet
+sizes in O(1) instead of hanging.
+
+The fuzzer found HTTPOS looping ~4e15 times re-chunking a single
+2**61-byte packet (repro.fuzz giant-sizes corner); morphing, BuFLO and
+Tamaraw all materialise O(bytes/MTU) records and shared the bug class.
+Each now checks an arithmetic record-count bound *before* building
+anything and raises a typed TraceError.  These tests finishing at all
+is the point — pre-fix, each apply() call below would run for years.
+"""
+
+import numpy as np
+import pytest
+
+from repro.capture.trace import IN, OUT, Trace
+from repro.defenses.base import MAX_EMULATED_RECORDS, check_emulation_budget
+from repro.defenses.buflo import BufloDefense
+from repro.defenses.httpos import HttposLiteDefense
+from repro.defenses.morphing import MorphingDefense
+from repro.defenses.tamaraw import TamarawDefense
+from repro.errors import TraceError
+
+
+def giant_trace(size: int = 2**61) -> Trace:
+    return Trace(
+        np.array([0.0, 0.5]),
+        np.array([OUT, IN], dtype=np.int8),
+        np.array([500, size], dtype=np.int64),
+    )
+
+
+@pytest.mark.parametrize(
+    "defense",
+    [
+        HttposLiteDefense(),
+        MorphingDefense(),
+        BufloDefense(),
+        TamarawDefense(),
+    ],
+    ids=lambda d: d.name,
+)
+def test_giant_packet_raises_typed_error_fast(defense):
+    with pytest.raises(TraceError, match="emulate"):
+        defense.apply(giant_trace())
+
+
+def test_budget_boundary_is_inclusive():
+    check_emulation_budget(MAX_EMULATED_RECORDS, "x")  # at the cap: fine
+    with pytest.raises(TraceError):
+        check_emulation_budget(MAX_EMULATED_RECORDS + 1, "x")
+
+
+def test_honest_traces_still_pass():
+    """The budget must be invisible for realistic inputs."""
+    rng = np.random.default_rng(0)
+    n = 400
+    trace = Trace(
+        np.sort(rng.uniform(0, 3, n)),
+        np.where(rng.random(n) < 0.5, OUT, IN).astype(np.int8),
+        rng.integers(60, 1501, n).astype(np.int64),
+    )
+    for defense in (
+        HttposLiteDefense(),
+        MorphingDefense(),
+        BufloDefense(),
+        TamarawDefense(),
+    ):
+        out = defense.apply(trace)
+        assert len(out) > 0
+
+
+def test_megabyte_packets_within_budget():
+    """The fuzzer's giant-sizes corner (1 MiB packets) stays feasible."""
+    trace = Trace(
+        np.array([0.0, 0.1, 0.2]),
+        np.array([OUT, IN, IN], dtype=np.int8),
+        np.array([600, 2**20, 2**20], dtype=np.int64),
+    )
+    defended = HttposLiteDefense().apply(trace)
+    # Every incoming packet re-chunked to the advertised MSS + header.
+    assert len(defended) > 2 * (2**20 // 588)
+    assert BufloDefense().apply(trace).total_bytes > 0
+
+
+def test_buflo_tamaraw_byte_accounting_survives_int64_sums():
+    """Train sizing uses overflow-safe totals: two 2**62-byte packets
+    would wrap a plain int64 sum to a negative 'needed' count."""
+    trace = Trace(
+        np.array([0.0, 0.1]),
+        np.array([IN, IN], dtype=np.int8),
+        np.array([2**62, 2**62], dtype=np.int64),
+    )
+    with pytest.raises(TraceError):
+        BufloDefense().apply(trace)
+    with pytest.raises(TraceError):
+        TamarawDefense().apply(trace)

@@ -1,0 +1,52 @@
+"""The fuzzer's invariant oracle over the differential golden grid.
+
+``test_differential.py`` pins the vectorized stack against the frozen
+reference implementation; this module runs the *same* 24-point grid
+(site × defense × fault × seed) under :mod:`repro.fuzz.oracle`'s
+runtime checks — link conservation, TCP sequence-space sanity, pacer
+gap accounting, trace well-formedness — promoting the fuzz invariants
+into the permanent regression surface.  A violation here localises a
+stack bug even when both differential stacks agree (they could both be
+wrong; conservation cannot be).
+"""
+
+import numpy as np
+import pytest
+
+from repro.fuzz.oracle import check_visit
+from repro.web.pageload import PageLoadConfig, load_page_result, visit_seed_rng
+from repro.web.sites import SITE_CATALOG
+
+from tests.differential.test_differential import (
+    DEFENSES,
+    FAULTS,
+    GRID,
+    SEEDS,
+    SITES,
+    _config,
+    _controller,
+)
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("site,defense,fault,seed", GRID)
+def test_grid_visit_upholds_runtime_invariants(site, defense, fault, seed):
+    config = _config(fault)
+    controller = _controller(defense, seed)
+    flows = []
+    result = load_page_result(
+        SITE_CATALOG[site],
+        config,
+        visit_seed_rng(seed, site, 0),
+        server_controller=controller,
+        on_flow=flows.append,
+    )
+    assert len(flows) == 1
+    # Raises InvariantViolation on any breach.
+    check_visit(flows[0], result, config, f"{site}/{defense}/{fault}/{seed}")
+    assert result.completed, "golden-grid visits must finish"
+
+
+def test_grid_is_the_full_cross_product():
+    assert len(GRID) == len(SITES) * len(DEFENSES) * len(FAULTS) * len(SEEDS)

@@ -1,0 +1,78 @@
+"""The `repro fuzz` CLI surface: exit codes and argument probes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.defenses import build_defense
+from repro.fuzz.corpus import QuarantineCorpus
+from repro.fuzz.scenario import ScenarioSpec, SyntheticSpec
+
+
+def quarantined_reproducer(tmp_path):
+    """Plant one genuine reproducer (unknown-defense bug) on disk."""
+    spec = ScenarioSpec(
+        seed=0,
+        index=0,
+        source="synthetic",
+        synthetic=(SyntheticSpec(kind="mixed", n_traces=1, n_packets=10),),
+        sanitize=False,
+        defense="nonexistent",
+        attack="knn",
+    )
+    try:
+        build_defense("nonexistent")
+    except ValueError as exc:
+        entry = QuarantineCorpus(tmp_path / "corpus").add(exc, spec, spec, {})
+    return entry.path
+
+
+def test_cli_run_exits_zero_on_a_clean_campaign(tmp_path, capsys):
+    corpus = str(tmp_path / "corpus")
+    assert main(["fuzz", "run", "--seed", "0", "--budget", "2", "--corpus", corpus]) == 0
+    out = capsys.readouterr().out
+    assert "2 scenarios, 0 findings" in out
+    assert "campaign digest" in out
+
+
+def test_cli_replay_exit_codes_track_reproduction(tmp_path, capsys):
+    path = quarantined_reproducer(tmp_path)
+    # Exit 1 while the bug is live: replay is the regression gate.
+    assert main(["fuzz", "replay", str(path)]) == 1
+    assert "reproduced" in capsys.readouterr().out
+
+    data = json.loads(path.read_text())
+    data["scenario"]["defense"] = "original"  # the "fix" lands
+    path.write_text(json.dumps(data))
+    assert main(["fuzz", "replay", str(path)]) == 0
+    assert "fixed" in capsys.readouterr().out
+
+
+def test_cli_corpus_lists_buckets(tmp_path, capsys):
+    corpus = str(tmp_path / "corpus")
+    quarantined_reproducer(tmp_path)
+    assert main(["fuzz", "corpus", corpus]) == 0
+    out = capsys.readouterr().out
+    assert "1 reproducers in 1 buckets" in out
+    assert "ValueError@registry.py:build_defense" in out
+
+
+def test_cli_corpus_on_an_empty_directory(tmp_path, capsys):
+    assert main(["fuzz", "corpus", str(tmp_path / "nothing")]) == 0
+    assert "0 reproducers" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["fuzz", "run", "--budget", "0"],
+        ["fuzz", "run", "--budget", "-5"],
+        ["fuzz", "replay", "/nonexistent-reproducer.json"],
+    ],
+)
+def test_cli_rejects_bad_arguments_with_named_error(argv, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    assert "error:" in capsys.readouterr().err

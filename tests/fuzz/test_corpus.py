@@ -1,0 +1,126 @@
+"""Crash bucketing and the quarantine corpus on disk."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.defenses import build_defense
+from repro.fuzz.corpus import (
+    SCHEMA,
+    QuarantineCorpus,
+    bucket_for,
+    load_reproducer,
+    scenario_digest,
+)
+from repro.fuzz.scenario import ScenarioSpec, SyntheticSpec
+
+
+def small_spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        seed=0,
+        index=0,
+        source="synthetic",
+        synthetic=(SyntheticSpec(kind="mixed", n_traces=1, n_packets=10),),
+        sanitize=False,
+        defense="original",
+        attack="knn",
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def catch(callable_):
+    try:
+        callable_()
+    except Exception as exc:  # noqa: BLE001 — the exception is the fixture
+        return exc
+    raise AssertionError("expected an exception")
+
+
+def test_bucket_pins_the_innermost_repro_frame():
+    """The bucket names *our* raising line, not the call site here."""
+    exc = catch(lambda: build_defense("nonexistent", seed=0))
+    bucket = bucket_for(exc)
+    assert bucket.etype == "ValueError"
+    assert bucket.frame == "registry.py:build_defense"
+    assert bucket.id == "ValueError@registry.py:build_defense"
+
+
+def test_bucket_falls_back_to_the_innermost_frame():
+    """An exception that never touches repro code still buckets."""
+
+    def boom():
+        raise RuntimeError("outside")
+
+    bucket = bucket_for(catch(boom))
+    assert bucket.etype == "RuntimeError"
+    assert bucket.frame.startswith("test_corpus.py:")
+
+
+def test_same_bug_from_different_scenarios_is_one_bucket():
+    a = bucket_for(catch(lambda: build_defense("nonexistent")))
+    b = bucket_for(catch(lambda: build_defense("also-nonexistent")))
+    assert a == b
+
+
+def test_corpus_add_is_idempotent(tmp_path):
+    corpus = QuarantineCorpus(tmp_path / "corpus")
+    exc = catch(lambda: build_defense("nonexistent"))
+    spec = small_spec(defense="original")  # the (pretend-)shrunk spec
+    audit = {"rounds": 1, "tried": 2, "accepted": 0}
+
+    first = corpus.add(exc, spec, small_spec(defense="front"), audit)
+    assert first.new and first.path.exists()
+    second = corpus.add(exc, spec, small_spec(defense="front"), audit)
+    assert not second.new
+    assert second.path == first.path
+    assert len(corpus.entries()) == 1
+
+
+def test_corpus_digest_tracks_content(tmp_path):
+    corpus = QuarantineCorpus(tmp_path / "corpus")
+    assert corpus.entries() == [] and corpus.buckets() == {}
+    empty = corpus.digest()
+
+    exc = catch(lambda: build_defense("nonexistent"))
+    corpus.add(exc, small_spec(), small_spec(), {})
+    one = corpus.digest()
+    assert one != empty
+
+    # A second scenario hitting the same bucket is a distinct entry.
+    corpus.add(exc, small_spec(index=7), small_spec(index=7), {})
+    assert corpus.digest() != one
+    assert len(corpus.buckets()) == 1
+    assert len(corpus.entries()) == 2
+
+
+def test_reproducer_payload_round_trips(tmp_path):
+    corpus = QuarantineCorpus(tmp_path / "corpus")
+    exc = catch(lambda: build_defense("nonexistent"))
+    original = small_spec(defense="front", seed=3, index=11)
+    minimal = small_spec(seed=3, index=11)
+    entry = corpus.add(exc, minimal, original, {"rounds": 2})
+
+    data = load_reproducer(entry.path)
+    assert data["schema"] == SCHEMA
+    assert data["bucket"]["id"] == entry.bucket.id
+    assert data["campaign"] == {"seed": 3, "index": 11}
+    assert "unknown defense" in data["message"]
+    from repro.fuzz.scenario import scenario_from_jsonable
+
+    assert scenario_from_jsonable(data["scenario"]) == minimal
+    assert scenario_from_jsonable(data["original_scenario"]) == original
+
+
+def test_load_reproducer_rejects_foreign_json(tmp_path):
+    path = tmp_path / "not-a-repro.json"
+    path.write_text(json.dumps({"schema": "something.else.v9"}))
+    with pytest.raises(ValueError, match="not a fuzz reproducer"):
+        load_reproducer(path)
+
+
+def test_scenario_digest_is_content_addressed():
+    spec = small_spec()
+    assert scenario_digest(spec) == scenario_digest(dataclasses.replace(spec))
+    assert scenario_digest(spec) != scenario_digest(small_spec(index=1))

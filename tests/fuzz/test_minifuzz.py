@@ -1,0 +1,52 @@
+"""The mini-fuzz regression gate: 25 scenarios of campaign seed 0.
+
+Two assertions, both load-bearing:
+
+* **Clean** — no scenario in the frozen window violates an invariant.
+  A failure here is a genuine finding; run ``repro fuzz run --seed 0
+  --budget 25`` to get the shrunk reproducer, fix the bug, and keep
+  the reproducer replaying green.
+* **Frozen digest** — the campaign digest (every scenario's stage
+  digests hashed in order) matches the recorded constant.  This pins
+  scenario sampling *and* the end-to-end pipeline bit-for-bit: any
+  intentional change to the sampler, simulator, defenses, feature
+  extractors or oracle digesting shows up here, and the constant must
+  be re-frozen in the same commit (and said out loud in review).
+"""
+
+import pytest
+
+from repro.fuzz import run_fuzz
+
+pytestmark = pytest.mark.slow
+
+#: sha256 over ``{index}:ok:{outcome digest}`` for scenarios 0..24 of
+#: campaign seed 0.  Re-freeze with:
+#:   PYTHONPATH=src python -c "import tempfile; from repro.fuzz import \
+#:     run_fuzz; print(run_fuzz(0, 25, tempfile.mkdtemp()).campaign_digest)"
+FROZEN_CAMPAIGN_DIGEST = (
+    "4a285962605e343d9bb28f4d15160fab78d05631a16f5e6f923c8cc5ca2f754a"
+)
+
+#: sha256 of an empty corpus (no reproducers quarantined).
+EMPTY_CORPUS_DIGEST = (
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+)
+
+
+def test_mini_fuzz_campaign_is_clean_and_frozen(tmp_path):
+    report = run_fuzz(seed=0, budget=25, corpus_dir=tmp_path / "corpus")
+    assert report.findings == [], (
+        "mini-fuzz found a bug — reproducers under "
+        f"{tmp_path / 'corpus'}: {report.bucket_counts()}"
+    )
+    assert report.scenarios == 25
+    assert report.corpus_digest == EMPTY_CORPUS_DIGEST
+    assert report.campaign_digest == FROZEN_CAMPAIGN_DIGEST, (
+        "campaign digest drifted — the sampler or the pipeline changed "
+        "behaviour; if intentional, re-freeze FROZEN_CAMPAIGN_DIGEST"
+    )
+    # The frozen window is not trivial: faults stall visits and some
+    # scenarios legitimately skip eval — the corners stay exercised.
+    assert report.stalls == 39
+    assert report.eval_skipped == 13

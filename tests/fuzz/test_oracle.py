@@ -1,0 +1,146 @@
+"""The invariant oracle: violations are caught, honest runs digest
+deterministically, deadlines turn hangs into findings."""
+
+import dataclasses
+import time
+
+import numpy as np
+import pytest
+
+from repro.capture.trace import IN, OUT, Trace
+from repro.fuzz.oracle import (
+    HangDetected,
+    InvariantViolation,
+    check_trace,
+    check_visit,
+    run_scenario,
+)
+from repro.fuzz.scenario import (
+    ScenarioSpec,
+    SiteSpec,
+    SyntheticSpec,
+    sample_scenario,
+)
+
+
+def synthetic_spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        seed=0,
+        index=0,
+        source="synthetic",
+        synthetic=(
+            SyntheticSpec(kind="mixed", n_traces=3, n_packets=30),
+            SyntheticSpec(kind="mixed", n_traces=3, n_packets=60),
+        ),
+        sanitize=False,
+        defense="original",
+        attack="knn",
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def test_honest_synthetic_scenario_passes_and_digests_stably():
+    first = run_scenario(synthetic_spec())
+    second = run_scenario(synthetic_spec())
+    assert first.digest == second.digest
+    assert first.n_traces == 6
+    assert first.eval_skipped is None
+    assert first.stages["eval"]["accuracy"] is not None
+
+
+def test_digest_reflects_content():
+    a = run_scenario(synthetic_spec())
+    b = run_scenario(synthetic_spec(defense="front"))
+    assert a.digest != b.digest
+
+
+def test_simulated_scenario_checks_the_stack():
+    spec = ScenarioSpec(
+        seed=0,
+        index=1,
+        source="simulated",
+        sites=(SiteSpec(kind="zero-object"), SiteSpec(kind="catalog", index=0)),
+        n_samples=2,
+        max_duration=8.0,
+        sanitize=False,
+        defense="original",
+        attack="knn",
+    )
+    outcome = run_scenario(spec)
+    assert outcome.n_traces == 4
+    assert outcome.stalls == 0
+
+
+def test_check_trace_rejects_malformed_arrays():
+    good = Trace(
+        np.array([0.0, 1.0]),
+        np.array([OUT, IN], dtype=np.int8),
+        np.array([100, 200]),
+    )
+    check_trace(good, "t")  # must not raise
+
+    bad_dir = dataclasses.replace(good)
+    bad_dir.directions[0] = 3
+    with pytest.raises(InvariantViolation, match="trace.directions"):
+        check_trace(bad_dir, "t")
+
+    bad_time = Trace(
+        np.array([0.0, 1.0]),
+        np.array([OUT, IN], dtype=np.int8),
+        np.array([100, 200]),
+    )
+    bad_time.times[1] = np.inf
+    with pytest.raises(InvariantViolation, match="trace.finite-times"):
+        check_trace(bad_time, "t")
+
+    bad_size = Trace(
+        np.array([0.0, 1.0]),
+        np.array([OUT, IN], dtype=np.int8),
+        np.array([100, 200]),
+    )
+    bad_size.sizes[0] = -5
+    with pytest.raises(InvariantViolation, match="trace.positive-sizes"):
+        check_trace(bad_size, "t")
+
+
+def test_check_visit_catches_corrupted_link_accounting():
+    """Tamper with a finished flow's stats: conservation must fire."""
+    from repro.web.pageload import PageLoadConfig, load_page_result, visit_seed_rng
+
+    flows = []
+    config = PageLoadConfig(max_duration=8.0)
+    result = load_page_result(
+        SiteSpec(kind="zero-object").profile(),
+        config,
+        visit_seed_rng(0, "x", 0),
+        on_flow=flows.append,
+    )
+    flow = flows[0]
+    check_visit(flow, result, config, "untampered")  # sanity: passes
+    flow.forward_link.delivered += 1  # corrupt the books
+    with pytest.raises(InvariantViolation, match="link.conservation"):
+        check_visit(flow, result, config, "tampered")
+
+
+def test_deadline_turns_a_hang_into_a_finding(monkeypatch):
+    """A scenario whose page loads burn wall-clock time must be killed
+    and reported as HangDetected, not waited out."""
+    import repro.fuzz.oracle as oracle_mod
+
+    # A clock that leaps ten minutes per reading: whatever instant the
+    # deadline anchors on, the very next watchdog check is past it.
+    ticks = iter(range(0, 10**9, 600))
+    monkeypatch.setattr(oracle_mod.time, "monotonic", lambda: float(next(ticks)))
+    spec = sample_scenario(0, 0)
+    with pytest.raises(HangDetected):
+        run_scenario(spec, deadline=30.0)
+
+
+def test_eval_skips_single_class_scenarios_with_a_reason():
+    spec = synthetic_spec(
+        synthetic=(SyntheticSpec(kind="mixed", n_traces=4, n_packets=30),)
+    )
+    outcome = run_scenario(spec)
+    assert outcome.eval_skipped is not None
+    assert "classes" in outcome.eval_skipped

@@ -1,0 +1,135 @@
+"""The fuzz campaign driver end to end, with one real injected bug.
+
+A scenario whose defense name does not exist raises a genuine
+``ValueError`` from the defense registry — a stable crash bucket the
+runner must triage, shrink (provably keeping the broken defense while
+discarding everything else) and quarantine, and that ``replay`` must
+re-trigger until the spec is "fixed"."""
+
+import dataclasses
+import json
+
+import pytest
+
+import repro.fuzz.runner as runner_mod
+from repro.errors import RunTerminated
+from repro.fuzz import run_fuzz, replay_reproducer
+from repro.fuzz.corpus import load_reproducer
+from repro.fuzz.scenario import ScenarioSpec, SyntheticSpec
+from repro.obs import runtime
+
+BROKEN_BUCKET = "ValueError@registry.py:build_defense"
+
+
+def clean_spec(seed, index) -> ScenarioSpec:
+    return ScenarioSpec(
+        seed=seed,
+        index=index,
+        source="synthetic",
+        synthetic=(
+            SyntheticSpec(kind="mixed", n_traces=2, n_packets=20),
+            SyntheticSpec(kind="mixed", n_traces=2, n_packets=40),
+        ),
+        sanitize=False,
+        defense="original",
+        attack="knn",
+    )
+
+
+def broken_spec(seed, index) -> ScenarioSpec:
+    """Engages fault + sanitize so the shrinker has work to do."""
+    from repro.fuzz.scenario import BlackoutSpec, FaultSpec
+
+    return dataclasses.replace(
+        clean_spec(seed, index),
+        defense="nonexistent",
+        sanitize=True,
+        fault=FaultSpec((BlackoutSpec(start=1.0, duration=1.0),)),
+    )
+
+
+@pytest.fixture()
+def inject(monkeypatch):
+    """Replace the sampler: index 0 is broken, the rest are clean."""
+
+    def fake_sample(seed, index):
+        return broken_spec(seed, index) if index == 0 else clean_spec(seed, index)
+
+    monkeypatch.setattr(runner_mod, "sample_scenario", fake_sample)
+
+
+def test_finding_is_triaged_shrunk_and_quarantined(tmp_path, inject):
+    report = run_fuzz(seed=0, budget=2, corpus_dir=tmp_path / "c")
+    assert report.scenarios == 2
+    assert len(report.findings) == 1
+    finding = report.findings[0]
+    assert finding.bucket_id == BROKEN_BUCKET
+    assert finding.new
+    assert report.new_entries == 1
+    assert report.bucket_counts() == {BROKEN_BUCKET: 1}
+
+    # The shrinker kept the culprit and dropped the incidentals.
+    minimal = finding.shrink.spec
+    assert minimal.defense == "nonexistent"
+    assert minimal.fault is None
+    assert minimal.sanitize is False
+    assert finding.shrink.accepted >= 2
+
+    data = load_reproducer(finding.reproducer)
+    assert data["bucket"]["id"] == BROKEN_BUCKET
+    assert data["scenario"]["defense"] == "nonexistent"
+    assert data["original_scenario"]["fault"] is not None
+
+
+def test_refinding_a_known_bug_is_idempotent(tmp_path, inject):
+    first = run_fuzz(seed=0, budget=2, corpus_dir=tmp_path / "c")
+    second = run_fuzz(seed=0, budget=2, corpus_dir=tmp_path / "c")
+    assert first.campaign_digest == second.campaign_digest
+    assert first.corpus_digest == second.corpus_digest
+    assert first.new_entries == 1
+    assert second.new_entries == 0  # known bucket+scenario: nothing new
+    assert len(second.findings) == 1  # ...but still reported
+
+
+def test_replay_reproduces_until_fixed(tmp_path, inject):
+    report = run_fuzz(seed=0, budget=1, corpus_dir=tmp_path / "c")
+    path = report.findings[0].reproducer
+
+    live = replay_reproducer(path)
+    assert live.reproduced
+    assert live.observed_bucket == BROKEN_BUCKET
+
+    # "Fix" the bug by editing the quarantined scenario to a valid
+    # defense: the recorded bucket no longer fires.
+    data = json.loads(open(path).read())
+    data["scenario"]["defense"] = "original"
+    with open(path, "w") as handle:
+        json.dump(data, handle)
+    fixed = replay_reproducer(path)
+    assert not fixed.reproduced
+    assert fixed.observed_bucket is None
+
+
+def test_operator_abort_is_not_a_finding(tmp_path, monkeypatch):
+    def bail(spec, deadline=None):
+        raise RunTerminated("operator abort")
+
+    monkeypatch.setattr(runner_mod, "run_scenario", bail)
+    with pytest.raises(RunTerminated):
+        run_fuzz(seed=0, budget=3, corpus_dir=tmp_path / "c")
+    assert not (tmp_path / "c" / "reproducers").exists()
+
+
+def test_budget_must_be_positive(tmp_path):
+    with pytest.raises(ValueError, match="budget"):
+        run_fuzz(seed=0, budget=0, corpus_dir=tmp_path / "c")
+
+
+def test_obs_counters_tick(tmp_path, inject):
+    session = runtime.enable()
+    try:
+        run_fuzz(seed=0, budget=2, corpus_dir=tmp_path / "c")
+        assert session.registry.counter("fuzz.scenarios").value == 2
+        assert session.registry.counter("fuzz.findings").value == 1
+    finally:
+        runtime.disable()

@@ -1,0 +1,106 @@
+"""Scenario sampling: determinism, JSON round-trip, corner coverage."""
+
+import numpy as np
+import pytest
+
+from repro.fuzz.scenario import (
+    SITE_KINDS,
+    SYNTHETIC_KINDS,
+    ScenarioSpec,
+    SiteSpec,
+    SyntheticSpec,
+    sample_scenario,
+    scenario_from_jsonable,
+    scenario_to_jsonable,
+)
+
+
+def test_sampling_is_a_pure_function_of_coordinates():
+    for index in range(20):
+        assert sample_scenario(7, index) == sample_scenario(7, index)
+    assert sample_scenario(7, 3) != sample_scenario(8, 3)
+    assert sample_scenario(7, 3) != sample_scenario(7, 4)
+
+
+def test_sampling_is_position_derived_not_sequential():
+    """Scenario i is independent of whether scenarios 0..i-1 were ever
+    sampled — the property that makes shards and replays composable."""
+    cold = sample_scenario(0, 42)
+    for i in range(42):
+        sample_scenario(0, i)
+    assert sample_scenario(0, 42) == cold
+
+
+@pytest.mark.parametrize("index", range(30))
+def test_json_round_trip(index):
+    spec = sample_scenario(0, index)
+    rebuilt = scenario_from_jsonable(scenario_to_jsonable(spec))
+    assert rebuilt == spec
+
+
+def test_round_trip_survives_json_serialisation():
+    import json
+
+    spec = sample_scenario(3, 5)
+    over_the_wire = json.loads(json.dumps(scenario_to_jsonable(spec)))
+    assert scenario_from_jsonable(over_the_wire) == spec
+
+
+def test_campaign_covers_the_pathological_corners():
+    """A modest budget must visit every site kind, every synthetic
+    family and scenarios with faults — the corners are the point."""
+    site_kinds, syn_kinds = set(), set()
+    faulted = defended = 0
+    for i in range(300):
+        spec = sample_scenario(0, i)
+        site_kinds.update(s.kind for s in spec.sites)
+        syn_kinds.update(f.kind for f in spec.synthetic)
+        faulted += spec.fault is not None
+        defended += spec.defense != "original"
+    assert site_kinds == set(SITE_KINDS)
+    assert syn_kinds == set(SYNTHETIC_KINDS)
+    assert faulted > 30
+    assert defended > 150
+
+
+def test_site_spec_profiles_build():
+    rng = np.random.default_rng(0)
+    for kind in SITE_KINDS:
+        profile = SiteSpec(kind=kind, index=3).profile()
+        page = profile.sample_page(rng)
+        assert len(page.rounds) >= 2  # handshake + HTML at minimum
+
+
+def test_zero_object_site_is_actually_object_free():
+    profile = SiteSpec(kind="zero-object").profile()
+    assert profile.object_classes == []
+
+
+def test_synthetic_families_build_valid_traces():
+    rng = np.random.default_rng(1)
+    for kind in SYNTHETIC_KINDS:
+        spec = SyntheticSpec(kind=kind, n_traces=3, n_packets=5)
+        traces = spec.build_traces(rng)
+        assert len(traces) == 3
+        for trace in traces:
+            if kind == "empty":
+                assert len(trace) == 0
+            elif kind == "single-packet":
+                assert len(trace) == 1
+            else:
+                assert len(trace) == 5
+
+
+def test_invalid_specs_are_rejected():
+    with pytest.raises(ValueError):
+        SiteSpec(kind="nope")
+    with pytest.raises(ValueError):
+        SyntheticSpec(kind="nope")
+    with pytest.raises(ValueError):
+        SyntheticSpec(kind="empty", n_traces=0)
+    with pytest.raises(ValueError):
+        ScenarioSpec(seed=0, index=0, source="simulated", sites=())
+    with pytest.raises(ValueError):
+        ScenarioSpec(seed=0, index=0, source="synthetic", synthetic=())
+    with pytest.raises(ValueError):
+        ScenarioSpec(seed=0, index=0, source="nope")

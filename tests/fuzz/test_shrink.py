@@ -1,0 +1,128 @@
+"""Shrinker mechanics against fake acceptance oracles.
+
+``still_fails`` is injected as a plain closure here, so these tests
+exercise the delta-debugging search itself — candidate generation,
+acceptance, fixpoint detection — without paying for the real oracle.
+End-to-end shrinking of a genuine finding lives in ``test_runner.py``.
+"""
+
+import dataclasses
+
+from repro.fuzz.scenario import (
+    FaultSpec,
+    BlackoutSpec,
+    ReorderSpec,
+    ScenarioSpec,
+    SiteSpec,
+    SyntheticSpec,
+)
+from repro.fuzz.shrink import _candidates, shrink_scenario
+
+
+def loaded_synthetic_spec() -> ScenarioSpec:
+    """A synthetic spec with every shrinkable component engaged."""
+    return ScenarioSpec(
+        seed=0,
+        index=0,
+        source="synthetic",
+        synthetic=(
+            SyntheticSpec(kind="mixed", n_traces=2, n_packets=8),
+            SyntheticSpec(kind="empty", n_traces=2, n_packets=0),
+        ),
+        sanitize=True,
+        check_workers=True,
+        defense="front",
+        attack="kfp",
+        fault=FaultSpec((BlackoutSpec(start=1.0, duration=1.0),)),
+    )
+
+
+def loaded_simulated_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        seed=0,
+        index=0,
+        source="simulated",
+        sites=(SiteSpec(kind="catalog"), SiteSpec(kind="one-byte")),
+        n_samples=4,
+        rate_mbps=0.5,
+        rtt_ms=300.0,
+        loss_rate=0.2,
+        buffer_bdp=0.25,
+        cca="bbr",
+        max_duration=8.0,
+        defense="tamaraw",
+        attack="cumul",
+        fault=FaultSpec(
+            (BlackoutSpec(start=1.0, duration=1.0), ReorderSpec(prob=0.1))
+        ),
+    )
+
+
+def test_unconditional_failure_shrinks_to_the_floor():
+    """When everything still fails, the fixpoint is the minimal spec:
+    no fault, no defense, cheapest attack, one tiny family."""
+    result = shrink_scenario(loaded_synthetic_spec(), lambda _spec: True)
+    spec = result.spec
+    assert spec.fault is None
+    assert spec.defense == "original"
+    assert spec.attack == "knn"
+    assert spec.sanitize is False
+    assert spec.check_workers is False
+    assert len(spec.synthetic) == 1
+    assert spec.synthetic[0].n_traces == 1
+    assert spec.synthetic[0].n_packets == 0
+    assert result.accepted > 0
+    assert result.rounds == result.accepted + 1  # +1 fixpoint sweep
+
+
+def test_simulated_spec_shrinks_sites_samples_and_link():
+    result = shrink_scenario(loaded_simulated_spec(), lambda _spec: True)
+    spec = result.spec
+    assert len(spec.sites) == 1
+    assert spec.n_samples == 1
+    assert (spec.rate_mbps, spec.rtt_ms, spec.loss_rate) == (50.0, 30.0, 0.0)
+    assert spec.cca == "cubic"
+    assert spec.max_duration == 4.0
+    assert spec.fault is None and spec.defense == "original"
+
+
+def test_load_bearing_component_is_kept():
+    """If the bug needs the defense, every candidate that removes it is
+    rejected — the minimal spec still names the culprit."""
+    still_fails = lambda spec: spec.defense == "front"  # noqa: E731
+    result = shrink_scenario(loaded_synthetic_spec(), still_fails)
+    assert result.spec.defense == "front"
+    assert result.spec.fault is None  # everything else still dropped
+    assert len(result.spec.synthetic) == 1
+
+
+def test_nothing_accepted_returns_the_original():
+    original = loaded_synthetic_spec()
+    result = shrink_scenario(original, lambda _spec: False)
+    assert result.spec == original
+    assert result.accepted == 0
+    assert result.rounds == 1
+    assert result.tried == len(_candidates(original))
+
+
+def test_candidates_are_single_edits():
+    """Every candidate differs from its parent in a bounded way — this
+    is what makes acceptance attribution meaningful."""
+    for parent in (loaded_synthetic_spec(), loaded_simulated_spec()):
+        for candidate in _candidates(parent):
+            assert candidate != parent
+            changed = [
+                f.name
+                for f in dataclasses.fields(parent)
+                if getattr(candidate, f.name) != getattr(parent, f.name)
+            ]
+            # Link-parameter reset touches up to five fields at once;
+            # every other edit is a one-field change.
+            assert 1 <= len(changed) <= 5
+
+
+def test_shrinking_is_deterministic():
+    still_fails = lambda spec: spec.attack == "kfp"  # noqa: E731
+    a = shrink_scenario(loaded_synthetic_spec(), still_fails)
+    b = shrink_scenario(loaded_synthetic_spec(), still_fails)
+    assert a == b

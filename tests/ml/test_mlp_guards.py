@@ -1,0 +1,81 @@
+"""NaN/inf guards in MLP training.
+
+Non-finite inputs are rejected before training; divergence (a loss or
+weight going NaN/inf mid-run) aborts at the offending epoch with the
+typed :class:`repro.errors.NonFiniteError` naming the hyper-parameters
+— instead of 60 epochs of silent NaN propagation ending in a model
+that predicts garbage.  Both paths tick the ``ml.nonfinite`` obs
+counter so fleet runs can alarm on it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import NonFiniteError
+from repro.ml.mlp import MlpClassifier
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def _clean_session():
+    runtime.disable()
+    yield
+    runtime.disable()
+
+
+def _data(rng):
+    X = rng.normal(size=(24, 5))
+    y = rng.integers(0, 3, size=24)
+    return X, y
+
+
+def test_nan_input_is_rejected_before_training():
+    rng = np.random.default_rng(0)
+    X, y = _data(rng)
+    X[3, 2] = np.nan
+    with pytest.raises(NonFiniteError, match="NaN/inf feature"):
+        MlpClassifier(hidden=(6,), epochs=2, seed=0).fit(X, y)
+
+
+def test_inf_input_is_rejected_before_training():
+    rng = np.random.default_rng(1)
+    X, y = _data(rng)
+    X[0, 0] = np.inf
+    with pytest.raises(NonFiniteError):
+        MlpClassifier(hidden=(6,), epochs=2, seed=0).fit(X, y)
+
+
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")
+def test_divergence_aborts_at_the_offending_epoch():
+    """An absurd learning rate makes the loss explode; the guard must
+    name the epoch and hyper-parameters instead of finishing."""
+    rng = np.random.default_rng(2)
+    X, y = _data(rng)
+    X = X * 1e6  # large activations: divergence within a few steps
+    clf = MlpClassifier(hidden=(8,), epochs=50, learning_rate=1e9, seed=0)
+    with pytest.raises(NonFiniteError, match="diverged at epoch"):
+        clf.fit(X, y)
+
+
+def test_nonfinite_counter_ticks_under_obs():
+    session = runtime.enable()
+    try:
+        rng = np.random.default_rng(3)
+        X, y = _data(rng)
+        X[1, 1] = np.nan
+        with pytest.raises(NonFiniteError):
+            MlpClassifier(hidden=(6,), epochs=2, seed=0).fit(X, y)
+        assert session.registry.counter("ml.nonfinite").value == 1
+    finally:
+        runtime.disable()
+
+
+def test_clean_training_does_not_tick_the_counter():
+    session = runtime.enable()
+    try:
+        rng = np.random.default_rng(4)
+        X, y = _data(rng)
+        MlpClassifier(hidden=(6,), epochs=3, seed=0).fit(X, y)
+        assert "ml.nonfinite" not in session.registry
+    finally:
+        runtime.disable()

@@ -1,0 +1,130 @@
+"""Fault-schedule edge cases under property-based testing.
+
+The fuzzer's hostile corners as hypothesis properties: link flaps with
+zero or near-zero phase means (including the analytic pinned-state
+collapse), bandwidth schedules with back-to-back equal-time segments,
+and the conservation identity of :class:`LinkStats` holding through
+arbitrary such schedules.  Complements the example-based tests in
+``test_faults.py``.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.engine import Simulator
+from repro.simnet.entities import Link
+from repro.simnet.faults import (
+    BandwidthSchedule,
+    FaultPlan,
+    LinkFlap,
+)
+
+
+@dataclass
+class FakePacket:
+    wire_size: int
+
+
+# The lazy flap schedule legitimately does O(horizon / mean) work, so
+# the strategy floors non-zero means where that stays cheap; the
+# pathological corner under test is the *exact zero* (pre-fix: an
+# infinite loop), which collapses analytically and costs O(1).
+phase_means = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=5e-3, max_value=5.0, allow_nan=False),
+)
+
+
+@given(up_mean=phase_means, down_mean=phase_means, seed=st.integers(0, 2**31))
+@settings(max_examples=60, deadline=None)
+def test_link_flap_terminates_and_is_binary(up_mean, down_mean, seed):
+    """Any combination of zero/tiny/normal phase means must evaluate in
+    bounded time over a long horizon (the pre-fix lazy schedule spun
+    forever on an exact-zero duration draw)."""
+    flap = LinkFlap(np.random.default_rng(seed), up_mean, down_mean)
+    outcomes = {flap.drops(t) for t in np.linspace(0.0, 50.0, 200)}
+    assert outcomes <= {True, False}
+    if up_mean == 0.0 and down_mean > 0.0:
+        assert outcomes == {True}, "zero up-phase pins the link down"
+    if down_mean == 0.0:
+        assert outcomes == {False}, "zero down-phase pins the link up"
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=6,
+    ),
+    factors=st.lists(
+        st.floats(min_value=1e-4, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=6,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_bandwidth_schedule_latest_stage_wins(times, factors):
+    """With duplicate stage times (back-to-back segments), the
+    last-declared stage at any instant governs — and the factor lookup
+    is total over [0, inf)."""
+    n = min(len(times), len(factors))
+    stages = list(zip(times[:n], factors[:n]))
+    schedule = BandwidthSchedule(stages)
+    for t in [0.0, 0.5, 5.0, 20.0]:
+        factor = schedule.rate_factor(t)
+        applicable = [f for (start, f) in stages if start <= t]
+        if applicable:
+            # Last-declared among the applicable stages with the
+            # latest start time.
+            latest = max(start for (start, f) in stages if start <= t)
+            expected = [f for (start, f) in stages if start == latest][-1]
+            assert factor == expected
+        else:
+            assert factor == 1.0
+
+
+def test_back_to_back_equal_time_stages_last_declared_wins():
+    schedule = BandwidthSchedule([(1.0, 0.5), (1.0, 0.125), (1.0, 0.25)])
+    assert schedule.rate_factor(2.0) == 0.25
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    up_mean=phase_means,
+    down_mean=phase_means,
+    stage_time=st.floats(min_value=0.0, max_value=0.02, allow_nan=False),
+    factor=st.floats(min_value=1e-3, max_value=1.0, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_link_stats_conserved_under_edge_case_faults(
+    seed, up_mean, down_mean, stage_time, factor
+):
+    """LinkStats conservation holds through degenerate flaps composed
+    with back-to-back bandwidth stages: every offered packet is
+    accounted as delivered, dropped, queued, in service or in flight —
+    at the end *and* at an arbitrary mid-run sync point."""
+    sim = Simulator()
+    rng = np.random.default_rng(seed)
+    plan = FaultPlan(
+        [
+            LinkFlap(rng, up_mean, down_mean),
+            BandwidthSchedule(
+                [(stage_time, 1.0), (stage_time, factor), (stage_time, factor)]
+            ),
+        ]
+    )
+    link = Link(sim, 1e6, 0.005, lambda p: None, faults=plan)
+    for _ in range(30):
+        link.send(FakePacket(400))
+    sim.run(until=0.01)
+    mid = link.stats()
+    assert mid.conserved(), f"mid-run: {mid}"
+    sim.run()
+    final = link.stats()
+    assert final.conserved(), f"final: {final}"
+    assert final.offered == 30
+    assert final.in_flight == 0 and final.in_service == 0

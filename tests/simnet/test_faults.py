@@ -65,9 +65,23 @@ def test_link_flap_alternates_and_is_deterministic():
     assert any(first) and not all(first), "link must both flap and recover"
 
 
-def test_link_flap_rejects_nonpositive_means():
+def test_link_flap_rejects_negative_means():
     with pytest.raises(ValueError):
-        LinkFlap(np.random.default_rng(0), up_mean=0.0, down_mean=1.0)
+        LinkFlap(np.random.default_rng(0), up_mean=-1.0, down_mean=1.0)
+    with pytest.raises(ValueError):
+        LinkFlap(np.random.default_rng(0), up_mean=1.0, down_mean=-0.5)
+
+
+def test_link_flap_zero_duration_phases_pin_the_state():
+    """Zero-mean phases collapse analytically instead of spinning the
+    lazy schedule forever: up_mean=0 is a permanent outage, down_mean=0
+    (and the doubly-degenerate 0/0 case) a no-op."""
+    always_down = LinkFlap(np.random.default_rng(0), up_mean=0.0, down_mean=1.0)
+    assert all(always_down.drops(t) for t in np.linspace(0, 100, 50))
+    always_up = LinkFlap(np.random.default_rng(0), up_mean=1.0, down_mean=0.0)
+    assert not any(always_up.drops(t) for t in np.linspace(0, 100, 50))
+    degenerate = LinkFlap(np.random.default_rng(0), up_mean=0.0, down_mean=0.0)
+    assert not any(degenerate.drops(t) for t in np.linspace(0, 100, 50))
 
 
 def test_blackout_window():
